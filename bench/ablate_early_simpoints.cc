@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Ablation: early simulation points [Perelman03], which the paper
+ * cites as the remedy for SimPoint's checkpoint-generation cost ("the
+ * cost of which is amortized by successive runs and can be decreased
+ * by picking early simulation points"). Per cluster, the earliest
+ * interval within a distance tolerance of the centroid-closest one is
+ * chosen instead — the last checkpoint moves toward the front of the
+ * program and generation cost falls, at a small accuracy price.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "core/options.hh"
+#include "support/logging.hh"
+#include "support/table.hh"
+#include "techniques/full_reference.hh"
+#include "techniques/simpoint.hh"
+
+using namespace yasim;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions options = parseBenchOptions(argc, argv, 400'000);
+    setInformEnabled(false);
+    SimConfig config = architecturalConfig(2);
+
+    Table table("Ablation: standard vs early SimPoints "
+                "(multiple 100M; last point position as % of the run, "
+                "total work as % of reference, CPI error)");
+    table.setHeader({"benchmark", "variant", "last point @", "cost %",
+                     "CPI error"});
+
+    for (const std::string &bench : options.benchmarks) {
+        TechniqueContext ctx = makeContext(bench, options.suite);
+        FullReference reference;
+        TechniqueResult ref = reference.run(ctx, config);
+
+        for (int variant = 0; variant < 2; ++variant) {
+            bool early = variant == 1;
+            SimPoint sp(100.0, 10, 0.0,
+                        early ? "early 100M" : "multiple 100M", 15, 42,
+                        3, early);
+            auto points = sp.choosePoints(ctx);
+            uint64_t last = points.empty() ? 0 : points.back().startInst;
+            TechniqueResult r = sp.run(ctx, config);
+            table.addRow(
+                {bench, early ? "early" : "standard",
+                 Table::pct(100.0 * static_cast<double>(last) /
+                                static_cast<double>(ctx.referenceLength),
+                            1),
+                 Table::num(100.0 * r.workUnits / ref.workUnits, 1),
+                 Table::pct(std::fabs(r.cpi - ref.cpi) / ref.cpi * 100.0,
+                            2)});
+        }
+        table.addRule();
+        std::cerr << "early-simpoints: " << bench << " done\n";
+    }
+
+    if (options.csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Ablation: SMARTS accuracy and cost across the U x W grid.
+ *
+ * Section 6.1 observes that all nine SMARTS permutations land at very
+ * similar accuracy; this bench reproduces that observation and shows
+ * the cost side: larger units and warm-ups buy little accuracy while
+ * inflating the detailed-simulation fraction.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "core/options.hh"
+#include "support/logging.hh"
+#include "support/table.hh"
+#include "techniques/full_reference.hh"
+#include "techniques/smarts.hh"
+
+using namespace yasim;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions options = parseBenchOptions(argc, argv, 400'000);
+    setInformEnabled(false);
+    SimConfig config = architecturalConfig(2);
+
+    Table table("Ablation: SMARTS CPI error and cost across U x W "
+                "(config #2; cost = work as % of reference)");
+    table.setHeader({"benchmark", "U", "W", "CPI error", "cost %"});
+
+    for (const std::string &bench : options.benchmarks) {
+        TechniqueContext ctx = makeContext(bench, options.suite);
+        FullReference reference;
+        TechniqueResult ref = reference.run(ctx, config);
+
+        for (uint64_t u : {100ULL, 1000ULL, 10000ULL}) {
+            for (uint64_t w_mult : {2ULL, 20ULL}) {
+                Smarts smarts(u, u * w_mult);
+                TechniqueResult r = smarts.run(ctx, config);
+                table.addRow(
+                    {bench, std::to_string(u),
+                     std::to_string(u * w_mult),
+                     Table::pct(std::fabs(r.cpi - ref.cpi) / ref.cpi *
+                                    100.0,
+                                2),
+                     Table::num(100.0 * r.workUnits / ref.workUnits,
+                                1)});
+            }
+        }
+        table.addRule();
+        std::cerr << "smarts-uw: " << bench << " done\n";
+    }
+
+    if (options.csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    return 0;
+}

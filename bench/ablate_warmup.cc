@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Ablation: how much detailed warm-up does truncated execution need?
+ *
+ * FF X + Run Z leaves the machine cold; FF X + WU Y + Run Z pays Y M
+ * detailed instructions to warm it. This bench sweeps Y at a fixed
+ * measurement window on the memory-sensitive benchmarks, reporting the
+ * CPI delta against a fully-warm measurement of the same window (the
+ * cold-start bias the warm-up is buying down). It explains why the
+ * paper finds FF+WU+Run only marginally better than FF+Run: warm-up
+ * fixes state, not unrepresentativeness.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "core/options.hh"
+#include "sim/functional.hh"
+#include "sim/ooo_core.hh"
+#include "support/logging.hh"
+#include "support/table.hh"
+#include "techniques/technique.hh"
+
+using namespace yasim;
+
+namespace {
+
+/** CPI of window [start, start+len) with Y-instruction detailed warm-up
+ *  after an architectural fast-forward. */
+double
+windowCpi(const Workload &workload, const SimConfig &config,
+          uint64_t start, uint64_t warm, uint64_t len,
+          bool functional_warming)
+{
+    FunctionalSim fsim(workload.program);
+    OooCore core(config);
+    uint64_t ff = start >= warm ? start - warm : 0;
+    if (functional_warming)
+        fsim.fastForwardWarm(ff, &core.memHierarchy(),
+                             &core.predictor());
+    else
+        fsim.fastForward(ff);
+    if (warm > 0)
+        core.run(fsim, start - fsim.instsExecuted());
+    SimStats before = core.snapshot();
+    core.run(fsim, len);
+    SimStats delta = core.snapshot() - before;
+    return delta.cpi();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions options = parseBenchOptions(argc, argv, 400'000);
+    setInformEnabled(false);
+    SimConfig config = architecturalConfig(2);
+
+    Table table("Ablation: cold-start CPI bias of FF + [WU Y +] Run "
+                "(window = 500 scaled-M at 40% of the run; baseline = "
+                "functionally-warmed measurement of the same window)");
+    table.setHeader({"benchmark", "warm-up Y", "CPI", "bias vs warm"});
+
+    for (const std::string &bench : options.benchmarks) {
+        TechniqueContext ctx = makeContext(bench, options.suite);
+        Workload workload =
+            buildWorkload(bench, InputSet::Reference, ctx.suite);
+        uint64_t start = ctx.scaledM(4000);
+        uint64_t len = ctx.scaledM(500);
+
+        double warm_cpi =
+            windowCpi(workload, config, start, 0, len, true);
+        table.addRow({bench, "full warming",
+                      Table::num(warm_cpi, 3), "-"});
+        for (double y : {0.0, 1.0, 10.0, 100.0}) {
+            uint64_t warm = y > 0 ? ctx.scaledM(y) : 0;
+            double cpi =
+                windowCpi(workload, config, start, warm, len, false);
+            table.addRow(
+                {bench, y == 0 ? "none (FF+Run)" : Table::num(y, 0) + "M",
+                 Table::num(cpi, 3),
+                 Table::pct((cpi - warm_cpi) / warm_cpi * 100.0, 2)});
+        }
+        table.addRule();
+        std::cerr << "warmup: " << bench << " done\n";
+    }
+
+    if (options.csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    return 0;
+}

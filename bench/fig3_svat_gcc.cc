@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Regenerates Figure 3: the speed-versus-accuracy trade-off graph for
+ * gcc. Expected shape (paper section 6.1): the sampling techniques sit
+ * far down-left (fast and accurate); reduced inputs and truncated
+ * execution combine poor accuracy with long simulation times, the
+ * train input being the worst; and because of gcc's complex phase
+ * behaviour, longer truncated windows do not reliably buy accuracy.
+ */
+
+#include "svat_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    // FF X = 1000M; FF+WU pair 999M + 1M (the paper's gcc legend).
+    return yasim::runSvatBench(argc, argv, "gcc", "Figure 3", 1000.0,
+                               999.0, 1.0);
+}

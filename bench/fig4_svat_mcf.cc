@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Regenerates Figure 4: the speed-versus-accuracy trade-off graph for
+ * mcf. Expected shape (paper section 6.1): as Figure 3, with the
+ * reduced inputs especially wrong because mcf's reference input is the
+ * only one whose working set escapes the caches.
+ */
+
+#include "svat_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    // FF X = 4000M; FF+WU pair 3990M + 10M (the paper's mcf legend).
+    return yasim::runSvatBench(argc, argv, "mcf", "Figure 4", 4000.0,
+                               3990.0, 10.0);
+}

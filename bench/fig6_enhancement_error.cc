@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Regenerates Figure 6: the difference between the apparent speedup
+ * each technique reports for an enhancement and the speedup the
+ * reference run reports — for next-line prefetching (the figure) and
+ * trivial-computation simplification (discussed in section 7), on gcc
+ * with processor configuration #2.
+ *
+ * Expected shape: reduced-input and truncated-execution speedup errors
+ * are large and sign-inconsistent; SimPoint's multiple-10M permutation
+ * is close; SMARTS's errors are fractions of a percent.
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "core/enhancement_study.hh"
+#include "core/options.hh"
+#include "support/logging.hh"
+#include "support/table.hh"
+#include "techniques/reduced_input.hh"
+#include "techniques/simpoint.hh"
+#include "techniques/smarts.hh"
+#include "techniques/truncated.hh"
+
+using namespace yasim;
+
+namespace {
+
+std::vector<TechniquePtr>
+figurePermutations(const std::string &bench)
+{
+    std::vector<TechniquePtr> t;
+    t.push_back(std::make_shared<SimPoint>(100.0, 1, 0.0, "single 100M"));
+    t.push_back(
+        std::make_shared<SimPoint>(100.0, 10, 0.0, "multiple 100M"));
+    t.push_back(std::make_shared<SimPoint>(10.0, 1, 1.0, "single 10M"));
+    t.push_back(
+        std::make_shared<SimPoint>(10.0, 100, 1.0, "multiple 10M"));
+    for (InputSet input :
+         {InputSet::Small, InputSet::Medium, InputSet::Test,
+          InputSet::Train}) {
+        if (hasInput(bench, input))
+            t.push_back(std::make_shared<ReducedInput>(input));
+    }
+    for (double z : {500.0, 1000.0, 2000.0})
+        t.push_back(std::make_shared<RunZ>(z));
+    for (double z : {100.0, 1000.0})
+        t.push_back(std::make_shared<FfRunZ>(1000.0, z));
+    for (double z : {100.0, 1000.0})
+        t.push_back(std::make_shared<FfWuRunZ>(990.0, 10.0, z));
+    for (uint64_t u : {100ULL, 1000ULL, 10000ULL})
+        t.push_back(std::make_shared<Smarts>(u, 2 * u));
+    return t;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions options = parseBenchOptions(argc, argv, 400'000);
+    setInformEnabled(false);
+
+    const std::string bench =
+        options.benchmarks.size() == 1 ? options.benchmarks[0] : "gcc";
+    TechniqueContext ctx = makeContext(bench, options.suite);
+    SimConfig config = architecturalConfig(2);
+
+    const Enhancement enhancements[] = {Enhancement::NextLinePrefetch,
+                                        Enhancement::TrivialComputation};
+    double ref_speedup[2];
+    for (int e = 0; e < 2; ++e)
+        ref_speedup[e] = referenceSpeedup(ctx, config, enhancements[e]);
+
+    std::cout << "reference speedups on " << bench << "/config2: NLP "
+              << Table::num((ref_speedup[0] - 1.0) * 100.0, 2) << "%, TC "
+              << Table::num((ref_speedup[1] - 1.0) * 100.0, 2) << "%\n\n";
+
+    Table table("Figure 6: apparent-speedup error "
+                "(technique minus reference, percentage points) for " +
+                bench + " on configuration #2");
+    table.setHeader({"technique", "permutation", "NLP error (pp)",
+                     "TC error (pp)"});
+
+    for (const TechniquePtr &technique : figurePermutations(bench)) {
+        std::vector<std::string> row = {technique->name(),
+                                        technique->permutation()};
+        for (int e = 0; e < 2; ++e) {
+            EnhancementImpact impact =
+                evaluateEnhancement(*technique, ctx, config,
+                                    enhancements[e], ref_speedup[e]);
+            row.push_back(
+                Table::num(impact.speedupError() * 100.0, 2));
+        }
+        table.addRow(row);
+    }
+
+    if (options.csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    return 0;
+}

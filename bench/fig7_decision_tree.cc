@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Regenerates Figure 7: the decision tree for selecting a simulation
+ * technique, and demonstrates the queryable recommend() API for each
+ * selection goal.
+ */
+
+#include <iostream>
+
+#include "core/decision_tree.hh"
+#include "core/options.hh"
+#include "support/table.hh"
+
+using namespace yasim;
+
+int
+main(int argc, char **argv)
+{
+    parseBenchOptions(argc, argv, 500'000);
+
+    DecisionTree tree;
+    tree.print(std::cout);
+
+    Table table("recommend() for every goal (best technique first)");
+    table.setHeader({"goal", "1st", "2nd", "last"});
+    for (SelectionGoal goal : allSelectionGoals()) {
+        const CriterionRanking &r = tree.recommend(goal);
+        table.addRow({selectionGoalName(goal), r.ranking.front(),
+                      r.ranking[1], r.ranking.back()});
+    }
+    std::cout << "\n";
+    table.print(std::cout);
+    return 0;
+}

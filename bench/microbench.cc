@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the library's hot kernels: the
+ * functional simulator, functional warming, the detailed core, cache
+ * and predictor probes, k-means clustering, and the PB machinery.
+ * These are throughput sanity checks for the simulator substrate (the
+ * figure regenerators' runtimes are dominated by these loops).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "sim/functional.hh"
+#include "sim/ooo_core.hh"
+#include "stats/kmeans.hh"
+#include "stats/plackett_burman.hh"
+#include "support/rng.hh"
+#include "uarch/branch_predictor.hh"
+#include "uarch/cache.hh"
+#include "workloads/suite.hh"
+
+using namespace yasim;
+
+namespace {
+
+SuiteConfig
+benchSuite()
+{
+    SuiteConfig suite;
+    suite.referenceInstructions = 200'000;
+    return suite;
+}
+
+void
+BM_FunctionalSim(benchmark::State &state)
+{
+    Workload w = buildWorkload("gzip", InputSet::Reference, benchSuite());
+    uint64_t insts = 0;
+    for (auto _ : state) {
+        FunctionalSim fsim(w.program);
+        insts += fsim.fastForward(~0ULL);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(insts));
+}
+BENCHMARK(BM_FunctionalSim);
+
+void
+BM_FunctionalWarming(benchmark::State &state)
+{
+    Workload w = buildWorkload("gzip", InputSet::Reference, benchSuite());
+    SimConfig cfg = architecturalConfig(2);
+    uint64_t insts = 0;
+    for (auto _ : state) {
+        FunctionalSim fsim(w.program);
+        MemoryHierarchy mem(cfg.mem);
+        CombinedPredictor bp(cfg.bp);
+        insts += fsim.fastForwardWarm(~0ULL, &mem, &bp);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(insts));
+}
+BENCHMARK(BM_FunctionalWarming);
+
+void
+BM_DetailedSim(benchmark::State &state)
+{
+    Workload w = buildWorkload("gzip", InputSet::Reference, benchSuite());
+    SimConfig cfg = architecturalConfig(2);
+    uint64_t insts = 0;
+    for (auto _ : state) {
+        FunctionalSim fsim(w.program);
+        OooCore core(cfg);
+        insts += core.run(fsim, ~0ULL);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(insts));
+}
+BENCHMARK(BM_DetailedSim);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    Cache cache("bm", CacheConfig{64, 4, 64});
+    Rng rng(1);
+    uint64_t n = 0;
+    for (auto _ : state) {
+        cache.access(rng.nextBelow(1 << 22));
+        ++n;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_PredictorUpdate(benchmark::State &state)
+{
+    CombinedPredictor bp(BranchPredictorConfig{});
+    Rng rng(2);
+    uint64_t n = 0;
+    for (auto _ : state) {
+        uint64_t pc = 0x1000 + (rng.next() & 0xFF) * 4;
+        bp.update(pc, true, rng.nextBool(0.7), pc + 64);
+        ++n;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_PredictorUpdate);
+
+void
+BM_KmeansSelectK(benchmark::State &state)
+{
+    Rng rng(3);
+    std::vector<std::vector<double>> points;
+    for (int i = 0; i < 500; ++i) {
+        std::vector<double> p(15);
+        for (double &x : p)
+            x = rng.nextGaussian() + (i % 4) * 5.0;
+        points.push_back(std::move(p));
+    }
+    for (auto _ : state) {
+        Rng seed(4);
+        benchmark::DoNotOptimize(
+            selectKLadder(points, static_cast<int>(state.range(0)),
+                          seed));
+    }
+}
+BENCHMARK(BM_KmeansSelectK)->Arg(10)->Arg(100);
+
+void
+BM_PbEffects(benchmark::State &state)
+{
+    PbDesign design = PbDesign::forFactors(43, true);
+    std::vector<double> responses(design.numRuns());
+    Rng rng(5);
+    for (double &r : responses)
+        r = rng.nextDouble();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(design.computeEffects(responses));
+}
+BENCHMARK(BM_PbEffects);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Shared driver for the Figure-3/Figure-4 speed-versus-accuracy
+ * benches: the permutation list mirrors the paper's figure legends, the
+ * configuration set defaults to Table 3's four machines (envelope of
+ * the hypercube with --full), and the output is one row per permutation
+ * sorted by simulation speed.
+ */
+
+#ifndef YASIM_BENCH_SVAT_COMMON_HH
+#define YASIM_BENCH_SVAT_COMMON_HH
+
+#include <algorithm>
+#include <iostream>
+
+#include "core/options.hh"
+#include "core/svat_analysis.hh"
+#include "support/logging.hh"
+#include "support/table.hh"
+#include "techniques/reduced_input.hh"
+#include "techniques/simpoint.hh"
+#include "techniques/smarts.hh"
+#include "techniques/truncated.hh"
+
+namespace yasim {
+
+/** Figure-legend permutations for one benchmark's SvAT graph. */
+inline std::vector<TechniquePtr>
+svatPermutations(const std::string &bench, double ff_x, double wu_x,
+                 double wu_y)
+{
+    std::vector<TechniquePtr> techniques;
+    techniques.push_back(
+        std::make_shared<SimPoint>(100.0, 1, 0.0, "single 100M"));
+    techniques.push_back(
+        std::make_shared<SimPoint>(100.0, 10, 0.0, "multiple 100M"));
+    techniques.push_back(
+        std::make_shared<SimPoint>(10.0, 100, 1.0, "multiple 10M"));
+    for (InputSet input :
+         {InputSet::Small, InputSet::Medium, InputSet::Large,
+          InputSet::Test, InputSet::Train}) {
+        if (hasInput(bench, input))
+            techniques.push_back(std::make_shared<ReducedInput>(input));
+    }
+    for (double z : {500.0, 1000.0, 1500.0, 2000.0})
+        techniques.push_back(std::make_shared<RunZ>(z));
+    for (double z : {100.0, 500.0, 1000.0, 2000.0})
+        techniques.push_back(std::make_shared<FfRunZ>(ff_x, z));
+    for (double z : {100.0, 500.0, 1000.0, 2000.0})
+        techniques.push_back(std::make_shared<FfWuRunZ>(wu_x, wu_y, z));
+    for (uint64_t u : {100ULL, 1000ULL, 10000ULL})
+        techniques.push_back(std::make_shared<Smarts>(u, 2 * u));
+    return techniques;
+}
+
+/** Run and print one benchmark's SvAT graph. */
+inline int
+runSvatBench(int argc, char **argv, const std::string &bench,
+             const char *figure, double ff_x, double wu_x, double wu_y)
+{
+    BenchOptions options = parseBenchOptions(argc, argv, 400'000);
+    setInformEnabled(false);
+
+    TechniqueContext ctx = makeContext(bench, options.suite);
+    std::vector<SimConfig> configs =
+        options.full ? envelopeConfigs() : architecturalConfigs();
+
+    auto techniques = svatPermutations(bench, ff_x, wu_x, wu_y);
+    auto points = svatAnalysis(ctx, techniques, configs);
+    std::sort(points.begin(), points.end(),
+              [](const SvatPoint &a, const SvatPoint &b) {
+                  return a.speedPct < b.speedPct;
+              });
+
+    Table table(std::string(figure) +
+                ": speed vs accuracy trade-off for " + bench +
+                " (speed = % of reference simulation work; accuracy = "
+                "Manhattan distance of CPI vectors over " +
+                std::to_string(configs.size()) + " configs)");
+    table.setHeader({"technique", "permutation", "speed %",
+                     "CPI distance"});
+    for (const SvatPoint &p : points) {
+        table.addRow({p.technique, p.permutation,
+                      Table::num(p.speedPct, 2),
+                      Table::num(p.cpiDistance, 3)});
+    }
+    if (options.csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    return 0;
+}
+
+} // namespace yasim
+
+#endif // YASIM_BENCH_SVAT_COMMON_HH

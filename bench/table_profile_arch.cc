@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Regenerates the section-5.2 results the paper describes in prose:
+ * the execution-profile characterization (chi-squared comparison of
+ * BBEF and BBV distributions against the reference) and the
+ * architecture-level characterization (normalized metric-vector
+ * distance over the four Table-3 configurations).
+ *
+ * Expected shape: almost every permutation passes the chi-squared
+ * similarity test (the reference's enormous block counts make the
+ * critical value generous), yet the chi-squared *values* for reduced
+ * inputs and truncated execution dwarf those of SimPoint and SMARTS;
+ * the architecture-level distances tell the same story.
+ */
+
+#include <iostream>
+
+#include "core/arch_characterization.hh"
+#include "core/options.hh"
+#include "core/profile_characterization.hh"
+#include "support/logging.hh"
+#include "support/table.hh"
+#include "techniques/full_reference.hh"
+#include "techniques/permutations.hh"
+
+using namespace yasim;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions options = parseBenchOptions(argc, argv, 400'000);
+    setInformEnabled(false);
+
+    std::vector<SimConfig> configs = architecturalConfigs();
+    SimConfig profile_config = configs[1]; // config #2
+
+    Table table("Execution-profile (chi2 on BBV/BBEF at config #2) and "
+                "architecture-level (normalized metric distance over "
+                "configs #1-#4) characterizations");
+    table.setHeader({"benchmark", "technique", "permutation",
+                     "chi2 BBV", "chi2 BBEF", "similar?",
+                     "arch distance"});
+
+    for (const std::string &bench : options.benchmarks) {
+        TechniqueContext ctx = makeContext(bench, options.suite);
+
+        FullReference reference;
+        TechniqueResult ref_profile = reference.run(ctx, profile_config);
+        std::vector<TechniqueResult> ref_arch;
+        for (const SimConfig &config : configs)
+            ref_arch.push_back(reference.run(ctx, config));
+
+        auto permutations = options.full
+                                ? table1Permutations(bench)
+                                : representativePermutations(bench);
+        for (const TechniquePtr &technique : permutations) {
+            TechniqueResult profile =
+                technique->run(ctx, profile_config);
+            ProfileComparison cmp =
+                compareProfiles(profile, ref_profile);
+
+            std::vector<TechniqueResult> arch;
+            for (const SimConfig &config : configs)
+                arch.push_back(technique->run(ctx, config));
+            double arch_dist = archDistanceOverConfigs(arch, ref_arch);
+
+            table.addRow({bench, technique->name(),
+                          technique->permutation(),
+                          Table::num(cmp.bbv.statistic, 1),
+                          Table::num(cmp.bbef.statistic, 1),
+                          cmp.bbv.similar ? "yes" : "no",
+                          Table::num(arch_dist, 4)});
+        }
+        table.addRule();
+        std::cerr << "profile/arch: " << bench << " done\n";
+    }
+
+    if (options.csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    return 0;
+}

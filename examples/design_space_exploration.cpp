@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Design-space exploration — the workload the paper's introduction
+ * motivates: an architect wants to sweep a design space (here, L2 size
+ * x issue width) but cannot afford full reference simulations for
+ * every point. This example runs the sweep with a sampling technique,
+ * picks the best configuration per metric, and then *verifies* the
+ * winner (and only the winner) against a full reference simulation —
+ * the recommended deadline-season workflow.
+ *
+ * Usage: design_space_exploration [benchmark] [ref-insts]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "support/table.hh"
+#include "techniques/full_reference.hh"
+#include "techniques/simpoint.hh"
+
+using namespace yasim;
+
+int
+main(int argc, char **argv)
+{
+    const std::string benchmark = argc > 1 ? argv[1] : "vortex";
+    const uint64_t ref_insts =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 500'000;
+
+    SuiteConfig suite;
+    suite.referenceInstructions = ref_insts;
+    TechniqueContext ctx = makeContext(benchmark, suite);
+
+    SimPoint explorer(10.0, 100, 1.0, "multiple 10M");
+
+    const uint32_t l2_sizes[] = {256, 512, 1024, 2048};
+    const uint32_t widths[] = {2, 4, 8};
+
+    Table table("design-space sweep of " + benchmark +
+                " with SimPoint (CPI estimates)");
+    std::vector<std::string> header = {"L2 size"};
+    for (uint32_t w : widths)
+        header.push_back(std::to_string(w) + "-wide");
+    table.setHeader(header);
+
+    double best_cpi = 1e300;
+    SimConfig best_config;
+    double total_work = 0.0;
+    for (uint32_t l2 : l2_sizes) {
+        std::vector<std::string> row = {std::to_string(l2) + "KB"};
+        for (uint32_t width : widths) {
+            SimConfig config = architecturalConfig(2);
+            config.name = std::to_string(l2) + "KB/" +
+                          std::to_string(width) + "w";
+            config.mem.l2.sizeKb = l2;
+            config.core.fetchWidth = config.core.decodeWidth = width;
+            config.core.issueWidth = config.core.commitWidth = width;
+            TechniqueResult r = explorer.run(ctx, config);
+            total_work += r.workUnits;
+            row.push_back(Table::num(r.cpi, 4));
+            if (r.cpi < best_cpi) {
+                best_cpi = r.cpi;
+                best_config = config;
+            }
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+
+    // Verify the chosen point with the gold-standard run.
+    FullReference reference;
+    TechniqueResult verified = reference.run(ctx, best_config);
+    total_work += verified.workUnits;
+
+    std::cout << "\nwinner: " << best_config.name << " (estimated CPI "
+              << Table::num(best_cpi, 4) << ", verified reference CPI "
+              << Table::num(verified.cpi, 4) << ")\n";
+
+    double full_sweep_work =
+        static_cast<double>(ctx.referenceLength) *
+        static_cast<double>(sizeof(l2_sizes) / sizeof(l2_sizes[0]) *
+                            (sizeof(widths) / sizeof(widths[0])));
+    std::cout << "exploration cost: "
+              << Table::num(100.0 * total_work / full_sweep_work, 1)
+              << "% of a full-reference sweep of all "
+              << (sizeof(l2_sizes) / sizeof(l2_sizes[0])) *
+                     (sizeof(widths) / sizeof(widths[0]))
+              << " design points\n";
+    return 0;
+}

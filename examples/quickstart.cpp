@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Quickstart: build a workload, simulate it in detail, print the core
+ * statistics — the five-minute tour of the library's public API.
+ *
+ * Usage: quickstart [benchmark] [input-set]
+ *   benchmark  one of the ten suite benchmarks   (default: gzip)
+ *   input-set  small|medium|large|test|train|reference (default: reference)
+ */
+
+#include <chrono>
+#include <cstring>
+#include <iostream>
+
+#include "sim/config.hh"
+#include "sim/functional.hh"
+#include "sim/ooo_core.hh"
+#include "support/table.hh"
+#include "workloads/suite.hh"
+
+using namespace yasim;
+
+namespace {
+
+InputSet
+parseInputSet(const char *name)
+{
+    for (InputSet input : allInputSets())
+        if (std::strcmp(name, inputSetName(input)) == 0)
+            return input;
+    std::cerr << "unknown input set '" << name << "'\n";
+    std::exit(1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string benchmark = argc > 1 ? argv[1] : "gzip";
+    const InputSet input =
+        argc > 2 ? parseInputSet(argv[2]) : InputSet::Reference;
+
+    // 1. Build the workload (synthetic SPEC-2000 stand-in).
+    SuiteConfig suite;
+    suite.referenceInstructions = 2'000'000;
+    Workload workload = buildWorkload(benchmark, input, suite);
+    std::cout << "workload: " << workload.benchmark << " / "
+              << inputSetName(workload.input) << " (input '"
+              << workload.label << "', "
+              << workload.program.size() << " static instructions, "
+              << workload.program.numBlocks() << " basic blocks)\n";
+
+    // 2. Simulate it to completion on the Table-3 config #2 machine.
+    SimConfig config = architecturalConfig(2);
+    FunctionalSim fsim(workload.program);
+    OooCore core(config);
+
+    auto t0 = std::chrono::steady_clock::now();
+    core.run(fsim, ~0ULL);
+    auto t1 = std::chrono::steady_clock::now();
+    double secs = std::chrono::duration<double>(t1 - t0).count();
+
+    // 3. Read the results.
+    SimStats stats = core.snapshot();
+    Table table("simulation results (" + config.name + ")");
+    table.setHeader({"metric", "value"});
+    table.addRow({"instructions", Table::count(stats.instructions)});
+    table.addRow({"cycles", Table::count(stats.cycles)});
+    table.addRow({"CPI", Table::num(stats.cpi(), 4)});
+    table.addRow({"IPC", Table::num(stats.ipc(), 4)});
+    table.addRow({"branch accuracy", Table::pct(stats.branchAccuracy() * 100.0)});
+    table.addRow({"L1-I hit rate", Table::pct(stats.l1iHitRate() * 100.0)});
+    table.addRow({"L1-D hit rate", Table::pct(stats.l1dHitRate() * 100.0)});
+    table.addRow({"L2 hit rate", Table::pct(stats.l2HitRate() * 100.0)});
+    table.addRow({"memory stall cycles",
+                  Table::pct(stats.memStallFraction() * 100.0)});
+    table.addRow({"trivial ops", Table::count(stats.trivialOps)});
+    table.print(std::cout);
+
+    std::cout << "host speed: "
+              << Table::num(static_cast<double>(stats.instructions) /
+                                secs / 1e6,
+                            2)
+              << " M simulated instructions/second\n";
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Technique shoot-out: run every technique family on one benchmark and
+ * one machine, and report each one's CPI estimate, error against the
+ * full reference simulation, and cost — the library's core question
+ * ("which technique should I trust?") in one table.
+ *
+ * Usage: technique_shootout [benchmark] [config 1-4] [ref-insts]
+ */
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "support/table.hh"
+#include "techniques/full_reference.hh"
+#include "techniques/permutations.hh"
+
+using namespace yasim;
+
+int
+main(int argc, char **argv)
+{
+    const std::string benchmark = argc > 1 ? argv[1] : "mcf";
+    const int config_idx = argc > 2 ? std::atoi(argv[2]) : 2;
+    const uint64_t ref_insts =
+        argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 500'000;
+
+    SuiteConfig suite;
+    suite.referenceInstructions = ref_insts;
+    TechniqueContext ctx = makeContext(benchmark, suite);
+    SimConfig config = architecturalConfig(config_idx);
+
+    std::cout << "benchmark " << benchmark << ", machine " << config.name
+              << ", reference length "
+              << Table::count(ctx.referenceLength) << " instructions\n\n";
+
+    FullReference reference;
+    TechniqueResult ref = reference.run(ctx, config);
+
+    Table table("technique shoot-out (error vs full reference CPI " +
+                Table::num(ref.cpi, 4) + ")");
+    table.setHeader({"technique", "permutation", "CPI", "error",
+                     "cost %", "detailed insts"});
+    table.addRow({"reference", "full", Table::num(ref.cpi, 4), "-",
+                  "100.00", Table::count(ref.detailedInsts)});
+    table.addRule();
+
+    for (const TechniquePtr &technique :
+         representativePermutations(benchmark)) {
+        TechniqueResult r = technique->run(ctx, config);
+        table.addRow(
+            {technique->name(), technique->permutation(),
+             Table::num(r.cpi, 4),
+             Table::pct(std::fabs(r.cpi - ref.cpi) / ref.cpi * 100.0, 2),
+             Table::num(100.0 * r.workUnits / ref.workUnits, 2),
+             Table::count(r.detailedInsts)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\ncost % is deterministic simulation work relative to "
+                 "the reference run\n(detailed instruction = 1.0; see "
+                 "CostModel in techniques/technique.hh)\n";
+    return 0;
+}

@@ -1,0 +1,101 @@
+#include "core/decision_tree.hh"
+
+#include "support/logging.hh"
+
+namespace yasim {
+
+const char *
+selectionGoalName(SelectionGoal goal)
+{
+    switch (goal) {
+      case SelectionGoal::Accuracy:
+        return "accuracy";
+      case SelectionGoal::SpeedAccuracyTradeoff:
+        return "speed vs accuracy trade-off";
+      case SelectionGoal::ConfigurationIndependence:
+        return "configuration independence";
+      case SelectionGoal::LowComplexityToUse:
+        return "complexity to use";
+      case SelectionGoal::LowCostToGenerate:
+        return "cost to generate";
+    }
+    return "?";
+}
+
+const std::vector<SelectionGoal> &
+allSelectionGoals()
+{
+    static const std::vector<SelectionGoal> goals = {
+        SelectionGoal::Accuracy,
+        SelectionGoal::SpeedAccuracyTradeoff,
+        SelectionGoal::ConfigurationIndependence,
+        SelectionGoal::LowComplexityToUse,
+        SelectionGoal::LowCostToGenerate,
+    };
+    return goals;
+}
+
+DecisionTree::DecisionTree()
+{
+    rankings = {
+        {SelectionGoal::Accuracy,
+         {"SMARTS", "SimPoint", "FF+WU+Run", "FF+Run", "Run Z",
+          "reduced"},
+         "all three characterizations agree: the sampling techniques "
+         "are far ahead, with SMARTS slightly more accurate on most "
+         "benchmarks"},
+        {SelectionGoal::SpeedAccuracyTradeoff,
+         {"SimPoint", "SMARTS", "FF+Run", "FF+WU+Run", "Run Z",
+          "reduced"},
+         "SimPoint trades a little accuracy for much lower simulation "
+         "time; there is a large separation between the two sampling "
+         "techniques and the rest"},
+        {SelectionGoal::ConfigurationIndependence,
+         {"SMARTS", "SimPoint", "FF+WU+Run", "FF+Run", "Run Z",
+          "reduced"},
+         "SMARTS has virtually no configuration dependence; SimPoint's "
+         "best permutation has very little; the CPI error of reduced "
+         "and truncated execution does not even trend"},
+        {SelectionGoal::LowComplexityToUse,
+         {"reduced", "Run Z", "FF+Run", "FF+WU+Run", "SimPoint",
+          "SMARTS"},
+         "reduced inputs need no simulator changes; SMARTS needs "
+         "periodic sampling, functional warming, and statistics"},
+        {SelectionGoal::LowCostToGenerate,
+         {"SimPoint", "Run Z", "FF+Run", "FF+WU+Run", "SMARTS",
+          "reduced"},
+         "SimPoint needs minimal user intervention to find simulation "
+         "points; SMARTS and reduced inputs cost the most to create"},
+    };
+}
+
+const CriterionRanking &
+DecisionTree::recommend(SelectionGoal goal) const
+{
+    for (const CriterionRanking &ranking : rankings)
+        if (ranking.goal == goal)
+            return ranking;
+    panic("unhandled selection goal %d", static_cast<int>(goal));
+}
+
+void
+DecisionTree::print(std::ostream &os) const
+{
+    os << "Decision tree for selecting a simulation technique\n";
+    os << "|- Technical Factors\n";
+    auto emit = [&](SelectionGoal goal, const char *indent) {
+        const CriterionRanking &r = recommend(goal);
+        os << indent << selectionGoalName(goal) << ": ";
+        for (size_t i = 0; i < r.ranking.size(); ++i)
+            os << (i ? " > " : "") << r.ranking[i];
+        os << "\n" << indent << "   (" << r.rationale << ")\n";
+    };
+    emit(SelectionGoal::Accuracy, "|  |- ");
+    emit(SelectionGoal::SpeedAccuracyTradeoff, "|  |- ");
+    emit(SelectionGoal::ConfigurationIndependence, "|  `- ");
+    os << "`- Practical Factors\n";
+    emit(SelectionGoal::LowComplexityToUse, "   |- ");
+    emit(SelectionGoal::LowCostToGenerate, "   `- ");
+}
+
+} // namespace yasim

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The technique-selection decision tree (paper section 9, Figure 7).
+ *
+ * Encodes the paper's final recommendation as a queryable structure:
+ * under "technical factors" the six techniques are ordered by each of
+ * the study's criteria (the three characterizations, the speed-vs-
+ * accuracy trade-off, and configuration dependence); under "practical
+ * factors" they are ordered by complexity-to-use and cost-to-generate.
+ * recommend() walks the tree for a stated goal and returns the ranked
+ * technique list with the paper's rationale attached.
+ */
+
+#ifndef YASIM_CORE_DECISION_TREE_HH
+#define YASIM_CORE_DECISION_TREE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace yasim {
+
+/** What the architect cares about most. */
+enum class SelectionGoal
+{
+    /** Reference-like results above all (accuracy). */
+    Accuracy,
+    /** Best accuracy per unit of simulation time. */
+    SpeedAccuracyTradeoff,
+    /** Stable error across machine configurations. */
+    ConfigurationIndependence,
+    /** Fewest simulator changes required. */
+    LowComplexityToUse,
+    /** Cheapest technique artifacts to generate. */
+    LowCostToGenerate,
+};
+
+/** Printable goal name. */
+const char *selectionGoalName(SelectionGoal goal);
+
+/** All goals, in Figure 7's order. */
+const std::vector<SelectionGoal> &allSelectionGoals();
+
+/** One criterion's ranking of the six techniques. */
+struct CriterionRanking
+{
+    SelectionGoal goal;
+    /** Technique family names, best first. */
+    std::vector<std::string> ranking;
+    /** The paper's one-line rationale. */
+    std::string rationale;
+};
+
+/** The full decision tree. */
+class DecisionTree
+{
+  public:
+    DecisionTree();
+
+    /** Ranked techniques (best first) for @p goal. */
+    const CriterionRanking &recommend(SelectionGoal goal) const;
+
+    /** Every criterion's ranking. */
+    const std::vector<CriterionRanking> &criteria() const
+    {
+        return rankings;
+    }
+
+    /** Render the Figure-7 tree as indented text. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<CriterionRanking> rankings;
+};
+
+} // namespace yasim
+
+#endif // YASIM_CORE_DECISION_TREE_HH

@@ -1,0 +1,83 @@
+#include "core/options.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace yasim {
+
+namespace {
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--ref-insts N] [--benchmarks a,b,...] [--seed N]\n"
+        "          [--csv] [--full]\n",
+        argv0);
+    std::exit(1);
+}
+
+std::vector<std::string>
+splitCommas(const std::string &arg)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start <= arg.size()) {
+        size_t comma = arg.find(',', start);
+        if (comma == std::string::npos) {
+            out.push_back(arg.substr(start));
+            break;
+        }
+        out.push_back(arg.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+BenchOptions
+parseBenchOptions(int argc, char **argv, uint64_t default_ref_insts)
+{
+    BenchOptions options;
+    options.suite.referenceInstructions = default_ref_insts;
+    options.benchmarks = benchmarkNames();
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (std::strcmp(arg, "--ref-insts") == 0) {
+            options.suite.referenceInstructions =
+                std::strtoull(next(), nullptr, 10);
+        } else if (std::strcmp(arg, "--seed") == 0) {
+            options.suite.seed = std::strtoull(next(), nullptr, 10);
+        } else if (std::strcmp(arg, "--benchmarks") == 0) {
+            options.benchmarks = splitCommas(next());
+            for (const std::string &bench : options.benchmarks)
+                if (!isBenchmark(bench))
+                    fatal("unknown benchmark '%s'", bench.c_str());
+        } else if (std::strcmp(arg, "--csv") == 0) {
+            options.csv = true;
+        } else if (std::strcmp(arg, "--full") == 0) {
+            options.full = true;
+        } else if (std::strcmp(arg, "--help") == 0 ||
+                   std::strcmp(arg, "-h") == 0) {
+            usage(argv[0]);
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg);
+            usage(argv[0]);
+        }
+    }
+    if (options.suite.referenceInstructions < 100000)
+        fatal("--ref-insts must be at least 100000");
+    return options;
+}
+
+} // namespace yasim

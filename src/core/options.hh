@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Tiny command-line option parser shared by the bench and example
+ * binaries, so every experiment regenerator accepts the same knobs:
+ *
+ *   --ref-insts N     reference-run dynamic length (scales everything)
+ *   --benchmarks a,b  subset of the suite to run
+ *   --seed N          suite data seed
+ *   --csv             emit CSV instead of aligned text
+ *   --full            full-fidelity mode (all permutations / configs)
+ */
+
+#ifndef YASIM_CORE_OPTIONS_HH
+#define YASIM_CORE_OPTIONS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/suite.hh"
+
+namespace yasim {
+
+/** Parsed common options. */
+struct BenchOptions
+{
+    /** Suite scaling derived from --ref-insts / --seed. */
+    SuiteConfig suite;
+    /** Benchmarks to run (defaults to the full suite). */
+    std::vector<std::string> benchmarks;
+    /** Emit CSV instead of the aligned table. */
+    bool csv = false;
+    /** Run the full-fidelity version of the experiment. */
+    bool full = false;
+};
+
+/**
+ * Parse argv. Unknown options are fatal (with a usage message).
+ * @param default_ref_insts experiment-appropriate default length
+ */
+BenchOptions parseBenchOptions(int argc, char **argv,
+                               uint64_t default_ref_insts);
+
+} // namespace yasim
+
+#endif // YASIM_CORE_OPTIONS_HH

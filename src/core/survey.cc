@@ -1,0 +1,31 @@
+#include "core/survey.hh"
+
+namespace yasim {
+
+const std::vector<SurveyEntry> &
+prevalenceSurvey()
+{
+    static const std::vector<SurveyEntry> survey = {
+        {"FF X + Run Z", 27.3, true, "most prevalent technique"},
+        {"Run Z", 23.1, true, ""},
+        {"reduced input sets", 18.5, true, "MinneSPEC, SPEC test/train"},
+        {"run to completion", 17.8, true, "the reference baseline"},
+        {"SimPoint", 0.0, true,
+         "included: usage expected to increase"},
+        {"SMARTS", 0.0, true,
+         "included: usage expected to increase"},
+        {"FF X + WU Y + Run Z", 0.0, true,
+         "included as the more accurate FF X + Run Z"},
+        {"random sampling", 0.0, false,
+         "excluded: rarely used despite being well known"},
+    };
+    return survey;
+}
+
+AdoptionTrend
+adoptionTrend()
+{
+    return AdoptionTrend{};
+}
+
+} // namespace yasim

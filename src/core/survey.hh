@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The paper's ten-year HPCA/ISCA/MICRO simulation-methodology survey
+ * results (section 2), shipped as data.
+ *
+ * The survey fixed which techniques the study analyzes; it is an input
+ * to the experiments, not an experiment itself, so the published
+ * percentages are reproduced as a table rather than re-collected.
+ */
+
+#ifndef YASIM_CORE_SURVEY_HH
+#define YASIM_CORE_SURVEY_HH
+
+#include <string>
+#include <vector>
+
+namespace yasim {
+
+/** One surveyed technique's prevalence. */
+struct SurveyEntry
+{
+    std::string technique;
+    /** Percentage of all papers with a known technique. */
+    double percentOfKnown;
+    /** Included in this paper's candidate set? */
+    bool studied;
+    std::string note;
+};
+
+/** The prevalence table from section 2. */
+const std::vector<SurveyEntry> &prevalenceSurvey();
+
+/**
+ * Usage of reduced-input/truncated techniques before and after
+ * SimPoint's introduction (the paper's Recommendation 2 statistic).
+ */
+struct AdoptionTrend
+{
+    double beforeSimPointPct = 68.9;
+    double afterSimPointPct = 82.1;
+};
+
+/** The adoption-trend statistic. */
+AdoptionTrend adoptionTrend();
+
+} // namespace yasim
+
+#endif // YASIM_CORE_SURVEY_HH

@@ -1,0 +1,77 @@
+#include "isa/program.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace yasim {
+
+Program::Program(std::vector<Instruction> instructions, std::string name)
+    : progName(std::move(name)), insts(std::move(instructions))
+{
+    YASIM_ASSERT(!insts.empty());
+    discoverBlocks();
+}
+
+void
+Program::discoverBlocks()
+{
+    std::vector<bool> leader(insts.size(), false);
+    leader[0] = true;
+    for (uint64_t pc = 0; pc < insts.size(); ++pc) {
+        const Instruction &inst = insts[pc];
+        if (!inst.isControl())
+            continue;
+        auto target = static_cast<uint64_t>(inst.imm);
+        if (target < insts.size())
+            leader[target] = true;
+        if (pc + 1 < insts.size())
+            leader[pc + 1] = true;
+    }
+
+    blocks.clear();
+    pcToBlock.assign(insts.size(), 0);
+    for (uint64_t pc = 0; pc < insts.size(); ++pc) {
+        if (leader[pc]) {
+            if (!blocks.empty())
+                blocks.back().last = pc - 1;
+            blocks.push_back(BasicBlock{pc, pc});
+        }
+        pcToBlock[pc] = static_cast<uint32_t>(blocks.size() - 1);
+    }
+    blocks.back().last = insts.size() - 1;
+}
+
+void
+Program::validate() const
+{
+    bool has_halt = false;
+    for (uint64_t pc = 0; pc < insts.size(); ++pc) {
+        const Instruction &inst = insts[pc];
+        if (inst.op == Opcode::Halt)
+            has_halt = true;
+        if (inst.isControl()) {
+            auto target = static_cast<uint64_t>(inst.imm);
+            if (target >= insts.size()) {
+                fatal("%s: control at pc %llu targets out-of-range %lld",
+                      progName.c_str(),
+                      static_cast<unsigned long long>(pc),
+                      static_cast<long long>(inst.imm));
+            }
+        }
+        auto check_reg = [&](int r, int limit) {
+            if (r != noReg && (r < 0 || r >= limit)) {
+                fatal("%s: pc %llu has bad register %d", progName.c_str(),
+                      static_cast<unsigned long long>(pc), r);
+            }
+        };
+        int limit = inst.isFp() ? numFpRegs : numIntRegs;
+        check_reg(inst.rd, limit);
+        check_reg(inst.rs1, inst.op == Opcode::FCvt ? numIntRegs : limit);
+        check_reg(inst.rs2, limit);
+    }
+    if (!has_halt)
+        fatal("%s: program has no Halt instruction", progName.c_str());
+}
+
+} // namespace yasim

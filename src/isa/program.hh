@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Program container and static basic-block structure.
+ *
+ * A Program is a flat vector of instructions with a single entry at index
+ * 0 and termination at a Halt. Basic blocks are discovered statically:
+ * a leader is the entry point, any branch/jump target, or the instruction
+ * following a control instruction. The per-instruction block index is the
+ * substrate for the BBEF/BBV execution-profile characterization and for
+ * SimPoint's interval vectors.
+ */
+
+#ifndef YASIM_ISA_PROGRAM_HH
+#define YASIM_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace yasim {
+
+/** A static basic block: [first, last] instruction indices. */
+struct BasicBlock
+{
+    uint64_t first = 0;
+    uint64_t last = 0;
+
+    uint64_t size() const { return last - first + 1; }
+};
+
+/** An executable program for the yasim ISA. */
+class Program
+{
+  public:
+    /** Construct from an instruction vector; discovers basic blocks. */
+    explicit Program(std::vector<Instruction> insts,
+                     std::string name = "program");
+
+    /** Program name (for reports). */
+    const std::string &name() const { return progName; }
+
+    /** Number of static instructions. */
+    uint64_t size() const { return insts.size(); }
+
+    /** Instruction at index @p pc. */
+    const Instruction &at(uint64_t pc) const { return insts[pc]; }
+
+    /** Virtual text address of instruction @p pc (for I-cache/BTB). */
+    static uint64_t pcAddress(uint64_t pc) { return textBase + pc * instBytes; }
+
+    /** All static basic blocks in program order. */
+    const std::vector<BasicBlock> &basicBlocks() const { return blocks; }
+
+    /** Index of the basic block containing instruction @p pc. */
+    uint32_t blockOf(uint64_t pc) const { return pcToBlock[pc]; }
+
+    /** Number of static basic blocks. */
+    size_t numBlocks() const { return blocks.size(); }
+
+    /** Validate structure: targets in range, ends with reachable Halt. */
+    void validate() const;
+
+  private:
+    std::string progName;
+    std::vector<Instruction> insts;
+    std::vector<BasicBlock> blocks;
+    std::vector<uint32_t> pcToBlock;
+
+    void discoverBlocks();
+};
+
+} // namespace yasim
+
+#endif // YASIM_ISA_PROGRAM_HH

@@ -1,0 +1,77 @@
+#include "isa/program_builder.hh"
+
+#include <limits>
+
+#include "support/logging.hh"
+
+namespace yasim {
+
+namespace {
+constexpr uint64_t unbound = std::numeric_limits<uint64_t>::max();
+} // namespace
+
+ProgramBuilder::ProgramBuilder(std::string name) : name(std::move(name))
+{
+}
+
+Label
+ProgramBuilder::newLabel()
+{
+    labelAddr.push_back(unbound);
+    return Label{static_cast<int>(labelAddr.size()) - 1};
+}
+
+void
+ProgramBuilder::bind(Label label)
+{
+    YASIM_ASSERT(label.id >= 0 &&
+                 static_cast<size_t>(label.id) < labelAddr.size());
+    YASIM_ASSERT(labelAddr[static_cast<size_t>(label.id)] == unbound);
+    labelAddr[static_cast<size_t>(label.id)] = insts.size();
+}
+
+void
+ProgramBuilder::emit3(Opcode op, int rd, int rs1, int rs2)
+{
+    insts.push_back(Instruction{op, rd, rs1, rs2, 0});
+}
+
+void
+ProgramBuilder::emitI(Opcode op, int rd, int rs1, int64_t imm)
+{
+    insts.push_back(Instruction{op, rd, rs1, noReg, imm});
+}
+
+void
+ProgramBuilder::emitMem(Opcode op, int base, int src, int64_t disp)
+{
+    // Stores carry the address base in rs1 and the stored value in rs2.
+    insts.push_back(Instruction{op, noReg, base, src, disp});
+}
+
+void
+ProgramBuilder::emitBranch(Opcode op, int rs1, int rs2, Label target)
+{
+    YASIM_ASSERT(target.id >= 0 &&
+                 static_cast<size_t>(target.id) < labelAddr.size());
+    fixups.emplace_back(insts.size(), target.id);
+    insts.push_back(Instruction{op, noReg, rs1, rs2, 0});
+}
+
+Program
+ProgramBuilder::finish()
+{
+    for (const auto &[pc, label_id] : fixups) {
+        uint64_t addr = labelAddr[static_cast<size_t>(label_id)];
+        if (addr == unbound)
+            fatal("%s: branch at %llu references unbound label %d",
+                  name.c_str(), static_cast<unsigned long long>(pc),
+                  label_id);
+        insts[pc].imm = static_cast<int64_t>(addr);
+    }
+    Program prog(std::move(insts), name);
+    prog.validate();
+    return prog;
+}
+
+} // namespace yasim

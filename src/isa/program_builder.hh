@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Assembler-style builder for yasim programs.
+ *
+ * The workload generators construct their benchmarks through this API:
+ * one method per opcode, forward-referencing labels, and a finish() that
+ * resolves labels and returns a validated Program. Operand conventions:
+ *
+ *  - loads:   ld(rd, base, disp)        rd <- mem[int(base) + disp]
+ *  - stores:  st(base, src, disp)       mem[int(base) + disp] <- src
+ *  - branches compare rs1 with rs2 and jump to an absolute label
+ *  - fcvt moves an *integer* register into the FP file as a double
+ */
+
+#ifndef YASIM_ISA_PROGRAM_BUILDER_HH
+#define YASIM_ISA_PROGRAM_BUILDER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace yasim {
+
+/** A forward-referenceable code label. */
+struct Label
+{
+    int id = -1;
+};
+
+/** Incremental program assembler. */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(std::string name = "program");
+
+    /** Create an unbound label. */
+    Label newLabel();
+
+    /** Bind @p label to the next emitted instruction. */
+    void bind(Label label);
+
+    /** Index the next instruction will occupy. */
+    uint64_t here() const { return insts.size(); }
+
+    // Integer ALU, register forms.
+    void add(int rd, int rs1, int rs2) { emit3(Opcode::Add, rd, rs1, rs2); }
+    void sub(int rd, int rs1, int rs2) { emit3(Opcode::Sub, rd, rs1, rs2); }
+    void and_(int rd, int rs1, int rs2) { emit3(Opcode::And, rd, rs1, rs2); }
+    void or_(int rd, int rs1, int rs2) { emit3(Opcode::Or, rd, rs1, rs2); }
+    void xor_(int rd, int rs1, int rs2) { emit3(Opcode::Xor, rd, rs1, rs2); }
+    void shl(int rd, int rs1, int rs2) { emit3(Opcode::Shl, rd, rs1, rs2); }
+    void shr(int rd, int rs1, int rs2) { emit3(Opcode::Shr, rd, rs1, rs2); }
+    void slt(int rd, int rs1, int rs2) { emit3(Opcode::Slt, rd, rs1, rs2); }
+
+    // Integer ALU, immediate forms.
+    void addi(int rd, int rs1, int64_t imm) { emitI(Opcode::AddI, rd, rs1, imm); }
+    void andi(int rd, int rs1, int64_t imm) { emitI(Opcode::AndI, rd, rs1, imm); }
+    void ori(int rd, int rs1, int64_t imm) { emitI(Opcode::OrI, rd, rs1, imm); }
+    void xori(int rd, int rs1, int64_t imm) { emitI(Opcode::XorI, rd, rs1, imm); }
+    void shli(int rd, int rs1, int64_t imm) { emitI(Opcode::ShlI, rd, rs1, imm); }
+    void shri(int rd, int rs1, int64_t imm) { emitI(Opcode::ShrI, rd, rs1, imm); }
+    void slti(int rd, int rs1, int64_t imm) { emitI(Opcode::SltI, rd, rs1, imm); }
+    void movi(int rd, int64_t imm) { emitI(Opcode::MovI, rd, noReg, imm); }
+
+    // Multiply / divide.
+    void mul(int rd, int rs1, int rs2) { emit3(Opcode::Mul, rd, rs1, rs2); }
+    void div(int rd, int rs1, int rs2) { emit3(Opcode::Div, rd, rs1, rs2); }
+    void rem(int rd, int rs1, int rs2) { emit3(Opcode::Rem, rd, rs1, rs2); }
+
+    // Floating point (register indices name the FP file).
+    void fadd(int rd, int rs1, int rs2) { emit3(Opcode::FAdd, rd, rs1, rs2); }
+    void fsub(int rd, int rs1, int rs2) { emit3(Opcode::FSub, rd, rs1, rs2); }
+    void fmul(int rd, int rs1, int rs2) { emit3(Opcode::FMul, rd, rs1, rs2); }
+    void fdiv(int rd, int rs1, int rs2) { emit3(Opcode::FDiv, rd, rs1, rs2); }
+    void fcvt(int fd, int rs1) { emitI(Opcode::FCvt, fd, rs1, 0); }
+    void fmov(int fd, int fs) { emitI(Opcode::FMov, fd, fs, 0); }
+
+    // Memory.
+    void ld(int rd, int base, int64_t disp) { emitI(Opcode::Ld, rd, base, disp); }
+    void st(int base, int src, int64_t disp) { emitMem(Opcode::St, base, src, disp); }
+    void fld(int fd, int base, int64_t disp) { emitI(Opcode::FLd, fd, base, disp); }
+    void fst(int base, int fsrc, int64_t disp) { emitMem(Opcode::FSt, base, fsrc, disp); }
+
+    // Control.
+    void beq(int rs1, int rs2, Label target) { emitBranch(Opcode::Beq, rs1, rs2, target); }
+    void bne(int rs1, int rs2, Label target) { emitBranch(Opcode::Bne, rs1, rs2, target); }
+    void blt(int rs1, int rs2, Label target) { emitBranch(Opcode::Blt, rs1, rs2, target); }
+    void bge(int rs1, int rs2, Label target) { emitBranch(Opcode::Bge, rs1, rs2, target); }
+    void jmp(Label target) { emitBranch(Opcode::Jmp, noReg, noReg, target); }
+
+    // Misc.
+    void nop() { emitI(Opcode::Nop, noReg, noReg, 0); }
+    void halt() { emitI(Opcode::Halt, noReg, noReg, 0); }
+
+    /** Resolve labels, validate, and hand over the program. */
+    Program finish();
+
+  private:
+    void emit3(Opcode op, int rd, int rs1, int rs2);
+    void emitI(Opcode op, int rd, int rs1, int64_t imm);
+    void emitMem(Opcode op, int base, int src, int64_t disp);
+    void emitBranch(Opcode op, int rs1, int rs2, Label target);
+
+    std::string name;
+    std::vector<Instruction> insts;
+    /** Bound address per label id; UINT64_MAX while unbound. */
+    std::vector<uint64_t> labelAddr;
+    /** (instruction index, label id) pairs awaiting resolution. */
+    std::vector<std::pair<uint64_t, int>> fixups;
+};
+
+} // namespace yasim
+
+#endif // YASIM_ISA_PROGRAM_BUILDER_HH

@@ -1,0 +1,19 @@
+#include "sim/bb_profiler.hh"
+
+namespace yasim {
+
+BbProfiler::BbProfiler(const Program &program)
+    : prog(program),
+      bbefCounts(program.numBlocks(), 0.0),
+      bbvCounts(program.numBlocks(), 0.0)
+{
+}
+
+void
+BbProfiler::clear()
+{
+    bbefCounts.assign(prog.numBlocks(), 0.0);
+    bbvCounts.assign(prog.numBlocks(), 0.0);
+}
+
+} // namespace yasim

@@ -1,0 +1,83 @@
+#include "sim/checkpoint.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace yasim {
+
+Checkpoint
+Checkpoint::capture(const FunctionalSim &sim)
+{
+    Checkpoint cp;
+    cp.pc = sim.curPc;
+    cp.icount = sim.icount;
+    cp.halted = sim.isHalted;
+    cp.intRegs.assign(sim.intRegs, sim.intRegs + numIntRegs);
+    cp.fpRegs.assign(sim.fpRegs, sim.fpRegs + numFpRegs);
+    sim.mem.forEachWord([&](uint64_t addr, int64_t value) {
+        cp.words.emplace_back(addr, value);
+    });
+    return cp;
+}
+
+void
+Checkpoint::restore(FunctionalSim &sim) const
+{
+    sim.curPc = pc;
+    sim.icount = icount;
+    sim.isHalted = halted;
+    std::copy(intRegs.begin(), intRegs.end(), sim.intRegs);
+    std::copy(fpRegs.begin(), fpRegs.end(), sim.fpRegs);
+    sim.mem.clear();
+    for (const auto &[addr, value] : words)
+        sim.mem.write(addr, value);
+}
+
+size_t
+Checkpoint::footprintBytes() const
+{
+    return sizeof(*this) + intRegs.size() * sizeof(int64_t) +
+           fpRegs.size() * sizeof(double) +
+           words.size() * sizeof(words[0]);
+}
+
+uint64_t
+CheckpointLibrary::build(const Program &program,
+                         const std::vector<uint64_t> &positions)
+{
+    checkpoints.clear();
+    FunctionalSim sim(program);
+    for (size_t i = 0; i < positions.size(); ++i) {
+        if (i > 0)
+            YASIM_ASSERT(positions[i] >= positions[i - 1]);
+        if (positions[i] > sim.instsExecuted())
+            sim.fastForward(positions[i] - sim.instsExecuted());
+        checkpoints.push_back(Checkpoint::capture(sim));
+    }
+    return sim.instsExecuted();
+}
+
+const Checkpoint *
+CheckpointLibrary::latestAtOrBefore(uint64_t position) const
+{
+    const Checkpoint *best = nullptr;
+    for (const Checkpoint &cp : checkpoints) {
+        if (cp.instruction() <= position)
+            best = &cp;
+        else
+            break;
+    }
+    return best;
+}
+
+size_t
+CheckpointLibrary::footprintBytes() const
+{
+    size_t total = 0;
+    for (const Checkpoint &cp : checkpoints)
+        total += cp.footprintBytes();
+    return total;
+}
+
+} // namespace yasim

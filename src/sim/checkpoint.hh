@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Architectural checkpoints.
+ *
+ * A checkpoint captures a FunctionalSim's complete architectural state
+ * — program counter, register files, instruction count, and (copy-on-
+ * capture) data memory — so simulation can later resume from that point
+ * without re-executing the prefix. This is the facility whose
+ * generation cost the paper charges to SimPoint and the truncated
+ * techniques: generating checkpoints is one pass over the program, and
+ * every later run on a different machine configuration restores instead
+ * of fast-forwarding.
+ *
+ * Microarchitectural state (caches, predictor) is *not* part of an
+ * architectural checkpoint; techniques must re-warm it, which is why
+ * SimPoint pairs checkpoints with a warm-up policy.
+ */
+
+#ifndef YASIM_SIM_CHECKPOINT_HH
+#define YASIM_SIM_CHECKPOINT_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sim/functional.hh"
+
+namespace yasim {
+
+/** A restorable snapshot of architectural state. */
+class Checkpoint
+{
+  public:
+    /** Capture @p sim's full architectural state. */
+    static Checkpoint capture(const FunctionalSim &sim);
+
+    /**
+     * Restore into @p sim (which must run the same program).
+     * @post sim.instsExecuted() == instruction() and execution
+     *       continues exactly as the original run did.
+     */
+    void restore(FunctionalSim &sim) const;
+
+    /** Dynamic instruction count at capture time. */
+    uint64_t instruction() const { return icount; }
+
+    /** Approximate in-memory footprint in bytes (for cost reports). */
+    size_t footprintBytes() const;
+
+  private:
+    Checkpoint() = default;
+
+    uint64_t pc = 0;
+    uint64_t icount = 0;
+    bool halted = false;
+    std::vector<int64_t> intRegs;
+    std::vector<double> fpRegs;
+    /** Deep copy of every touched memory word (addr -> value). */
+    std::vector<std::pair<uint64_t, int64_t>> words;
+};
+
+/**
+ * An ordered library of checkpoints for one program, built in one
+ * architectural pass and then reused across machine configurations.
+ */
+class CheckpointLibrary
+{
+  public:
+    /**
+     * Build checkpoints at the given dynamic-instruction positions
+     * (must be sorted ascending) by executing @p program once.
+     *
+     * @return instructions executed during generation (the cost).
+     */
+    uint64_t build(const Program &program,
+                   const std::vector<uint64_t> &positions);
+
+    /** Number of checkpoints held. */
+    size_t size() const { return checkpoints.size(); }
+
+    /**
+     * The latest checkpoint at or before @p position, or nullptr when
+     * none qualifies.
+     */
+    const Checkpoint *latestAtOrBefore(uint64_t position) const;
+
+    /** Checkpoint @p idx in position order. */
+    const Checkpoint &at(size_t idx) const { return checkpoints[idx]; }
+
+    /** Total footprint of all checkpoints in bytes. */
+    size_t footprintBytes() const;
+
+  private:
+    std::vector<Checkpoint> checkpoints;
+};
+
+} // namespace yasim
+
+#endif // YASIM_SIM_CHECKPOINT_HH

@@ -1,0 +1,320 @@
+#include "sim/config.hh"
+
+#include "stats/plackett_burman.hh"
+#include "support/logging.hh"
+
+namespace yasim {
+
+namespace {
+
+std::vector<PbFactor>
+buildPbFactors()
+{
+    std::vector<PbFactor> f;
+    auto add = [&](const char *name, auto &&fn) {
+        f.push_back(PbFactor{name, std::forward<decltype(fn)>(fn)});
+    };
+
+    // --- Core widths and queues (8) ---
+    add("fetch width", [](SimConfig &c, bool h) {
+        c.core.fetchWidth = h ? 8 : 2;
+    });
+    add("decode width", [](SimConfig &c, bool h) {
+        c.core.decodeWidth = h ? 8 : 2;
+    });
+    add("issue width", [](SimConfig &c, bool h) {
+        c.core.issueWidth = h ? 8 : 2;
+    });
+    add("commit width", [](SimConfig &c, bool h) {
+        c.core.commitWidth = h ? 8 : 2;
+    });
+    add("fetch queue entries", [](SimConfig &c, bool h) {
+        c.core.fetchQueueEntries = h ? 32 : 4;
+    });
+    add("ROB entries", [](SimConfig &c, bool h) {
+        c.core.robEntries = h ? 256 : 16;
+    });
+    add("LSQ entries", [](SimConfig &c, bool h) {
+        c.core.lsqEntries = h ? 128 : 8;
+    });
+    add("IQ entries", [](SimConfig &c, bool h) {
+        c.core.iqEntries = h ? 128 : 8;
+    });
+
+    // --- Functional units (5) ---
+    add("int ALUs", [](SimConfig &c, bool h) {
+        c.core.intAlus = h ? 8 : 1;
+    });
+    add("int mult/div units", [](SimConfig &c, bool h) {
+        c.core.intMultDivUnits = h ? 8 : 1;
+    });
+    add("FP ALUs", [](SimConfig &c, bool h) {
+        c.core.fpAlus = h ? 8 : 1;
+    });
+    add("FP mult/div units", [](SimConfig &c, bool h) {
+        c.core.fpMultDivUnits = h ? 8 : 1;
+    });
+    add("memory ports", [](SimConfig &c, bool h) {
+        c.core.memPorts = h ? 4 : 1;
+    });
+
+    // --- Instruction latencies (6) ---
+    add("int ALU latency", [](SimConfig &c, bool h) {
+        c.core.intAluLatency = h ? 2 : 1;
+    });
+    add("int multiply latency", [](SimConfig &c, bool h) {
+        c.core.intMulLatency = h ? 10 : 2;
+    });
+    add("int divide latency", [](SimConfig &c, bool h) {
+        c.core.intDivLatency = h ? 40 : 10;
+    });
+    add("FP ALU latency", [](SimConfig &c, bool h) {
+        c.core.fpAluLatency = h ? 5 : 1;
+    });
+    add("FP multiply latency", [](SimConfig &c, bool h) {
+        c.core.fpMulLatency = h ? 8 : 2;
+    });
+    add("FP divide latency", [](SimConfig &c, bool h) {
+        c.core.fpDivLatency = h ? 40 : 8;
+    });
+
+    // --- Pipeline shape (2) ---
+    add("frontend depth", [](SimConfig &c, bool h) {
+        c.core.frontendDepth = h ? 8 : 2;
+    });
+    add("mispredict penalty", [](SimConfig &c, bool h) {
+        c.core.mispredictPenalty = h ? 10 : 1;
+    });
+
+    // --- Branch predictor (5) ---
+    add("BHT entries", [](SimConfig &c, bool h) {
+        c.bp.bhtEntries = h ? 32768 : 512;
+    });
+    add("global history bits", [](SimConfig &c, bool h) {
+        c.bp.globalHistoryBits = h ? 16 : 4;
+    });
+    add("BTB entries", [](SimConfig &c, bool h) {
+        c.bp.btbEntries = h ? 8192 : 256;
+    });
+    add("BTB associativity", [](SimConfig &c, bool h) {
+        c.bp.btbAssoc = h ? 8 : 1;
+    });
+    add("speculative history update", [](SimConfig &c, bool h) {
+        c.bp.speculativeUpdate = h;
+    });
+
+    // --- L1 I-cache (4) ---
+    add("L1 I-cache size", [](SimConfig &c, bool h) {
+        c.mem.l1i.sizeKb = h ? 128 : 8;
+    });
+    add("L1 I-cache associativity", [](SimConfig &c, bool h) {
+        c.mem.l1i.assoc = h ? 8 : 1;
+    });
+    add("L1 I-cache block size", [](SimConfig &c, bool h) {
+        c.mem.l1i.blockBytes = h ? 128 : 16;
+    });
+    add("L1 I-cache latency", [](SimConfig &c, bool h) {
+        c.mem.l1iLatency = h ? 3 : 1;
+    });
+
+    // --- L1 D-cache (4) ---
+    add("L1 D-cache size", [](SimConfig &c, bool h) {
+        c.mem.l1d.sizeKb = h ? 256 : 8;
+    });
+    add("L1 D-cache associativity", [](SimConfig &c, bool h) {
+        c.mem.l1d.assoc = h ? 8 : 1;
+    });
+    add("L1 D-cache block size", [](SimConfig &c, bool h) {
+        c.mem.l1d.blockBytes = h ? 128 : 16;
+    });
+    add("L1 D-cache latency", [](SimConfig &c, bool h) {
+        c.mem.l1dLatency = h ? 4 : 1;
+    });
+
+    // --- L2 cache (4) ---
+    add("L2 cache size", [](SimConfig &c, bool h) {
+        c.mem.l2.sizeKb = h ? 2048 : 128;
+    });
+    add("L2 cache associativity", [](SimConfig &c, bool h) {
+        c.mem.l2.assoc = h ? 8 : 1;
+    });
+    add("L2 cache block size", [](SimConfig &c, bool h) {
+        c.mem.l2.blockBytes = h ? 256 : 64;
+    });
+    add("L2 cache latency", [](SimConfig &c, bool h) {
+        c.mem.l2Latency = h ? 20 : 5;
+    });
+
+    // --- Memory and TLBs (5) ---
+    add("memory latency (first)", [](SimConfig &c, bool h) {
+        c.mem.memLatencyFirst = h ? 400 : 50;
+    });
+    add("memory latency (following)", [](SimConfig &c, bool h) {
+        c.mem.memLatencyNext = h ? 10 : 1;
+    });
+    add("memory bus width", [](SimConfig &c, bool h) {
+        c.mem.memBusBytes = h ? 32 : 4;
+    });
+    add("I-TLB entries", [](SimConfig &c, bool h) {
+        c.mem.itlbEntries = h ? 256 : 16;
+    });
+    add("D-TLB entries", [](SimConfig &c, bool h) {
+        c.mem.dtlbEntries = h ? 256 : 16;
+    });
+
+    if (f.size() != 43)
+        panic("expected 43 PB factors, built %zu", f.size());
+    return f;
+}
+
+} // namespace
+
+const std::vector<PbFactor> &
+pbFactors()
+{
+    static const std::vector<PbFactor> factors = buildPbFactors();
+    return factors;
+}
+
+size_t
+numPbFactors()
+{
+    return pbFactors().size();
+}
+
+SimConfig
+applyPbRow(const std::vector<int> &levels, const std::string &name)
+{
+    const auto &factors = pbFactors();
+    YASIM_ASSERT(levels.size() >= factors.size());
+    SimConfig config;
+    config.name = name;
+    for (size_t j = 0; j < factors.size(); ++j)
+        factors[j].apply(config, levels[j] > 0);
+    return config;
+}
+
+std::vector<SimConfig>
+architecturalConfigs()
+{
+    std::vector<SimConfig> configs;
+
+    { // Config #1: narrow 4-way machine, small predictor, slow memory.
+        SimConfig c;
+        c.name = "config1";
+        c.core.fetchWidth = c.core.decodeWidth = 4;
+        c.core.issueWidth = c.core.commitWidth = 4;
+        c.bp.bhtEntries = 4096;
+        c.core.robEntries = 32;
+        c.core.lsqEntries = 16;
+        c.core.iqEntries = 16;
+        c.core.intAlus = 2;
+        c.core.fpAlus = 2;
+        c.core.intMultDivUnits = 1;
+        c.core.fpMultDivUnits = 1;
+        c.mem.l1d = CacheConfig{32, 2, 64};
+        c.mem.l1i = CacheConfig{32, 2, 64};
+        c.mem.l1dLatency = 1;
+        c.mem.l2 = CacheConfig{256, 4, 128};
+        c.mem.l2Latency = 8;
+        c.mem.memLatencyFirst = 150;
+        c.mem.memLatencyNext = 10;
+        configs.push_back(c);
+    }
+    { // Config #2: 4-way, larger structures, 200/5 memory.
+        SimConfig c;
+        c.name = "config2";
+        c.core.fetchWidth = c.core.decodeWidth = 4;
+        c.core.issueWidth = c.core.commitWidth = 4;
+        c.bp.bhtEntries = 8192;
+        c.core.robEntries = 64;
+        c.core.lsqEntries = 32;
+        c.core.iqEntries = 32;
+        c.core.intAlus = 4;
+        c.core.fpAlus = 4;
+        c.core.intMultDivUnits = 4;
+        c.core.fpMultDivUnits = 4;
+        c.mem.l1d = CacheConfig{64, 4, 64};
+        c.mem.l1i = CacheConfig{64, 4, 64};
+        c.mem.l1dLatency = 1;
+        c.mem.l2 = CacheConfig{512, 8, 128};
+        c.mem.l2Latency = 8;
+        c.mem.memLatencyFirst = 200;
+        c.mem.memLatencyNext = 5;
+        configs.push_back(c);
+    }
+    { // Config #3: 8-way, 128-entry ROB, big L2.
+        SimConfig c;
+        c.name = "config3";
+        c.core.fetchWidth = c.core.decodeWidth = 8;
+        c.core.issueWidth = c.core.commitWidth = 8;
+        c.bp.bhtEntries = 16384;
+        c.core.robEntries = 128;
+        c.core.lsqEntries = 64;
+        c.core.iqEntries = 64;
+        c.core.intAlus = 6;
+        c.core.fpAlus = 6;
+        c.core.intMultDivUnits = 4;
+        c.core.fpMultDivUnits = 4;
+        c.mem.l1d = CacheConfig{128, 2, 64};
+        c.mem.l1i = CacheConfig{128, 2, 64};
+        c.mem.l1dLatency = 1;
+        c.mem.l2 = CacheConfig{1024, 4, 128};
+        c.mem.l2Latency = 12;
+        c.mem.memLatencyFirst = 300;
+        c.mem.memLatencyNext = 5;
+        configs.push_back(c);
+    }
+    { // Config #4: aggressive 8-way machine, 350/5 memory.
+        SimConfig c;
+        c.name = "config4";
+        c.core.fetchWidth = c.core.decodeWidth = 8;
+        c.core.issueWidth = c.core.commitWidth = 8;
+        c.bp.bhtEntries = 32768;
+        c.core.robEntries = 256;
+        c.core.lsqEntries = 128;
+        c.core.iqEntries = 128;
+        c.core.intAlus = 8;
+        c.core.fpAlus = 8;
+        c.core.intMultDivUnits = 8;
+        c.core.fpMultDivUnits = 8;
+        c.mem.l1d = CacheConfig{256, 4, 64};
+        c.mem.l1i = CacheConfig{256, 4, 64};
+        c.mem.l1dLatency = 1;
+        c.mem.l2 = CacheConfig{2048, 8, 128};
+        c.mem.l2Latency = 12;
+        c.mem.memLatencyFirst = 350;
+        c.mem.memLatencyNext = 5;
+        configs.push_back(c);
+    }
+    return configs;
+}
+
+SimConfig
+architecturalConfig(int index)
+{
+    auto configs = architecturalConfigs();
+    if (index < 1 || static_cast<size_t>(index) > configs.size())
+        fatal("architectural config index %d out of range 1..4", index);
+    return configs[static_cast<size_t>(index - 1)];
+}
+
+std::vector<SimConfig>
+envelopeConfigs()
+{
+    std::vector<SimConfig> configs;
+    PbDesign design = PbDesign::forFactors(numPbFactors(),
+                                           /*foldover=*/false);
+    for (size_t run = 0; run < design.numRuns(); ++run) {
+        std::vector<int> levels(design.numFactors());
+        for (size_t j = 0; j < design.numFactors(); ++j)
+            levels[j] = design.level(run, j);
+        configs.push_back(
+            applyPbRow(levels, "corner" + std::to_string(run)));
+    }
+    for (auto &c : architecturalConfigs())
+        configs.push_back(std::move(c));
+    return configs;
+}
+
+} // namespace yasim

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Functional (architectural) simulator.
+ *
+ * Executes programs at architectural level only; the cycle-level core is
+ * trace-driven from the ExecRecord stream this simulator produces. Three
+ * execution modes cover every technique in the paper:
+ *
+ *  - step():            full record production, feeds detailed simulation
+ *  - fastForward():     architectural state only (FF X in the truncated
+ *                       techniques; skipped portions of SimPoint)
+ *  - fastForwardWarm(): architectural state plus functional warming of the
+ *                       caches and branch predictor (SMARTS)
+ */
+
+#ifndef YASIM_SIM_FUNCTIONAL_HH
+#define YASIM_SIM_FUNCTIONAL_HH
+
+#include <cstdint>
+
+#include "isa/program.hh"
+#include "sim/memory.hh"
+#include "uarch/branch_predictor.hh"
+#include "uarch/memory_hierarchy.hh"
+
+namespace yasim {
+
+/** Everything the timing model needs about one dynamic instruction. */
+struct ExecRecord
+{
+    /** Static instruction (owned by the Program). */
+    const Instruction *inst = nullptr;
+    /** Instruction index of this dynamic instance. */
+    uint64_t pc = 0;
+    /** Instruction index executed next (branch fall-through or target). */
+    uint64_t nextPc = 0;
+    /** Effective byte address for loads/stores, else 0. */
+    uint64_t memAddr = 0;
+    /** Resolved direction for control instructions. */
+    bool taken = false;
+    /** Operand values make this a trivial computation (TC enhancement). */
+    bool trivial = false;
+};
+
+/** Architectural simulator for one program run. */
+class FunctionalSim
+{
+  public:
+    /**
+     * Begin executing @p program from its entry point with zeroed
+     * state. The program must outlive the simulator (only a reference
+     * is kept); binding a temporary is a compile error.
+     */
+    explicit FunctionalSim(const Program &program);
+    explicit FunctionalSim(Program &&) = delete;
+
+    /** True once a Halt has executed. */
+    bool halted() const { return isHalted; }
+
+    /** Dynamic instructions executed so far (Halt included). */
+    uint64_t instsExecuted() const { return icount; }
+
+    /** Current instruction index. */
+    uint64_t pc() const { return curPc; }
+
+    /**
+     * Execute one instruction and describe it in @p record.
+     * @return false when the machine was already halted.
+     */
+    bool step(ExecRecord &record);
+
+    /**
+     * Execute up to @p count instructions with no record production.
+     * @return the number actually executed (less than count at Halt).
+     */
+    uint64_t fastForward(uint64_t count);
+
+    /**
+     * Execute up to @p count instructions while functionally warming
+     * @p mem (I and D sides) and @p bp (may each be null).
+     * @return the number actually executed.
+     */
+    uint64_t fastForwardWarm(uint64_t count, MemoryHierarchy *mem,
+                             CombinedPredictor *bp);
+
+    /** Read an integer register (r0 reads zero). */
+    int64_t intReg(int idx) const { return intRegs[idx]; }
+
+    /** Read an FP register. */
+    double fpReg(int idx) const { return fpRegs[idx]; }
+
+    /** The program's data memory. */
+    SparseMemory &memory() { return mem; }
+
+    /** The program being executed. */
+    const Program &program() const { return prog; }
+
+  private:
+    friend class Checkpoint; // captures/restores architectural state
+
+    template <bool MakeRecord, bool Warm>
+    bool stepImpl(ExecRecord *record, MemoryHierarchy *hierarchy,
+                  CombinedPredictor *bp);
+
+    const Program &prog;
+    SparseMemory mem;
+    int64_t intRegs[numIntRegs] = {};
+    double fpRegs[numFpRegs] = {};
+    uint64_t curPc = 0;
+    uint64_t icount = 0;
+    bool isHalted = false;
+};
+
+} // namespace yasim
+
+#endif // YASIM_SIM_FUNCTIONAL_HH

@@ -1,0 +1,58 @@
+#include "sim/memory.hh"
+
+#include <bit>
+
+#include "support/logging.hh"
+
+namespace yasim {
+
+SparseMemory::SparseMemory() = default;
+
+int64_t *
+SparseMemory::wordPtr(uint64_t addr)
+{
+    YASIM_ASSERT((addr & 7) == 0);
+    uint64_t page_id = addr / pageBytes;
+    if (page_id != lastPageId) {
+        auto &slot = pages[page_id];
+        if (!slot)
+            slot = std::make_unique<Page>(wordsPerPage, 0);
+        lastPageId = page_id;
+        lastPage = slot.get();
+    }
+    return &(*lastPage)[(addr % pageBytes) / 8];
+}
+
+int64_t
+SparseMemory::read(uint64_t addr)
+{
+    return *wordPtr(addr);
+}
+
+void
+SparseMemory::write(uint64_t addr, int64_t value)
+{
+    *wordPtr(addr) = value;
+}
+
+double
+SparseMemory::readDouble(uint64_t addr)
+{
+    return std::bit_cast<double>(*wordPtr(addr));
+}
+
+void
+SparseMemory::writeDouble(uint64_t addr, double value)
+{
+    *wordPtr(addr) = std::bit_cast<int64_t>(value);
+}
+
+void
+SparseMemory::clear()
+{
+    pages.clear();
+    lastPageId = ~0ULL;
+    lastPage = nullptr;
+}
+
+} // namespace yasim

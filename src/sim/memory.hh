@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Sparse paged data memory for the functional simulator.
+ *
+ * Workloads address tens of megabytes out of a large virtual space, so
+ * backing storage is allocated in 64 KB pages on first touch. All values
+ * are 64-bit words at 8-byte-aligned addresses; doubles are stored
+ * bit-cast. Reads of untouched memory return zero, matching a
+ * zero-initialized heap.
+ */
+
+#ifndef YASIM_SIM_MEMORY_HH
+#define YASIM_SIM_MEMORY_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace yasim {
+
+/** Base virtual address workloads use for heap data. */
+constexpr uint64_t heapBase = 0x20000000;
+
+/** Sparse 64-bit-word memory. */
+class SparseMemory
+{
+  public:
+    SparseMemory();
+
+    /** Read the word at @p addr (8-byte aligned). */
+    int64_t read(uint64_t addr);
+
+    /** Write the word at @p addr (8-byte aligned). */
+    void write(uint64_t addr, int64_t value);
+
+    /** Read a double (bit-cast of the stored word). */
+    double readDouble(uint64_t addr);
+
+    /** Write a double (stored bit-cast). */
+    void writeDouble(uint64_t addr, double value);
+
+    /** Number of distinct pages touched so far. */
+    size_t pagesTouched() const { return pages.size(); }
+
+    /** Drop all contents (fresh zeroed memory). */
+    void clear();
+
+    /**
+     * Invoke @p fn(addr, value) for every *non-zero* word currently
+     * stored (zero words are indistinguishable from untouched memory).
+     * Iteration order is unspecified. Used by checkpointing.
+     */
+    template <typename Fn>
+    void
+    forEachWord(Fn &&fn) const
+    {
+        for (const auto &[page_id, page] : pages) {
+            if (!page)
+                continue;
+            uint64_t base = page_id * pageBytes;
+            for (uint64_t i = 0; i < wordsPerPage; ++i) {
+                if ((*page)[i] != 0)
+                    fn(base + i * 8, (*page)[i]);
+            }
+        }
+    }
+
+  private:
+    static constexpr uint64_t pageBytes = 1ULL << 16;
+    static constexpr uint64_t wordsPerPage = pageBytes / 8;
+
+    using Page = std::vector<int64_t>;
+
+    int64_t *wordPtr(uint64_t addr);
+
+    std::unordered_map<uint64_t, std::unique_ptr<Page>> pages;
+    /** One-entry translation cache: most accesses stay on one page. */
+    uint64_t lastPageId = ~0ULL;
+    Page *lastPage = nullptr;
+};
+
+} // namespace yasim
+
+#endif // YASIM_SIM_MEMORY_HH

@@ -1,0 +1,104 @@
+#include "sim/stats.hh"
+
+namespace yasim {
+
+namespace {
+
+double
+ratio(uint64_t num, uint64_t den, double if_empty)
+{
+    if (den == 0)
+        return if_empty;
+    return static_cast<double>(num) / static_cast<double>(den);
+}
+
+} // namespace
+
+double
+SimStats::cpi() const
+{
+    return ratio(cycles, instructions, 0.0);
+}
+
+double
+SimStats::ipc() const
+{
+    return ratio(instructions, cycles, 0.0);
+}
+
+double
+SimStats::branchAccuracy() const
+{
+    return 1.0 - ratio(condMispredicts, condBranches, 0.0);
+}
+
+double
+SimStats::l1iHitRate() const
+{
+    return 1.0 - ratio(l1iMisses, l1iAccesses, 0.0);
+}
+
+double
+SimStats::l1dHitRate() const
+{
+    return 1.0 - ratio(l1dMisses, l1dAccesses, 0.0);
+}
+
+double
+SimStats::l2HitRate() const
+{
+    return 1.0 - ratio(l2Misses, l2Accesses, 0.0);
+}
+
+double
+SimStats::memStallFraction() const
+{
+    return ratio(memStallCycles, cycles, 0.0);
+}
+
+std::vector<double>
+SimStats::metricVector() const
+{
+    return {ipc(), branchAccuracy(), l1dHitRate(), l2HitRate()};
+}
+
+SimStats
+SimStats::operator-(const SimStats &earlier) const
+{
+    SimStats d;
+    d.instructions = instructions - earlier.instructions;
+    d.cycles = cycles - earlier.cycles;
+    d.condBranches = condBranches - earlier.condBranches;
+    d.condMispredicts = condMispredicts - earlier.condMispredicts;
+    d.l1iAccesses = l1iAccesses - earlier.l1iAccesses;
+    d.l1iMisses = l1iMisses - earlier.l1iMisses;
+    d.l1dAccesses = l1dAccesses - earlier.l1dAccesses;
+    d.l1dMisses = l1dMisses - earlier.l1dMisses;
+    d.l2Accesses = l2Accesses - earlier.l2Accesses;
+    d.l2Misses = l2Misses - earlier.l2Misses;
+    d.trivialOps = trivialOps - earlier.trivialOps;
+    d.prefetchesIssued = prefetchesIssued - earlier.prefetchesIssued;
+    d.memStallCycles = memStallCycles - earlier.memStallCycles;
+    return d;
+}
+
+SimStats &
+SimStats::operator+=(const SimStats &other)
+{
+    instructions += other.instructions;
+    cycles += other.cycles;
+    condBranches += other.condBranches;
+    condMispredicts += other.condMispredicts;
+    l1iAccesses += other.l1iAccesses;
+    l1iMisses += other.l1iMisses;
+    l1dAccesses += other.l1dAccesses;
+    l1dMisses += other.l1dMisses;
+    l2Accesses += other.l2Accesses;
+    l2Misses += other.l2Misses;
+    trivialOps += other.trivialOps;
+    prefetchesIssued += other.prefetchesIssued;
+    memStallCycles += other.memStallCycles;
+    return *this;
+}
+
+} // namespace yasim

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Aggregated simulation statistics.
+ *
+ * A SimStats is a value-type snapshot of everything the characterizations
+ * consume: cycle and instruction counts (CPI/IPC), branch-predictor
+ * accuracy, and cache hit rates. Snapshots subtract, so sampling
+ * techniques measure a region as snapshot(end) - snapshot(begin).
+ */
+
+#ifndef YASIM_SIM_STATS_HH
+#define YASIM_SIM_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace yasim {
+
+/** Value-type statistics snapshot. */
+struct SimStats
+{
+    uint64_t instructions = 0;
+    uint64_t cycles = 0;
+
+    uint64_t condBranches = 0;
+    uint64_t condMispredicts = 0;
+
+    uint64_t l1iAccesses = 0;
+    uint64_t l1iMisses = 0;
+    uint64_t l1dAccesses = 0;
+    uint64_t l1dMisses = 0;
+    uint64_t l2Accesses = 0;
+    uint64_t l2Misses = 0;
+
+    uint64_t trivialOps = 0;
+    uint64_t prefetchesIssued = 0;
+
+    /**
+     * Commit-stall cycles attributed to loads that missed the L1
+     * (bounded by each load's extra memory latency). The paper's
+     * "percentage of cycles due to cache misses serviced by main
+     * memory" — the statistic behind the mcf reduced-input finding.
+     */
+    uint64_t memStallCycles = 0;
+
+    /** Cycles per instruction. */
+    double cpi() const;
+    /** Instructions per cycle. */
+    double ipc() const;
+    /** Conditional branch direction accuracy in [0, 1]. */
+    double branchAccuracy() const;
+    double l1iHitRate() const;
+    double l1dHitRate() const;
+    double l2HitRate() const;
+    /** Fraction of all cycles stalled on post-L1 memory latency. */
+    double memStallFraction() const;
+
+    /**
+     * The architecture-level characterization vector in the paper's
+     * order: {IPC, branch prediction accuracy, L1-D hit rate, L2 hit
+     * rate}.
+     */
+    std::vector<double> metricVector() const;
+
+    /** Region statistics: end-snapshot minus begin-snapshot. */
+    SimStats operator-(const SimStats &earlier) const;
+    SimStats &operator+=(const SimStats &other);
+};
+
+} // namespace yasim
+
+#endif // YASIM_SIM_STATS_HH

@@ -1,0 +1,50 @@
+#include "sim/trivial.hh"
+
+namespace yasim {
+
+bool
+isTrivialInt(Opcode op, int64_t a, int64_t b)
+{
+    switch (op) {
+      case Opcode::Add:
+        return a == 0 || b == 0;
+      case Opcode::Sub:
+        return b == 0 || a == b;
+      case Opcode::Mul:
+        return a == 0 || b == 0 || a == 1 || b == 1;
+      case Opcode::Div:
+        return b == 1 || a == 0 || a == b;
+      case Opcode::Rem:
+        return b == 1 || a == 0 || a == b;
+      case Opcode::And:
+        return a == 0 || b == 0 || a == -1 || b == -1 || a == b;
+      case Opcode::Or:
+        return a == 0 || b == 0 || a == -1 || b == -1 || a == b;
+      case Opcode::Xor:
+        return a == 0 || b == 0 || a == b;
+      case Opcode::Shl:
+      case Opcode::Shr:
+        return b == 0 || a == 0;
+      default:
+        return false;
+    }
+}
+
+bool
+isTrivialFp(Opcode op, double a, double b)
+{
+    switch (op) {
+      case Opcode::FAdd:
+        return a == 0.0 || b == 0.0;
+      case Opcode::FSub:
+        return b == 0.0 || a == b;
+      case Opcode::FMul:
+        return a == 0.0 || b == 0.0 || a == 1.0 || b == 1.0;
+      case Opcode::FDiv:
+        return b == 1.0 || a == 0.0 || (a == b && b != 0.0);
+      default:
+        return false;
+    }
+}
+
+} // namespace yasim

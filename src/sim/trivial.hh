@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Trivial-computation detection for the TC enhancement [Yi02].
+ *
+ * A computation is trivial when its result is determined by one operand
+ * alone (x + 0, x * 1, x / x, x ^ x, ...). The enhancement simplifies or
+ * eliminates such operations at execute time: a detected-trivial
+ * instruction bypasses its normal functional unit and completes with
+ * single-cycle latency, which mainly rescues long-latency multiplies and
+ * divides. Detection needs operand *values*, so it lives on the
+ * functional path and is recorded per dynamic instruction.
+ */
+
+#ifndef YASIM_SIM_TRIVIAL_HH
+#define YASIM_SIM_TRIVIAL_HH
+
+#include <cstdint>
+
+#include "isa/instruction.hh"
+
+namespace yasim {
+
+/** Integer-operation trivial test given both operand values. */
+bool isTrivialInt(Opcode op, int64_t a, int64_t b);
+
+/** FP-operation trivial test given both operand values. */
+bool isTrivialFp(Opcode op, double a, double b);
+
+} // namespace yasim
+
+#endif // YASIM_SIM_TRIVIAL_HH

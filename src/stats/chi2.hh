@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Chi-squared goodness-of-fit machinery for the execution-profile
+ * characterization.
+ *
+ * The paper compares the basic-block execution-frequency (BBEF) and
+ * basic-block-vector (BBV) distributions of each technique against the
+ * reference input set with a chi-squared test: the test value doubles as a
+ * distance measure, and the technique is "statistically similar" when the
+ * test value falls below the chi-squared critical value for the profile's
+ * degrees of freedom.
+ */
+
+#ifndef YASIM_STATS_CHI2_HH
+#define YASIM_STATS_CHI2_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace yasim {
+
+/** Regularized lower incomplete gamma P(a, x). @pre a > 0, x >= 0 */
+double regularizedGammaP(double a, double x);
+
+/** Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x). */
+double regularizedGammaQ(double a, double x);
+
+/** Chi-squared CDF with @p dof degrees of freedom evaluated at @p x. */
+double chiSquaredCdf(double x, double dof);
+
+/**
+ * Chi-squared critical value: the x such that CDF(x; dof) = confidence.
+ * E.g. chiSquaredCritical(3, 0.95) ~= 7.815.
+ */
+double chiSquaredCritical(double dof, double confidence);
+
+/** Outcome of a chi-squared comparison of two count distributions. */
+struct Chi2Result
+{
+    /** The chi-squared test statistic (distance measure). */
+    double statistic = 0.0;
+    /** Degrees of freedom (number of compared cells - 1). */
+    double dof = 0.0;
+    /** Critical value at the confidence level used. */
+    double critical = 0.0;
+    /** True when statistic < critical (statistically similar). */
+    bool similar = false;
+};
+
+/**
+ * Compare an observed count distribution against a reference one.
+ *
+ * The observed counts are scaled so both distributions have the same total
+ * mass; cells where the expected (reference) count is zero contribute the
+ * observed mass directly (a standard guard). Cells where both are zero are
+ * skipped and do not contribute degrees of freedom.
+ *
+ * With @p normalized_total > 0 both distributions are first rescaled to
+ * that total mass, making the statistic scale-free (a chi-squared test
+ * on proportions at an effective sample size, the [Lilja00] style) —
+ * raw dynamic-instruction counts otherwise make any nonzero shape
+ * difference "significant" at scaled budgets.
+ *
+ * @param observed  per-cell counts for the technique under test
+ * @param expected  per-cell counts for the reference input set
+ * @param confidence confidence level for the critical value (default 0.95)
+ * @param normalized_total rescale both distributions to this mass
+ *                         (0 keeps raw counts)
+ */
+Chi2Result chiSquaredCompare(const std::vector<double> &observed,
+                             const std::vector<double> &expected,
+                             double confidence = 0.95,
+                             double normalized_total = 0.0);
+
+} // namespace yasim
+
+#endif // YASIM_STATS_CHI2_HH

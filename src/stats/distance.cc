@@ -1,0 +1,85 @@
+#include "stats/distance.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/logging.hh"
+
+namespace yasim {
+
+double
+euclideanDistance(const std::vector<double> &a, const std::vector<double> &b)
+{
+    YASIM_ASSERT(a.size() == b.size());
+    double acc = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        acc += (a[i] - b[i]) * (a[i] - b[i]);
+    return std::sqrt(acc);
+}
+
+double
+manhattanDistance(const std::vector<double> &a, const std::vector<double> &b)
+{
+    YASIM_ASSERT(a.size() == b.size());
+    double acc = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        acc += std::fabs(a[i] - b[i]);
+    return acc;
+}
+
+std::vector<int>
+rankByMagnitude(const std::vector<double> &effects)
+{
+    std::vector<size_t> order(effects.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](size_t i, size_t j) {
+        return std::fabs(effects[i]) > std::fabs(effects[j]);
+    });
+    std::vector<int> ranks(effects.size());
+    for (size_t pos = 0; pos < order.size(); ++pos)
+        ranks[order[pos]] = static_cast<int>(pos) + 1;
+    return ranks;
+}
+
+double
+maxRankDistance(size_t n)
+{
+    // Completely out-of-phase vectors <1..n> vs <n..1>: coordinate i
+    // differs by |n + 1 - 2i|.
+    double acc = 0.0;
+    for (size_t i = 1; i <= n; ++i) {
+        double d = static_cast<double>(n) + 1.0 - 2.0 * static_cast<double>(i);
+        acc += d * d;
+    }
+    return std::sqrt(acc);
+}
+
+double
+normalizedRankDistance(const std::vector<int> &a, const std::vector<int> &b)
+{
+    YASIM_ASSERT(a.size() == b.size());
+    YASIM_ASSERT(!a.empty());
+    double acc = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        double d = static_cast<double>(a[i] - b[i]);
+        acc += d * d;
+    }
+    return 100.0 * std::sqrt(acc) / maxRankDistance(a.size());
+}
+
+std::vector<double>
+normalizeBy(const std::vector<double> &v, const std::vector<double> &reference)
+{
+    YASIM_ASSERT(v.size() == reference.size());
+    std::vector<double> out(v.size());
+    for (size_t i = 0; i < v.size(); ++i) {
+        if (reference[i] == 0.0)
+            out[i] = (v[i] == 0.0) ? 1.0 : 1e9;
+        else
+            out[i] = v[i] / reference[i];
+    }
+    return out;
+}
+
+} // namespace yasim

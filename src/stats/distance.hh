@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Vector distances and normalizations used by the characterizations.
+ *
+ * The processor-bottleneck characterization compares *rank vectors* by
+ * Euclidean distance (normalized against the maximum possible rank-vector
+ * distance); the architecture-level characterization compares metric vectors
+ * normalized per metric; the speed-vs-accuracy analysis uses the Manhattan
+ * distance of CPI vectors, exactly as in the paper.
+ */
+
+#ifndef YASIM_STATS_DISTANCE_HH
+#define YASIM_STATS_DISTANCE_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace yasim {
+
+/** Euclidean (L2) distance. @pre a.size() == b.size() */
+double euclideanDistance(const std::vector<double> &a,
+                         const std::vector<double> &b);
+
+/** Manhattan (L1) distance. @pre a.size() == b.size() */
+double manhattanDistance(const std::vector<double> &a,
+                         const std::vector<double> &b);
+
+/**
+ * Rank the magnitudes of @p effects: the element with the largest
+ * |effect| gets rank 1, the next rank 2, and so on. Ties are broken by
+ * index for determinism.
+ */
+std::vector<int> rankByMagnitude(const std::vector<double> &effects);
+
+/**
+ * Largest possible Euclidean distance between two permutations of
+ * ranks 1..n (completely out-of-phase rank vectors). For n = 43 this is
+ * the paper's normalization constant (~153.9).
+ */
+double maxRankDistance(size_t n);
+
+/**
+ * Euclidean distance between two rank vectors, normalized to the maximum
+ * possible distance and scaled to 100 (the Figure-1 y axis).
+ */
+double normalizedRankDistance(const std::vector<int> &a,
+                              const std::vector<int> &b);
+
+/**
+ * Normalize each coordinate of @p v by the matching coordinate of
+ * @p reference (v[i]/ref[i]), enabling cross-metric comparison. Reference
+ * coordinates equal to zero map to 1.0 when the values agree and 0/are
+ * flagged otherwise via a large sentinel ratio.
+ */
+std::vector<double> normalizeBy(const std::vector<double> &v,
+                                const std::vector<double> &reference);
+
+} // namespace yasim
+
+#endif // YASIM_STATS_DISTANCE_HH

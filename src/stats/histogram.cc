@@ -1,0 +1,67 @@
+#include "stats/histogram.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+#include "support/table.hh"
+
+namespace yasim {
+
+Histogram::Histogram(double lo, double bin_width, size_t num_bins)
+    : lo(lo), width(bin_width), bins(num_bins + 1, 0)
+{
+    YASIM_ASSERT(bin_width > 0.0);
+    YASIM_ASSERT(num_bins >= 1);
+}
+
+void
+Histogram::add(double value)
+{
+    ++count;
+    if (value < lo) {
+        ++bins[0];
+        return;
+    }
+    auto idx = static_cast<size_t>((value - lo) / width);
+    if (idx >= numBins()) {
+        ++bins.back();
+        return;
+    }
+    ++bins[idx];
+}
+
+uint64_t
+Histogram::binCount(size_t i) const
+{
+    YASIM_ASSERT(i < numBins());
+    return bins[i];
+}
+
+double
+Histogram::fraction(size_t i) const
+{
+    YASIM_ASSERT(i < bins.size());
+    if (count == 0)
+        return 0.0;
+    return static_cast<double>(bins[i]) / static_cast<double>(count);
+}
+
+std::string
+Histogram::label(size_t i, bool as_percent) const
+{
+    YASIM_ASSERT(i < bins.size());
+    auto fmt = [&](double v) {
+        double scaled = as_percent ? v * 100.0 : v;
+        // Whole-number bounds print without decimals, like the paper.
+        if (std::fabs(scaled - std::round(scaled)) < 1e-9)
+            return Table::num(scaled, 0) + (as_percent ? "%" : "");
+        return Table::num(scaled, 1) + (as_percent ? "%" : "");
+    };
+    if (i == numBins())
+        return "> " + fmt(lo + width * static_cast<double>(numBins()));
+    double a = lo + width * static_cast<double>(i);
+    double b = a + width;
+    return fmt(a) + " to " + fmt(b);
+}
+
+} // namespace yasim

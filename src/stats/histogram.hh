@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fixed-bin histogram for the configuration-dependence analysis.
+ *
+ * Figure 5 of the paper buckets the absolute CPI error of every simulated
+ * configuration into 3%-wide bins from 0% to 30% plus an overflow bin;
+ * this class generalizes that to arbitrary uniform binning with overflow.
+ */
+
+#ifndef YASIM_STATS_HISTOGRAM_HH
+#define YASIM_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace yasim {
+
+/** Uniform-width histogram over [lo, hi) with an overflow bin. */
+class Histogram
+{
+  public:
+    /**
+     * @param lo        lower bound of the first bin
+     * @param bin_width width of each bin
+     * @param num_bins  number of regular bins (overflow bin is extra)
+     */
+    Histogram(double lo, double bin_width, size_t num_bins);
+
+    /** Record one sample. Values below lo clamp into the first bin. */
+    void add(double value);
+
+    /** Total number of samples recorded. */
+    uint64_t total() const { return count; }
+
+    /** Raw count in regular bin @p i (i < numBins()). */
+    uint64_t binCount(size_t i) const;
+
+    /** Count in the overflow bin (value >= lo + width * num_bins). */
+    uint64_t overflowCount() const { return bins.back(); }
+
+    /** Fraction of samples in bin @p i; index numBins() = overflow. */
+    double fraction(size_t i) const;
+
+    /** Number of regular bins. */
+    size_t numBins() const { return bins.size() - 1; }
+
+    /** Human-readable label for bin @p i, e.g. "3% to 6%" or "> 30%". */
+    std::string label(size_t i, bool as_percent = true) const;
+
+  private:
+    double lo;
+    double width;
+    /** Regular bins followed by one overflow bin. */
+    std::vector<uint64_t> bins;
+    uint64_t count = 0;
+};
+
+} // namespace yasim
+
+#endif // YASIM_STATS_HISTOGRAM_HH

@@ -1,0 +1,234 @@
+#include "stats/kmeans.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/logging.hh"
+
+namespace yasim {
+
+namespace {
+
+double
+squaredDistance(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double acc = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        acc += (a[i] - b[i]) * (a[i] - b[i]);
+    return acc;
+}
+
+/** k-means++ seeding: spread initial centroids by D^2 sampling. */
+std::vector<std::vector<double>>
+seedCentroids(const std::vector<std::vector<double>> &points, int k, Rng &rng)
+{
+    std::vector<std::vector<double>> centroids;
+    centroids.reserve(static_cast<size_t>(k));
+    centroids.push_back(points[rng.nextBelow(points.size())]);
+    std::vector<double> d2(points.size());
+    while (centroids.size() < static_cast<size_t>(k)) {
+        double total = 0.0;
+        for (size_t i = 0; i < points.size(); ++i) {
+            double best = std::numeric_limits<double>::max();
+            for (const auto &c : centroids)
+                best = std::min(best, squaredDistance(points[i], c));
+            d2[i] = best;
+            total += best;
+        }
+        if (total == 0.0) {
+            // All points coincide with existing centroids; duplicate one.
+            centroids.push_back(points[rng.nextBelow(points.size())]);
+            continue;
+        }
+        double target = rng.nextDouble() * total;
+        size_t pick = points.size() - 1;
+        double acc = 0.0;
+        for (size_t i = 0; i < points.size(); ++i) {
+            acc += d2[i];
+            if (acc >= target) {
+                pick = i;
+                break;
+            }
+        }
+        centroids.push_back(points[pick]);
+    }
+    return centroids;
+}
+
+} // namespace
+
+KmeansResult
+kmeans(const std::vector<std::vector<double>> &points, int k, Rng &rng,
+       int max_iters)
+{
+    YASIM_ASSERT(!points.empty());
+    YASIM_ASSERT(k >= 1);
+    k = std::min<int>(k, static_cast<int>(points.size()));
+    const size_t dim = points[0].size();
+
+    KmeansResult result;
+    result.centroids = seedCentroids(points, k, rng);
+    result.assignment.assign(points.size(), 0);
+
+    for (int iter = 0; iter < max_iters; ++iter) {
+        bool changed = false;
+        for (size_t i = 0; i < points.size(); ++i) {
+            int best = 0;
+            double best_d = std::numeric_limits<double>::max();
+            for (int c = 0; c < k; ++c) {
+                double d = squaredDistance(points[i], result.centroids[c]);
+                if (d < best_d) {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if (result.assignment[i] != best) {
+                result.assignment[i] = best;
+                changed = true;
+            }
+        }
+        // Recompute centroids.
+        std::vector<std::vector<double>> sums(
+            static_cast<size_t>(k), std::vector<double>(dim, 0.0));
+        std::vector<size_t> counts(static_cast<size_t>(k), 0);
+        for (size_t i = 0; i < points.size(); ++i) {
+            auto c = static_cast<size_t>(result.assignment[i]);
+            ++counts[c];
+            for (size_t d = 0; d < dim; ++d)
+                sums[c][d] += points[i][d];
+        }
+        for (int c = 0; c < k; ++c) {
+            auto cc = static_cast<size_t>(c);
+            if (counts[cc] == 0)
+                continue; // keep the stale centroid; cluster stays empty
+            for (size_t d = 0; d < dim; ++d)
+                result.centroids[cc][d] =
+                    sums[cc][d] / static_cast<double>(counts[cc]);
+        }
+        if (!changed && iter > 0)
+            break;
+    }
+
+    result.distortion = 0.0;
+    std::vector<bool> used(static_cast<size_t>(k), false);
+    for (size_t i = 0; i < points.size(); ++i) {
+        auto c = static_cast<size_t>(result.assignment[i]);
+        used[c] = true;
+        result.distortion +=
+            squaredDistance(points[i], result.centroids[c]);
+    }
+    result.numClusters =
+        static_cast<int>(std::count(used.begin(), used.end(), true));
+    return result;
+}
+
+KmeansResult
+kmeansRestarts(const std::vector<std::vector<double>> &points, int k,
+               Rng &rng, int restarts, int max_iters)
+{
+    YASIM_ASSERT(restarts >= 1);
+    KmeansResult best = kmeans(points, k, rng, max_iters);
+    for (int r = 1; r < restarts; ++r) {
+        KmeansResult candidate = kmeans(points, k, rng, max_iters);
+        if (candidate.distortion < best.distortion)
+            best = std::move(candidate);
+    }
+    return best;
+}
+
+double
+bicScore(const std::vector<std::vector<double>> &points,
+         const KmeansResult &clustering)
+{
+    const double r = static_cast<double>(points.size());
+    const double m = static_cast<double>(points[0].size());
+    const double k = static_cast<double>(clustering.centroids.size());
+    if (r <= k) // degenerate: every point its own cluster
+        return -std::numeric_limits<double>::max();
+
+    // Maximum-likelihood variance of the identical spherical model.
+    double variance = clustering.distortion / (m * (r - k));
+    variance = std::max(variance, 1e-12);
+
+    std::vector<size_t> counts(clustering.centroids.size(), 0);
+    for (int a : clustering.assignment)
+        ++counts[static_cast<size_t>(a)];
+
+    double loglik = 0.0;
+    for (size_t c = 0; c < counts.size(); ++c) {
+        double rn = static_cast<double>(counts[c]);
+        if (rn == 0.0)
+            continue;
+        loglik += rn * std::log(rn / r);
+    }
+    loglik -= r * m / 2.0 * std::log(2.0 * M_PI * variance);
+    loglik -= m * (r - k) / 2.0;
+
+    double num_params = k * (m + 1.0);
+    return loglik - num_params / 2.0 * std::log(r);
+}
+
+namespace {
+
+KSelection
+selectFromCandidates(const std::vector<std::vector<double>> &points,
+                     const std::vector<int> &candidates, Rng &rng,
+                     double threshold, int restarts)
+{
+    KSelection sel;
+    std::vector<KmeansResult> runs;
+    runs.reserve(candidates.size());
+    for (int k : candidates) {
+        runs.push_back(kmeansRestarts(points, k, rng, restarts));
+        sel.scores.push_back(bicScore(points, runs.back()));
+    }
+    double best = *std::max_element(sel.scores.begin(), sel.scores.end());
+    double worst = *std::min_element(sel.scores.begin(), sel.scores.end());
+    double cut = worst + threshold * (best - worst);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+        if (sel.scores[i] >= cut) {
+            sel.k = candidates[i];
+            sel.best = std::move(runs[i]);
+            return sel;
+        }
+    }
+    sel.k = candidates.back();
+    sel.best = std::move(runs.back());
+    return sel;
+}
+
+} // namespace
+
+KSelection
+selectK(const std::vector<std::vector<double>> &points, int max_k, Rng &rng,
+        double threshold, int restarts)
+{
+    YASIM_ASSERT(max_k >= 1);
+    max_k = std::min<int>(max_k, static_cast<int>(points.size()));
+    std::vector<int> candidates;
+    for (int k = 1; k <= max_k; ++k)
+        candidates.push_back(k);
+    return selectFromCandidates(points, candidates, rng, threshold,
+                                restarts);
+}
+
+KSelection
+selectKLadder(const std::vector<std::vector<double>> &points, int max_k,
+              Rng &rng, double threshold, int restarts)
+{
+    YASIM_ASSERT(max_k >= 1);
+    max_k = std::min<int>(max_k, static_cast<int>(points.size()));
+    std::vector<int> candidates;
+    int k = 1;
+    while (k < max_k) {
+        candidates.push_back(k);
+        int next = std::max(k + 1, k + k / 4);
+        k = next;
+    }
+    candidates.push_back(max_k);
+    return selectFromCandidates(points, candidates, rng, threshold,
+                                restarts);
+}
+
+} // namespace yasim

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * K-means clustering with k-means++ seeding and a BIC model-selection
+ * score, the statistical core of the SimPoint technique.
+ *
+ * SimPoint clusters the (dimension-reduced) basic-block vectors of the
+ * program's fixed-length intervals, picks one representative interval per
+ * cluster, and weights each representative by its cluster's population.
+ * Model selection across k follows the SimPoint recipe: score every k up
+ * to max_k with the Bayesian Information Criterion and choose the smallest
+ * k whose score reaches a fixed fraction of the best score observed.
+ */
+
+#ifndef YASIM_STATS_KMEANS_HH
+#define YASIM_STATS_KMEANS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hh"
+
+namespace yasim {
+
+/** Result of one k-means run. */
+struct KmeansResult
+{
+    /** Cluster index assigned to every input point. */
+    std::vector<int> assignment;
+    /** Cluster centroids. */
+    std::vector<std::vector<double>> centroids;
+    /** Sum of squared distances of points to their centroids. */
+    double distortion = 0.0;
+    /** Number of non-empty clusters actually produced. */
+    int numClusters = 0;
+};
+
+/**
+ * Lloyd's algorithm with k-means++ seeding.
+ *
+ * @param points     input vectors (all the same dimension)
+ * @param k          requested cluster count (clamped to points.size())
+ * @param rng        seeding randomness (deterministic given the seed)
+ * @param max_iters  Lloyd iteration cap
+ */
+KmeansResult kmeans(const std::vector<std::vector<double>> &points, int k,
+                    Rng &rng, int max_iters = 100);
+
+/**
+ * Run kmeans() @p restarts times from different seedings and keep the
+ * lowest-distortion clustering — the SimPoint tool's multiple-random-
+ * seeds refinement (Table 1 runs it with 7 seeds).
+ */
+KmeansResult kmeansRestarts(const std::vector<std::vector<double>> &points,
+                            int k, Rng &rng, int restarts,
+                            int max_iters = 100);
+
+/**
+ * BIC score of a clustering under the identical-spherical-Gaussian model
+ * of Pelleg & Moore (X-means), as used by SimPoint. Higher is better.
+ */
+double bicScore(const std::vector<std::vector<double>> &points,
+                const KmeansResult &clustering);
+
+/** Outcome of a model-selection sweep over k. */
+struct KSelection
+{
+    /** The chosen clustering. */
+    KmeansResult best;
+    /** The chosen k. */
+    int k = 0;
+    /** BIC score per candidate k (index 0 -> k = 1). */
+    std::vector<double> scores;
+};
+
+/**
+ * Sweep k = 1..max_k, score each clustering with BIC, and pick the
+ * smallest k whose score is at least @p threshold of the way from the
+ * worst to the best score (SimPoint uses ~0.9).
+ */
+KSelection selectK(const std::vector<std::vector<double>> &points, int max_k,
+                   Rng &rng, double threshold = 0.9, int restarts = 1);
+
+/**
+ * As selectK but evaluating k on a logarithmic ladder (1, 2, 3, ...,
+ * then growing ~25% per step) instead of every integer — the SimPoint
+ * 3.0-style speedup for large max_k. scores holds one entry per ladder
+ * value; the chosen k is a ladder value.
+ */
+KSelection selectKLadder(const std::vector<std::vector<double>> &points,
+                         int max_k, Rng &rng, double threshold = 0.9,
+                         int restarts = 1);
+
+} // namespace yasim
+
+#endif // YASIM_STATS_KMEANS_HH

@@ -1,0 +1,214 @@
+#include "stats/plackett_burman.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace yasim {
+
+namespace {
+
+bool
+isPrime(size_t p)
+{
+    if (p < 2)
+        return false;
+    for (size_t d = 2; d * d <= p; ++d)
+        if (p % d == 0)
+            return false;
+    return true;
+}
+
+/** Legendre symbol chi(k) over GF(p): +1 for quadratic residues. */
+int
+legendre(size_t k, size_t p)
+{
+    k %= p;
+    if (k == 0)
+        return 0;
+    // Euler's criterion via fast modular exponentiation.
+    size_t e = (p - 1) / 2;
+    unsigned long long base = k, result = 1;
+    while (e) {
+        if (e & 1)
+            result = result * base % p;
+        base = base * base % p;
+        e >>= 1;
+    }
+    return result == 1 ? 1 : -1;
+}
+
+/** Sylvester doubling: H_{2n} = [[H, H], [H, -H]]. */
+std::vector<std::vector<int>>
+sylvester(size_t n)
+{
+    std::vector<std::vector<int>> h = {{1}};
+    while (h.size() < n) {
+        size_t m = h.size();
+        std::vector<std::vector<int>> next(2 * m,
+                                           std::vector<int>(2 * m));
+        for (size_t i = 0; i < m; ++i) {
+            for (size_t j = 0; j < m; ++j) {
+                next[i][j] = h[i][j];
+                next[i][j + m] = h[i][j];
+                next[i + m][j] = h[i][j];
+                next[i + m][j + m] = -h[i][j];
+            }
+        }
+        h = std::move(next);
+    }
+    return h;
+}
+
+/**
+ * Paley construction I for order p + 1, p prime, p == 3 (mod 4):
+ * H = I + S where S embeds the (skew) Jacobsthal matrix.
+ */
+std::vector<std::vector<int>>
+paley(size_t p)
+{
+    size_t n = p + 1;
+    std::vector<std::vector<int>> h(n, std::vector<int>(n, 0));
+    // S[0][j] = +1 (j > 0); S[i][0] = -1 (i > 0); S[i][j] = chi(i - j).
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+            int s;
+            if (i == j) {
+                s = 0;
+            } else if (i == 0) {
+                s = 1;
+            } else if (j == 0) {
+                s = -1;
+            } else {
+                size_t diff = (i - 1 + p - (j - 1) % p) % p;
+                s = legendre(diff, p);
+            }
+            h[i][j] = s + (i == j ? 1 : 0);
+        }
+    }
+    return h;
+}
+
+bool
+checkHadamard(const std::vector<std::vector<int>> &h)
+{
+    size_t n = h.size();
+    for (size_t a = 0; a < n; ++a) {
+        for (size_t b = a; b < n; ++b) {
+            long dot = 0;
+            for (size_t j = 0; j < n; ++j)
+                dot += h[a][j] * h[b][j];
+            long expect = (a == b) ? static_cast<long>(n) : 0;
+            if (dot != expect)
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+std::vector<std::vector<int>>
+hadamardMatrix(size_t n)
+{
+    YASIM_ASSERT(n >= 1);
+    std::vector<std::vector<int>> h;
+    if ((n & (n - 1)) == 0) {
+        h = sylvester(n);
+    } else if (n >= 4 && n % 4 == 0 && isPrime(n - 1) && (n - 1) % 4 == 3) {
+        h = paley(n - 1);
+    } else {
+        fatal("no Hadamard construction available for order %zu", n);
+    }
+    if (!checkHadamard(h))
+        panic("constructed matrix of order %zu is not Hadamard", n);
+    return h;
+}
+
+PbDesign
+PbDesign::forFactors(size_t num_factors, bool foldover)
+{
+    YASIM_ASSERT(num_factors >= 1);
+    // Find the smallest constructible order with at least num_factors + 1
+    // columns: orders are multiples of 4 (or 1, 2 trivially).
+    size_t n = 4;
+    auto constructible = [](size_t order) {
+        if ((order & (order - 1)) == 0)
+            return true;
+        return order % 4 == 0 && isPrime(order - 1) && (order - 1) % 4 == 3;
+    };
+    while (n < num_factors + 1 || !constructible(n))
+        n += 4;
+
+    auto h = hadamardMatrix(n);
+
+    // Normalize so column 0 is all +1, then drop it: the remaining n - 1
+    // columns are the factor columns.
+    PbDesign design;
+    design.matrix.reserve(foldover ? 2 * n : n);
+    for (size_t i = 0; i < n; ++i) {
+        int row_sign = h[i][0];
+        std::vector<int> row(n - 1);
+        for (size_t j = 1; j < n; ++j)
+            row[j - 1] = h[i][j] * row_sign;
+        design.matrix.push_back(std::move(row));
+    }
+    if (foldover) {
+        for (size_t i = 0; i < n; ++i) {
+            std::vector<int> row(n - 1);
+            for (size_t j = 0; j + 1 < n; ++j)
+                row[j] = -design.matrix[i][j];
+            design.matrix.push_back(std::move(row));
+        }
+    }
+    return design;
+}
+
+int
+PbDesign::level(size_t run, size_t factor) const
+{
+    YASIM_ASSERT(run < matrix.size());
+    YASIM_ASSERT(factor < matrix[run].size());
+    return matrix[run][factor];
+}
+
+std::vector<double>
+PbDesign::computeEffects(const std::vector<double> &responses) const
+{
+    YASIM_ASSERT(responses.size() == numRuns());
+    std::vector<double> effects(numFactors(), 0.0);
+    for (size_t j = 0; j < numFactors(); ++j) {
+        double hi_sum = 0.0, lo_sum = 0.0;
+        size_t hi_n = 0, lo_n = 0;
+        for (size_t i = 0; i < numRuns(); ++i) {
+            if (matrix[i][j] > 0) {
+                hi_sum += responses[i];
+                ++hi_n;
+            } else {
+                lo_sum += responses[i];
+                ++lo_n;
+            }
+        }
+        YASIM_ASSERT(hi_n > 0 && lo_n > 0);
+        effects[j] = hi_sum / static_cast<double>(hi_n) -
+                     lo_sum / static_cast<double>(lo_n);
+    }
+    return effects;
+}
+
+bool
+PbDesign::isOrthogonal() const
+{
+    for (size_t a = 0; a < numFactors(); ++a) {
+        for (size_t b = a + 1; b < numFactors(); ++b) {
+            long dot = 0;
+            for (size_t i = 0; i < numRuns(); ++i)
+                dot += matrix[i][a] * matrix[i][b];
+            if (dot != 0)
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace yasim

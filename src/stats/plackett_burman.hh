@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Plackett-Burman two-level screening designs.
+ *
+ * The processor-bottleneck characterization runs the simulator once per
+ * design row, with each of the 43 parameters set to its low or high value
+ * as the row dictates, and then estimates every parameter's main effect on
+ * the cycle count. Designs are built from Paley-construction Hadamard
+ * matrices (valid for any N where N-1 is a prime congruent to 3 mod 4,
+ * which covers the paper's N = 44) and from the Sylvester construction for
+ * powers of two. A fold-over option doubles the run count and removes the
+ * aliasing of main effects with two-factor interactions, matching the
+ * methodology of [Yi03] that the paper builds on.
+ */
+
+#ifndef YASIM_STATS_PLACKETT_BURMAN_HH
+#define YASIM_STATS_PLACKETT_BURMAN_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace yasim {
+
+/** A two-level screening design: rows are runs, columns are factors. */
+class PbDesign
+{
+  public:
+    /**
+     * Build a design with at least @p num_factors factor columns.
+     *
+     * The smallest supported base size N > num_factors is used, giving
+     * N - 1 factor columns (extra columns are dummy factors whose effects
+     * estimate noise). With @p foldover the design is mirrored, doubling
+     * the runs (the paper's "PB design with foldover", X = 2).
+     */
+    static PbDesign forFactors(size_t num_factors, bool foldover = true);
+
+    /** Number of simulator runs the design prescribes. */
+    size_t numRuns() const { return matrix.size(); }
+
+    /** Number of factor columns (>= the requested factor count). */
+    size_t numFactors() const { return matrix.empty() ? 0 : matrix[0].size(); }
+
+    /** Level (+1 high / -1 low) of @p factor in @p run. */
+    int level(size_t run, size_t factor) const;
+
+    /**
+     * Main effect of each factor given one response value per run:
+     * effect_j = mean(y | factor_j high) - mean(y | factor_j low).
+     *
+     * @pre responses.size() == numRuns()
+     */
+    std::vector<double>
+    computeEffects(const std::vector<double> &responses) const;
+
+    /** Verify column orthogonality (used in tests; O(runs * factors^2)). */
+    bool isOrthogonal() const;
+
+  private:
+    PbDesign() = default;
+
+    /** Rows of +/-1 levels. */
+    std::vector<std::vector<int>> matrix;
+};
+
+/**
+ * Build a Hadamard matrix of order @p n (entries +/-1, H * H^T = n I).
+ * Supported orders: powers of two (Sylvester) and p+1 for prime
+ * p == 3 (mod 4) (Paley I), and products thereof are *not* needed here.
+ * Calls fatal() for unsupported orders.
+ */
+std::vector<std::vector<int>> hadamardMatrix(size_t n);
+
+} // namespace yasim
+
+#endif // YASIM_STATS_PLACKETT_BURMAN_HH

@@ -1,0 +1,59 @@
+#include "stats/projection.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace yasim {
+
+RandomProjection::RandomProjection(size_t in_dim, size_t out_dim, Rng &rng)
+    : in(in_dim), out(out_dim), weights(in_dim * out_dim)
+{
+    YASIM_ASSERT(in_dim > 0 && out_dim > 0);
+    for (auto &w : weights)
+        w = rng.nextDouble();
+}
+
+std::vector<double>
+RandomProjection::project(const std::vector<double> &v) const
+{
+    YASIM_ASSERT(v.size() == in);
+    std::vector<double> result(out, 0.0);
+    for (size_t i = 0; i < in; ++i) {
+        double x = v[i];
+        if (x == 0.0)
+            continue;
+        const double *row = &weights[i * out];
+        for (size_t j = 0; j < out; ++j)
+            result[j] += x * row[j];
+    }
+    return result;
+}
+
+std::vector<double>
+RandomProjection::projectSparse(
+    const std::vector<std::pair<size_t, double>> &v) const
+{
+    std::vector<double> result(out, 0.0);
+    for (const auto &[idx, x] : v) {
+        YASIM_ASSERT(idx < in);
+        const double *row = &weights[idx * out];
+        for (size_t j = 0; j < out; ++j)
+            result[j] += x * row[j];
+    }
+    return result;
+}
+
+void
+normalizeL1(std::vector<double> &v)
+{
+    double total = 0.0;
+    for (double x : v)
+        total += std::fabs(x);
+    if (total == 0.0)
+        return;
+    for (double &x : v)
+        x /= total;
+}
+
+} // namespace yasim

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Random linear projection for dimensionality reduction.
+ *
+ * SimPoint reduces each interval's basic-block vector (one dimension per
+ * static basic block, often thousands) to a small number of dimensions
+ * (15 in the original tool) with a random projection before clustering;
+ * by the Johnson-Lindenstrauss lemma relative distances are approximately
+ * preserved, which is all k-means needs.
+ */
+
+#ifndef YASIM_STATS_PROJECTION_HH
+#define YASIM_STATS_PROJECTION_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "support/rng.hh"
+
+namespace yasim {
+
+/** A fixed random projection matrix from in_dim to out_dim dimensions. */
+class RandomProjection
+{
+  public:
+    /**
+     * Create a projection with entries drawn uniformly from [0, 1), the
+     * distribution the SimPoint tool uses.
+     */
+    RandomProjection(size_t in_dim, size_t out_dim, Rng &rng);
+
+    /** Project a dense vector. @pre v.size() == inDim() */
+    std::vector<double> project(const std::vector<double> &v) const;
+
+    /** Project a sparse vector given as (index, value) pairs. */
+    std::vector<double>
+    projectSparse(const std::vector<std::pair<size_t, double>> &v) const;
+
+    size_t inDim() const { return in; }
+    size_t outDim() const { return out; }
+
+  private:
+    size_t in;
+    size_t out;
+    /** Row-major in x out matrix. */
+    std::vector<double> weights;
+};
+
+/** L1-normalize a vector in place (no-op for the zero vector). */
+void normalizeL1(std::vector<double> &v);
+
+} // namespace yasim
+
+#endif // YASIM_STATS_PROJECTION_HH

@@ -1,0 +1,109 @@
+#include "stats/summary.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace yasim {
+
+double
+mean(const std::vector<double> &xs)
+{
+    YASIM_ASSERT(!xs.empty());
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+sampleVariance(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - m) * (x - m);
+    return acc / static_cast<double>(xs.size() - 1);
+}
+
+double
+sampleStdev(const std::vector<double> &xs)
+{
+    return std::sqrt(sampleVariance(xs));
+}
+
+double
+coefficientOfVariation(const std::vector<double> &xs)
+{
+    double m = mean(xs);
+    YASIM_ASSERT(m != 0.0);
+    return sampleStdev(xs) / std::fabs(m);
+}
+
+double
+minOf(const std::vector<double> &xs)
+{
+    YASIM_ASSERT(!xs.empty());
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+double
+maxOf(const std::vector<double> &xs)
+{
+    YASIM_ASSERT(!xs.empty());
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+namespace {
+
+/** Standard normal CDF via erfc. */
+double
+normalCdf(double x)
+{
+    return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+} // namespace
+
+double
+normalCriticalValue(double confidence)
+{
+    YASIM_ASSERT(confidence > 0.0 && confidence < 1.0);
+    // Invert Phi(z) - Phi(-z) = confidence by bisection; the CDF is
+    // monotone so this converges to double precision quickly.
+    double target = 0.5 + confidence / 2.0;
+    double lo = 0.0, hi = 10.0;
+    for (int i = 0; i < 200; ++i) {
+        double mid = 0.5 * (lo + hi);
+        if (normalCdf(mid) < target)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+double
+relativeConfidenceHalfWidth(const std::vector<double> &xs, double confidence)
+{
+    YASIM_ASSERT(xs.size() >= 2);
+    double m = mean(xs);
+    YASIM_ASSERT(m != 0.0);
+    double z = normalCriticalValue(confidence);
+    double se = sampleStdev(xs) / std::sqrt(static_cast<double>(xs.size()));
+    return z * se / std::fabs(m);
+}
+
+size_t
+requiredSamples(double cv, double confidence, double target_rel)
+{
+    YASIM_ASSERT(target_rel > 0.0);
+    double z = normalCriticalValue(confidence);
+    double n = (z * cv / target_rel) * (z * cv / target_rel);
+    return static_cast<size_t>(std::ceil(n));
+}
+
+} // namespace yasim

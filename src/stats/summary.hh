@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Summary statistics and confidence intervals.
+ *
+ * SMARTS's stopping rule is driven by the coefficient of variation of the
+ * per-sample CPI estimates and a normal-approximation confidence interval;
+ * those primitives live here along with the usual mean/stdev helpers used
+ * throughout the characterization code.
+ */
+
+#ifndef YASIM_STATS_SUMMARY_HH
+#define YASIM_STATS_SUMMARY_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace yasim {
+
+/** Arithmetic mean. @pre !xs.empty() */
+double mean(const std::vector<double> &xs);
+
+/** Sample variance (n-1 denominator); 0 for fewer than two samples. */
+double sampleVariance(const std::vector<double> &xs);
+
+/** Sample standard deviation. */
+double sampleStdev(const std::vector<double> &xs);
+
+/** Coefficient of variation: stdev / mean. @pre mean(xs) != 0 */
+double coefficientOfVariation(const std::vector<double> &xs);
+
+/** Smallest element. @pre !xs.empty() */
+double minOf(const std::vector<double> &xs);
+
+/** Largest element. @pre !xs.empty() */
+double maxOf(const std::vector<double> &xs);
+
+/**
+ * Two-sided standard-normal critical value z such that
+ * P(-z <= Z <= z) = confidence. E.g. confidence 0.997 -> ~2.97.
+ */
+double normalCriticalValue(double confidence);
+
+/**
+ * Half-width of the normal-approximation confidence interval for the mean
+ * of @p xs at the given two-sided @p confidence level, as a *fraction of
+ * the mean* (the +/-3% in the paper's SMARTS configuration is this value).
+ */
+double relativeConfidenceHalfWidth(const std::vector<double> &xs,
+                                   double confidence);
+
+/**
+ * Minimum number of samples needed so that the relative confidence-interval
+ * half width drops to @p target_rel, given the measured coefficient of
+ * variation. This is SMARTS's n >= (z * cv / epsilon)^2 rule.
+ */
+size_t requiredSamples(double cv, double confidence, double target_rel);
+
+} // namespace yasim
+
+#endif // YASIM_STATS_SUMMARY_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic component in the library (workload generators, k-means
+ * seeding, random projections) draws from an explicitly seeded Rng so that
+ * simulations are bit-reproducible across runs and platforms. The generator
+ * is xoshiro256**, seeded through SplitMix64 as its authors recommend.
+ */
+
+#ifndef YASIM_SUPPORT_RNG_HH
+#define YASIM_SUPPORT_RNG_HH
+
+#include <cstdint>
+
+namespace yasim {
+
+/** SplitMix64 step; used for seeding and as a cheap stateless hash. */
+uint64_t splitMix64(uint64_t &state);
+
+/** xoshiro256** generator with convenience distributions. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform in [0, bound) without modulo bias. @pre bound > 0 */
+    uint64_t nextBelow(uint64_t bound);
+
+    /** Uniform integer in the closed range [lo, hi]. @pre lo <= hi */
+    int64_t nextRange(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Standard normal variate (Box-Muller, cached pair). */
+    double nextGaussian();
+
+    /** Bernoulli trial with probability p of true. */
+    bool nextBool(double p = 0.5);
+
+  private:
+    uint64_t s[4];
+    double cachedGaussian = 0.0;
+    bool hasCachedGaussian = false;
+};
+
+} // namespace yasim
+
+#endif // YASIM_SUPPORT_RNG_HH

@@ -1,0 +1,152 @@
+#include "support/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/logging.hh"
+
+namespace yasim {
+
+Table::Table(std::string title) : title(std::move(title))
+{
+}
+
+void
+Table::setHeader(std::vector<std::string> new_header)
+{
+    header = std::move(new_header);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    YASIM_ASSERT(header.empty() || row.size() == header.size());
+    YASIM_ASSERT(!row.empty());
+    rows.push_back(std::move(row));
+}
+
+void
+Table::addRule()
+{
+    rows.emplace_back();
+}
+
+size_t
+Table::numRows() const
+{
+    size_t n = 0;
+    for (const auto &row : rows)
+        if (!row.empty())
+            ++n;
+    return n;
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    size_t ncols = header.size();
+    for (const auto &row : rows)
+        ncols = std::max(ncols, row.size());
+    std::vector<size_t> width(ncols, 0);
+    auto widen = [&](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < row.size(); ++i)
+            width[i] = std::max(width[i], row[i].size());
+    };
+    if (!header.empty())
+        widen(header);
+    for (const auto &row : rows)
+        widen(row);
+
+    size_t total = 0;
+    for (size_t w : width)
+        total += w + 2;
+
+    os << "== " << title << " ==\n";
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < row.size(); ++i) {
+            const std::string &cell = row[i];
+            size_t pad = width[i] - cell.size();
+            if (i == 0) { // left align
+                os << cell << std::string(pad, ' ');
+            } else {
+                os << std::string(pad, ' ') << cell;
+            }
+            os << (i + 1 == row.size() ? "" : "  ");
+        }
+        os << "\n";
+    };
+    if (!header.empty()) {
+        emit(header);
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &row : rows) {
+        if (row.empty())
+            os << std::string(total, '-') << "\n";
+        else
+            emit(row);
+    }
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < row.size(); ++i) {
+            std::string cell = row[i];
+            bool quote = cell.find_first_of(",\"\n") != std::string::npos;
+            if (quote) {
+                std::string esc = "\"";
+                for (char c : cell) {
+                    if (c == '"')
+                        esc += '"';
+                    esc += c;
+                }
+                esc += '"';
+                cell = esc;
+            }
+            os << cell << (i + 1 == row.size() ? "" : ",");
+        }
+        os << "\n";
+    };
+    if (!header.empty())
+        emit(header);
+    for (const auto &row : rows)
+        if (!row.empty())
+            emit(row);
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::pct(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, v);
+    return buf;
+}
+
+std::string
+Table::count(uint64_t v)
+{
+    std::string digits = std::to_string(v);
+    std::string out;
+    int run = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (run == 3) {
+            out += ',';
+            run = 0;
+        }
+        out += *it;
+        ++run;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+} // namespace yasim

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Plain-text table printer used by every bench binary to reproduce the
+ * paper's tables and figure series in a uniform, diffable format.
+ *
+ * A Table is built row by row; column widths are computed at render time.
+ * Cells are strings; numeric helpers format with a fixed precision so that
+ * re-runs produce stable output. Tables can also be dumped as CSV for
+ * downstream plotting.
+ */
+
+#ifndef YASIM_SUPPORT_TABLE_HH
+#define YASIM_SUPPORT_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace yasim {
+
+/** Column alignment for rendering. */
+enum class Align { Left, Right };
+
+/** A simple text table with a title, header row, and body rows. */
+class Table
+{
+  public:
+    /** Construct with a title shown above the rendered table. */
+    explicit Table(std::string title);
+
+    /** Set the header row; defines the column count. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append one body row; must match the header's column count. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a separator rule between row groups. */
+    void addRule();
+
+    /** Number of body rows added so far (rules excluded). */
+    size_t numRows() const;
+
+    /** Render as aligned plain text. First column left, rest right. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (no title, header first). */
+    void printCsv(std::ostream &os) const;
+
+    /** Format a double with @p precision digits after the point. */
+    static std::string num(double v, int precision = 3);
+
+    /** Format a double as a percentage with a trailing '%'. */
+    static std::string pct(double v, int precision = 2);
+
+    /** Format an integer with thousands separators. */
+    static std::string count(uint64_t v);
+
+  private:
+    std::string title;
+    std::vector<std::string> header;
+    /** Body rows; an empty vector encodes a rule. */
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace yasim
+
+#endif // YASIM_SUPPORT_TABLE_HH

@@ -1,0 +1,35 @@
+#include "techniques/full_reference.hh"
+
+#include "sim/bb_profiler.hh"
+#include "sim/functional.hh"
+#include "sim/ooo_core.hh"
+
+namespace yasim {
+
+TechniqueResult
+FullReference::run(const TechniqueContext &ctx,
+                   const SimConfig &config) const
+{
+    Workload workload =
+        buildWorkload(ctx.benchmark, InputSet::Reference, ctx.suite);
+    FunctionalSim fsim(workload.program);
+    OooCore core(config);
+    BbProfiler profiler(workload.program);
+
+    core.run(fsim, ~0ULL, &profiler);
+
+    TechniqueResult result;
+    result.technique = name();
+    result.permutation = permutation();
+    result.detailed = core.snapshot();
+    result.cpi = result.detailed.cpi();
+    result.metrics = result.detailed.metricVector();
+    result.bbef = profiler.bbef();
+    result.bbv = profiler.bbv();
+    result.detailedInsts = result.detailed.instructions;
+    result.workUnits = ctx.cost.detailedPerInst *
+                       static_cast<double>(result.detailedInsts);
+    return result;
+}
+
+} // namespace yasim

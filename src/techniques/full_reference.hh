@@ -1,0 +1,28 @@
+/**
+ * @file
+ * The gold standard: simulate the reference input set to completion in
+ * detail. Every characterization measures the other techniques' distance
+ * from this one's results.
+ */
+
+#ifndef YASIM_TECHNIQUES_FULL_REFERENCE_HH
+#define YASIM_TECHNIQUES_FULL_REFERENCE_HH
+
+#include "techniques/technique.hh"
+
+namespace yasim {
+
+/** Full detailed simulation of the reference input. */
+class FullReference : public Technique
+{
+  public:
+    std::string name() const override { return "reference"; }
+    std::string permutation() const override { return "full"; }
+
+    TechniqueResult run(const TechniqueContext &ctx,
+                        const SimConfig &config) const override;
+};
+
+} // namespace yasim
+
+#endif // YASIM_TECHNIQUES_FULL_REFERENCE_HH

@@ -1,0 +1,130 @@
+#include "techniques/permutations.hh"
+
+#include "techniques/full_reference.hh"
+#include "techniques/reduced_input.hh"
+#include "techniques/simpoint.hh"
+#include "techniques/smarts.hh"
+#include "techniques/truncated.hh"
+
+namespace yasim {
+
+namespace {
+
+void
+addSimPoint(std::vector<TechniquePtr> &out)
+{
+    // Single 100M; multiple 10M (max_k 100, 1M warm-up); multiple 100M
+    // (max_k 10, no warm-up) — Table 1's SimPoint rows.
+    out.push_back(std::make_shared<SimPoint>(100.0, 1, 0.0,
+                                             "single 100M"));
+    out.push_back(std::make_shared<SimPoint>(10.0, 100, 1.0,
+                                             "multiple 10M"));
+    out.push_back(std::make_shared<SimPoint>(100.0, 10, 0.0,
+                                             "multiple 100M"));
+}
+
+void
+addSmarts(std::vector<TechniquePtr> &out)
+{
+    // U in {100, 1000, 10000} x W in {2U, 20U, 200U} = 9 permutations.
+    for (uint64_t u : {100ULL, 1000ULL, 10000ULL})
+        for (uint64_t w_mult : {2ULL, 20ULL, 200ULL})
+            out.push_back(std::make_shared<Smarts>(u, u * w_mult));
+}
+
+void
+addReduced(std::vector<TechniquePtr> &out, const std::string &benchmark)
+{
+    for (InputSet input :
+         {InputSet::Small, InputSet::Medium, InputSet::Large,
+          InputSet::Test, InputSet::Train}) {
+        if (hasInput(benchmark, input))
+            out.push_back(std::make_shared<ReducedInput>(input));
+    }
+}
+
+void
+addRunZ(std::vector<TechniquePtr> &out)
+{
+    for (double z : {500.0, 1000.0, 1500.0, 2000.0})
+        out.push_back(std::make_shared<RunZ>(z));
+}
+
+void
+addFfRunZ(std::vector<TechniquePtr> &out)
+{
+    for (double x : {1000.0, 2000.0, 4000.0})
+        for (double z : {100.0, 500.0, 1000.0, 2000.0})
+            out.push_back(std::make_shared<FfRunZ>(x, z));
+}
+
+void
+addFfWuRunZ(std::vector<TechniquePtr> &out)
+{
+    // (X, Y) pairs with X + Y a multiple of 100M, as in Table 1.
+    const std::pair<double, double> xy[] = {
+        {999, 1},   {1999, 1},   {3999, 1},
+        {990, 10},  {1990, 10},  {3990, 10},
+        {900, 100}, {1900, 100}, {3900, 100},
+    };
+    for (const auto &[x, y] : xy)
+        for (double z : {100.0, 500.0, 1000.0, 2000.0})
+            out.push_back(std::make_shared<FfWuRunZ>(x, y, z));
+}
+
+} // namespace
+
+std::vector<TechniquePtr>
+table1Permutations(const std::string &benchmark)
+{
+    std::vector<TechniquePtr> out;
+    addSimPoint(out);
+    addSmarts(out);
+    addReduced(out, benchmark);
+    addRunZ(out);
+    addFfRunZ(out);
+    addFfWuRunZ(out);
+    return out;
+}
+
+std::vector<TechniquePtr>
+representativePermutations(const std::string &benchmark)
+{
+    std::vector<TechniquePtr> out;
+    // The permutations Figures 3-6 single out.
+    out.push_back(std::make_shared<SimPoint>(10.0, 100, 1.0,
+                                             "multiple 10M"));
+    out.push_back(std::make_shared<SimPoint>(100.0, 1, 0.0,
+                                             "single 100M"));
+    out.push_back(std::make_shared<Smarts>(1000, 2000));
+    for (InputSet input : {InputSet::Small, InputSet::Train}) {
+        if (hasInput(benchmark, input))
+            out.push_back(std::make_shared<ReducedInput>(input));
+    }
+    out.push_back(std::make_shared<RunZ>(1000.0));
+    out.push_back(std::make_shared<FfRunZ>(1000.0, 500.0));
+    out.push_back(std::make_shared<FfWuRunZ>(990.0, 10.0, 500.0));
+    return out;
+}
+
+const std::vector<std::string> &
+techniqueFamilies()
+{
+    static const std::vector<std::string> families = {
+        "SimPoint", "SMARTS", "reduced", "Run Z", "FF+Run", "FF+WU+Run",
+    };
+    return families;
+}
+
+size_t
+familyPermutationCount(const std::string &benchmark,
+                       const std::string &family)
+{
+    size_t count = 0;
+    for (const TechniquePtr &technique : table1Permutations(benchmark))
+        if (technique->name() == family)
+            ++count;
+    return count;
+}
+
+} // namespace yasim

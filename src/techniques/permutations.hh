@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The candidate-technique permutation tables (the paper's Table 1).
+ *
+ * Sixty-nine permutations across six techniques: 3 SimPoint, 9 SMARTS,
+ * up to 5 reduced input sets, 4 Run Z, 12 FF X + Run Z, and 36
+ * FF X + WU Y + Run Z (X + Y always a multiple of 100M). X, Y, Z are in
+ * scaled M-instructions; SMARTS U/W are in instructions with the initial
+ * sample count auto-scaled to the instruction budget.
+ *
+ * Because reduced-input availability varies per benchmark (Table 2's
+ * N/A holes), the table is materialized per benchmark.
+ */
+
+#ifndef YASIM_TECHNIQUES_PERMUTATIONS_HH
+#define YASIM_TECHNIQUES_PERMUTATIONS_HH
+
+#include <string>
+#include <vector>
+
+#include "techniques/technique.hh"
+
+namespace yasim {
+
+/** All Table-1 permutations applicable to @p benchmark. */
+std::vector<TechniquePtr>
+table1Permutations(const std::string &benchmark);
+
+/**
+ * A representative subset (one to two permutations per technique,
+ * chosen to match the permutations the paper's Figures 3-6 highlight)
+ * for benches that cannot afford the full 69-permutation sweep.
+ */
+std::vector<TechniquePtr>
+representativePermutations(const std::string &benchmark);
+
+/** The technique family names in the paper's reporting order. */
+const std::vector<std::string> &techniqueFamilies();
+
+/** Count of Table-1 permutations per family for @p benchmark. */
+size_t familyPermutationCount(const std::string &benchmark,
+                              const std::string &family);
+
+} // namespace yasim
+
+#endif // YASIM_TECHNIQUES_PERMUTATIONS_HH

@@ -1,0 +1,102 @@
+#include "techniques/random_sampling.hh"
+
+#include <algorithm>
+
+#include "sim/bb_profiler.hh"
+#include "sim/functional.hh"
+#include "sim/ooo_core.hh"
+#include "stats/summary.hh"
+#include "support/logging.hh"
+#include "support/rng.hh"
+
+namespace yasim {
+
+RandomSampling::RandomSampling(uint64_t num_samples, uint64_t unit_insts,
+                               uint64_t warmup_insts, uint64_t seed)
+    : numSamples(num_samples),
+      unitInsts(unit_insts),
+      warmupInsts(warmup_insts),
+      seed(seed)
+{
+    YASIM_ASSERT(num_samples >= 1 && unit_insts >= 1);
+}
+
+std::string
+RandomSampling::permutation() const
+{
+    return "N=" + std::to_string(numSamples) +
+           " U=" + std::to_string(unitInsts) +
+           " W=" + std::to_string(warmupInsts);
+}
+
+std::vector<uint64_t>
+RandomSampling::samplePositions(const TechniqueContext &ctx) const
+{
+    // Uniformly random, then sorted so one forward pass visits all.
+    Rng rng(seed ^ ctx.suite.seed);
+    uint64_t span = unitInsts + warmupInsts;
+    uint64_t usable =
+        ctx.referenceLength > span ? ctx.referenceLength - span : 1;
+    std::vector<uint64_t> positions;
+    positions.reserve(numSamples);
+    for (uint64_t i = 0; i < numSamples; ++i)
+        positions.push_back(warmupInsts + rng.nextBelow(usable));
+    std::sort(positions.begin(), positions.end());
+    return positions;
+}
+
+TechniqueResult
+RandomSampling::run(const TechniqueContext &ctx,
+                    const SimConfig &config) const
+{
+    Workload workload =
+        buildWorkload(ctx.benchmark, InputSet::Reference, ctx.suite);
+    FunctionalSim fsim(workload.program);
+    OooCore core(config);
+    BbProfiler profiler(workload.program);
+
+    std::vector<uint64_t> positions = samplePositions(ctx);
+
+    std::vector<double> unit_cpis;
+    SimStats measured;
+    uint64_t detailed = 0, skipped = 0;
+
+    for (uint64_t start : positions) {
+        uint64_t warm_start =
+            start >= warmupInsts ? start - warmupInsts : 0;
+        if (fsim.instsExecuted() >= warm_start + warmupInsts)
+            continue; // overlapping samples collapse into one
+        if (fsim.instsExecuted() < warm_start) {
+            uint64_t gap = warm_start - fsim.instsExecuted();
+            skipped += fsim.fastForward(gap); // NO warming: stale state
+        }
+        core.resetPipeline();
+        if (warmupInsts > 0)
+            core.run(fsim, warmupInsts);
+        SimStats before = core.snapshot();
+        uint64_t done = core.run(fsim, unitInsts, &profiler);
+        if (done == 0)
+            break;
+        SimStats delta = core.snapshot() - before;
+        unit_cpis.push_back(delta.cpi());
+        measured += delta;
+        detailed += warmupInsts + done;
+    }
+    YASIM_ASSERT(!unit_cpis.empty());
+
+    TechniqueResult result;
+    result.technique = name();
+    result.permutation = permutation();
+    result.cpi = mean(unit_cpis);
+    result.metrics = measured.metricVector();
+    result.detailed = measured;
+    result.bbef = profiler.bbef();
+    result.bbv = profiler.bbv();
+    result.detailedInsts = detailed;
+    result.workUnits =
+        ctx.cost.fastForwardPerInst * static_cast<double>(skipped) +
+        ctx.cost.detailedPerInst * static_cast<double>(detailed);
+    return result;
+}
+
+} // namespace yasim

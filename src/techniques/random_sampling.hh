@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Random sampling [Conte96] — the seventh technique.
+ *
+ * The paper describes random sampling (N randomly chosen and
+ * distributed intervals combined into one estimate) but excludes it
+ * from the main study because its use had become rare. It is
+ * implemented here as an extension: it completes the technique
+ * taxonomy and lets the ablation bench reproduce Conte et al.'s
+ * finding that accuracy improves with more per-sample warm-up and/or
+ * more samples — and show why SMARTS's functional warming between
+ * samples dominates plain random sampling, whose skipped regions leave
+ * the caches and predictor stale.
+ */
+
+#ifndef YASIM_TECHNIQUES_RANDOM_SAMPLING_HH
+#define YASIM_TECHNIQUES_RANDOM_SAMPLING_HH
+
+#include "techniques/technique.hh"
+
+namespace yasim {
+
+/** N random detailed windows with detailed (cold-start) warm-up. */
+class RandomSampling : public Technique
+{
+  public:
+    /**
+     * @param num_samples  number of random measurement units
+     * @param unit_insts   detailed measurement unit length
+     * @param warmup_insts detailed warm-up before each unit
+     * @param seed         sample-placement seed
+     */
+    RandomSampling(uint64_t num_samples, uint64_t unit_insts,
+                   uint64_t warmup_insts, uint64_t seed = 7);
+
+    std::string name() const override { return "random"; }
+    std::string permutation() const override;
+
+    TechniqueResult run(const TechniqueContext &ctx,
+                        const SimConfig &config) const override;
+
+    /** Sample start positions for @p ctx (exposed for tests). */
+    std::vector<uint64_t>
+    samplePositions(const TechniqueContext &ctx) const;
+
+  private:
+    uint64_t numSamples;
+    uint64_t unitInsts;
+    uint64_t warmupInsts;
+    uint64_t seed;
+};
+
+} // namespace yasim
+
+#endif // YASIM_TECHNIQUES_RANDOM_SAMPLING_HH

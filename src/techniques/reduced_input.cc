@@ -1,0 +1,46 @@
+#include "techniques/reduced_input.hh"
+
+#include "sim/bb_profiler.hh"
+#include "sim/functional.hh"
+#include "sim/ooo_core.hh"
+#include "support/logging.hh"
+
+namespace yasim {
+
+ReducedInput::ReducedInput(InputSet input) : inputSet(input)
+{
+    YASIM_ASSERT(input != InputSet::Reference);
+}
+
+std::string
+ReducedInput::permutation() const
+{
+    return inputSetName(inputSet);
+}
+
+TechniqueResult
+ReducedInput::run(const TechniqueContext &ctx,
+                  const SimConfig &config) const
+{
+    Workload workload = buildWorkload(ctx.benchmark, inputSet, ctx.suite);
+    FunctionalSim fsim(workload.program);
+    OooCore core(config);
+    BbProfiler profiler(workload.program);
+
+    core.run(fsim, ~0ULL, &profiler);
+
+    TechniqueResult result;
+    result.technique = name();
+    result.permutation = permutation();
+    result.detailed = core.snapshot();
+    result.cpi = result.detailed.cpi();
+    result.metrics = result.detailed.metricVector();
+    result.bbef = profiler.bbef();
+    result.bbv = profiler.bbv();
+    result.detailedInsts = result.detailed.instructions;
+    result.workUnits = ctx.cost.detailedPerInst *
+                       static_cast<double>(result.detailedInsts);
+    return result;
+}
+
+} // namespace yasim

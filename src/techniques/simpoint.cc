@@ -1,0 +1,273 @@
+#include "techniques/simpoint.hh"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <tuple>
+
+#include "sim/bb_profiler.hh"
+#include "sim/functional.hh"
+#include "sim/ooo_core.hh"
+#include "stats/kmeans.hh"
+#include "stats/projection.hh"
+#include "support/logging.hh"
+#include "support/rng.hh"
+
+namespace yasim {
+
+SimPoint::SimPoint(double interval_m, int max_k, double warmup_m,
+                   std::string label, size_t proj_dim, uint64_t seed,
+                   int restarts, bool early, double early_tolerance)
+    : intervalM(interval_m),
+      maxK(max_k),
+      warmupM(warmup_m),
+      label(std::move(label)),
+      projDim(proj_dim),
+      seed(seed),
+      restarts(restarts),
+      early(early),
+      earlyTolerance(early_tolerance)
+{
+    YASIM_ASSERT(interval_m > 0 && max_k >= 1 && restarts >= 1);
+}
+
+namespace {
+
+/** Phase 1: one projected, L1-normalized BBV per interval. */
+std::vector<std::vector<double>>
+profileIntervals(const Program &program, uint64_t interval_insts,
+                 size_t proj_dim, uint64_t seed, uint64_t *profiled)
+{
+    Rng rng(seed);
+    RandomProjection projection(program.numBlocks(), proj_dim, rng);
+
+    std::vector<std::vector<double>> intervals;
+    std::vector<double> bbv(program.numBlocks(), 0.0);
+
+    FunctionalSim fsim(program);
+    ExecRecord rec;
+    uint64_t in_interval = 0;
+    uint64_t total = 0;
+    auto flush = [&]() {
+        normalizeL1(bbv);
+        intervals.push_back(projection.project(bbv));
+        std::fill(bbv.begin(), bbv.end(), 0.0);
+        in_interval = 0;
+    };
+    while (fsim.step(rec)) {
+        bbv[program.blockOf(rec.pc)] += 1.0;
+        ++in_interval;
+        ++total;
+        if (in_interval == interval_insts)
+            flush();
+    }
+    // A trailing partial interval longer than half the length counts.
+    if (in_interval > interval_insts / 2)
+        flush();
+    if (intervals.empty())
+        flush();
+    *profiled = total;
+    return intervals;
+}
+
+} // namespace
+
+std::vector<SimulationPoint>
+SimPoint::choosePoints(const TechniqueContext &ctx) const
+{
+    // Points depend only on the program and the clustering parameters,
+    // not on the machine configuration, so characterization loops that
+    // sweep dozens of configurations reuse them (exactly as architects
+    // reuse published simulation points).
+    using Key = std::tuple<std::string, uint64_t, uint64_t, double, int,
+                           double, size_t, uint64_t, int, bool, double>;
+    static std::map<Key, std::vector<SimulationPoint>> cache;
+    static std::mutex mutex;
+    Key key{ctx.benchmark,
+            ctx.suite.referenceInstructions,
+            ctx.suite.seed,
+            intervalM,
+            maxK,
+            warmupM,
+            projDim,
+            seed,
+            restarts,
+            early,
+            earlyTolerance};
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        auto it = cache.find(key);
+        if (it != cache.end())
+            return it->second;
+    }
+
+    Workload workload =
+        buildWorkload(ctx.benchmark, InputSet::Reference, ctx.suite);
+    const uint64_t interval_insts = intervalInsts(ctx);
+
+    uint64_t profiled = 0;
+    auto intervals = profileIntervals(workload.program, interval_insts,
+                                      projDim, seed, &profiled);
+
+    Rng rng(seed ^ 0x5eedULL);
+    KSelection selection =
+        maxK > 20 ? selectKLadder(intervals, maxK, rng, 0.9, restarts)
+                  : selectK(intervals, maxK, rng, 0.9, restarts);
+
+    // Representative per cluster: the interval closest to the
+    // centroid, or — in early-SimPoint mode [Perelman03] — the
+    // *earliest* interval whose distance is within the tolerance of
+    // the closest one.
+    const auto &clustering = selection.best;
+    const size_t k = clustering.centroids.size();
+    std::vector<double> dist2(intervals.size(), 0.0);
+    std::vector<int> representative(k, -1);
+    std::vector<double> best_dist(k,
+                                  std::numeric_limits<double>::max());
+    std::vector<uint64_t> population(k, 0);
+    for (size_t i = 0; i < intervals.size(); ++i) {
+        auto c = static_cast<size_t>(clustering.assignment[i]);
+        ++population[c];
+        double acc = 0.0;
+        for (size_t d = 0; d < intervals[i].size(); ++d) {
+            double delta =
+                intervals[i][d] - clustering.centroids[c][d];
+            acc += delta * delta;
+        }
+        dist2[i] = acc;
+        if (acc < best_dist[c]) {
+            best_dist[c] = acc;
+            representative[c] = static_cast<int>(i);
+        }
+    }
+    if (early) {
+        // Earliest interval within tolerance of the cluster's best
+        // (the best interval itself always qualifies, so every
+        // non-empty cluster keeps a representative).
+        double factor = (1.0 + earlyTolerance) * (1.0 + earlyTolerance);
+        std::vector<int> earliest(k, -1);
+        for (size_t i = 0; i < intervals.size(); ++i) {
+            auto c = static_cast<size_t>(clustering.assignment[i]);
+            if (earliest[c] >= 0)
+                continue;
+            if (dist2[i] <= best_dist[c] * factor + 1e-12)
+                earliest[c] = static_cast<int>(i);
+        }
+        for (size_t c = 0; c < k; ++c)
+            if (earliest[c] >= 0)
+                representative[c] = earliest[c];
+    }
+
+    std::vector<SimulationPoint> points;
+    for (size_t c = 0; c < k; ++c) {
+        if (representative[c] < 0)
+            continue; // empty cluster
+        SimulationPoint p;
+        p.interval = static_cast<uint64_t>(representative[c]);
+        p.startInst = p.interval * interval_insts;
+        p.weight = static_cast<double>(population[c]) /
+                   static_cast<double>(intervals.size());
+        points.push_back(p);
+    }
+    std::sort(points.begin(), points.end(),
+              [](const SimulationPoint &a, const SimulationPoint &b) {
+                  return a.startInst < b.startInst;
+              });
+    std::lock_guard<std::mutex> lock(mutex);
+    cache.emplace(key, points);
+    return points;
+}
+
+uint64_t
+SimPoint::intervalInsts(const TechniqueContext &ctx) const
+{
+    // Floor: at the paper's scale the shortest interval is 10M dynamic
+    // instructions; scaled runs must not shrink an interval below the
+    // point where single-interval jitter (pipeline fill, a handful of
+    // cache misses) dominates what the interval is supposed to
+    // represent.
+    return std::max<uint64_t>(ctx.scaledM(intervalM), 2000);
+}
+
+TechniqueResult
+SimPoint::run(const TechniqueContext &ctx, const SimConfig &config) const
+{
+    Workload workload =
+        buildWorkload(ctx.benchmark, InputSet::Reference, ctx.suite);
+    const uint64_t interval_insts = intervalInsts(ctx);
+    const uint64_t warmup_insts =
+        warmupM > 0
+            ? std::max<uint64_t>(ctx.scaledM(warmupM), 256)
+            : 0;
+
+    std::vector<SimulationPoint> points = choosePoints(ctx);
+    YASIM_ASSERT(!points.empty());
+
+    // Phase 3: simulate each chosen interval in detail.
+    FunctionalSim fsim(workload.program);
+    OooCore core(config);
+    BbProfiler profiler(workload.program);
+
+    double weighted_cpi = 0.0;
+    std::vector<double> weighted_metrics(4, 0.0);
+    double weight_total = 0.0;
+    uint64_t detailed = 0;
+    uint64_t last_position = 0;
+
+    for (const SimulationPoint &point : points) {
+        uint64_t warm_start = point.startInst >= warmup_insts
+                                  ? point.startInst - warmup_insts
+                                  : 0;
+        // Skipped regions execute with functional warming so each
+        // checkpoint carries warm cache/predictor state (the modern
+        // SimPoint "warm checkpoint" practice; the paper's assume-hit
+        // warm-up approximates the same thing).
+        if (fsim.instsExecuted() < warm_start) {
+            fsim.fastForwardWarm(warm_start - fsim.instsExecuted(),
+                                 &core.memHierarchy(),
+                                 &core.predictor());
+        }
+        core.resetPipeline();
+        if (fsim.instsExecuted() < point.startInst)
+            core.run(fsim, point.startInst - fsim.instsExecuted());
+
+        SimStats before = core.snapshot();
+        profiler.setWeight(point.weight);
+        uint64_t done = core.run(fsim, interval_insts, &profiler);
+        SimStats delta = core.snapshot() - before;
+        detailed += done + warmup_insts;
+        last_position = point.startInst + done;
+
+        if (delta.instructions == 0)
+            continue;
+        weighted_cpi += point.weight * delta.cpi();
+        auto metrics = delta.metricVector();
+        for (size_t m = 0; m < metrics.size(); ++m)
+            weighted_metrics[m] += point.weight * metrics[m];
+        weight_total += point.weight;
+    }
+    YASIM_ASSERT(weight_total > 0.0);
+
+    TechniqueResult result;
+    result.technique = name();
+    result.permutation = permutation();
+    result.cpi = weighted_cpi / weight_total;
+    result.metrics = weighted_metrics;
+    for (double &m : result.metrics)
+        m /= weight_total;
+    result.detailed = core.snapshot();
+    result.bbef = profiler.bbef();
+    result.bbv = profiler.bbv();
+    result.detailedInsts = detailed;
+    // Cost: the profiling pass, checkpoint generation up to the last
+    // point, and the detailed interval (plus warm-up) simulations.
+    result.workUnits =
+        ctx.cost.profilePerInst *
+            static_cast<double>(ctx.referenceLength) +
+        ctx.cost.checkpointPerInst * static_cast<double>(last_position) +
+        ctx.cost.detailedPerInst * static_cast<double>(detailed);
+    return result;
+}
+
+} // namespace yasim

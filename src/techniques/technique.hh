@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The simulation-technique abstraction — the heart of the paper.
+ *
+ * A Technique answers the question "estimate this benchmark's behaviour
+ * on this machine configuration without paying for a full detailed
+ * reference simulation". Every technique returns the same bundle: its
+ * CPI estimate, its architecture-level metric estimates, the BBEF/BBV
+ * execution profile of the code it actually simulated in detail, and a
+ * deterministic *work-unit* cost used by the speed-vs-accuracy analysis.
+ *
+ * Costs are modeled in work units rather than wall time so results are
+ * machine-independent and reproducible: one detailed-simulated
+ * instruction costs 1.0 units and the cheaper execution modes cost the
+ * fractions below, calibrated to the detailed/functional speed ratios of
+ * SimpleScalar-class simulators. The speed of a technique in the paper's
+ * sense is its work divided by the reference run's work.
+ */
+
+#ifndef YASIM_TECHNIQUES_TECHNIQUE_HH
+#define YASIM_TECHNIQUES_TECHNIQUE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "workloads/suite.hh"
+
+namespace yasim {
+
+/** Relative cost of each execution mode (detailed instruction = 1.0). */
+struct CostModel
+{
+    double detailedPerInst = 1.0;
+    /** Functional warming: architectural state + caches + predictor
+     *  (SMARTS reports ~25x faster than detailed simulation). */
+    double functionalWarmPerInst = 0.04;
+    /** Plain architectural fast-forward (sim-fast class, ~100x). */
+    double fastForwardPerInst = 0.01;
+    /** BBV profiling pass (SimPoint phase 1). */
+    double profilePerInst = 0.015;
+    /** Checkpoint generation (architectural state capture). */
+    double checkpointPerInst = 0.01;
+};
+
+/** Everything a technique needs to know about the experiment. */
+struct TechniqueContext
+{
+    /** Benchmark under study. */
+    std::string benchmark;
+    /** Suite scaling (reference length etc.). */
+    SuiteConfig suite;
+    /**
+     * Measured dynamic length of the reference input. One paper
+     * "M instructions" is referenceLength / 10000 of these (DESIGN.md
+     * section 5).
+     */
+    uint64_t referenceLength = 0;
+    /** Work-unit cost model. */
+    CostModel cost;
+
+    /** Convert the paper's scaled M-instructions to instructions. */
+    uint64_t scaledM(double m) const
+    {
+        double insts =
+            m * static_cast<double>(referenceLength) / 10000.0;
+        return insts < 1.0 ? 1 : static_cast<uint64_t>(insts);
+    }
+};
+
+/** What a technique reports back. */
+struct TechniqueResult
+{
+    /** Technique family ("SimPoint", "Run Z", ...). */
+    std::string technique;
+    /** Permutation label ("multiple 10M", "Z=500M", ...). */
+    std::string permutation;
+
+    /** The technique's CPI estimate for the full reference run. */
+    double cpi = 0.0;
+    /**
+     * Architecture-level metric estimates, paper order:
+     * {IPC, branch accuracy, L1-D hit rate, L2 hit rate}.
+     */
+    std::vector<double> metrics;
+
+    /** Raw statistics of the detailed-simulated portion. */
+    SimStats detailed;
+
+    /** Execution profile of the detail-simulated code (weighted). */
+    std::vector<double> bbef;
+    std::vector<double> bbv;
+
+    /** Deterministic cost in work units (see CostModel). */
+    double workUnits = 0.0;
+    /** Dynamic instructions simulated in detail. */
+    uint64_t detailedInsts = 0;
+};
+
+/** Abstract simulation technique. */
+class Technique
+{
+  public:
+    virtual ~Technique() = default;
+
+    /** Technique family name (groups permutations in reports). */
+    virtual std::string name() const = 0;
+
+    /** Human-readable permutation label. */
+    virtual std::string permutation() const = 0;
+
+    /**
+     * Estimate @p ctx.benchmark's behaviour on machine @p config.
+     * Implementations must be deterministic for fixed inputs.
+     */
+    virtual TechniqueResult run(const TechniqueContext &ctx,
+                                const SimConfig &config) const = 0;
+};
+
+/** Shared pointer alias used by the permutation tables. */
+using TechniquePtr = std::shared_ptr<const Technique>;
+
+/**
+ * Measure the dynamic length of a benchmark's reference input under
+ * @p suite scaling (one architectural fast-forward pass; results should
+ * be cached by callers that loop).
+ */
+uint64_t measureReferenceLength(const std::string &benchmark,
+                                const SuiteConfig &suite);
+
+/** Build a TechniqueContext with the reference length filled in. */
+TechniqueContext makeContext(const std::string &benchmark,
+                             const SuiteConfig &suite);
+
+} // namespace yasim
+
+#endif // YASIM_TECHNIQUES_TECHNIQUE_HH

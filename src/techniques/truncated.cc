@@ -1,0 +1,95 @@
+#include "techniques/truncated.hh"
+
+#include "sim/bb_profiler.hh"
+#include "sim/functional.hh"
+#include "sim/ooo_core.hh"
+#include "support/logging.hh"
+
+namespace yasim {
+
+namespace {
+
+std::string
+mLabel(double m)
+{
+    char buf[32];
+    if (m == static_cast<double>(static_cast<long long>(m)))
+        std::snprintf(buf, sizeof(buf), "%lldM", static_cast<long long>(m));
+    else
+        std::snprintf(buf, sizeof(buf), "%.1fM", m);
+    return buf;
+}
+
+} // namespace
+
+std::string
+RunZ::permutation() const
+{
+    return "Z=" + mLabel(runM);
+}
+
+std::string
+FfRunZ::permutation() const
+{
+    return "X=" + mLabel(ffM) + " Z=" + mLabel(runM);
+}
+
+std::string
+FfWuRunZ::permutation() const
+{
+    return "X=" + mLabel(ffM) + " Y=" + mLabel(warmM) +
+           " Z=" + mLabel(runM);
+}
+
+TechniqueResult
+TruncatedExecution::run(const TechniqueContext &ctx,
+                        const SimConfig &config) const
+{
+    Workload workload =
+        buildWorkload(ctx.benchmark, InputSet::Reference, ctx.suite);
+    FunctionalSim fsim(workload.program);
+    OooCore core(config);
+    BbProfiler profiler(workload.program);
+
+    const uint64_t ff_insts = ffM > 0 ? ctx.scaledM(ffM) : 0;
+    const uint64_t warm_insts = warmM > 0 ? ctx.scaledM(warmM) : 0;
+    const uint64_t run_insts = ctx.scaledM(runM);
+
+    uint64_t ff_done = 0;
+    if (ff_insts > 0)
+        ff_done = fsim.fastForward(ff_insts);
+
+    // Warm-up: detailed simulation whose statistics are discarded.
+    uint64_t warm_done = 0;
+    if (warm_insts > 0)
+        warm_done = core.run(fsim, warm_insts);
+
+    SimStats before = core.snapshot();
+    uint64_t run_done = core.run(fsim, run_insts, &profiler);
+    SimStats measured = core.snapshot() - before;
+
+    if (run_done == 0) {
+        warn("%s/%s: window beyond program end (ff %llu of %llu)",
+             name().c_str(), permutation().c_str(),
+             static_cast<unsigned long long>(ff_done),
+             static_cast<unsigned long long>(ff_insts));
+    }
+
+    TechniqueResult result;
+    result.technique = name();
+    result.permutation = permutation();
+    result.detailed = measured;
+    result.cpi = measured.cpi();
+    result.metrics = measured.metricVector();
+    result.bbef = profiler.bbef();
+    result.bbv = profiler.bbv();
+    result.detailedInsts = run_done;
+    result.workUnits =
+        ctx.cost.fastForwardPerInst * static_cast<double>(ff_done) +
+        ctx.cost.detailedPerInst * static_cast<double>(warm_done) +
+        ctx.cost.detailedPerInst * static_cast<double>(run_done) +
+        ctx.cost.checkpointPerInst * static_cast<double>(ff_done);
+    return result;
+}
+
+} // namespace yasim

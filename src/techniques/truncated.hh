@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The truncated-execution techniques: Run Z, FF X + Run Z, and
+ * FF X + WU Y + Run Z.
+ *
+ * All three presume that a fixed window of the dynamic instruction
+ * stream is representative of the whole program. Run Z measures the
+ * first Z M instructions (initialization included); FF X + Run Z skips
+ * X M architecturally first (leaving the caches and predictor cold);
+ * FF X + WU Y + Run Z additionally runs Y M in detail before the
+ * measured window to warm the machine, tracking statistics only for the
+ * final Z M. X, Y, Z are in the paper's scaled M-instructions
+ * (X + Y is always a multiple of 100M, as in Table 1).
+ */
+
+#ifndef YASIM_TECHNIQUES_TRUNCATED_HH
+#define YASIM_TECHNIQUES_TRUNCATED_HH
+
+#include "techniques/technique.hh"
+
+namespace yasim {
+
+/**
+ * Shared implementation: fast-forward @p ff M, warm up @p warm M in
+ * detail, measure @p run M in detail.
+ */
+class TruncatedExecution : public Technique
+{
+  public:
+    TechniqueResult run(const TechniqueContext &ctx,
+                        const SimConfig &config) const override;
+
+  protected:
+    TruncatedExecution(double ff_m, double warm_m, double run_m)
+        : ffM(ff_m), warmM(warm_m), runM(run_m)
+    {
+    }
+
+    double ffM;
+    double warmM;
+    double runM;
+};
+
+/** Simulate only the first Z M instructions. */
+class RunZ : public TruncatedExecution
+{
+  public:
+    explicit RunZ(double z_m) : TruncatedExecution(0, 0, z_m) {}
+
+    std::string name() const override { return "Run Z"; }
+    std::string permutation() const override;
+};
+
+/** Fast-forward X M, then simulate Z M with a cold machine. */
+class FfRunZ : public TruncatedExecution
+{
+  public:
+    FfRunZ(double x_m, double z_m) : TruncatedExecution(x_m, 0, z_m) {}
+
+    std::string name() const override { return "FF+Run"; }
+    std::string permutation() const override;
+};
+
+/** Fast-forward X M, warm up Y M in detail, measure Z M. */
+class FfWuRunZ : public TruncatedExecution
+{
+  public:
+    FfWuRunZ(double x_m, double y_m, double z_m)
+        : TruncatedExecution(x_m, y_m, z_m)
+    {
+    }
+
+    std::string name() const override { return "FF+WU+Run"; }
+    std::string permutation() const override;
+};
+
+} // namespace yasim
+
+#endif // YASIM_TECHNIQUES_TRUNCATED_HH

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Combined (tournament) branch predictor with BTB.
+ *
+ * The predictor matches the paper's configurations ("Combined, 4K BHT
+ * entries"): a bimodal table of 2-bit counters, a gshare table of 2-bit
+ * counters indexed by PC xor global history, and a chooser table of 2-bit
+ * counters that selects between them, all sized by the BHT-entries
+ * parameter. Branch targets come from a set-associative BTB. A
+ * misprediction is a wrong direction or, for a predicted/actually taken
+ * branch, a BTB target miss.
+ */
+
+#ifndef YASIM_UARCH_BRANCH_PREDICTOR_HH
+#define YASIM_UARCH_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace yasim {
+
+/** Direction-predictor organizations. */
+enum class PredictorKind
+{
+    /** Per-PC 2-bit counters only. */
+    Bimodal,
+    /** Global-history-xor-PC 2-bit counters only. */
+    Gshare,
+    /** Tournament of the two with a chooser (the paper's "Combined"). */
+    Combined,
+};
+
+/** Printable predictor-kind name. */
+const char *predictorKindName(PredictorKind kind);
+
+/** Sizing knobs for the combined predictor (all the PB factors). */
+struct BranchPredictorConfig
+{
+    /** Direction-predictor organization. */
+    PredictorKind kind = PredictorKind::Combined;
+    /** Entries in each direction table (power of two). */
+    uint32_t bhtEntries = 4096;
+    /** Global-history length in bits for the gshare component. */
+    uint32_t globalHistoryBits = 12;
+    /** BTB entry count (power of two). */
+    uint32_t btbEntries = 2048;
+    /** BTB associativity. */
+    uint32_t btbAssoc = 4;
+    /** Update history speculatively at predict time (vs. at resolve). */
+    bool speculativeUpdate = true;
+};
+
+/** Direction + target prediction outcome. */
+struct BranchPrediction
+{
+    bool taken = false;
+    bool btbHit = false;
+    uint64_t target = 0;
+};
+
+/** Counts kept by the predictor. */
+struct BranchPredictorStats
+{
+    uint64_t lookups = 0;
+    uint64_t condBranches = 0;
+    uint64_t condMispredicts = 0;
+    uint64_t btbMisses = 0;
+
+    /** Conditional-branch direction accuracy in [0, 1]. */
+    double directionAccuracy() const
+    {
+        if (condBranches == 0)
+            return 1.0;
+        return 1.0 - static_cast<double>(condMispredicts) /
+                         static_cast<double>(condBranches);
+    }
+};
+
+/** Tournament predictor: bimodal + gshare + chooser + BTB. */
+class CombinedPredictor
+{
+  public:
+    explicit CombinedPredictor(const BranchPredictorConfig &config);
+
+    /** Predict direction and target for the branch at @p pc. */
+    BranchPrediction predict(uint64_t pc) const;
+
+    /**
+     * Train on the resolved outcome and report whether the fetch stream
+     * was redirected (i.e. a misprediction happened).
+     *
+     * @param pc          branch address
+     * @param conditional true for conditional branches
+     * @param taken       resolved direction (true for unconditionals)
+     * @param target      resolved target address
+     * @return true when direction or target was mispredicted
+     */
+    bool update(uint64_t pc, bool conditional, bool taken, uint64_t target);
+
+    /**
+     * Functional warming: train exactly as update() does but without
+     * touching the statistics (SMARTS keeps predictor state hot across
+     * skipped regions while measuring only the sampled units).
+     */
+    void warmUpdate(uint64_t pc, bool conditional, bool taken,
+                    uint64_t target);
+
+    /** Reset tables to the initial (cold) state; stats keep counting. */
+    void reset();
+
+    const BranchPredictorStats &stats() const { return bpStats; }
+    /** Zero the statistics (tables keep their training). */
+    void clearStats() { bpStats = BranchPredictorStats(); }
+
+  private:
+    BranchPredictorConfig config;
+    BranchPredictorStats bpStats;
+
+    std::vector<uint8_t> bimodal;
+    std::vector<uint8_t> gshare;
+    std::vector<uint8_t> chooser;
+    uint64_t globalHistory = 0;
+
+    struct BtbEntry
+    {
+        uint64_t tag = 0;
+        uint64_t target = 0;
+        uint32_t lru = 0;
+        bool valid = false;
+    };
+    std::vector<BtbEntry> btb;
+    uint32_t btbSets;
+    uint32_t lruClock = 0;
+
+    template <bool CountStats>
+    bool updateImpl(uint64_t pc, bool conditional, bool taken,
+                    uint64_t target);
+
+    uint32_t bimodalIndex(uint64_t pc) const;
+    uint32_t gshareIndex(uint64_t pc, uint64_t history) const;
+    const BtbEntry *btbLookup(uint64_t pc) const;
+    void btbInsert(uint64_t pc, uint64_t target);
+};
+
+} // namespace yasim
+
+#endif // YASIM_UARCH_BRANCH_PREDICTOR_HH

@@ -1,0 +1,137 @@
+#include "uarch/cache.hh"
+
+#include "support/logging.hh"
+
+namespace yasim {
+
+const char *
+replacementPolicyName(ReplacementPolicy policy)
+{
+    switch (policy) {
+      case ReplacementPolicy::Lru:
+        return "LRU";
+      case ReplacementPolicy::Fifo:
+        return "FIFO";
+      case ReplacementPolicy::Random:
+        return "random";
+    }
+    return "?";
+}
+
+namespace {
+
+inline bool
+isPow2(uint32_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+inline uint32_t
+log2u(uint32_t v)
+{
+    uint32_t r = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++r;
+    }
+    return r;
+}
+
+} // namespace
+
+Cache::Cache(std::string name, const CacheConfig &config)
+    : cacheName(std::move(name)), cfg(config)
+{
+    YASIM_ASSERT(isPow2(cfg.blockBytes));
+    uint64_t total_bytes = static_cast<uint64_t>(cfg.sizeKb) * 1024;
+    uint64_t num_lines = total_bytes / cfg.blockBytes;
+    YASIM_ASSERT(num_lines >= cfg.assoc);
+    YASIM_ASSERT(num_lines % cfg.assoc == 0);
+    numSets = static_cast<uint32_t>(num_lines / cfg.assoc);
+    YASIM_ASSERT(isPow2(numSets));
+    blockShift = log2u(cfg.blockBytes);
+    lines.assign(num_lines, Line());
+}
+
+uint64_t
+Cache::blockAddress(uint64_t addr) const
+{
+    return addr >> blockShift << blockShift;
+}
+
+bool
+Cache::lookupAndFill(uint64_t addr)
+{
+    uint64_t block = addr >> blockShift;
+    uint32_t set = static_cast<uint32_t>(block & (numSets - 1));
+    uint64_t tag = block >> log2u(numSets);
+
+    Line *base = &lines[static_cast<size_t>(set) * cfg.assoc];
+    Line *victim = base;
+    bool has_invalid = false;
+    for (uint32_t w = 0; w < cfg.assoc; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            if (cfg.replacement == ReplacementPolicy::Lru)
+                line.lru = ++lruClock; // FIFO keeps insertion order
+            return true;
+        }
+        if (!line.valid && !has_invalid) {
+            victim = &line;
+            has_invalid = true;
+        } else if (!has_invalid && victim->valid &&
+                   line.lru < victim->lru) {
+            victim = &line;
+        }
+    }
+    if (!has_invalid && cfg.replacement == ReplacementPolicy::Random) {
+        // xorshift64: cheap, deterministic victim choice.
+        rngState ^= rngState << 13;
+        rngState ^= rngState >> 7;
+        rngState ^= rngState << 17;
+        victim = &base[rngState % cfg.assoc];
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lru = ++lruClock;
+    return false;
+}
+
+bool
+Cache::access(uint64_t addr)
+{
+    ++cacheStats.accesses;
+    bool hit = lookupAndFill(addr);
+    if (!hit)
+        ++cacheStats.misses;
+    return hit;
+}
+
+bool
+Cache::touch(uint64_t addr)
+{
+    return lookupAndFill(addr);
+}
+
+bool
+Cache::probe(uint64_t addr) const
+{
+    uint64_t block = addr >> blockShift;
+    uint32_t set = static_cast<uint32_t>(block & (numSets - 1));
+    uint64_t tag = block >> log2u(numSets);
+    const Line *base = &lines[static_cast<size_t>(set) * cfg.assoc];
+    for (uint32_t w = 0; w < cfg.assoc; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+Cache::reset()
+{
+    for (Line &line : lines)
+        line.valid = false;
+    lruClock = 0;
+}
+
+} // namespace yasim

@@ -1,0 +1,110 @@
+#include "uarch/memory_hierarchy.hh"
+
+#include "support/logging.hh"
+
+namespace yasim {
+
+MemoryHierarchy::MemoryHierarchy(const MemoryConfig &config)
+    : cfg(config),
+      l1i("l1i", cfg.l1i),
+      l1d("l1d", cfg.l1d),
+      l2("l2", cfg.l2),
+      itlb("itlb", cfg.itlbEntries),
+      dtlb("dtlb", cfg.dtlbEntries)
+{
+}
+
+uint32_t
+MemoryHierarchy::memoryLatency(uint32_t block_bytes) const
+{
+    uint32_t chunks = (block_bytes + cfg.memBusBytes - 1) / cfg.memBusBytes;
+    if (chunks == 0)
+        chunks = 1;
+    return cfg.memLatencyFirst + (chunks - 1) * cfg.memLatencyNext;
+}
+
+uint32_t
+MemoryHierarchy::instAccess(uint64_t addr)
+{
+    uint32_t latency = cfg.l1iLatency;
+    if (!itlb.access(addr))
+        latency += cfg.tlbMissLatency;
+    if (!l1i.access(addr)) {
+        latency += cfg.l2Latency;
+        if (!l2.access(addr))
+            latency += memoryLatency(cfg.l2.blockBytes);
+    }
+    return latency;
+}
+
+uint32_t
+MemoryHierarchy::dataAccess(uint64_t addr, bool is_write)
+{
+    (void)is_write; // write-allocate: both directions fill identically
+    uint32_t latency = cfg.l1dLatency;
+    if (!dtlb.access(addr))
+        latency += cfg.tlbMissLatency;
+    if (!l1d.access(addr)) {
+        latency += cfg.l2Latency;
+        if (!l2.access(addr))
+            latency += memoryLatency(cfg.l2.blockBytes);
+        if (cfg.nextLinePrefetch)
+            prefetchNextLine(addr);
+    }
+    return latency;
+}
+
+void
+MemoryHierarchy::prefetchNextLine(uint64_t addr)
+{
+    uint64_t next = l1d.blockAddress(addr) + cfg.l1d.blockBytes;
+    ++pfStats.issued;
+    if (l1d.probe(next)) {
+        ++pfStats.redundant;
+        return;
+    }
+    l1d.touch(next);
+    l2.touch(next);
+}
+
+void
+MemoryHierarchy::warmData(uint64_t addr)
+{
+    dtlb.touch(addr);
+    if (!l1d.touch(addr)) {
+        l2.touch(addr);
+        if (cfg.nextLinePrefetch)
+            prefetchNextLine(addr);
+    }
+}
+
+void
+MemoryHierarchy::warmInst(uint64_t addr)
+{
+    itlb.touch(addr);
+    if (!l1i.touch(addr))
+        l2.touch(addr);
+}
+
+void
+MemoryHierarchy::reset()
+{
+    l1i.reset();
+    l1d.reset();
+    l2.reset();
+    itlb.reset();
+    dtlb.reset();
+}
+
+void
+MemoryHierarchy::clearStats()
+{
+    l1i.clearStats();
+    l1d.clearStats();
+    l2.clearStats();
+    itlb.clearStats();
+    dtlb.clearStats();
+    pfStats = PrefetchStats();
+}
+
+} // namespace yasim

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Two-level memory hierarchy: split L1 I/D, unified L2, main memory,
+ * I/D TLBs, and the optional next-line prefetcher.
+ *
+ * The hierarchy returns an access *latency* for the timing model and
+ * keeps the hit-rate statistics the characterizations consume. Main
+ * memory is charged as first-word latency plus per-chunk latency for the
+ * rest of the block, matching the paper's "Memory Lat (Cycles): First,
+ * Following" parameters.
+ *
+ * The next-line (one-block-lookahead) prefetcher implements the NLP
+ * enhancement [Jouppi90]: on every L1-D miss, the sequentially next block
+ * is also brought into L1-D (and L2). It is speculative and, in this
+ * model, charged no extra latency on the demand path.
+ */
+
+#ifndef YASIM_UARCH_MEMORY_HIERARCHY_HH
+#define YASIM_UARCH_MEMORY_HIERARCHY_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "uarch/cache.hh"
+#include "uarch/tlb.hh"
+
+namespace yasim {
+
+/** All memory-system sizing and latency knobs. */
+struct MemoryConfig
+{
+    CacheConfig l1i{32, 2, 64};
+    CacheConfig l1d{32, 2, 64};
+    CacheConfig l2{256, 4, 128};
+
+    uint32_t l1iLatency = 1;
+    uint32_t l1dLatency = 1;
+    uint32_t l2Latency = 8;
+    /** Cycles to the first chunk from main memory. */
+    uint32_t memLatencyFirst = 150;
+    /** Cycles per additional chunk. */
+    uint32_t memLatencyNext = 2;
+    /** Memory bus width in bytes (chunk size). */
+    uint32_t memBusBytes = 8;
+
+    uint32_t itlbEntries = 64;
+    uint32_t dtlbEntries = 128;
+    uint32_t tlbMissLatency = 30;
+
+    /** Enable the next-line prefetcher on the data side. */
+    bool nextLinePrefetch = false;
+};
+
+/** Prefetcher effectiveness counters. */
+struct PrefetchStats
+{
+    uint64_t issued = 0;
+    /** Prefetches that found the line already resident (wasted). */
+    uint64_t redundant = 0;
+};
+
+/** The full cache/TLB/memory stack. */
+class MemoryHierarchy
+{
+  public:
+    explicit MemoryHierarchy(const MemoryConfig &config);
+
+    /** Latency in cycles of an instruction fetch at @p addr. */
+    uint32_t instAccess(uint64_t addr);
+
+    /** Latency in cycles of a data read/write at @p addr. */
+    uint32_t dataAccess(uint64_t addr, bool is_write);
+
+    /**
+     * Functional warming: update cache/TLB state for a data access
+     * without counting statistics or computing latency (SMARTS's
+     * warming mode and FF X + WU Y warm-up).
+     */
+    void warmData(uint64_t addr);
+
+    /** Functional warming of the instruction side. */
+    void warmInst(uint64_t addr);
+
+    /** Invalidate all caches and TLBs (cold start). */
+    void reset();
+
+    /** Zero all statistics; cache contents keep their training. */
+    void clearStats();
+
+    const CacheStats &l1iStats() const { return l1i.stats(); }
+    const CacheStats &l1dStats() const { return l1d.stats(); }
+    const CacheStats &l2Stats() const { return l2.stats(); }
+    const TlbStats &itlbStats() const { return itlb.stats(); }
+    const TlbStats &dtlbStats() const { return dtlb.stats(); }
+    const PrefetchStats &prefetchStats() const { return pfStats; }
+
+    const MemoryConfig &config() const { return cfg; }
+
+  private:
+    /** Cycles to fill a block of @p block_bytes from main memory. */
+    uint32_t memoryLatency(uint32_t block_bytes) const;
+
+    void prefetchNextLine(uint64_t addr);
+
+    MemoryConfig cfg;
+    Cache l1i;
+    Cache l1d;
+    Cache l2;
+    Tlb itlb;
+    Tlb dtlb;
+    PrefetchStats pfStats;
+};
+
+} // namespace yasim
+
+#endif // YASIM_UARCH_MEMORY_HIERARCHY_HH

@@ -1,0 +1,77 @@
+#include "uarch/tlb.hh"
+
+#include "support/logging.hh"
+
+namespace yasim {
+
+namespace {
+
+inline uint32_t
+log2u(uint32_t v)
+{
+    uint32_t r = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++r;
+    }
+    return r;
+}
+
+} // namespace
+
+Tlb::Tlb(std::string name, uint32_t num_entries, uint32_t page_bytes)
+    : tlbName(std::move(name))
+{
+    YASIM_ASSERT(num_entries >= 1);
+    YASIM_ASSERT(page_bytes != 0 && (page_bytes & (page_bytes - 1)) == 0);
+    pageShift = log2u(page_bytes);
+    entries.assign(num_entries, Entry());
+}
+
+bool
+Tlb::lookupAndFill(uint64_t addr)
+{
+    uint64_t page = addr >> pageShift;
+    Entry *victim = &entries[0];
+    for (Entry &e : entries) {
+        if (e.valid && e.page == page) {
+            e.lru = ++lruClock;
+            return true;
+        }
+        if (!e.valid) {
+            victim = &e;
+        } else if (victim->valid && e.lru < victim->lru) {
+            victim = &e;
+        }
+    }
+    victim->valid = true;
+    victim->page = page;
+    victim->lru = ++lruClock;
+    return false;
+}
+
+bool
+Tlb::access(uint64_t addr)
+{
+    ++tlbStats.accesses;
+    bool hit = lookupAndFill(addr);
+    if (!hit)
+        ++tlbStats.misses;
+    return hit;
+}
+
+bool
+Tlb::touch(uint64_t addr)
+{
+    return lookupAndFill(addr);
+}
+
+void
+Tlb::reset()
+{
+    for (Entry &e : entries)
+        e.valid = false;
+    lruClock = 0;
+}
+
+} // namespace yasim

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fully-associative translation lookaside buffer.
+ *
+ * The PB parameter space includes I-TLB and D-TLB sizes and the TLB miss
+ * latency; a fully-associative LRU array of page entries is enough to make
+ * those parameters bite.
+ */
+
+#ifndef YASIM_UARCH_TLB_HH
+#define YASIM_UARCH_TLB_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace yasim {
+
+/** TLB hit/miss counters. */
+struct TlbStats
+{
+    uint64_t accesses = 0;
+    uint64_t misses = 0;
+
+    double hitRate() const
+    {
+        if (accesses == 0)
+            return 1.0;
+        return 1.0 - static_cast<double>(misses) /
+                         static_cast<double>(accesses);
+    }
+};
+
+/** Fully-associative LRU TLB. */
+class Tlb
+{
+  public:
+    /**
+     * @param name       for reports
+     * @param entries    number of page entries
+     * @param page_bytes page size (power of two)
+     */
+    Tlb(std::string name, uint32_t entries, uint32_t page_bytes = 4096);
+
+    /** Translate the page of @p addr; fills on miss. @return true on hit. */
+    bool access(uint64_t addr);
+
+    /** As access() but without statistics (warming). */
+    bool touch(uint64_t addr);
+
+    /** Drop all entries. */
+    void reset();
+
+    const TlbStats &stats() const { return tlbStats; }
+    void clearStats() { tlbStats = TlbStats(); }
+
+  private:
+    bool lookupAndFill(uint64_t addr);
+
+    std::string tlbName;
+    uint32_t pageShift;
+    TlbStats tlbStats;
+
+    struct Entry
+    {
+        uint64_t page = 0;
+        uint64_t lru = 0;
+        bool valid = false;
+    };
+    std::vector<Entry> entries;
+    uint64_t lruClock = 0;
+};
+
+} // namespace yasim
+
+#endif // YASIM_UARCH_TLB_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Synthetic art: adaptive-resonance-theory neural-network image scanner.
+ *
+ * Signature reproduced: floating-point dominated, streaming sequential
+ * passes over image and weight arrays that overflow the L1 D-cache but
+ * mostly fit in the L2 (art is famously L1-thrashing), near-perfectly
+ * predictable loop branches, and per-epoch normalization with FP
+ * divides.
+ */
+
+#include "sim/memory.hh"
+#include "workloads/builder_util.hh"
+#include "workloads/suite.hh"
+
+namespace yasim {
+
+Program
+buildArt(const WorkloadParams &params)
+{
+    ProgramBuilder b("art");
+
+    const uint64_t image_words =
+        budgetWords(params.wsBytes / 8 / 2, params.targetInsts, 26);
+    const uint64_t image_base = heapBase;
+    const uint64_t weight_base = image_base + image_words * 8;
+
+    const Lcg lcg{1, 2, 3};
+    lcg.prepare(b, params.seed);
+
+    // Initialization: fill image and weights with small FP values.
+    // (~10 dynamic instructions per element.)
+    for (uint64_t region = 0; region < 2; ++region) {
+        uint64_t base = region == 0 ? image_base : weight_base;
+        b.movi(4, static_cast<int64_t>(base));
+        CountedLoop init = beginCountedLoop(b, 9, 10, image_words);
+        lcg.step(b);
+        b.andi(13, 1, 1023);
+        b.addi(13, 13, 1);
+        b.fcvt(1, 13);
+        b.fst(4, 1, 0);
+        b.addi(4, 4, 8);
+        endCountedLoop(b, init);
+    }
+
+    const uint64_t init_cost = image_words * 2 * 10;
+    const uint64_t budget =
+        params.targetInsts > init_cost ? params.targetInsts - init_cost : 1;
+    // Each epoch: match scan (~7/elem) + weight update (~6/elem).
+    const uint64_t epoch_cost = image_words * 13 + 40;
+    const uint64_t epochs = tripsFor(budget, epoch_cost);
+
+    b.movi(5, static_cast<int64_t>(image_base));
+    b.movi(6, static_cast<int64_t>(weight_base));
+    b.movi(13, 999);
+    b.fcvt(4, 13); // f4: decay constant numerator
+    b.movi(13, 1000);
+    b.fcvt(5, 13);
+    b.fdiv(4, 4, 5); // f4 = 0.999 decay
+
+    CountedLoop epoch = beginCountedLoop(b, 9, 10, epochs);
+
+    // Match phase: activation = sum(image[i] * weight[i]).
+    b.movi(14, 0);
+    b.fcvt(6, 14); // f6 = accumulator
+    b.movi(7, static_cast<int64_t>(image_base));
+    b.movi(8, static_cast<int64_t>(weight_base));
+    {
+        CountedLoop scan = beginCountedLoop(b, 11, 12, image_words);
+        b.fld(1, 7, 0);
+        b.fld(2, 8, 0);
+        b.fmul(3, 1, 2);
+        b.fadd(6, 6, 3);
+        b.addi(7, 7, 8);
+        b.addi(8, 8, 8);
+        endCountedLoop(b, scan);
+    }
+
+    // Update phase: weights decay toward the image.
+    b.movi(8, static_cast<int64_t>(weight_base));
+    {
+        CountedLoop upd = beginCountedLoop(b, 11, 12, image_words);
+        b.fld(2, 8, 0);
+        b.fmul(2, 2, 4);
+        b.fst(8, 2, 0);
+        b.addi(8, 8, 8);
+        endCountedLoop(b, upd);
+    }
+
+    // Normalization: one FP divide per epoch (vigilance test).
+    b.movi(14, 1);
+    b.fcvt(7, 14);
+    b.fadd(7, 6, 7);
+    b.fdiv(6, 6, 7);
+
+    endCountedLoop(b, epoch);
+
+    b.halt();
+    return b.finish();
+}
+
+} // namespace yasim

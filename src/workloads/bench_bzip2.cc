@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Synthetic bzip2: block-sorting compression.
+ *
+ * Signature reproduced: alternation between a sorting phase whose
+ * compare branches are data-dependent coin flips (bzip2's block sort is
+ * a notorious mispredict generator) and a run-length/encode phase with
+ * highly predictable branches — two starkly different phase types — over
+ * a block-sized working set.
+ */
+
+#include <algorithm>
+
+#include "sim/memory.hh"
+#include "workloads/builder_util.hh"
+#include "workloads/suite.hh"
+
+namespace yasim {
+
+Program
+buildBzip2(const WorkloadParams &params)
+{
+    ProgramBuilder b("bzip2");
+
+    const uint64_t block_words =
+        budgetWords(params.wsBytes / 8, params.targetInsts, 24);
+    const uint64_t block_base = heapBase;
+    const uint64_t out_base = block_base + block_words * 8;
+
+    const Lcg lcg{1, 2, 3};
+    lcg.prepare(b, params.seed);
+    emitRandomFill(b, block_base, block_words, lcg, 4, 9, 10);
+
+    const uint64_t init_cost = block_words * 6;
+    const uint64_t budget =
+        params.targetInsts > init_cost ? params.targetInsts - init_cost : 1;
+    constexpr int num_blocks = 4; // compression "blocks" (phase pairs)
+    // Sort pass ~14/elem (half swap), encode pass ~8/elem.
+    const uint64_t block_cost = block_words * 22 + 20;
+    uint64_t blocks_budget = budget / num_blocks;
+    const uint64_t elems =
+        std::max<uint64_t>(std::min(block_words,
+                                    blocks_budget / 22),
+                           16);
+
+    b.movi(5, static_cast<int64_t>(block_base));
+    b.movi(6, static_cast<int64_t>(out_base));
+    (void)block_cost;
+
+    for (int blk = 0; blk < num_blocks; ++blk) {
+        // --- Sort phase: partition sweep with data-dependent swaps. ---
+        b.movi(4, static_cast<int64_t>(block_base));
+        lcg.step(b);
+        b.or_(14, 1, 0); // pivot = current LCG value
+        CountedLoop sort = beginCountedLoop(b, 9, 10, elems);
+        b.ld(15, 4, 0);
+        Label no_swap = b.newLabel();
+        b.bge(15, 14, no_swap); // ~50% taken, data dependent
+        // Swap with a partner element half a block away.
+        b.ld(16, 4, static_cast<int64_t>((block_words / 2) * 8));
+        b.st(4, 16, 0);
+        b.st(4, 15, static_cast<int64_t>((block_words / 2) * 8));
+        b.bind(no_swap);
+        b.addi(4, 4, 8);
+        endCountedLoop(b, sort);
+
+        // --- Encode phase: run-length scan, predictable branches. ---
+        b.movi(4, static_cast<int64_t>(block_base));
+        b.movi(7, 0);  // run length
+        b.movi(17, 0); // previous value
+        CountedLoop enc = beginCountedLoop(b, 9, 10, elems);
+        b.ld(15, 4, 0);
+        Label same = b.newLabel();
+        Label cont = b.newLabel();
+        b.beq(15, 17, same); // rarely equal: predictable not-taken
+        b.add(18, 6, 7);
+        b.st(18, 15, 0); // emit literal
+        b.addi(7, 7, 8);
+        b.andi(7, 7, 0xFFF8);
+        b.jmp(cont);
+        b.bind(same);
+        b.addi(7, 7, 0); // extend run
+        b.bind(cont);
+        b.or_(17, 15, 0);
+        b.addi(4, 4, 8);
+        endCountedLoop(b, enc);
+    }
+
+    b.halt();
+    return b.finish();
+}
+
+} // namespace yasim

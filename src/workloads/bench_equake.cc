@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Synthetic equake: earthquake-wave simulation (sparse matrix-vector
+ * kernels).
+ *
+ * Signature reproduced: FP sparse algebra with *indirect* loads — the
+ * column-index array is read and its value used as the address of the
+ * vector element — banded sparsity, and per-timestep alternation
+ * between the SpMV kernel and a vector update (two phase types).
+ */
+
+#include <algorithm>
+
+#include "sim/memory.hh"
+#include "workloads/builder_util.hh"
+#include "workloads/suite.hh"
+
+namespace yasim {
+
+Program
+buildEquake(const WorkloadParams &params)
+{
+    ProgramBuilder b("equake");
+
+    // Thirds: x vector, value array, column-index array.
+    const uint64_t n_words =
+        budgetWords(params.wsBytes / 8 / 4, params.targetInsts, 40);
+    const uint64_t x_base = heapBase;
+    const uint64_t val_base = x_base + n_words * 8;
+    const uint64_t col_base = val_base + n_words * 8;
+    const uint64_t y_base = col_base + n_words * 8;
+
+    const Lcg lcg{1, 2, 3};
+    lcg.prepare(b, params.seed);
+
+    // Init: x and vals as FP, cols as banded random indices.
+    b.movi(4, static_cast<int64_t>(x_base));
+    {
+        CountedLoop init = beginCountedLoop(b, 9, 10, n_words * 2);
+        lcg.step(b);
+        b.andi(13, 1, 255);
+        b.addi(13, 13, 1);
+        b.fcvt(1, 13);
+        b.fst(4, 1, 0);
+        b.addi(4, 4, 8);
+        endCountedLoop(b, init);
+    }
+    b.movi(4, static_cast<int64_t>(col_base));
+    {
+        // col[i] = byte offset of a vector element near row i (banded).
+        CountedLoop init = beginCountedLoop(b, 9, 10, n_words);
+        lcg.step(b);
+        b.andi(13, 1, 511);       // band halfwidth 512 elements
+        b.add(13, 13, 9);         // centered on the row
+        b.andi(13, 13, static_cast<int64_t>(n_words - 1));
+        b.shli(13, 13, 3);
+        b.st(4, 13, 0);
+        b.addi(4, 4, 8);
+        endCountedLoop(b, init);
+    }
+
+    const uint64_t init_cost = n_words * 2 * 10 + n_words * 10;
+    const uint64_t budget =
+        params.targetInsts > init_cost ? params.targetInsts - init_cost : 1;
+    constexpr uint64_t nnz_per_row = 6;
+    const uint64_t rows = n_words / nnz_per_row;
+    // Timestep: SpMV (~11/nnz) + vector update (~6/elem over rows).
+    const uint64_t step_cost = rows * nnz_per_row * 11 + rows * 6;
+    const uint64_t timesteps = tripsFor(budget, std::max<uint64_t>(step_cost, 1));
+
+    CountedLoop step = beginCountedLoop(b, 9, 10, timesteps);
+
+    // --- SpMV: y[r] = sum_j val[j] * x[col[j]] ---
+    b.movi(5, static_cast<int64_t>(col_base));
+    b.movi(6, static_cast<int64_t>(val_base));
+    b.movi(7, static_cast<int64_t>(y_base));
+    b.movi(8, static_cast<int64_t>(x_base));
+    {
+        CountedLoop row = beginCountedLoop(b, 11, 12, rows);
+        b.movi(14, 0);
+        b.fcvt(6, 14); // f6 = row accumulator
+        for (uint64_t j = 0; j < nnz_per_row; ++j) {
+            int64_t disp = static_cast<int64_t>(j * 8);
+            b.ld(15, 5, disp);  // column byte offset
+            b.add(15, 15, 8);   // &x[col]
+            b.fld(1, 15, 0);    // x[col]   (indirect)
+            b.fld(2, 6, disp);  // val[j]
+            b.fmul(3, 1, 2);
+            b.fadd(6, 6, 3);
+        }
+        b.fst(7, 6, 0);
+        b.addi(5, 5, static_cast<int64_t>(nnz_per_row * 8));
+        b.addi(6, 6, static_cast<int64_t>(nnz_per_row * 8));
+        b.addi(7, 7, 8);
+        endCountedLoop(b, row);
+    }
+
+    // --- Vector update: x[r] += 0.5 * y[r] ---
+    b.movi(14, 1);
+    b.fcvt(4, 14);
+    b.movi(14, 2);
+    b.fcvt(5, 14);
+    b.fdiv(4, 4, 5); // f4 = 0.5
+    b.movi(7, static_cast<int64_t>(y_base));
+    b.movi(8, static_cast<int64_t>(x_base));
+    {
+        CountedLoop upd = beginCountedLoop(b, 11, 12, rows);
+        b.fld(1, 7, 0);
+        b.fmul(1, 1, 4);
+        b.fld(2, 8, 0);
+        b.fadd(2, 2, 1);
+        b.fst(8, 2, 0);
+        b.addi(7, 7, 8);
+        b.addi(8, 8, 8);
+        endCountedLoop(b, upd);
+    }
+
+    endCountedLoop(b, step);
+
+    b.halt();
+    return b.finish();
+}
+
+} // namespace yasim

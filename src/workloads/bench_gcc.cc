@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Synthetic gcc: an optimizing compiler with many distinct passes.
+ *
+ * gcc is the paper's stress case: it has highly complex phase behaviour
+ * (SimPoint's 10M-interval permutation misses phase transitions and
+ * underestimates the memory-latency bottleneck on it). This builder
+ * reproduces that: each compiled "function" runs through eight passes
+ * with *disjoint static code* (so the dominant basic blocks change from
+ * phase to phase), function sizes vary pseudo-randomly (so phases are
+ * not periodic), the alias pass pointer-chases through the full arena
+ * (making the reference input memory-latency sensitive), and the
+ * constant-folding pass is rich in trivial computations (the TC
+ * enhancement's food).
+ */
+
+#include <algorithm>
+
+#include "sim/memory.hh"
+#include "workloads/builder_util.hh"
+#include "workloads/suite.hh"
+
+namespace yasim {
+
+Program
+buildGcc(const WorkloadParams &params)
+{
+    ProgramBuilder b("gcc");
+
+    // The IR arena is written incrementally by the passes (no up-front
+    // fill), so it is sized against the alias pass's chase budget
+    // (roughly one chase step per 48 dynamic instructions) rather than
+    // by an init cost: reference-class inputs (>= 2 MB) keep an arena
+    // far larger than the chase can revisit — every step misses, gcc's
+    // memory-latency bottleneck — while reduced inputs get arenas small
+    // enough that the chase re-visits them and stays cached.
+    const uint64_t chase_budget =
+        std::max<uint64_t>(params.targetInsts / 48, 64);
+    const bool huge_arena = params.wsBytes >= (2ULL << 20);
+    const uint64_t arena_words =
+        huge_arena
+            ? floorPow2(std::min(params.wsBytes / 8,
+                                 std::max<uint64_t>(
+                                     params.targetInsts / 4, 4096)))
+            : floorPow2(std::min(params.wsBytes / 8,
+                                 std::max<uint64_t>(chase_budget / 3,
+                                                    256)));
+    const uint64_t arena_base = heapBase;
+
+    // Function size range scales with the input (big inputs compile big
+    // functions, 1/64 to ~1/8 of the arena) but is clamped so one
+    // function's eight passes cost at most ~a third of the budget.
+    const uint64_t budget_avg =
+        std::max<uint64_t>(params.targetInsts / (48 * 3), 128);
+    const uint64_t min_size = std::min(
+        std::max<uint64_t>(arena_words / 64, 64), budget_avg / 2);
+    const uint64_t size_mask =
+        floorPow2(std::min(std::max<uint64_t>(arena_words / 8, 64),
+                           budget_avg)) -
+        1;
+
+    // Per-function dynamic cost ~= avg_size * (sum of per-pass costs).
+    const uint64_t avg_size = min_size + size_mask / 2;
+    const uint64_t per_function = avg_size * 48 + 60;
+    const uint64_t functions = tripsFor(params.targetInsts, per_function);
+
+    const Lcg lcg{1, 2, 3};
+    lcg.prepare(b, params.seed);
+
+    // r5 = arena base, r6 = current function offset (bytes),
+    // r7 = function size in words, r20 = diagnostics accumulator.
+    b.movi(5, static_cast<int64_t>(arena_base));
+    b.movi(6, 0);
+    b.movi(20, 0);
+
+    CountedLoop fn_loop = beginCountedLoop(b, 9, 10, functions);
+
+    // Function size: min_size + (rand & size_mask) words.
+    lcg.step(b);
+    b.shri(7, 1, 17);
+    b.andi(7, 7, static_cast<int64_t>(size_mask));
+    b.addi(7, 7, static_cast<int64_t>(min_size));
+
+    // Counted loops whose trip count lives in a register (the function
+    // size, r7) are emitted inline with this helper.
+    auto begin_reg_loop = [&](int counter, int limit_src) {
+        Label top = b.newLabel();
+        b.movi(counter, 0);
+        b.bind(top);
+        return CountedLoop{top, counter, limit_src};
+    };
+
+    // Pass 1: lex — sequential loads, cheap integer ops.
+    b.add(4, 5, 6);
+    {
+        CountedLoop p = begin_reg_loop(11, 7);
+        b.ld(13, 4, 0);
+        b.xor_(20, 20, 13);
+        b.addi(4, 4, 8);
+        endCountedLoop(b, p);
+    }
+
+    // Pass 2: parse — strided stores build the IR for this function.
+    b.add(4, 5, 6);
+    {
+        CountedLoop p = begin_reg_loop(11, 7);
+        lcg.step(b);
+        b.st(4, 1, 0);
+        b.addi(4, 4, 8);
+        endCountedLoop(b, p);
+    }
+
+    // Pass 3: constant folding — loads plus trivial-heavy arithmetic
+    // (x + 0, x * 1, x / 1): the TC enhancement's primary target. The
+    // divide-by-one chain is serial, so simplifying it to an ALU move
+    // rescues the unpipelined divider's latency.
+    b.add(4, 5, 6);
+    b.movi(15, 0);
+    b.movi(16, 1);
+    {
+        CountedLoop p = begin_reg_loop(11, 7);
+        b.ld(13, 4, 0);
+        b.add(14, 13, 15); // x + 0  (trivial)
+        b.mul(14, 14, 16); // x * 1  (trivial)
+        b.add(20, 20, 14);
+        b.div(20, 20, 16); // acc / 1 (trivial, serial)
+        b.addi(4, 4, 8);
+        endCountedLoop(b, p);
+    }
+
+    // Pass 4: SSA renumbering — random-access read-modify-write within
+    // the function's IR region.
+    {
+        CountedLoop p = begin_reg_loop(11, 7);
+        lcg.step(b);
+        b.shri(13, 1, 13);
+        b.andi(13, 13, static_cast<int64_t>(size_mask));
+        b.shli(13, 13, 3);
+        b.add(13, 13, 5);
+        b.add(13, 13, 6);
+        b.ld(14, 13, 0);
+        b.addi(14, 14, 7);
+        b.st(13, 14, 0);
+        endCountedLoop(b, p);
+    }
+
+    // Pass 5: alias analysis — serial pointer chase across the WHOLE
+    // arena. This is what makes gcc's reference input memory-latency
+    // bound: each load's value feeds the next address.
+    b.movi(17, 0); // chase cursor (byte offset)
+    {
+        CountedLoop p = begin_reg_loop(11, 7);
+        b.add(13, 5, 17);
+        b.ld(14, 13, 0);
+        b.add(17, 17, 14);
+        b.shli(18, 11, 6);
+        b.add(17, 17, 18);
+        b.andi(17, 17, static_cast<int64_t>(arena_words * 8 - 1));
+        b.andi(17, 17, ~7LL);
+        endCountedLoop(b, p);
+    }
+
+    // Pass 6: register allocation — data-dependent compare/spill.
+    b.add(4, 5, 6);
+    b.movi(15, 0); // pressure
+    {
+        CountedLoop p = begin_reg_loop(11, 7);
+        b.ld(13, 4, 0);
+        b.andi(14, 13, 0xFF);
+        Label no_spill = b.newLabel();
+        b.slti(18, 14, 128);
+        b.bne(18, 0, no_spill); // ~50% spills, data dependent
+        b.st(4, 15, 0);
+        b.addi(15, 15, 1);
+        b.bind(no_spill);
+        b.addi(4, 4, 8);
+        endCountedLoop(b, p);
+    }
+
+    // Pass 7: scheduling — window scan comparing adjacent IR entries.
+    b.add(4, 5, 6);
+    {
+        CountedLoop p = begin_reg_loop(11, 7);
+        b.ld(13, 4, 0);
+        b.ld(14, 4, 8);
+        Label ordered = b.newLabel();
+        b.bge(14, 13, ordered);
+        b.st(4, 14, 0);
+        b.st(4, 13, 8);
+        b.bind(ordered);
+        b.addi(4, 4, 8);
+        endCountedLoop(b, p);
+    }
+
+    // Pass 8: emit — sequential object-code stores.
+    b.add(4, 5, 6);
+    {
+        CountedLoop p = begin_reg_loop(11, 7);
+        b.add(13, 20, 11);
+        b.st(4, 13, 0);
+        b.addi(4, 4, 8);
+        endCountedLoop(b, p);
+    }
+
+    // Next function starts where this one's hot region ended.
+    b.shli(13, 7, 3);
+    b.add(6, 6, 13);
+    b.andi(6, 6, static_cast<int64_t>(arena_words * 8 - 1));
+    b.andi(6, 6, ~7LL);
+
+    endCountedLoop(b, fn_loop);
+
+    b.halt();
+    return b.finish();
+}
+
+} // namespace yasim

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Synthetic gzip: LZ77-style compression.
+ *
+ * Behavioural signature reproduced: sequential scan over a sliding
+ * window, hash-table probes with moderately predictable match branches,
+ * a modest working set that mostly lives in the L1/L2, and three
+ * deflate/scan/inflate passes that give the program mild phase
+ * behaviour. Integer-only, memory-moderate, branch-moderate — gzip is
+ * the "well-behaved" benchmark of the suite.
+ */
+
+#include "sim/memory.hh"
+#include "workloads/builder_util.hh"
+#include "workloads/suite.hh"
+
+namespace yasim {
+
+Program
+buildGzip(const WorkloadParams &params)
+{
+    ProgramBuilder b("gzip");
+
+    const uint64_t window_words =
+        budgetWords(params.wsBytes / 8 / 2, params.targetInsts, 6);
+    const uint64_t hash_words = window_words / 2;
+    const uint64_t window_base = heapBase;
+    const uint64_t hash_base = window_base + window_words * 8;
+    const uint64_t out_base = hash_base + hash_words * 8;
+
+    const Lcg lcg{1, 2, 3};
+    lcg.prepare(b, params.seed);
+
+    // Phase 0: read the "file" into the window and clear the hash
+    // table (gzip zeroes its hash chains before deflating; skipping
+    // this would leave a long first-touch cold transient inside pass 1
+    // that the real program does not have).
+    emitRandomFill(b, window_base, window_words, lcg, 4, 9, 10);
+    b.movi(4, static_cast<int64_t>(hash_base));
+    {
+        CountedLoop clear = beginCountedLoop(b, 9, 10, hash_words);
+        b.st(4, 0, 0);
+        b.addi(4, 4, 8);
+        endCountedLoop(b, clear);
+    }
+
+    // Instruction budget: ~17 dynamic instructions per main-loop trip,
+    // split over three passes.
+    const uint64_t init_cost = window_words * 6 + hash_words * 4;
+    const uint64_t budget =
+        params.targetInsts > init_cost ? params.targetInsts - init_cost : 1;
+    const uint64_t trips_per_pass = tripsFor(budget / 3, 17);
+
+    // r5 = window base, r6 = hash base, r7 = out base, r8 = out offset.
+    b.movi(5, static_cast<int64_t>(window_base));
+    b.movi(6, static_cast<int64_t>(hash_base));
+    b.movi(7, static_cast<int64_t>(out_base));
+    b.movi(8, 0);
+    b.movi(13, 0); // match counter
+
+    // Three passes with distinct code (distinct basic blocks) and
+    // slightly different hash mixing: deflate, scan, inflate.
+    const int64_t hash_consts[3] = {0x9e3779b1, 0x85ebca6b, 0xc2b2ae35};
+    for (int pass = 0; pass < 3; ++pass) {
+        b.movi(14, hash_consts[pass]);
+        CountedLoop loop = beginCountedLoop(b, 9, 10, trips_per_pass);
+
+        // Current window position: (i * 8) & window mask.
+        b.shli(4, 9, 3);
+        b.andi(4, 4, static_cast<int64_t>(window_words * 8 - 1));
+        b.add(4, 4, 5);
+        b.ld(15, 4, 0); // w = window[pos]
+
+        // hash = ((w ^ (w >> 13)) * K) masked into the hash table.
+        b.shri(16, 15, 13);
+        b.xor_(16, 15, 16);
+        b.mul(16, 16, 14);
+        b.shri(16, 16, 7);
+        b.andi(16, 16, static_cast<int64_t>(hash_words - 1));
+        b.shli(16, 16, 3);
+        b.add(16, 16, 6);
+        b.ld(17, 16, 0); // candidate match
+
+        Label no_match = b.newLabel();
+        b.bne(17, 15, no_match); // usually taken: no match
+        b.addi(13, 13, 1);       // match found
+        b.bind(no_match);
+        b.st(16, 15, 0); // update hash chain head
+
+        // Every 16th position emits an output token.
+        Label no_out = b.newLabel();
+        b.andi(18, 9, 15);
+        b.bne(18, 0, no_out);
+        b.add(19, 7, 8);
+        b.st(19, 15, 0);
+        b.addi(8, 8, 8);
+        b.andi(8, 8, static_cast<int64_t>(window_words * 8 - 1));
+        b.bind(no_out);
+
+        endCountedLoop(b, loop);
+    }
+
+    b.halt();
+    return b.finish();
+}
+
+} // namespace yasim

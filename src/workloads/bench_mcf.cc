@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Synthetic mcf: minimum-cost network-flow solver.
+ *
+ * Signature reproduced: the dominant behaviour is a value-carried
+ * pointer chase over a network far larger than any cache for the
+ * reference input — each load's result feeds the next effective address,
+ * so the run is serialized on main-memory latency and the CPI collapses.
+ * The reduced inputs use networks that fit in the L2 (or even the L1),
+ * which is exactly why the paper finds reduced-input mcf wildly
+ * unrepresentative: the percentage of cycles due to main-memory misses
+ * is much larger for reference than for any reduced input. A sequential
+ * "pricing" sweep adds a streaming phase, and network arcs are consulted
+ * for light integer arithmetic.
+ *
+ * The chase arena is deliberately *not* initialized: untouched memory
+ * reads zero and the next index is derived from (index, loaded value),
+ * preserving the serial load-to-address dependence while keeping the
+ * initialization cost independent of the (huge) working set — mirroring
+ * how mcf mmap()s its arena.
+ */
+
+#include "sim/memory.hh"
+#include "workloads/builder_util.hh"
+#include "workloads/suite.hh"
+
+namespace yasim {
+
+Program
+buildMcf(const WorkloadParams &params)
+{
+    ProgramBuilder b("mcf");
+
+    // Reference-class networks (>= 4 MB) stay unclamped: the chase
+    // never revisits, so every access is a main-memory miss no matter
+    // the instruction budget — mcf's defining behaviour. Reduced-input
+    // networks are sized so the chase sweeps them several times over,
+    // i.e. they become cache-resident, which is exactly the
+    // unrepresentativeness the paper measures.
+    const bool huge_network = params.wsBytes >= (4ULL << 20);
+    const uint64_t arena_base = heapBase;
+    const uint64_t arc_words =
+        budgetWords(4096, params.targetInsts, 30); // small hot arc table
+    // The arc table lives far above any possible arena size.
+    const uint64_t arc_base = arena_base + (64ULL << 20);
+
+    const Lcg lcg{1, 2, 3};
+    lcg.prepare(b, params.seed);
+    emitRandomFill(b, arc_base, arc_words, lcg, 4, 9, 10);
+
+    const uint64_t init_cost = arc_words * 6;
+    const uint64_t budget =
+        params.targetInsts > init_cost ? params.targetInsts - init_cost : 1;
+    constexpr int num_iterations = 6; // simplex iterations (phases)
+    // Chase step ~14 instructions; pricing sweep ~5 per element. The
+    // sweep covers a 16K-element slice at full scale and shrinks with
+    // the budget so reduced inputs keep their phase balance.
+    const uint64_t per_iter_budget =
+        std::max<uint64_t>(budget / num_iterations, 60);
+    const uint64_t sweep_elems = std::min<uint64_t>(
+        16384, std::max<uint64_t>(per_iter_budget / 10, 32));
+    const uint64_t pricing_cost = sweep_elems * 5;
+    const uint64_t chase_steps =
+        per_iter_budget > pricing_cost
+            ? tripsFor(per_iter_budget - pricing_cost, 14)
+            : 1;
+    const uint64_t chase_total = chase_steps * num_iterations;
+    const uint64_t arena_words =
+        huge_network
+            ? floorPow2(params.wsBytes / 8)
+            : floorPow2(std::min(params.wsBytes / 8,
+                                 std::max<uint64_t>(chase_total / 3,
+                                                    256)));
+
+    b.movi(5, static_cast<int64_t>(arena_base));
+    b.movi(6, static_cast<int64_t>(arc_base));
+    b.movi(7, 0);  // chase cursor (byte offset)
+    b.movi(13, 0); // flow accumulator
+    b.movi(15, 2654435761LL); // index mix constant
+
+    for (int iter = 0; iter < num_iterations; ++iter) {
+        // --- Phase A: node-potential chase (memory-latency bound). ---
+        CountedLoop chase = beginCountedLoop(b, 9, 10, chase_steps);
+        // Full-period LCG over word-aligned offsets (a == 1 mod 4, the
+        // byte increment is 8 * odd): every arena word is visited once
+        // per period, so there is no temporal locality to cache. The
+        // loaded value stays in the index dataflow, preserving the
+        // load-to-address serial chain mcf is famous for.
+        b.add(14, 5, 7);
+        b.ld(16, 14, 0); // serial: value feeds the next address
+        b.add(7, 7, 16);
+        b.mul(7, 7, 15);
+        b.addi(7, 7, 0x4F1BCDC8LL); // 8 * 0x9E3779B9 (odd)
+        b.andi(7, 7, static_cast<int64_t>(arena_words * 8 - 1));
+        b.andi(7, 7, ~7LL);
+        // Arc-cost arithmetic on the hot arc table.
+        b.shri(17, 7, 9);
+        b.andi(17, 17, static_cast<int64_t>(arc_words - 1));
+        b.shli(17, 17, 3);
+        b.add(17, 17, 6);
+        b.ld(18, 17, 0);
+        b.add(13, 13, 18);
+        endCountedLoop(b, chase);
+
+        // --- Phase B: pricing sweep (streaming) over an arena slice. ---
+        b.movi(4, static_cast<int64_t>(arena_base +
+                                       (static_cast<uint64_t>(iter) *
+                                        sweep_elems * 8) %
+                                           (arena_words * 8)));
+        CountedLoop sweep = beginCountedLoop(b, 11, 12, sweep_elems);
+        b.ld(16, 4, 0);
+        b.add(13, 13, 16);
+        b.addi(4, 4, 8);
+        endCountedLoop(b, sweep);
+    }
+
+    b.halt();
+    return b.finish();
+}
+
+} // namespace yasim

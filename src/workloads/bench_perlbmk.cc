@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Synthetic perlbmk: a bytecode-interpreter dispatch loop.
+ *
+ * Signature reproduced: the dominant behaviour is an 8-way opcode
+ * dispatch implemented as a compare-and-branch chain over data-random
+ * opcodes — the classic interpreter pattern that defeats direction
+ * predictors — followed by small per-opcode handlers that hit a tiny
+ * operand stack. Branch-dominated, high mispredict rate, small working
+ * set.
+ */
+
+#include "sim/memory.hh"
+#include "workloads/builder_util.hh"
+#include "workloads/suite.hh"
+
+namespace yasim {
+
+Program
+buildPerlbmk(const WorkloadParams &params)
+{
+    ProgramBuilder b("perlbmk");
+
+    const uint64_t code_words =
+        budgetWords(params.wsBytes / 8, params.targetInsts, 6);
+    const uint64_t code_base = heapBase;
+    const uint64_t stack_words = 256;
+    const uint64_t stack_base = code_base + code_words * 8;
+
+    const Lcg lcg{1, 2, 3};
+    lcg.prepare(b, params.seed);
+    emitRandomFill(b, code_base, code_words, lcg, 4, 9, 10);
+
+    const uint64_t init_cost = code_words * 6;
+    const uint64_t budget =
+        params.targetInsts > init_cost ? params.targetInsts - init_cost : 1;
+    const uint64_t dispatches = tripsFor(budget, 15);
+
+    b.movi(5, static_cast<int64_t>(code_base));
+    b.movi(6, static_cast<int64_t>(stack_base));
+    b.movi(7, 0);  // instruction pointer (byte offset)
+    b.movi(8, 0);  // stack pointer (byte offset)
+    b.movi(13, 0); // virtual accumulator
+
+    CountedLoop loop = beginCountedLoop(b, 9, 10, dispatches);
+
+    // Fetch the next virtual opcode.
+    b.add(14, 5, 7);
+    b.ld(15, 14, 0);
+    b.addi(7, 7, 8);
+    b.andi(7, 7, static_cast<int64_t>(code_words * 8 - 1));
+    b.andi(15, 15, 7); // 8 opcodes
+
+    Label next = b.newLabel();
+    Label handlers[8];
+    for (auto &h : handlers)
+        h = b.newLabel();
+
+    // Dispatch: compare-and-branch chain (the mispredict machine).
+    for (int op = 0; op < 7; ++op) {
+        b.movi(16, op);
+        b.beq(15, 16, handlers[op]);
+    }
+    b.jmp(handlers[7]);
+
+    // Handlers: each a small distinct block ending in a jump back.
+    b.bind(handlers[0]); // ADD
+    b.addi(13, 13, 3);
+    b.jmp(next);
+
+    b.bind(handlers[1]); // MUL
+    b.movi(17, 5);
+    b.mul(13, 13, 17);
+    b.jmp(next);
+
+    b.bind(handlers[2]); // LOAD local
+    b.andi(17, 13, static_cast<int64_t>(stack_words - 1));
+    b.shli(17, 17, 3);
+    b.add(17, 17, 6);
+    b.ld(13, 17, 0);
+    b.jmp(next);
+
+    b.bind(handlers[3]); // STORE local
+    b.andi(17, 13, static_cast<int64_t>(stack_words - 1));
+    b.shli(17, 17, 3);
+    b.add(17, 17, 6);
+    b.st(17, 13, 0);
+    b.jmp(next);
+
+    b.bind(handlers[4]); // SUB
+    b.addi(13, 13, -1);
+    b.jmp(next);
+
+    b.bind(handlers[5]); // XOR/SHIFT hash op
+    b.shri(17, 13, 3);
+    b.xor_(13, 13, 17);
+    b.jmp(next);
+
+    b.bind(handlers[6]); // PUSH
+    b.add(17, 6, 8);
+    b.st(17, 13, 0);
+    b.addi(8, 8, 8);
+    b.andi(8, 8, static_cast<int64_t>(stack_words * 8 - 1));
+    b.jmp(next);
+
+    b.bind(handlers[7]); // POP
+    b.addi(8, 8, -8);
+    b.andi(8, 8, static_cast<int64_t>(stack_words * 8 - 1));
+    b.add(17, 6, 8);
+    b.ld(13, 17, 0);
+    b.bind(next);
+
+    endCountedLoop(b, loop);
+
+    b.halt();
+    return b.finish();
+}
+
+} // namespace yasim

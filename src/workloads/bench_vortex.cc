@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Synthetic vortex: an object-oriented in-memory database.
+ *
+ * Signature reproduced: hash-bucket lookups followed by short chain
+ * walks, a balanced mix of loads and stores with data-dependent found/
+ * not-found branches, and six statically distinct "transaction types"
+ * executed round-robin, giving vortex the larger instruction footprint
+ * (I-cache/BTB pressure) its namesake is known for.
+ */
+
+#include "sim/memory.hh"
+#include "workloads/builder_util.hh"
+#include "workloads/suite.hh"
+
+namespace yasim {
+
+Program
+buildVortex(const WorkloadParams &params)
+{
+    ProgramBuilder b("vortex");
+
+    const uint64_t table_words =
+        budgetWords(params.wsBytes / 8, params.targetInsts, 6);
+    const uint64_t table_base = heapBase;
+
+    const Lcg lcg{1, 2, 3};
+    lcg.prepare(b, params.seed);
+    emitRandomFill(b, table_base, table_words, lcg, 4, 9, 10);
+
+    const uint64_t init_cost = table_words * 6;
+    const uint64_t budget =
+        params.targetInsts > init_cost ? params.targetInsts - init_cost : 1;
+    constexpr int transaction_types = 6;
+    // One outer trip executes all six transactions, ~21 insts each.
+    const uint64_t outer_trips =
+        tripsFor(budget, transaction_types * 21 + 2);
+
+    b.movi(5, static_cast<int64_t>(table_base));
+    b.movi(13, 0); // found counter
+
+    CountedLoop loop = beginCountedLoop(b, 9, 10, outer_trips);
+
+    // Six transaction types as disjoint static code: each hashes a key
+    // with its own multiplier, walks a 3-node chain, and applies its own
+    // update rule — same shape, different basic blocks.
+    const int64_t mixers[transaction_types] = {
+        0x9e3779b1, 0x85ebca6b, 0xc2b2ae35, 0x27d4eb2f,
+        0x165667b1, 0x2545f491,
+    };
+    for (int t = 0; t < transaction_types; ++t) {
+        lcg.step(b);
+        b.movi(14, mixers[t]);
+        b.mul(15, 1, 14); // hash the key
+        b.shri(15, 15, 9);
+        b.andi(15, 15, static_cast<int64_t>(table_words - 1));
+        b.shli(15, 15, 3);
+        b.add(15, 15, 5); // bucket address
+
+        Label done = b.newLabel();
+        for (int hop = 0; hop < 3; ++hop) {
+            b.ld(16, 15, 0); // object header
+            b.andi(17, 16, 15);
+            b.movi(18, t);
+            Label miss = b.newLabel();
+            b.bne(17, 18, miss); // type tag match ~1/16
+            b.addi(13, 13, 1);
+            b.st(15, 16, 0); // touch object (update timestamp)
+            b.jmp(done);
+            b.bind(miss);
+            // Follow the chain: next object derived from the header.
+            b.shri(17, 16, 7);
+            b.andi(17, 17, static_cast<int64_t>(table_words - 1));
+            b.shli(17, 17, 3);
+            b.add(15, 17, 5);
+        }
+        // Not found: insert (store) at the last probed slot.
+        b.st(15, 1, 0);
+        b.bind(done);
+    }
+
+    endCountedLoop(b, loop);
+
+    b.halt();
+    return b.finish();
+}
+
+} // namespace yasim

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Synthetic vpr: FPGA placement (simulated annealing) and routing
+ * (maze-expansion wavefront).
+ *
+ * vpr-place's signature is data-dependent accept/reject branches whose
+ * predictability *changes over the run* as the annealing temperature
+ * drops (early phases accept most swaps, late phases almost none), with
+ * random access into a placement grid. vpr-route's signature is
+ * breadth-of-wavefront expansion loops with congestion-update branches
+ * at roughly 50% and moderate working set.
+ */
+
+#include "sim/memory.hh"
+#include "workloads/builder_util.hh"
+#include "workloads/suite.hh"
+
+namespace yasim {
+
+Program
+buildVprPlace(const WorkloadParams &params)
+{
+    ProgramBuilder b("vpr-place");
+
+    const uint64_t grid_words =
+        budgetWords(params.wsBytes / 8, params.targetInsts, 6);
+    const uint64_t grid_base = heapBase;
+
+    const Lcg lcg{1, 2, 3};
+    lcg.prepare(b, params.seed);
+    emitRandomFill(b, grid_base, grid_words, lcg, 4, 9, 10);
+
+    const uint64_t init_cost = grid_words * 6;
+    const uint64_t budget =
+        params.targetInsts > init_cost ? params.targetInsts - init_cost : 1;
+    constexpr int num_phases = 8;
+    const uint64_t swaps_per_phase = tripsFor(budget / num_phases, 23);
+
+    b.movi(5, static_cast<int64_t>(grid_base));
+    b.movi(13, 0); // accepted-swap counter
+
+    // Annealing schedule: each temperature phase halves the acceptance
+    // threshold, so the accept branch drifts from ~always-taken to
+    // ~never-taken across phases.
+    for (int phase = 0; phase < num_phases; ++phase) {
+        b.movi(14, static_cast<int64_t>(0x100000 >> phase)); // threshold
+        CountedLoop loop = beginCountedLoop(b, 9, 10, swaps_per_phase);
+
+        // Pick two random cells.
+        lcg.step(b);
+        lcg.maskedOffset(b, 6, grid_words);
+        lcg.step(b);
+        lcg.maskedOffset(b, 7, grid_words);
+        b.add(6, 6, 5);
+        b.add(7, 7, 5);
+        b.ld(15, 6, 0);
+        b.ld(16, 7, 0);
+
+        // Cost delta from the two occupants.
+        b.sub(17, 15, 16);
+        b.xor_(18, 15, 16);
+        b.andi(17, 17, 0xFFFFF);
+
+        Label reject = b.newLabel();
+        b.bge(17, 14, reject); // accept when delta below threshold
+        b.st(6, 16, 0);        // swap
+        b.st(7, 15, 0);
+        b.addi(13, 13, 1);
+        b.bind(reject);
+        b.add(13, 13, 0); // bookkeeping (keeps the path lengths close)
+
+        endCountedLoop(b, loop);
+    }
+
+    b.halt();
+    return b.finish();
+}
+
+Program
+buildVprRoute(const WorkloadParams &params)
+{
+    ProgramBuilder b("vpr-route");
+
+    const uint64_t node_words =
+        budgetWords(params.wsBytes / 8, params.targetInsts, 6);
+    const uint64_t cost_base = heapBase;
+
+    const Lcg lcg{1, 2, 3};
+    lcg.prepare(b, params.seed);
+    emitRandomFill(b, cost_base, node_words, lcg, 4, 9, 10);
+
+    const uint64_t init_cost = node_words * 6;
+    const uint64_t budget =
+        params.targetInsts > init_cost ? params.targetInsts - init_cost : 1;
+    constexpr uint64_t expansions_per_net = 12;
+    const uint64_t nets = tripsFor(budget, expansions_per_net * 13 + 10);
+
+    b.movi(5, static_cast<int64_t>(cost_base));
+    b.movi(13, 0); // accumulated path cost
+
+    CountedLoop net_loop = beginCountedLoop(b, 9, 10, nets);
+    // Random source node for this net.
+    lcg.step(b);
+    b.shri(6, 1, 11);
+    b.andi(6, 6, static_cast<int64_t>(node_words - 1));
+
+    CountedLoop exp_loop = beginCountedLoop(b, 11, 12, expansions_per_net);
+    // Neighbour select: wavefront hops through the routing graph.
+    b.movi(15, 5);
+    b.mul(6, 6, 15);
+    b.addi(6, 6, 1);
+    b.andi(6, 6, static_cast<int64_t>(node_words - 1));
+    b.shli(7, 6, 3);
+    b.add(7, 7, 5);
+    b.ld(16, 7, 0); // node congestion cost
+    b.add(13, 13, 16);
+
+    // Congestion update on ~half the visited nodes (data dependent).
+    Label no_update = b.newLabel();
+    b.andi(17, 16, 1);
+    b.bne(17, 0, no_update);
+    b.addi(16, 16, 1);
+    b.st(7, 16, 0);
+    b.bind(no_update);
+    endCountedLoop(b, exp_loop);
+    endCountedLoop(b, net_loop);
+
+    b.halt();
+    return b.finish();
+}
+
+} // namespace yasim

@@ -1,0 +1,95 @@
+#include "workloads/builder_util.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace yasim {
+
+void
+Lcg::prepare(ProgramBuilder &b, uint64_t seed) const
+{
+    b.movi(value, static_cast<int64_t>(seed | 1));
+    b.movi(mulReg, static_cast<int64_t>(6364136223846793005ULL));
+    b.movi(addReg, static_cast<int64_t>(1442695040888963407ULL));
+}
+
+void
+Lcg::step(ProgramBuilder &b) const
+{
+    b.mul(value, value, mulReg);
+    b.add(value, value, addReg);
+    b.shri(tmpReg, value, 29);
+    b.xor_(value, value, tmpReg);
+}
+
+void
+Lcg::maskedOffset(ProgramBuilder &b, int dst, uint64_t words) const
+{
+    YASIM_ASSERT(words != 0 && (words & (words - 1)) == 0);
+    b.shri(dst, value, 11);
+    b.andi(dst, dst, static_cast<int64_t>(words - 1));
+    b.shli(dst, dst, 3);
+}
+
+CountedLoop
+beginCountedLoop(ProgramBuilder &b, int counter_reg, int limit_reg,
+                 uint64_t trips)
+{
+    YASIM_ASSERT(trips >= 1);
+    CountedLoop loop{b.newLabel(), counter_reg, limit_reg};
+    b.movi(counter_reg, 0);
+    b.movi(limit_reg, static_cast<int64_t>(trips));
+    b.bind(loop.top);
+    return loop;
+}
+
+void
+endCountedLoop(ProgramBuilder &b, const CountedLoop &loop)
+{
+    b.addi(loop.counterReg, loop.counterReg, 1);
+    b.blt(loop.counterReg, loop.limitReg, loop.top);
+}
+
+void
+emitRandomFill(ProgramBuilder &b, uint64_t base, uint64_t words,
+               const Lcg &lcg, int addr_reg, int cnt_reg, int limit_reg)
+{
+    YASIM_ASSERT(words >= 1);
+    b.movi(addr_reg, static_cast<int64_t>(base));
+    CountedLoop loop = beginCountedLoop(b, cnt_reg, limit_reg, words);
+    lcg.step(b);
+    b.st(addr_reg, lcg.value, 0);
+    b.addi(addr_reg, addr_reg, 8);
+    endCountedLoop(b, loop);
+}
+
+uint64_t
+floorPow2(uint64_t v)
+{
+    uint64_t p = 1;
+    while (p * 2 <= v)
+        p *= 2;
+    return p;
+}
+
+uint64_t
+budgetWords(uint64_t requested_words, uint64_t budget_insts,
+            uint64_t per_word_cost)
+{
+    YASIM_ASSERT(per_word_cost >= 1);
+    uint64_t affordable = budget_insts / (4 * per_word_cost);
+    uint64_t words = std::min(requested_words,
+                              std::max<uint64_t>(affordable, 256));
+    return floorPow2(words);
+}
+
+uint64_t
+tripsFor(uint64_t target_insts, uint64_t insts_per_trip)
+{
+    YASIM_ASSERT(insts_per_trip >= 1);
+    uint64_t trips = target_insts / insts_per_trip;
+    return trips >= 1 ? trips : 1;
+}
+
+} // namespace yasim

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Shared code-generation helpers for the benchmark builders.
+ *
+ * Every builder emits three kinds of constructs over and over: an
+ * in-register linear congruential generator (data-dependent values and
+ * "random" indices computed by the *simulated* program), counted loops,
+ * and array-initialization loops. These helpers keep the builders
+ * readable and their instruction counts predictable.
+ */
+
+#ifndef YASIM_WORKLOADS_BUILDER_UTIL_HH
+#define YASIM_WORKLOADS_BUILDER_UTIL_HH
+
+#include <cstdint>
+
+#include "isa/program_builder.hh"
+
+namespace yasim {
+
+/**
+ * An in-program PRNG: an LCG followed by an xorshift output mix. The
+ * mix matters: a power-of-two-modulus LCG has short-period low bits, so
+ * without it any branch keyed on low bits of "random" data is trivially
+ * learnable by a history predictor. Each step() costs one IntMult and
+ * three IntAlu operations.
+ */
+struct Lcg
+{
+    /** Register holding the evolving value. */
+    int value;
+    /** Register holding the multiplier constant. */
+    int mulReg;
+    /** Register holding the increment constant. */
+    int addReg;
+    /** Scratch register for the output mix. */
+    int tmpReg = 28;
+
+    /** Load the constants and seed the value register. */
+    void prepare(ProgramBuilder &b, uint64_t seed) const;
+
+    /** Advance: value = mix(value * mul + add). */
+    void step(ProgramBuilder &b) const;
+
+    /**
+     * Derive a masked array *byte* offset into @p dst: dst holds
+     * ((value >> 11) & (words - 1)) * 8. @pre words is a power of two.
+     */
+    void maskedOffset(ProgramBuilder &b, int dst, uint64_t words) const;
+};
+
+/** A counted up-loop under construction. */
+struct CountedLoop
+{
+    Label top;
+    int counterReg;
+    int limitReg;
+};
+
+/**
+ * Begin `for (counter = 0; counter < trips; ++counter)`. The limit is
+ * materialized into @p limit_reg. Loops with zero trips still execute
+ * once (do-while shape) — pass trips >= 1.
+ */
+CountedLoop beginCountedLoop(ProgramBuilder &b, int counter_reg,
+                             int limit_reg, uint64_t trips);
+
+/** Close the loop: increment, compare, branch to the top. */
+void endCountedLoop(ProgramBuilder &b, const CountedLoop &loop);
+
+/**
+ * Emit an initialization loop storing LCG-derived values to
+ * words consecutive 8-byte words at @p base. Costs ~6 dynamic
+ * instructions per word. Registers addr/cnt/limit are scratch.
+ */
+void emitRandomFill(ProgramBuilder &b, uint64_t base, uint64_t words,
+                    const Lcg &lcg, int addr_reg, int cnt_reg,
+                    int limit_reg);
+
+/** Round @p v down to a power of two (minimum 1). */
+uint64_t floorPow2(uint64_t v);
+
+/**
+ * Clamp a requested array size (in words) to what the instruction
+ * budget affords: initializing and minimally traversing the array at
+ * @p per_word_cost dynamic instructions per word must not consume more
+ * than ~a quarter of @p budget_insts. Result is a power of two, at
+ * least 256 words, so cache-index masks stay valid.
+ */
+uint64_t budgetWords(uint64_t requested_words, uint64_t budget_insts,
+                     uint64_t per_word_cost);
+
+/** Compute loop trips for a target dynamic length. Never below 1. */
+uint64_t tripsFor(uint64_t target_insts, uint64_t insts_per_trip);
+
+} // namespace yasim
+
+#endif // YASIM_WORKLOADS_BUILDER_UTIL_HH

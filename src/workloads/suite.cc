@@ -1,0 +1,215 @@
+#include "workloads/suite.hh"
+
+#include <array>
+#include <map>
+
+#include "support/logging.hh"
+
+namespace yasim {
+
+const char *
+inputSetName(InputSet input)
+{
+    switch (input) {
+      case InputSet::Small: return "small";
+      case InputSet::Medium: return "medium";
+      case InputSet::Large: return "large";
+      case InputSet::Test: return "test";
+      case InputSet::Train: return "train";
+      case InputSet::Reference: return "reference";
+    }
+    return "?";
+}
+
+const std::vector<InputSet> &
+allInputSets()
+{
+    static const std::vector<InputSet> sets = {
+        InputSet::Small, InputSet::Medium, InputSet::Large,
+        InputSet::Test, InputSet::Train, InputSet::Reference,
+    };
+    return sets;
+}
+
+namespace {
+
+using BuildFn = Program (*)(const WorkloadParams &);
+
+/** One available input set: Table-2 label, length, working set. */
+struct InputSpec
+{
+    const char *label;
+    /** Dynamic length as a fraction of the reference input's. */
+    double relLength;
+    /** Working set in KB. */
+    uint64_t wsKb;
+};
+
+struct BenchSpec
+{
+    const char *name;
+    BuildFn build;
+    std::map<InputSet, InputSpec> inputs;
+};
+
+/**
+ * The suite table. Length fractions follow the MinneSPEC design goals
+ * (small ~ minutes, large ~ a few percent of reference) and Table 2's
+ * N/A holes are preserved. Working sets are sized against the
+ * configuration space's caches: reference mcf exceeds every L2, while
+ * its reduced inputs are cache-resident.
+ */
+const std::vector<BenchSpec> &
+suiteTable()
+{
+    using I = InputSet;
+    static const std::vector<BenchSpec> table = {
+        {"gzip", &buildGzip,
+         {{I::Small, {"smred.log", 0.006, 32}},
+          {I::Medium, {"mdred.log", 0.02, 64}},
+          {I::Large, {"lgred.log", 0.06, 128}},
+          {I::Test, {"test.combined", 0.10, 192}},
+          {I::Train, {"train.combined", 0.30, 256}},
+          {I::Reference, {"ref.log", 1.0, 512}}}},
+        {"vpr-place", &buildVprPlace,
+         {{I::Small, {"smred.net", 0.006, 16}},
+          {I::Medium, {"mdred.net", 0.02, 32}},
+          {I::Test, {"test.net", 0.10, 96}},
+          {I::Train, {"train.net", 0.30, 160}},
+          {I::Reference, {"ref.net", 1.0, 512}}}},
+        {"vpr-route", &buildVprRoute,
+         {{I::Small, {"small.arch.in", 0.006, 16}},
+          {I::Medium, {"small.arch.in", 0.02, 32}},
+          {I::Large, {"small.arch.in", 0.06, 64}},
+          {I::Test, {"train.arch.in", 0.10, 96}},
+          {I::Train, {"train.arch.in", 0.30, 160}},
+          {I::Reference, {"ref.arch.in", 1.0, 512}}}},
+        {"gcc", &buildGcc,
+         {{I::Small, {"smred.c-iterate.i", 0.008, 64}},
+          {I::Medium, {"mdred.rtlanal.i", 0.02, 128}},
+          {I::Test, {"cccp.i", 0.10, 256}},
+          {I::Train, {"cp-decl.i", 0.30, 512}},
+          {I::Reference, {"166.i", 1.0, 2048}}}},
+        {"art", &buildArt,
+         {{I::Large, {"lgred", 0.06, 128}},
+          {I::Test, {"test", 0.10, 256}},
+          {I::Train, {"train", 0.30, 512}},
+          {I::Reference, {"-startx 110", 1.0, 2048}}}},
+        {"mcf", &buildMcf,
+         {{I::Small, {"smred.in", 0.006, 64}},
+          {I::Large, {"lgred.in", 0.06, 256}},
+          {I::Test, {"test.in", 0.10, 512}},
+          {I::Train, {"train.in", 0.30, 1024}},
+          {I::Reference, {"ref.in", 1.0, 8192}}}},
+        {"equake", &buildEquake,
+         {{I::Large, {"lgred.in", 0.06, 128}},
+          {I::Test, {"test.in", 0.10, 256}},
+          {I::Train, {"train.in", 0.30, 512}},
+          {I::Reference, {"ref.in", 1.0, 2048}}}},
+        {"perlbmk", &buildPerlbmk,
+         {{I::Small, {"smred.makerand", 0.006, 16}},
+          {I::Medium, {"mdred.makerand", 0.02, 32}},
+          {I::Train, {"scrabbl", 0.30, 64}},
+          {I::Reference, {"diffmail", 1.0, 256}}}},
+        {"vortex", &buildVortex,
+         {{I::Small, {"smred.raw", 0.006, 32}},
+          {I::Medium, {"mdred.raw", 0.02, 64}},
+          {I::Large, {"lgred.raw", 0.06, 128}},
+          {I::Test, {"test.raw", 0.10, 256}},
+          {I::Train, {"train.raw", 0.30, 512}},
+          {I::Reference, {"lendian1.raw", 1.0, 2048}}}},
+        {"bzip2", &buildBzip2,
+         {{I::Large, {"lgred.source", 0.06, 128}},
+          {I::Test, {"test.random", 0.10, 256}},
+          {I::Train, {"train.compressed", 0.30, 512}},
+          {I::Reference, {"ref.source", 1.0, 2048}}}},
+    };
+    return table;
+}
+
+const BenchSpec *
+findBench(const std::string &name)
+{
+    for (const BenchSpec &spec : suiteTable())
+        if (name == spec.name)
+            return &spec;
+    return nullptr;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+benchmarkNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> out;
+        for (const BenchSpec &spec : suiteTable())
+            out.emplace_back(spec.name);
+        return out;
+    }();
+    return names;
+}
+
+bool
+isBenchmark(const std::string &benchmark)
+{
+    return findBench(benchmark) != nullptr;
+}
+
+bool
+hasInput(const std::string &benchmark, InputSet input)
+{
+    const BenchSpec *spec = findBench(benchmark);
+    return spec && spec->inputs.count(input) > 0;
+}
+
+std::string
+inputLabel(const std::string &benchmark, InputSet input)
+{
+    const BenchSpec *spec = findBench(benchmark);
+    if (!spec)
+        return "";
+    auto it = spec->inputs.find(input);
+    return it == spec->inputs.end() ? "" : it->second.label;
+}
+
+std::vector<InputSet>
+availableInputs(const std::string &benchmark)
+{
+    std::vector<InputSet> available;
+    const BenchSpec *spec = findBench(benchmark);
+    if (!spec)
+        return available;
+    for (InputSet input : allInputSets())
+        if (spec->inputs.count(input))
+            available.push_back(input);
+    return available;
+}
+
+Workload
+buildWorkload(const std::string &benchmark, InputSet input,
+              const SuiteConfig &config)
+{
+    const BenchSpec *spec = findBench(benchmark);
+    if (!spec)
+        fatal("unknown benchmark '%s'", benchmark.c_str());
+    auto it = spec->inputs.find(input);
+    if (it == spec->inputs.end()) {
+        fatal("benchmark '%s' has no %s input set (N/A in Table 2)",
+              benchmark.c_str(), inputSetName(input));
+    }
+    const InputSpec &in = it->second;
+
+    WorkloadParams params;
+    params.targetInsts = static_cast<uint64_t>(
+        in.relLength * static_cast<double>(config.referenceInstructions));
+    if (params.targetInsts < 10000)
+        params.targetInsts = 10000;
+    params.wsBytes = in.wsKb * 1024;
+    params.seed = config.seed ^ (std::hash<std::string>{}(benchmark) |
+                                 (static_cast<uint64_t>(input) << 56));
+
+    return Workload{benchmark, input, in.label, spec->build(params)};
+}
+
+} // namespace yasim

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The synthetic SPEC-2000-like benchmark suite (Table 2 substitute).
+ *
+ * SPEC CPU2000 is proprietary, so each of the paper's ten C benchmarks is
+ * replaced by a synthetic program written for the yasim ISA that
+ * reproduces the published behavioural signature of its namesake: phase
+ * structure, working-set size relative to the cache hierarchy, branch
+ * predictability, FP/INT mix, and pointer-chasing vs. streaming memory
+ * behaviour. Every benchmark has up to six input sets (MinneSPEC
+ * small/medium/large plus SPEC test/train/reference) whose working sets
+ * and dynamic lengths genuinely differ — e.g. mcf's reference input
+ * thrashes the L2 while its reduced inputs are cache-resident, which is
+ * the exact property the paper's reduced-input findings hinge on.
+ *
+ * Instruction budgets are scaled: the reference input of each benchmark
+ * is a few million dynamic instructions (configurable), and the paper's
+ * technique parameters are interpreted in "scaled M-instructions" of
+ * reference_length / 10000 (see DESIGN.md section 5).
+ */
+
+#ifndef YASIM_WORKLOADS_SUITE_HH
+#define YASIM_WORKLOADS_SUITE_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace yasim {
+
+/** The input-set ladder from Table 2. */
+enum class InputSet
+{
+    Small,     ///< MinneSPEC smred
+    Medium,    ///< MinneSPEC mdred
+    Large,     ///< MinneSPEC lgred
+    Test,      ///< SPEC test
+    Train,     ///< SPEC train
+    Reference, ///< SPEC reference
+};
+
+/** Printable name ("small", ..., "reference"). */
+const char *inputSetName(InputSet input);
+
+/** All six input sets, reduced first. */
+const std::vector<InputSet> &allInputSets();
+
+/** A built benchmark: program plus provenance. */
+struct Workload
+{
+    std::string benchmark;
+    InputSet input = InputSet::Reference;
+    /** Table-2-style input label, e.g. "smred.log". */
+    std::string label;
+    Program program;
+};
+
+/** Generation knobs shared by all builders. */
+struct SuiteConfig
+{
+    /** Target dynamic length of every reference input. */
+    uint64_t referenceInstructions = 2'000'000;
+    /** Data seed (varies synthetic input content, not structure). */
+    uint64_t seed = 12345;
+};
+
+/** Per-builder parameters derived from SuiteConfig + input set. */
+struct WorkloadParams
+{
+    /** Desired dynamic instruction count (approximate). */
+    uint64_t targetInsts = 1'000'000;
+    /** Main working-set size in bytes. */
+    uint64_t wsBytes = 1 << 20;
+    /** Data seed. */
+    uint64_t seed = 12345;
+};
+
+/** The ten benchmark names in suite order. */
+const std::vector<std::string> &benchmarkNames();
+
+/** True when @p benchmark exists in the suite. */
+bool isBenchmark(const std::string &benchmark);
+
+/**
+ * True when Table 2 provides this benchmark/input combination (the
+ * paper's N/A holes are preserved).
+ */
+bool hasInput(const std::string &benchmark, InputSet input);
+
+/** Table-2-style label for a benchmark/input pair ("" when N/A). */
+std::string inputLabel(const std::string &benchmark, InputSet input);
+
+/**
+ * Build a workload. fatal()s on unknown benchmarks or N/A inputs.
+ */
+Workload buildWorkload(const std::string &benchmark, InputSet input,
+                       const SuiteConfig &config = SuiteConfig());
+
+/** Input sets available for @p benchmark, in ladder order. */
+std::vector<InputSet> availableInputs(const std::string &benchmark);
+
+// Individual builders (one per benchmark, in their own .cc files).
+Program buildGzip(const WorkloadParams &params);
+Program buildVprPlace(const WorkloadParams &params);
+Program buildVprRoute(const WorkloadParams &params);
+Program buildGcc(const WorkloadParams &params);
+Program buildArt(const WorkloadParams &params);
+Program buildMcf(const WorkloadParams &params);
+Program buildEquake(const WorkloadParams &params);
+Program buildPerlbmk(const WorkloadParams &params);
+Program buildVortex(const WorkloadParams &params);
+Program buildBzip2(const WorkloadParams &params);
+
+} // namespace yasim
+
+#endif // YASIM_WORKLOADS_SUITE_HH

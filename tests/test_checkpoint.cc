@@ -1,0 +1,127 @@
+/** @file Tests for architectural checkpoints. */
+
+#include <gtest/gtest.h>
+
+#include "isa/program_builder.hh"
+#include "sim/checkpoint.hh"
+#include "sim/functional.hh"
+#include "sim/memory.hh"
+#include "workloads/suite.hh"
+
+namespace yasim {
+namespace {
+
+Program
+loopProgram()
+{
+    ProgramBuilder b("cp");
+    Label top = b.newLabel();
+    b.movi(1, 0);
+    b.movi(2, 1000);
+    b.movi(5, static_cast<int64_t>(heapBase));
+    b.bind(top);
+    b.st(5, 1, 0);
+    b.ld(6, 5, 0);
+    b.add(7, 7, 6);
+    b.addi(5, 5, 8);
+    b.addi(1, 1, 1);
+    b.blt(1, 2, top);
+    b.halt();
+    return b.finish();
+}
+
+TEST(Checkpoint, RestoreResumesIdentically)
+{
+    Program p = loopProgram();
+
+    // Run A straight through; run B via a mid-point checkpoint.
+    FunctionalSim a(p);
+    a.fastForward(~0ULL);
+
+    FunctionalSim b1(p);
+    b1.fastForward(2000);
+    Checkpoint cp = Checkpoint::capture(b1);
+    EXPECT_EQ(cp.instruction(), 2000u);
+
+    FunctionalSim b2(p);
+    b2.fastForward(17); // arbitrary garbage state to overwrite
+    cp.restore(b2);
+    EXPECT_EQ(b2.instsExecuted(), 2000u);
+    b2.fastForward(~0ULL);
+
+    EXPECT_EQ(a.instsExecuted(), b2.instsExecuted());
+    for (int r = 0; r < numIntRegs; ++r)
+        EXPECT_EQ(a.intReg(r), b2.intReg(r)) << "r" << r;
+}
+
+TEST(Checkpoint, CapturesHaltState)
+{
+    Program p = loopProgram();
+    FunctionalSim sim(p);
+    sim.fastForward(~0ULL);
+    ASSERT_TRUE(sim.halted());
+    Checkpoint cp = Checkpoint::capture(sim);
+    FunctionalSim fresh(p);
+    cp.restore(fresh);
+    EXPECT_TRUE(fresh.halted());
+    EXPECT_EQ(fresh.fastForward(10), 0u);
+}
+
+TEST(Checkpoint, FootprintTracksTouchedMemory)
+{
+    Program p = loopProgram();
+    FunctionalSim early(p), late(p);
+    early.fastForward(100);
+    late.fastForward(4000);
+    Checkpoint cp_early = Checkpoint::capture(early);
+    Checkpoint cp_late = Checkpoint::capture(late);
+    EXPECT_GT(cp_late.footprintBytes(), cp_early.footprintBytes());
+}
+
+TEST(CheckpointLibrary, BuildsInOnePass)
+{
+    Program p = loopProgram();
+    CheckpointLibrary lib;
+    uint64_t cost = lib.build(p, {500, 2000, 4000});
+    EXPECT_EQ(lib.size(), 3u);
+    EXPECT_EQ(cost, 4000u); // one pass to the last position
+    EXPECT_EQ(lib.at(0).instruction(), 500u);
+    EXPECT_EQ(lib.at(2).instruction(), 4000u);
+}
+
+TEST(CheckpointLibrary, LatestAtOrBefore)
+{
+    Program p = loopProgram();
+    CheckpointLibrary lib;
+    lib.build(p, {500, 2000, 4000});
+    EXPECT_EQ(lib.latestAtOrBefore(499), nullptr);
+    EXPECT_EQ(lib.latestAtOrBefore(500)->instruction(), 500u);
+    EXPECT_EQ(lib.latestAtOrBefore(3999)->instruction(), 2000u);
+    EXPECT_EQ(lib.latestAtOrBefore(1 << 30)->instruction(), 4000u);
+}
+
+TEST(CheckpointLibrary, RestoreFromLibraryMatchesDirectRun)
+{
+    SuiteConfig suite;
+    suite.referenceInstructions = 150'000;
+    Workload w = buildWorkload("gzip", InputSet::Reference, suite);
+
+    CheckpointLibrary lib;
+    lib.build(w.program, {50'000});
+
+    FunctionalSim direct(w.program);
+    direct.fastForward(60'000);
+
+    FunctionalSim restored(w.program);
+    lib.latestAtOrBefore(55'000)->restore(restored);
+    restored.fastForward(60'000 - restored.instsExecuted());
+
+    EXPECT_EQ(direct.pc(), restored.pc());
+    for (int r = 0; r < numIntRegs; ++r)
+        EXPECT_EQ(direct.intReg(r), restored.intReg(r)) << "r" << r;
+    EXPECT_EQ(direct.memory().read(heapBase + 64),
+              restored.memory().read(heapBase + 64));
+}
+
+} // namespace
+} // namespace yasim

@@ -1,0 +1,160 @@
+/** @file Tests for the ISA: instructions, programs, the builder. */
+
+#include <gtest/gtest.h>
+
+#include "isa/instruction.hh"
+#include "isa/program.hh"
+#include "isa/program_builder.hh"
+
+namespace yasim {
+namespace {
+
+TEST(Instruction, ControlClassification)
+{
+    Instruction beq{Opcode::Beq, noReg, 1, 2, 0};
+    EXPECT_TRUE(beq.isControl());
+    EXPECT_TRUE(beq.isCondBranch());
+    Instruction jmp{Opcode::Jmp, noReg, noReg, noReg, 5};
+    EXPECT_TRUE(jmp.isControl());
+    EXPECT_FALSE(jmp.isCondBranch());
+    Instruction add{Opcode::Add, 1, 2, 3, 0};
+    EXPECT_FALSE(add.isControl());
+}
+
+TEST(Instruction, MemoryClassification)
+{
+    Instruction ld{Opcode::Ld, 1, 2, noReg, 8};
+    EXPECT_TRUE(ld.isLoad());
+    EXPECT_FALSE(ld.isStore());
+    Instruction st{Opcode::St, noReg, 2, 3, 8};
+    EXPECT_TRUE(st.isStore());
+    Instruction fld{Opcode::FLd, 1, 2, noReg, 0};
+    EXPECT_TRUE(fld.isLoad());
+    EXPECT_TRUE(fld.isFp());
+    EXPECT_TRUE(fld.writesFpReg());
+}
+
+TEST(Instruction, FuClasses)
+{
+    EXPECT_EQ((Instruction{Opcode::Add, 1, 2, 3, 0}).fuClass(),
+              FuClass::IntAlu);
+    EXPECT_EQ((Instruction{Opcode::Mul, 1, 2, 3, 0}).fuClass(),
+              FuClass::IntMult);
+    EXPECT_EQ((Instruction{Opcode::Div, 1, 2, 3, 0}).fuClass(),
+              FuClass::IntDiv);
+    EXPECT_EQ((Instruction{Opcode::FMul, 1, 2, 3, 0}).fuClass(),
+              FuClass::FpMult);
+    EXPECT_EQ((Instruction{Opcode::FDiv, 1, 2, 3, 0}).fuClass(),
+              FuClass::FpDiv);
+    EXPECT_EQ((Instruction{Opcode::Ld, 1, 2, noReg, 0}).fuClass(),
+              FuClass::MemRead);
+    EXPECT_EQ((Instruction{Opcode::Beq, noReg, 1, 2, 0}).fuClass(),
+              FuClass::Branch);
+}
+
+TEST(Instruction, EveryOpcodeHasNameAndFuClass)
+{
+    for (int op = 0; op <= static_cast<int>(Opcode::Halt); ++op) {
+        Instruction inst{static_cast<Opcode>(op), 1, 1, 1, 0};
+        EXPECT_STRNE(opcodeName(inst.op), "???");
+        inst.fuClass(); // must not panic
+    }
+}
+
+TEST(Instruction, Disassembly)
+{
+    Instruction add{Opcode::Add, 3, 1, 2, 0};
+    EXPECT_EQ(add.toString(), "add r3, r1, r2");
+}
+
+TEST(ProgramBuilder, ResolvesForwardLabels)
+{
+    ProgramBuilder b("t");
+    Label skip = b.newLabel();
+    b.movi(1, 5);
+    b.beq(1, 0, skip); // forward reference
+    b.movi(2, 1);
+    b.bind(skip);
+    b.halt();
+    Program p = b.finish();
+    EXPECT_EQ(p.size(), 4u);
+    EXPECT_EQ(p.at(1).imm, 3); // branch targets the bind point
+}
+
+TEST(ProgramBuilder, ResolvesBackwardLabels)
+{
+    ProgramBuilder b("t");
+    Label top = b.newLabel();
+    b.movi(1, 0);
+    b.bind(top);
+    b.addi(1, 1, 1);
+    b.blt(1, 2, top);
+    b.halt();
+    Program p = b.finish();
+    EXPECT_EQ(p.at(2).imm, 1);
+}
+
+TEST(Program, BasicBlockDiscovery)
+{
+    // movi; beq -> L; addi; L: halt   =>  blocks: [0,1] [2,2] [3,3]
+    ProgramBuilder b("t");
+    Label l = b.newLabel();
+    b.movi(1, 1);
+    b.beq(1, 0, l);
+    b.addi(2, 2, 1);
+    b.bind(l);
+    b.halt();
+    Program p = b.finish();
+    ASSERT_EQ(p.numBlocks(), 3u);
+    EXPECT_EQ(p.basicBlocks()[0].first, 0u);
+    EXPECT_EQ(p.basicBlocks()[0].last, 1u);
+    EXPECT_EQ(p.basicBlocks()[1].first, 2u);
+    EXPECT_EQ(p.basicBlocks()[2].first, 3u);
+    EXPECT_EQ(p.blockOf(0), 0u);
+    EXPECT_EQ(p.blockOf(1), 0u);
+    EXPECT_EQ(p.blockOf(2), 1u);
+    EXPECT_EQ(p.blockOf(3), 2u);
+}
+
+TEST(Program, SingleBlockProgram)
+{
+    ProgramBuilder b("t");
+    b.movi(1, 1);
+    b.addi(1, 1, 1);
+    b.halt();
+    Program p = b.finish();
+    EXPECT_EQ(p.numBlocks(), 1u);
+    EXPECT_EQ(p.basicBlocks()[0].size(), 3u);
+}
+
+TEST(Program, PcAddressing)
+{
+    EXPECT_EQ(Program::pcAddress(0), textBase);
+    EXPECT_EQ(Program::pcAddress(10), textBase + 10 * instBytes);
+}
+
+TEST(ProgramBuilderDeath, UnboundLabelIsFatal)
+{
+    auto bad = [] {
+        ProgramBuilder b("t");
+        Label never = b.newLabel();
+        b.jmp(never);
+        b.halt();
+        b.finish();
+    };
+    EXPECT_DEATH(bad(), "unbound label");
+}
+
+TEST(ProgramDeath, MissingHaltIsFatal)
+{
+    auto bad = [] {
+        std::vector<Instruction> insts;
+        insts.push_back(Instruction{Opcode::Nop, noReg, noReg, noReg, 0});
+        Program p(std::move(insts), "nohalt");
+        p.validate();
+    };
+    EXPECT_DEATH(bad(), "no Halt");
+}
+
+} // namespace
+} // namespace yasim

@@ -1,0 +1,72 @@
+/** @file Tests for the shared bench option parser. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/options.hh"
+
+namespace yasim {
+namespace {
+
+BenchOptions
+parse(std::vector<const char *> args, uint64_t def = 500'000)
+{
+    args.insert(args.begin(), "bench");
+    return parseBenchOptions(static_cast<int>(args.size()),
+                             const_cast<char **>(args.data()), def);
+}
+
+TEST(Options, Defaults)
+{
+    BenchOptions o = parse({});
+    EXPECT_EQ(o.suite.referenceInstructions, 500'000u);
+    EXPECT_EQ(o.benchmarks.size(), 10u);
+    EXPECT_FALSE(o.csv);
+    EXPECT_FALSE(o.full);
+}
+
+TEST(Options, RefInsts)
+{
+    BenchOptions o = parse({"--ref-insts", "1234567"});
+    EXPECT_EQ(o.suite.referenceInstructions, 1'234'567u);
+}
+
+TEST(Options, BenchmarkSubset)
+{
+    BenchOptions o = parse({"--benchmarks", "gzip,mcf"});
+    ASSERT_EQ(o.benchmarks.size(), 2u);
+    EXPECT_EQ(o.benchmarks[0], "gzip");
+    EXPECT_EQ(o.benchmarks[1], "mcf");
+}
+
+TEST(Options, Flags)
+{
+    BenchOptions o = parse({"--csv", "--full", "--seed", "99"});
+    EXPECT_TRUE(o.csv);
+    EXPECT_TRUE(o.full);
+    EXPECT_EQ(o.suite.seed, 99u);
+}
+
+TEST(OptionsDeath, UnknownBenchmark)
+{
+    EXPECT_DEATH(parse({"--benchmarks", "doom"}), "unknown benchmark");
+}
+
+TEST(OptionsDeath, UnknownFlag)
+{
+    EXPECT_DEATH(parse({"--frobnicate"}), "");
+}
+
+TEST(OptionsDeath, TooSmallRefInsts)
+{
+    EXPECT_DEATH(parse({"--ref-insts", "10"}), "at least");
+}
+
+TEST(OptionsDeath, MissingValue)
+{
+    EXPECT_DEATH(parse({"--ref-insts"}), "");
+}
+
+} // namespace
+} // namespace yasim

@@ -1,0 +1,90 @@
+/** @file Tests for the random-sampling technique [Conte96]. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "techniques/full_reference.hh"
+#include "techniques/random_sampling.hh"
+#include "techniques/smarts.hh"
+
+namespace yasim {
+namespace {
+
+TechniqueContext
+ctxFor(const std::string &bench)
+{
+    SuiteConfig suite;
+    suite.referenceInstructions = 250'000;
+    return makeContext(bench, suite);
+}
+
+TEST(RandomSampling, PositionsAreSortedAndInRange)
+{
+    TechniqueContext ctx = ctxFor("gzip");
+    RandomSampling technique(40, 500, 1000);
+    auto positions = technique.samplePositions(ctx);
+    ASSERT_EQ(positions.size(), 40u);
+    uint64_t prev = 0;
+    for (uint64_t p : positions) {
+        EXPECT_GE(p, prev);
+        EXPECT_LT(p, ctx.referenceLength);
+        prev = p;
+    }
+}
+
+TEST(RandomSampling, DeterministicForFixedSeed)
+{
+    TechniqueContext ctx = ctxFor("gzip");
+    RandomSampling a(20, 500, 1000, 11), b(20, 500, 1000, 11);
+    EXPECT_EQ(a.samplePositions(ctx), b.samplePositions(ctx));
+    RandomSampling c(20, 500, 1000, 12);
+    EXPECT_NE(a.samplePositions(ctx), c.samplePositions(ctx));
+}
+
+TEST(RandomSampling, EstimatesWithinReason)
+{
+    TechniqueContext ctx = ctxFor("gzip");
+    SimConfig cfg = architecturalConfig(2);
+    TechniqueResult ref = FullReference().run(ctx, cfg);
+    TechniqueResult r = RandomSampling(60, 1000, 2000).run(ctx, cfg);
+    // Cold-skip sampling is biased, but must land in the ballpark and
+    // be far cheaper than the reference.
+    EXPECT_NEAR(r.cpi, ref.cpi, ref.cpi * 0.8);
+    EXPECT_LT(r.workUnits, ref.workUnits);
+    EXPECT_EQ(r.technique, "random");
+}
+
+TEST(RandomSampling, MoreWarmupReducesColdBias)
+{
+    // The Conte96 result: per-sample warm-up buys accuracy.
+    TechniqueContext ctx = ctxFor("gzip");
+    SimConfig cfg = architecturalConfig(2);
+    double ref = FullReference().run(ctx, cfg).cpi;
+    double cold = RandomSampling(40, 1000, 0).run(ctx, cfg).cpi;
+    double warm = RandomSampling(40, 1000, 8000).run(ctx, cfg).cpi;
+    EXPECT_LT(std::fabs(warm - ref), std::fabs(cold - ref));
+}
+
+TEST(RandomSampling, SmartsFunctionalWarmingWins)
+{
+    // SMARTS's functional warming beats cold random sampling at
+    // comparable detailed budgets.
+    TechniqueContext ctx = ctxFor("vortex");
+    SimConfig cfg = architecturalConfig(2);
+    double ref = FullReference().run(ctx, cfg).cpi;
+    double random_err = std::fabs(
+        RandomSampling(50, 1000, 2000).run(ctx, cfg).cpi - ref);
+    double smarts_err =
+        std::fabs(Smarts(1000, 2000).run(ctx, cfg).cpi - ref);
+    EXPECT_LT(smarts_err, random_err);
+}
+
+TEST(RandomSampling, PermutationLabel)
+{
+    RandomSampling r(10, 100, 200);
+    EXPECT_EQ(r.permutation(), "N=10 U=100 W=200");
+}
+
+} // namespace
+} // namespace yasim

@@ -1,0 +1,117 @@
+/** @file Tests for the chi-squared machinery. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/chi2.hh"
+
+namespace yasim {
+namespace {
+
+TEST(Gamma, RegularizedPBoundaries)
+{
+    EXPECT_DOUBLE_EQ(regularizedGammaP(1.0, 0.0), 0.0);
+    EXPECT_NEAR(regularizedGammaP(1.0, 1e9), 1.0, 1e-12);
+}
+
+TEST(Gamma, KnownValues)
+{
+    // P(1, x) = 1 - exp(-x).
+    EXPECT_NEAR(regularizedGammaP(1.0, 1.0), 1.0 - std::exp(-1.0), 1e-10);
+    EXPECT_NEAR(regularizedGammaP(1.0, 2.0), 1.0 - std::exp(-2.0), 1e-10);
+    // P + Q = 1.
+    EXPECT_NEAR(regularizedGammaP(3.5, 2.0) + regularizedGammaQ(3.5, 2.0),
+                1.0, 1e-12);
+}
+
+TEST(Chi2, CdfKnownQuantiles)
+{
+    // chi2(k=1): CDF(3.841) ~= 0.95; chi2(k=10): CDF(18.307) ~= 0.95.
+    EXPECT_NEAR(chiSquaredCdf(3.841, 1), 0.95, 1e-3);
+    EXPECT_NEAR(chiSquaredCdf(18.307, 10), 0.95, 1e-3);
+}
+
+TEST(Chi2, CriticalValuesMatchTables)
+{
+    EXPECT_NEAR(chiSquaredCritical(1, 0.95), 3.841, 1e-2);
+    EXPECT_NEAR(chiSquaredCritical(3, 0.95), 7.815, 1e-2);
+    EXPECT_NEAR(chiSquaredCritical(10, 0.95), 18.307, 1e-2);
+    EXPECT_NEAR(chiSquaredCritical(100, 0.95), 124.342, 1e-1);
+}
+
+TEST(Chi2, IdenticalDistributionsSimilar)
+{
+    std::vector<double> counts = {100, 200, 300, 400};
+    Chi2Result res = chiSquaredCompare(counts, counts);
+    EXPECT_DOUBLE_EQ(res.statistic, 0.0);
+    EXPECT_TRUE(res.similar);
+}
+
+TEST(Chi2, ScaledDistributionsSimilar)
+{
+    // The observed counts are rescaled to the expected total, so a
+    // uniformly scaled distribution is a perfect match.
+    std::vector<double> obs = {10, 20, 30, 40};
+    std::vector<double> exp = {100, 200, 300, 400};
+    Chi2Result res = chiSquaredCompare(obs, exp);
+    EXPECT_NEAR(res.statistic, 0.0, 1e-9);
+    EXPECT_TRUE(res.similar);
+}
+
+TEST(Chi2, VeryDifferentDistributionsDissimilar)
+{
+    std::vector<double> obs = {1000, 0, 0, 0};
+    std::vector<double> exp = {250, 250, 250, 250};
+    Chi2Result res = chiSquaredCompare(obs, exp);
+    EXPECT_GT(res.statistic, res.critical);
+    EXPECT_FALSE(res.similar);
+}
+
+TEST(Chi2, ZeroCellsSkipped)
+{
+    std::vector<double> obs = {100, 0, 200};
+    std::vector<double> exp = {100, 0, 200};
+    Chi2Result res = chiSquaredCompare(obs, exp);
+    EXPECT_TRUE(res.similar);
+    EXPECT_DOUBLE_EQ(res.dof, 1.0); // two live cells - 1
+}
+
+TEST(Chi2, ExpectedZeroObservedNonzeroPenalized)
+{
+    std::vector<double> obs = {100, 100};
+    std::vector<double> exp = {200, 0};
+    Chi2Result res = chiSquaredCompare(obs, exp);
+    EXPECT_GT(res.statistic, 0.0);
+}
+
+TEST(Chi2, EmptyDistributions)
+{
+    std::vector<double> zeros = {0, 0, 0};
+    Chi2Result res = chiSquaredCompare(zeros, zeros);
+    EXPECT_TRUE(res.similar);
+}
+
+/** Property: statistic grows as the distributions diverge. */
+class Chi2DivergenceSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(Chi2DivergenceSweep, MonotoneInPerturbation)
+{
+    double shift = GetParam();
+    std::vector<double> exp = {500, 500, 500, 500};
+    std::vector<double> obs = {500 + shift, 500 - shift, 500 + shift,
+                               500 - shift};
+    std::vector<double> obs2 = {500 + 2 * shift, 500 - 2 * shift,
+                                500 + 2 * shift, 500 - 2 * shift};
+    double d1 = chiSquaredCompare(obs, exp).statistic;
+    double d2 = chiSquaredCompare(obs2, exp).statistic;
+    EXPECT_LT(d1, d2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, Chi2DivergenceSweep,
+                         ::testing::Values(10.0, 50.0, 100.0, 200.0));
+
+} // namespace
+} // namespace yasim

@@ -1,0 +1,125 @@
+/** @file Tests for distances, ranks, and normalizations. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/distance.hh"
+
+namespace yasim {
+namespace {
+
+TEST(Distance, Euclidean)
+{
+    EXPECT_DOUBLE_EQ(euclideanDistance({0, 0}, {3, 4}), 5.0);
+    EXPECT_DOUBLE_EQ(euclideanDistance({1, 2, 3}, {1, 2, 3}), 0.0);
+}
+
+TEST(Distance, Manhattan)
+{
+    EXPECT_DOUBLE_EQ(manhattanDistance({0, 0}, {3, -4}), 7.0);
+    EXPECT_DOUBLE_EQ(manhattanDistance({5}, {5}), 0.0);
+}
+
+TEST(Distance, TriangleInequalityHolds)
+{
+    std::vector<double> a = {1, 2, 3}, b = {4, 0, -1}, c = {2, 2, 2};
+    EXPECT_LE(euclideanDistance(a, c),
+              euclideanDistance(a, b) + euclideanDistance(b, c) + 1e-12);
+    EXPECT_LE(manhattanDistance(a, c),
+              manhattanDistance(a, b) + manhattanDistance(b, c) + 1e-12);
+}
+
+TEST(Ranks, LargestMagnitudeGetsRankOne)
+{
+    std::vector<int> ranks = rankByMagnitude({0.5, -3.0, 1.0});
+    EXPECT_EQ(ranks[0], 3); // |0.5| smallest
+    EXPECT_EQ(ranks[1], 1); // |-3| largest
+    EXPECT_EQ(ranks[2], 2);
+}
+
+TEST(Ranks, TiesBreakByIndex)
+{
+    std::vector<int> ranks = rankByMagnitude({2.0, -2.0, 2.0});
+    EXPECT_EQ(ranks[0], 1);
+    EXPECT_EQ(ranks[1], 2);
+    EXPECT_EQ(ranks[2], 3);
+}
+
+TEST(Ranks, EveryRankAppearsOnce)
+{
+    std::vector<double> effects;
+    for (int i = 0; i < 43; ++i)
+        effects.push_back(std::sin(i * 1.7) * (i + 1));
+    std::vector<int> ranks = rankByMagnitude(effects);
+    std::vector<bool> seen(44, false);
+    for (int r : ranks) {
+        ASSERT_GE(r, 1);
+        ASSERT_LE(r, 43);
+        EXPECT_FALSE(seen[static_cast<size_t>(r)]);
+        seen[static_cast<size_t>(r)] = true;
+    }
+}
+
+TEST(Ranks, MaxRankDistanceClosedForm)
+{
+    // 43 out-of-phase ranks: sum of (44 - 2i)^2 = 26488, sqrt = 162.75.
+    EXPECT_NEAR(maxRankDistance(43), std::sqrt(26488.0), 1e-9);
+    // Degenerate and small cases.
+    EXPECT_DOUBLE_EQ(maxRankDistance(1), 0.0);
+    EXPECT_NEAR(maxRankDistance(2), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Ranks, MaxRankDistanceIsAchieved)
+{
+    const size_t n = 43;
+    std::vector<int> fwd(n), rev(n);
+    for (size_t i = 0; i < n; ++i) {
+        fwd[i] = static_cast<int>(i) + 1;
+        rev[i] = static_cast<int>(n - i);
+    }
+    // normalizedRankDistance scales exactly to 100 for these.
+    EXPECT_NEAR(normalizedRankDistance(fwd, rev), 100.0, 1e-9);
+    EXPECT_DOUBLE_EQ(normalizedRankDistance(fwd, fwd), 0.0);
+}
+
+TEST(Normalize, DividesByReference)
+{
+    std::vector<double> v = {2.0, 10.0};
+    std::vector<double> ref = {4.0, 10.0};
+    std::vector<double> out = normalizeBy(v, ref);
+    EXPECT_DOUBLE_EQ(out[0], 0.5);
+    EXPECT_DOUBLE_EQ(out[1], 1.0);
+}
+
+TEST(Normalize, ZeroReferenceGuard)
+{
+    std::vector<double> out = normalizeBy({0.0, 5.0}, {0.0, 0.0});
+    EXPECT_DOUBLE_EQ(out[0], 1.0); // 0/0 agrees
+    EXPECT_GT(out[1], 1e8);        // 5/0 flagged huge
+}
+
+/** Property sweep: normalized rank distance stays within [0, 100]. */
+class RankDistanceSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RankDistanceSweep, Bounded)
+{
+    const int n = GetParam();
+    std::vector<int> a(static_cast<size_t>(n)), b(a);
+    for (int i = 0; i < n; ++i) {
+        a[static_cast<size_t>(i)] = i + 1;
+        // A deterministic permutation.
+        b[static_cast<size_t>(i)] = (i * 7 % n) + 1;
+    }
+    double d = normalizedRankDistance(a, b);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 100.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RankDistanceSweep,
+                         ::testing::Values(2, 3, 5, 10, 43, 101));
+
+} // namespace
+} // namespace yasim

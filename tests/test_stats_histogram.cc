@@ -1,0 +1,70 @@
+/** @file Tests for the fixed-bin histogram. */
+
+#include <gtest/gtest.h>
+
+#include "stats/histogram.hh"
+
+namespace yasim {
+namespace {
+
+TEST(Histogram, BinsAndOverflow)
+{
+    Histogram h(0.0, 0.03, 10); // Figure 5's shape
+    h.add(0.01);                // bin 0
+    h.add(0.05);                // bin 1
+    h.add(0.29);                // bin 9
+    h.add(0.31);                // overflow
+    h.add(5.0);                 // overflow
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(1), 1u);
+    EXPECT_EQ(h.binCount(9), 1u);
+    EXPECT_EQ(h.overflowCount(), 2u);
+}
+
+TEST(Histogram, Fractions)
+{
+    Histogram h(0.0, 0.1, 2);
+    h.add(0.05);
+    h.add(0.05);
+    h.add(0.15);
+    h.add(0.95);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.5);
+    EXPECT_DOUBLE_EQ(h.fraction(1), 0.25);
+    EXPECT_DOUBLE_EQ(h.fraction(2), 0.25); // overflow index
+}
+
+TEST(Histogram, BoundaryGoesToUpperBin)
+{
+    Histogram h(0.0, 0.03, 10);
+    h.add(0.03); // exactly on the 0/1 boundary -> bin 1
+    EXPECT_EQ(h.binCount(1), 1u);
+    h.add(0.30); // exactly at the top -> overflow
+    EXPECT_EQ(h.overflowCount(), 1u);
+}
+
+TEST(Histogram, NegativeClampsToFirstBin)
+{
+    Histogram h(0.0, 0.03, 10);
+    h.add(-0.5);
+    EXPECT_EQ(h.binCount(0), 1u);
+}
+
+TEST(Histogram, PaperStyleLabels)
+{
+    Histogram h(0.0, 0.03, 10);
+    EXPECT_EQ(h.label(0), "0% to 3%");
+    EXPECT_EQ(h.label(1), "3% to 6%");
+    EXPECT_EQ(h.label(9), "27% to 30%");
+    EXPECT_EQ(h.label(10), "> 30%");
+}
+
+TEST(Histogram, EmptyFractionsAreZero)
+{
+    Histogram h(0.0, 1.0, 3);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+    EXPECT_EQ(h.total(), 0u);
+}
+
+} // namespace
+} // namespace yasim

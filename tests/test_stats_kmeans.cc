@@ -1,0 +1,170 @@
+/** @file Tests for k-means, BIC selection, and random projection. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/kmeans.hh"
+#include "stats/projection.hh"
+#include "support/rng.hh"
+
+namespace yasim {
+namespace {
+
+/** Three well-separated 2-D blobs. */
+std::vector<std::vector<double>>
+threeBlobs(int per_blob, Rng &rng)
+{
+    const double centers[3][2] = {{0, 0}, {10, 10}, {-10, 12}};
+    std::vector<std::vector<double>> points;
+    for (int c = 0; c < 3; ++c)
+        for (int i = 0; i < per_blob; ++i)
+            points.push_back({centers[c][0] + rng.nextGaussian() * 0.5,
+                              centers[c][1] + rng.nextGaussian() * 0.5});
+    return points;
+}
+
+TEST(Kmeans, FindsThreeBlobs)
+{
+    Rng rng(42);
+    auto points = threeBlobs(50, rng);
+    KmeansResult result = kmeans(points, 3, rng);
+    EXPECT_EQ(result.numClusters, 3);
+    // Every blob's points share one label.
+    for (int blob = 0; blob < 3; ++blob) {
+        int label = result.assignment[static_cast<size_t>(blob * 50)];
+        for (int i = 0; i < 50; ++i)
+            EXPECT_EQ(result.assignment[static_cast<size_t>(
+                          blob * 50 + i)],
+                      label);
+    }
+    EXPECT_LT(result.distortion / static_cast<double>(points.size()),
+              1.0);
+}
+
+TEST(Kmeans, KOneGivesGrandCentroid)
+{
+    Rng rng(7);
+    std::vector<std::vector<double>> points = {{0}, {2}, {4}};
+    KmeansResult result = kmeans(points, 1, rng);
+    EXPECT_EQ(result.numClusters, 1);
+    EXPECT_NEAR(result.centroids[0][0], 2.0, 1e-9);
+}
+
+TEST(Kmeans, KClampedToPointCount)
+{
+    Rng rng(9);
+    std::vector<std::vector<double>> points = {{0}, {1}};
+    KmeansResult result = kmeans(points, 10, rng);
+    EXPECT_LE(result.centroids.size(), 2u);
+    EXPECT_NEAR(result.distortion, 0.0, 1e-12);
+}
+
+TEST(Kmeans, DistortionDecreasesWithK)
+{
+    Rng rng(11);
+    auto points = threeBlobs(30, rng);
+    double prev = 1e300;
+    for (int k = 1; k <= 4; ++k) {
+        Rng seed_rng(static_cast<uint64_t>(100 + k));
+        KmeansResult r = kmeans(points, k, seed_rng);
+        EXPECT_LE(r.distortion, prev + 1e-9);
+        prev = r.distortion;
+    }
+}
+
+TEST(Bic, PrefersTrueClusterCount)
+{
+    Rng rng(123);
+    auto points = threeBlobs(60, rng);
+    KSelection sel = selectK(points, 8, rng);
+    EXPECT_EQ(sel.k, 3);
+}
+
+TEST(Bic, SingleBlobPrefersKOne)
+{
+    Rng rng(321);
+    std::vector<std::vector<double>> points;
+    for (int i = 0; i < 100; ++i)
+        points.push_back(
+            {rng.nextGaussian() * 0.1, rng.nextGaussian() * 0.1});
+    KSelection sel = selectK(points, 6, rng);
+    EXPECT_LE(sel.k, 2); // the 90% threshold may admit k=2
+}
+
+TEST(Projection, PreservesRelativeDistances)
+{
+    Rng rng(55);
+    const size_t in_dim = 500, out_dim = 15;
+    RandomProjection proj(in_dim, out_dim, rng);
+
+    // Two similar sparse vectors and one very different one.
+    std::vector<double> a(in_dim, 0.0), b(in_dim, 0.0), c(in_dim, 0.0);
+    for (size_t i = 0; i < 20; ++i) {
+        a[i * 7] = 1.0;
+        b[i * 7] = 1.1;
+        c[i * 11 + 3] = 2.0;
+    }
+    auto pa = proj.project(a);
+    auto pb = proj.project(b);
+    auto pc = proj.project(c);
+    ASSERT_EQ(pa.size(), out_dim);
+
+    auto d2 = [](const std::vector<double> &x,
+                 const std::vector<double> &y) {
+        double acc = 0;
+        for (size_t i = 0; i < x.size(); ++i)
+            acc += (x[i] - y[i]) * (x[i] - y[i]);
+        return acc;
+    };
+    EXPECT_LT(d2(pa, pb), d2(pa, pc));
+}
+
+TEST(Projection, SparseMatchesDense)
+{
+    Rng rng(77);
+    RandomProjection proj(100, 10, rng);
+    std::vector<double> dense(100, 0.0);
+    std::vector<std::pair<size_t, double>> sparse;
+    dense[3] = 2.5;
+    dense[97] = -1.0;
+    sparse = {{3, 2.5}, {97, -1.0}};
+    auto pd = proj.project(dense);
+    auto ps = proj.projectSparse(sparse);
+    for (size_t i = 0; i < pd.size(); ++i)
+        EXPECT_NEAR(pd[i], ps[i], 1e-12);
+}
+
+TEST(Projection, NormalizeL1)
+{
+    std::vector<double> v = {1.0, -3.0};
+    normalizeL1(v);
+    EXPECT_DOUBLE_EQ(v[0], 0.25);
+    EXPECT_DOUBLE_EQ(v[1], -0.75);
+    std::vector<double> zero = {0.0, 0.0};
+    normalizeL1(zero); // must not divide by zero
+    EXPECT_DOUBLE_EQ(zero[0], 0.0);
+}
+
+/** Property sweep: clustering is deterministic for a fixed seed. */
+class KmeansDeterminism : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(KmeansDeterminism, SameSeedSameResult)
+{
+    int k = GetParam();
+    Rng data_rng(1000);
+    auto points = threeBlobs(40, data_rng);
+    Rng r1(2000), r2(2000);
+    KmeansResult a = kmeans(points, k, r1);
+    KmeansResult b = kmeans(points, k, r2);
+    EXPECT_EQ(a.assignment, b.assignment);
+    EXPECT_DOUBLE_EQ(a.distortion, b.distortion);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KmeansDeterminism,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+} // namespace
+} // namespace yasim

@@ -1,0 +1,94 @@
+/** @file Additional k-means tests: the ladder and restart variants. */
+
+#include <gtest/gtest.h>
+
+#include "stats/kmeans.hh"
+#include "support/rng.hh"
+
+namespace yasim {
+namespace {
+
+std::vector<std::vector<double>>
+blobs(int per_blob, int num_blobs, Rng &rng)
+{
+    std::vector<std::vector<double>> points;
+    for (int c = 0; c < num_blobs; ++c)
+        for (int i = 0; i < per_blob; ++i)
+            points.push_back({c * 12.0 + rng.nextGaussian() * 0.4,
+                              (c % 2) * 9.0 + rng.nextGaussian() * 0.4});
+    return points;
+}
+
+TEST(KmeansLadder, FindsTrueK)
+{
+    Rng rng(5);
+    auto points = blobs(40, 4, rng);
+    KSelection sel = selectKLadder(points, 64, rng);
+    EXPECT_EQ(sel.k, 4);
+}
+
+TEST(KmeansLadder, LadderCoversOneAndMax)
+{
+    Rng rng(6);
+    auto points = blobs(10, 2, rng);
+    KSelection full = selectK(points, 5, rng);
+    Rng rng2(6);
+    KSelection ladder = selectKLadder(points, 5, rng2);
+    // Small max_k: the ladder degenerates to the full sweep.
+    EXPECT_EQ(full.scores.size(), ladder.scores.size());
+}
+
+TEST(KmeansLadder, MuchCheaperThanFullSweepInCandidates)
+{
+    Rng rng(7);
+    auto points = blobs(20, 3, rng);
+    KSelection ladder = selectKLadder(points, 60, rng);
+    // Full sweep would score 60 candidates; the ladder far fewer.
+    EXPECT_LT(ladder.scores.size(), 30u);
+    EXPECT_GE(ladder.scores.size(), 10u);
+}
+
+TEST(KmeansRestarts, NeverIncreasesDistortion)
+{
+    Rng rng(8);
+    auto points = blobs(30, 5, rng);
+    for (int k : {2, 4, 6}) {
+        Rng r1(99), r2(99);
+        KmeansResult single = kmeans(points, k, r1);
+        KmeansResult multi = kmeansRestarts(points, k, r2, 8);
+        EXPECT_LE(multi.distortion, single.distortion + 1e-9)
+            << "k=" << k;
+    }
+}
+
+TEST(KmeansRestarts, OneRestartEqualsPlainKmeans)
+{
+    Rng rng(9);
+    auto points = blobs(15, 3, rng);
+    Rng r1(77), r2(77);
+    KmeansResult a = kmeans(points, 3, r1);
+    KmeansResult b = kmeansRestarts(points, 3, r2, 1);
+    EXPECT_EQ(a.assignment, b.assignment);
+    EXPECT_DOUBLE_EQ(a.distortion, b.distortion);
+}
+
+/** Restart-count sweep: deterministic and monotone non-increasing. */
+class RestartSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RestartSweep, Deterministic)
+{
+    Rng data_rng(10);
+    auto points = blobs(25, 4, data_rng);
+    Rng r1(55), r2(55);
+    KmeansResult a = kmeansRestarts(points, 4, r1, GetParam());
+    KmeansResult b = kmeansRestarts(points, 4, r2, GetParam());
+    EXPECT_EQ(a.assignment, b.assignment);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, RestartSweep,
+                         ::testing::Values(1, 3, 7));
+
+} // namespace
+} // namespace yasim

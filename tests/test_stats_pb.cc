@@ -1,0 +1,123 @@
+/** @file Tests for Hadamard construction and Plackett-Burman designs. */
+
+#include <gtest/gtest.h>
+
+#include "stats/distance.hh"
+#include "stats/plackett_burman.hh"
+
+namespace yasim {
+namespace {
+
+/** Hadamard property sweep over every order the library constructs. */
+class HadamardSweep : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(HadamardSweep, RowsAreOrthogonal)
+{
+    size_t n = GetParam();
+    auto h = hadamardMatrix(n);
+    ASSERT_EQ(h.size(), n);
+    for (const auto &row : h) {
+        ASSERT_EQ(row.size(), n);
+        for (int v : row)
+            ASSERT_TRUE(v == 1 || v == -1);
+    }
+    for (size_t a = 0; a < n; ++a) {
+        for (size_t b = a; b < n; ++b) {
+            long dot = 0;
+            for (size_t j = 0; j < n; ++j)
+                dot += h[a][j] * h[b][j];
+            EXPECT_EQ(dot, a == b ? static_cast<long>(n) : 0);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, HadamardSweep,
+                         ::testing::Values(1, 2, 4, 8, 12, 16, 20, 24,
+                                           32, 44, 48, 64, 80));
+
+TEST(PbDesign, FortyThreeFactorsUse44Runs)
+{
+    PbDesign design = PbDesign::forFactors(43, /*foldover=*/false);
+    EXPECT_EQ(design.numRuns(), 44u);
+    EXPECT_EQ(design.numFactors(), 43u);
+    EXPECT_TRUE(design.isOrthogonal());
+}
+
+TEST(PbDesign, FoldoverDoublesRuns)
+{
+    PbDesign design = PbDesign::forFactors(43, /*foldover=*/true);
+    EXPECT_EQ(design.numRuns(), 88u);
+    EXPECT_TRUE(design.isOrthogonal());
+    // The mirrored half must flip every level.
+    for (size_t j = 0; j < design.numFactors(); ++j)
+        for (size_t i = 0; i < 44; ++i)
+            EXPECT_EQ(design.level(i, j), -design.level(i + 44, j));
+}
+
+TEST(PbDesign, BalancedColumns)
+{
+    PbDesign design = PbDesign::forFactors(43, false);
+    for (size_t j = 0; j < design.numFactors(); ++j) {
+        long sum = 0;
+        for (size_t i = 0; i < design.numRuns(); ++i)
+            sum += design.level(i, j);
+        EXPECT_EQ(sum, 0) << "factor " << j;
+    }
+}
+
+TEST(PbDesign, RecoversPlantedMainEffects)
+{
+    // Response = 10*x0 - 4*x3 + 1*x7 (+ no noise). The PB effects must
+    // recover each coefficient (doubled: effect = high mean - low mean
+    // = 2 * coefficient for +/-1 coding).
+    PbDesign design = PbDesign::forFactors(43, false);
+    std::vector<double> responses(design.numRuns());
+    for (size_t i = 0; i < design.numRuns(); ++i) {
+        responses[i] = 100.0 + 10.0 * design.level(i, 0) -
+                       4.0 * design.level(i, 3) +
+                       1.0 * design.level(i, 7);
+    }
+    std::vector<double> effects = design.computeEffects(responses);
+    EXPECT_NEAR(effects[0], 20.0, 1e-9);
+    EXPECT_NEAR(effects[3], -8.0, 1e-9);
+    EXPECT_NEAR(effects[7], 2.0, 1e-9);
+    for (size_t j = 0; j < effects.size(); ++j) {
+        if (j == 0 || j == 3 || j == 7)
+            continue;
+        EXPECT_NEAR(effects[j], 0.0, 1e-9) << "factor " << j;
+    }
+
+    // Rank order must follow the planted magnitudes.
+    std::vector<int> ranks = rankByMagnitude(effects);
+    EXPECT_EQ(ranks[0], 1);
+    EXPECT_EQ(ranks[3], 2);
+    EXPECT_EQ(ranks[7], 3);
+}
+
+TEST(PbDesign, FoldoverCancelsTwoFactorInteractions)
+{
+    // Response with a pure two-factor interaction x0*x1. The folded
+    // design's main effects must not alias it.
+    PbDesign design = PbDesign::forFactors(43, true);
+    std::vector<double> responses(design.numRuns());
+    for (size_t i = 0; i < design.numRuns(); ++i) {
+        responses[i] = 5.0 * design.level(i, 0) * design.level(i, 1);
+    }
+    std::vector<double> effects = design.computeEffects(responses);
+    for (size_t j = 0; j < effects.size(); ++j)
+        EXPECT_NEAR(effects[j], 0.0, 1e-9) << "factor " << j;
+}
+
+TEST(PbDesign, SmallFactorCounts)
+{
+    PbDesign d3 = PbDesign::forFactors(3, false);
+    EXPECT_EQ(d3.numRuns(), 4u);
+    EXPECT_EQ(d3.numFactors(), 3u);
+    PbDesign d7 = PbDesign::forFactors(7, false);
+    EXPECT_EQ(d7.numRuns(), 8u);
+}
+
+} // namespace
+} // namespace yasim

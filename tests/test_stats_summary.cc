@@ -1,0 +1,103 @@
+/** @file Tests for summary statistics and confidence intervals. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/summary.hh"
+
+namespace yasim {
+namespace {
+
+TEST(Summary, MeanAndVariance)
+{
+    std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+    EXPECT_NEAR(sampleVariance(xs), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(sampleStdev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Summary, SingleSampleHasZeroVariance)
+{
+    std::vector<double> xs = {3.0};
+    EXPECT_DOUBLE_EQ(sampleVariance(xs), 0.0);
+}
+
+TEST(Summary, MinMax)
+{
+    std::vector<double> xs = {3.0, -1.0, 7.0};
+    EXPECT_DOUBLE_EQ(minOf(xs), -1.0);
+    EXPECT_DOUBLE_EQ(maxOf(xs), 7.0);
+}
+
+TEST(Summary, CoefficientOfVariation)
+{
+    std::vector<double> xs = {10.0, 10.0, 10.0};
+    EXPECT_DOUBLE_EQ(coefficientOfVariation(xs), 0.0);
+    std::vector<double> ys = {5.0, 15.0};
+    EXPECT_NEAR(coefficientOfVariation(ys),
+                std::sqrt(50.0) / 10.0, 1e-12);
+}
+
+TEST(Summary, NormalCriticalValues)
+{
+    // Classic two-sided z values.
+    EXPECT_NEAR(normalCriticalValue(0.95), 1.95996, 1e-4);
+    EXPECT_NEAR(normalCriticalValue(0.99), 2.57583, 1e-4);
+    EXPECT_NEAR(normalCriticalValue(0.997), 2.96774, 1e-3);
+    EXPECT_NEAR(normalCriticalValue(0.6827), 1.0, 1e-3);
+}
+
+TEST(Summary, CriticalValueMonotoneInConfidence)
+{
+    double prev = 0.0;
+    for (double c : {0.5, 0.8, 0.9, 0.95, 0.99, 0.999}) {
+        double z = normalCriticalValue(c);
+        EXPECT_GT(z, prev);
+        prev = z;
+    }
+}
+
+TEST(Summary, RequiredSamplesSmartsRule)
+{
+    // n >= (z * cv / eps)^2; paper config: 99.7%, +/-3%.
+    double z = normalCriticalValue(0.997);
+    double cv = 0.5;
+    size_t n = requiredSamples(cv, 0.997, 0.03);
+    double expect = (z * cv / 0.03) * (z * cv / 0.03);
+    EXPECT_EQ(n, static_cast<size_t>(std::ceil(expect)));
+    // Zero variation needs essentially no samples.
+    EXPECT_EQ(requiredSamples(0.0, 0.997, 0.03), 0u);
+}
+
+TEST(Summary, RelativeHalfWidthShrinksWithSamples)
+{
+    std::vector<double> small_set, large_set;
+    for (int i = 0; i < 10; ++i)
+        small_set.push_back(i % 2 ? 9.0 : 11.0);
+    for (int i = 0; i < 1000; ++i)
+        large_set.push_back(i % 2 ? 9.0 : 11.0);
+    double wide = relativeConfidenceHalfWidth(small_set, 0.95);
+    double narrow = relativeConfidenceHalfWidth(large_set, 0.95);
+    EXPECT_GT(wide, narrow);
+    EXPECT_GT(narrow, 0.0);
+}
+
+/** Parameterized property: requiredSamples is monotone in cv. */
+class RequiredSamplesSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(RequiredSamplesSweep, MonotoneInCv)
+{
+    double cv = GetParam();
+    size_t n1 = requiredSamples(cv, 0.997, 0.03);
+    size_t n2 = requiredSamples(cv * 2.0, 0.997, 0.03);
+    EXPECT_GE(n2, n1 * 3); // quadratic: doubling cv ~ 4x samples
+}
+
+INSTANTIATE_TEST_SUITE_P(CvValues, RequiredSamplesSweep,
+                         ::testing::Values(0.1, 0.25, 0.5, 1.0, 2.0));
+
+} // namespace
+} // namespace yasim

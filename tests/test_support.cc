@@ -1,0 +1,193 @@
+/** @file Tests for the support layer: formatting, RNG, tables. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "support/logging.hh"
+#include "support/parallel.hh"
+#include "support/rng.hh"
+#include "support/table.hh"
+
+namespace yasim {
+namespace {
+
+TEST(Csprintf, FormatsLikePrintf)
+{
+    EXPECT_EQ(csprintf("x=%d y=%s", 42, "abc"), "x=42 y=abc");
+    EXPECT_EQ(csprintf("%.2f", 1.5), "1.50");
+    EXPECT_EQ(csprintf("empty"), "empty");
+}
+
+TEST(Csprintf, HandlesLongStrings)
+{
+    std::string long_arg(10000, 'z');
+    std::string out = csprintf("<%s>", long_arg.c_str());
+    EXPECT_EQ(out.size(), long_arg.size() + 2);
+    EXPECT_EQ(out.front(), '<');
+    EXPECT_EQ(out.back(), '>');
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowRespectsBound)
+{
+    Rng rng(7);
+    for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBelow(bound), bound);
+    }
+}
+
+TEST(Rng, NextBelowCoversRange)
+{
+    Rng rng(99);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.nextBelow(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextRangeInclusive)
+{
+    Rng rng(5);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        int64_t v = rng.nextRange(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double d = rng.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+        sum += d;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(13);
+    double sum = 0.0, sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double g = rng.nextGaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, BernoulliProbability)
+{
+    Rng rng(17);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        if (rng.nextBool(0.3))
+            ++hits;
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(SplitMix, AdvancesState)
+{
+    uint64_t s = 0;
+    uint64_t a = splitMix64(s);
+    uint64_t b = splitMix64(s);
+    EXPECT_NE(a, b);
+    EXPECT_NE(s, 0u);
+}
+
+TEST(Table, AlignsColumns)
+{
+    Table t("demo");
+    t.setHeader({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"long-name", "22"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("== demo =="), std::string::npos);
+    EXPECT_NE(out.find("long-name"), std::string::npos);
+    // Right-aligned numeric column: " 1" has leading space.
+    EXPECT_NE(out.find(" 1\n"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials)
+{
+    Table t("demo");
+    t.setHeader({"name", "value"});
+    t.addRow({"a,b", "say \"hi\""});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_NE(os.str().find("\"a,b\""), std::string::npos);
+    EXPECT_NE(os.str().find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, NumberFormatters)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::pct(12.345, 1), "12.3%");
+    EXPECT_EQ(Table::count(1234567), "1,234,567");
+    EXPECT_EQ(Table::count(12), "12");
+    EXPECT_EQ(Table::count(0), "0");
+}
+
+TEST(Parallel, MapPreservesOrder)
+{
+    auto out = parallelMap<int>(
+        32, [](size_t i) { return static_cast<int>(i) * 3; });
+    ASSERT_EQ(out.size(), 32u);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(out[static_cast<size_t>(i)], i * 3);
+}
+
+TEST(Parallel, WorkersAtLeastOne)
+{
+    EXPECT_GE(parallelWorkers(), 1u);
+}
+
+TEST(Parallel, EmptyInput)
+{
+    auto out = parallelMap<int>(0, [](size_t) { return 1; });
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Table, CountsRowsIgnoringRules)
+{
+    Table t("demo");
+    t.setHeader({"a"});
+    t.addRow({"x"});
+    t.addRule();
+    t.addRow({"y"});
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+} // namespace
+} // namespace yasim

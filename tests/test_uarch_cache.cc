@@ -1,0 +1,223 @@
+/** @file Tests for the set-associative cache and the TLB. */
+
+#include <gtest/gtest.h>
+
+#include "uarch/cache.hh"
+#include "uarch/tlb.hh"
+
+namespace yasim {
+namespace {
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c("t", CacheConfig{4, 2, 64});
+    EXPECT_FALSE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1038)); // same 64B block
+    EXPECT_FALSE(c.access(0x1040)); // next block
+    EXPECT_EQ(c.stats().accesses, 4u);
+    EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(Cache, LruEvictionOrder)
+{
+    // 2-way, block 64, size 4KB -> 32 sets. Three blocks in one set.
+    Cache c("t", CacheConfig{4, 2, 64});
+    const uint64_t set_stride = 32 * 64; // same set every stride
+    c.access(0 * set_stride);
+    c.access(1 * set_stride);
+    c.access(0 * set_stride);      // refresh block 0's recency
+    c.access(2 * set_stride);      // evicts block 1 (LRU)
+    EXPECT_TRUE(c.probe(0 * set_stride));
+    EXPECT_FALSE(c.probe(1 * set_stride));
+    EXPECT_TRUE(c.probe(2 * set_stride));
+}
+
+TEST(Cache, FullyUsedCapacity)
+{
+    // Working set equal to capacity must fit (no thrashing).
+    Cache c("t", CacheConfig{4, 4, 64});
+    const uint64_t blocks = 4 * 1024 / 64;
+    for (uint64_t pass = 0; pass < 3; ++pass)
+        for (uint64_t i = 0; i < blocks; ++i)
+            c.access(i * 64);
+    // Only the first pass misses.
+    EXPECT_EQ(c.stats().misses, blocks);
+}
+
+TEST(Cache, OverCapacityThrashesWhenDirectMapped)
+{
+    // A working set of 2x capacity with LRU + sequential sweep misses
+    // every time.
+    Cache c("t", CacheConfig{4, 1, 64});
+    const uint64_t blocks = 2 * (4 * 1024 / 64);
+    for (uint64_t pass = 0; pass < 3; ++pass)
+        for (uint64_t i = 0; i < blocks; ++i)
+            c.access(i * 64);
+    EXPECT_EQ(c.stats().misses, c.stats().accesses);
+}
+
+TEST(Cache, TouchSkipsStats)
+{
+    Cache c("t", CacheConfig{4, 2, 64});
+    c.touch(0x5000);
+    EXPECT_EQ(c.stats().accesses, 0u);
+    EXPECT_TRUE(c.probe(0x5000)); // but the line was allocated
+}
+
+TEST(Cache, ResetInvalidates)
+{
+    Cache c("t", CacheConfig{4, 2, 64});
+    c.access(0x1000);
+    c.reset();
+    EXPECT_FALSE(c.probe(0x1000));
+}
+
+TEST(Cache, BlockAddressMasksOffset)
+{
+    Cache c("t", CacheConfig{4, 2, 64});
+    EXPECT_EQ(c.blockAddress(0x1234), 0x1200u);
+    EXPECT_EQ(c.blockAddress(0x1240), 0x1240u);
+}
+
+TEST(Cache, HitRateMetric)
+{
+    Cache c("t", CacheConfig{4, 2, 64});
+    c.access(0x0);
+    c.access(0x0);
+    c.access(0x0);
+    c.access(0x0);
+    EXPECT_DOUBLE_EQ(c.stats().hitRate(), 0.75);
+}
+
+TEST(Cache, ReplacementPolicyNames)
+{
+    EXPECT_STREQ(replacementPolicyName(ReplacementPolicy::Lru), "LRU");
+    EXPECT_STREQ(replacementPolicyName(ReplacementPolicy::Fifo), "FIFO");
+    EXPECT_STREQ(replacementPolicyName(ReplacementPolicy::Random),
+                 "random");
+}
+
+TEST(Cache, FifoIgnoresRecency)
+{
+    // 2-way set; insert A, B; touch A; insert C.
+    // LRU evicts B (A was refreshed); FIFO evicts A (oldest insert).
+    const uint64_t stride = 32 * 64;
+    CacheConfig geo{4, 2, 64};
+
+    geo.replacement = ReplacementPolicy::Lru;
+    Cache lru("lru", geo);
+    lru.access(0 * stride);
+    lru.access(1 * stride);
+    lru.access(0 * stride);
+    lru.access(2 * stride);
+    EXPECT_TRUE(lru.probe(0 * stride));
+    EXPECT_FALSE(lru.probe(1 * stride));
+
+    geo.replacement = ReplacementPolicy::Fifo;
+    Cache fifo("fifo", geo);
+    fifo.access(0 * stride);
+    fifo.access(1 * stride);
+    fifo.access(0 * stride);
+    fifo.access(2 * stride);
+    EXPECT_FALSE(fifo.probe(0 * stride));
+    EXPECT_TRUE(fifo.probe(1 * stride));
+}
+
+TEST(Cache, RandomReplacementStillCaches)
+{
+    CacheConfig geo{4, 4, 64};
+    geo.replacement = ReplacementPolicy::Random;
+    Cache c("rnd", geo);
+    // A cache-resident working set must still converge to ~100% hits.
+    const uint64_t blocks = 4 * 1024 / 64;
+    for (int pass = 0; pass < 4; ++pass)
+        for (uint64_t i = 0; i < blocks; ++i)
+            c.access(i * 64);
+    EXPECT_EQ(c.stats().misses, blocks);
+    // And is deterministic across identical runs.
+    Cache d("rnd2", geo);
+    for (int pass = 0; pass < 4; ++pass)
+        for (uint64_t i = 0; i < blocks; ++i)
+            d.access(i * 64);
+    EXPECT_EQ(c.stats().misses, d.stats().misses);
+}
+
+TEST(Cache, RandomFillsInvalidWaysFirst)
+{
+    CacheConfig geo{4, 4, 64};
+    geo.replacement = ReplacementPolicy::Random;
+    Cache c("rnd", geo);
+    const uint64_t stride = 16 * 64; // 16 sets -> same set each stride
+    for (uint64_t i = 0; i < 4; ++i)
+        c.access(i * stride);
+    // All four ways were invalid, so nothing may have been evicted.
+    for (uint64_t i = 0; i < 4; ++i)
+        EXPECT_TRUE(c.probe(i * stride)) << i;
+}
+
+TEST(Tlb, MissThenHitSamePage)
+{
+    Tlb tlb("t", 4);
+    EXPECT_FALSE(tlb.access(0x1000));
+    EXPECT_TRUE(tlb.access(0x1ff8)); // same 4K page
+    EXPECT_FALSE(tlb.access(0x2000)); // next page
+}
+
+TEST(Tlb, LruReplacement)
+{
+    Tlb tlb("t", 2);
+    tlb.access(0x1000);  // page 1
+    tlb.access(0x2000);  // page 2
+    tlb.access(0x1000);  // refresh page 1
+    tlb.access(0x3000);  // evicts page 2
+    EXPECT_TRUE(tlb.access(0x1000));
+    EXPECT_FALSE(tlb.access(0x2000));
+}
+
+TEST(Tlb, TouchSkipsStats)
+{
+    Tlb tlb("t", 4);
+    tlb.touch(0x1000);
+    EXPECT_EQ(tlb.stats().accesses, 0u);
+    EXPECT_TRUE(tlb.access(0x1000));
+}
+
+TEST(Tlb, ResetForgets)
+{
+    Tlb tlb("t", 4);
+    tlb.access(0x1000);
+    tlb.reset();
+    EXPECT_FALSE(tlb.access(0x1000));
+}
+
+/** Sweep: a working set of W blocks fits iff capacity >= W. */
+class CacheCapacitySweep
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t>>
+{
+};
+
+TEST_P(CacheCapacitySweep, SteadyStateMissBehaviour)
+{
+    auto [size_kb, assoc] = GetParam();
+    Cache c("t", CacheConfig{size_kb, assoc, 64});
+    const uint64_t ws_blocks = 8 * 1024 / 64; // 8 KB working set
+    for (int pass = 0; pass < 4; ++pass)
+        for (uint64_t i = 0; i < ws_blocks; ++i)
+            c.access(i * 64);
+    double miss_rate = 1.0 - c.stats().hitRate();
+    if (size_kb >= 8) {
+        EXPECT_LT(miss_rate, 0.30) << size_kb << "KB/" << assoc;
+    } else {
+        EXPECT_GT(miss_rate, 0.90) << size_kb << "KB/" << assoc;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheCapacitySweep,
+    ::testing::Values(std::make_tuple(4u, 1u), std::make_tuple(4u, 4u),
+                      std::make_tuple(8u, 2u), std::make_tuple(16u, 4u),
+                      std::make_tuple(32u, 8u)));
+
+} // namespace
+} // namespace yasim
