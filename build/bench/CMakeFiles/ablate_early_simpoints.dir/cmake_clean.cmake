@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_early_simpoints.dir/ablate_early_simpoints.cc.o"
+  "CMakeFiles/ablate_early_simpoints.dir/ablate_early_simpoints.cc.o.d"
+  "ablate_early_simpoints"
+  "ablate_early_simpoints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_early_simpoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_enhancement_pb.dir/ablate_enhancement_pb.cc.o"
+  "CMakeFiles/ablate_enhancement_pb.dir/ablate_enhancement_pb.cc.o.d"
+  "ablate_enhancement_pb"
+  "ablate_enhancement_pb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_enhancement_pb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

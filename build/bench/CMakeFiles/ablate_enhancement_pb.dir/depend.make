@@ -1,0 +1,2 @@
+# Empty dependencies file for ablate_enhancement_pb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_pb_foldover.dir/ablate_pb_foldover.cc.o"
+  "CMakeFiles/ablate_pb_foldover.dir/ablate_pb_foldover.cc.o.d"
+  "ablate_pb_foldover"
+  "ablate_pb_foldover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_pb_foldover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

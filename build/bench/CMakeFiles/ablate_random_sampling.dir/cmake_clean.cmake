@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_random_sampling.dir/ablate_random_sampling.cc.o"
+  "CMakeFiles/ablate_random_sampling.dir/ablate_random_sampling.cc.o.d"
+  "ablate_random_sampling"
+  "ablate_random_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_random_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

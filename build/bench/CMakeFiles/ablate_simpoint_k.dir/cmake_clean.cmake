@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_simpoint_k.dir/ablate_simpoint_k.cc.o"
+  "CMakeFiles/ablate_simpoint_k.dir/ablate_simpoint_k.cc.o.d"
+  "ablate_simpoint_k"
+  "ablate_simpoint_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_simpoint_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablate_simpoint_k.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_smarts_uw.dir/ablate_smarts_uw.cc.o"
+  "CMakeFiles/ablate_smarts_uw.dir/ablate_smarts_uw.cc.o.d"
+  "ablate_smarts_uw"
+  "ablate_smarts_uw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_smarts_uw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

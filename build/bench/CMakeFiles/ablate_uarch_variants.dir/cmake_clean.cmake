@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_uarch_variants.dir/ablate_uarch_variants.cc.o"
+  "CMakeFiles/ablate_uarch_variants.dir/ablate_uarch_variants.cc.o.d"
+  "ablate_uarch_variants"
+  "ablate_uarch_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_uarch_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_warmup.dir/ablate_warmup.cc.o"
+  "CMakeFiles/ablate_warmup.dir/ablate_warmup.cc.o.d"
+  "ablate_warmup"
+  "ablate_warmup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_warmup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_pb_distance.dir/fig1_pb_distance.cc.o"
+  "CMakeFiles/fig1_pb_distance.dir/fig1_pb_distance.cc.o.d"
+  "fig1_pb_distance"
+  "fig1_pb_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_pb_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_simpoint_smarts.dir/fig2_simpoint_smarts.cc.o"
+  "CMakeFiles/fig2_simpoint_smarts.dir/fig2_simpoint_smarts.cc.o.d"
+  "fig2_simpoint_smarts"
+  "fig2_simpoint_smarts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_simpoint_smarts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_svat_gcc.dir/fig3_svat_gcc.cc.o"
+  "CMakeFiles/fig3_svat_gcc.dir/fig3_svat_gcc.cc.o.d"
+  "fig3_svat_gcc"
+  "fig3_svat_gcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_svat_gcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

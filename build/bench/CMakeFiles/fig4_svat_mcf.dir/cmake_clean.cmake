@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_svat_mcf.dir/fig4_svat_mcf.cc.o"
+  "CMakeFiles/fig4_svat_mcf.dir/fig4_svat_mcf.cc.o.d"
+  "fig4_svat_mcf"
+  "fig4_svat_mcf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_svat_mcf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

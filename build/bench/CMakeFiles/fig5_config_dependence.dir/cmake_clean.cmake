@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_config_dependence.dir/fig5_config_dependence.cc.o"
+  "CMakeFiles/fig5_config_dependence.dir/fig5_config_dependence.cc.o.d"
+  "fig5_config_dependence"
+  "fig5_config_dependence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_config_dependence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

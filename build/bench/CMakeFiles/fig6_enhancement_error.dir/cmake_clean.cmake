@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_enhancement_error.dir/fig6_enhancement_error.cc.o"
+  "CMakeFiles/fig6_enhancement_error.dir/fig6_enhancement_error.cc.o.d"
+  "fig6_enhancement_error"
+  "fig6_enhancement_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_enhancement_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_decision_tree.dir/fig7_decision_tree.cc.o"
+  "CMakeFiles/fig7_decision_tree.dir/fig7_decision_tree.cc.o.d"
+  "fig7_decision_tree"
+  "fig7_decision_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_decision_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

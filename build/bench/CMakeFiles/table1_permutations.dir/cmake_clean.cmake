@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_permutations.dir/table1_permutations.cc.o"
+  "CMakeFiles/table1_permutations.dir/table1_permutations.cc.o.d"
+  "table1_permutations"
+  "table1_permutations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_permutations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

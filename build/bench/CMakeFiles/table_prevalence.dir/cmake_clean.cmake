@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_prevalence.dir/table_prevalence.cc.o"
+  "CMakeFiles/table_prevalence.dir/table_prevalence.cc.o.d"
+  "table_prevalence"
+  "table_prevalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_prevalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

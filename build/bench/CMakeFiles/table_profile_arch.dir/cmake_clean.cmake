@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_profile_arch.dir/table_profile_arch.cc.o"
+  "CMakeFiles/table_profile_arch.dir/table_profile_arch.cc.o.d"
+  "table_profile_arch"
+  "table_profile_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_profile_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

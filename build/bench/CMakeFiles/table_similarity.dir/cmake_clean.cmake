@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_similarity.dir/table_similarity.cc.o"
+  "CMakeFiles/table_similarity.dir/table_similarity.cc.o.d"
+  "table_similarity"
+  "table_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/arch_characterization.cc" "src/core/CMakeFiles/yasim_core.dir/arch_characterization.cc.o" "gcc" "src/core/CMakeFiles/yasim_core.dir/arch_characterization.cc.o.d"
+  "/root/repo/src/core/config_dependence.cc" "src/core/CMakeFiles/yasim_core.dir/config_dependence.cc.o" "gcc" "src/core/CMakeFiles/yasim_core.dir/config_dependence.cc.o.d"
+  "/root/repo/src/core/decision_tree.cc" "src/core/CMakeFiles/yasim_core.dir/decision_tree.cc.o" "gcc" "src/core/CMakeFiles/yasim_core.dir/decision_tree.cc.o.d"
+  "/root/repo/src/core/enhancement_pb.cc" "src/core/CMakeFiles/yasim_core.dir/enhancement_pb.cc.o" "gcc" "src/core/CMakeFiles/yasim_core.dir/enhancement_pb.cc.o.d"
+  "/root/repo/src/core/enhancement_study.cc" "src/core/CMakeFiles/yasim_core.dir/enhancement_study.cc.o" "gcc" "src/core/CMakeFiles/yasim_core.dir/enhancement_study.cc.o.d"
+  "/root/repo/src/core/options.cc" "src/core/CMakeFiles/yasim_core.dir/options.cc.o" "gcc" "src/core/CMakeFiles/yasim_core.dir/options.cc.o.d"
+  "/root/repo/src/core/pb_characterization.cc" "src/core/CMakeFiles/yasim_core.dir/pb_characterization.cc.o" "gcc" "src/core/CMakeFiles/yasim_core.dir/pb_characterization.cc.o.d"
+  "/root/repo/src/core/profile_characterization.cc" "src/core/CMakeFiles/yasim_core.dir/profile_characterization.cc.o" "gcc" "src/core/CMakeFiles/yasim_core.dir/profile_characterization.cc.o.d"
+  "/root/repo/src/core/similarity.cc" "src/core/CMakeFiles/yasim_core.dir/similarity.cc.o" "gcc" "src/core/CMakeFiles/yasim_core.dir/similarity.cc.o.d"
+  "/root/repo/src/core/survey.cc" "src/core/CMakeFiles/yasim_core.dir/survey.cc.o" "gcc" "src/core/CMakeFiles/yasim_core.dir/survey.cc.o.d"
+  "/root/repo/src/core/svat_analysis.cc" "src/core/CMakeFiles/yasim_core.dir/svat_analysis.cc.o" "gcc" "src/core/CMakeFiles/yasim_core.dir/svat_analysis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/techniques/CMakeFiles/yasim_techniques.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/yasim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/yasim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/yasim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/yasim_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/yasim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/yasim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yasim_core.dir/arch_characterization.cc.o"
+  "CMakeFiles/yasim_core.dir/arch_characterization.cc.o.d"
+  "CMakeFiles/yasim_core.dir/config_dependence.cc.o"
+  "CMakeFiles/yasim_core.dir/config_dependence.cc.o.d"
+  "CMakeFiles/yasim_core.dir/decision_tree.cc.o"
+  "CMakeFiles/yasim_core.dir/decision_tree.cc.o.d"
+  "CMakeFiles/yasim_core.dir/enhancement_pb.cc.o"
+  "CMakeFiles/yasim_core.dir/enhancement_pb.cc.o.d"
+  "CMakeFiles/yasim_core.dir/enhancement_study.cc.o"
+  "CMakeFiles/yasim_core.dir/enhancement_study.cc.o.d"
+  "CMakeFiles/yasim_core.dir/options.cc.o"
+  "CMakeFiles/yasim_core.dir/options.cc.o.d"
+  "CMakeFiles/yasim_core.dir/pb_characterization.cc.o"
+  "CMakeFiles/yasim_core.dir/pb_characterization.cc.o.d"
+  "CMakeFiles/yasim_core.dir/profile_characterization.cc.o"
+  "CMakeFiles/yasim_core.dir/profile_characterization.cc.o.d"
+  "CMakeFiles/yasim_core.dir/similarity.cc.o"
+  "CMakeFiles/yasim_core.dir/similarity.cc.o.d"
+  "CMakeFiles/yasim_core.dir/survey.cc.o"
+  "CMakeFiles/yasim_core.dir/survey.cc.o.d"
+  "CMakeFiles/yasim_core.dir/svat_analysis.cc.o"
+  "CMakeFiles/yasim_core.dir/svat_analysis.cc.o.d"
+  "libyasim_core.a"
+  "libyasim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yasim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yasim_isa.dir/instruction.cc.o"
+  "CMakeFiles/yasim_isa.dir/instruction.cc.o.d"
+  "CMakeFiles/yasim_isa.dir/program.cc.o"
+  "CMakeFiles/yasim_isa.dir/program.cc.o.d"
+  "CMakeFiles/yasim_isa.dir/program_builder.cc.o"
+  "CMakeFiles/yasim_isa.dir/program_builder.cc.o.d"
+  "libyasim_isa.a"
+  "libyasim_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yasim_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

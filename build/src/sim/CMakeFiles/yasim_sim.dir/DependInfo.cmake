@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/bb_profiler.cc" "src/sim/CMakeFiles/yasim_sim.dir/bb_profiler.cc.o" "gcc" "src/sim/CMakeFiles/yasim_sim.dir/bb_profiler.cc.o.d"
+  "/root/repo/src/sim/checkpoint.cc" "src/sim/CMakeFiles/yasim_sim.dir/checkpoint.cc.o" "gcc" "src/sim/CMakeFiles/yasim_sim.dir/checkpoint.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/sim/CMakeFiles/yasim_sim.dir/config.cc.o" "gcc" "src/sim/CMakeFiles/yasim_sim.dir/config.cc.o.d"
+  "/root/repo/src/sim/functional.cc" "src/sim/CMakeFiles/yasim_sim.dir/functional.cc.o" "gcc" "src/sim/CMakeFiles/yasim_sim.dir/functional.cc.o.d"
+  "/root/repo/src/sim/memory.cc" "src/sim/CMakeFiles/yasim_sim.dir/memory.cc.o" "gcc" "src/sim/CMakeFiles/yasim_sim.dir/memory.cc.o.d"
+  "/root/repo/src/sim/ooo_core.cc" "src/sim/CMakeFiles/yasim_sim.dir/ooo_core.cc.o" "gcc" "src/sim/CMakeFiles/yasim_sim.dir/ooo_core.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/sim/CMakeFiles/yasim_sim.dir/stats.cc.o" "gcc" "src/sim/CMakeFiles/yasim_sim.dir/stats.cc.o.d"
+  "/root/repo/src/sim/trivial.cc" "src/sim/CMakeFiles/yasim_sim.dir/trivial.cc.o" "gcc" "src/sim/CMakeFiles/yasim_sim.dir/trivial.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/yasim_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/yasim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/yasim_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/yasim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

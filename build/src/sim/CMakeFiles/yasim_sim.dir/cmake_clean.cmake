@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yasim_sim.dir/bb_profiler.cc.o"
+  "CMakeFiles/yasim_sim.dir/bb_profiler.cc.o.d"
+  "CMakeFiles/yasim_sim.dir/checkpoint.cc.o"
+  "CMakeFiles/yasim_sim.dir/checkpoint.cc.o.d"
+  "CMakeFiles/yasim_sim.dir/config.cc.o"
+  "CMakeFiles/yasim_sim.dir/config.cc.o.d"
+  "CMakeFiles/yasim_sim.dir/functional.cc.o"
+  "CMakeFiles/yasim_sim.dir/functional.cc.o.d"
+  "CMakeFiles/yasim_sim.dir/memory.cc.o"
+  "CMakeFiles/yasim_sim.dir/memory.cc.o.d"
+  "CMakeFiles/yasim_sim.dir/ooo_core.cc.o"
+  "CMakeFiles/yasim_sim.dir/ooo_core.cc.o.d"
+  "CMakeFiles/yasim_sim.dir/stats.cc.o"
+  "CMakeFiles/yasim_sim.dir/stats.cc.o.d"
+  "CMakeFiles/yasim_sim.dir/trivial.cc.o"
+  "CMakeFiles/yasim_sim.dir/trivial.cc.o.d"
+  "libyasim_sim.a"
+  "libyasim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yasim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/chi2.cc" "src/stats/CMakeFiles/yasim_stats.dir/chi2.cc.o" "gcc" "src/stats/CMakeFiles/yasim_stats.dir/chi2.cc.o.d"
+  "/root/repo/src/stats/distance.cc" "src/stats/CMakeFiles/yasim_stats.dir/distance.cc.o" "gcc" "src/stats/CMakeFiles/yasim_stats.dir/distance.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/yasim_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/yasim_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/kmeans.cc" "src/stats/CMakeFiles/yasim_stats.dir/kmeans.cc.o" "gcc" "src/stats/CMakeFiles/yasim_stats.dir/kmeans.cc.o.d"
+  "/root/repo/src/stats/plackett_burman.cc" "src/stats/CMakeFiles/yasim_stats.dir/plackett_burman.cc.o" "gcc" "src/stats/CMakeFiles/yasim_stats.dir/plackett_burman.cc.o.d"
+  "/root/repo/src/stats/projection.cc" "src/stats/CMakeFiles/yasim_stats.dir/projection.cc.o" "gcc" "src/stats/CMakeFiles/yasim_stats.dir/projection.cc.o.d"
+  "/root/repo/src/stats/summary.cc" "src/stats/CMakeFiles/yasim_stats.dir/summary.cc.o" "gcc" "src/stats/CMakeFiles/yasim_stats.dir/summary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/yasim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

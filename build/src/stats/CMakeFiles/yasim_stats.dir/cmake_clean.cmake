@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yasim_stats.dir/chi2.cc.o"
+  "CMakeFiles/yasim_stats.dir/chi2.cc.o.d"
+  "CMakeFiles/yasim_stats.dir/distance.cc.o"
+  "CMakeFiles/yasim_stats.dir/distance.cc.o.d"
+  "CMakeFiles/yasim_stats.dir/histogram.cc.o"
+  "CMakeFiles/yasim_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/yasim_stats.dir/kmeans.cc.o"
+  "CMakeFiles/yasim_stats.dir/kmeans.cc.o.d"
+  "CMakeFiles/yasim_stats.dir/plackett_burman.cc.o"
+  "CMakeFiles/yasim_stats.dir/plackett_burman.cc.o.d"
+  "CMakeFiles/yasim_stats.dir/projection.cc.o"
+  "CMakeFiles/yasim_stats.dir/projection.cc.o.d"
+  "CMakeFiles/yasim_stats.dir/summary.cc.o"
+  "CMakeFiles/yasim_stats.dir/summary.cc.o.d"
+  "libyasim_stats.a"
+  "libyasim_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yasim_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

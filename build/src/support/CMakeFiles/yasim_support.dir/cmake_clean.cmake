@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yasim_support.dir/logging.cc.o"
+  "CMakeFiles/yasim_support.dir/logging.cc.o.d"
+  "CMakeFiles/yasim_support.dir/rng.cc.o"
+  "CMakeFiles/yasim_support.dir/rng.cc.o.d"
+  "CMakeFiles/yasim_support.dir/table.cc.o"
+  "CMakeFiles/yasim_support.dir/table.cc.o.d"
+  "libyasim_support.a"
+  "libyasim_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yasim_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

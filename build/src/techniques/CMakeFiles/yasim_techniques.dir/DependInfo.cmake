@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/techniques/full_reference.cc" "src/techniques/CMakeFiles/yasim_techniques.dir/full_reference.cc.o" "gcc" "src/techniques/CMakeFiles/yasim_techniques.dir/full_reference.cc.o.d"
+  "/root/repo/src/techniques/permutations.cc" "src/techniques/CMakeFiles/yasim_techniques.dir/permutations.cc.o" "gcc" "src/techniques/CMakeFiles/yasim_techniques.dir/permutations.cc.o.d"
+  "/root/repo/src/techniques/random_sampling.cc" "src/techniques/CMakeFiles/yasim_techniques.dir/random_sampling.cc.o" "gcc" "src/techniques/CMakeFiles/yasim_techniques.dir/random_sampling.cc.o.d"
+  "/root/repo/src/techniques/reduced_input.cc" "src/techniques/CMakeFiles/yasim_techniques.dir/reduced_input.cc.o" "gcc" "src/techniques/CMakeFiles/yasim_techniques.dir/reduced_input.cc.o.d"
+  "/root/repo/src/techniques/simpoint.cc" "src/techniques/CMakeFiles/yasim_techniques.dir/simpoint.cc.o" "gcc" "src/techniques/CMakeFiles/yasim_techniques.dir/simpoint.cc.o.d"
+  "/root/repo/src/techniques/smarts.cc" "src/techniques/CMakeFiles/yasim_techniques.dir/smarts.cc.o" "gcc" "src/techniques/CMakeFiles/yasim_techniques.dir/smarts.cc.o.d"
+  "/root/repo/src/techniques/technique.cc" "src/techniques/CMakeFiles/yasim_techniques.dir/technique.cc.o" "gcc" "src/techniques/CMakeFiles/yasim_techniques.dir/technique.cc.o.d"
+  "/root/repo/src/techniques/truncated.cc" "src/techniques/CMakeFiles/yasim_techniques.dir/truncated.cc.o" "gcc" "src/techniques/CMakeFiles/yasim_techniques.dir/truncated.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/yasim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/yasim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/yasim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/yasim_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/yasim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/yasim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

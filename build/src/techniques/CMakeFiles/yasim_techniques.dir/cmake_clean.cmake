@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yasim_techniques.dir/full_reference.cc.o"
+  "CMakeFiles/yasim_techniques.dir/full_reference.cc.o.d"
+  "CMakeFiles/yasim_techniques.dir/permutations.cc.o"
+  "CMakeFiles/yasim_techniques.dir/permutations.cc.o.d"
+  "CMakeFiles/yasim_techniques.dir/random_sampling.cc.o"
+  "CMakeFiles/yasim_techniques.dir/random_sampling.cc.o.d"
+  "CMakeFiles/yasim_techniques.dir/reduced_input.cc.o"
+  "CMakeFiles/yasim_techniques.dir/reduced_input.cc.o.d"
+  "CMakeFiles/yasim_techniques.dir/simpoint.cc.o"
+  "CMakeFiles/yasim_techniques.dir/simpoint.cc.o.d"
+  "CMakeFiles/yasim_techniques.dir/smarts.cc.o"
+  "CMakeFiles/yasim_techniques.dir/smarts.cc.o.d"
+  "CMakeFiles/yasim_techniques.dir/technique.cc.o"
+  "CMakeFiles/yasim_techniques.dir/technique.cc.o.d"
+  "CMakeFiles/yasim_techniques.dir/truncated.cc.o"
+  "CMakeFiles/yasim_techniques.dir/truncated.cc.o.d"
+  "libyasim_techniques.a"
+  "libyasim_techniques.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yasim_techniques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

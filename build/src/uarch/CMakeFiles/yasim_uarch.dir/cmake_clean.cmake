@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yasim_uarch.dir/branch_predictor.cc.o"
+  "CMakeFiles/yasim_uarch.dir/branch_predictor.cc.o.d"
+  "CMakeFiles/yasim_uarch.dir/cache.cc.o"
+  "CMakeFiles/yasim_uarch.dir/cache.cc.o.d"
+  "CMakeFiles/yasim_uarch.dir/memory_hierarchy.cc.o"
+  "CMakeFiles/yasim_uarch.dir/memory_hierarchy.cc.o.d"
+  "CMakeFiles/yasim_uarch.dir/tlb.cc.o"
+  "CMakeFiles/yasim_uarch.dir/tlb.cc.o.d"
+  "libyasim_uarch.a"
+  "libyasim_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yasim_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

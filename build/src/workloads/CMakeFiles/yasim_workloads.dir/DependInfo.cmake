@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/bench_art.cc" "src/workloads/CMakeFiles/yasim_workloads.dir/bench_art.cc.o" "gcc" "src/workloads/CMakeFiles/yasim_workloads.dir/bench_art.cc.o.d"
+  "/root/repo/src/workloads/bench_bzip2.cc" "src/workloads/CMakeFiles/yasim_workloads.dir/bench_bzip2.cc.o" "gcc" "src/workloads/CMakeFiles/yasim_workloads.dir/bench_bzip2.cc.o.d"
+  "/root/repo/src/workloads/bench_equake.cc" "src/workloads/CMakeFiles/yasim_workloads.dir/bench_equake.cc.o" "gcc" "src/workloads/CMakeFiles/yasim_workloads.dir/bench_equake.cc.o.d"
+  "/root/repo/src/workloads/bench_gcc.cc" "src/workloads/CMakeFiles/yasim_workloads.dir/bench_gcc.cc.o" "gcc" "src/workloads/CMakeFiles/yasim_workloads.dir/bench_gcc.cc.o.d"
+  "/root/repo/src/workloads/bench_gzip.cc" "src/workloads/CMakeFiles/yasim_workloads.dir/bench_gzip.cc.o" "gcc" "src/workloads/CMakeFiles/yasim_workloads.dir/bench_gzip.cc.o.d"
+  "/root/repo/src/workloads/bench_mcf.cc" "src/workloads/CMakeFiles/yasim_workloads.dir/bench_mcf.cc.o" "gcc" "src/workloads/CMakeFiles/yasim_workloads.dir/bench_mcf.cc.o.d"
+  "/root/repo/src/workloads/bench_perlbmk.cc" "src/workloads/CMakeFiles/yasim_workloads.dir/bench_perlbmk.cc.o" "gcc" "src/workloads/CMakeFiles/yasim_workloads.dir/bench_perlbmk.cc.o.d"
+  "/root/repo/src/workloads/bench_vortex.cc" "src/workloads/CMakeFiles/yasim_workloads.dir/bench_vortex.cc.o" "gcc" "src/workloads/CMakeFiles/yasim_workloads.dir/bench_vortex.cc.o.d"
+  "/root/repo/src/workloads/bench_vpr.cc" "src/workloads/CMakeFiles/yasim_workloads.dir/bench_vpr.cc.o" "gcc" "src/workloads/CMakeFiles/yasim_workloads.dir/bench_vpr.cc.o.d"
+  "/root/repo/src/workloads/builder_util.cc" "src/workloads/CMakeFiles/yasim_workloads.dir/builder_util.cc.o" "gcc" "src/workloads/CMakeFiles/yasim_workloads.dir/builder_util.cc.o.d"
+  "/root/repo/src/workloads/suite.cc" "src/workloads/CMakeFiles/yasim_workloads.dir/suite.cc.o" "gcc" "src/workloads/CMakeFiles/yasim_workloads.dir/suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/yasim_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/yasim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/yasim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/yasim_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/yasim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yasim_workloads.dir/bench_art.cc.o"
+  "CMakeFiles/yasim_workloads.dir/bench_art.cc.o.d"
+  "CMakeFiles/yasim_workloads.dir/bench_bzip2.cc.o"
+  "CMakeFiles/yasim_workloads.dir/bench_bzip2.cc.o.d"
+  "CMakeFiles/yasim_workloads.dir/bench_equake.cc.o"
+  "CMakeFiles/yasim_workloads.dir/bench_equake.cc.o.d"
+  "CMakeFiles/yasim_workloads.dir/bench_gcc.cc.o"
+  "CMakeFiles/yasim_workloads.dir/bench_gcc.cc.o.d"
+  "CMakeFiles/yasim_workloads.dir/bench_gzip.cc.o"
+  "CMakeFiles/yasim_workloads.dir/bench_gzip.cc.o.d"
+  "CMakeFiles/yasim_workloads.dir/bench_mcf.cc.o"
+  "CMakeFiles/yasim_workloads.dir/bench_mcf.cc.o.d"
+  "CMakeFiles/yasim_workloads.dir/bench_perlbmk.cc.o"
+  "CMakeFiles/yasim_workloads.dir/bench_perlbmk.cc.o.d"
+  "CMakeFiles/yasim_workloads.dir/bench_vortex.cc.o"
+  "CMakeFiles/yasim_workloads.dir/bench_vortex.cc.o.d"
+  "CMakeFiles/yasim_workloads.dir/bench_vpr.cc.o"
+  "CMakeFiles/yasim_workloads.dir/bench_vpr.cc.o.d"
+  "CMakeFiles/yasim_workloads.dir/builder_util.cc.o"
+  "CMakeFiles/yasim_workloads.dir/builder_util.cc.o.d"
+  "CMakeFiles/yasim_workloads.dir/suite.cc.o"
+  "CMakeFiles/yasim_workloads.dir/suite.cc.o.d"
+  "libyasim_workloads.a"
+  "libyasim_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yasim_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

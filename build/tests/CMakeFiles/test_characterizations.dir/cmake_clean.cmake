@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_characterizations.dir/test_characterizations.cc.o"
+  "CMakeFiles/test_characterizations.dir/test_characterizations.cc.o.d"
+  "test_characterizations"
+  "test_characterizations.pdb"
+  "test_characterizations[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_characterizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ooo_fuzz.dir/test_ooo_fuzz.cc.o"
+  "CMakeFiles/test_ooo_fuzz.dir/test_ooo_fuzz.cc.o.d"
+  "test_ooo_fuzz"
+  "test_ooo_fuzz.pdb"
+  "test_ooo_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ooo_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

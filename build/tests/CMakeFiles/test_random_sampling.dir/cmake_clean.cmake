@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_sampling.dir/test_random_sampling.cc.o"
+  "CMakeFiles/test_random_sampling.dir/test_random_sampling.cc.o.d"
+  "test_random_sampling"
+  "test_random_sampling.pdb"
+  "test_random_sampling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_distance.dir/test_stats_distance.cc.o"
+  "CMakeFiles/test_stats_distance.dir/test_stats_distance.cc.o.d"
+  "test_stats_distance"
+  "test_stats_distance.pdb"
+  "test_stats_distance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

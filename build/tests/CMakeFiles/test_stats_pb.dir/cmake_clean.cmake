@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_pb.dir/test_stats_pb.cc.o"
+  "CMakeFiles/test_stats_pb.dir/test_stats_pb.cc.o.d"
+  "test_stats_pb"
+  "test_stats_pb.pdb"
+  "test_stats_pb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_pb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

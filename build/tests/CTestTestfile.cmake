@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_stats_summary[1]_include.cmake")
+include("/root/repo/build/tests/test_stats_distance[1]_include.cmake")
+include("/root/repo/build/tests/test_stats_chi2[1]_include.cmake")
+include("/root/repo/build/tests/test_stats_pb[1]_include.cmake")
+include("/root/repo/build/tests/test_stats_kmeans[1]_include.cmake")
+include("/root/repo/build/tests/test_stats_histogram[1]_include.cmake")
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_functional[1]_include.cmake")
+include("/root/repo/build/tests/test_uarch_bp[1]_include.cmake")
+include("/root/repo/build/tests/test_uarch_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_memory_hierarchy[1]_include.cmake")
+include("/root/repo/build/tests/test_ooo_core[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_techniques[1]_include.cmake")
+include("/root/repo/build/tests/test_characterizations[1]_include.cmake")
+include("/root/repo/build/tests/test_options[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_checkpoint[1]_include.cmake")
+include("/root/repo/build/tests/test_random_sampling[1]_include.cmake")
+include("/root/repo/build/tests/test_similarity[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_config[1]_include.cmake")
+include("/root/repo/build/tests/test_stats_kmeans2[1]_include.cmake")
+include("/root/repo/build/tests/test_ooo_fuzz[1]_include.cmake")
