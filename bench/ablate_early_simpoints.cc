@@ -12,8 +12,7 @@
 #include <cmath>
 #include <iostream>
 
-#include "core/options.hh"
-#include "support/logging.hh"
+#include "engine/bench_driver.hh"
 #include "support/table.hh"
 #include "techniques/full_reference.hh"
 #include "techniques/simpoint.hh"
@@ -23,45 +22,45 @@ using namespace yasim;
 int
 main(int argc, char **argv)
 {
-    BenchOptions options = parseBenchOptions(argc, argv, 400'000);
-    setInformEnabled(false);
-    SimConfig config = architecturalConfig(2);
+    return BenchDriver(argc, argv).run([](BenchDriver &driver) {
+        SimConfig config = architecturalConfig(2);
 
-    Table table("Ablation: standard vs early SimPoints "
-                "(multiple 100M; last point position as % of the run, "
-                "total work as % of reference, CPI error)");
-    table.setHeader({"benchmark", "variant", "last point @", "cost %",
-                     "CPI error"});
+        Table table("Ablation: standard vs early SimPoints "
+                    "(multiple 100M; last point position as % of the "
+                    "run, total work as % of reference, CPI error)");
+        table.setHeader({"benchmark", "variant", "last point @",
+                         "cost %", "CPI error"});
 
-    for (const std::string &bench : options.benchmarks) {
-        TechniqueContext ctx = makeContext(bench, options.suite);
-        FullReference reference;
-        TechniqueResult ref = reference.run(ctx, config);
+        ExperimentEngine &engine = driver.engine();
+        for (const std::string &bench : driver.benchmarks()) {
+            TechniqueContext ctx = driver.context(bench);
+            FullReference reference;
+            TechniqueResult ref = engine.run(reference, ctx, config);
 
-        for (int variant = 0; variant < 2; ++variant) {
-            bool early = variant == 1;
-            SimPoint sp(100.0, 10, 0.0,
-                        early ? "early 100M" : "multiple 100M", 15, 42,
-                        3, early);
-            auto points = sp.choosePoints(ctx);
-            uint64_t last = points.empty() ? 0 : points.back().startInst;
-            TechniqueResult r = sp.run(ctx, config);
-            table.addRow(
-                {bench, early ? "early" : "standard",
-                 Table::pct(100.0 * static_cast<double>(last) /
-                                static_cast<double>(ctx.referenceLength),
-                            1),
-                 Table::num(100.0 * r.workUnits / ref.workUnits, 1),
-                 Table::pct(std::fabs(r.cpi - ref.cpi) / ref.cpi * 100.0,
-                            2)});
+            for (int variant = 0; variant < 2; ++variant) {
+                bool early = variant == 1;
+                SimPoint sp(100.0, 10, 0.0,
+                            early ? "early 100M" : "multiple 100M", 15,
+                            42, 3, early);
+                auto points = sp.choosePoints(ctx);
+                uint64_t last =
+                    points.empty() ? 0 : points.back().startInst;
+                TechniqueResult r = engine.run(sp, ctx, config);
+                table.addRow(
+                    {bench, early ? "early" : "standard",
+                     Table::pct(100.0 * static_cast<double>(last) /
+                                    static_cast<double>(
+                                        ctx.referenceLength),
+                                1),
+                     Table::num(100.0 * r.workUnits / ref.workUnits, 1),
+                     Table::pct(std::fabs(r.cpi - ref.cpi) / ref.cpi *
+                                    100.0,
+                                2)});
+            }
+            table.addRule();
+            std::cerr << "early-simpoints: " << bench << " done\n";
         }
-        table.addRule();
-        std::cerr << "early-simpoints: " << bench << " done\n";
-    }
 
-    if (options.csv)
-        table.printCsv(std::cout);
-    else
-        table.print(std::cout);
-    return 0;
+        driver.print(table);
+    });
 }

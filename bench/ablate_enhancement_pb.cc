@@ -12,8 +12,7 @@
 #include <iostream>
 
 #include "core/enhancement_pb.hh"
-#include "core/options.hh"
-#include "support/logging.hh"
+#include "engine/bench_driver.hh"
 #include "support/table.hh"
 #include "techniques/full_reference.hh"
 
@@ -22,31 +21,32 @@ using namespace yasim;
 int
 main(int argc, char **argv)
 {
-    BenchOptions options = parseBenchOptions(argc, argv, 300'000);
-    setInformEnabled(false);
+    return BenchDriver(argc, argv)
+        .defaultRefInsts(300'000)
+        .run([](BenchDriver &driver) {
+            Table table("Enhancement effect ranked among the 43 PB "
+                        "bottleneck factors (rank 1 = largest |CPI "
+                        "effect| of 44)");
+            table.setHeader({"benchmark", "NLP rank", "NLP effect",
+                             "TC rank", "TC effect"});
 
-    Table table("Enhancement effect ranked among the 43 PB bottleneck "
-                "factors (rank 1 = largest |CPI effect| of 44)");
-    table.setHeader({"benchmark", "NLP rank", "NLP effect", "TC rank",
-                     "TC effect"});
+            ExperimentEngine &engine = driver.engine();
+            FullReference reference;
+            for (const std::string &bench : driver.benchmarks()) {
+                TechniqueContext ctx = driver.context(bench);
+                EnhancementPbOutcome nlp = rankEnhancementEffect(
+                    engine, reference, ctx,
+                    Enhancement::NextLinePrefetch);
+                EnhancementPbOutcome tc = rankEnhancementEffect(
+                    engine, reference, ctx,
+                    Enhancement::TrivialComputation);
+                table.addRow({bench, std::to_string(nlp.enhancementRank),
+                              Table::num(nlp.enhancementEffect, 4),
+                              std::to_string(tc.enhancementRank),
+                              Table::num(tc.enhancementEffect, 4)});
+                std::cerr << "enhancement-pb: " << bench << " done\n";
+            }
 
-    FullReference reference;
-    for (const std::string &bench : options.benchmarks) {
-        TechniqueContext ctx = makeContext(bench, options.suite);
-        EnhancementPbOutcome nlp = rankEnhancementEffect(
-            reference, ctx, Enhancement::NextLinePrefetch);
-        EnhancementPbOutcome tc = rankEnhancementEffect(
-            reference, ctx, Enhancement::TrivialComputation);
-        table.addRow({bench, std::to_string(nlp.enhancementRank),
-                      Table::num(nlp.enhancementEffect, 4),
-                      std::to_string(tc.enhancementRank),
-                      Table::num(tc.enhancementEffect, 4)});
-        std::cerr << "enhancement-pb: " << bench << " done\n";
-    }
-
-    if (options.csv)
-        table.printCsv(std::cout);
-    else
-        table.print(std::cout);
-    return 0;
+            driver.print(table);
+        });
 }

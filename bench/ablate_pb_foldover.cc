@@ -12,10 +12,9 @@
 
 #include <iostream>
 
-#include "core/options.hh"
 #include "core/pb_characterization.hh"
+#include "engine/bench_driver.hh"
 #include "stats/distance.hh"
-#include "support/logging.hh"
 #include "support/table.hh"
 #include "techniques/full_reference.hh"
 
@@ -24,39 +23,38 @@ using namespace yasim;
 int
 main(int argc, char **argv)
 {
-    BenchOptions options = parseBenchOptions(argc, argv, 300'000);
-    setInformEnabled(false);
+    return BenchDriver(argc, argv)
+        .defaultRefInsts(300'000)
+        .run([](BenchDriver &driver) {
+            PbDesign plain = PbDesign::forFactors(numPbFactors(), false);
+            PbDesign folded = PbDesign::forFactors(numPbFactors(), true);
 
-    PbDesign plain = PbDesign::forFactors(numPbFactors(), false);
-    PbDesign folded = PbDesign::forFactors(numPbFactors(), true);
+            Table table("Ablation: plain (44-run) vs folded-over "
+                        "(88-run) PB design, reference input");
+            table.setHeader({"benchmark", "rank distance",
+                             "top-5 agree"});
 
-    Table table("Ablation: plain (44-run) vs folded-over (88-run) PB "
-                "design, reference input");
-    table.setHeader({"benchmark", "rank distance", "top-5 agree"});
+            ExperimentEngine &engine = driver.engine();
+            for (const std::string &bench : driver.benchmarks()) {
+                TechniqueContext ctx = driver.context(bench);
+                FullReference reference;
+                PbOutcome a = runPbDesign(engine, reference, ctx, plain);
+                PbOutcome b = runPbDesign(engine, reference, ctx, folded);
 
-    for (const std::string &bench : options.benchmarks) {
-        TechniqueContext ctx = makeContext(bench, options.suite);
-        FullReference reference;
-        PbOutcome a = runPbDesign(reference, ctx, plain);
-        PbOutcome b = runPbDesign(reference, ctx, folded);
+                // How many of the folded design's five biggest
+                // bottlenecks also rank top-5 in the plain design?
+                int agree = 0;
+                for (size_t j = 0; j < a.ranks.size(); ++j)
+                    if (b.ranks[j] <= 5 && a.ranks[j] <= 5)
+                        ++agree;
+                table.addRow(
+                    {bench,
+                     Table::num(normalizedRankDistance(a.ranks, b.ranks),
+                                2),
+                     std::to_string(agree) + "/5"});
+                std::cerr << "foldover: " << bench << " done\n";
+            }
 
-        // How many of the folded design's five biggest bottlenecks also
-        // rank top-5 in the plain design?
-        int agree = 0;
-        for (size_t j = 0; j < a.ranks.size(); ++j)
-            if (b.ranks[j] <= 5 && a.ranks[j] <= 5)
-                ++agree;
-        table.addRow({bench,
-                      Table::num(normalizedRankDistance(a.ranks,
-                                                        b.ranks),
-                                 2),
-                      std::to_string(agree) + "/5"});
-        std::cerr << "foldover: " << bench << " done\n";
-    }
-
-    if (options.csv)
-        table.printCsv(std::cout);
-    else
-        table.print(std::cout);
-    return 0;
+            driver.print(table);
+        });
 }

@@ -14,8 +14,7 @@
 #include <cmath>
 #include <iostream>
 
-#include "core/options.hh"
-#include "support/logging.hh"
+#include "engine/bench_driver.hh"
 #include "support/table.hh"
 #include "techniques/full_reference.hh"
 #include "techniques/random_sampling.hh"
@@ -26,41 +25,41 @@ using namespace yasim;
 int
 main(int argc, char **argv)
 {
-    BenchOptions options = parseBenchOptions(argc, argv, 400'000);
-    setInformEnabled(false);
-    SimConfig config = architecturalConfig(2);
+    return BenchDriver(argc, argv).run([](BenchDriver &driver) {
+        SimConfig config = architecturalConfig(2);
 
-    Table table("Ablation: random sampling (Conte96) vs SMARTS "
-                "(config #2; error vs full reference CPI)");
-    table.setHeader({"benchmark", "technique", "CPI error", "cost %"});
+        Table table("Ablation: random sampling (Conte96) vs SMARTS "
+                    "(config #2; error vs full reference CPI)");
+        table.setHeader({"benchmark", "technique", "CPI error",
+                         "cost %"});
 
-    for (const std::string &bench : options.benchmarks) {
-        TechniqueContext ctx = makeContext(bench, options.suite);
-        FullReference reference;
-        TechniqueResult ref = reference.run(ctx, config);
+        ExperimentEngine &engine = driver.engine();
+        for (const std::string &bench : driver.benchmarks()) {
+            TechniqueContext ctx = driver.context(bench);
+            FullReference reference;
+            TechniqueResult ref = engine.run(reference, ctx, config);
 
-        auto report = [&](const Technique &t) {
-            TechniqueResult r = t.run(ctx, config);
-            table.addRow(
-                {bench, t.name() + " " + t.permutation(),
-                 Table::pct(std::fabs(r.cpi - ref.cpi) / ref.cpi * 100.0,
-                            2),
-                 Table::num(100.0 * r.workUnits / ref.workUnits, 1)});
-        };
+            auto report = [&](const Technique &t) {
+                TechniqueResult r = engine.run(t, ctx, config);
+                table.addRow(
+                    {bench, t.name() + " " + t.permutation(),
+                     Table::pct(std::fabs(r.cpi - ref.cpi) / ref.cpi *
+                                    100.0,
+                                2),
+                     Table::num(100.0 * r.workUnits / ref.workUnits,
+                                1)});
+            };
 
-        // Conte's axes: more warm-up, then more samples.
-        report(RandomSampling(50, 1000, 0));
-        report(RandomSampling(50, 1000, 2000));
-        report(RandomSampling(50, 1000, 10000));
-        report(RandomSampling(200, 1000, 2000));
-        report(Smarts(1000, 2000));
-        table.addRule();
-        std::cerr << "random-sampling: " << bench << " done\n";
-    }
+            // Conte's axes: more warm-up, then more samples.
+            report(RandomSampling(50, 1000, 0));
+            report(RandomSampling(50, 1000, 2000));
+            report(RandomSampling(50, 1000, 10000));
+            report(RandomSampling(200, 1000, 2000));
+            report(Smarts(1000, 2000));
+            table.addRule();
+            std::cerr << "random-sampling: " << bench << " done\n";
+        }
 
-    if (options.csv)
-        table.printCsv(std::cout);
-    else
-        table.print(std::cout);
-    return 0;
+        driver.print(table);
+    });
 }

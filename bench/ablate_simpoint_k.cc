@@ -13,8 +13,7 @@
 #include <cmath>
 #include <iostream>
 
-#include "core/options.hh"
-#include "support/logging.hh"
+#include "engine/bench_driver.hh"
 #include "support/table.hh"
 #include "techniques/full_reference.hh"
 #include "techniques/simpoint.hh"
@@ -24,61 +23,55 @@ using namespace yasim;
 int
 main(int argc, char **argv)
 {
-    BenchOptions options = parseBenchOptions(argc, argv, 400'000);
-    setInformEnabled(false);
-    SimConfig config = architecturalConfig(2);
+    return BenchDriver(argc, argv).run([](BenchDriver &driver) {
+        SimConfig config = architecturalConfig(2);
 
-    Table k_table("Ablation: SimPoint CPI error vs max_k "
-                  "(10M intervals, 15-dim projection, config #2)");
-    std::vector<std::string> header = {"benchmark"};
-    const int ks[] = {1, 5, 10, 30, 100};
-    for (int k : ks)
-        header.push_back("max_k=" + std::to_string(k));
-    k_table.setHeader(header);
+        Table k_table("Ablation: SimPoint CPI error vs max_k "
+                      "(10M intervals, 15-dim projection, config #2)");
+        std::vector<std::string> header = {"benchmark"};
+        const int ks[] = {1, 5, 10, 30, 100};
+        for (int k : ks)
+            header.push_back("max_k=" + std::to_string(k));
+        k_table.setHeader(header);
 
-    Table d_table("Ablation: SimPoint CPI error vs projection "
-                  "dimensionality (10M intervals, max_k=30)");
-    std::vector<std::string> d_header = {"benchmark"};
-    const size_t dims[] = {2, 5, 15, 50};
-    for (size_t d : dims)
-        d_header.push_back("dim=" + std::to_string(d));
-    d_table.setHeader(d_header);
+        Table d_table("Ablation: SimPoint CPI error vs projection "
+                      "dimensionality (10M intervals, max_k=30)");
+        std::vector<std::string> d_header = {"benchmark"};
+        const size_t dims[] = {2, 5, 15, 50};
+        for (size_t d : dims)
+            d_header.push_back("dim=" + std::to_string(d));
+        d_table.setHeader(d_header);
 
-    for (const std::string &bench : options.benchmarks) {
-        TechniqueContext ctx = makeContext(bench, options.suite);
-        FullReference reference;
-        double ref_cpi = reference.run(ctx, config).cpi;
+        ExperimentEngine &engine = driver.engine();
+        for (const std::string &bench : driver.benchmarks()) {
+            TechniqueContext ctx = driver.context(bench);
+            FullReference reference;
+            double ref_cpi = engine.run(reference, ctx, config).cpi;
 
-        std::vector<std::string> k_row = {bench};
-        for (int k : ks) {
-            SimPoint sp(10.0, k, 1.0,
-                        "max_k=" + std::to_string(k));
-            double cpi = sp.run(ctx, config).cpi;
-            k_row.push_back(
-                Table::pct(std::fabs(cpi - ref_cpi) / ref_cpi * 100.0,
-                           2));
+            std::vector<std::string> k_row = {bench};
+            for (int k : ks) {
+                SimPoint sp(10.0, k, 1.0, "max_k=" + std::to_string(k));
+                double cpi = engine.run(sp, ctx, config).cpi;
+                k_row.push_back(Table::pct(
+                    std::fabs(cpi - ref_cpi) / ref_cpi * 100.0, 2));
+            }
+            k_table.addRow(k_row);
+
+            std::vector<std::string> d_row = {bench};
+            for (size_t d : dims) {
+                SimPoint sp(10.0, 30, 1.0, "dim=" + std::to_string(d),
+                            d);
+                double cpi = engine.run(sp, ctx, config).cpi;
+                d_row.push_back(Table::pct(
+                    std::fabs(cpi - ref_cpi) / ref_cpi * 100.0, 2));
+            }
+            d_table.addRow(d_row);
+            std::cerr << "simpoint-k: " << bench << " done\n";
         }
-        k_table.addRow(k_row);
 
-        std::vector<std::string> d_row = {bench};
-        for (size_t d : dims) {
-            SimPoint sp(10.0, 30, 1.0, "dim=" + std::to_string(d), d);
-            double cpi = sp.run(ctx, config).cpi;
-            d_row.push_back(
-                Table::pct(std::fabs(cpi - ref_cpi) / ref_cpi * 100.0,
-                           2));
-        }
-        d_table.addRow(d_row);
-        std::cerr << "simpoint-k: " << bench << " done\n";
-    }
-
-    if (options.csv) {
-        k_table.printCsv(std::cout);
-        d_table.printCsv(std::cout);
-    } else {
-        k_table.print(std::cout);
-        std::cout << "\n";
-        d_table.print(std::cout);
-    }
-    return 0;
+        driver.print(k_table);
+        if (!driver.options().csv)
+            std::cout << "\n";
+        driver.print(d_table);
+    });
 }

@@ -11,8 +11,7 @@
 #include <cmath>
 #include <iostream>
 
-#include "core/options.hh"
-#include "support/logging.hh"
+#include "engine/bench_driver.hh"
 #include "support/table.hh"
 #include "techniques/full_reference.hh"
 #include "techniques/smarts.hh"
@@ -22,40 +21,37 @@ using namespace yasim;
 int
 main(int argc, char **argv)
 {
-    BenchOptions options = parseBenchOptions(argc, argv, 400'000);
-    setInformEnabled(false);
-    SimConfig config = architecturalConfig(2);
+    return BenchDriver(argc, argv).run([](BenchDriver &driver) {
+        SimConfig config = architecturalConfig(2);
 
-    Table table("Ablation: SMARTS CPI error and cost across U x W "
-                "(config #2; cost = work as % of reference)");
-    table.setHeader({"benchmark", "U", "W", "CPI error", "cost %"});
+        Table table("Ablation: SMARTS CPI error and cost across U x W "
+                    "(config #2; cost = work as % of reference)");
+        table.setHeader({"benchmark", "U", "W", "CPI error", "cost %"});
 
-    for (const std::string &bench : options.benchmarks) {
-        TechniqueContext ctx = makeContext(bench, options.suite);
-        FullReference reference;
-        TechniqueResult ref = reference.run(ctx, config);
+        ExperimentEngine &engine = driver.engine();
+        for (const std::string &bench : driver.benchmarks()) {
+            TechniqueContext ctx = driver.context(bench);
+            FullReference reference;
+            TechniqueResult ref = engine.run(reference, ctx, config);
 
-        for (uint64_t u : {100ULL, 1000ULL, 10000ULL}) {
-            for (uint64_t w_mult : {2ULL, 20ULL}) {
-                Smarts smarts(u, u * w_mult);
-                TechniqueResult r = smarts.run(ctx, config);
-                table.addRow(
-                    {bench, std::to_string(u),
-                     std::to_string(u * w_mult),
-                     Table::pct(std::fabs(r.cpi - ref.cpi) / ref.cpi *
-                                    100.0,
-                                2),
-                     Table::num(100.0 * r.workUnits / ref.workUnits,
-                                1)});
+            for (uint64_t u : {100ULL, 1000ULL, 10000ULL}) {
+                for (uint64_t w_mult : {2ULL, 20ULL}) {
+                    Smarts smarts(u, u * w_mult);
+                    TechniqueResult r = engine.run(smarts, ctx, config);
+                    table.addRow(
+                        {bench, std::to_string(u),
+                         std::to_string(u * w_mult),
+                         Table::pct(std::fabs(r.cpi - ref.cpi) /
+                                        ref.cpi * 100.0,
+                                    2),
+                         Table::num(100.0 * r.workUnits / ref.workUnits,
+                                    1)});
+                }
             }
+            table.addRule();
+            std::cerr << "smarts-uw: " << bench << " done\n";
         }
-        table.addRule();
-        std::cerr << "smarts-uw: " << bench << " done\n";
-    }
 
-    if (options.csv)
-        table.printCsv(std::cout);
-    else
-        table.print(std::cout);
-    return 0;
+        driver.print(table);
+    });
 }

@@ -13,10 +13,9 @@
 
 #include <iostream>
 
-#include "core/options.hh"
+#include "engine/bench_driver.hh"
 #include "sim/functional.hh"
 #include "sim/ooo_core.hh"
-#include "support/logging.hh"
 #include "support/table.hh"
 
 using namespace yasim;
@@ -24,58 +23,56 @@ using namespace yasim;
 int
 main(int argc, char **argv)
 {
-    BenchOptions options = parseBenchOptions(argc, argv, 300'000);
-    setInformEnabled(false);
+    return BenchDriver(argc, argv)
+        .defaultRefInsts(300'000)
+        .run([](BenchDriver &driver) {
+            Table bp_table("Ablation: direction-predictor organization "
+                           "(conditional-branch accuracy, config #2 "
+                           "sizing)");
+            bp_table.setHeader(
+                {"benchmark", "bimodal", "gshare", "combined"});
 
-    Table bp_table("Ablation: direction-predictor organization "
-                   "(conditional-branch accuracy, config #2 sizing)");
-    bp_table.setHeader({"benchmark", "bimodal", "gshare", "combined"});
+            Table rp_table("Ablation: L1-D replacement policy "
+                           "(hit rate, config #2 geometry)");
+            rp_table.setHeader({"benchmark", "LRU", "FIFO", "random"});
 
-    Table rp_table("Ablation: L1-D replacement policy "
-                   "(hit rate, config #2 geometry)");
-    rp_table.setHeader({"benchmark", "LRU", "FIFO", "random"});
+            for (const std::string &bench : driver.benchmarks()) {
+                Workload w = buildWorkload(bench, InputSet::Reference,
+                                           driver.options().suite);
 
-    for (const std::string &bench : options.benchmarks) {
-        Workload w =
-            buildWorkload(bench, InputSet::Reference, options.suite);
+                std::vector<std::string> bp_row = {bench};
+                for (PredictorKind kind :
+                     {PredictorKind::Bimodal, PredictorKind::Gshare,
+                      PredictorKind::Combined}) {
+                    SimConfig cfg = architecturalConfig(2);
+                    cfg.bp.kind = kind;
+                    FunctionalSim fsim(w.program);
+                    OooCore core(cfg);
+                    core.run(fsim, ~0ULL);
+                    bp_row.push_back(Table::pct(
+                        core.snapshot().branchAccuracy() * 100.0, 2));
+                }
+                bp_table.addRow(bp_row);
 
-        std::vector<std::string> bp_row = {bench};
-        for (PredictorKind kind :
-             {PredictorKind::Bimodal, PredictorKind::Gshare,
-              PredictorKind::Combined}) {
-            SimConfig cfg = architecturalConfig(2);
-            cfg.bp.kind = kind;
-            FunctionalSim fsim(w.program);
-            OooCore core(cfg);
-            core.run(fsim, ~0ULL);
-            bp_row.push_back(
-                Table::pct(core.snapshot().branchAccuracy() * 100.0, 2));
-        }
-        bp_table.addRow(bp_row);
+                std::vector<std::string> rp_row = {bench};
+                for (ReplacementPolicy policy :
+                     {ReplacementPolicy::Lru, ReplacementPolicy::Fifo,
+                      ReplacementPolicy::Random}) {
+                    SimConfig cfg = architecturalConfig(2);
+                    cfg.mem.l1d.replacement = policy;
+                    FunctionalSim fsim(w.program);
+                    OooCore core(cfg);
+                    core.run(fsim, ~0ULL);
+                    rp_row.push_back(Table::pct(
+                        core.snapshot().l1dHitRate() * 100.0, 2));
+                }
+                rp_table.addRow(rp_row);
+                std::cerr << "uarch-variants: " << bench << " done\n";
+            }
 
-        std::vector<std::string> rp_row = {bench};
-        for (ReplacementPolicy policy :
-             {ReplacementPolicy::Lru, ReplacementPolicy::Fifo,
-              ReplacementPolicy::Random}) {
-            SimConfig cfg = architecturalConfig(2);
-            cfg.mem.l1d.replacement = policy;
-            FunctionalSim fsim(w.program);
-            OooCore core(cfg);
-            core.run(fsim, ~0ULL);
-            rp_row.push_back(
-                Table::pct(core.snapshot().l1dHitRate() * 100.0, 2));
-        }
-        rp_table.addRow(rp_row);
-        std::cerr << "uarch-variants: " << bench << " done\n";
-    }
-
-    if (options.csv) {
-        bp_table.printCsv(std::cout);
-        rp_table.printCsv(std::cout);
-    } else {
-        bp_table.print(std::cout);
-        std::cout << "\n";
-        rp_table.print(std::cout);
-    }
-    return 0;
+            driver.print(bp_table);
+            if (!driver.options().csv)
+                std::cout << "\n";
+            driver.print(rp_table);
+        });
 }

@@ -14,10 +14,9 @@
 #include <cmath>
 #include <iostream>
 
-#include "core/options.hh"
+#include "engine/bench_driver.hh"
 #include "sim/functional.hh"
 #include "sim/ooo_core.hh"
-#include "support/logging.hh"
 #include "support/table.hh"
 #include "techniques/technique.hh"
 
@@ -53,42 +52,42 @@ windowCpi(const Workload &workload, const SimConfig &config,
 int
 main(int argc, char **argv)
 {
-    BenchOptions options = parseBenchOptions(argc, argv, 400'000);
-    setInformEnabled(false);
-    SimConfig config = architecturalConfig(2);
+    return BenchDriver(argc, argv).run([](BenchDriver &driver) {
+        SimConfig config = architecturalConfig(2);
 
-    Table table("Ablation: cold-start CPI bias of FF + [WU Y +] Run "
-                "(window = 500 scaled-M at 40% of the run; baseline = "
-                "functionally-warmed measurement of the same window)");
-    table.setHeader({"benchmark", "warm-up Y", "CPI", "bias vs warm"});
+        Table table("Ablation: cold-start CPI bias of FF + [WU Y +] Run "
+                    "(window = 500 scaled-M at 40% of the run; baseline "
+                    "= functionally-warmed measurement of the same "
+                    "window)");
+        table.setHeader({"benchmark", "warm-up Y", "CPI",
+                         "bias vs warm"});
 
-    for (const std::string &bench : options.benchmarks) {
-        TechniqueContext ctx = makeContext(bench, options.suite);
-        Workload workload =
-            buildWorkload(bench, InputSet::Reference, ctx.suite);
-        uint64_t start = ctx.scaledM(4000);
-        uint64_t len = ctx.scaledM(500);
+        for (const std::string &bench : driver.benchmarks()) {
+            TechniqueContext ctx = driver.context(bench);
+            Workload workload =
+                buildWorkload(bench, InputSet::Reference, ctx.suite);
+            uint64_t start = ctx.scaledM(4000);
+            uint64_t len = ctx.scaledM(500);
 
-        double warm_cpi =
-            windowCpi(workload, config, start, 0, len, true);
-        table.addRow({bench, "full warming",
-                      Table::num(warm_cpi, 3), "-"});
-        for (double y : {0.0, 1.0, 10.0, 100.0}) {
-            uint64_t warm = y > 0 ? ctx.scaledM(y) : 0;
-            double cpi =
-                windowCpi(workload, config, start, warm, len, false);
-            table.addRow(
-                {bench, y == 0 ? "none (FF+Run)" : Table::num(y, 0) + "M",
-                 Table::num(cpi, 3),
-                 Table::pct((cpi - warm_cpi) / warm_cpi * 100.0, 2)});
+            double warm_cpi =
+                windowCpi(workload, config, start, 0, len, true);
+            table.addRow({bench, "full warming",
+                          Table::num(warm_cpi, 3), "-"});
+            for (double y : {0.0, 1.0, 10.0, 100.0}) {
+                uint64_t warm = y > 0 ? ctx.scaledM(y) : 0;
+                double cpi =
+                    windowCpi(workload, config, start, warm, len, false);
+                table.addRow(
+                    {bench,
+                     y == 0 ? "none (FF+Run)" : Table::num(y, 0) + "M",
+                     Table::num(cpi, 3),
+                     Table::pct((cpi - warm_cpi) / warm_cpi * 100.0,
+                                2)});
+            }
+            table.addRule();
+            std::cerr << "warmup: " << bench << " done\n";
         }
-        table.addRule();
-        std::cerr << "warmup: " << bench << " done\n";
-    }
 
-    if (options.csv)
-        table.printCsv(std::cout);
-    else
-        table.print(std::cout);
-    return 0;
+        driver.print(table);
+    });
 }

@@ -19,10 +19,9 @@
 #include <iostream>
 #include <map>
 
-#include "core/options.hh"
 #include "core/pb_characterization.hh"
+#include "engine/bench_driver.hh"
 #include "stats/summary.hh"
-#include "support/logging.hh"
 #include "support/parallel.hh"
 #include "support/table.hh"
 #include "techniques/full_reference.hh"
@@ -33,60 +32,61 @@ using namespace yasim;
 int
 main(int argc, char **argv)
 {
-    BenchOptions options = parseBenchOptions(argc, argv, 400'000);
-    setInformEnabled(false);
+    return BenchDriver(argc, argv).run([](BenchDriver &driver) {
+        PbDesign design =
+            PbDesign::forFactors(numPbFactors(), /*foldover=*/false);
 
-    PbDesign design =
-        PbDesign::forFactors(numPbFactors(), /*foldover=*/false);
+        Table table("Figure 1: normalized PB rank-vector distance from "
+                    "the reference input set (mean [min..max] across "
+                    "permutations; 0 = identical bottlenecks, 100 = "
+                    "completely out of phase)");
+        std::vector<std::string> header = {"benchmark"};
+        for (const std::string &family : techniqueFamilies())
+            header.push_back(family);
+        table.setHeader(header);
 
-    Table table("Figure 1: normalized PB rank-vector distance from the "
-                "reference input set (mean [min..max] across "
-                "permutations; 0 = identical bottlenecks, 100 = "
-                "completely out of phase)");
-    std::vector<std::string> header = {"benchmark"};
-    for (const std::string &family : techniqueFamilies())
-        header.push_back(family);
-    table.setHeader(header);
+        const auto &benchmarks = driver.benchmarks();
+        auto rows = parallelMap<std::vector<std::string>>(
+            benchmarks.size(), [&](size_t bi) {
+                const std::string &bench = benchmarks[bi];
+                ExperimentEngine &engine = driver.engine();
+                TechniqueContext ctx = driver.context(bench);
 
-    auto rows = parallelMap<std::vector<std::string>>(
-        options.benchmarks.size(), [&](size_t bi) {
-            const std::string &bench = options.benchmarks[bi];
-            TechniqueContext ctx = makeContext(bench, options.suite);
+                FullReference reference;
+                PbOutcome ref =
+                    runPbDesign(engine, reference, ctx, design);
 
-            FullReference reference;
-            PbOutcome ref = runPbDesign(reference, ctx, design);
-
-            std::map<std::string, std::vector<double>> family_distances;
-            auto permutations = options.full
-                                    ? table1Permutations(bench)
-                                    : representativePermutations(bench);
-            for (const TechniquePtr &technique : permutations) {
-                PbOutcome outcome = runPbDesign(*technique, ctx, design);
-                family_distances[technique->name()].push_back(
-                    pbDistance(outcome, ref));
-            }
-
-            std::vector<std::string> row = {bench};
-            for (const std::string &family : techniqueFamilies()) {
-                auto it = family_distances.find(family);
-                if (it == family_distances.end()) {
-                    row.emplace_back("-");
-                    continue;
+                std::map<std::string, std::vector<double>>
+                    family_distances;
+                auto permutations =
+                    driver.options().full
+                        ? table1Permutations(bench)
+                        : representativePermutations(bench);
+                for (const TechniquePtr &technique : permutations) {
+                    PbOutcome outcome =
+                        runPbDesign(engine, *technique, ctx, design);
+                    family_distances[technique->name()].push_back(
+                        pbDistance(outcome, ref));
                 }
-                const std::vector<double> &d = it->second;
-                row.push_back(Table::num(mean(d), 1) + " [" +
-                              Table::num(minOf(d), 1) + ".." +
-                              Table::num(maxOf(d), 1) + "]");
-            }
-            std::cerr << "fig1: " + bench + " done\n";
-            return row;
-        });
-    for (auto &row : rows)
-        table.addRow(std::move(row));
 
-    if (options.csv)
-        table.printCsv(std::cout);
-    else
-        table.print(std::cout);
-    return 0;
+                std::vector<std::string> row = {bench};
+                for (const std::string &family : techniqueFamilies()) {
+                    auto it = family_distances.find(family);
+                    if (it == family_distances.end()) {
+                        row.emplace_back("-");
+                        continue;
+                    }
+                    const std::vector<double> &d = it->second;
+                    row.push_back(Table::num(mean(d), 1) + " [" +
+                                  Table::num(minOf(d), 1) + ".." +
+                                  Table::num(maxOf(d), 1) + "]");
+                }
+                std::cerr << "fig1: " + bench + " done\n";
+                return row;
+            });
+        for (auto &row : rows)
+            table.addRow(std::move(row));
+
+        driver.print(table);
+    });
 }

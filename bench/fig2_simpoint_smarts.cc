@@ -13,9 +13,8 @@
 
 #include <iostream>
 
-#include "core/options.hh"
 #include "core/pb_characterization.hh"
-#include "support/logging.hh"
+#include "engine/bench_driver.hh"
 #include "support/table.hh"
 #include "techniques/full_reference.hh"
 #include "techniques/simpoint.hh"
@@ -26,52 +25,51 @@ using namespace yasim;
 int
 main(int argc, char **argv)
 {
-    BenchOptions options = parseBenchOptions(argc, argv, 400'000);
-    setInformEnabled(false);
+    return BenchDriver(argc, argv).run([](BenchDriver &driver) {
+        PbDesign design = PbDesign::forFactors(numPbFactors(), false);
 
-    PbDesign design = PbDesign::forFactors(numPbFactors(), false);
+        // The most accurate permutation of each technique, as in the
+        // paper.
+        SimPoint simpoint(10.0, 100, 1.0, "multiple 10M");
+        Smarts smarts(1000, 2000);
 
-    // The most accurate permutation of each technique, as in the paper.
-    SimPoint simpoint(10.0, 100, 1.0, "multiple 10M");
-    Smarts smarts(1000, 2000);
-
-    const std::vector<size_t> shown = {1, 2, 3, 4, 5, 6, 8,
-                                       10, 15, 20, 30, 43};
-    Table table("Figure 2: SimPoint minus SMARTS Euclidean distance "
-                "from the reference ranks, counting only the N most "
-                "significant reference parameters");
-    std::vector<std::string> header = {"benchmark"};
-    for (size_t n : shown)
-        header.push_back("N=" + std::to_string(n));
-    table.setHeader(header);
-
-    for (const std::string &bench : options.benchmarks) {
-        TechniqueContext ctx = makeContext(bench, options.suite);
-        FullReference reference;
-        PbOutcome ref = runPbDesign(reference, ctx, design);
-        PbOutcome sp = runPbDesign(simpoint, ctx, design);
-        PbOutcome sm = runPbDesign(smarts, ctx, design);
-        std::vector<double> series = pbDistanceDifference(sp, sm, ref);
-
-        std::vector<std::string> row = {bench};
+        const std::vector<size_t> shown = {1, 2, 3, 4, 5, 6, 8,
+                                           10, 15, 20, 30, 43};
+        Table table("Figure 2: SimPoint minus SMARTS Euclidean distance "
+                    "from the reference ranks, counting only the N most "
+                    "significant reference parameters");
+        std::vector<std::string> header = {"benchmark"};
         for (size_t n : shown)
-            row.push_back(Table::num(series[n - 1], 2));
-        table.addRow(row);
+            header.push_back("N=" + std::to_string(n));
+        table.setHeader(header);
 
-        // The gcc narrative: where does memory latency rank?
-        for (size_t j = 0; j < pbFactors().size(); ++j) {
-            if (pbFactors()[j].name == "memory latency (first)") {
-                std::cerr << "fig2: " << bench
-                          << " memory-latency rank: reference "
-                          << ref.ranks[j] << ", SimPoint " << sp.ranks[j]
-                          << ", SMARTS " << sm.ranks[j] << "\n";
+        ExperimentEngine &engine = driver.engine();
+        for (const std::string &bench : driver.benchmarks()) {
+            TechniqueContext ctx = driver.context(bench);
+            FullReference reference;
+            PbOutcome ref = runPbDesign(engine, reference, ctx, design);
+            PbOutcome sp = runPbDesign(engine, simpoint, ctx, design);
+            PbOutcome sm = runPbDesign(engine, smarts, ctx, design);
+            std::vector<double> series =
+                pbDistanceDifference(sp, sm, ref);
+
+            std::vector<std::string> row = {bench};
+            for (size_t n : shown)
+                row.push_back(Table::num(series[n - 1], 2));
+            table.addRow(row);
+
+            // The gcc narrative: where does memory latency rank?
+            for (size_t j = 0; j < pbFactors().size(); ++j) {
+                if (pbFactors()[j].name == "memory latency (first)") {
+                    std::cerr << "fig2: " << bench
+                              << " memory-latency rank: reference "
+                              << ref.ranks[j] << ", SimPoint "
+                              << sp.ranks[j] << ", SMARTS "
+                              << sm.ranks[j] << "\n";
+                }
             }
         }
-    }
 
-    if (options.csv)
-        table.printCsv(std::cout);
-    else
-        table.print(std::cout);
-    return 0;
+        driver.print(table);
+    });
 }

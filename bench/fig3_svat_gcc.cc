@@ -8,12 +8,18 @@
  * behaviour, longer truncated windows do not reliably buy accuracy.
  */
 
-#include "svat_common.hh"
+#include "engine/bench_driver.hh"
+#include "techniques/permutations.hh"
 
 int
 main(int argc, char **argv)
 {
+    using namespace yasim;
     // FF X = 1000M; FF+WU pair 999M + 1M (the paper's gcc legend).
-    return yasim::runSvatBench(argc, argv, "gcc", "Figure 3", 1000.0,
-                               999.0, 1.0);
+    return BenchDriver(argc, argv)
+        .defaultRefInsts(400'000)
+        .benchmark("gcc")
+        .figure("Figure 3")
+        .techniques(svatPermutations("gcc", 1000.0, 999.0, 1.0))
+        .run();
 }

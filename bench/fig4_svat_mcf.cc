@@ -6,12 +6,18 @@
  * only one whose working set escapes the caches.
  */
 
-#include "svat_common.hh"
+#include "engine/bench_driver.hh"
+#include "techniques/permutations.hh"
 
 int
 main(int argc, char **argv)
 {
+    using namespace yasim;
     // FF X = 4000M; FF+WU pair 3990M + 10M (the paper's mcf legend).
-    return yasim::runSvatBench(argc, argv, "mcf", "Figure 4", 4000.0,
-                               3990.0, 10.0);
+    return BenchDriver(argc, argv)
+        .defaultRefInsts(400'000)
+        .benchmark("mcf")
+        .figure("Figure 4")
+        .techniques(svatPermutations("mcf", 4000.0, 3990.0, 10.0))
+        .run();
 }

@@ -18,8 +18,7 @@
 #include <memory>
 
 #include "core/config_dependence.hh"
-#include "core/options.hh"
-#include "support/logging.hh"
+#include "engine/bench_driver.hh"
 #include "support/table.hh"
 #include "techniques/reduced_input.hh"
 #include "techniques/simpoint.hh"
@@ -63,68 +62,78 @@ figurePermutations()
 int
 main(int argc, char **argv)
 {
-    BenchOptions options = parseBenchOptions(argc, argv, 400'000);
-    setInformEnabled(false);
+    return BenchDriver(argc, argv).run([](BenchDriver &driver) {
+        std::vector<SimConfig> configs = driver.configs();
+        auto permutations = figurePermutations();
 
-    std::vector<SimConfig> configs =
-        options.full ? envelopeConfigs() : architecturalConfigs();
-
-    auto permutations = figurePermutations();
-
-    // Pool the per-config CPI errors over every benchmark.
-    std::vector<ConfigDependence> pooled;
-    for (const auto &[label, technique] : permutations) {
-        ConfigDependence d;
-        d.technique = technique->name();
-        d.permutation = label;
-        pooled.push_back(std::move(d));
-    }
-
-    for (const std::string &bench : options.benchmarks) {
-        TechniqueContext ctx = makeContext(bench, options.suite);
-        std::vector<double> ref_cpis = referenceCpis(ctx, configs);
-        for (size_t i = 0; i < permutations.size(); ++i) {
-            const auto &[label, technique] = permutations[i];
-            if (technique->name() == "reduced") {
-                auto *reduced =
-                    dynamic_cast<const ReducedInput *>(technique.get());
-                if (!hasInput(bench, reduced->input()))
-                    continue;
-            }
-            ConfigDependence d =
-                configDependence(*technique, ctx, configs, ref_cpis);
-            for (double e : d.signedErrors) {
-                pooled[i].signedErrors.push_back(e);
-                pooled[i].errorHistogram.add(std::fabs(e));
-            }
+        // Pool the per-config CPI errors over every benchmark.
+        std::vector<ConfigDependence> pooled;
+        for (const auto &[label, technique] : permutations) {
+            ConfigDependence d;
+            d.technique = technique->name();
+            d.permutation = label;
+            pooled.push_back(std::move(d));
         }
-        std::cerr << "fig5: " << bench << " done\n";
-    }
 
-    Table table("Figure 5: configuration dependence - % of "
-                "configurations per |CPI error| bin, pooled over " +
-                std::to_string(options.benchmarks.size()) +
-                " benchmarks and " + std::to_string(configs.size()) +
-                " configurations");
-    std::vector<std::string> header = {"permutation"};
-    const Histogram &shape = pooled[0].errorHistogram;
-    for (size_t b = 0; b <= shape.numBins(); ++b)
-        header.push_back(shape.label(b));
-    header.emplace_back("consistency");
-    table.setHeader(header);
+        ExperimentEngine &engine = driver.engine();
+        for (const std::string &bench : driver.benchmarks()) {
+            TechniqueContext ctx = driver.context(bench);
 
-    for (const ConfigDependence &d : pooled) {
-        std::vector<std::string> row = {d.permutation};
-        for (size_t b = 0; b <= d.errorHistogram.numBins(); ++b)
-            row.push_back(
-                Table::pct(d.errorHistogram.fraction(b) * 100.0, 1));
-        row.push_back(Table::num(d.errorConsistency(), 2));
-        table.addRow(row);
-    }
+            // Applicable permutations for this benchmark, pre-run on
+            // the work-stealing pool (plus the reference baseline).
+            std::vector<TechniquePtr> applicable;
+            for (const auto &[label, technique] : permutations) {
+                if (technique->name() == "reduced") {
+                    auto *reduced = dynamic_cast<const ReducedInput *>(
+                        technique.get());
+                    if (!hasInput(bench, reduced->input()))
+                        continue;
+                }
+                applicable.push_back(technique);
+            }
+            engine.prefetch(ctx, applicable, configs);
 
-    if (options.csv)
-        table.printCsv(std::cout);
-    else
-        table.print(std::cout);
-    return 0;
+            std::vector<double> ref_cpis =
+                referenceCpis(engine, ctx, configs);
+            for (size_t i = 0; i < permutations.size(); ++i) {
+                const auto &[label, technique] = permutations[i];
+                if (technique->name() == "reduced") {
+                    auto *reduced = dynamic_cast<const ReducedInput *>(
+                        technique.get());
+                    if (!hasInput(bench, reduced->input()))
+                        continue;
+                }
+                ConfigDependence d = configDependence(
+                    engine, *technique, ctx, configs, ref_cpis);
+                for (double e : d.signedErrors) {
+                    pooled[i].signedErrors.push_back(e);
+                    pooled[i].errorHistogram.add(std::fabs(e));
+                }
+            }
+            std::cerr << "fig5: " << bench << " done\n";
+        }
+
+        Table table("Figure 5: configuration dependence - % of "
+                    "configurations per |CPI error| bin, pooled over " +
+                    std::to_string(driver.benchmarks().size()) +
+                    " benchmarks and " + std::to_string(configs.size()) +
+                    " configurations");
+        std::vector<std::string> header = {"permutation"};
+        const Histogram &shape = pooled[0].errorHistogram;
+        for (size_t b = 0; b <= shape.numBins(); ++b)
+            header.push_back(shape.label(b));
+        header.emplace_back("consistency");
+        table.setHeader(header);
+
+        for (const ConfigDependence &d : pooled) {
+            std::vector<std::string> row = {d.permutation};
+            for (size_t b = 0; b <= d.errorHistogram.numBins(); ++b)
+                row.push_back(
+                    Table::pct(d.errorHistogram.fraction(b) * 100.0, 1));
+            row.push_back(Table::num(d.errorConsistency(), 2));
+            table.addRow(row);
+        }
+
+        driver.print(table);
+    });
 }

@@ -15,8 +15,7 @@
 #include <memory>
 
 #include "core/enhancement_study.hh"
-#include "core/options.hh"
-#include "support/logging.hh"
+#include "engine/bench_driver.hh"
 #include "support/table.hh"
 #include "techniques/reduced_input.hh"
 #include "techniques/simpoint.hh"
@@ -59,46 +58,60 @@ figurePermutations(const std::string &bench)
 int
 main(int argc, char **argv)
 {
-    BenchOptions options = parseBenchOptions(argc, argv, 400'000);
-    setInformEnabled(false);
+    return BenchDriver(argc, argv).run([](BenchDriver &driver) {
+        const BenchOptions &options = driver.options();
+        const std::string bench = options.benchmarks.size() == 1
+                                      ? options.benchmarks[0]
+                                      : "gcc";
+        ExperimentEngine &engine = driver.engine();
+        TechniqueContext ctx = driver.context(bench);
+        SimConfig config = architecturalConfig(2);
 
-    const std::string bench =
-        options.benchmarks.size() == 1 ? options.benchmarks[0] : "gcc";
-    TechniqueContext ctx = makeContext(bench, options.suite);
-    SimConfig config = architecturalConfig(2);
+        const Enhancement enhancements[] = {
+            Enhancement::NextLinePrefetch,
+            Enhancement::TrivialComputation};
 
-    const Enhancement enhancements[] = {Enhancement::NextLinePrefetch,
-                                        Enhancement::TrivialComputation};
-    double ref_speedup[2];
-    for (int e = 0; e < 2; ++e)
-        ref_speedup[e] = referenceSpeedup(ctx, config, enhancements[e]);
+        auto techniques = figurePermutations(bench);
 
-    std::cout << "reference speedups on " << bench << "/config2: NLP "
-              << Table::num((ref_speedup[0] - 1.0) * 100.0, 2) << "%, TC "
-              << Table::num((ref_speedup[1] - 1.0) * 100.0, 2) << "%\n\n";
+        // Every (technique | reference) x (base | enhanced) cell, on
+        // the work-stealing pool.
+        std::vector<SimConfig> grid_configs = {config};
+        for (Enhancement e : enhancements)
+            grid_configs.push_back(withEnhancement(config, e));
+        engine.prefetch(ctx, techniques, grid_configs);
 
-    Table table("Figure 6: apparent-speedup error "
-                "(technique minus reference, percentage points) for " +
-                bench + " on configuration #2");
-    table.setHeader({"technique", "permutation", "NLP error (pp)",
-                     "TC error (pp)"});
+        double ref_speedup[2];
+        for (int e = 0; e < 2; ++e)
+            ref_speedup[e] =
+                referenceSpeedup(engine, ctx, config, enhancements[e]);
 
-    for (const TechniquePtr &technique : figurePermutations(bench)) {
-        std::vector<std::string> row = {technique->name(),
-                                        technique->permutation()};
-        for (int e = 0; e < 2; ++e) {
-            EnhancementImpact impact =
-                evaluateEnhancement(*technique, ctx, config,
-                                    enhancements[e], ref_speedup[e]);
-            row.push_back(
-                Table::num(impact.speedupError() * 100.0, 2));
+        std::cout << "reference speedups on " << bench
+                  << "/config2: NLP "
+                  << Table::num((ref_speedup[0] - 1.0) * 100.0, 2)
+                  << "%, TC "
+                  << Table::num((ref_speedup[1] - 1.0) * 100.0, 2)
+                  << "%\n\n";
+
+        Table table("Figure 6: apparent-speedup error "
+                    "(technique minus reference, percentage points) "
+                    "for " +
+                    bench + " on configuration #2");
+        table.setHeader({"technique", "permutation", "NLP error (pp)",
+                         "TC error (pp)"});
+
+        for (const TechniquePtr &technique : techniques) {
+            std::vector<std::string> row = {technique->name(),
+                                            technique->permutation()};
+            for (int e = 0; e < 2; ++e) {
+                EnhancementImpact impact = evaluateEnhancement(
+                    engine, *technique, ctx, config, enhancements[e],
+                    ref_speedup[e]);
+                row.push_back(
+                    Table::num(impact.speedupError() * 100.0, 2));
+            }
+            table.addRow(row);
         }
-        table.addRow(row);
-    }
 
-    if (options.csv)
-        table.printCsv(std::cout);
-    else
-        table.print(std::cout);
-    return 0;
+        driver.print(table);
+    });
 }

@@ -8,7 +8,7 @@
 #include <iostream>
 
 #include "core/decision_tree.hh"
-#include "core/options.hh"
+#include "engine/bench_driver.hh"
 #include "support/table.hh"
 
 using namespace yasim;
@@ -16,19 +16,22 @@ using namespace yasim;
 int
 main(int argc, char **argv)
 {
-    parseBenchOptions(argc, argv, 500'000);
+    return BenchDriver(argc, argv)
+        .defaultRefInsts(500'000)
+        .run([](BenchDriver &driver) {
+            DecisionTree tree;
+            tree.print(std::cout);
 
-    DecisionTree tree;
-    tree.print(std::cout);
-
-    Table table("recommend() for every goal (best technique first)");
-    table.setHeader({"goal", "1st", "2nd", "last"});
-    for (SelectionGoal goal : allSelectionGoals()) {
-        const CriterionRanking &r = tree.recommend(goal);
-        table.addRow({selectionGoalName(goal), r.ranking.front(),
-                      r.ranking[1], r.ranking.back()});
-    }
-    std::cout << "\n";
-    table.print(std::cout);
-    return 0;
+            Table table("recommend() for every goal "
+                        "(best technique first)");
+            table.setHeader({"goal", "1st", "2nd", "last"});
+            for (SelectionGoal goal : allSelectionGoals()) {
+                const CriterionRanking &r = tree.recommend(goal);
+                table.addRow({selectionGoalName(goal),
+                              r.ranking.front(), r.ranking[1],
+                              r.ranking.back()});
+            }
+            std::cout << "\n";
+            table.print(std::cout);
+        });
 }

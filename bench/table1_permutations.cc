@@ -6,9 +6,8 @@
  */
 
 #include <iostream>
-#include <map>
 
-#include "core/options.hh"
+#include "engine/bench_driver.hh"
 #include "support/table.hh"
 #include "techniques/permutations.hh"
 
@@ -17,36 +16,38 @@ using namespace yasim;
 int
 main(int argc, char **argv)
 {
-    BenchOptions options = parseBenchOptions(argc, argv, 500'000);
-    const std::string bench = options.benchmarks.front();
+    return BenchDriver(argc, argv)
+        .defaultRefInsts(500'000)
+        .run([](BenchDriver &driver) {
+            const std::string bench = driver.benchmarks().front();
 
-    auto permutations = table1Permutations(bench);
+            auto permutations = table1Permutations(bench);
 
-    Table table("Table 1: candidate-technique permutations (for " +
-                bench + ")");
-    table.setHeader({"technique", "permutation"});
-    std::string last_family;
-    for (const TechniquePtr &technique : permutations) {
-        if (technique->name() != last_family && !last_family.empty())
-            table.addRule();
-        last_family = technique->name();
-        table.addRow({technique->name(), technique->permutation()});
-    }
-    if (options.csv)
-        table.printCsv(std::cout);
-    else
-        table.print(std::cout);
+            Table table("Table 1: candidate-technique permutations "
+                        "(for " +
+                        bench + ")");
+            table.setHeader({"technique", "permutation"});
+            std::string last_family;
+            for (const TechniquePtr &technique : permutations) {
+                if (technique->name() != last_family &&
+                    !last_family.empty())
+                    table.addRule();
+                last_family = technique->name();
+                table.addRow(
+                    {technique->name(), technique->permutation()});
+            }
+            driver.print(table);
 
-    Table counts("Permutations per technique family");
-    counts.setHeader({"technique", "count"});
-    size_t total = 0;
-    for (const std::string &family : techniqueFamilies()) {
-        size_t n = familyPermutationCount(bench, family);
-        total += n;
-        counts.addRow({family, std::to_string(n)});
-    }
-    counts.addRule();
-    counts.addRow({"total", std::to_string(total)});
-    counts.print(std::cout);
-    return 0;
+            Table counts("Permutations per technique family");
+            counts.setHeader({"technique", "count"});
+            size_t total = 0;
+            for (const std::string &family : techniqueFamilies()) {
+                size_t n = familyPermutationCount(bench, family);
+                total += n;
+                counts.addRow({family, std::to_string(n)});
+            }
+            counts.addRule();
+            counts.addRow({"total", std::to_string(total)});
+            counts.print(std::cout);
+        });
 }

@@ -7,7 +7,7 @@
 
 #include <iostream>
 
-#include "core/options.hh"
+#include "engine/bench_driver.hh"
 #include "sim/functional.hh"
 #include "support/table.hh"
 #include "workloads/suite.hh"
@@ -17,33 +17,33 @@ using namespace yasim;
 int
 main(int argc, char **argv)
 {
-    BenchOptions options = parseBenchOptions(argc, argv, 500'000);
+    return BenchDriver(argc, argv)
+        .defaultRefInsts(500'000)
+        .run([](BenchDriver &driver) {
+            Table table("Table 2: benchmarks and input sets (cells: "
+                        "label / dynamic M-instructions at this scale)");
+            std::vector<std::string> header = {"benchmark"};
+            for (InputSet input : allInputSets())
+                header.emplace_back(inputSetName(input));
+            table.setHeader(header);
 
-    Table table("Table 2: benchmarks and input sets "
-                "(cells: label / dynamic M-instructions at this scale)");
-    std::vector<std::string> header = {"benchmark"};
-    for (InputSet input : allInputSets())
-        header.emplace_back(inputSetName(input));
-    table.setHeader(header);
-
-    for (const std::string &bench : options.benchmarks) {
-        std::vector<std::string> row = {bench};
-        for (InputSet input : allInputSets()) {
-            if (!hasInput(bench, input)) {
-                row.emplace_back("N/A");
-                continue;
+            for (const std::string &bench : driver.benchmarks()) {
+                std::vector<std::string> row = {bench};
+                for (InputSet input : allInputSets()) {
+                    if (!hasInput(bench, input)) {
+                        row.emplace_back("N/A");
+                        continue;
+                    }
+                    Workload w = buildWorkload(
+                        bench, input, driver.options().suite);
+                    FunctionalSim fsim(w.program);
+                    uint64_t len = fsim.fastForward(~0ULL);
+                    row.push_back(
+                        w.label + " / " +
+                        Table::num(static_cast<double>(len) / 1e6, 2));
+                }
+                table.addRow(row);
             }
-            Workload w = buildWorkload(bench, input, options.suite);
-            FunctionalSim fsim(w.program);
-            uint64_t len = fsim.fastForward(~0ULL);
-            row.push_back(w.label + " / " +
-                          Table::num(static_cast<double>(len) / 1e6, 2));
-        }
-        table.addRow(row);
-    }
-    if (options.csv)
-        table.printCsv(std::cout);
-    else
-        table.print(std::cout);
-    return 0;
+            driver.print(table);
+        });
 }

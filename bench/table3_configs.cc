@@ -7,7 +7,7 @@
 
 #include <iostream>
 
-#include "core/options.hh"
+#include "engine/bench_driver.hh"
 #include "sim/config.hh"
 #include "support/table.hh"
 
@@ -27,59 +27,57 @@ cacheDesc(const CacheConfig &c, uint32_t latency)
 int
 main(int argc, char **argv)
 {
-    BenchOptions options = parseBenchOptions(argc, argv, 500'000);
+    return BenchDriver(argc, argv)
+        .defaultRefInsts(500'000)
+        .run([](BenchDriver &driver) {
+            auto configs = architecturalConfigs();
+            Table table("Table 3: processor configurations for the "
+                        "architecture-level characterization");
+            table.setHeader({"parameter", "config #1", "config #2",
+                             "config #3", "config #4"});
+            auto row = [&](const std::string &name, auto getter) {
+                std::vector<std::string> cells = {name};
+                for (const SimConfig &c : configs)
+                    cells.push_back(getter(c));
+                table.addRow(cells);
+            };
+            row("decode/issue/commit width", [](const SimConfig &c) {
+                return std::to_string(c.core.issueWidth) + "-way";
+            });
+            row("branch predictor", [](const SimConfig &c) {
+                return "combined, " +
+                       std::to_string(c.bp.bhtEntries / 1024) + "K BHT";
+            });
+            row("ROB/LSQ entries", [](const SimConfig &c) {
+                return std::to_string(c.core.robEntries) + "/" +
+                       std::to_string(c.core.lsqEntries);
+            });
+            row("int/FP ALUs (mult/div)", [](const SimConfig &c) {
+                return std::to_string(c.core.intAlus) + "/" +
+                       std::to_string(c.core.fpAlus) + " (" +
+                       std::to_string(c.core.intMultDivUnits) + "/" +
+                       std::to_string(c.core.fpMultDivUnits) + ")";
+            });
+            row("L1 D-cache", [](const SimConfig &c) {
+                return cacheDesc(c.mem.l1d, c.mem.l1dLatency);
+            });
+            row("L2 cache", [](const SimConfig &c) {
+                return cacheDesc(c.mem.l2, c.mem.l2Latency);
+            });
+            row("memory latency (first, next)", [](const SimConfig &c) {
+                return std::to_string(c.mem.memLatencyFirst) + ", " +
+                       std::to_string(c.mem.memLatencyNext);
+            });
+            driver.print(table);
 
-    auto configs = architecturalConfigs();
-    Table table("Table 3: processor configurations for the "
-                "architecture-level characterization");
-    table.setHeader({"parameter", "config #1", "config #2", "config #3",
-                     "config #4"});
-    auto row = [&](const std::string &name, auto getter) {
-        std::vector<std::string> cells = {name};
-        for (const SimConfig &c : configs)
-            cells.push_back(getter(c));
-        table.addRow(cells);
-    };
-    row("decode/issue/commit width", [](const SimConfig &c) {
-        return std::to_string(c.core.issueWidth) + "-way";
-    });
-    row("branch predictor", [](const SimConfig &c) {
-        return "combined, " + std::to_string(c.bp.bhtEntries / 1024) +
-               "K BHT";
-    });
-    row("ROB/LSQ entries", [](const SimConfig &c) {
-        return std::to_string(c.core.robEntries) + "/" +
-               std::to_string(c.core.lsqEntries);
-    });
-    row("int/FP ALUs (mult/div)", [](const SimConfig &c) {
-        return std::to_string(c.core.intAlus) + "/" +
-               std::to_string(c.core.fpAlus) + " (" +
-               std::to_string(c.core.intMultDivUnits) + "/" +
-               std::to_string(c.core.fpMultDivUnits) + ")";
-    });
-    row("L1 D-cache", [](const SimConfig &c) {
-        return cacheDesc(c.mem.l1d, c.mem.l1dLatency);
-    });
-    row("L2 cache", [](const SimConfig &c) {
-        return cacheDesc(c.mem.l2, c.mem.l2Latency);
-    });
-    row("memory latency (first, next)", [](const SimConfig &c) {
-        return std::to_string(c.mem.memLatencyFirst) + ", " +
-               std::to_string(c.mem.memLatencyNext);
-    });
-    if (options.csv)
-        table.printCsv(std::cout);
-    else
-        table.print(std::cout);
-
-    if (options.full) {
-        Table factors("The 43 Plackett-Burman factors (low/high levels "
-                      "are applied by applyPbRow)");
-        factors.setHeader({"#", "factor"});
-        int i = 1;
-        for (const PbFactor &factor : pbFactors())
-            factors.addRow({std::to_string(i++), factor.name});
-        factors.print(std::cout);
-    }
-    return 0;
+            if (driver.options().full) {
+                Table factors("The 43 Plackett-Burman factors (low/high "
+                              "levels are applied by applyPbRow)");
+                factors.setHeader({"#", "factor"});
+                int i = 1;
+                for (const PbFactor &factor : pbFactors())
+                    factors.addRow({std::to_string(i++), factor.name});
+                factors.print(std::cout);
+            }
+        });
 }

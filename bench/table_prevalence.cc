@@ -8,8 +8,8 @@
 
 #include <iostream>
 
-#include "core/options.hh"
 #include "core/survey.hh"
+#include "engine/bench_driver.hh"
 #include "support/table.hh"
 
 using namespace yasim;
@@ -17,27 +17,27 @@ using namespace yasim;
 int
 main(int argc, char **argv)
 {
-    BenchOptions options = parseBenchOptions(argc, argv, 500'000);
+    return BenchDriver(argc, argv)
+        .defaultRefInsts(500'000)
+        .run([](BenchDriver &driver) {
+            Table table("Prevalence of simulation techniques (10 years "
+                        "of HPCA/ISCA/MICRO, from the paper's survey)");
+            table.setHeader(
+                {"technique", "% of known", "studied", "note"});
+            for (const SurveyEntry &entry : prevalenceSurvey()) {
+                table.addRow({entry.technique,
+                              entry.percentOfKnown > 0.0
+                                  ? Table::pct(entry.percentOfKnown, 1)
+                                  : "-",
+                              entry.studied ? "yes" : "no", entry.note});
+            }
+            driver.print(table);
 
-    Table table("Prevalence of simulation techniques "
-                "(10 years of HPCA/ISCA/MICRO, from the paper's survey)");
-    table.setHeader({"technique", "% of known", "studied", "note"});
-    for (const SurveyEntry &entry : prevalenceSurvey()) {
-        table.addRow({entry.technique,
-                      entry.percentOfKnown > 0.0
-                          ? Table::pct(entry.percentOfKnown, 1)
-                          : "-",
-                      entry.studied ? "yes" : "no", entry.note});
-    }
-    if (options.csv)
-        table.printCsv(std::cout);
-    else
-        table.print(std::cout);
-
-    AdoptionTrend trend = adoptionTrend();
-    std::cout << "\nreduced-input/truncated usage: "
-              << Table::pct(trend.beforeSimPointPct, 1)
-              << " of papers before SimPoint's introduction, "
-              << Table::pct(trend.afterSimPointPct, 1) << " after\n";
-    return 0;
+            AdoptionTrend trend = adoptionTrend();
+            std::cout << "\nreduced-input/truncated usage: "
+                      << Table::pct(trend.beforeSimPointPct, 1)
+                      << " of papers before SimPoint's introduction, "
+                      << Table::pct(trend.afterSimPointPct, 1)
+                      << " after\n";
+        });
 }

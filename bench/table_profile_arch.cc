@@ -16,9 +16,8 @@
 #include <iostream>
 
 #include "core/arch_characterization.hh"
-#include "core/options.hh"
 #include "core/profile_characterization.hh"
-#include "support/logging.hh"
+#include "engine/bench_driver.hh"
 #include "support/table.hh"
 #include "techniques/full_reference.hh"
 #include "techniques/permutations.hh"
@@ -28,56 +27,57 @@ using namespace yasim;
 int
 main(int argc, char **argv)
 {
-    BenchOptions options = parseBenchOptions(argc, argv, 400'000);
-    setInformEnabled(false);
+    return BenchDriver(argc, argv).run([](BenchDriver &driver) {
+        std::vector<SimConfig> configs = architecturalConfigs();
+        SimConfig profile_config = configs[1]; // config #2
 
-    std::vector<SimConfig> configs = architecturalConfigs();
-    SimConfig profile_config = configs[1]; // config #2
+        Table table("Execution-profile (chi2 on BBV/BBEF at config #2) "
+                    "and architecture-level (normalized metric distance "
+                    "over configs #1-#4) characterizations");
+        table.setHeader({"benchmark", "technique", "permutation",
+                         "chi2 BBV", "chi2 BBEF", "similar?",
+                         "arch distance"});
 
-    Table table("Execution-profile (chi2 on BBV/BBEF at config #2) and "
-                "architecture-level (normalized metric distance over "
-                "configs #1-#4) characterizations");
-    table.setHeader({"benchmark", "technique", "permutation",
-                     "chi2 BBV", "chi2 BBEF", "similar?",
-                     "arch distance"});
+        ExperimentEngine &engine = driver.engine();
+        for (const std::string &bench : driver.benchmarks()) {
+            TechniqueContext ctx = driver.context(bench);
 
-    for (const std::string &bench : options.benchmarks) {
-        TechniqueContext ctx = makeContext(bench, options.suite);
+            auto permutations =
+                driver.options().full
+                    ? table1Permutations(bench)
+                    : representativePermutations(bench);
+            engine.prefetch(ctx, permutations, configs);
 
-        FullReference reference;
-        TechniqueResult ref_profile = reference.run(ctx, profile_config);
-        std::vector<TechniqueResult> ref_arch;
-        for (const SimConfig &config : configs)
-            ref_arch.push_back(reference.run(ctx, config));
-
-        auto permutations = options.full
-                                ? table1Permutations(bench)
-                                : representativePermutations(bench);
-        for (const TechniquePtr &technique : permutations) {
-            TechniqueResult profile =
-                technique->run(ctx, profile_config);
-            ProfileComparison cmp =
-                compareProfiles(profile, ref_profile);
-
-            std::vector<TechniqueResult> arch;
+            FullReference reference;
+            TechniqueResult ref_profile =
+                engine.run(reference, ctx, profile_config);
+            std::vector<TechniqueResult> ref_arch;
             for (const SimConfig &config : configs)
-                arch.push_back(technique->run(ctx, config));
-            double arch_dist = archDistanceOverConfigs(arch, ref_arch);
+                ref_arch.push_back(engine.run(reference, ctx, config));
 
-            table.addRow({bench, technique->name(),
-                          technique->permutation(),
-                          Table::num(cmp.bbv.statistic, 1),
-                          Table::num(cmp.bbef.statistic, 1),
-                          cmp.bbv.similar ? "yes" : "no",
-                          Table::num(arch_dist, 4)});
+            for (const TechniquePtr &technique : permutations) {
+                TechniqueResult profile =
+                    engine.run(*technique, ctx, profile_config);
+                ProfileComparison cmp =
+                    compareProfiles(profile, ref_profile);
+
+                std::vector<TechniqueResult> arch;
+                for (const SimConfig &config : configs)
+                    arch.push_back(engine.run(*technique, ctx, config));
+                double arch_dist =
+                    archDistanceOverConfigs(arch, ref_arch);
+
+                table.addRow({bench, technique->name(),
+                              technique->permutation(),
+                              Table::num(cmp.bbv.statistic, 1),
+                              Table::num(cmp.bbef.statistic, 1),
+                              cmp.bbv.similar ? "yes" : "no",
+                              Table::num(arch_dist, 4)});
+            }
+            table.addRule();
+            std::cerr << "profile/arch: " << bench << " done\n";
         }
-        table.addRule();
-        std::cerr << "profile/arch: " << bench << " done\n";
-    }
 
-    if (options.csv)
-        table.printCsv(std::cout);
-    else
-        table.print(std::cout);
-    return 0;
+        driver.print(table);
+    });
 }

@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/yasim_engine.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/yasim_core.dir/DependInfo.cmake"
   "/root/repo/build/src/techniques/CMakeFiles/yasim_techniques.dir/DependInfo.cmake"
   "/root/repo/build/src/workloads/CMakeFiles/yasim_workloads.dir/DependInfo.cmake"

@@ -153,16 +153,14 @@ bench/CMakeFiles/fig2_simpoint_smarts.dir/fig2_simpoint_smarts.cc.o: \
  /usr/include/c++/12/bits/locale_facets.tcc \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc /root/repo/src/core/options.hh \
- /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/core/pb_characterization.hh /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/workloads/suite.hh \
- /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/isa/program.hh /root/repo/src/isa/instruction.hh \
- /root/repo/src/core/pb_characterization.hh \
+ /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/stats/plackett_burman.hh /usr/include/c++/12/cstddef \
+ /root/repo/src/techniques/service.hh \
  /root/repo/src/techniques/technique.hh /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
@@ -207,6 +205,7 @@ bench/CMakeFiles/fig2_simpoint_smarts.dir/fig2_simpoint_smarts.cc.o: \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
@@ -217,7 +216,24 @@ bench/CMakeFiles/fig2_simpoint_smarts.dir/fig2_simpoint_smarts.cc.o: \
  /root/repo/src/uarch/branch_predictor.hh \
  /root/repo/src/uarch/memory_hierarchy.hh /root/repo/src/uarch/cache.hh \
  /root/repo/src/uarch/tlb.hh /root/repo/src/sim/stats.hh \
- /root/repo/src/support/logging.hh /usr/include/c++/12/cstdarg \
+ /root/repo/src/workloads/suite.hh /usr/include/c++/12/optional \
+ /root/repo/src/isa/program.hh /root/repo/src/isa/instruction.hh \
+ /root/repo/src/engine/bench_driver.hh /root/repo/src/core/options.hh \
+ /root/repo/src/engine/engine.hh /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
  /root/repo/src/support/table.hh \
  /root/repo/src/techniques/full_reference.hh \
  /root/repo/src/techniques/simpoint.hh \

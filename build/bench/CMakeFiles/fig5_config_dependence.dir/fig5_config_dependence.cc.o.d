@@ -222,7 +222,7 @@ bench/CMakeFiles/fig5_config_dependence.dir/fig5_config_dependence.cc.o: \
  /root/repo/src/stats/histogram.hh /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/techniques/service.hh \
  /root/repo/src/techniques/technique.hh /root/repo/src/sim/config.hh \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
@@ -240,8 +240,22 @@ bench/CMakeFiles/fig5_config_dependence.dir/fig5_config_dependence.cc.o: \
  /root/repo/src/uarch/tlb.hh /root/repo/src/sim/stats.hh \
  /root/repo/src/workloads/suite.hh /usr/include/c++/12/optional \
  /root/repo/src/isa/program.hh /root/repo/src/isa/instruction.hh \
- /root/repo/src/core/options.hh /root/repo/src/support/logging.hh \
- /usr/include/c++/12/cstdarg /root/repo/src/support/table.hh \
+ /root/repo/src/engine/bench_driver.hh /root/repo/src/core/options.hh \
+ /root/repo/src/engine/engine.hh /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
+ /root/repo/src/support/table.hh \
  /root/repo/src/techniques/reduced_input.hh \
  /root/repo/src/techniques/simpoint.hh \
  /root/repo/src/techniques/smarts.hh \

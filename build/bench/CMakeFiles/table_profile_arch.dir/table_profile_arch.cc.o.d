@@ -155,6 +155,7 @@ bench/CMakeFiles/table_profile_arch.dir/table_profile_arch.cc.o: \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
  /root/repo/src/core/arch_characterization.hh \
+ /root/repo/src/techniques/service.hh \
  /root/repo/src/techniques/technique.hh /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
@@ -216,10 +217,24 @@ bench/CMakeFiles/table_profile_arch.dir/table_profile_arch.cc.o: \
  /root/repo/src/uarch/tlb.hh /root/repo/src/sim/stats.hh \
  /root/repo/src/workloads/suite.hh /usr/include/c++/12/optional \
  /root/repo/src/isa/program.hh /root/repo/src/isa/instruction.hh \
- /root/repo/src/core/options.hh \
  /root/repo/src/core/profile_characterization.hh \
  /root/repo/src/stats/chi2.hh /usr/include/c++/12/cstddef \
- /root/repo/src/support/logging.hh /usr/include/c++/12/cstdarg \
+ /root/repo/src/engine/bench_driver.hh /root/repo/src/core/options.hh \
+ /root/repo/src/engine/engine.hh /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
  /root/repo/src/support/table.hh \
  /root/repo/src/techniques/full_reference.hh \
  /root/repo/src/techniques/permutations.hh

@@ -12,3 +12,4 @@ subdirs("sim")
 subdirs("workloads")
 subdirs("techniques")
 subdirs("core")
+subdirs("engine")

@@ -1,6 +1,7 @@
 src/core/CMakeFiles/yasim_core.dir/arch_characterization.cc.o: \
  /root/repo/src/core/arch_characterization.cc /usr/include/stdc-predef.h \
  /root/repo/src/core/arch_characterization.hh \
+ /root/repo/src/techniques/service.hh \
  /root/repo/src/techniques/technique.hh /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_algobase.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
@@ -216,4 +217,5 @@ src/core/CMakeFiles/yasim_core.dir/arch_characterization.cc.o: \
  /root/repo/src/workloads/suite.hh /usr/include/c++/12/optional \
  /root/repo/src/isa/program.hh /root/repo/src/isa/instruction.hh \
  /root/repo/src/stats/distance.hh /usr/include/c++/12/cstddef \
- /root/repo/src/support/logging.hh /usr/include/c++/12/cstdarg
+ /root/repo/src/support/logging.hh /usr/include/c++/12/cstdarg \
+ /root/repo/src/techniques/full_reference.hh

@@ -1,6 +1,7 @@
 src/core/CMakeFiles/yasim_core.dir/enhancement_study.cc.o: \
  /root/repo/src/core/enhancement_study.cc /usr/include/stdc-predef.h \
  /root/repo/src/core/enhancement_study.hh \
+ /root/repo/src/techniques/service.hh \
  /root/repo/src/techniques/technique.hh /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_algobase.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \

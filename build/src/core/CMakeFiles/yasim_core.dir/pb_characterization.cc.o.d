@@ -124,6 +124,7 @@ src/core/CMakeFiles/yasim_core.dir/pb_characterization.cc.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/stats/plackett_burman.hh /usr/include/c++/12/cstddef \
+ /root/repo/src/techniques/service.hh \
  /root/repo/src/techniques/technique.hh /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \

@@ -52,7 +52,7 @@ src/core/CMakeFiles/yasim_core.dir/profile_characterization.cc.o: \
  /usr/include/c++/12/bits/stl_function.h \
  /usr/include/c++/12/backward/binders.h \
  /usr/include/c++/12/bits/range_access.h \
- /usr/include/c++/12/bits/vector.tcc \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/techniques/service.hh \
  /root/repo/src/techniques/technique.hh /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
@@ -216,4 +216,5 @@ src/core/CMakeFiles/yasim_core.dir/profile_characterization.cc.o: \
  /root/repo/src/uarch/tlb.hh /root/repo/src/sim/stats.hh \
  /root/repo/src/workloads/suite.hh /usr/include/c++/12/optional \
  /root/repo/src/isa/program.hh /root/repo/src/isa/instruction.hh \
- /root/repo/src/support/logging.hh /usr/include/c++/12/cstdarg
+ /root/repo/src/support/logging.hh /usr/include/c++/12/cstdarg \
+ /root/repo/src/techniques/full_reference.hh

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/bench_driver.cc" "src/engine/CMakeFiles/yasim_engine.dir/bench_driver.cc.o" "gcc" "src/engine/CMakeFiles/yasim_engine.dir/bench_driver.cc.o.d"
+  "/root/repo/src/engine/cache_key.cc" "src/engine/CMakeFiles/yasim_engine.dir/cache_key.cc.o" "gcc" "src/engine/CMakeFiles/yasim_engine.dir/cache_key.cc.o.d"
+  "/root/repo/src/engine/engine.cc" "src/engine/CMakeFiles/yasim_engine.dir/engine.cc.o" "gcc" "src/engine/CMakeFiles/yasim_engine.dir/engine.cc.o.d"
+  "/root/repo/src/engine/result_io.cc" "src/engine/CMakeFiles/yasim_engine.dir/result_io.cc.o" "gcc" "src/engine/CMakeFiles/yasim_engine.dir/result_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/yasim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/techniques/CMakeFiles/yasim_techniques.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/yasim_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/yasim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/yasim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/yasim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/yasim_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/yasim_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yasim_engine.dir/bench_driver.cc.o"
+  "CMakeFiles/yasim_engine.dir/bench_driver.cc.o.d"
+  "CMakeFiles/yasim_engine.dir/cache_key.cc.o"
+  "CMakeFiles/yasim_engine.dir/cache_key.cc.o.d"
+  "CMakeFiles/yasim_engine.dir/engine.cc.o"
+  "CMakeFiles/yasim_engine.dir/engine.cc.o.d"
+  "CMakeFiles/yasim_engine.dir/result_io.cc.o"
+  "CMakeFiles/yasim_engine.dir/result_io.cc.o.d"
+  "libyasim_engine.a"
+  "libyasim_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yasim_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libyasim_engine.a"
+)

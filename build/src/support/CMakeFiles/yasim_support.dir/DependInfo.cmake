@@ -8,9 +8,11 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/hash.cc" "src/support/CMakeFiles/yasim_support.dir/hash.cc.o" "gcc" "src/support/CMakeFiles/yasim_support.dir/hash.cc.o.d"
   "/root/repo/src/support/logging.cc" "src/support/CMakeFiles/yasim_support.dir/logging.cc.o" "gcc" "src/support/CMakeFiles/yasim_support.dir/logging.cc.o.d"
   "/root/repo/src/support/rng.cc" "src/support/CMakeFiles/yasim_support.dir/rng.cc.o" "gcc" "src/support/CMakeFiles/yasim_support.dir/rng.cc.o.d"
   "/root/repo/src/support/table.cc" "src/support/CMakeFiles/yasim_support.dir/table.cc.o" "gcc" "src/support/CMakeFiles/yasim_support.dir/table.cc.o.d"
+  "/root/repo/src/support/thread_pool.cc" "src/support/CMakeFiles/yasim_support.dir/thread_pool.cc.o" "gcc" "src/support/CMakeFiles/yasim_support.dir/thread_pool.cc.o.d"
   )
 
 # Targets to which this target links.

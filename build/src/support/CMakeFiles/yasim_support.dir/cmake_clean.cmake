@@ -1,10 +1,14 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/yasim_support.dir/hash.cc.o"
+  "CMakeFiles/yasim_support.dir/hash.cc.o.d"
   "CMakeFiles/yasim_support.dir/logging.cc.o"
   "CMakeFiles/yasim_support.dir/logging.cc.o.d"
   "CMakeFiles/yasim_support.dir/rng.cc.o"
   "CMakeFiles/yasim_support.dir/rng.cc.o.d"
   "CMakeFiles/yasim_support.dir/table.cc.o"
   "CMakeFiles/yasim_support.dir/table.cc.o.d"
+  "CMakeFiles/yasim_support.dir/thread_pool.cc.o"
+  "CMakeFiles/yasim_support.dir/thread_pool.cc.o.d"
   "libyasim_support.a"
   "libyasim_support.pdb"
 )

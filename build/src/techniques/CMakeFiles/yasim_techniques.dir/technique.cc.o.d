@@ -214,12 +214,6 @@ src/techniques/CMakeFiles/yasim_techniques.dir/technique.cc.o: \
  /root/repo/src/uarch/tlb.hh /root/repo/src/sim/stats.hh \
  /root/repo/src/workloads/suite.hh /usr/include/c++/12/optional \
  /root/repo/src/isa/program.hh /root/repo/src/isa/instruction.hh \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/limits /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/sim/functional.hh \
- /root/repo/src/sim/memory.hh /root/repo/src/support/logging.hh \
- /usr/include/c++/12/cstdarg
+ /root/repo/src/sim/functional.hh /root/repo/src/sim/memory.hh \
+ /root/repo/src/support/logging.hh /usr/include/c++/12/cstdarg \
+ /root/repo/src/techniques/service.hh

@@ -294,6 +294,7 @@ tests/CMakeFiles/test_characterizations.dir/test_characterizations.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /usr/include/c++/12/cstring /root/repo/src/core/arch_characterization.hh \
+ /root/repo/src/techniques/service.hh \
  /root/repo/src/techniques/technique.hh /root/repo/src/sim/config.hh \
  /root/repo/src/uarch/branch_predictor.hh \
  /root/repo/src/uarch/memory_hierarchy.hh /root/repo/src/uarch/cache.hh \

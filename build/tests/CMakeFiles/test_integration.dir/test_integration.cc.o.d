@@ -316,6 +316,7 @@ tests/CMakeFiles/test_integration.dir/test_integration.cc.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/core/arch_characterization.hh \
+ /root/repo/src/techniques/service.hh \
  /root/repo/src/techniques/technique.hh /root/repo/src/sim/config.hh \
  /root/repo/src/uarch/branch_predictor.hh \
  /root/repo/src/uarch/memory_hierarchy.hh /root/repo/src/uarch/cache.hh \

@@ -323,4 +323,4 @@ tests/CMakeFiles/test_random_sampling.dir/test_random_sampling.cc.o: \
  /root/repo/src/workloads/suite.hh /root/repo/src/isa/program.hh \
  /root/repo/src/isa/instruction.hh \
  /root/repo/src/techniques/random_sampling.hh \
- /root/repo/src/techniques/smarts.hh
+ /root/repo/src/techniques/service.hh /root/repo/src/techniques/smarts.hh

@@ -316,15 +316,14 @@ tests/CMakeFiles/test_support.dir/test_support.cc.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/support/logging.hh /usr/include/c++/12/cstdarg \
- /root/repo/src/support/parallel.hh /usr/include/c++/12/future \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /root/repo/src/support/parallel.hh /root/repo/src/support/thread_pool.hh \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
- /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
- /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/thread \
- /root/repo/src/support/rng.hh /root/repo/src/support/table.hh
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/support/rng.hh \
+ /root/repo/src/support/table.hh

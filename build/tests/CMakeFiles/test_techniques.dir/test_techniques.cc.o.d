@@ -324,6 +324,7 @@ tests/CMakeFiles/test_techniques.dir/test_techniques.cc.o: \
  /root/repo/src/isa/instruction.hh \
  /root/repo/src/techniques/permutations.hh \
  /root/repo/src/techniques/reduced_input.hh \
+ /root/repo/src/techniques/service.hh \
  /root/repo/src/techniques/simpoint.hh \
  /root/repo/src/techniques/smarts.hh \
  /root/repo/src/techniques/truncated.hh

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_thread_pool.cc" "tests/CMakeFiles/test_thread_pool.dir/test_thread_pool.cc.o" "gcc" "tests/CMakeFiles/test_thread_pool.dir/test_thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/yasim_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/yasim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/techniques/CMakeFiles/yasim_techniques.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/yasim_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/yasim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/yasim_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/yasim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/yasim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/yasim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -28,3 +28,5 @@ include("/root/repo/build/tests/test_similarity[1]_include.cmake")
 include("/root/repo/build/tests/test_sim_config[1]_include.cmake")
 include("/root/repo/build/tests/test_stats_kmeans2[1]_include.cmake")
 include("/root/repo/build/tests/test_ooo_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_thread_pool[1]_include.cmake")
+include("/root/repo/build/tests/test_engine[1]_include.cmake")

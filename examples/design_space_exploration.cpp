@@ -14,6 +14,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "engine/engine.hh"
 #include "support/table.hh"
 #include "techniques/full_reference.hh"
 #include "techniques/simpoint.hh"
@@ -29,7 +30,8 @@ main(int argc, char **argv)
 
     SuiteConfig suite;
     suite.referenceInstructions = ref_insts;
-    TechniqueContext ctx = makeContext(benchmark, suite);
+    ExperimentEngine engine;
+    TechniqueContext ctx = engine.context(benchmark, suite);
 
     SimPoint explorer(10.0, 100, 1.0, "multiple 10M");
 
@@ -55,7 +57,7 @@ main(int argc, char **argv)
             config.mem.l2.sizeKb = l2;
             config.core.fetchWidth = config.core.decodeWidth = width;
             config.core.issueWidth = config.core.commitWidth = width;
-            TechniqueResult r = explorer.run(ctx, config);
+            TechniqueResult r = engine.run(explorer, ctx, config);
             total_work += r.workUnits;
             row.push_back(Table::num(r.cpi, 4));
             if (r.cpi < best_cpi) {
@@ -69,7 +71,7 @@ main(int argc, char **argv)
 
     // Verify the chosen point with the gold-standard run.
     FullReference reference;
-    TechniqueResult verified = reference.run(ctx, best_config);
+    TechniqueResult verified = engine.run(reference, ctx, best_config);
     total_work += verified.workUnits;
 
     std::cout << "\nwinner: " << best_config.name << " (estimated CPI "

@@ -1,7 +1,11 @@
 /**
  * @file
- * Quickstart: build a workload, simulate it in detail, print the core
- * statistics — the five-minute tour of the library's public API.
+ * Quickstart: build a workload, simulate it through the
+ * ExperimentEngine — the library's entry point for running simulation
+ * techniques — and print the core statistics. The five-minute tour of
+ * the public API, including the part that makes experiment campaigns
+ * affordable: every result is memoized, so asking the same question
+ * twice costs nothing.
  *
  * Usage: quickstart [benchmark] [input-set]
  *   benchmark  one of the ten suite benchmarks   (default: gzip)
@@ -12,10 +16,12 @@
 #include <cstring>
 #include <iostream>
 
+#include "engine/engine.hh"
 #include "sim/config.hh"
-#include "sim/functional.hh"
-#include "sim/ooo_core.hh"
 #include "support/table.hh"
+#include "techniques/full_reference.hh"
+#include "techniques/reduced_input.hh"
+#include "techniques/smarts.hh"
 #include "workloads/suite.hh"
 
 using namespace yasim;
@@ -51,18 +57,26 @@ main(int argc, char **argv)
               << workload.program.size() << " static instructions, "
               << workload.program.numBlocks() << " basic blocks)\n";
 
-    // 2. Simulate it to completion on the Table-3 config #2 machine.
+    // 2. The engine is the entry point for running techniques: it
+    //    memoizes every result (pass EngineOptions{.cacheDir = ...} to
+    //    persist them across processes too).
+    ExperimentEngine engine;
+    TechniqueContext ctx = engine.context(benchmark, suite);
     SimConfig config = architecturalConfig(2);
-    FunctionalSim fsim(workload.program);
-    OooCore core(config);
 
+    // 3. The gold standard: a full detailed reference simulation.
+    //    Picking a non-reference input set is itself a technique (the
+    //    paper's most popular one), so it goes through the same call.
     auto t0 = std::chrono::steady_clock::now();
-    core.run(fsim, ~0ULL);
+    TechniqueResult ref =
+        input == InputSet::Reference
+            ? engine.run(FullReference(), ctx, config)
+            : engine.run(ReducedInput(input), ctx, config);
     auto t1 = std::chrono::steady_clock::now();
     double secs = std::chrono::duration<double>(t1 - t0).count();
 
-    // 3. Read the results.
-    SimStats stats = core.snapshot();
+    // 4. Read the results.
+    const SimStats &stats = ref.detailed;
     Table table("simulation results (" + config.name + ")");
     table.setHeader({"metric", "value"});
     table.addRow({"instructions", Table::count(stats.instructions)});
@@ -83,5 +97,21 @@ main(int argc, char **argv)
                                 secs / 1e6,
                             2)
               << " M simulated instructions/second\n";
+
+    // 5. A sampling technique estimates the same CPI at a fraction of
+    //    the cost; asking the engine the same question again is free.
+    TechniqueResult fast = engine.run(Smarts(1000, 2000), ctx, config);
+    TechniqueResult again = engine.run(Smarts(1000, 2000), ctx, config);
+    EngineCounters counters = engine.counters();
+    std::cout << "\nSMARTS estimate: CPI " << Table::num(fast.cpi, 4)
+              << " (baseline " << Table::num(ref.cpi, 4) << ") at "
+              << Table::num(100.0 * fast.workUnits /
+                                static_cast<double>(ctx.referenceLength),
+                            1)
+              << "% of the full-reference cost\n"
+              << "engine: " << counters.runsExecuted
+              << " simulations executed, " << counters.memoHits
+              << " memo hit (the repeated SMARTS run: CPI "
+              << Table::num(again.cpi, 4) << ", zero new work)\n";
     return 0;
 }

@@ -17,6 +17,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "engine/engine.hh"
 #include "sim/functional.hh"
 #include "sim/ooo_core.hh"
 #include "stats/summary.hh"
@@ -36,11 +37,12 @@ main(int argc, char **argv)
 
     SuiteConfig suite;
     suite.referenceInstructions = ref_insts;
-    TechniqueContext ctx = makeContext(benchmark, suite);
+    ExperimentEngine engine;
+    TechniqueContext ctx = engine.context(benchmark, suite);
     SimConfig config = architecturalConfig(2);
 
     FullReference reference;
-    TechniqueResult ref = reference.run(ctx, config);
+    TechniqueResult ref = engine.run(reference, ctx, config);
     std::cout << "reference CPI of " << benchmark << ": "
               << Table::num(ref.cpi, 4) << "\n\n";
 
@@ -76,7 +78,7 @@ main(int argc, char **argv)
     for (uint64_t n : {10ULL, 25ULL, 50ULL, 100ULL, 200ULL}) {
         // Disable the re-run loop so each row shows exactly n samples.
         Smarts smarts(1000, 2000, 0.997, 100.0, n);
-        TechniqueResult r = smarts.run(ctx, config);
+        TechniqueResult r = engine.run(smarts, ctx, config);
         double err = (r.cpi - ref.cpi) / ref.cpi;
         // Reconstruct the half-width from the run's unit count: the
         // relative CI shrinks as 1/sqrt(n).

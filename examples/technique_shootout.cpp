@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "engine/engine.hh"
 #include "support/table.hh"
 #include "techniques/full_reference.hh"
 #include "techniques/permutations.hh"
@@ -28,7 +29,8 @@ main(int argc, char **argv)
 
     SuiteConfig suite;
     suite.referenceInstructions = ref_insts;
-    TechniqueContext ctx = makeContext(benchmark, suite);
+    ExperimentEngine engine;
+    TechniqueContext ctx = engine.context(benchmark, suite);
     SimConfig config = architecturalConfig(config_idx);
 
     std::cout << "benchmark " << benchmark << ", machine " << config.name
@@ -36,7 +38,7 @@ main(int argc, char **argv)
               << Table::count(ctx.referenceLength) << " instructions\n\n";
 
     FullReference reference;
-    TechniqueResult ref = reference.run(ctx, config);
+    TechniqueResult ref = engine.run(reference, ctx, config);
 
     Table table("technique shoot-out (error vs full reference CPI " +
                 Table::num(ref.cpi, 4) + ")");
@@ -48,7 +50,7 @@ main(int argc, char **argv)
 
     for (const TechniquePtr &technique :
          representativePermutations(benchmark)) {
-        TechniqueResult r = technique->run(ctx, config);
+        TechniqueResult r = engine.run(*technique, ctx, config);
         table.addRow(
             {technique->name(), technique->permutation(),
              Table::num(r.cpi, 4),

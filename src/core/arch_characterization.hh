@@ -13,6 +13,7 @@
 #ifndef YASIM_CORE_ARCH_CHARACTERIZATION_HH
 #define YASIM_CORE_ARCH_CHARACTERIZATION_HH
 
+#include "techniques/service.hh"
 #include "techniques/technique.hh"
 
 namespace yasim {
@@ -34,6 +35,15 @@ double archDistance(const TechniqueResult &technique,
 double archDistanceOverConfigs(
     const std::vector<TechniqueResult> &technique,
     const std::vector<TechniqueResult> &reference);
+
+/**
+ * Simulate the technique and the reference run on every configuration
+ * through @p service and average the metric distances.
+ */
+double runArchDistance(SimulationService &service,
+                       const Technique &technique,
+                       const TechniqueContext &ctx,
+                       const std::vector<SimConfig> &configs);
 
 } // namespace yasim
 

@@ -22,19 +22,28 @@ ConfigDependence::errorConsistency() const
 }
 
 std::vector<double>
-referenceCpis(const TechniqueContext &ctx,
+referenceCpis(SimulationService &service, const TechniqueContext &ctx,
               const std::vector<SimConfig> &configs)
 {
     FullReference reference;
     std::vector<double> cpis;
     cpis.reserve(configs.size());
     for (const SimConfig &config : configs)
-        cpis.push_back(reference.run(ctx, config).cpi);
+        cpis.push_back(service.run(reference, ctx, config).cpi);
     return cpis;
 }
 
+std::vector<double>
+referenceCpis(const TechniqueContext &ctx,
+              const std::vector<SimConfig> &configs)
+{
+    DirectService direct;
+    return referenceCpis(direct, ctx, configs);
+}
+
 ConfigDependence
-configDependence(const Technique &technique, const TechniqueContext &ctx,
+configDependence(SimulationService &service, const Technique &technique,
+                 const TechniqueContext &ctx,
                  const std::vector<SimConfig> &configs,
                  const std::vector<double> &ref_cpis)
 {
@@ -44,13 +53,22 @@ configDependence(const Technique &technique, const TechniqueContext &ctx,
     dep.permutation = technique.permutation();
 
     for (size_t i = 0; i < configs.size(); ++i) {
-        TechniqueResult r = technique.run(ctx, configs[i]);
+        TechniqueResult r = service.run(technique, ctx, configs[i]);
         YASIM_ASSERT(ref_cpis[i] > 0.0);
         double err = (r.cpi - ref_cpis[i]) / ref_cpis[i];
         dep.signedErrors.push_back(err);
         dep.errorHistogram.add(std::fabs(err));
     }
     return dep;
+}
+
+ConfigDependence
+configDependence(const Technique &technique, const TechniqueContext &ctx,
+                 const std::vector<SimConfig> &configs,
+                 const std::vector<double> &ref_cpis)
+{
+    DirectService direct;
+    return configDependence(direct, technique, ctx, configs, ref_cpis);
 }
 
 } // namespace yasim

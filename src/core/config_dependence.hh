@@ -13,6 +13,7 @@
 #define YASIM_CORE_CONFIG_DEPENDENCE_HH
 
 #include "stats/histogram.hh"
+#include "techniques/service.hh"
 #include "techniques/technique.hh"
 
 namespace yasim {
@@ -40,16 +41,29 @@ struct ConfigDependence
 
 /**
  * Run one technique across a configuration set and histogram its CPI
- * error against per-config reference CPIs.
+ * error against per-config reference CPIs, sharing simulations through
+ * @p service.
  *
  * @param ref_cpis  reference CPI per configuration (same order)
  */
+ConfigDependence
+configDependence(SimulationService &service, const Technique &technique,
+                 const TechniqueContext &ctx,
+                 const std::vector<SimConfig> &configs,
+                 const std::vector<double> &ref_cpis);
+
+/** Uncached convenience overload (simulates every config afresh). */
 ConfigDependence
 configDependence(const Technique &technique, const TechniqueContext &ctx,
                  const std::vector<SimConfig> &configs,
                  const std::vector<double> &ref_cpis);
 
-/** Reference CPI per configuration (helper for the above). */
+/** Reference CPI per configuration through @p service. */
+std::vector<double>
+referenceCpis(SimulationService &service, const TechniqueContext &ctx,
+              const std::vector<SimConfig> &configs);
+
+/** Uncached reference CPI per configuration. */
 std::vector<double>
 referenceCpis(const TechniqueContext &ctx,
               const std::vector<SimConfig> &configs);

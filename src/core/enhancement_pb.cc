@@ -7,7 +7,8 @@
 namespace yasim {
 
 EnhancementPbOutcome
-rankEnhancementEffect(const Technique &technique,
+rankEnhancementEffect(SimulationService &service,
+                      const Technique &technique,
                       const TechniqueContext &ctx,
                       Enhancement enhancement)
 {
@@ -34,7 +35,7 @@ rankEnhancementEffect(const Technique &technique,
         // Factor 44: the enhancement at its high level.
         if (levels[base_factors] > 0)
             config = withEnhancement(config, enhancement);
-        TechniqueResult result = technique.run(ctx, config);
+        TechniqueResult result = service.run(technique, ctx, config);
         responses.push_back(result.cpi);
         outcome.workUnits += result.workUnits;
     }
@@ -47,6 +48,15 @@ rankEnhancementEffect(const Technique &technique,
     outcome.enhancementEffect = outcome.effects[base_factors];
     outcome.enhancementRank = outcome.ranks[base_factors];
     return outcome;
+}
+
+EnhancementPbOutcome
+rankEnhancementEffect(const Technique &technique,
+                      const TechniqueContext &ctx,
+                      Enhancement enhancement)
+{
+    DirectService direct;
+    return rankEnhancementEffect(direct, technique, ctx, enhancement);
 }
 
 } // namespace yasim

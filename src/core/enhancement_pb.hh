@@ -13,6 +13,7 @@
 #define YASIM_CORE_ENHANCEMENT_PB_HH
 
 #include "core/enhancement_study.hh"
+#include "techniques/service.hh"
 #include "techniques/technique.hh"
 
 namespace yasim {
@@ -40,6 +41,13 @@ struct EnhancementPbOutcome
  * The design grows to the next constructible size (48 runs); the
  * response is the technique's CPI estimate per run.
  */
+EnhancementPbOutcome
+rankEnhancementEffect(SimulationService &service,
+                      const Technique &technique,
+                      const TechniqueContext &ctx,
+                      Enhancement enhancement);
+
+/** Uncached convenience overload. */
 EnhancementPbOutcome
 rankEnhancementEffect(const Technique &technique,
                       const TechniqueContext &ctx,

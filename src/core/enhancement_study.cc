@@ -35,19 +35,28 @@ withEnhancement(const SimConfig &config, Enhancement enhancement)
 }
 
 double
-referenceSpeedup(const TechniqueContext &ctx, const SimConfig &config,
-                 Enhancement enhancement)
+referenceSpeedup(SimulationService &service, const TechniqueContext &ctx,
+                 const SimConfig &config, Enhancement enhancement)
 {
     FullReference reference;
-    double base = reference.run(ctx, config).cpi;
+    double base = service.run(reference, ctx, config).cpi;
     double enhanced =
-        reference.run(ctx, withEnhancement(config, enhancement)).cpi;
+        service.run(reference, ctx, withEnhancement(config, enhancement))
+            .cpi;
     YASIM_ASSERT(enhanced > 0.0);
     return base / enhanced;
 }
 
+double
+referenceSpeedup(const TechniqueContext &ctx, const SimConfig &config,
+                 Enhancement enhancement)
+{
+    DirectService direct;
+    return referenceSpeedup(direct, ctx, config, enhancement);
+}
+
 EnhancementImpact
-evaluateEnhancement(const Technique &technique,
+evaluateEnhancement(SimulationService &service, const Technique &technique,
                     const TechniqueContext &ctx, const SimConfig &config,
                     Enhancement enhancement, double reference_speedup)
 {
@@ -56,12 +65,23 @@ evaluateEnhancement(const Technique &technique,
     impact.permutation = technique.permutation();
     impact.referenceSpeedup = reference_speedup;
 
-    double base = technique.run(ctx, config).cpi;
+    double base = service.run(technique, ctx, config).cpi;
     double enhanced =
-        technique.run(ctx, withEnhancement(config, enhancement)).cpi;
+        service.run(technique, ctx, withEnhancement(config, enhancement))
+            .cpi;
     YASIM_ASSERT(enhanced > 0.0);
     impact.apparentSpeedup = base / enhanced;
     return impact;
+}
+
+EnhancementImpact
+evaluateEnhancement(const Technique &technique,
+                    const TechniqueContext &ctx, const SimConfig &config,
+                    Enhancement enhancement, double reference_speedup)
+{
+    DirectService direct;
+    return evaluateEnhancement(direct, technique, ctx, config, enhancement,
+                               reference_speedup);
 }
 
 } // namespace yasim

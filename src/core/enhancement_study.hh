@@ -14,6 +14,7 @@
 #ifndef YASIM_CORE_ENHANCEMENT_STUDY_HH
 #define YASIM_CORE_ENHANCEMENT_STUDY_HH
 
+#include "techniques/service.hh"
 #include "techniques/technique.hh"
 
 namespace yasim {
@@ -50,17 +51,29 @@ struct EnhancementImpact
 };
 
 /**
- * Evaluate the enhancement under one technique.
+ * Evaluate the enhancement under one technique, sharing the base and
+ * enhanced simulations through @p service.
  *
  * @param reference_speedup CPI(base)/CPI(enhanced) from the reference
  *                          run on the same configuration
  */
 EnhancementImpact
+evaluateEnhancement(SimulationService &service, const Technique &technique,
+                    const TechniqueContext &ctx, const SimConfig &config,
+                    Enhancement enhancement, double reference_speedup);
+
+/** Uncached convenience overload. */
+EnhancementImpact
 evaluateEnhancement(const Technique &technique,
                     const TechniqueContext &ctx, const SimConfig &config,
                     Enhancement enhancement, double reference_speedup);
 
-/** Reference speedup of @p enhancement on @p config. */
+/** Reference speedup of @p enhancement on @p config through @p service. */
+double referenceSpeedup(SimulationService &service,
+                        const TechniqueContext &ctx,
+                        const SimConfig &config, Enhancement enhancement);
+
+/** Uncached reference speedup. */
 double referenceSpeedup(const TechniqueContext &ctx,
                         const SimConfig &config, Enhancement enhancement);
 

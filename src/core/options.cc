@@ -15,7 +15,8 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s [--ref-insts N] [--benchmarks a,b,...] [--seed N]\n"
-        "          [--csv] [--full]\n",
+        "          [--csv] [--full] [--cache-dir DIR] [--engine-stats]\n"
+        "          [--workers N]\n",
         argv0);
     std::exit(1);
 }
@@ -67,6 +68,15 @@ parseBenchOptions(int argc, char **argv, uint64_t default_ref_insts)
             options.csv = true;
         } else if (std::strcmp(arg, "--full") == 0) {
             options.full = true;
+        } else if (std::strcmp(arg, "--cache-dir") == 0) {
+            options.cacheDir = next();
+        } else if (std::strcmp(arg, "--engine-stats") == 0) {
+            options.engineStats = true;
+        } else if (std::strcmp(arg, "--workers") == 0) {
+            options.workers =
+                unsigned(std::strtoul(next(), nullptr, 10));
+            if (options.workers == 0)
+                fatal("--workers must be at least 1");
         } else if (std::strcmp(arg, "--help") == 0 ||
                    std::strcmp(arg, "-h") == 0) {
             usage(argv[0]);

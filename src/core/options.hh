@@ -8,6 +8,9 @@
  *   --seed N          suite data seed
  *   --csv             emit CSV instead of aligned text
  *   --full            full-fidelity mode (all permutations / configs)
+ *   --cache-dir DIR   persist simulation results across invocations
+ *   --engine-stats    print ExperimentEngine counters to stderr
+ *   --workers N       bound the work-stealing pool at N workers
  */
 
 #ifndef YASIM_CORE_OPTIONS_HH
@@ -32,6 +35,12 @@ struct BenchOptions
     bool csv = false;
     /** Run the full-fidelity version of the experiment. */
     bool full = false;
+    /** On-disk result cache directory ("" = memory-only memoization). */
+    std::string cacheDir;
+    /** Print ExperimentEngine counters to stderr after the run. */
+    bool engineStats = false;
+    /** Worker-pool bound (0 = auto-detect). */
+    unsigned workers = 0;
 };
 
 /**

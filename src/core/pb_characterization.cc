@@ -10,9 +10,24 @@
 
 namespace yasim {
 
+std::vector<SimConfig>
+pbDesignConfigs(const PbDesign &design)
+{
+    std::vector<SimConfig> configs;
+    configs.reserve(design.numRuns());
+    for (size_t run = 0; run < design.numRuns(); ++run) {
+        std::vector<int> levels(design.numFactors());
+        for (size_t j = 0; j < design.numFactors(); ++j)
+            levels[j] = design.level(run, j);
+        configs.push_back(
+            applyPbRow(levels, "pb-run" + std::to_string(run)));
+    }
+    return configs;
+}
+
 PbOutcome
-runPbDesign(const Technique &technique, const TechniqueContext &ctx,
-            const PbDesign &design)
+runPbDesign(SimulationService &service, const Technique &technique,
+            const TechniqueContext &ctx, const PbDesign &design)
 {
     PbOutcome outcome;
     outcome.technique = technique.name();
@@ -20,13 +35,8 @@ runPbDesign(const Technique &technique, const TechniqueContext &ctx,
     outcome.responses.reserve(design.numRuns());
 
     const size_t factors = numPbFactors();
-    for (size_t run = 0; run < design.numRuns(); ++run) {
-        std::vector<int> levels(design.numFactors());
-        for (size_t j = 0; j < design.numFactors(); ++j)
-            levels[j] = design.level(run, j);
-        SimConfig config =
-            applyPbRow(levels, "pb-run" + std::to_string(run));
-        TechniqueResult result = technique.run(ctx, config);
+    for (const SimConfig &config : pbDesignConfigs(design)) {
+        TechniqueResult result = service.run(technique, ctx, config);
         outcome.responses.push_back(result.cpi);
         outcome.workUnits += result.workUnits;
     }
@@ -40,6 +50,14 @@ runPbDesign(const Technique &technique, const TechniqueContext &ctx,
                                static_cast<long>(factors));
     outcome.ranks = rankByMagnitude(outcome.effects);
     return outcome;
+}
+
+PbOutcome
+runPbDesign(const Technique &technique, const TechniqueContext &ctx,
+            const PbDesign &design)
+{
+    DirectService direct;
+    return runPbDesign(direct, technique, ctx, design);
 }
 
 double

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "stats/plackett_burman.hh"
+#include "techniques/service.hh"
 #include "techniques/technique.hh"
 
 namespace yasim {
@@ -39,10 +40,23 @@ struct PbOutcome
     double workUnits = 0.0;
 };
 
-/** Run the full PB design for one technique. */
+/**
+ * Run the full PB design for one technique through @p service. With an
+ * ExperimentEngine handle the per-row simulations are shared across
+ * techniques, analyses, and (with a cache directory) processes.
+ */
+PbOutcome runPbDesign(SimulationService &service,
+                      const Technique &technique,
+                      const TechniqueContext &ctx,
+                      const PbDesign &design);
+
+/** Uncached convenience overload (simulates every row afresh). */
 PbOutcome runPbDesign(const Technique &technique,
                       const TechniqueContext &ctx,
                       const PbDesign &design);
+
+/** The design's corner configurations in run order (for prefetching). */
+std::vector<SimConfig> pbDesignConfigs(const PbDesign &design);
 
 /**
  * Figure-1 distance: normalized (0..100) Euclidean distance between a

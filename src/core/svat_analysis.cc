@@ -7,7 +7,7 @@
 namespace yasim {
 
 std::vector<SvatPoint>
-svatAnalysis(const TechniqueContext &ctx,
+svatAnalysis(SimulationService &service, const TechniqueContext &ctx,
              const std::vector<TechniquePtr> &techniques,
              const std::vector<SimConfig> &configs)
 {
@@ -17,7 +17,7 @@ svatAnalysis(const TechniqueContext &ctx,
     std::vector<double> ref_cpis;
     double ref_work = 0.0;
     for (const SimConfig &config : configs) {
-        TechniqueResult r = reference.run(ctx, config);
+        TechniqueResult r = service.run(reference, ctx, config);
         ref_cpis.push_back(r.cpi);
         ref_work += r.workUnits;
     }
@@ -29,7 +29,7 @@ svatAnalysis(const TechniqueContext &ctx,
         point.permutation = technique->permutation();
         double work = 0.0;
         for (const SimConfig &config : configs) {
-            TechniqueResult r = technique->run(ctx, config);
+            TechniqueResult r = service.run(*technique, ctx, config);
             point.cpis.push_back(r.cpi);
             work += r.workUnits;
         }
@@ -38,6 +38,15 @@ svatAnalysis(const TechniqueContext &ctx,
         points.push_back(std::move(point));
     }
     return points;
+}
+
+std::vector<SvatPoint>
+svatAnalysis(const TechniqueContext &ctx,
+             const std::vector<TechniquePtr> &techniques,
+             const std::vector<SimConfig> &configs)
+{
+    DirectService direct;
+    return svatAnalysis(direct, ctx, techniques, configs);
 }
 
 } // namespace yasim

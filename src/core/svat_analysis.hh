@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "techniques/service.hh"
 #include "techniques/technique.hh"
 
 namespace yasim {
@@ -36,13 +37,23 @@ struct SvatPoint
 
 /**
  * Run the SvAT analysis for one benchmark: every technique and the
- * reference run on every configuration.
+ * reference run on every configuration, all through @p service — with
+ * an ExperimentEngine handle the reference runs are shared with every
+ * other analysis in the process (and, given a cache directory, across
+ * processes).
  *
+ * @param service     simulation service (engine or DirectService)
  * @param ctx         benchmark context
  * @param techniques  permutations to place on the graph
  * @param configs     configuration set (the paper uses ~50 envelope
  *                    configurations; Table-3's four are a cheap default)
  */
+std::vector<SvatPoint>
+svatAnalysis(SimulationService &service, const TechniqueContext &ctx,
+             const std::vector<TechniquePtr> &techniques,
+             const std::vector<SimConfig> &configs);
+
+/** Uncached convenience overload (simulates everything afresh). */
 std::vector<SvatPoint>
 svatAnalysis(const TechniqueContext &ctx,
              const std::vector<TechniquePtr> &techniques,

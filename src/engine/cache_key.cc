@@ -1,0 +1,114 @@
+#include "engine/cache_key.hh"
+
+#include "support/hash.hh"
+#include "support/logging.hh"
+
+namespace yasim {
+
+namespace {
+
+std::string
+cacheKeyText(const CacheConfig &cache)
+{
+    return csprintf("%u/%u/%u/%d", cache.sizeKb, cache.assoc,
+                    cache.blockBytes,
+                    static_cast<int>(cache.replacement));
+}
+
+std::string
+coreKeyText(const CoreConfig &core)
+{
+    return csprintf(
+        "fw=%u,dw=%u,iw=%u,cw=%u,fq=%u,rob=%u,lsq=%u,iq=%u,"
+        "ialu=%u,imd=%u,falu=%u,fmd=%u,mp=%u,"
+        "lat=%u/%u/%u/%u/%u/%u,divp=%d,fe=%u,mpen=%u,triv=%d",
+        core.fetchWidth, core.decodeWidth, core.issueWidth,
+        core.commitWidth, core.fetchQueueEntries, core.robEntries,
+        core.lsqEntries, core.iqEntries, core.intAlus,
+        core.intMultDivUnits, core.fpAlus, core.fpMultDivUnits,
+        core.memPorts, core.intAluLatency, core.intMulLatency,
+        core.intDivLatency, core.fpAluLatency, core.fpMulLatency,
+        core.fpDivLatency, core.divPipelined ? 1 : 0,
+        core.frontendDepth, core.mispredictPenalty,
+        core.trivialComputation ? 1 : 0);
+}
+
+std::string
+bpKeyText(const BranchPredictorConfig &bp)
+{
+    return csprintf("kind=%d,bht=%u,gh=%u,btb=%u/%u,spec=%d",
+                    static_cast<int>(bp.kind), bp.bhtEntries,
+                    bp.globalHistoryBits, bp.btbEntries, bp.btbAssoc,
+                    bp.speculativeUpdate ? 1 : 0);
+}
+
+std::string
+memKeyText(const MemoryConfig &mem)
+{
+    return csprintf(
+        "l1i=%s,l1d=%s,l2=%s,lat=%u/%u/%u,mem=%u+%u*%u,"
+        "itlb=%u,dtlb=%u,tlbmiss=%u,pf=%d",
+        cacheKeyText(mem.l1i).c_str(), cacheKeyText(mem.l1d).c_str(),
+        cacheKeyText(mem.l2).c_str(), mem.l1iLatency, mem.l1dLatency,
+        mem.l2Latency, mem.memLatencyFirst, mem.memLatencyNext,
+        mem.memBusBytes, mem.itlbEntries, mem.dtlbEntries,
+        mem.tlbMissLatency, mem.nextLinePrefetch ? 1 : 0);
+}
+
+std::string
+costKeyText(const CostModel &cost)
+{
+    return csprintf("%.17g/%.17g/%.17g/%.17g/%.17g",
+                    cost.detailedPerInst, cost.functionalWarmPerInst,
+                    cost.fastForwardPerInst, cost.profilePerInst,
+                    cost.checkpointPerInst);
+}
+
+} // namespace
+
+std::string
+suiteKeyText(const SuiteConfig &suite)
+{
+    return csprintf("ref=%llu,seed=%llu",
+                    static_cast<unsigned long long>(
+                        suite.referenceInstructions),
+                    static_cast<unsigned long long>(suite.seed));
+}
+
+std::string
+configKeyText(const SimConfig &config)
+{
+    return "core{" + coreKeyText(config.core) + "},bp{" +
+           bpKeyText(config.bp) + "},mem{" + memKeyText(config.mem) +
+           "}";
+}
+
+std::string
+resultCacheKey(const Technique &technique, const TechniqueContext &ctx,
+               const SimConfig &config)
+{
+    return csprintf("v%d|bench=%s|%s|cost=%s|tech=%s|cfg=%s",
+                    kCacheFormatVersion, ctx.benchmark.c_str(),
+                    suiteKeyText(ctx.suite).c_str(),
+                    costKeyText(ctx.cost).c_str(),
+                    technique.cacheKey().c_str(),
+                    configKeyText(config).c_str());
+}
+
+std::string
+referenceLengthKey(const std::string &benchmark,
+                   const SuiteConfig &suite)
+{
+    return csprintf("v%d|reflen|bench=%s|%s", kCacheFormatVersion,
+                    benchmark.c_str(), suiteKeyText(suite).c_str());
+}
+
+std::string
+cacheDigest(const std::string &key_text)
+{
+    Hasher h;
+    h.str(key_text);
+    return h.hex();
+}
+
+} // namespace yasim

@@ -1,0 +1,308 @@
+#include "engine/engine.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <thread>
+#include <unistd.h>
+
+#include "engine/cache_key.hh"
+#include "engine/result_io.hh"
+#include "support/logging.hh"
+#include "support/table.hh"
+#include "support/thread_pool.hh"
+#include "techniques/full_reference.hh"
+
+namespace yasim {
+
+namespace fs = std::filesystem;
+
+ExperimentEngine::ExperimentEngine(EngineOptions options)
+    : opts(std::move(options))
+{
+    YASIM_ASSERT(opts.maxMemoEntries >= 1);
+    if (!opts.cacheDir.empty()) {
+        std::error_code ec;
+        fs::create_directories(opts.cacheDir, ec);
+        if (ec)
+            fatal("cannot create cache directory '%s': %s",
+                  opts.cacheDir.c_str(), ec.message().c_str());
+    }
+}
+
+ExperimentEngine::~ExperimentEngine() = default;
+
+std::string
+ExperimentEngine::diskPath(const std::string &key_text,
+                           const char *suffix) const
+{
+    return (fs::path(opts.cacheDir) / (cacheDigest(key_text) + suffix))
+        .string();
+}
+
+bool
+ExperimentEngine::loadResultFromDisk(const std::string &key_text,
+                                     TechniqueResult &result) const
+{
+    std::ifstream in(diskPath(key_text, ".result"));
+    return in && readResult(in, key_text, result);
+}
+
+void
+ExperimentEngine::storeResultToDisk(const std::string &key_text,
+                                    const TechniqueResult &result)
+{
+    // Write-to-temp plus atomic rename: concurrent processes sharing a
+    // cache directory can never observe a torn file.
+    std::string path = diskPath(key_text, ".result");
+    std::ostringstream tmp_name;
+    tmp_name << path << ".tmp." << ::getpid() << "."
+             << std::this_thread::get_id();
+    {
+        std::ofstream out(tmp_name.str());
+        if (!out) {
+            warn("cannot write result cache file '%s'",
+                 tmp_name.str().c_str());
+            return;
+        }
+        writeResult(out, key_text, result);
+    }
+    std::error_code ec;
+    fs::rename(tmp_name.str(), path, ec);
+    if (ec) {
+        warn("cannot publish result cache file '%s': %s", path.c_str(),
+             ec.message().c_str());
+        fs::remove(tmp_name.str(), ec);
+        return;
+    }
+    std::lock_guard<std::mutex> lock(mutex);
+    ++ctr.diskWrites;
+}
+
+void
+ExperimentEngine::memoInsert(const std::string &key_text,
+                             const TechniqueResult &result)
+{
+    auto it = memo.find(key_text);
+    if (it != memo.end())
+        return;
+    lru.push_front(key_text);
+    memo.emplace(key_text, MemoEntry{result, lru.begin()});
+    while (memo.size() > opts.maxMemoEntries) {
+        memo.erase(lru.back());
+        lru.pop_back();
+        ++ctr.evictions;
+    }
+}
+
+TechniqueResult
+ExperimentEngine::run(const Technique &technique,
+                      const TechniqueContext &ctx,
+                      const SimConfig &config)
+{
+    TechniqueResult result = fetch(technique, ctx, config);
+    // The cache key deliberately ignores display labels (a SimPoint
+    // labelled "max_k=30" and one labelled "dim=15" with identical
+    // parameters share a key), so restamp the labels of the requesting
+    // technique before handing the result back.
+    result.technique = technique.name();
+    result.permutation = technique.permutation();
+    return result;
+}
+
+TechniqueResult
+ExperimentEngine::fetch(const Technique &technique,
+                        const TechniqueContext &ctx,
+                        const SimConfig &config)
+{
+    const std::string key = resultCacheKey(technique, ctx, config);
+
+    std::shared_ptr<InFlight> flight;
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        for (;;) {
+            auto it = memo.find(key);
+            if (it != memo.end()) {
+                ++ctr.memoHits;
+                ctr.workUnitsSaved += it->second.result.workUnits;
+                lru.splice(lru.begin(), lru, it->second.lruPos);
+                return it->second.result;
+            }
+            auto fit = inflight.find(key);
+            if (fit == inflight.end())
+                break;
+            // Same key is being computed right now: wait for it
+            // rather than simulating it twice.
+            ++ctr.inflightJoins;
+            std::shared_ptr<InFlight> other = fit->second;
+            inflightCv.wait(lock, [&] { return other->done; });
+            ctr.workUnitsSaved += other->result.workUnits;
+            return other->result;
+        }
+        ++ctr.memoMisses;
+        flight = std::make_shared<InFlight>();
+        inflight.emplace(key, flight);
+    }
+
+    TechniqueResult result;
+    bool from_disk =
+        !opts.cacheDir.empty() && loadResultFromDisk(key, result);
+    if (!from_disk)
+        result = technique.run(ctx, config);
+
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (from_disk) {
+            ++ctr.diskHits;
+            ctr.workUnitsSaved += result.workUnits;
+        } else {
+            ++ctr.runsExecuted;
+            ctr.workUnitsComputed += result.workUnits;
+        }
+        memoInsert(key, result);
+        flight->result = result;
+        flight->done = true;
+        inflight.erase(key);
+    }
+    inflightCv.notify_all();
+
+    if (!from_disk && !opts.cacheDir.empty())
+        storeResultToDisk(key, result);
+    return result;
+}
+
+uint64_t
+ExperimentEngine::referenceLength(const std::string &benchmark,
+                                  const SuiteConfig &suite)
+{
+    const std::string key = referenceLengthKey(benchmark, suite);
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        auto it = refLengths.find(key);
+        if (it != refLengths.end()) {
+            ++ctr.refLengthHits;
+            return it->second;
+        }
+    }
+
+    uint64_t length = 0;
+    bool from_disk = false;
+    if (!opts.cacheDir.empty()) {
+        std::ifstream in(diskPath(key, ".reflen"));
+        from_disk = in && readReferenceLength(in, key, length);
+    }
+    if (!from_disk) {
+        length = measureReferenceLength(benchmark, suite);
+        if (!opts.cacheDir.empty()) {
+            std::string path = diskPath(key, ".reflen");
+            std::string tmp = path + ".tmp." +
+                              std::to_string(::getpid());
+            std::ofstream out(tmp);
+            if (out) {
+                writeReferenceLength(out, key, length);
+                out.close();
+                std::error_code ec;
+                fs::rename(tmp, path, ec);
+                if (ec)
+                    fs::remove(tmp, ec);
+            }
+        }
+    }
+
+    std::lock_guard<std::mutex> lock(mutex);
+    if (from_disk)
+        ++ctr.refLengthDiskHits;
+    else
+        ++ctr.refLengthMisses;
+    refLengths.emplace(key, length);
+    return length;
+}
+
+TechniqueContext
+ExperimentEngine::context(const std::string &benchmark,
+                          const SuiteConfig &suite)
+{
+    return TechniqueContext::make(benchmark, suite, *this);
+}
+
+void
+ExperimentEngine::prefetch(const std::vector<GridJob> &jobs)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        ctr.gridJobs += jobs.size();
+    }
+    globalPool().parallelFor(jobs.size(), [&](size_t i) {
+        const GridJob &job = jobs[i];
+        run(*job.technique, *job.ctx, *job.config);
+    });
+}
+
+void
+ExperimentEngine::prefetch(const TechniqueContext &ctx,
+                           const std::vector<TechniquePtr> &techniques,
+                           const std::vector<SimConfig> &configs,
+                           bool include_reference)
+{
+    static const FullReference reference;
+    std::vector<GridJob> jobs;
+    jobs.reserve((techniques.size() + 1) * configs.size());
+    for (const SimConfig &config : configs) {
+        if (include_reference)
+            jobs.push_back({&reference, &ctx, &config});
+        for (const TechniquePtr &technique : techniques)
+            jobs.push_back({technique.get(), &ctx, &config});
+    }
+    prefetch(jobs);
+}
+
+EngineCounters
+ExperimentEngine::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return ctr;
+}
+
+void
+ExperimentEngine::printStats(std::ostream &os) const
+{
+    EngineCounters c = counters();
+    ThreadPool::Stats pool = globalPool().stats();
+
+    Table table("ExperimentEngine statistics");
+    table.setHeader({"counter", "value"});
+    table.addRow({"memo hits", Table::count(c.memoHits)});
+    table.addRow({"memo misses", Table::count(c.memoMisses)});
+    table.addRow({"in-flight joins", Table::count(c.inflightJoins)});
+    table.addRow({"disk hits", Table::count(c.diskHits)});
+    table.addRow({"disk writes", Table::count(c.diskWrites)});
+    table.addRow({"evictions", Table::count(c.evictions)});
+    table.addRow({"technique runs executed",
+                  Table::count(c.runsExecuted)});
+    table.addRow({"work units computed",
+                  Table::num(c.workUnitsComputed, 0)});
+    table.addRow({"work units saved by caches",
+                  Table::num(c.workUnitsSaved, 0)});
+    double total = c.workUnitsComputed + c.workUnitsSaved;
+    table.addRow({"work saved",
+                  total > 0.0
+                      ? Table::pct(100.0 * c.workUnitsSaved / total, 1)
+                      : "-"});
+    table.addRow({"ref-length hits", Table::count(c.refLengthHits)});
+    table.addRow(
+        {"ref-length disk hits", Table::count(c.refLengthDiskHits)});
+    table.addRow(
+        {"ref-length measured", Table::count(c.refLengthMisses)});
+    table.addRow({"grid jobs scheduled", Table::count(c.gridJobs)});
+    table.addRule();
+    table.addRow({"pool workers",
+                  Table::count(globalPool().workerThreads() + 1)});
+    table.addRow({"pool batches", Table::count(pool.batches)});
+    table.addRow({"pool tasks", Table::count(pool.tasks)});
+    table.addRow({"pool caller tasks", Table::count(pool.callerTasks)});
+    table.addRow({"pool steals", Table::count(pool.steals)});
+    table.print(os);
+}
+
+} // namespace yasim

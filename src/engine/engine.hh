@@ -1,0 +1,168 @@
+/**
+ * @file
+ * The ExperimentEngine: a memoized, pooled simulation service.
+ *
+ * The engine is the single entry point for running techniques and
+ * technique grids. Every result is memoized in memory under its full
+ * content key (see cache_key.hh), deduplicating the detailed reference
+ * runs that the characterizations and drivers would otherwise repeat
+ * per figure; with a cache directory configured, results also persist
+ * across processes in a versioned on-disk cache, so a repeated bench
+ * invocation performs zero simulations. Concurrent requests for the
+ * same key collapse onto one computation (the others wait), and
+ * prefetch() schedules a whole technique x configuration grid onto the
+ * process-wide work-stealing pool while leaving the driver's table
+ * assembly serial — and therefore byte-identical to a serial run.
+ *
+ * The engine implements SimulationService, so every core analysis can
+ * take it as a handle; counters (printStats) account for hits, misses,
+ * disk traffic, evictions, and the work units the caches saved.
+ */
+
+#ifndef YASIM_ENGINE_ENGINE_HH
+#define YASIM_ENGINE_ENGINE_HH
+
+#include <condition_variable>
+#include <iosfwd>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "techniques/service.hh"
+
+namespace yasim {
+
+/** Engine construction knobs. */
+struct EngineOptions
+{
+    /** Result-cache directory; empty = in-memory memoization only. */
+    std::string cacheDir;
+    /** Memo-table bound; least-recently-used entries evict beyond it. */
+    size_t maxMemoEntries = 1 << 16;
+};
+
+/** Monotonic engine counters (work units: see CostModel). */
+struct EngineCounters
+{
+    uint64_t memoHits = 0;
+    uint64_t memoMisses = 0;
+    /** Requests that joined an in-flight computation of the same key. */
+    uint64_t inflightJoins = 0;
+    uint64_t diskHits = 0;
+    uint64_t diskWrites = 0;
+    uint64_t evictions = 0;
+    /** Technique::run invocations that actually simulated. */
+    uint64_t runsExecuted = 0;
+    uint64_t refLengthHits = 0;
+    uint64_t refLengthMisses = 0;
+    uint64_t refLengthDiskHits = 0;
+    /** Jobs scheduled through prefetch(). */
+    uint64_t gridJobs = 0;
+    double workUnitsComputed = 0.0;
+    double workUnitsSaved = 0.0;
+};
+
+/** Memoized, pooled simulation service. See file comment. */
+class ExperimentEngine : public SimulationService
+{
+  public:
+    explicit ExperimentEngine(EngineOptions options = {});
+    ~ExperimentEngine() override;
+
+    ExperimentEngine(const ExperimentEngine &) = delete;
+    ExperimentEngine &operator=(const ExperimentEngine &) = delete;
+
+    /** Memoized (and disk-cached) technique result. */
+    TechniqueResult run(const Technique &technique,
+                        const TechniqueContext &ctx,
+                        const SimConfig &config) override;
+
+    /** Memoized (and disk-cached) reference length. */
+    uint64_t referenceLength(const std::string &benchmark,
+                             const SuiteConfig &suite) override;
+
+    /** TechniqueContext::make through this engine. */
+    TechniqueContext context(const std::string &benchmark,
+                             const SuiteConfig &suite);
+
+    /** One grid cell for prefetch(). Pointees must outlive the call. */
+    struct GridJob
+    {
+        const Technique *technique = nullptr;
+        const TechniqueContext *ctx = nullptr;
+        const SimConfig *config = nullptr;
+    };
+
+    /**
+     * Warm the cache for every job on the work-stealing pool. Results
+     * are discarded here; the subsequent (serial) table assembly hits
+     * the memo table, so output ordering never depends on scheduling.
+     */
+    void prefetch(const std::vector<GridJob> &jobs);
+
+    /**
+     * Convenience grid: every technique on every configuration, plus —
+     * when @p include_reference — the full reference run per
+     * configuration (the baseline every analysis needs anyway).
+     */
+    void prefetch(const TechniqueContext &ctx,
+                  const std::vector<TechniquePtr> &techniques,
+                  const std::vector<SimConfig> &configs,
+                  bool include_reference = true);
+
+    const EngineOptions &options() const { return opts; }
+
+    /** Snapshot of the counters. */
+    EngineCounters counters() const;
+
+    /** Render the counters and pool statistics as a Table. */
+    void printStats(std::ostream &os) const;
+
+  private:
+    struct MemoEntry
+    {
+        TechniqueResult result;
+        std::list<std::string>::iterator lruPos;
+    };
+
+    struct InFlight
+    {
+        bool done = false;
+        TechniqueResult result;
+    };
+
+    /** Memoized lookup-or-compute; labels not yet normalized. */
+    TechniqueResult fetch(const Technique &technique,
+                          const TechniqueContext &ctx,
+                          const SimConfig &config);
+
+    /** Disk path for a key's payload file. */
+    std::string diskPath(const std::string &key_text,
+                         const char *suffix) const;
+    bool loadResultFromDisk(const std::string &key_text,
+                            TechniqueResult &result) const;
+    void storeResultToDisk(const std::string &key_text,
+                           const TechniqueResult &result);
+    /** Insert into the memo table and evict past the bound. Locked. */
+    void memoInsert(const std::string &key_text,
+                    const TechniqueResult &result);
+
+    EngineOptions opts;
+
+    mutable std::mutex mutex;
+    std::condition_variable inflightCv;
+    std::unordered_map<std::string, MemoEntry> memo;
+    /** LRU order, most recent first; values are memo keys. */
+    std::list<std::string> lru;
+    std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight;
+    std::map<std::string, uint64_t> refLengths;
+    EngineCounters ctr;
+};
+
+} // namespace yasim
+
+#endif // YASIM_ENGINE_ENGINE_HH

@@ -1,0 +1,210 @@
+#include "engine/result_io.hh"
+
+#include <bit>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "engine/cache_key.hh"
+
+namespace yasim {
+
+namespace {
+
+std::string
+encodeDouble(double v)
+{
+    static const char digits[] = "0123456789abcdef";
+    uint64_t bits = std::bit_cast<uint64_t>(v);
+    std::string out(16, '0');
+    for (int i = 0; i < 16; ++i)
+        out[i] = digits[(bits >> (60 - 4 * i)) & 0xf];
+    return out;
+}
+
+bool
+decodeDouble(const std::string &hex, double &v)
+{
+    if (hex.size() != 16)
+        return false;
+    uint64_t bits = 0;
+    for (char c : hex) {
+        int digit;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            digit = c - 'a' + 10;
+        else
+            return false;
+        bits = (bits << 4) | uint64_t(digit);
+    }
+    v = std::bit_cast<double>(bits);
+    return true;
+}
+
+/** The SimStats fields in serialization order. */
+template <typename Stats, typename Fn>
+void
+forEachStatField(Stats &stats, Fn &&fn)
+{
+    fn(stats.instructions);
+    fn(stats.cycles);
+    fn(stats.condBranches);
+    fn(stats.condMispredicts);
+    fn(stats.l1iAccesses);
+    fn(stats.l1iMisses);
+    fn(stats.l1dAccesses);
+    fn(stats.l1dMisses);
+    fn(stats.l2Accesses);
+    fn(stats.l2Misses);
+    fn(stats.trivialOps);
+    fn(stats.prefetchesIssued);
+    fn(stats.memStallCycles);
+}
+
+void
+writeDoubles(std::ostream &os, const char *tag,
+             const std::vector<double> &values)
+{
+    os << tag << ' ' << values.size();
+    for (double v : values)
+        os << ' ' << encodeDouble(v);
+    os << '\n';
+}
+
+bool
+readDoubles(std::istream &is, const std::string &expected_tag,
+            std::vector<double> &values)
+{
+    std::string tag;
+    size_t n;
+    if (!(is >> tag >> n) || tag != expected_tag)
+        return false;
+    values.resize(n);
+    std::string hex;
+    for (size_t i = 0; i < n; ++i)
+        if (!(is >> hex) || !decodeDouble(hex, values[i]))
+            return false;
+    return true;
+}
+
+/** Read one whole line and return its remainder after "tag ". */
+bool
+readTaggedLine(std::istream &is, const std::string &expected_tag,
+               std::string &value)
+{
+    std::string line;
+    // Skip the newline left by a preceding >> extraction.
+    while (std::getline(is, line) && line.empty()) {
+    }
+    if (line.size() < expected_tag.size() + 1 ||
+        line.compare(0, expected_tag.size(), expected_tag) != 0 ||
+        line[expected_tag.size()] != ' ')
+        return false;
+    value = line.substr(expected_tag.size() + 1);
+    return true;
+}
+
+bool
+readHeader(std::istream &is, const char *magic,
+           const std::string &key_text)
+{
+    std::string tag;
+    int version;
+    if (!(is >> tag >> version) || tag != magic ||
+        version != kCacheFormatVersion)
+        return false;
+    std::string key;
+    if (!readTaggedLine(is, "key", key) || key != key_text)
+        return false;
+    return true;
+}
+
+} // namespace
+
+void
+writeResult(std::ostream &os, const std::string &key_text,
+            const TechniqueResult &result)
+{
+    os << "yasim-result " << kCacheFormatVersion << '\n';
+    os << "key " << key_text << '\n';
+    os << "technique " << result.technique << '\n';
+    os << "permutation " << result.permutation << '\n';
+    os << "cpi " << encodeDouble(result.cpi) << '\n';
+    writeDoubles(os, "metrics", result.metrics);
+    os << "stats";
+    forEachStatField(result.detailed,
+                     [&](const uint64_t &v) { os << ' ' << v; });
+    os << '\n';
+    writeDoubles(os, "bbef", result.bbef);
+    writeDoubles(os, "bbv", result.bbv);
+    os << "workUnits " << encodeDouble(result.workUnits) << '\n';
+    os << "detailedInsts " << result.detailedInsts << '\n';
+    os << "end\n";
+}
+
+bool
+readResult(std::istream &is, const std::string &key_text,
+           TechniqueResult &result)
+{
+    if (!readHeader(is, "yasim-result", key_text))
+        return false;
+    if (!readTaggedLine(is, "technique", result.technique))
+        return false;
+    if (!readTaggedLine(is, "permutation", result.permutation))
+        return false;
+
+    std::string tag, hex;
+    if (!(is >> tag >> hex) || tag != "cpi" ||
+        !decodeDouble(hex, result.cpi))
+        return false;
+    if (!readDoubles(is, "metrics", result.metrics))
+        return false;
+    if (!(is >> tag) || tag != "stats")
+        return false;
+    bool stats_ok = true;
+    forEachStatField(result.detailed, [&](uint64_t &v) {
+        if (!(is >> v))
+            stats_ok = false;
+    });
+    if (!stats_ok)
+        return false;
+    if (!readDoubles(is, "bbef", result.bbef))
+        return false;
+    if (!readDoubles(is, "bbv", result.bbv))
+        return false;
+    if (!(is >> tag >> hex) || tag != "workUnits" ||
+        !decodeDouble(hex, result.workUnits))
+        return false;
+    if (!(is >> tag >> result.detailedInsts) || tag != "detailedInsts")
+        return false;
+    if (!(is >> tag) || tag != "end")
+        return false;
+    return true;
+}
+
+void
+writeReferenceLength(std::ostream &os, const std::string &key_text,
+                     uint64_t length)
+{
+    os << "yasim-reflen " << kCacheFormatVersion << '\n';
+    os << "key " << key_text << '\n';
+    os << "length " << length << '\n';
+    os << "end\n";
+}
+
+bool
+readReferenceLength(std::istream &is, const std::string &key_text,
+                    uint64_t &length)
+{
+    if (!readHeader(is, "yasim-reflen", key_text))
+        return false;
+    std::string tag;
+    if (!(is >> tag >> length) || tag != "length")
+        return false;
+    if (!(is >> tag) || tag != "end")
+        return false;
+    return true;
+}
+
+} // namespace yasim

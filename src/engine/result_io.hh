@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Bit-exact (de)serialization of TechniqueResult for the disk cache.
+ *
+ * The format is line-oriented text: a version header, the full cache
+ * key (verified on load — a digest collision or a renamed file can
+ * never resurrect the wrong result), then one field per line. Doubles
+ * are stored as 16-hex-digit IEEE-754 bit patterns so a round-tripped
+ * result is bit-identical to the freshly simulated one — the derived
+ * tables print byte-identically from either. Loads are strict: any
+ * malformed or truncated file reads as a cache miss.
+ */
+
+#ifndef YASIM_ENGINE_RESULT_IO_HH
+#define YASIM_ENGINE_RESULT_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "techniques/technique.hh"
+
+namespace yasim {
+
+/** Serialize @p result (cached under @p key_text) to @p os. */
+void writeResult(std::ostream &os, const std::string &key_text,
+                 const TechniqueResult &result);
+
+/**
+ * Parse a result previously written with writeResult. Returns false —
+ * leaving @p result unspecified — on a version, key, or format
+ * mismatch.
+ */
+bool readResult(std::istream &is, const std::string &key_text,
+                TechniqueResult &result);
+
+/** Serialize a reference-length measurement. */
+void writeReferenceLength(std::ostream &os, const std::string &key_text,
+                          uint64_t length);
+
+/** Parse a reference length; false on any mismatch. */
+bool readReferenceLength(std::istream &is, const std::string &key_text,
+                         uint64_t &length);
+
+} // namespace yasim
+
+#endif // YASIM_ENGINE_RESULT_IO_HH

@@ -1,0 +1,57 @@
+#include "support/hash.hh"
+
+#include <bit>
+
+namespace yasim {
+
+namespace {
+
+constexpr uint64_t fnvPrime = 1099511628211ull;
+
+} // namespace
+
+void
+Hasher::byte(uint8_t v)
+{
+    lane0 = (lane0 ^ v) * fnvPrime;
+    // The second lane also folds in the first lane's running state so
+    // the two never collide for the same reason.
+    lane1 = (lane1 ^ v ^ (lane0 >> 57)) * fnvPrime;
+}
+
+Hasher &
+Hasher::u64(uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        byte(static_cast<uint8_t>(v >> (8 * i)));
+    return *this;
+}
+
+Hasher &
+Hasher::d(double v)
+{
+    return u64(std::bit_cast<uint64_t>(v));
+}
+
+Hasher &
+Hasher::str(std::string_view s)
+{
+    u64(s.size());
+    for (char c : s)
+        byte(static_cast<uint8_t>(c));
+    return *this;
+}
+
+std::string
+Hasher::hex() const
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(32);
+    for (uint64_t lane : {lane0, lane1})
+        for (int i = 60; i >= 0; i -= 4)
+            out.push_back(digits[(lane >> i) & 0xf]);
+    return out;
+}
+
+} // namespace yasim

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Deterministic content hashing for cache keys.
+ *
+ * Hasher is a streaming, endianness-independent hash whose digest is
+ * stable across processes and machines: values are decomposed into
+ * explicit little-endian byte sequences before mixing, doubles are
+ * hashed by bit pattern, and strings are length-prefixed so that
+ * concatenation ambiguities cannot alias ("ab","c" vs "a","bc"). Two
+ * independently-seeded FNV-1a lanes are combined into a 128-bit digest,
+ * which keeps accidental collisions out of reach for the cache sizes
+ * the ExperimentEngine deals in. This is not a cryptographic hash.
+ */
+
+#ifndef YASIM_SUPPORT_HASH_HH
+#define YASIM_SUPPORT_HASH_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace yasim {
+
+/** Streaming process-stable content hasher. */
+class Hasher
+{
+  public:
+    /** Mix a 64-bit value (little-endian byte order). */
+    Hasher &u64(uint64_t v);
+    /** Mix a 32-bit value. */
+    Hasher &u32(uint32_t v) { return u64(v); }
+    /** Mix a boolean. */
+    Hasher &b(bool v) { return u64(v ? 1 : 0); }
+    /** Mix a double by bit pattern (NaNs hash by representation). */
+    Hasher &d(double v);
+    /** Mix a length-prefixed string. */
+    Hasher &str(std::string_view s);
+
+    /** 128-bit digest as 32 lowercase hex characters. */
+    std::string hex() const;
+
+    /** Low 64 bits of the digest (for quick comparisons in tests). */
+    uint64_t digest() const { return lane0; }
+
+  private:
+    void byte(uint8_t v);
+
+    // FNV-1a offset bases; the second lane is seeded differently so the
+    // two lanes disagree on any input that collides in one of them.
+    uint64_t lane0 = 14695981039346656037ull;
+    uint64_t lane1 = 0x9ae16a3b2f90404full;
+};
+
+} // namespace yasim
+
+#endif // YASIM_SUPPORT_HASH_HH

@@ -1,53 +1,39 @@
 /**
  * @file
- * Minimal deterministic task parallelism for the bench drivers.
+ * Deterministic data-parallel mapping for the bench drivers.
  *
- * parallelMap runs one job per input index on a bounded pool of
- * std::async workers and returns results in input order, so tables
- * print identically whatever the interleaving. Everything the jobs
- * touch in this library is either per-instance (simulators, cores) or
- * mutex-guarded (the reference-length and SimPoint-points caches), so
- * per-benchmark fan-out is safe.
+ * parallelMap runs one job per input index on the process-wide
+ * work-stealing pool (see thread_pool.hh), bounded at parallelWorkers()
+ * concurrent jobs, and returns results in input order so tables print
+ * identically whatever the interleaving. Everything the jobs touch in
+ * this library is either per-instance (simulators, cores) or
+ * mutex-guarded (the ExperimentEngine caches), so grid fan-out is safe.
  */
 
 #ifndef YASIM_SUPPORT_PARALLEL_HH
 #define YASIM_SUPPORT_PARALLEL_HH
 
 #include <cstddef>
-#include <functional>
-#include <future>
-#include <thread>
+#include <utility>
 #include <vector>
+
+#include "support/thread_pool.hh"
 
 namespace yasim {
 
-/** Number of workers parallelMap uses (hardware concurrency, >= 1). */
-inline unsigned
-parallelWorkers()
-{
-    unsigned n = std::thread::hardware_concurrency();
-    return n == 0 ? 1 : n;
-}
-
 /**
- * Apply @p fn to every index in [0, count) concurrently and return the
- * results in index order.
+ * Apply @p fn to every index in [0, count) on the global pool and
+ * return the results in index order. Result must be default- and
+ * move-constructible. Nested calls from inside a parallel job run
+ * serially inline.
  */
-template <typename Result>
+template <typename Result, typename Fn>
 std::vector<Result>
-parallelMap(size_t count, const std::function<Result(size_t)> &fn)
+parallelMap(size_t count, Fn &&fn)
 {
-    std::vector<std::future<Result>> futures;
-    futures.reserve(count);
-    // std::async with the async policy; the implicit future destructor
-    // joins, and results are collected in order below.
-    for (size_t i = 0; i < count; ++i)
-        futures.push_back(
-            std::async(std::launch::async, [&fn, i] { return fn(i); }));
-    std::vector<Result> results;
-    results.reserve(count);
-    for (auto &f : futures)
-        results.push_back(f.get());
+    std::vector<Result> results(count);
+    globalPool().parallelFor(
+        count, [&](size_t i) { results[i] = fn(i); });
     return results;
 }
 

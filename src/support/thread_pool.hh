@@ -1,0 +1,157 @@
+/**
+ * @file
+ * A bounded work-stealing thread pool for the experiment grids.
+ *
+ * The pool owns parallelWorkers() - 1 worker threads; the thread that
+ * submits a batch participates too, so total concurrency is exactly
+ * parallelWorkers(). A batch of N index-tasks is partitioned into one
+ * contiguous chunk per participant; each participant claims indices
+ * from its own chunk with an atomic cursor and, once its chunk runs
+ * dry, steals from whichever chunk has the most work left. Stealing
+ * keeps the pool busy when task costs are wildly uneven (a detailed
+ * reference simulation next to a cache hit) without giving up the
+ * deterministic result ordering parallelMap promises.
+ *
+ * Nested batches submitted from inside a task run inline and serially
+ * on the submitting thread — simple, deadlock-free, and the outer grid
+ * already saturates the machine. Batches from distinct external
+ * threads serialize on an internal mutex.
+ */
+
+#ifndef YASIM_SUPPORT_THREAD_POOL_HH
+#define YASIM_SUPPORT_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace yasim {
+
+/**
+ * Number of concurrent workers parallel batches use: the
+ * setParallelWorkers() override, else the YASIM_WORKERS environment
+ * variable, else hardware concurrency (always >= 1).
+ */
+unsigned parallelWorkers();
+
+/**
+ * Override the worker count (0 restores auto-detection). Must be
+ * called before the first parallel batch; the global pool is sized
+ * once, on first use.
+ */
+void setParallelWorkers(unsigned n);
+
+/** Work-stealing pool; see file comment. */
+class ThreadPool
+{
+  public:
+    /** @param worker_threads threads to spawn besides the callers */
+    explicit ThreadPool(unsigned worker_threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Worker threads owned by the pool (callers come on top). */
+    unsigned workerThreads() const { return unsigned(threads.size()); }
+
+    /** Scheduling counters (monotonic over the pool's lifetime). */
+    struct Stats
+    {
+        uint64_t batches = 0;
+        /** Tasks executed, total and by who ran them. */
+        uint64_t tasks = 0;
+        uint64_t callerTasks = 0;
+        /** Tasks claimed from another participant's chunk. */
+        uint64_t steals = 0;
+    };
+
+    Stats stats() const;
+
+    /**
+     * Run fn(i) for every i in [0, count). Blocks until all tasks
+     * finished; the calling thread executes tasks too. The first
+     * exception a task throws is rethrown here after the batch drains.
+     */
+    template <typename Fn>
+    void
+    parallelFor(size_t count, Fn &&fn)
+    {
+        if (count == 0)
+            return;
+        if (inTask() || workerThreads() == 0 || count == 1) {
+            // Nested or degenerate: run inline.
+            for (size_t i = 0; i < count; ++i)
+                fn(i);
+            return;
+        }
+        Batch batch;
+        batch.ctx = &fn;
+        batch.invoke = [](void *ctx, size_t i) {
+            (*static_cast<std::remove_reference_t<Fn> *>(ctx))(i);
+        };
+        runBatch(batch, count);
+    }
+
+  private:
+    /** One participant's slice of a batch, padded to its own line. */
+    struct alignas(64) Chunk
+    {
+        std::atomic<size_t> next{0};
+        size_t end = 0;
+    };
+
+    /** A type-erased batch of index tasks (no per-task allocation). */
+    struct Batch
+    {
+        void (*invoke)(void *ctx, size_t i) = nullptr;
+        void *ctx = nullptr;
+        std::unique_ptr<Chunk[]> chunks;
+        size_t numChunks = 0;
+        size_t total = 0;
+        std::atomic<size_t> completed{0};
+        /** Workers currently inside drain() for this batch. */
+        std::atomic<int> active{0};
+        std::exception_ptr error; // guarded by the pool mutex
+    };
+
+    static bool &inTask();
+
+    void runBatch(Batch &batch, size_t count);
+    void workerLoop(unsigned slot);
+    /** Claim-and-run loop; @p home is the preferred chunk. */
+    void drain(Batch &batch, size_t home, bool is_caller);
+    /** Claim one index, stealing if @p home is dry; SIZE_MAX = none. */
+    size_t claim(Batch &batch, size_t home, bool *stolen);
+
+    mutable std::mutex poolMutex;
+    std::condition_variable workCv; ///< wakes workers for a new batch
+    std::condition_variable doneCv; ///< wakes the caller on completion
+    Batch *current = nullptr;       ///< active batch (under poolMutex)
+    uint64_t generation = 0;        ///< bumped per batch (under poolMutex)
+    bool stopping = false;
+
+    /** Serializes batches from distinct external threads. */
+    std::mutex batchMutex;
+
+    std::vector<std::thread> threads;
+
+    std::atomic<uint64_t> statBatches{0};
+    std::atomic<uint64_t> statTasks{0};
+    std::atomic<uint64_t> statCallerTasks{0};
+    std::atomic<uint64_t> statSteals{0};
+};
+
+/** The process-wide pool (parallelWorkers() - 1 threads, lazily built). */
+ThreadPool &globalPool();
+
+} // namespace yasim
+
+#endif // YASIM_SUPPORT_THREAD_POOL_HH

@@ -107,6 +107,34 @@ representativePermutations(const std::string &benchmark)
     return out;
 }
 
+std::vector<TechniquePtr>
+svatPermutations(const std::string &benchmark, double ff_x, double wu_x,
+                 double wu_y)
+{
+    std::vector<TechniquePtr> techniques;
+    techniques.push_back(
+        std::make_shared<SimPoint>(100.0, 1, 0.0, "single 100M"));
+    techniques.push_back(
+        std::make_shared<SimPoint>(100.0, 10, 0.0, "multiple 100M"));
+    techniques.push_back(
+        std::make_shared<SimPoint>(10.0, 100, 1.0, "multiple 10M"));
+    for (InputSet input :
+         {InputSet::Small, InputSet::Medium, InputSet::Large,
+          InputSet::Test, InputSet::Train}) {
+        if (hasInput(benchmark, input))
+            techniques.push_back(std::make_shared<ReducedInput>(input));
+    }
+    for (double z : {500.0, 1000.0, 1500.0, 2000.0})
+        techniques.push_back(std::make_shared<RunZ>(z));
+    for (double z : {100.0, 500.0, 1000.0, 2000.0})
+        techniques.push_back(std::make_shared<FfRunZ>(ff_x, z));
+    for (double z : {100.0, 500.0, 1000.0, 2000.0})
+        techniques.push_back(std::make_shared<FfWuRunZ>(wu_x, wu_y, z));
+    for (uint64_t u : {100ULL, 1000ULL, 10000ULL})
+        techniques.push_back(std::make_shared<Smarts>(u, 2 * u));
+    return techniques;
+}
+
 const std::vector<std::string> &
 techniqueFamilies()
 {

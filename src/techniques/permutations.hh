@@ -34,6 +34,19 @@ table1Permutations(const std::string &benchmark);
 std::vector<TechniquePtr>
 representativePermutations(const std::string &benchmark);
 
+/**
+ * The Figure-3/4 legend permutations for one benchmark's
+ * speed-versus-accuracy graph: three SimPoints, the available reduced
+ * inputs, Run Z / FF+Run / FF+WU+Run sweeps, and three SMARTS points.
+ *
+ * @param ff_x  fast-forward X in scaled M (per-benchmark legend value)
+ * @param wu_x  FF X of the FF+WU pair
+ * @param wu_y  WU Y of the FF+WU pair
+ */
+std::vector<TechniquePtr>
+svatPermutations(const std::string &benchmark, double ff_x, double wu_x,
+                 double wu_y);
+
 /** The technique family names in the paper's reporting order. */
 const std::vector<std::string> &techniqueFamilies();
 

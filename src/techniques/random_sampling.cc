@@ -29,6 +29,16 @@ RandomSampling::permutation() const
            " W=" + std::to_string(warmupInsts);
 }
 
+std::string
+RandomSampling::cacheKey() const
+{
+    return csprintf("random|n=%llu|u=%llu|w=%llu|seed=%llu",
+                    static_cast<unsigned long long>(numSamples),
+                    static_cast<unsigned long long>(unitInsts),
+                    static_cast<unsigned long long>(warmupInsts),
+                    static_cast<unsigned long long>(seed));
+}
+
 std::vector<uint64_t>
 RandomSampling::samplePositions(const TechniqueContext &ctx) const
 {

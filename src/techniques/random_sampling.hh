@@ -36,6 +36,9 @@ class RandomSampling : public Technique
     std::string name() const override { return "random"; }
     std::string permutation() const override;
 
+    /** The N=/U=/W= label omits the sample-placement seed. */
+    std::string cacheKey() const override;
+
     TechniqueResult run(const TechniqueContext &ctx,
                         const SimConfig &config) const override;
 

@@ -32,6 +32,16 @@ SimPoint::SimPoint(double interval_m, int max_k, double warmup_m,
     YASIM_ASSERT(interval_m > 0 && max_k >= 1 && restarts >= 1);
 }
 
+std::string
+SimPoint::cacheKey() const
+{
+    return csprintf("SimPoint|iv=%.17g|k=%d|wu=%.17g|dim=%zu|seed=%llu"
+                    "|rs=%d|early=%d|tol=%.17g",
+                    intervalM, maxK, warmupM, projDim,
+                    static_cast<unsigned long long>(seed), restarts,
+                    early ? 1 : 0, earlyTolerance);
+}
+
 namespace {
 
 /** Phase 1: one projected, L1-normalized BBV per interval. */

@@ -66,6 +66,9 @@ class SimPoint : public Technique
     std::string name() const override { return "SimPoint"; }
     std::string permutation() const override { return label; }
 
+    /** The label is free text, so the key spells out every knob. */
+    std::string cacheKey() const override;
+
     TechniqueResult run(const TechniqueContext &ctx,
                         const SimConfig &config) const override;
 

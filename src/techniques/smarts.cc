@@ -28,6 +28,16 @@ Smarts::permutation() const
            " W=" + std::to_string(warmupInsts);
 }
 
+std::string
+Smarts::cacheKey() const
+{
+    return csprintf("SMARTS|u=%llu|w=%llu|conf=%.17g|int=%.17g|n0=%llu",
+                    static_cast<unsigned long long>(unitInsts),
+                    static_cast<unsigned long long>(warmupInsts),
+                    confidence, interval,
+                    static_cast<unsigned long long>(initialN));
+}
+
 Smarts::PassResult
 Smarts::samplePass(const TechniqueContext &ctx, const SimConfig &config,
                    uint64_t n) const

@@ -44,6 +44,9 @@ class Smarts : public Technique
     std::string name() const override { return "SMARTS"; }
     std::string permutation() const override;
 
+    /** The U=/W= label omits confidence, interval, and initial n. */
+    std::string cacheKey() const override;
+
     TechniqueResult run(const TechniqueContext &ctx,
                         const SimConfig &config) const override;
 

@@ -1,40 +1,39 @@
 #include "techniques/technique.hh"
 
-#include <map>
-#include <mutex>
-
 #include "sim/functional.hh"
 #include "support/logging.hh"
+#include "techniques/service.hh"
 
 namespace yasim {
+
+std::string
+Technique::cacheKey() const
+{
+    return name() + "|" + permutation();
+}
 
 uint64_t
 measureReferenceLength(const std::string &benchmark,
                        const SuiteConfig &suite)
 {
-    // Reference lengths are deterministic per (benchmark, suite); cache
-    // them so characterization loops don't re-measure.
-    using Key = std::pair<std::string, std::pair<uint64_t, uint64_t>>;
-    static std::map<Key, uint64_t> cache;
-    static std::mutex mutex;
-
-    Key key{benchmark, {suite.referenceInstructions, suite.seed}};
-    {
-        std::lock_guard<std::mutex> lock(mutex);
-        auto it = cache.find(key);
-        if (it != cache.end())
-            return it->second;
-    }
-
     Workload workload =
         buildWorkload(benchmark, InputSet::Reference, suite);
     FunctionalSim fsim(workload.program);
     uint64_t length = fsim.fastForward(~0ULL);
     YASIM_ASSERT(fsim.halted());
-
-    std::lock_guard<std::mutex> lock(mutex);
-    cache.emplace(key, length);
     return length;
+}
+
+TechniqueContext
+TechniqueContext::make(const std::string &benchmark,
+                       const SuiteConfig &suite,
+                       SimulationService &service)
+{
+    TechniqueContext ctx;
+    ctx.benchmark = benchmark;
+    ctx.suite = suite;
+    ctx.referenceLength = service.referenceLength(benchmark, suite);
+    return ctx;
 }
 
 TechniqueContext

@@ -30,6 +30,8 @@
 
 namespace yasim {
 
+class SimulationService;
+
 /** Relative cost of each execution mode (detailed instruction = 1.0). */
 struct CostModel
 {
@@ -68,6 +70,16 @@ struct TechniqueContext
             m * static_cast<double>(referenceLength) / 10000.0;
         return insts < 1.0 ? 1 : static_cast<uint64_t>(insts);
     }
+
+    /**
+     * Build a context with the reference length resolved through
+     * @p service — with an ExperimentEngine this hits the in-memory /
+     * on-disk length cache instead of re-measuring. The preferred
+     * construction path.
+     */
+    static TechniqueContext make(const std::string &benchmark,
+                                 const SuiteConfig &suite,
+                                 SimulationService &service);
 };
 
 /** What a technique reports back. */
@@ -117,6 +129,16 @@ class Technique
      */
     virtual TechniqueResult run(const TechniqueContext &ctx,
                                 const SimConfig &config) const = 0;
+
+    /**
+     * Stable identity string for result caching. Must encode every
+     * parameter that can change run()'s output; two techniques with
+     * equal cacheKey() must produce identical results for identical
+     * (context, config) inputs. The default covers techniques whose
+     * permutation label pins down all parameters; techniques with
+     * extra knobs (seeds, tolerances, ...) override it.
+     */
+    virtual std::string cacheKey() const;
 };
 
 /** Shared pointer alias used by the permutation tables. */
@@ -124,13 +146,23 @@ using TechniquePtr = std::shared_ptr<const Technique>;
 
 /**
  * Measure the dynamic length of a benchmark's reference input under
- * @p suite scaling (one architectural fast-forward pass; results should
- * be cached by callers that loop).
+ * @p suite scaling. This is the raw primitive — one architectural
+ * fast-forward pass, uncached. Callers that loop should go through a
+ * SimulationService (an ExperimentEngine caches lengths in memory and
+ * on disk).
  */
 uint64_t measureReferenceLength(const std::string &benchmark,
                                 const SuiteConfig &suite);
 
-/** Build a TechniqueContext with the reference length filled in. */
+/**
+ * Build a TechniqueContext with the reference length filled in by a
+ * fresh measurement.
+ *
+ * @deprecated Use TechniqueContext::make with a SimulationService (an
+ * ExperimentEngine deduplicates the measurement; this path re-measures
+ * on every call).
+ */
+[[deprecated("use TechniqueContext::make(benchmark, suite, service)")]]
 TechniqueContext makeContext(const std::string &benchmark,
                              const SuiteConfig &suite);
 

@@ -27,7 +27,8 @@ smallContext(const std::string &benchmark = "gzip")
 {
     SuiteConfig suite;
     suite.referenceInstructions = 200'000;
-    return makeContext(benchmark, suite);
+    static DirectService service;
+    return TechniqueContext::make(benchmark, suite, service);
 }
 
 TEST(PbFactors, FortyThreeNamedFactors)
@@ -197,7 +198,8 @@ TEST(Enhancement, NlpSpeedsUpStreamingReference)
     // Needs a scale where art's streaming arrays exceed the L1.
     SuiteConfig suite;
     suite.referenceInstructions = 1'000'000;
-    TechniqueContext ctx = makeContext("art", suite);
+    static DirectService service;
+    TechniqueContext ctx = TechniqueContext::make("art", suite, service);
     SimConfig cfg = architecturalConfig(1);
     double speedup =
         referenceSpeedup(ctx, cfg, Enhancement::NextLinePrefetch);
@@ -244,7 +246,8 @@ TEST(EnhancementPb, NlpRanksAmongBottlenecksOnMcf)
     // reduces CPI) and rank well above the noise tail.
     SuiteConfig suite;
     suite.referenceInstructions = 150'000;
-    TechniqueContext ctx = makeContext("mcf", suite);
+    static DirectService service;
+    TechniqueContext ctx = TechniqueContext::make("mcf", suite, service);
     FullReference reference;
     EnhancementPbOutcome out = rankEnhancementEffect(
         reference, ctx, Enhancement::NextLinePrefetch);

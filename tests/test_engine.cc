@@ -1,0 +1,408 @@
+/**
+ * @file
+ * Tests for the ExperimentEngine: cache-key construction, memoization
+ * and its counters, the on-disk result cache (bit-identical
+ * round-trips), in-flight deduplication, and pooled prefetch
+ * determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "engine/cache_key.hh"
+#include "engine/engine.hh"
+#include "engine/result_io.hh"
+#include "techniques/full_reference.hh"
+#include "techniques/reduced_input.hh"
+#include "techniques/service.hh"
+#include "techniques/simpoint.hh"
+#include "techniques/smarts.hh"
+
+namespace yasim {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr uint64_t kRefInsts = 150'000;
+
+TechniqueContext
+directCtx(const std::string &bench, uint64_t ref = kRefInsts)
+{
+    SuiteConfig suite;
+    suite.referenceInstructions = ref;
+    static DirectService service;
+    return TechniqueContext::make(bench, suite, service);
+}
+
+/** Bitwise double equality — the disk cache promises bit-identical. */
+bool
+bitEq(double a, double b)
+{
+    return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+bool
+bitEq(const std::vector<double> &a, const std::vector<double> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i)
+        if (!bitEq(a[i], b[i]))
+            return false;
+    return true;
+}
+
+/** Full bit-level equality of two technique results. */
+void
+expectBitIdentical(const TechniqueResult &a, const TechniqueResult &b)
+{
+    EXPECT_EQ(a.technique, b.technique);
+    EXPECT_EQ(a.permutation, b.permutation);
+    EXPECT_TRUE(bitEq(a.cpi, b.cpi));
+    EXPECT_TRUE(bitEq(a.metrics, b.metrics));
+    EXPECT_TRUE(bitEq(a.bbef, b.bbef));
+    EXPECT_TRUE(bitEq(a.bbv, b.bbv));
+    EXPECT_TRUE(bitEq(a.workUnits, b.workUnits));
+    EXPECT_EQ(a.detailedInsts, b.detailedInsts);
+    EXPECT_EQ(a.detailed.instructions, b.detailed.instructions);
+    EXPECT_EQ(a.detailed.cycles, b.detailed.cycles);
+}
+
+/** A scratch cache directory wiped before and after each use. */
+class ScratchDir
+{
+  public:
+    explicit ScratchDir(const std::string &name)
+        : dir(fs::path(::testing::TempDir()) / name)
+    {
+        fs::remove_all(dir);
+        fs::create_directories(dir);
+    }
+    ~ScratchDir() { fs::remove_all(dir); }
+    std::string str() const { return dir.string(); }
+
+  private:
+    fs::path dir;
+};
+
+// ---------------------------------------------------------------- keys
+
+TEST(CacheKey, StableAcrossCalls)
+{
+    TechniqueContext ctx = directCtx("gzip");
+    SimConfig config = architecturalConfig(2);
+    Smarts smarts(1000, 2000);
+    EXPECT_EQ(resultCacheKey(smarts, ctx, config),
+              resultCacheKey(smarts, ctx, config));
+}
+
+TEST(CacheKey, EveryInputChangesTheKey)
+{
+    TechniqueContext gzip = directCtx("gzip");
+    TechniqueContext mcf = directCtx("mcf");
+    TechniqueContext longer = directCtx("gzip", kRefInsts * 2);
+    SimConfig config = architecturalConfig(2);
+    Smarts smarts(1000, 2000);
+    const std::string base = resultCacheKey(smarts, gzip, config);
+
+    // Benchmark and suite scaling.
+    EXPECT_NE(base, resultCacheKey(smarts, mcf, config));
+    EXPECT_NE(base, resultCacheKey(smarts, longer, config));
+
+    // Technique and technique parameters.
+    EXPECT_NE(base, resultCacheKey(Smarts(1000, 4000), gzip, config));
+    EXPECT_NE(base, resultCacheKey(FullReference(), gzip, config));
+
+    // Any machine-configuration field.
+    SimConfig bigger_l2 = config;
+    bigger_l2.mem.l2.sizeKb *= 2;
+    EXPECT_NE(base, resultCacheKey(smarts, gzip, bigger_l2));
+}
+
+TEST(CacheKey, ConfigDisplayNameIsExcluded)
+{
+    TechniqueContext ctx = directCtx("gzip");
+    Smarts smarts(1000, 2000);
+    SimConfig a = architecturalConfig(2);
+    SimConfig b = a;
+    b.name = "same machine, different label";
+    EXPECT_EQ(resultCacheKey(smarts, ctx, a),
+              resultCacheKey(smarts, ctx, b));
+}
+
+TEST(CacheKey, TechniqueDisplayLabelIsExcluded)
+{
+    // Two SimPoints that differ only in their display label are the
+    // same experiment and must share a key.
+    TechniqueContext ctx = directCtx("gzip");
+    SimConfig config = architecturalConfig(2);
+    SimPoint a(10.0, 30, 1.0, "multiple 10M");
+    SimPoint b(10.0, 30, 1.0, "another label");
+    EXPECT_NE(a.permutation(), b.permutation());
+    EXPECT_EQ(resultCacheKey(a, ctx, config),
+              resultCacheKey(b, ctx, config));
+}
+
+TEST(CacheKey, KeyMentionsFormatVersionAndBenchmark)
+{
+    TechniqueContext ctx = directCtx("gzip");
+    std::string key =
+        resultCacheKey(Smarts(1000, 2000), ctx, architecturalConfig(1));
+    EXPECT_NE(key.find("gzip"), std::string::npos);
+    EXPECT_NE(key.find(std::to_string(kCacheFormatVersion)),
+              std::string::npos);
+}
+
+TEST(CacheKey, DigestIs32HexAndContentSensitive)
+{
+    std::string a = cacheDigest("some key text");
+    std::string b = cacheDigest("some key texu");
+    EXPECT_EQ(a.size(), 32u);
+    EXPECT_TRUE(a.find_first_not_of("0123456789abcdef") ==
+                std::string::npos);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(a, cacheDigest("some key text"));
+}
+
+// ---------------------------------------------------------- result I/O
+
+TEST(ResultIo, RoundTripsBitIdentically)
+{
+    TechniqueContext ctx = directCtx("gzip");
+    SimConfig config = architecturalConfig(2);
+    Smarts smarts(1000, 2000);
+    TechniqueResult fresh = smarts.run(ctx, config);
+    const std::string key = resultCacheKey(smarts, ctx, config);
+
+    std::stringstream buffer;
+    writeResult(buffer, key, fresh);
+    TechniqueResult loaded;
+    ASSERT_TRUE(readResult(buffer, key, loaded));
+    expectBitIdentical(loaded, fresh);
+}
+
+TEST(ResultIo, RejectsWrongKeyAndTruncation)
+{
+    TechniqueContext ctx = directCtx("gzip");
+    SimConfig config = architecturalConfig(1);
+    Smarts smarts(500, 1000);
+    TechniqueResult fresh = smarts.run(ctx, config);
+    const std::string key = resultCacheKey(smarts, ctx, config);
+
+    std::stringstream buffer;
+    writeResult(buffer, key, fresh);
+    TechniqueResult loaded;
+    std::stringstream wrong(buffer.str());
+    EXPECT_FALSE(readResult(wrong, key + "X", loaded));
+
+    std::string text = buffer.str();
+    std::stringstream truncated(text.substr(0, text.size() / 2));
+    EXPECT_FALSE(readResult(truncated, key, loaded));
+}
+
+TEST(ResultIo, ReferenceLengthRoundTrip)
+{
+    std::stringstream buffer;
+    writeReferenceLength(buffer, "ref-key", 123'456'789ULL);
+    uint64_t length = 0;
+    ASSERT_TRUE(readReferenceLength(buffer, "ref-key", length));
+    EXPECT_EQ(length, 123'456'789ULL);
+
+    std::stringstream again(buffer.str());
+    again.seekg(0);
+    EXPECT_FALSE(readReferenceLength(again, "other-key", length));
+}
+
+// ------------------------------------------------------------- memoing
+
+TEST(Engine, MemoizesRepeatedRuns)
+{
+    SuiteConfig suite;
+    suite.referenceInstructions = kRefInsts;
+    ExperimentEngine engine;
+    TechniqueContext ctx = engine.context("gzip", suite);
+    SimConfig config = architecturalConfig(2);
+    Smarts smarts(1000, 2000);
+
+    TechniqueResult first = engine.run(smarts, ctx, config);
+    TechniqueResult second = engine.run(smarts, ctx, config);
+    expectBitIdentical(first, second);
+
+    EngineCounters ctr = engine.counters();
+    EXPECT_EQ(ctr.runsExecuted, 1u);
+    EXPECT_EQ(ctr.memoMisses, 1u);
+    EXPECT_EQ(ctr.memoHits, 1u);
+    EXPECT_GT(ctr.workUnitsSaved, 0.0);
+}
+
+TEST(Engine, MatchesDirectServiceBitForBit)
+{
+    SuiteConfig suite;
+    suite.referenceInstructions = kRefInsts;
+    ExperimentEngine engine;
+    TechniqueContext ectx = engine.context("mcf", suite);
+    TechniqueContext dctx = directCtx("mcf");
+    SimConfig config = architecturalConfig(2);
+    Smarts smarts(1000, 2000);
+
+    TechniqueResult pooled = engine.run(smarts, ectx, config);
+    TechniqueResult direct = smarts.run(dctx, config);
+    expectBitIdentical(pooled, direct);
+}
+
+TEST(Engine, RestampsDisplayLabelsOnSharedKeys)
+{
+    // a and b share a cache key (labels are excluded), but each caller
+    // must get its own technique's labels back.
+    SuiteConfig suite;
+    suite.referenceInstructions = kRefInsts;
+    ExperimentEngine engine;
+    TechniqueContext ctx = engine.context("gzip", suite);
+    SimConfig config = architecturalConfig(1);
+    SimPoint a(10.0, 30, 1.0, "multiple 10M");
+    SimPoint b(10.0, 30, 1.0, "another label");
+
+    TechniqueResult ra = engine.run(a, ctx, config);
+    TechniqueResult rb = engine.run(b, ctx, config);
+    EXPECT_EQ(engine.counters().runsExecuted, 1u);
+    EXPECT_EQ(ra.permutation, "multiple 10M");
+    EXPECT_EQ(rb.permutation, "another label");
+    EXPECT_TRUE(bitEq(ra.cpi, rb.cpi));
+}
+
+TEST(Engine, ConcurrentRequestsCollapseOntoOneRun)
+{
+    SuiteConfig suite;
+    suite.referenceInstructions = kRefInsts;
+    ExperimentEngine engine;
+    TechniqueContext ctx = engine.context("gzip", suite);
+    SimConfig config = architecturalConfig(2);
+    FullReference reference;
+
+    std::vector<TechniqueResult> results(4);
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < results.size(); ++t)
+        threads.emplace_back([&, t] {
+            results[t] = engine.run(reference, ctx, config);
+        });
+    for (std::thread &thread : threads)
+        thread.join();
+
+    EXPECT_EQ(engine.counters().runsExecuted, 1u);
+    for (size_t t = 1; t < results.size(); ++t)
+        expectBitIdentical(results[t], results[0]);
+}
+
+// ----------------------------------------------------------- the disk
+
+TEST(Engine, DiskCacheRoundTripsAcrossEngines)
+{
+    ScratchDir scratch("yasim_engine_disk_roundtrip");
+    SuiteConfig suite;
+    suite.referenceInstructions = kRefInsts;
+    SimConfig config = architecturalConfig(2);
+    Smarts smarts(1000, 2000);
+
+    TechniqueResult fresh;
+    {
+        ExperimentEngine warm({.cacheDir = scratch.str()});
+        fresh = warm.run(smarts, warm.context("gzip", suite), config);
+        EXPECT_EQ(warm.counters().runsExecuted, 1u);
+        EXPECT_GE(warm.counters().diskWrites, 1u);
+    }
+
+    // A second engine over the same directory simulates nothing.
+    ExperimentEngine cold({.cacheDir = scratch.str()});
+    TechniqueResult loaded =
+        cold.run(smarts, cold.context("gzip", suite), config);
+    EngineCounters ctr = cold.counters();
+    EXPECT_EQ(ctr.runsExecuted, 0u);
+    EXPECT_GE(ctr.diskHits, 1u);
+    EXPECT_GE(ctr.refLengthDiskHits, 1u);
+    expectBitIdentical(loaded, fresh);
+}
+
+TEST(Engine, CorruptDiskFilesReadAsMisses)
+{
+    ScratchDir scratch("yasim_engine_disk_corrupt");
+    SuiteConfig suite;
+    suite.referenceInstructions = kRefInsts;
+    SimConfig config = architecturalConfig(1);
+    Smarts smarts(500, 1000);
+
+    {
+        ExperimentEngine warm({.cacheDir = scratch.str()});
+        warm.run(smarts, warm.context("gzip", suite), config);
+    }
+    for (const fs::directory_entry &entry :
+         fs::directory_iterator(scratch.str()))
+        if (entry.is_regular_file()) {
+            std::ofstream out(entry.path(), std::ios::trunc);
+            out << "not a cache file\n";
+        }
+
+    ExperimentEngine cold({.cacheDir = scratch.str()});
+    TechniqueResult rerun =
+        cold.run(smarts, cold.context("gzip", suite), config);
+    EXPECT_EQ(cold.counters().runsExecuted, 1u);
+    EXPECT_GT(rerun.workUnits, 0.0);
+}
+
+// ------------------------------------------------------------ prefetch
+
+TEST(Engine, PrefetchedGridIsBitIdenticalToSerial)
+{
+    SuiteConfig suite;
+    suite.referenceInstructions = kRefInsts;
+    std::vector<TechniquePtr> techniques = {
+        std::make_shared<Smarts>(1000, 2000),
+        std::make_shared<ReducedInput>(InputSet::Small),
+    };
+    std::vector<SimConfig> configs = {architecturalConfig(1),
+                                      architecturalConfig(2)};
+
+    ExperimentEngine pooled;
+    TechniqueContext pctx = pooled.context("gzip", suite);
+    pooled.prefetch(pctx, techniques, configs);
+    const uint64_t executed = pooled.counters().runsExecuted;
+    // techniques x configs plus the reference per config.
+    EXPECT_EQ(executed, techniques.size() * configs.size() +
+                            configs.size());
+
+    ExperimentEngine serial;
+    TechniqueContext sctx = serial.context("gzip", suite);
+    for (const SimConfig &config : configs)
+        for (const TechniquePtr &technique : techniques) {
+            TechniqueResult p = pooled.run(*technique, pctx, config);
+            TechniqueResult s = serial.run(*technique, sctx, config);
+            expectBitIdentical(p, s);
+        }
+    // Table assembly above hit the memo only.
+    EXPECT_EQ(pooled.counters().runsExecuted, executed);
+}
+
+TEST(Engine, PrefetchIsIdempotent)
+{
+    SuiteConfig suite;
+    suite.referenceInstructions = kRefInsts;
+    std::vector<TechniquePtr> techniques = {
+        std::make_shared<Smarts>(1000, 2000)};
+    std::vector<SimConfig> configs = {architecturalConfig(1)};
+
+    ExperimentEngine engine;
+    TechniqueContext ctx = engine.context("gzip", suite);
+    engine.prefetch(ctx, techniques, configs);
+    const uint64_t executed = engine.counters().runsExecuted;
+    engine.prefetch(ctx, techniques, configs);
+    EXPECT_EQ(engine.counters().runsExecuted, executed);
+    EXPECT_GT(engine.counters().gridJobs, 0u);
+}
+
+} // namespace
+} // namespace yasim

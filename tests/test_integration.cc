@@ -17,6 +17,7 @@
 #include "core/svat_analysis.hh"
 #include "techniques/full_reference.hh"
 #include "techniques/reduced_input.hh"
+#include "techniques/service.hh"
 #include "techniques/simpoint.hh"
 #include "techniques/smarts.hh"
 #include "techniques/truncated.hh"
@@ -29,7 +30,8 @@ ctxFor(const std::string &bench, uint64_t ref = 300'000)
 {
     SuiteConfig suite;
     suite.referenceInstructions = ref;
-    return makeContext(bench, suite);
+    static DirectService service;
+    return TechniqueContext::make(bench, suite, service);
 }
 
 double

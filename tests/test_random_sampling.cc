@@ -6,6 +6,7 @@
 
 #include "techniques/full_reference.hh"
 #include "techniques/random_sampling.hh"
+#include "techniques/service.hh"
 #include "techniques/smarts.hh"
 
 namespace yasim {
@@ -16,7 +17,8 @@ ctxFor(const std::string &bench)
 {
     SuiteConfig suite;
     suite.referenceInstructions = 250'000;
-    return makeContext(bench, suite);
+    static DirectService service;
+    return TechniqueContext::make(bench, suite, service);
 }
 
 TEST(RandomSampling, PositionsAreSortedAndInRange)

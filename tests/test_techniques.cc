@@ -8,6 +8,7 @@
 #include "techniques/full_reference.hh"
 #include "techniques/permutations.hh"
 #include "techniques/reduced_input.hh"
+#include "techniques/service.hh"
 #include "techniques/simpoint.hh"
 #include "techniques/smarts.hh"
 #include "techniques/truncated.hh"
@@ -20,7 +21,8 @@ smallContext(const std::string &benchmark = "gzip")
 {
     SuiteConfig suite;
     suite.referenceInstructions = 250'000;
-    return makeContext(benchmark, suite);
+    static DirectService service;
+    return TechniqueContext::make(benchmark, suite, service);
 }
 
 TEST(Context, ScaledMConversion)
@@ -308,7 +310,8 @@ TEST(TechniqueOrdering, SamplingBeatsTruncationOnGcc)
 {
     SuiteConfig suite;
     suite.referenceInstructions = 300'000;
-    TechniqueContext ctx = makeContext("gcc", suite);
+    static DirectService service;
+    TechniqueContext ctx = TechniqueContext::make("gcc", suite, service);
     SimConfig cfg = architecturalConfig(2);
 
     double ref_cpi = FullReference().run(ctx, cfg).cpi;
