@@ -1,16 +1,30 @@
 /**
  * @file
  * Google-benchmark microbenchmarks for the library's hot kernels: the
- * functional simulator, functional warming, the detailed core, cache
- * and predictor probes, k-means clustering, and the PB machinery.
- * These are throughput sanity checks for the simulator substrate (the
- * figure regenerators' runtimes are dominated by these loops).
+ * functional simulator, functional warming, the detailed core, trace
+ * record/replay, cache and predictor probes, k-means clustering, and
+ * the PB machinery. These are throughput sanity checks for the
+ * simulator substrate (the figure regenerators' runtimes are dominated
+ * by these loops).
+ *
+ * `microbench --json [path]` switches to the machine-readable perf
+ * gate instead: it measures live vs replayed stepping and a 44-config
+ * PB sweep with and without the trace subsystem, writes the numbers to
+ * BENCH_microbench.json, and exits nonzero when replay fails to beat
+ * live interpretation.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "core/pb_characterization.hh"
 #include "sim/functional.hh"
 #include "sim/ooo_core.hh"
+#include "sim/trace.hh"
 #include "stats/kmeans.hh"
 #include "stats/plackett_burman.hh"
 #include "support/rng.hh"
@@ -75,6 +89,37 @@ BM_DetailedSim(benchmark::State &state)
 BENCHMARK(BM_DetailedSim);
 
 void
+BM_TraceRecord(benchmark::State &state)
+{
+    Workload w = buildWorkload("gzip", InputSet::Reference, benchSuite());
+    uint64_t insts = 0;
+    for (auto _ : state) {
+        auto trace = ExecTrace::record(w.program);
+        insts += trace->length();
+        benchmark::DoNotOptimize(trace);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(insts));
+}
+BENCHMARK(BM_TraceRecord);
+
+void
+BM_TraceReplay(benchmark::State &state)
+{
+    Workload w = buildWorkload("gzip", InputSet::Reference, benchSuite());
+    auto trace = ExecTrace::record(w.program);
+    uint64_t insts = 0;
+    for (auto _ : state) {
+        TraceReplayer replayer(trace);
+        ExecRecord rec;
+        while (replayer.step(rec))
+            benchmark::DoNotOptimize(rec.nextPc);
+        insts += replayer.instsExecuted();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(insts));
+}
+BENCHMARK(BM_TraceReplay);
+
+void
 BM_CacheAccess(benchmark::State &state)
 {
     Cache cache("bm", CacheConfig{64, 4, 64});
@@ -136,6 +181,158 @@ BM_PbEffects(benchmark::State &state)
 }
 BENCHMARK(BM_PbEffects);
 
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
+/**
+ * Step every instruction of @p source to exhaustion and return the
+ * throughput in instructions per second. ExecRecord consumption mirrors
+ * what OooCore::run does per step, so live-vs-replay compares the cost
+ * a detailed region actually pays for its stream.
+ */
+double
+stepThroughput(StepSource &source)
+{
+    uint64_t sink = 0;
+    auto start = std::chrono::steady_clock::now();
+    ExecRecord rec;
+    while (source.step(rec))
+        sink += rec.nextPc;
+    double seconds = secondsSince(start);
+    benchmark::DoNotOptimize(sink);
+    return static_cast<double>(source.instsExecuted()) /
+           (seconds > 0 ? seconds : 1e-9);
+}
+
+/**
+ * The machine-readable perf gate behind `microbench --json [path]`.
+ *
+ * Measures (a) live interpretation vs trace replay step throughput on
+ * the gzip reference stream and (b) wall time for a 44-configuration
+ * Plackett-Burman sweep (99% fast-forward + 1000 detailed instructions
+ * per configuration) with one FunctionalSim per configuration vs one
+ * shared ExecTrace (recording time included in the trace total).
+ * Writes the numbers as JSON and returns nonzero when replay fails to
+ * beat live stepping or the sweeps disagree on total cycles.
+ */
+int
+runJsonGate(const char *path)
+{
+    // (a) Step throughput, best of 3 passes each way.
+    Workload step_workload =
+        buildWorkload("gzip", InputSet::Reference, benchSuite());
+    auto step_trace = ExecTrace::record(step_workload.program);
+    double live_ips = 0, replay_ips = 0;
+    for (int pass = 0; pass < 3; ++pass) {
+        FunctionalSim fsim(step_workload.program);
+        live_ips = std::max(live_ips, stepThroughput(fsim));
+        TraceReplayer replayer(step_trace);
+        replay_ips = std::max(replay_ips, stepThroughput(replayer));
+    }
+
+    // (b) Configuration-sweep wall time: the record-once/replay-many
+    // payoff on the paper's PB design (44 corner configurations).
+    SuiteConfig sweep_suite;
+    sweep_suite.referenceInstructions = 8'000'000;
+    Workload sweep_workload =
+        buildWorkload("gzip", InputSet::Reference, sweep_suite);
+    std::vector<SimConfig> configs =
+        pbDesignConfigs(PbDesign::forFactors(43, false));
+    constexpr uint64_t kDetailedInsts = 1000;
+
+    auto trace_start = std::chrono::steady_clock::now();
+    auto sweep_trace = ExecTrace::record(sweep_workload.program);
+    uint64_t ff_insts = sweep_trace->length() * 99 / 100;
+    uint64_t trace_cycles = 0;
+    for (const SimConfig &cfg : configs) {
+        TraceReplayer replayer(sweep_trace);
+        replayer.fastForward(ff_insts);
+        OooCore core(cfg);
+        core.run(replayer, kDetailedInsts);
+        trace_cycles += core.cycles();
+    }
+    double trace_seconds = secondsSince(trace_start);
+
+    auto live_start = std::chrono::steady_clock::now();
+    uint64_t live_cycles = 0;
+    for (const SimConfig &cfg : configs) {
+        FunctionalSim fsim(sweep_workload.program);
+        fsim.fastForward(ff_insts);
+        OooCore core(cfg);
+        core.run(fsim, kDetailedInsts);
+        live_cycles += core.cycles();
+    }
+    double live_seconds = secondsSince(live_start);
+
+    double speedup = live_seconds / (trace_seconds > 0 ? trace_seconds : 1e-9);
+
+    std::FILE *out = std::fopen(path, "w");
+    if (!out) {
+        std::fprintf(stderr, "microbench: cannot open %s for writing\n",
+                     path);
+        return 1;
+    }
+    std::fprintf(out,
+                 "{\n"
+                 "  \"step_insts_per_sec_live\": %.0f,\n"
+                 "  \"step_insts_per_sec_replay\": %.0f,\n"
+                 "  \"step_replay_over_live\": %.3f,\n"
+                 "  \"sweep_configs\": %zu,\n"
+                 "  \"sweep_detailed_insts\": %llu,\n"
+                 "  \"sweep_wall_seconds_live\": %.6f,\n"
+                 "  \"sweep_wall_seconds_trace\": %.6f,\n"
+                 "  \"sweep_speedup\": %.3f,\n"
+                 "  \"sweep_cycles_match\": %s\n"
+                 "}\n",
+                 live_ips, replay_ips, replay_ips / live_ips,
+                 configs.size(),
+                 static_cast<unsigned long long>(kDetailedInsts),
+                 live_seconds, trace_seconds, speedup,
+                 trace_cycles == live_cycles ? "true" : "false");
+    std::fclose(out);
+
+    std::printf("step throughput: live %.1fM inst/s, replay %.1fM inst/s "
+                "(%.2fx)\n",
+                live_ips / 1e6, replay_ips / 1e6, replay_ips / live_ips);
+    std::printf("%zu-config sweep: live %.3fs, traced %.3fs (%.2fx, "
+                "cycles %s)\n",
+                configs.size(), live_seconds, trace_seconds, speedup,
+                trace_cycles == live_cycles ? "match" : "MISMATCH");
+    std::printf("wrote %s\n", path);
+
+    if (trace_cycles != live_cycles) {
+        std::fprintf(stderr,
+                     "microbench: replayed sweep diverged from live\n");
+        return 1;
+    }
+    if (replay_ips < live_ips) {
+        std::fprintf(stderr,
+                     "microbench: replay slower than live stepping\n");
+        return 1;
+    }
+    return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+            return runJsonGate(i + 1 < argc ? argv[i + 1]
+                                            : "BENCH_microbench.json");
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

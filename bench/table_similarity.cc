@@ -40,7 +40,8 @@ main(int argc, char **argv)
             }
 
             SimilarityAnalysis analysis =
-                analyzeSimilarity(pairs, driver.options().suite, 8);
+                analyzeSimilarity(pairs, driver.options().suite, 8,
+                                  driver.engine().traceStore());
 
             Table table("Benchmark/input similarity (z-scored "
                         "characteristics, k-means/BIC clustering -> " +

@@ -16,7 +16,7 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--ref-insts N] [--benchmarks a,b,...] [--seed N]\n"
         "          [--csv] [--full] [--cache-dir DIR] [--engine-stats]\n"
-        "          [--workers N]\n",
+        "          [--workers N] [--trace] [--no-trace]\n",
         argv0);
     std::exit(1);
 }
@@ -72,6 +72,10 @@ parseBenchOptions(int argc, char **argv, uint64_t default_ref_insts)
             options.cacheDir = next();
         } else if (std::strcmp(arg, "--engine-stats") == 0) {
             options.engineStats = true;
+        } else if (std::strcmp(arg, "--trace") == 0) {
+            options.trace = true;
+        } else if (std::strcmp(arg, "--no-trace") == 0) {
+            options.trace = false;
         } else if (std::strcmp(arg, "--workers") == 0) {
             options.workers =
                 unsigned(std::strtoul(next(), nullptr, 10));

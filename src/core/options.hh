@@ -11,6 +11,8 @@
  *   --cache-dir DIR   persist simulation results across invocations
  *   --engine-stats    print ExperimentEngine counters to stderr
  *   --workers N       bound the work-stealing pool at N workers
+ *   --trace           record/replay execution traces (the default)
+ *   --no-trace        re-interpret functionally on every run
  */
 
 #ifndef YASIM_CORE_OPTIONS_HH
@@ -41,6 +43,11 @@ struct BenchOptions
     bool engineStats = false;
     /** Worker-pool bound (0 = auto-detect). */
     unsigned workers = 0;
+    /**
+     * Record each benchmark's execution once and replay it everywhere
+     * (--no-trace disables; results are bit-identical either way).
+     */
+    bool trace = true;
 };
 
 /**

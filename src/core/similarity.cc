@@ -2,13 +2,13 @@
 
 #include <cmath>
 
-#include "sim/functional.hh"
 #include "sim/ooo_core.hh"
 #include "stats/distance.hh"
 #include "stats/kmeans.hh"
 #include "stats/summary.hh"
 #include "support/logging.hh"
 #include "support/rng.hh"
+#include "techniques/trace_store.hh"
 
 namespace yasim {
 
@@ -33,21 +33,20 @@ WorkloadCharacteristics::metricNames()
 
 WorkloadCharacteristics
 characterizeWorkload(const std::string &benchmark, InputSet input,
-                     const SuiteConfig &suite)
+                     const SuiteConfig &suite, TraceStore *traces)
 {
     WorkloadCharacteristics wc;
     wc.benchmark = benchmark;
     wc.input = input;
 
-    Workload workload = buildWorkload(benchmark, input, suite);
-
-    // Instruction mix: one functional pass.
+    // Instruction mix: one pass over the stream.
     {
-        FunctionalSim fsim(workload.program);
+        StepSourceHandle src =
+            openStepSource(benchmark, input, suite, traces);
         ExecRecord rec;
         uint64_t total = 0, loads = 0, stores = 0, branches = 0,
                  fp = 0, muldiv = 0;
-        while (fsim.step(rec)) {
+        while (src.source->step(rec)) {
             ++total;
             const Instruction &inst = *rec.inst;
             if (inst.isLoad())
@@ -77,9 +76,10 @@ characterizeWorkload(const std::string &benchmark, InputSet input,
 
     // Memory/branch behaviour on the mid-range probe machine.
     {
-        FunctionalSim fsim(workload.program);
+        StepSourceHandle src =
+            openStepSource(benchmark, input, suite, traces);
         OooCore core(architecturalConfig(2));
-        core.run(fsim, ~0ULL);
+        core.run(*src.source, ~0ULL);
         SimStats stats = core.snapshot();
         wc.branchAccuracy = stats.branchAccuracy();
         wc.l1dMissRate = 1.0 - stats.l1dHitRate();
@@ -95,9 +95,10 @@ characterizeWorkload(const std::string &benchmark, InputSet input,
         wide.core.robEntries = 512;
         wide.core.iqEntries = 256;
         wide.core.lsqEntries = 256;
-        FunctionalSim fsim(workload.program);
+        StepSourceHandle src =
+            openStepSource(benchmark, input, suite, traces);
         OooCore core(wide);
-        core.run(fsim, ~0ULL);
+        core.run(*src.source, ~0ULL);
         wc.ilpProxy = core.snapshot().ipc();
     }
     return wc;
@@ -126,14 +127,14 @@ zScoreNormalize(const std::vector<std::vector<double>> &vectors)
 SimilarityAnalysis
 analyzeSimilarity(
     const std::vector<std::pair<std::string, InputSet>> &pairs,
-    const SuiteConfig &suite, int max_k)
+    const SuiteConfig &suite, int max_k, TraceStore *traces)
 {
     YASIM_ASSERT(!pairs.empty());
     SimilarityAnalysis analysis;
     std::vector<std::vector<double>> raw;
     for (const auto &[benchmark, input] : pairs) {
         analysis.items.push_back(
-            characterizeWorkload(benchmark, input, suite));
+            characterizeWorkload(benchmark, input, suite, traces));
         raw.push_back(analysis.items.back().vec());
     }
     analysis.normalized = zScoreNormalize(raw);

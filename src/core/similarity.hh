@@ -21,6 +21,8 @@
 
 namespace yasim {
 
+class TraceStore;
+
 /** The characteristic vector of one benchmark/input pair. */
 struct WorkloadCharacteristics
 {
@@ -52,11 +54,13 @@ struct WorkloadCharacteristics
  * Measure one benchmark/input pair's characteristics: one functional
  * pass for the instruction mix and one detailed run on each probe
  * machine (Table-3 #2 for the memory/branch metrics, a widened #4 for
- * the ILP proxy).
+ * the ILP proxy). With @p traces, all three passes replay one shared
+ * recording instead of interpreting the program three times.
  */
 WorkloadCharacteristics
 characterizeWorkload(const std::string &benchmark, InputSet input,
-                     const SuiteConfig &suite);
+                     const SuiteConfig &suite,
+                     TraceStore *traces = nullptr);
 
 /**
  * Z-score-normalize a set of characteristic vectors per coordinate
@@ -85,10 +89,12 @@ struct SimilarityAnalysis
  * @param pairs items to analyze
  * @param suite workload scaling
  * @param max_k cluster-count ceiling for the BIC selection
+ * @param traces optional shared trace store for the characterizations
  */
 SimilarityAnalysis
 analyzeSimilarity(const std::vector<std::pair<std::string, InputSet>> &pairs,
-                  const SuiteConfig &suite, int max_k = 6);
+                  const SuiteConfig &suite, int max_k = 6,
+                  TraceStore *traces = nullptr);
 
 } // namespace yasim
 

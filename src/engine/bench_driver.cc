@@ -57,6 +57,7 @@ BenchDriver::setUp()
         setParallelWorkers(opts.workers);
     EngineOptions engine_options;
     engine_options.cacheDir = opts.cacheDir;
+    engine_options.traces = opts.trace;
     eng = std::make_unique<ExperimentEngine>(engine_options);
 }
 

@@ -3,7 +3,7 @@
  * Fluent driver front end for the bench and example binaries.
  *
  * Every experiment regenerator used to open with the same boilerplate —
- * parseBenchOptions, setInformEnabled(false), makeContext per benchmark,
+ * parseBenchOptions, setInformEnabled(false), a context per benchmark,
  * a csv-or-aligned print at the end — and none of it shared simulation
  * results. BenchDriver rolls that into one builder around an
  * ExperimentEngine:
@@ -19,10 +19,10 @@
  *             });
  *     }
  *
- * The driver owns the engine (honouring --cache-dir, --workers and
- * --engine-stats), and the SvAT figures collapse further to the
- * benchmark()/figure()/techniques() shortcut with a parameterless
- * run().
+ * The driver owns the engine (honouring --cache-dir, --workers,
+ * --trace/--no-trace and --engine-stats), and the SvAT figures collapse
+ * further to the benchmark()/figure()/techniques() shortcut with a
+ * parameterless run().
  */
 
 #ifndef YASIM_ENGINE_BENCH_DRIVER_HH

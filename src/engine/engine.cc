@@ -29,6 +29,13 @@ ExperimentEngine::ExperimentEngine(EngineOptions options)
             fatal("cannot create cache directory '%s': %s",
                   opts.cacheDir.c_str(), ec.message().c_str());
     }
+    if (opts.traces) {
+        TraceStoreOptions topts;
+        topts.cacheDir = opts.cacheDir;
+        topts.checkpointSpacing = opts.traceCheckpointSpacing;
+        topts.maxBytes = opts.maxTraceBytes;
+        traces = std::make_unique<TraceStore>(std::move(topts));
+    }
 }
 
 ExperimentEngine::~ExperimentEngine() = default;
@@ -186,6 +193,19 @@ ExperimentEngine::referenceLength(const std::string &benchmark,
         }
     }
 
+    // With the trace store on, the reference recording *is* the
+    // measurement: its dynamic length equals what a plain architectural
+    // fast-forward would count, and the trace is needed by the sweep
+    // anyway (the store dedups against its own memory/disk caches).
+    if (traces) {
+        uint64_t length =
+            traces->get(benchmark, InputSet::Reference, suite)->length();
+        std::lock_guard<std::mutex> lock(mutex);
+        ++ctr.refLengthFromTrace;
+        refLengths.emplace(key, length);
+        return length;
+    }
+
     uint64_t length = 0;
     bool from_disk = false;
     if (!opts.cacheDir.empty()) {
@@ -296,6 +316,23 @@ ExperimentEngine::printStats(std::ostream &os) const
         {"ref-length measured", Table::count(c.refLengthMisses)});
     table.addRow({"grid jobs scheduled", Table::count(c.gridJobs)});
     table.addRule();
+    if (traces) {
+        TraceCounters t = traces->counters();
+        table.addRow({"trace recordings", Table::count(t.recordings)});
+        table.addRow({"trace hits", Table::count(t.hits)});
+        table.addRow(
+            {"trace in-flight joins", Table::count(t.inflightJoins)});
+        table.addRow({"trace disk loads", Table::count(t.diskLoads)});
+        table.addRow({"trace disk writes", Table::count(t.diskWrites)});
+        table.addRow({"trace evictions", Table::count(t.evictions)});
+        table.addRow(
+            {"trace insts recorded", Table::count(t.instsRecorded)});
+        table.addRow(
+            {"trace bytes in memory", Table::count(t.bytesInMemory)});
+        table.addRow({"ref lengths from traces",
+                      Table::count(c.refLengthFromTrace)});
+        table.addRule();
+    }
     table.addRow({"pool workers",
                   Table::count(globalPool().workerThreads() + 1)});
     table.addRow({"pool batches", Table::count(pool.batches)});

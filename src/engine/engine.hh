@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "techniques/service.hh"
+#include "techniques/trace_store.hh"
 
 namespace yasim {
 
@@ -43,6 +44,17 @@ struct EngineOptions
     std::string cacheDir;
     /** Memo-table bound; least-recently-used entries evict beyond it. */
     size_t maxMemoEntries = 1 << 16;
+    /**
+     * Record each benchmark's execution once and replay it for every
+     * configuration (--no-trace turns this off). Results are
+     * bit-identical either way; only the functional-interpretation
+     * work is shared.
+     */
+    bool traces = true;
+    /** Trace checkpoint spacing (0 = adaptive; see ExecTrace). */
+    uint64_t traceCheckpointSpacing = 0;
+    /** In-memory trace budget in bytes (LRU eviction beyond it). */
+    size_t maxTraceBytes = size_t(1) << 30;
 };
 
 /** Monotonic engine counters (work units: see CostModel). */
@@ -60,6 +72,8 @@ struct EngineCounters
     uint64_t refLengthHits = 0;
     uint64_t refLengthMisses = 0;
     uint64_t refLengthDiskHits = 0;
+    /** Reference lengths resolved from a recorded trace's length. */
+    uint64_t refLengthFromTrace = 0;
     /** Jobs scheduled through prefetch(). */
     uint64_t gridJobs = 0;
     double workUnitsComputed = 0.0;
@@ -116,6 +130,9 @@ class ExperimentEngine : public SimulationService
 
     const EngineOptions &options() const { return opts; }
 
+    /** The shared trace store, or nullptr when traces are disabled. */
+    TraceStore *traceStore() override { return traces.get(); }
+
     /** Snapshot of the counters. */
     EngineCounters counters() const;
 
@@ -152,6 +169,8 @@ class ExperimentEngine : public SimulationService
                     const TechniqueResult &result);
 
     EngineOptions opts;
+    /** Shared execution-trace store (null when opts.traces is false). */
+    std::unique_ptr<TraceStore> traces;
 
     mutable std::mutex mutex;
     std::condition_variable inflightCv;

@@ -47,6 +47,12 @@ class Program
     /** Instruction at index @p pc. */
     const Instruction &at(uint64_t pc) const { return insts[pc]; }
 
+    /**
+     * Raw instruction array (size() entries). Hot loops hoist this once
+     * instead of re-resolving the vector through at() per instruction.
+     */
+    const Instruction *code() const { return insts.data(); }
+
     /** Virtual text address of instruction @p pc (for I-cache/BTB). */
     static uint64_t pcAddress(uint64_t pc) { return textBase + pc * instBytes; }
 

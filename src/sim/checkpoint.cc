@@ -1,10 +1,31 @@
 #include "sim/checkpoint.hh"
 
 #include <algorithm>
+#include <istream>
+#include <ostream>
 
 #include "support/logging.hh"
 
 namespace yasim {
+
+namespace {
+
+template <typename T>
+void
+putRaw(std::ostream &os, const T &v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+template <typename T>
+bool
+getRaw(std::istream &is, T &v)
+{
+    is.read(reinterpret_cast<char *>(&v), sizeof(T));
+    return is.good();
+}
+
+} // namespace
 
 Checkpoint
 Checkpoint::capture(const FunctionalSim &sim)
@@ -32,6 +53,62 @@ Checkpoint::restore(FunctionalSim &sim) const
     sim.mem.clear();
     for (const auto &[addr, value] : words)
         sim.mem.write(addr, value);
+}
+
+void
+Checkpoint::writeBinary(std::ostream &os) const
+{
+    putRaw(os, pc);
+    putRaw(os, icount);
+    putRaw(os, static_cast<uint8_t>(halted ? 1 : 0));
+    putRaw(os, static_cast<uint32_t>(intRegs.size()));
+    for (int64_t r : intRegs)
+        putRaw(os, r);
+    putRaw(os, static_cast<uint32_t>(fpRegs.size()));
+    for (double r : fpRegs)
+        putRaw(os, r);
+    putRaw(os, static_cast<uint64_t>(words.size()));
+    for (const auto &[addr, value] : words) {
+        putRaw(os, addr);
+        putRaw(os, value);
+    }
+}
+
+bool
+Checkpoint::readBinary(std::istream &is, Checkpoint &out)
+{
+    uint8_t halted_byte = 0;
+    uint32_t n_int = 0, n_fp = 0;
+    uint64_t n_words = 0;
+    if (!getRaw(is, out.pc) || !getRaw(is, out.icount) ||
+        !getRaw(is, halted_byte) || !getRaw(is, n_int)) {
+        return false;
+    }
+    out.halted = halted_byte != 0;
+    if (n_int > 4096)
+        return false;
+    out.intRegs.resize(n_int);
+    for (int64_t &r : out.intRegs)
+        if (!getRaw(is, r))
+            return false;
+    if (!getRaw(is, n_fp) || n_fp > 4096)
+        return false;
+    out.fpRegs.resize(n_fp);
+    for (double &r : out.fpRegs)
+        if (!getRaw(is, r))
+            return false;
+    if (!getRaw(is, n_words))
+        return false;
+    out.words.clear();
+    out.words.reserve(n_words);
+    for (uint64_t i = 0; i < n_words; ++i) {
+        uint64_t addr;
+        int64_t value;
+        if (!getRaw(is, addr) || !getRaw(is, value))
+            return false;
+        out.words.emplace_back(addr, value);
+    }
+    return true;
 }
 
 size_t

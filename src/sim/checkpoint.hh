@@ -20,6 +20,7 @@
 #define YASIM_SIM_CHECKPOINT_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <vector>
@@ -48,8 +49,22 @@ class Checkpoint
     /** Approximate in-memory footprint in bytes (for cost reports). */
     size_t footprintBytes() const;
 
+    /**
+     * Serialize to @p os as native-endian binary (trace embedding; see
+     * docs/trace.md for the cache-locality caveats).
+     */
+    void writeBinary(std::ostream &os) const;
+
+    /**
+     * Deserialize one checkpoint written by writeBinary into @p out.
+     * @return false on a short or malformed stream.
+     */
+    static bool readBinary(std::istream &is, Checkpoint &out);
+
   private:
     Checkpoint() = default;
+
+    friend class ExecTrace; // builds checkpoint vectors during read()
 
     uint64_t pc = 0;
     uint64_t icount = 0;

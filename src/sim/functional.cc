@@ -5,20 +5,18 @@
 
 namespace yasim {
 
-FunctionalSim::FunctionalSim(const Program &program) : prog(program)
+FunctionalSim::FunctionalSim(const Program &program)
+    : prog(program), code(program.code())
 {
 }
 
 template <bool MakeRecord, bool Warm>
-bool
-FunctionalSim::stepImpl(ExecRecord *record, MemoryHierarchy *hierarchy,
-                        CombinedPredictor *bp)
+void
+FunctionalSim::execOne(ExecRecord *record, MemoryHierarchy *hierarchy,
+                       CombinedPredictor *bp)
 {
-    if (isHalted)
-        return false;
-
     const uint64_t pc = curPc;
-    const Instruction &inst = prog.at(pc);
+    const Instruction &inst = code[pc];
     uint64_t next_pc = pc + 1;
     uint64_t mem_addr = 0;
     bool taken = false;
@@ -200,21 +198,27 @@ FunctionalSim::stepImpl(ExecRecord *record, MemoryHierarchy *hierarchy,
 
     curPc = next_pc;
     ++icount;
-    return true;
 }
 
 bool
 FunctionalSim::step(ExecRecord &record)
 {
-    return stepImpl<true, false>(&record, nullptr, nullptr);
+    if (isHalted)
+        return false;
+    execOne<true, false>(&record, nullptr, nullptr);
+    return true;
 }
 
 uint64_t
 FunctionalSim::fastForward(uint64_t count)
 {
+    // The halt flag only changes inside execOne, so the batch loop
+    // needs no per-instruction re-entry check beyond it.
     uint64_t done = 0;
-    while (done < count && stepImpl<false, false>(nullptr, nullptr, nullptr))
+    while (done < count && !isHalted) {
+        execOne<false, false>(nullptr, nullptr, nullptr);
         ++done;
+    }
     return done;
 }
 
@@ -223,8 +227,8 @@ FunctionalSim::fastForwardWarm(uint64_t count, MemoryHierarchy *hierarchy,
                                CombinedPredictor *bp)
 {
     uint64_t done = 0;
-    while (done < count &&
-           stepImpl<false, true>(nullptr, hierarchy, bp)) {
+    while (done < count && !isHalted) {
+        execOne<false, true>(nullptr, hierarchy, bp);
         ++done;
     }
     return done;

@@ -1,6 +1,6 @@
 /**
  * @file
- * Functional (architectural) simulator.
+ * Functional (architectural) simulator and the StepSource seam.
  *
  * Executes programs at architectural level only; the cycle-level core is
  * trace-driven from the ExecRecord stream this simulator produces. Three
@@ -11,6 +11,13 @@
  *                       techniques; skipped portions of SimPoint)
  *  - fastForwardWarm(): architectural state plus functional warming of the
  *                       caches and branch predictor (SMARTS)
+ *
+ * The three modes together form the StepSource interface. The
+ * architectural stream is machine-configuration-independent, so a
+ * recorded trace (sim/trace.hh) can stand in for the interpreter: every
+ * consumer — OooCore::run, the techniques, the profilers — programs
+ * against StepSource and cannot tell a TraceReplayer from a live
+ * FunctionalSim.
  */
 
 #ifndef YASIM_SIM_FUNCTIONAL_HH
@@ -42,8 +49,46 @@ struct ExecRecord
     bool trivial = false;
 };
 
+/**
+ * Producer of an in-order dynamic instruction stream. Implemented live
+ * by FunctionalSim and from a recording by TraceReplayer; both must
+ * produce bit-identical streams and warming call sequences for the same
+ * program.
+ */
+class StepSource
+{
+  public:
+    virtual ~StepSource() = default;
+
+    /**
+     * Produce one instruction into @p record.
+     * @return false when the stream was already exhausted (Halt done).
+     */
+    virtual bool step(ExecRecord &record) = 0;
+
+    /**
+     * Advance up to @p count instructions with no record production.
+     * @return the number actually advanced (less than count at Halt).
+     */
+    virtual uint64_t fastForward(uint64_t count) = 0;
+
+    /**
+     * Advance up to @p count instructions while functionally warming
+     * @p mem (I and D sides) and @p bp (may each be null).
+     * @return the number actually advanced.
+     */
+    virtual uint64_t fastForwardWarm(uint64_t count, MemoryHierarchy *mem,
+                                     CombinedPredictor *bp) = 0;
+
+    /** True once the stream has delivered its Halt. */
+    virtual bool halted() const = 0;
+
+    /** Dynamic instructions delivered so far (Halt included). */
+    virtual uint64_t instsExecuted() const = 0;
+};
+
 /** Architectural simulator for one program run. */
-class FunctionalSim
+class FunctionalSim final : public StepSource
 {
   public:
     /**
@@ -55,10 +100,10 @@ class FunctionalSim
     explicit FunctionalSim(Program &&) = delete;
 
     /** True once a Halt has executed. */
-    bool halted() const { return isHalted; }
+    bool halted() const override { return isHalted; }
 
     /** Dynamic instructions executed so far (Halt included). */
-    uint64_t instsExecuted() const { return icount; }
+    uint64_t instsExecuted() const override { return icount; }
 
     /** Current instruction index. */
     uint64_t pc() const { return curPc; }
@@ -67,13 +112,13 @@ class FunctionalSim
      * Execute one instruction and describe it in @p record.
      * @return false when the machine was already halted.
      */
-    bool step(ExecRecord &record);
+    bool step(ExecRecord &record) override;
 
     /**
      * Execute up to @p count instructions with no record production.
      * @return the number actually executed (less than count at Halt).
      */
-    uint64_t fastForward(uint64_t count);
+    uint64_t fastForward(uint64_t count) override;
 
     /**
      * Execute up to @p count instructions while functionally warming
@@ -81,7 +126,7 @@ class FunctionalSim
      * @return the number actually executed.
      */
     uint64_t fastForwardWarm(uint64_t count, MemoryHierarchy *mem,
-                             CombinedPredictor *bp);
+                             CombinedPredictor *bp) override;
 
     /** Read an integer register (r0 reads zero). */
     int64_t intReg(int idx) const { return intRegs[idx]; }
@@ -98,11 +143,14 @@ class FunctionalSim
   private:
     friend class Checkpoint; // captures/restores architectural state
 
+    /** Execute one instruction; the caller has checked !isHalted. */
     template <bool MakeRecord, bool Warm>
-    bool stepImpl(ExecRecord *record, MemoryHierarchy *hierarchy,
-                  CombinedPredictor *bp);
+    void execOne(ExecRecord *record, MemoryHierarchy *hierarchy,
+                 CombinedPredictor *bp);
 
     const Program &prog;
+    /** prog's instruction array, hoisted out of the interpreter loop. */
+    const Instruction *code;
     SparseMemory mem;
     int64_t intRegs[numIntRegs] = {};
     double fpRegs[numFpRegs] = {};

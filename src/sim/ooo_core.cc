@@ -1,19 +1,42 @@
 #include "sim/ooo_core.hh"
 
 #include <algorithm>
+#include <cstring>
 
 #include "support/logging.hh"
 
 namespace yasim {
 
-// --- SlotPool -------------------------------------------------------------
+// --- ZeroedArray / SlotPool -------------------------------------------------
+
+template <typename T>
+void
+OooCore::ZeroedArray<T>::alloc(size_t n)
+{
+    std::free(p);
+    p = static_cast<T *>(std::calloc(n, sizeof(T)));
+    YASIM_ASSERT(p != nullptr);
+}
+
+template <typename T>
+void
+OooCore::ZeroedArray<T>::clear(size_t n)
+{
+    std::memset(p, 0, n * sizeof(T));
+}
 
 void
 OooCore::SlotPool::init(uint32_t w)
 {
     width = std::max<uint32_t>(w, 1);
-    used.assign(window, 0);
-    stamp.assign(window, ~0ULL);
+    gen = 1;
+    if (!used) {
+        used.alloc(window);
+        stampGen.alloc(window);
+        stampCycle.alloc(window);
+    } else {
+        stampGen.clear(window);
+    }
 }
 
 uint64_t
@@ -22,9 +45,8 @@ OooCore::SlotPool::findFree(uint64_t earliest) const
     uint64_t c = earliest;
     for (;;) {
         uint64_t idx = c & mask;
-        if (stamp[idx] != c) {
-            stamp[idx] = c;
-            used[idx] = 0;
+        if (!valid(idx, c)) {
+            claim(idx, c);
             return c;
         }
         if (used[idx] < width)
@@ -37,18 +59,20 @@ void
 OooCore::SlotPool::consume(uint64_t cycle)
 {
     uint64_t idx = cycle & mask;
-    if (stamp[idx] != cycle) {
-        stamp[idx] = cycle;
-        used[idx] = 0;
-    }
+    if (!valid(idx, cycle))
+        claim(idx, cycle);
     ++used[idx];
 }
 
 void
 OooCore::SlotPool::reset()
 {
-    std::fill(used.begin(), used.end(), 0);
-    std::fill(stamp.begin(), stamp.end(), ~0ULL);
+    if (++gen == 0) {
+        // One wrap every 2^32 resets: invalidate the hard way so a
+        // stale generation-1 stamp can never be mistaken for live.
+        stampGen.clear(window);
+        gen = 1;
+    }
 }
 
 // --- InOrderStage ----------------------------------------------------------
@@ -247,14 +271,14 @@ OooCore::scheduleIssue(uint64_t earliest, FuClass fu, bool is_mem,
 }
 
 uint64_t
-OooCore::run(FunctionalSim &fsim, uint64_t max_insts, BbProfiler *profiler)
+OooCore::run(StepSource &src, uint64_t max_insts, BbProfiler *profiler)
 {
     const uint32_t l1i_block = cfg.mem.l1i.blockBytes;
     const uint64_t frontend = cfg.core.frontendDepth;
 
     uint64_t done = 0;
     ExecRecord rec;
-    while (done < max_insts && fsim.step(rec)) {
+    while (done < max_insts && src.step(rec)) {
         const Instruction &inst = *rec.inst;
         const uint64_t pc_addr = Program::pcAddress(rec.pc);
         if (profiler)

@@ -28,6 +28,7 @@
 #define YASIM_SIM_OOO_CORE_HH
 
 #include <cstdint>
+#include <cstdlib>
 #include <vector>
 
 #include "sim/bb_profiler.hh"
@@ -46,12 +47,13 @@ class OooCore
     explicit OooCore(const SimConfig &config);
 
     /**
-     * Detail-simulate up to @p max_insts instructions from @p fsim
-     * (stops early at Halt), optionally attributing every committed
+     * Detail-simulate up to @p max_insts instructions from @p src — a
+     * live FunctionalSim or a TraceReplayer, indistinguishably — (stops
+     * early at Halt), optionally attributing every committed
      * instruction to @p profiler.
      * @return the number of instructions committed by this call.
      */
-    uint64_t run(FunctionalSim &fsim, uint64_t max_insts,
+    uint64_t run(StepSource &src, uint64_t max_insts,
                  BbProfiler *profiler = nullptr);
 
     /**
@@ -79,9 +81,37 @@ class OooCore
 
   private:
     /**
+     * Zero-initialized array backed by calloc. Large allocations come
+     * from freshly-mapped zero pages, so neither construction nor the
+     * first touch of the array pays for zeroing the whole window the
+     * way vector::assign's memset does; pages fault in only as the
+     * simulation actually reaches their cycles.
+     */
+    template <typename T>
+    class ZeroedArray
+    {
+      public:
+        ZeroedArray() = default;
+        ~ZeroedArray() { std::free(p); }
+        ZeroedArray(const ZeroedArray &) = delete;
+        ZeroedArray &operator=(const ZeroedArray &) = delete;
+
+        void alloc(size_t n);
+        void clear(size_t n);
+        T &operator[](size_t i) const { return p[i]; }
+        explicit operator bool() const { return p != nullptr; }
+
+      private:
+        T *p = nullptr;
+    };
+
+    /**
      * Per-cycle slot pool for non-monotonic schedulers (issue ports,
      * memory ports, pipelined FU pools). A stamped ring buffer: slots
-     * for a cycle are lazily zeroed when the cycle is first touched.
+     * for a cycle are lazily zeroed when the cycle is first touched,
+     * and a generation tag makes reset() O(1) — sampling techniques
+     * call resetPipeline() per sample, which used to memset the whole
+     * window (9 MB per core) every time.
      */
     class SlotPool
     {
@@ -91,6 +121,7 @@ class OooCore
         uint64_t findFree(uint64_t earliest) const;
         /** Consume one slot at @p cycle. */
         void consume(uint64_t cycle);
+        /** Invalidate every slot by bumping the generation. O(1). */
         void reset();
 
       private:
@@ -98,9 +129,25 @@ class OooCore
         static constexpr uint64_t window = 1ULL << windowBits;
         static constexpr uint64_t mask = window - 1;
 
+        /** A slot belongs to @p cycle in the current generation. */
+        bool valid(uint64_t idx, uint64_t cycle) const
+        {
+            return stampGen[idx] == gen && stampCycle[idx] == cycle;
+        }
+        /** Lazily take a slot over for @p cycle with zero usage. */
+        void claim(uint64_t idx, uint64_t cycle) const
+        {
+            stampGen[idx] = gen;
+            stampCycle[idx] = cycle;
+            used[idx] = 0;
+        }
+
         uint32_t width = 1;
-        mutable std::vector<uint32_t> used;
-        mutable std::vector<uint64_t> stamp;
+        /** Current generation; 0 never occurs, so calloc'd pages miss. */
+        uint32_t gen = 1;
+        mutable ZeroedArray<uint32_t> used;
+        mutable ZeroedArray<uint32_t> stampGen;
+        mutable ZeroedArray<uint64_t> stampCycle;
     };
 
     /** Monotonic bandwidth limiter for in-order stages. */

@@ -1,0 +1,333 @@
+#include "sim/trace.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+
+#include "sim/bb_profiler.hh"
+#include "support/logging.hh"
+
+namespace yasim {
+
+namespace {
+
+constexpr char kTraceMagic[] = "yasim-trace";
+/** Trailing sentinel guarding against truncated binary payloads. */
+constexpr uint64_t kTraceEndMark = 0x59415349'4d454e44ULL;
+
+template <typename T>
+void
+putRaw(std::ostream &os, const T &v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+template <typename T>
+bool
+getRaw(std::istream &is, T &v)
+{
+    is.read(reinterpret_cast<char *>(&v), sizeof(T));
+    return is.good();
+}
+
+template <typename T>
+void
+putVec(std::ostream &os, const std::vector<T> &v)
+{
+    os.write(reinterpret_cast<const char *>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+bool
+getVec(std::istream &is, std::vector<T> &v, size_t n)
+{
+    v.resize(n);
+    is.read(reinterpret_cast<char *>(v.data()),
+            static_cast<std::streamsize>(n * sizeof(T)));
+    return is.good();
+}
+
+} // namespace
+
+// --- ExecTrace: recording ---------------------------------------------------
+
+void
+ExecTrace::append(uint64_t pc, uint64_t mem_addr, uint8_t flags)
+{
+    if ((total & chunkMask) == 0) {
+        chunks.emplace_back();
+        Chunk &c = chunks.back();
+        c.pc.reserve(chunkInsts);
+        c.memAddr.reserve(chunkInsts);
+        c.flags.reserve(chunkInsts);
+    }
+    Chunk &c = chunks.back();
+    c.pc.push_back(static_cast<uint32_t>(pc));
+    c.memAddr.push_back(mem_addr);
+    c.flags.push_back(flags);
+    ++total;
+}
+
+std::shared_ptr<const ExecTrace>
+ExecTrace::record(const Program &program)
+{
+    return record(program, Options{});
+}
+
+std::shared_ptr<const ExecTrace>
+ExecTrace::record(const Program &program, const Options &options)
+{
+    YASIM_ASSERT(program.size() <= UINT32_MAX);
+    std::shared_ptr<ExecTrace> trace(new ExecTrace(program));
+
+    const bool adaptive = options.checkpointSpacing == 0;
+    uint64_t spacing =
+        adaptive ? uint64_t(64) * 1024 : options.checkpointSpacing;
+
+    FunctionalSim sim(trace->prog);
+    BbProfiler profiler(trace->prog);
+    ExecRecord rec;
+    uint64_t next_ckpt = spacing;
+    while (sim.step(rec)) {
+        profiler.record(rec.pc);
+        trace->append(rec.pc, rec.memAddr,
+                      static_cast<uint8_t>((rec.taken ? 1 : 0) |
+                                           (rec.trivial ? 2 : 0)));
+        if (sim.instsExecuted() == next_ckpt && !sim.halted()) {
+            if (adaptive &&
+                trace->checkpoints.size() == maxCheckpoints) {
+                // Thin the ladder to every other snapshot and double
+                // the spacing: at most maxCheckpoints are ever kept,
+                // and at most 2x that are ever captured.
+                std::vector<Checkpoint> kept;
+                for (size_t i = 1; i < trace->checkpoints.size(); i += 2)
+                    kept.push_back(std::move(trace->checkpoints[i]));
+                trace->checkpoints.swap(kept);
+                spacing *= 2;
+                next_ckpt = trace->checkpoints.empty()
+                                ? spacing
+                                : trace->checkpoints.back().instruction() +
+                                      spacing;
+                if (sim.instsExecuted() != next_ckpt)
+                    continue;
+            }
+            trace->checkpoints.push_back(Checkpoint::capture(sim));
+            next_ckpt += spacing;
+        }
+    }
+    trace->total = sim.instsExecuted();
+    trace->spacing = spacing;
+    trace->bbefCounts = profiler.bbef();
+    trace->bbvCounts = profiler.bbv();
+    return trace;
+}
+
+size_t
+ExecTrace::footprintBytes() const
+{
+    size_t bytes = sizeof(*this);
+    for (const Chunk &c : chunks) {
+        bytes += c.pc.capacity() * sizeof(uint32_t) +
+                 c.memAddr.capacity() * sizeof(uint64_t) +
+                 c.flags.capacity() * sizeof(uint8_t);
+    }
+    for (const Checkpoint &cp : checkpoints)
+        bytes += cp.footprintBytes();
+    bytes += (bbefCounts.capacity() + bbvCounts.capacity()) *
+             sizeof(double);
+    bytes += prog.size() * sizeof(Instruction);
+    return bytes;
+}
+
+const Checkpoint *
+ExecTrace::checkpointAtOrBefore(uint64_t position) const
+{
+    const Checkpoint *best = nullptr;
+    for (const Checkpoint &cp : checkpoints) {
+        if (cp.instruction() <= position)
+            best = &cp;
+        else
+            break;
+    }
+    return best;
+}
+
+uint64_t
+ExecTrace::restoreTo(FunctionalSim &sim, uint64_t position) const
+{
+    YASIM_ASSERT(position <= total);
+    const Checkpoint *cp = checkpointAtOrBefore(position);
+    if (cp && cp->instruction() >= sim.instsExecuted())
+        cp->restore(sim);
+    YASIM_ASSERT(sim.instsExecuted() <= position);
+    return sim.fastForward(position - sim.instsExecuted());
+}
+
+// --- ExecTrace: serialization ----------------------------------------------
+
+void
+ExecTrace::write(std::ostream &os, const std::string &key_text) const
+{
+    os << kTraceMagic << " " << kTraceFormatVersion << "\n";
+    os << "key " << key_text << "\n";
+    os << "meta length=" << total << " spacing=" << spacing
+       << " program=" << prog.size() << " blocks=" << prog.numBlocks()
+       << " checkpoints=" << checkpoints.size() << "\n";
+    for (const Chunk &c : chunks) {
+        putRaw(os, static_cast<uint64_t>(c.pc.size()));
+        putVec(os, c.pc);
+        putVec(os, c.memAddr);
+        putVec(os, c.flags);
+    }
+    for (const Checkpoint &cp : checkpoints)
+        cp.writeBinary(os);
+    putVec(os, bbefCounts);
+    putVec(os, bbvCounts);
+    putRaw(os, kTraceEndMark);
+}
+
+std::shared_ptr<const ExecTrace>
+ExecTrace::read(std::istream &is, const std::string &key_text,
+                const Program &program)
+{
+    std::string line;
+    if (!std::getline(is, line) ||
+        line != csprintf("%s %d", kTraceMagic, kTraceFormatVersion)) {
+        return nullptr;
+    }
+    if (!std::getline(is, line) || line != "key " + key_text)
+        return nullptr;
+    uint64_t length = 0, spacing = 0, prog_size = 0, blocks = 0,
+             n_ckpts = 0;
+    if (!std::getline(is, line) ||
+        std::sscanf(line.c_str(),
+                    "meta length=%" SCNu64 " spacing=%" SCNu64
+                    " program=%" SCNu64 " blocks=%" SCNu64
+                    " checkpoints=%" SCNu64,
+                    &length, &spacing, &prog_size, &blocks,
+                    &n_ckpts) != 5) {
+        return nullptr;
+    }
+    if (prog_size != program.size() || blocks != program.numBlocks() ||
+        n_ckpts > length) {
+        return nullptr;
+    }
+
+    std::shared_ptr<ExecTrace> trace(new ExecTrace(program));
+    trace->total = length;
+    trace->spacing = spacing;
+    uint64_t remaining = length;
+    while (remaining > 0) {
+        uint64_t n = 0;
+        if (!getRaw(is, n) || n == 0 || n > chunkInsts || n > remaining)
+            return nullptr;
+        trace->chunks.emplace_back();
+        Chunk &c = trace->chunks.back();
+        if (!getVec(is, c.pc, n) || !getVec(is, c.memAddr, n) ||
+            !getVec(is, c.flags, n)) {
+            return nullptr;
+        }
+        for (uint32_t pc : c.pc)
+            if (pc >= prog_size)
+                return nullptr;
+        remaining -= n;
+    }
+    trace->checkpoints.reserve(n_ckpts);
+    for (uint64_t i = 0; i < n_ckpts; ++i) {
+        Checkpoint cp; // constructible here: ExecTrace is a friend
+        if (!Checkpoint::readBinary(is, cp))
+            return nullptr;
+        trace->checkpoints.push_back(std::move(cp));
+    }
+    if (!getVec(is, trace->bbefCounts, blocks) ||
+        !getVec(is, trace->bbvCounts, blocks)) {
+        return nullptr;
+    }
+    uint64_t end_mark = 0;
+    if (!getRaw(is, end_mark) || end_mark != kTraceEndMark)
+        return nullptr;
+    return trace;
+}
+
+// --- TraceReplayer ----------------------------------------------------------
+
+TraceReplayer::TraceReplayer(std::shared_ptr<const ExecTrace> trace)
+    : src(std::move(trace)), code(src->prog.code()), end(src->total)
+{
+}
+
+bool
+TraceReplayer::step(ExecRecord &record)
+{
+    if (cursor >= end)
+        return false;
+    const ExecTrace::Chunk &chunk =
+        src->chunks[cursor >> ExecTrace::chunkShift];
+    const size_t off = cursor & ExecTrace::chunkMask;
+    const uint64_t pc = chunk.pc[off];
+    const uint8_t flags = chunk.flags[off];
+    const Instruction &inst = code[pc];
+    const bool taken = (flags & 1) != 0;
+    record.inst = &inst;
+    record.pc = pc;
+    // Exactly FunctionalSim's definition: branch target or fall-through.
+    record.nextPc = taken ? static_cast<uint64_t>(inst.imm) : pc + 1;
+    record.memAddr = chunk.memAddr[off];
+    record.taken = taken;
+    record.trivial = (flags & 2) != 0;
+    ++cursor;
+    return true;
+}
+
+uint64_t
+TraceReplayer::fastForward(uint64_t count)
+{
+    // The whole point: skipping recorded instructions costs nothing.
+    const uint64_t advanced = std::min(count, end - cursor);
+    cursor += advanced;
+    return advanced;
+}
+
+uint64_t
+TraceReplayer::fastForwardWarm(uint64_t count, MemoryHierarchy *hierarchy,
+                               CombinedPredictor *bp)
+{
+    // Must issue the exact warming call sequence of the live
+    // interpreter (FunctionalSim::execOne<_, true>) so warmed caches
+    // and predictors end up bit-identical.
+    uint64_t done = 0;
+    while (done < count && cursor < end) {
+        const ExecTrace::Chunk &chunk =
+            src->chunks[cursor >> ExecTrace::chunkShift];
+        const size_t off = cursor & ExecTrace::chunkMask;
+        const uint64_t pc = chunk.pc[off];
+        const uint8_t flags = chunk.flags[off];
+        const Instruction &inst = code[pc];
+        const bool taken = (flags & 1) != 0;
+        const uint64_t next_pc =
+            taken ? static_cast<uint64_t>(inst.imm) : pc + 1;
+        if (hierarchy) {
+            hierarchy->warmInst(Program::pcAddress(pc));
+            if (inst.isLoad() || inst.isStore())
+                hierarchy->warmData(chunk.memAddr[off]);
+        }
+        if (bp && inst.isControl()) {
+            bp->warmUpdate(Program::pcAddress(pc), inst.isCondBranch(),
+                           taken, Program::pcAddress(next_pc));
+        }
+        ++cursor;
+        ++done;
+    }
+    return done;
+}
+
+void
+TraceReplayer::seek(uint64_t position)
+{
+    cursor = std::min(position, end);
+}
+
+} // namespace yasim

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Execution-trace record/replay: run the functional interpreter once,
+ * replay its ExecRecord stream many times.
+ *
+ * The architectural instruction stream depends only on the program, not
+ * on the machine configuration, yet every technique historically
+ * re-interpreted from instruction zero per configuration. An ExecTrace
+ * captures one full interpretation into a chunked structure-of-arrays
+ * buffer — 13 bytes per dynamic instruction (4 pc + 8 memAddr + 1
+ * flags; nextPc is derivable, see below) — together with the program,
+ * the full-run BBEF/BBV profile, and a ladder of embedded architectural
+ * checkpoints. A TraceReplayer then implements StepSource over the
+ * recording:
+ *
+ *  - step() is an array load instead of interpretation,
+ *  - fastForward() is a cursor jump (O(1) instead of O(n)),
+ *  - fastForwardWarm() replays the exact live warming call sequence,
+ *
+ * and every consumer of the stream (OooCore::run, the techniques, the
+ * profilers) produces bit-identical results from replay and from live
+ * stepping. nextPc is not stored: FunctionalSim defines it as
+ * `taken ? inst.imm : pc + 1`, so the replayer recomputes it exactly.
+ *
+ * Traces are immutable once recorded (or deserialized), so one
+ * shared_ptr<const ExecTrace> is safely shared by any number of worker
+ * threads, each with its own TraceReplayer cursor. Sharing and disk
+ * spill live one layer up in techniques/trace_store.hh.
+ */
+
+#ifndef YASIM_SIM_TRACE_HH
+#define YASIM_SIM_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/checkpoint.hh"
+#include "sim/functional.hh"
+
+namespace yasim {
+
+/**
+ * Bumped whenever the on-disk trace layout or the semantics of the
+ * recorded stream change; stale spills then miss instead of replaying
+ * a stream with different meaning.
+ */
+constexpr int kTraceFormatVersion = 1;
+
+/** An immutable recording of one program's full execution. */
+class ExecTrace
+{
+  public:
+    struct Options
+    {
+        /**
+         * Embedded-checkpoint spacing in instructions. 0 = adaptive:
+         * start at 64Ki and double (thinning the ladder) so at most
+         * maxCheckpoints snapshots are kept regardless of run length.
+         */
+        uint64_t checkpointSpacing = 0;
+    };
+
+    /** Ladder bound for adaptive checkpoint spacing. */
+    static constexpr size_t maxCheckpoints = 16;
+
+    /**
+     * Record @p program's complete execution (one functional
+     * interpretation — the single pass a whole configuration sweep
+     * amortizes). The program is copied into the trace.
+     */
+    static std::shared_ptr<const ExecTrace> record(const Program &program,
+                                                   const Options &options);
+    static std::shared_ptr<const ExecTrace> record(const Program &program);
+
+    /** Dynamic length of the recording (Halt included). */
+    uint64_t length() const { return total; }
+
+    /** The recorded program (owned by the trace). */
+    const Program &program() const { return prog; }
+
+    /** Full-run block-entry profile (BbProfiler, weight 1.0). */
+    const std::vector<double> &bbef() const { return bbefCounts; }
+
+    /** Full-run basic-block vector (BbProfiler, weight 1.0). */
+    const std::vector<double> &bbv() const { return bbvCounts; }
+
+    /** Approximate in-memory footprint in bytes. */
+    size_t footprintBytes() const;
+
+    /** Number of embedded checkpoints. */
+    size_t numCheckpoints() const { return checkpoints.size(); }
+
+    /** Final checkpoint spacing (after adaptive doubling). */
+    uint64_t checkpointSpacing() const { return spacing; }
+
+    /**
+     * The latest embedded checkpoint at or before dynamic position
+     * @p position, or nullptr when none qualifies.
+     */
+    const Checkpoint *checkpointAtOrBefore(uint64_t position) const;
+
+    /**
+     * Position a live simulator at @p position instructions executed,
+     * restoring from the nearest embedded checkpoint and fast-
+     * forwarding the remainder. @p sim must run this trace's program
+     * (structurally) and must not already be past @p position.
+     * @return instructions fast-forwarded (the residual cost).
+     */
+    uint64_t restoreTo(FunctionalSim &sim, uint64_t position) const;
+
+    /**
+     * Serialize to @p os: a text header carrying the format version
+     * and @p key_text, then a native-endian binary payload. The spill
+     * is a per-machine cache, not an interchange format.
+     */
+    void write(std::ostream &os, const std::string &key_text) const;
+
+    /**
+     * Deserialize a trace written by write(). Returns nullptr unless
+     * the magic, version, and @p key_text all match and the payload is
+     * structurally consistent with @p program.
+     */
+    static std::shared_ptr<const ExecTrace>
+    read(std::istream &is, const std::string &key_text,
+         const Program &program);
+
+  private:
+    friend class TraceReplayer;
+
+    explicit ExecTrace(const Program &program) : prog(program) {}
+
+    static constexpr uint32_t chunkShift = 16;
+    static constexpr uint64_t chunkInsts = 1ULL << chunkShift;
+    static constexpr uint64_t chunkMask = chunkInsts - 1;
+
+    /** Structure-of-arrays storage for one run of chunkInsts records. */
+    struct Chunk
+    {
+        std::vector<uint32_t> pc;
+        std::vector<uint64_t> memAddr;
+        /** bit 0 = taken, bit 1 = trivial. */
+        std::vector<uint8_t> flags;
+    };
+
+    void append(uint64_t pc, uint64_t mem_addr, uint8_t flags);
+
+    Program prog;
+    std::vector<Chunk> chunks;
+    std::vector<Checkpoint> checkpoints;
+    std::vector<double> bbefCounts;
+    std::vector<double> bbvCounts;
+    uint64_t total = 0;
+    uint64_t spacing = 0;
+};
+
+/** StepSource over an ExecTrace: one cursor, any number per trace. */
+class TraceReplayer final : public StepSource
+{
+  public:
+    explicit TraceReplayer(std::shared_ptr<const ExecTrace> trace);
+
+    bool step(ExecRecord &record) override;
+    uint64_t fastForward(uint64_t count) override;
+    uint64_t fastForwardWarm(uint64_t count, MemoryHierarchy *mem,
+                             CombinedPredictor *bp) override;
+    bool halted() const override { return cursor >= end; }
+    uint64_t instsExecuted() const override { return cursor; }
+
+    /** Jump the cursor to absolute position @p position (clamped). */
+    void seek(uint64_t position);
+
+    /** The trace being replayed. */
+    const ExecTrace &trace() const { return *src; }
+
+  private:
+    std::shared_ptr<const ExecTrace> src;
+    /** src->prog's instruction array, hoisted out of the replay loop. */
+    const Instruction *code;
+    uint64_t cursor = 0;
+    uint64_t end;
+};
+
+} // namespace yasim
+
+#endif // YASIM_SIM_TRACE_HH

@@ -1,8 +1,8 @@
 #include "techniques/full_reference.hh"
 
 #include "sim/bb_profiler.hh"
-#include "sim/functional.hh"
 #include "sim/ooo_core.hh"
+#include "techniques/trace_store.hh"
 
 namespace yasim {
 
@@ -10,22 +10,29 @@ TechniqueResult
 FullReference::run(const TechniqueContext &ctx,
                    const SimConfig &config) const
 {
-    Workload workload =
-        buildWorkload(ctx.benchmark, InputSet::Reference, ctx.suite);
-    FunctionalSim fsim(workload.program);
+    StepSourceHandle src = openStepSource(ctx, InputSet::Reference);
     OooCore core(config);
-    BbProfiler profiler(workload.program);
-
-    core.run(fsim, ~0ULL, &profiler);
 
     TechniqueResult result;
+    if (src.replay()) {
+        // The trace already carries the full-run profile (recorded with
+        // weight 1.0, exactly what a full detailed pass accumulates),
+        // so detailed simulation needs no profiler attached.
+        core.run(*src.source, ~0ULL);
+        result.bbef = src.trace->bbef();
+        result.bbv = src.trace->bbv();
+    } else {
+        BbProfiler profiler(src.program());
+        core.run(*src.source, ~0ULL, &profiler);
+        result.bbef = profiler.bbef();
+        result.bbv = profiler.bbv();
+    }
+
     result.technique = name();
     result.permutation = permutation();
     result.detailed = core.snapshot();
     result.cpi = result.detailed.cpi();
     result.metrics = result.detailed.metricVector();
-    result.bbef = profiler.bbef();
-    result.bbv = profiler.bbv();
     result.detailedInsts = result.detailed.instructions;
     result.workUnits = ctx.cost.detailedPerInst *
                        static_cast<double>(result.detailedInsts);

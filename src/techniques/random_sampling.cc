@@ -3,11 +3,11 @@
 #include <algorithm>
 
 #include "sim/bb_profiler.hh"
-#include "sim/functional.hh"
 #include "sim/ooo_core.hh"
 #include "stats/summary.hh"
 #include "support/logging.hh"
 #include "support/rng.hh"
+#include "techniques/trace_store.hh"
 
 namespace yasim {
 
@@ -59,11 +59,10 @@ TechniqueResult
 RandomSampling::run(const TechniqueContext &ctx,
                     const SimConfig &config) const
 {
-    Workload workload =
-        buildWorkload(ctx.benchmark, InputSet::Reference, ctx.suite);
-    FunctionalSim fsim(workload.program);
+    StepSourceHandle src = openStepSource(ctx, InputSet::Reference);
+    StepSource &stream = *src.source;
     OooCore core(config);
-    BbProfiler profiler(workload.program);
+    BbProfiler profiler(src.program());
 
     std::vector<uint64_t> positions = samplePositions(ctx);
 
@@ -74,17 +73,17 @@ RandomSampling::run(const TechniqueContext &ctx,
     for (uint64_t start : positions) {
         uint64_t warm_start =
             start >= warmupInsts ? start - warmupInsts : 0;
-        if (fsim.instsExecuted() >= warm_start + warmupInsts)
+        if (stream.instsExecuted() >= warm_start + warmupInsts)
             continue; // overlapping samples collapse into one
-        if (fsim.instsExecuted() < warm_start) {
-            uint64_t gap = warm_start - fsim.instsExecuted();
-            skipped += fsim.fastForward(gap); // NO warming: stale state
+        if (stream.instsExecuted() < warm_start) {
+            uint64_t gap = warm_start - stream.instsExecuted();
+            skipped += stream.fastForward(gap); // NO warming: stale state
         }
         core.resetPipeline();
         if (warmupInsts > 0)
-            core.run(fsim, warmupInsts);
+            core.run(stream, warmupInsts);
         SimStats before = core.snapshot();
-        uint64_t done = core.run(fsim, unitInsts, &profiler);
+        uint64_t done = core.run(stream, unitInsts, &profiler);
         if (done == 0)
             break;
         SimStats delta = core.snapshot() - before;

@@ -1,9 +1,9 @@
 #include "techniques/reduced_input.hh"
 
 #include "sim/bb_profiler.hh"
-#include "sim/functional.hh"
 #include "sim/ooo_core.hh"
 #include "support/logging.hh"
+#include "techniques/trace_store.hh"
 
 namespace yasim {
 
@@ -22,21 +22,26 @@ TechniqueResult
 ReducedInput::run(const TechniqueContext &ctx,
                   const SimConfig &config) const
 {
-    Workload workload = buildWorkload(ctx.benchmark, inputSet, ctx.suite);
-    FunctionalSim fsim(workload.program);
+    StepSourceHandle src = openStepSource(ctx, inputSet);
     OooCore core(config);
-    BbProfiler profiler(workload.program);
-
-    core.run(fsim, ~0ULL, &profiler);
 
     TechniqueResult result;
+    if (src.replay()) {
+        core.run(*src.source, ~0ULL);
+        result.bbef = src.trace->bbef();
+        result.bbv = src.trace->bbv();
+    } else {
+        BbProfiler profiler(src.program());
+        core.run(*src.source, ~0ULL, &profiler);
+        result.bbef = profiler.bbef();
+        result.bbv = profiler.bbv();
+    }
+
     result.technique = name();
     result.permutation = permutation();
     result.detailed = core.snapshot();
     result.cpi = result.detailed.cpi();
     result.metrics = result.detailed.metricVector();
-    result.bbef = profiler.bbef();
-    result.bbv = profiler.bbv();
     result.detailedInsts = result.detailed.instructions;
     result.workUnits = ctx.cost.detailedPerInst *
                        static_cast<double>(result.detailedInsts);

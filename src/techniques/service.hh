@@ -18,6 +18,8 @@
 
 namespace yasim {
 
+class TraceStore;
+
 /** Abstract provider of technique results and reference lengths. */
 class SimulationService
 {
@@ -32,6 +34,13 @@ class SimulationService
     /** Dynamic length of @p benchmark's reference input. */
     virtual uint64_t referenceLength(const std::string &benchmark,
                                      const SuiteConfig &suite) = 0;
+
+    /**
+     * The shared execution-trace store, or nullptr when this service
+     * interprets live on every run. TechniqueContext::make copies this
+     * into the context it builds.
+     */
+    virtual TraceStore *traceStore() { return nullptr; }
 };
 
 /** Pass-through service: simulate on every call, cache nothing. */

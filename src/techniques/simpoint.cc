@@ -7,12 +7,12 @@
 #include <tuple>
 
 #include "sim/bb_profiler.hh"
-#include "sim/functional.hh"
 #include "sim/ooo_core.hh"
 #include "stats/kmeans.hh"
 #include "stats/projection.hh"
 #include "support/logging.hh"
 #include "support/rng.hh"
+#include "techniques/trace_store.hh"
 
 namespace yasim {
 
@@ -46,8 +46,9 @@ namespace {
 
 /** Phase 1: one projected, L1-normalized BBV per interval. */
 std::vector<std::vector<double>>
-profileIntervals(const Program &program, uint64_t interval_insts,
-                 size_t proj_dim, uint64_t seed, uint64_t *profiled)
+profileIntervals(StepSource &stream, const Program &program,
+                 uint64_t interval_insts, size_t proj_dim, uint64_t seed,
+                 uint64_t *profiled)
 {
     Rng rng(seed);
     RandomProjection projection(program.numBlocks(), proj_dim, rng);
@@ -55,7 +56,6 @@ profileIntervals(const Program &program, uint64_t interval_insts,
     std::vector<std::vector<double>> intervals;
     std::vector<double> bbv(program.numBlocks(), 0.0);
 
-    FunctionalSim fsim(program);
     ExecRecord rec;
     uint64_t in_interval = 0;
     uint64_t total = 0;
@@ -65,7 +65,7 @@ profileIntervals(const Program &program, uint64_t interval_insts,
         std::fill(bbv.begin(), bbv.end(), 0.0);
         in_interval = 0;
     };
-    while (fsim.step(rec)) {
+    while (stream.step(rec)) {
         bbv[program.blockOf(rec.pc)] += 1.0;
         ++in_interval;
         ++total;
@@ -112,13 +112,13 @@ SimPoint::choosePoints(const TechniqueContext &ctx) const
             return it->second;
     }
 
-    Workload workload =
-        buildWorkload(ctx.benchmark, InputSet::Reference, ctx.suite);
+    StepSourceHandle src = openStepSource(ctx, InputSet::Reference);
     const uint64_t interval_insts = intervalInsts(ctx);
 
     uint64_t profiled = 0;
-    auto intervals = profileIntervals(workload.program, interval_insts,
-                                      projDim, seed, &profiled);
+    auto intervals =
+        profileIntervals(*src.source, src.program(), interval_insts,
+                         projDim, seed, &profiled);
 
     Rng rng(seed ^ 0x5eedULL);
     KSelection selection =
@@ -203,8 +203,8 @@ SimPoint::intervalInsts(const TechniqueContext &ctx) const
 TechniqueResult
 SimPoint::run(const TechniqueContext &ctx, const SimConfig &config) const
 {
-    Workload workload =
-        buildWorkload(ctx.benchmark, InputSet::Reference, ctx.suite);
+    StepSourceHandle src = openStepSource(ctx, InputSet::Reference);
+    StepSource &stream = *src.source;
     const uint64_t interval_insts = intervalInsts(ctx);
     const uint64_t warmup_insts =
         warmupM > 0
@@ -215,9 +215,8 @@ SimPoint::run(const TechniqueContext &ctx, const SimConfig &config) const
     YASIM_ASSERT(!points.empty());
 
     // Phase 3: simulate each chosen interval in detail.
-    FunctionalSim fsim(workload.program);
     OooCore core(config);
-    BbProfiler profiler(workload.program);
+    BbProfiler profiler(src.program());
 
     double weighted_cpi = 0.0;
     std::vector<double> weighted_metrics(4, 0.0);
@@ -233,18 +232,18 @@ SimPoint::run(const TechniqueContext &ctx, const SimConfig &config) const
         // checkpoint carries warm cache/predictor state (the modern
         // SimPoint "warm checkpoint" practice; the paper's assume-hit
         // warm-up approximates the same thing).
-        if (fsim.instsExecuted() < warm_start) {
-            fsim.fastForwardWarm(warm_start - fsim.instsExecuted(),
-                                 &core.memHierarchy(),
-                                 &core.predictor());
+        if (stream.instsExecuted() < warm_start) {
+            stream.fastForwardWarm(warm_start - stream.instsExecuted(),
+                                   &core.memHierarchy(),
+                                   &core.predictor());
         }
         core.resetPipeline();
-        if (fsim.instsExecuted() < point.startInst)
-            core.run(fsim, point.startInst - fsim.instsExecuted());
+        if (stream.instsExecuted() < point.startInst)
+            core.run(stream, point.startInst - stream.instsExecuted());
 
         SimStats before = core.snapshot();
         profiler.setWeight(point.weight);
-        uint64_t done = core.run(fsim, interval_insts, &profiler);
+        uint64_t done = core.run(stream, interval_insts, &profiler);
         SimStats delta = core.snapshot() - before;
         detailed += done + warmup_insts;
         last_position = point.startInst + done;

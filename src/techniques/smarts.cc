@@ -3,10 +3,10 @@
 #include <algorithm>
 
 #include "sim/bb_profiler.hh"
-#include "sim/functional.hh"
 #include "sim/ooo_core.hh"
 #include "stats/summary.hh"
 #include "support/logging.hh"
+#include "techniques/trace_store.hh"
 
 namespace yasim {
 
@@ -42,11 +42,10 @@ Smarts::PassResult
 Smarts::samplePass(const TechniqueContext &ctx, const SimConfig &config,
                    uint64_t n) const
 {
-    Workload workload =
-        buildWorkload(ctx.benchmark, InputSet::Reference, ctx.suite);
-    FunctionalSim fsim(workload.program);
+    StepSourceHandle src = openStepSource(ctx, InputSet::Reference);
+    StepSource &stream = *src.source;
     OooCore core(config);
-    BbProfiler profiler(workload.program);
+    BbProfiler profiler(src.program());
 
     // A warm-up longer than the whole (scaled) run would swallow it;
     // degrade to the largest warm-up that still leaves room for at
@@ -64,21 +63,21 @@ Smarts::samplePass(const TechniqueContext &ctx, const SimConfig &config,
 
     PassResult pass;
     uint64_t warmed = 0;
-    while (!fsim.halted()) {
+    while (!stream.halted()) {
         // Functional warming up to the next sample's warm-up start.
         uint64_t gap = period - span;
         if (gap > 0) {
-            warmed += fsim.fastForwardWarm(gap, &core.memHierarchy(),
-                                           &core.predictor());
-            if (fsim.halted())
+            warmed += stream.fastForwardWarm(gap, &core.memHierarchy(),
+                                             &core.predictor());
+            if (stream.halted())
                 break;
         }
         // Detailed warm-up (discarded) then the measured unit.
         core.resetPipeline();
         if (warmup > 0)
-            core.run(fsim, warmup);
+            core.run(stream, warmup);
         SimStats before = core.snapshot();
-        uint64_t done = core.run(fsim, unitInsts, &profiler);
+        uint64_t done = core.run(stream, unitInsts, &profiler);
         if (done == 0)
             break;
         SimStats delta = core.snapshot() - before;

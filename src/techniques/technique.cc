@@ -33,16 +33,7 @@ TechniqueContext::make(const std::string &benchmark,
     ctx.benchmark = benchmark;
     ctx.suite = suite;
     ctx.referenceLength = service.referenceLength(benchmark, suite);
-    return ctx;
-}
-
-TechniqueContext
-makeContext(const std::string &benchmark, const SuiteConfig &suite)
-{
-    TechniqueContext ctx;
-    ctx.benchmark = benchmark;
-    ctx.suite = suite;
-    ctx.referenceLength = measureReferenceLength(benchmark, suite);
+    ctx.traces = service.traceStore();
     return ctx;
 }
 

@@ -31,6 +31,7 @@
 namespace yasim {
 
 class SimulationService;
+class TraceStore;
 
 /** Relative cost of each execution mode (detailed instruction = 1.0). */
 struct CostModel
@@ -62,6 +63,14 @@ struct TechniqueContext
     uint64_t referenceLength = 0;
     /** Work-unit cost model. */
     CostModel cost;
+    /**
+     * Shared execution-trace store (techniques/trace_store.hh), or
+     * nullptr to interpret live (--no-trace). Techniques open their
+     * instruction streams through openStepSource(ctx, input), which
+     * replays the store's recording when one is available; results are
+     * bit-identical either way.
+     */
+    TraceStore *traces = nullptr;
 
     /** Convert the paper's scaled M-instructions to instructions. */
     uint64_t scaledM(double m) const
@@ -153,18 +162,6 @@ using TechniquePtr = std::shared_ptr<const Technique>;
  */
 uint64_t measureReferenceLength(const std::string &benchmark,
                                 const SuiteConfig &suite);
-
-/**
- * Build a TechniqueContext with the reference length filled in by a
- * fresh measurement.
- *
- * @deprecated Use TechniqueContext::make with a SimulationService (an
- * ExperimentEngine deduplicates the measurement; this path re-measures
- * on every call).
- */
-[[deprecated("use TechniqueContext::make(benchmark, suite, service)")]]
-TechniqueContext makeContext(const std::string &benchmark,
-                             const SuiteConfig &suite);
 
 } // namespace yasim
 

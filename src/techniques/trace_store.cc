@@ -1,0 +1,217 @@
+#include "techniques/trace_store.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <unistd.h>
+
+#include "support/hash.hh"
+#include "support/logging.hh"
+
+namespace yasim {
+
+namespace fs = std::filesystem;
+
+TraceStore::TraceStore(TraceStoreOptions options)
+    : opts(std::move(options))
+{
+    YASIM_ASSERT(opts.maxBytes >= 1);
+    if (!opts.cacheDir.empty()) {
+        std::error_code ec;
+        fs::create_directories(opts.cacheDir, ec);
+        if (ec)
+            fatal("cannot create cache directory '%s': %s",
+                  opts.cacheDir.c_str(), ec.message().c_str());
+    }
+}
+
+std::string
+TraceStore::keyText(const std::string &benchmark, InputSet input,
+                    const SuiteConfig &suite) const
+{
+    return csprintf("yasim-trace|v%d|bench=%s|input=%s|"
+                    "ref=%llu,seed=%llu|ckpt=%llu",
+                    kTraceFormatVersion, benchmark.c_str(),
+                    inputSetName(input),
+                    (unsigned long long)suite.referenceInstructions,
+                    (unsigned long long)suite.seed,
+                    (unsigned long long)opts.checkpointSpacing);
+}
+
+std::string
+TraceStore::diskPath(const std::string &key_text) const
+{
+    Hasher h;
+    h.str(key_text);
+    return (fs::path(opts.cacheDir) / (h.hex() + ".trace")).string();
+}
+
+std::shared_ptr<const ExecTrace>
+TraceStore::loadFromDisk(const std::string &key_text,
+                         const Program &program) const
+{
+    std::ifstream in(diskPath(key_text), std::ios::binary);
+    if (!in)
+        return nullptr;
+    return ExecTrace::read(in, key_text, program);
+}
+
+void
+TraceStore::spillToDisk(const std::string &key_text,
+                        const ExecTrace &trace)
+{
+    // Write-to-temp plus atomic rename, like the engine's result cache:
+    // concurrent processes sharing a cache directory never observe a
+    // torn trace (and a torn temp fails read()'s end-mark check anyway).
+    std::string path = diskPath(key_text);
+    std::ostringstream tmp_name;
+    tmp_name << path << ".tmp." << ::getpid() << "."
+             << std::this_thread::get_id();
+    {
+        std::ofstream out(tmp_name.str(), std::ios::binary);
+        if (!out) {
+            warn("cannot write trace cache file '%s'",
+                 tmp_name.str().c_str());
+            return;
+        }
+        trace.write(out, key_text);
+    }
+    std::error_code ec;
+    fs::rename(tmp_name.str(), path, ec);
+    if (ec) {
+        warn("cannot publish trace cache file '%s': %s", path.c_str(),
+             ec.message().c_str());
+        fs::remove(tmp_name.str(), ec);
+        return;
+    }
+    std::lock_guard<std::mutex> lock(mutex);
+    ++ctr.diskWrites;
+}
+
+void
+TraceStore::insertLocked(const std::string &key_text,
+                         std::shared_ptr<const ExecTrace> trace)
+{
+    if (entries.count(key_text))
+        return;
+    const size_t bytes = trace->footprintBytes();
+    lru.push_front(key_text);
+    entries.emplace(key_text,
+                    Entry{std::move(trace), bytes, lru.begin()});
+    ctr.bytesInMemory += bytes;
+
+    // Evict least-recently-used traces past the byte budget — but only
+    // traces nobody is replaying right now (the map's reference is the
+    // last one), and never the entry just inserted.
+    auto it = lru.end();
+    while (ctr.bytesInMemory > opts.maxBytes && it != lru.begin()) {
+        --it;
+        if (*it == key_text)
+            continue;
+        auto eit = entries.find(*it);
+        YASIM_ASSERT(eit != entries.end());
+        if (eit->second.trace.use_count() > 1)
+            continue;
+        ctr.bytesInMemory -= eit->second.bytes;
+        ++ctr.evictions;
+        entries.erase(eit);
+        it = lru.erase(it);
+    }
+}
+
+std::shared_ptr<const ExecTrace>
+TraceStore::get(const std::string &benchmark, InputSet input,
+                const SuiteConfig &suite)
+{
+    const std::string key = keyText(benchmark, input, suite);
+
+    std::shared_ptr<InFlight> flight;
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        for (;;) {
+            auto it = entries.find(key);
+            if (it != entries.end()) {
+                ++ctr.hits;
+                lru.splice(lru.begin(), lru, it->second.lruPos);
+                return it->second.trace;
+            }
+            auto fit = inflight.find(key);
+            if (fit == inflight.end())
+                break;
+            // Another worker is recording this exact stream: join it
+            // instead of interpreting the program a second time.
+            ++ctr.inflightJoins;
+            std::shared_ptr<InFlight> other = fit->second;
+            inflightCv.wait(lock, [&] { return other->done; });
+            return other->trace;
+        }
+        flight = std::make_shared<InFlight>();
+        inflight.emplace(key, flight);
+    }
+
+    Workload workload = buildWorkload(benchmark, input, suite);
+    std::shared_ptr<const ExecTrace> trace;
+    bool from_disk = false;
+    if (!opts.cacheDir.empty()) {
+        trace = loadFromDisk(key, workload.program);
+        from_disk = trace != nullptr;
+    }
+    if (!trace) {
+        ExecTrace::Options topts;
+        topts.checkpointSpacing = opts.checkpointSpacing;
+        trace = ExecTrace::record(workload.program, topts);
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (from_disk) {
+            ++ctr.diskLoads;
+        } else {
+            ++ctr.recordings;
+            ctr.instsRecorded += trace->length();
+        }
+        insertLocked(key, trace);
+        flight->trace = trace;
+        flight->done = true;
+        inflight.erase(key);
+    }
+    inflightCv.notify_all();
+
+    if (!from_disk && !opts.cacheDir.empty())
+        spillToDisk(key, *trace);
+    return trace;
+}
+
+TraceCounters
+TraceStore::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return ctr;
+}
+
+StepSourceHandle
+openStepSource(const std::string &benchmark, InputSet input,
+               const SuiteConfig &suite, TraceStore *traces)
+{
+    StepSourceHandle handle;
+    if (traces) {
+        handle.trace = traces->get(benchmark, input, suite);
+        handle.source =
+            std::make_unique<TraceReplayer>(handle.trace);
+    } else {
+        handle.workload = std::make_unique<Workload>(
+            buildWorkload(benchmark, input, suite));
+        handle.source =
+            std::make_unique<FunctionalSim>(handle.workload->program);
+    }
+    return handle;
+}
+
+StepSourceHandle
+openStepSource(const TechniqueContext &ctx, InputSet input)
+{
+    return openStepSource(ctx.benchmark, input, ctx.suite, ctx.traces);
+}
+
+} // namespace yasim

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * TraceStore: the shared execution-trace artifact class.
+ *
+ * One ExecTrace per (benchmark, input, suite) is recorded at most once
+ * per process and shared — read-only, thread-safe — by every pooled
+ * worker sweeping machine configurations over the same stream.
+ * Concurrent requests for the same key collapse onto one recording
+ * (the others wait), the in-memory set is bounded in bytes with LRU
+ * eviction, and with a cache directory configured traces also spill to
+ * disk under versioned, key-verified headers (see docs/trace.md), so a
+ * repeated bench invocation performs zero functional interpretations.
+ *
+ * openStepSource() is the one call sites use: it yields a TraceReplayer
+ * over the shared trace when a store is available, or a freshly-built
+ * workload plus live FunctionalSim when not (--no-trace) — with
+ * bit-identical downstream results either way.
+ */
+
+#ifndef YASIM_TECHNIQUES_TRACE_STORE_HH
+#define YASIM_TECHNIQUES_TRACE_STORE_HH
+
+#include <condition_variable>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "sim/trace.hh"
+#include "techniques/technique.hh"
+#include "workloads/suite.hh"
+
+namespace yasim {
+
+/** TraceStore construction knobs. */
+struct TraceStoreOptions
+{
+    /** Spill directory; empty = in-memory only. */
+    std::string cacheDir;
+    /** Embedded-checkpoint spacing (0 = adaptive; see ExecTrace). */
+    uint64_t checkpointSpacing = 0;
+    /** In-memory trace budget in bytes; LRU eviction beyond it. */
+    size_t maxBytes = size_t(1) << 30;
+};
+
+/** Monotonic trace-store counters (bytesInMemory is a gauge). */
+struct TraceCounters
+{
+    /** Functional interpretations actually performed. */
+    uint64_t recordings = 0;
+    /** Requests served from the in-memory set. */
+    uint64_t hits = 0;
+    /** Requests that joined an in-flight recording of the same key. */
+    uint64_t inflightJoins = 0;
+    uint64_t diskLoads = 0;
+    uint64_t diskWrites = 0;
+    uint64_t evictions = 0;
+    /** Dynamic instructions captured by recordings. */
+    uint64_t instsRecorded = 0;
+    /** Current footprint of the in-memory set. */
+    uint64_t bytesInMemory = 0;
+};
+
+/** Thread-safe record-once/replay-many trace cache. See file comment. */
+class TraceStore
+{
+  public:
+    explicit TraceStore(TraceStoreOptions options = {});
+
+    TraceStore(const TraceStore &) = delete;
+    TraceStore &operator=(const TraceStore &) = delete;
+
+    /**
+     * The trace for (@p benchmark, @p input, @p suite): from memory,
+     * from disk, or recorded now (once, however many threads ask).
+     */
+    std::shared_ptr<const ExecTrace> get(const std::string &benchmark,
+                                         InputSet input,
+                                         const SuiteConfig &suite);
+
+    const TraceStoreOptions &options() const { return opts; }
+
+    /** Snapshot of the counters. */
+    TraceCounters counters() const;
+
+  private:
+    struct Entry
+    {
+        std::shared_ptr<const ExecTrace> trace;
+        size_t bytes = 0;
+        std::list<std::string>::iterator lruPos;
+    };
+
+    struct InFlight
+    {
+        bool done = false;
+        std::shared_ptr<const ExecTrace> trace;
+    };
+
+    std::string keyText(const std::string &benchmark, InputSet input,
+                        const SuiteConfig &suite) const;
+    std::string diskPath(const std::string &key_text) const;
+    std::shared_ptr<const ExecTrace>
+    loadFromDisk(const std::string &key_text, const Program &program) const;
+    void spillToDisk(const std::string &key_text, const ExecTrace &trace);
+    /** Insert and LRU-evict past the byte budget. Caller holds mutex. */
+    void insertLocked(const std::string &key_text,
+                      std::shared_ptr<const ExecTrace> trace);
+
+    TraceStoreOptions opts;
+
+    mutable std::mutex mutex;
+    std::condition_variable inflightCv;
+    std::unordered_map<std::string, Entry> entries;
+    /** LRU order, most recent first; values are entry keys. */
+    std::list<std::string> lru;
+    std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight;
+    TraceCounters ctr;
+};
+
+/**
+ * Either face of the StepSource seam, plus everything the source must
+ * keep alive: the shared trace (replay) or the built workload (live).
+ */
+struct StepSourceHandle
+{
+    /** Non-null in replay mode. */
+    std::shared_ptr<const ExecTrace> trace;
+    /** Non-null in live mode (owns the program the sim runs). */
+    std::unique_ptr<Workload> workload;
+    std::unique_ptr<StepSource> source;
+
+    /** The program behind the stream (for profilers and block maps). */
+    const Program &program() const
+    {
+        return trace ? trace->program() : workload->program;
+    }
+
+    /** True when steps come from a recording. */
+    bool replay() const { return trace != nullptr; }
+};
+
+/**
+ * Open the instruction stream for (@p benchmark, @p input, @p suite):
+ * a TraceReplayer over @p traces when non-null, a live FunctionalSim
+ * over a freshly-built workload otherwise.
+ */
+StepSourceHandle openStepSource(const std::string &benchmark,
+                                InputSet input, const SuiteConfig &suite,
+                                TraceStore *traces);
+
+/** Convenience overload drawing benchmark/suite/store from @p ctx. */
+StepSourceHandle openStepSource(const TechniqueContext &ctx,
+                                InputSet input);
+
+} // namespace yasim
+
+#endif // YASIM_TECHNIQUES_TRACE_STORE_HH

@@ -1,9 +1,9 @@
 #include "techniques/truncated.hh"
 
 #include "sim/bb_profiler.hh"
-#include "sim/functional.hh"
 #include "sim/ooo_core.hh"
 #include "support/logging.hh"
+#include "techniques/trace_store.hh"
 
 namespace yasim {
 
@@ -45,11 +45,9 @@ TechniqueResult
 TruncatedExecution::run(const TechniqueContext &ctx,
                         const SimConfig &config) const
 {
-    Workload workload =
-        buildWorkload(ctx.benchmark, InputSet::Reference, ctx.suite);
-    FunctionalSim fsim(workload.program);
+    StepSourceHandle src = openStepSource(ctx, InputSet::Reference);
     OooCore core(config);
-    BbProfiler profiler(workload.program);
+    BbProfiler profiler(src.program());
 
     const uint64_t ff_insts = ffM > 0 ? ctx.scaledM(ffM) : 0;
     const uint64_t warm_insts = warmM > 0 ? ctx.scaledM(warmM) : 0;
@@ -57,15 +55,15 @@ TruncatedExecution::run(const TechniqueContext &ctx,
 
     uint64_t ff_done = 0;
     if (ff_insts > 0)
-        ff_done = fsim.fastForward(ff_insts);
+        ff_done = src.source->fastForward(ff_insts);
 
     // Warm-up: detailed simulation whose statistics are discarded.
     uint64_t warm_done = 0;
     if (warm_insts > 0)
-        warm_done = core.run(fsim, warm_insts);
+        warm_done = core.run(*src.source, warm_insts);
 
     SimStats before = core.snapshot();
-    uint64_t run_done = core.run(fsim, run_insts, &profiler);
+    uint64_t run_done = core.run(*src.source, run_insts, &profiler);
     SimStats measured = core.snapshot() - before;
 
     if (run_done == 0) {

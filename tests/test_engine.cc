@@ -317,15 +317,41 @@ TEST(Engine, DiskCacheRoundTripsAcrossEngines)
         EXPECT_GE(warm.counters().diskWrites, 1u);
     }
 
-    // A second engine over the same directory simulates nothing.
+    // A second engine over the same directory simulates nothing: the
+    // result comes from the disk cache and the reference length from
+    // the trace store (whose trace also loads from disk, not a fresh
+    // interpretation).
     ExperimentEngine cold({.cacheDir = scratch.str()});
     TechniqueResult loaded =
         cold.run(smarts, cold.context("gzip", suite), config);
     EngineCounters ctr = cold.counters();
     EXPECT_EQ(ctr.runsExecuted, 0u);
     EXPECT_GE(ctr.diskHits, 1u);
-    EXPECT_GE(ctr.refLengthDiskHits, 1u);
+    EXPECT_GE(ctr.refLengthFromTrace, 1u);
+    ASSERT_NE(cold.traceStore(), nullptr);
+    EXPECT_EQ(cold.traceStore()->counters().recordings, 0u);
+    EXPECT_GE(cold.traceStore()->counters().diskLoads, 1u);
     expectBitIdentical(loaded, fresh);
+}
+
+TEST(Engine, RefLengthDiskCacheServesTracelessEngines)
+{
+    ScratchDir scratch("yasim_engine_reflen_roundtrip");
+    SuiteConfig suite;
+    suite.referenceInstructions = kRefInsts;
+
+    uint64_t measured = 0;
+    {
+        ExperimentEngine warm(
+            {.cacheDir = scratch.str(), .traces = false});
+        measured = warm.referenceLength("gzip", suite);
+        EXPECT_EQ(warm.counters().refLengthMisses, 1u);
+    }
+
+    ExperimentEngine cold({.cacheDir = scratch.str(), .traces = false});
+    EXPECT_EQ(cold.traceStore(), nullptr);
+    EXPECT_EQ(cold.referenceLength("gzip", suite), measured);
+    EXPECT_GE(cold.counters().refLengthDiskHits, 1u);
 }
 
 TEST(Engine, CorruptDiskFilesReadAsMisses)

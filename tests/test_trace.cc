@@ -1,0 +1,600 @@
+/**
+ * @file
+ * Tests for the execution-trace record/replay subsystem: bit-identity
+ * of the replayed stream, warming, and detailed simulation against live
+ * interpretation; embedded-checkpoint resume; serialization round trips
+ * and rejection; the shared TraceStore (dedup, concurrency, disk spill,
+ * LRU eviction); and the engine wiring that makes a whole configuration
+ * sweep cost exactly one functional interpretation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.hh"
+#include "sim/bb_profiler.hh"
+#include "sim/config.hh"
+#include "sim/ooo_core.hh"
+#include "sim/trace.hh"
+#include "techniques/full_reference.hh"
+#include "techniques/random_sampling.hh"
+#include "techniques/reduced_input.hh"
+#include "techniques/service.hh"
+#include "techniques/simpoint.hh"
+#include "techniques/smarts.hh"
+#include "techniques/trace_store.hh"
+#include "techniques/truncated.hh"
+
+namespace yasim {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr uint64_t kRefInsts = 150'000;
+
+SuiteConfig
+tinySuite()
+{
+    SuiteConfig suite;
+    suite.referenceInstructions = kRefInsts;
+    return suite;
+}
+
+/** Bitwise double equality — replay promises bit-identical results. */
+bool
+bitEq(double a, double b)
+{
+    return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+bool
+bitEq(const std::vector<double> &a, const std::vector<double> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i)
+        if (!bitEq(a[i], b[i]))
+            return false;
+    return true;
+}
+
+void
+expectSameStats(const SimStats &a, const SimStats &b)
+{
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.condBranches, b.condBranches);
+    EXPECT_EQ(a.condMispredicts, b.condMispredicts);
+    EXPECT_EQ(a.l1iAccesses, b.l1iAccesses);
+    EXPECT_EQ(a.l1iMisses, b.l1iMisses);
+    EXPECT_EQ(a.l1dAccesses, b.l1dAccesses);
+    EXPECT_EQ(a.l1dMisses, b.l1dMisses);
+    EXPECT_EQ(a.l2Accesses, b.l2Accesses);
+    EXPECT_EQ(a.l2Misses, b.l2Misses);
+    EXPECT_EQ(a.trivialOps, b.trivialOps);
+    EXPECT_EQ(a.prefetchesIssued, b.prefetchesIssued);
+    EXPECT_EQ(a.memStallCycles, b.memStallCycles);
+}
+
+void
+expectBitIdentical(const TechniqueResult &a, const TechniqueResult &b)
+{
+    EXPECT_EQ(a.technique, b.technique);
+    EXPECT_EQ(a.permutation, b.permutation);
+    EXPECT_TRUE(bitEq(a.cpi, b.cpi));
+    EXPECT_TRUE(bitEq(a.metrics, b.metrics));
+    EXPECT_TRUE(bitEq(a.bbef, b.bbef));
+    EXPECT_TRUE(bitEq(a.bbv, b.bbv));
+    EXPECT_TRUE(bitEq(a.workUnits, b.workUnits));
+    EXPECT_EQ(a.detailedInsts, b.detailedInsts);
+    expectSameStats(a.detailed, b.detailed);
+}
+
+/** A scratch cache directory wiped before and after each use. */
+class ScratchDir
+{
+  public:
+    explicit ScratchDir(const std::string &name)
+        : dir(fs::path(::testing::TempDir()) / name)
+    {
+        fs::remove_all(dir);
+        fs::create_directories(dir);
+    }
+    ~ScratchDir() { fs::remove_all(dir); }
+    std::string str() const { return dir.string(); }
+
+  private:
+    fs::path dir;
+};
+
+std::shared_ptr<const ExecTrace>
+recordGzip()
+{
+    Workload w = buildWorkload("gzip", InputSet::Reference, tinySuite());
+    return ExecTrace::record(w.program);
+}
+
+// ------------------------------------------------- stream bit-identity
+
+TEST(Trace, RecordCapturesFullRunAndProfile)
+{
+    Workload w = buildWorkload("gzip", InputSet::Reference, tinySuite());
+    auto trace = ExecTrace::record(w.program);
+
+    FunctionalSim fsim(w.program);
+    BbProfiler profiler(w.program);
+    ExecRecord rec;
+    while (fsim.step(rec))
+        profiler.record(rec.pc);
+
+    EXPECT_EQ(trace->length(), fsim.instsExecuted());
+    EXPECT_TRUE(bitEq(trace->bbef(), profiler.bbef()));
+    EXPECT_TRUE(bitEq(trace->bbv(), profiler.bbv()));
+    EXPECT_GT(trace->footprintBytes(), 0u);
+}
+
+TEST(Trace, ReplayedStepStreamIsBitIdentical)
+{
+    Workload w = buildWorkload("gzip", InputSet::Reference, tinySuite());
+    auto trace = ExecTrace::record(w.program);
+
+    FunctionalSim live(w.program);
+    TraceReplayer replay(trace);
+    ExecRecord lrec, rrec;
+    uint64_t n = 0;
+    while (true) {
+        bool lmore = live.step(lrec);
+        bool rmore = replay.step(rrec);
+        ASSERT_EQ(lmore, rmore) << "stream lengths diverge at " << n;
+        if (!lmore)
+            break;
+        ASSERT_EQ(lrec.pc, rrec.pc) << "at instruction " << n;
+        ASSERT_EQ(lrec.nextPc, rrec.nextPc) << "at instruction " << n;
+        ASSERT_EQ(lrec.memAddr, rrec.memAddr) << "at instruction " << n;
+        ASSERT_EQ(lrec.taken, rrec.taken) << "at instruction " << n;
+        ASSERT_EQ(lrec.trivial, rrec.trivial) << "at instruction " << n;
+        ++n;
+    }
+    EXPECT_EQ(n, trace->length());
+    EXPECT_TRUE(replay.halted());
+    EXPECT_EQ(replay.instsExecuted(), trace->length());
+}
+
+TEST(Trace, FastForwardThenStepMatchesLive)
+{
+    Workload w = buildWorkload("gzip", InputSet::Reference, tinySuite());
+    auto trace = ExecTrace::record(w.program);
+    const uint64_t skip = trace->length() / 3;
+
+    FunctionalSim live(w.program);
+    TraceReplayer replay(trace);
+    EXPECT_EQ(live.fastForward(skip), replay.fastForward(skip));
+    EXPECT_EQ(live.instsExecuted(), replay.instsExecuted());
+
+    ExecRecord lrec, rrec;
+    for (int i = 0; i < 1000; ++i) {
+        ASSERT_EQ(live.step(lrec), replay.step(rrec));
+        ASSERT_EQ(lrec.pc, rrec.pc);
+        ASSERT_EQ(lrec.nextPc, rrec.nextPc);
+        ASSERT_EQ(lrec.memAddr, rrec.memAddr);
+    }
+
+    // Fast-forwarding past the end clamps identically.
+    EXPECT_EQ(live.fastForward(~0ULL), replay.fastForward(~0ULL));
+    EXPECT_TRUE(replay.halted());
+}
+
+TEST(Trace, WarmingSequenceIsBitIdentical)
+{
+    Workload w = buildWorkload("gzip", InputSet::Reference, tinySuite());
+    auto trace = ExecTrace::record(w.program);
+    const SimConfig config = architecturalConfig(2);
+    const uint64_t warm = trace->length() / 2;
+
+    FunctionalSim live(w.program);
+    OooCore live_core(config);
+    live.fastForwardWarm(warm, &live_core.memHierarchy(),
+                         &live_core.predictor());
+    live_core.run(live, 20'000);
+
+    TraceReplayer replay(trace);
+    OooCore replay_core(config);
+    replay.fastForwardWarm(warm, &replay_core.memHierarchy(),
+                           &replay_core.predictor());
+    replay_core.run(replay, 20'000);
+
+    expectSameStats(live_core.snapshot(), replay_core.snapshot());
+}
+
+TEST(Trace, DetailedSimIsBitIdenticalAcrossConfigs)
+{
+    Workload w = buildWorkload("gzip", InputSet::Reference, tinySuite());
+    auto trace = ExecTrace::record(w.program);
+
+    for (int idx : {1, 2, 4}) {
+        const SimConfig config = architecturalConfig(idx);
+
+        FunctionalSim live(w.program);
+        OooCore live_core(config);
+        BbProfiler live_prof(w.program);
+        uint64_t live_done = live_core.run(live, ~0ULL, &live_prof);
+
+        TraceReplayer replay(trace);
+        OooCore replay_core(config);
+        BbProfiler replay_prof(trace->program());
+        uint64_t replay_done =
+            replay_core.run(replay, ~0ULL, &replay_prof);
+
+        EXPECT_EQ(live_done, replay_done) << "config " << idx;
+        expectSameStats(live_core.snapshot(), replay_core.snapshot());
+        EXPECT_TRUE(bitEq(live_prof.bbef(), replay_prof.bbef()));
+        EXPECT_TRUE(bitEq(live_prof.bbv(), replay_prof.bbv()));
+    }
+}
+
+// --------------------------------------------------------- checkpoints
+
+TEST(Trace, CheckpointResumeMatchesReplayMidTrace)
+{
+    Workload w = buildWorkload("gzip", InputSet::Reference, tinySuite());
+    ExecTrace::Options options;
+    options.checkpointSpacing = 20'000;
+    auto trace = ExecTrace::record(w.program, options);
+    ASSERT_GE(trace->numCheckpoints(), 2u);
+    EXPECT_EQ(trace->checkpointSpacing(), 20'000u);
+
+    const uint64_t position = trace->length() / 2;
+
+    // Restoring a live simulator must cost at most one spacing of
+    // fast-forward, and the stream from there must equal the replayed
+    // stream from the same position.
+    FunctionalSim live(w.program);
+    uint64_t residual = trace->restoreTo(live, position);
+    EXPECT_LT(residual, options.checkpointSpacing);
+    EXPECT_EQ(live.instsExecuted(), position);
+
+    TraceReplayer replay(trace);
+    replay.seek(position);
+
+    ExecRecord lrec, rrec;
+    while (true) {
+        bool lmore = live.step(lrec);
+        bool rmore = replay.step(rrec);
+        ASSERT_EQ(lmore, rmore);
+        if (!lmore)
+            break;
+        ASSERT_EQ(lrec.pc, rrec.pc);
+        ASSERT_EQ(lrec.nextPc, rrec.nextPc);
+        ASSERT_EQ(lrec.memAddr, rrec.memAddr);
+        ASSERT_EQ(lrec.taken, rrec.taken);
+        ASSERT_EQ(lrec.trivial, rrec.trivial);
+    }
+}
+
+TEST(Trace, AdaptiveCheckpointLadderStaysBounded)
+{
+    // The 2M-instruction default run crosses several 64Ki grids, which
+    // exercises the thinning ladder: however long the run, at most
+    // maxCheckpoints snapshots survive.
+    SuiteConfig suite; // default: 2M reference instructions
+    Workload w = buildWorkload("gzip", InputSet::Reference, suite);
+    auto trace = ExecTrace::record(w.program);
+    EXPECT_GE(trace->numCheckpoints(), 1u);
+    EXPECT_LE(trace->numCheckpoints(), ExecTrace::maxCheckpoints);
+    EXPECT_GE(trace->checkpointSpacing(), uint64_t(64) * 1024);
+
+    // Checkpoints are usable: every one restores to its exact position.
+    for (size_t i = 0; i < trace->numCheckpoints(); ++i) {
+        const Checkpoint *cp =
+            trace->checkpointAtOrBefore(trace->length());
+        ASSERT_NE(cp, nullptr);
+    }
+    FunctionalSim live(w.program);
+    uint64_t residual = trace->restoreTo(live, trace->length() - 1);
+    EXPECT_LT(residual, trace->checkpointSpacing());
+}
+
+// ------------------------------------------------------- serialization
+
+TEST(Trace, SerializationRoundTripsBitIdentically)
+{
+    auto trace = recordGzip();
+    const std::string key = "test-key|gzip";
+
+    std::stringstream buffer;
+    trace->write(buffer, key);
+    auto loaded = ExecTrace::read(buffer, key, trace->program());
+    ASSERT_NE(loaded, nullptr);
+
+    EXPECT_EQ(loaded->length(), trace->length());
+    EXPECT_EQ(loaded->numCheckpoints(), trace->numCheckpoints());
+    EXPECT_EQ(loaded->checkpointSpacing(), trace->checkpointSpacing());
+    EXPECT_TRUE(bitEq(loaded->bbef(), trace->bbef()));
+    EXPECT_TRUE(bitEq(loaded->bbv(), trace->bbv()));
+
+    TraceReplayer a(trace), b(loaded);
+    ExecRecord ra, rb;
+    while (true) {
+        bool amore = a.step(ra);
+        ASSERT_EQ(amore, b.step(rb));
+        if (!amore)
+            break;
+        ASSERT_EQ(ra.pc, rb.pc);
+        ASSERT_EQ(ra.nextPc, rb.nextPc);
+        ASSERT_EQ(ra.memAddr, rb.memAddr);
+        ASSERT_EQ(ra.taken, rb.taken);
+        ASSERT_EQ(ra.trivial, rb.trivial);
+    }
+}
+
+TEST(Trace, ReadRejectsMismatchedKeyVersionAndTruncation)
+{
+    auto trace = recordGzip();
+    std::stringstream buffer;
+    trace->write(buffer, "the-right-key");
+    const std::string payload = buffer.str();
+
+    {
+        std::stringstream in(payload);
+        EXPECT_EQ(ExecTrace::read(in, "the-wrong-key",
+                                  trace->program()),
+                  nullptr);
+    }
+    {
+        // A bumped format version must read as a miss.
+        std::string tampered = payload;
+        tampered.replace(tampered.find('\n') - 1, 1, "9");
+        std::stringstream in(tampered);
+        EXPECT_EQ(
+            ExecTrace::read(in, "the-right-key", trace->program()),
+            nullptr);
+    }
+    {
+        std::stringstream in(
+            payload.substr(0, payload.size() - 16));
+        EXPECT_EQ(
+            ExecTrace::read(in, "the-right-key", trace->program()),
+            nullptr);
+    }
+    {
+        // A structurally different program must read as a miss.
+        Workload other =
+            buildWorkload("mcf", InputSet::Reference, tinySuite());
+        std::stringstream in(payload);
+        EXPECT_EQ(ExecTrace::read(in, "the-right-key", other.program),
+                  nullptr);
+    }
+}
+
+// ---------------------------------------------------------- the store
+
+TEST(TraceStore, DedupsRepeatedRequests)
+{
+    TraceStore store;
+    auto a = store.get("gzip", InputSet::Reference, tinySuite());
+    auto b = store.get("gzip", InputSet::Reference, tinySuite());
+    EXPECT_EQ(a.get(), b.get());
+
+    TraceCounters ctr = store.counters();
+    EXPECT_EQ(ctr.recordings, 1u);
+    EXPECT_EQ(ctr.hits, 1u);
+    EXPECT_EQ(ctr.instsRecorded, a->length());
+    EXPECT_GE(ctr.bytesInMemory, a->footprintBytes());
+
+    // A different input set is a different stream, not a hit.
+    auto small = store.get("gzip", InputSet::Small, tinySuite());
+    EXPECT_NE(small.get(), a.get());
+    EXPECT_NE(small->length(), 0u);
+    EXPECT_EQ(store.counters().recordings, 2u);
+}
+
+TEST(TraceStore, ConcurrentRequestsRecordOnce)
+{
+    TraceStore store;
+    std::vector<std::shared_ptr<const ExecTrace>> traces(8);
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < traces.size(); ++t)
+        threads.emplace_back([&, t] {
+            traces[t] =
+                store.get("gzip", InputSet::Reference, tinySuite());
+        });
+    for (std::thread &thread : threads)
+        thread.join();
+
+    EXPECT_EQ(store.counters().recordings, 1u);
+    for (size_t t = 1; t < traces.size(); ++t)
+        EXPECT_EQ(traces[t].get(), traces[0].get());
+}
+
+TEST(TraceStore, ConcurrentReplayersShareOneTrace)
+{
+    TraceStore store;
+    auto trace = store.get("gzip", InputSet::Reference, tinySuite());
+    const SimConfig config = architecturalConfig(2);
+
+    OooCore serial(config);
+    TraceReplayer serial_replay(trace);
+    serial.run(serial_replay, ~0ULL);
+    const uint64_t expected_cycles = serial.cycles();
+
+    // Each worker replays the same shared recording to completion on
+    // its own core; under TSan this doubles as a data-race check on the
+    // read-only trace.
+    std::vector<uint64_t> cycles(4, 0);
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < cycles.size(); ++t)
+        threads.emplace_back([&, t] {
+            OooCore core(config);
+            TraceReplayer replay(trace);
+            core.run(replay, ~0ULL);
+            cycles[t] = core.cycles();
+        });
+    for (std::thread &thread : threads)
+        thread.join();
+    for (uint64_t c : cycles)
+        EXPECT_EQ(c, expected_cycles);
+}
+
+TEST(TraceStore, SpillsToDiskAndReloadsBitIdentically)
+{
+    ScratchDir scratch("yasim_trace_spill");
+    TraceStoreOptions options;
+    options.cacheDir = scratch.str();
+
+    std::shared_ptr<const ExecTrace> fresh;
+    {
+        TraceStore warm(options);
+        fresh = warm.get("gzip", InputSet::Reference, tinySuite());
+        EXPECT_EQ(warm.counters().recordings, 1u);
+        EXPECT_EQ(warm.counters().diskWrites, 1u);
+    }
+
+    TraceStore cold(options);
+    auto loaded = cold.get("gzip", InputSet::Reference, tinySuite());
+    EXPECT_EQ(cold.counters().recordings, 0u);
+    EXPECT_EQ(cold.counters().diskLoads, 1u);
+
+    EXPECT_EQ(loaded->length(), fresh->length());
+    EXPECT_TRUE(bitEq(loaded->bbef(), fresh->bbef()));
+    EXPECT_TRUE(bitEq(loaded->bbv(), fresh->bbv()));
+
+    TraceReplayer a(fresh), b(loaded);
+    ExecRecord ra, rb;
+    while (true) {
+        bool amore = a.step(ra);
+        ASSERT_EQ(amore, b.step(rb));
+        if (!amore)
+            break;
+        ASSERT_EQ(ra.pc, rb.pc);
+        ASSERT_EQ(ra.memAddr, rb.memAddr);
+    }
+}
+
+TEST(TraceStore, CorruptSpillReadsAsMissAndRerecords)
+{
+    ScratchDir scratch("yasim_trace_corrupt");
+    TraceStoreOptions options;
+    options.cacheDir = scratch.str();
+    {
+        TraceStore warm(options);
+        warm.get("gzip", InputSet::Reference, tinySuite());
+    }
+    for (const fs::directory_entry &entry :
+         fs::directory_iterator(scratch.str()))
+        if (entry.is_regular_file()) {
+            std::ofstream out(entry.path(), std::ios::trunc);
+            out << "not a trace\n";
+        }
+
+    TraceStore cold(options);
+    auto trace = cold.get("gzip", InputSet::Reference, tinySuite());
+    ASSERT_NE(trace, nullptr);
+    EXPECT_GT(trace->length(), 0u);
+    EXPECT_EQ(cold.counters().recordings, 1u);
+    EXPECT_EQ(cold.counters().diskLoads, 0u);
+}
+
+TEST(TraceStore, EvictsLeastRecentlyUsedPastByteBudget)
+{
+    TraceStoreOptions options;
+    options.maxBytes = 1; // every insertion is over budget
+    TraceStore store(options);
+
+    // While the caller still holds the trace it cannot be evicted.
+    auto held = store.get("gzip", InputSet::Reference, tinySuite());
+    store.get("mcf", InputSet::Reference, tinySuite());
+    EXPECT_EQ(store.counters().evictions, 0u);
+
+    // Once released, the next insertion pushes it out.
+    held.reset();
+    store.get("art", InputSet::Reference, tinySuite());
+    EXPECT_GE(store.counters().evictions, 1u);
+    auto again = store.get("gzip", InputSet::Reference, tinySuite());
+    EXPECT_EQ(store.counters().recordings, 4u); // gzip recorded twice
+}
+
+// ------------------------------------------- techniques and the engine
+
+TEST(TraceTechniques, AllFamiliesAreBitIdenticalUnderReplay)
+{
+    DirectService service;
+    TechniqueContext live_ctx =
+        TechniqueContext::make("gzip", tinySuite(), service);
+    ASSERT_EQ(live_ctx.traces, nullptr);
+
+    TraceStore store;
+    TechniqueContext replay_ctx = live_ctx;
+    replay_ctx.traces = &store;
+
+    std::vector<TechniquePtr> families = {
+        std::make_shared<FullReference>(),
+        std::make_shared<ReducedInput>(InputSet::Small),
+        std::make_shared<RunZ>(30),
+        std::make_shared<FfRunZ>(50, 10),
+        std::make_shared<FfWuRunZ>(40, 10, 10),
+        std::make_shared<Smarts>(1000, 2000),
+        std::make_shared<RandomSampling>(20, 500, 500, 7),
+        std::make_shared<SimPoint>(10, 10, 1, "multiple 10M"),
+    };
+    for (int idx : {1, 3}) {
+        const SimConfig config = architecturalConfig(idx);
+        for (const TechniquePtr &technique : families) {
+            TechniqueResult live =
+                technique->run(live_ctx, config);
+            TechniqueResult replay =
+                technique->run(replay_ctx, config);
+            SCOPED_TRACE(technique->name() + " on config " +
+                         std::to_string(idx));
+            expectBitIdentical(live, replay);
+        }
+    }
+    // Reference + reduced streams were each recorded exactly once and
+    // shared across every technique and configuration that needed them.
+    EXPECT_EQ(store.counters().recordings, 2u);
+}
+
+TEST(TraceEngine, ConfigurationSweepInterpretsOnce)
+{
+    ExperimentEngine engine; // traces on by default
+    ASSERT_NE(engine.traceStore(), nullptr);
+    TechniqueContext ctx = engine.context("gzip", tinySuite());
+
+    std::vector<TechniquePtr> techniques = {
+        std::make_shared<FfRunZ>(50, 10),
+        std::make_shared<Smarts>(1000, 2000),
+    };
+    engine.prefetch(ctx, techniques, architecturalConfigs());
+
+    // However many techniques and configurations ran, gzip's reference
+    // input was functionally interpreted exactly once.
+    TraceCounters ctr = engine.traceStore()->counters();
+    EXPECT_EQ(ctr.recordings, 1u);
+    EXPECT_GE(ctr.hits + ctr.inflightJoins, 1u);
+    EXPECT_EQ(engine.counters().refLengthFromTrace, 1u);
+}
+
+TEST(TraceEngine, TracedAndTracelessEnginesAgreeBitForBit)
+{
+    ExperimentEngine traced;
+    EngineOptions no_traces;
+    no_traces.traces = false;
+    ExperimentEngine traceless(no_traces);
+    EXPECT_EQ(traceless.traceStore(), nullptr);
+
+    Smarts smarts(1000, 2000);
+    const SimConfig config = architecturalConfig(2);
+    TechniqueResult a =
+        traced.run(smarts, traced.context("gzip", tinySuite()), config);
+    TechniqueResult b = traceless.run(
+        smarts, traceless.context("gzip", tinySuite()), config);
+    expectBitIdentical(a, b);
+}
+
+} // namespace
+} // namespace yasim
