@@ -14,9 +14,9 @@
 #include <iostream>
 
 #include "engine/bench_driver.hh"
-#include "sim/functional.hh"
 #include "sim/ooo_core.hh"
 #include "support/table.hh"
+#include "techniques/trace_store.hh"
 
 using namespace yasim;
 
@@ -37,8 +37,10 @@ main(int argc, char **argv)
             rp_table.setHeader({"benchmark", "LRU", "FIFO", "random"});
 
             for (const std::string &bench : driver.benchmarks()) {
-                Workload w = buildWorkload(bench, InputSet::Reference,
-                                           driver.options().suite);
+                // Through the StepSource seam: the six variant runs
+                // below replay one shared recording instead of
+                // re-interpreting the benchmark per variant.
+                TechniqueContext ctx = driver.context(bench);
 
                 std::vector<std::string> bp_row = {bench};
                 for (PredictorKind kind :
@@ -46,9 +48,10 @@ main(int argc, char **argv)
                       PredictorKind::Combined}) {
                     SimConfig cfg = architecturalConfig(2);
                     cfg.bp.kind = kind;
-                    FunctionalSim fsim(w.program);
+                    StepSourceHandle src =
+                        openStepSource(ctx, InputSet::Reference);
                     OooCore core(cfg);
-                    core.run(fsim, ~0ULL);
+                    core.run(*src.source, ~0ULL);
                     bp_row.push_back(Table::pct(
                         core.snapshot().branchAccuracy() * 100.0, 2));
                 }
@@ -60,9 +63,10 @@ main(int argc, char **argv)
                       ReplacementPolicy::Random}) {
                     SimConfig cfg = architecturalConfig(2);
                     cfg.mem.l1d.replacement = policy;
-                    FunctionalSim fsim(w.program);
+                    StepSourceHandle src =
+                        openStepSource(ctx, InputSet::Reference);
                     OooCore core(cfg);
-                    core.run(fsim, ~0ULL);
+                    core.run(*src.source, ~0ULL);
                     rp_row.push_back(Table::pct(
                         core.snapshot().l1dHitRate() * 100.0, 2));
                 }

@@ -15,10 +15,9 @@
 #include <iostream>
 
 #include "engine/bench_driver.hh"
-#include "sim/functional.hh"
 #include "sim/ooo_core.hh"
 #include "support/table.hh"
-#include "techniques/technique.hh"
+#include "techniques/trace_store.hh"
 
 using namespace yasim;
 
@@ -27,22 +26,23 @@ namespace {
 /** CPI of window [start, start+len) with Y-instruction detailed warm-up
  *  after an architectural fast-forward. */
 double
-windowCpi(const Workload &workload, const SimConfig &config,
+windowCpi(const TechniqueContext &ctx, const SimConfig &config,
           uint64_t start, uint64_t warm, uint64_t len,
           bool functional_warming)
 {
-    FunctionalSim fsim(workload.program);
+    StepSourceHandle src = openStepSource(ctx, InputSet::Reference);
+    StepSource &stream = *src.source;
     OooCore core(config);
     uint64_t ff = start >= warm ? start - warm : 0;
     if (functional_warming)
-        fsim.fastForwardWarm(ff, &core.memHierarchy(),
-                             &core.predictor());
+        stream.fastForwardWarm(ff, &core.memHierarchy(),
+                               &core.predictor());
     else
-        fsim.fastForward(ff);
+        stream.fastForward(ff);
     if (warm > 0)
-        core.run(fsim, start - fsim.instsExecuted());
+        core.run(stream, start - stream.instsExecuted());
     SimStats before = core.snapshot();
-    core.run(fsim, len);
+    core.run(stream, len);
     SimStats delta = core.snapshot() - before;
     return delta.cpi();
 }
@@ -64,19 +64,17 @@ main(int argc, char **argv)
 
         for (const std::string &bench : driver.benchmarks()) {
             TechniqueContext ctx = driver.context(bench);
-            Workload workload =
-                buildWorkload(bench, InputSet::Reference, ctx.suite);
             uint64_t start = ctx.scaledM(4000);
             uint64_t len = ctx.scaledM(500);
 
             double warm_cpi =
-                windowCpi(workload, config, start, 0, len, true);
+                windowCpi(ctx, config, start, 0, len, true);
             table.addRow({bench, "full warming",
                           Table::num(warm_cpi, 3), "-"});
             for (double y : {0.0, 1.0, 10.0, 100.0}) {
                 uint64_t warm = y > 0 ? ctx.scaledM(y) : 0;
                 double cpi =
-                    windowCpi(workload, config, start, warm, len, false);
+                    windowCpi(ctx, config, start, warm, len, false);
                 table.addRow(
                     {bench,
                      y == 0 ? "none (FF+Run)" : Table::num(y, 0) + "M",

@@ -22,7 +22,6 @@
 #include "core/pb_characterization.hh"
 #include "engine/bench_driver.hh"
 #include "stats/summary.hh"
-#include "support/parallel.hh"
 #include "support/table.hh"
 #include "techniques/full_reference.hh"
 #include "techniques/permutations.hh"
@@ -45,47 +44,46 @@ main(int argc, char **argv)
             header.push_back(family);
         table.setHeader(header);
 
-        const auto &benchmarks = driver.benchmarks();
-        auto rows = parallelMap<std::vector<std::string>>(
-            benchmarks.size(), [&](size_t bi) {
-                const std::string &bench = benchmarks[bi];
-                ExperimentEngine &engine = driver.engine();
-                TechniqueContext ctx = driver.context(bench);
+        ExperimentEngine &engine = driver.engine();
+        const std::vector<SimConfig> configs = pbDesignConfigs(design);
+        for (const std::string &bench : driver.benchmarks()) {
+            TechniqueContext ctx = driver.context(bench);
+            auto permutations = driver.options().full
+                                    ? table1Permutations(bench)
+                                    : representativePermutations(bench);
+            // Warm the whole technique x design-row grid on the
+            // engine's pool; the serial assembly below hits the memo
+            // table, so row order never depends on scheduling.
+            engine.prefetch(ctx, permutations, configs,
+                            /*include_reference=*/true);
 
-                FullReference reference;
-                PbOutcome ref =
-                    runPbDesign(engine, reference, ctx, design);
+            FullReference reference;
+            PbOutcome ref = runPbDesign(engine, reference, ctx, design);
 
-                std::map<std::string, std::vector<double>>
-                    family_distances;
-                auto permutations =
-                    driver.options().full
-                        ? table1Permutations(bench)
-                        : representativePermutations(bench);
-                for (const TechniquePtr &technique : permutations) {
-                    PbOutcome outcome =
-                        runPbDesign(engine, *technique, ctx, design);
-                    family_distances[technique->name()].push_back(
-                        pbDistance(outcome, ref));
+            std::map<std::string, std::vector<double>>
+                family_distances;
+            for (const TechniquePtr &technique : permutations) {
+                PbOutcome outcome =
+                    runPbDesign(engine, *technique, ctx, design);
+                family_distances[technique->name()].push_back(
+                    pbDistance(outcome, ref));
+            }
+
+            std::vector<std::string> row = {bench};
+            for (const std::string &family : techniqueFamilies()) {
+                auto it = family_distances.find(family);
+                if (it == family_distances.end()) {
+                    row.emplace_back("-");
+                    continue;
                 }
-
-                std::vector<std::string> row = {bench};
-                for (const std::string &family : techniqueFamilies()) {
-                    auto it = family_distances.find(family);
-                    if (it == family_distances.end()) {
-                        row.emplace_back("-");
-                        continue;
-                    }
-                    const std::vector<double> &d = it->second;
-                    row.push_back(Table::num(mean(d), 1) + " [" +
-                                  Table::num(minOf(d), 1) + ".." +
-                                  Table::num(maxOf(d), 1) + "]");
-                }
-                std::cerr << "fig1: " + bench + " done\n";
-                return row;
-            });
-        for (auto &row : rows)
-            table.addRow(std::move(row));
+                const std::vector<double> &d = it->second;
+                row.push_back(Table::num(mean(d), 1) + " [" +
+                              Table::num(minOf(d), 1) + ".." +
+                              Table::num(maxOf(d), 1) + "]");
+            }
+            std::cerr << "fig1: " + bench + " done\n";
+            table.addRow(row);
+        }
 
         driver.print(table);
     });

@@ -18,7 +18,7 @@ main(int argc, char **argv)
 {
     return BenchDriver(argc, argv)
         .defaultRefInsts(500'000)
-        .run([](BenchDriver &driver) {
+        .run([](BenchDriver &driver [[maybe_unused]]) {
             DecisionTree tree;
             tree.print(std::cout);
 

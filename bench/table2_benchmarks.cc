@@ -8,8 +8,8 @@
 #include <iostream>
 
 #include "engine/bench_driver.hh"
-#include "sim/functional.hh"
 #include "support/table.hh"
+#include "techniques/trace_store.hh"
 #include "workloads/suite.hh"
 
 using namespace yasim;
@@ -34,12 +34,13 @@ main(int argc, char **argv)
                         row.emplace_back("N/A");
                         continue;
                     }
-                    Workload w = buildWorkload(
-                        bench, input, driver.options().suite);
-                    FunctionalSim fsim(w.program);
-                    uint64_t len = fsim.fastForward(~0ULL);
+                    // Live stream through the seam (no store: a pure
+                    // length measurement has no replay customers).
+                    StepSourceHandle src = openStepSource(
+                        bench, input, driver.options().suite, nullptr);
+                    uint64_t len = src.source->fastForward(~0ULL);
                     row.push_back(
-                        w.label + " / " +
+                        src.workload->label + " / " +
                         Table::num(static_cast<double>(len) / 1e6, 2));
                 }
                 table.addRow(row);

@@ -9,6 +9,7 @@
 
 #include "engine/cache_key.hh"
 #include "engine/result_io.hh"
+#include "support/check.hh"
 #include "support/logging.hh"
 #include "support/table.hh"
 #include "support/thread_pool.hh"
@@ -21,7 +22,7 @@ namespace fs = std::filesystem;
 ExperimentEngine::ExperimentEngine(EngineOptions options)
     : opts(std::move(options))
 {
-    YASIM_ASSERT(opts.maxMemoEntries >= 1);
+    YASIM_CHECK_GE(opts.maxMemoEntries, size_t(1));
     if (!opts.cacheDir.empty()) {
         std::error_code ec;
         fs::create_directories(opts.cacheDir, ec);
@@ -97,10 +98,15 @@ ExperimentEngine::memoInsert(const std::string &key_text,
     lru.push_front(key_text);
     memo.emplace(key_text, MemoEntry{result, lru.begin()});
     while (memo.size() > opts.maxMemoEntries) {
+        YASIM_CHECK(!lru.empty(),
+                    "memo table and LRU list out of sync "
+                    "(%zu entries over a bound of %zu)",
+                    memo.size(), opts.maxMemoEntries);
         memo.erase(lru.back());
         lru.pop_back();
         ++ctr.evictions;
     }
+    YASIM_DCHECK_EQ(memo.size(), lru.size());
 }
 
 TechniqueResult
@@ -255,6 +261,8 @@ ExperimentEngine::prefetch(const std::vector<GridJob> &jobs)
     }
     globalPool().parallelFor(jobs.size(), [&](size_t i) {
         const GridJob &job = jobs[i];
+        YASIM_CHECK(job.technique && job.ctx && job.config,
+                    "prefetch grid job %zu has null pointees", i);
         run(*job.technique, *job.ctx, *job.config);
     });
 }

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "engine/cache_key.hh"
+#include "support/check.hh"
 
 namespace yasim {
 
@@ -126,6 +127,12 @@ void
 writeResult(std::ostream &os, const std::string &key_text,
             const TechniqueResult &result)
 {
+    // An empty key would alias every lookup onto one cache file; keys
+    // are non-empty by construction (see cache_key.cc).
+    YASIM_CHECK(!key_text.empty(), "result cache key is empty");
+    // The line-oriented format cannot survive a newline inside the key.
+    YASIM_CHECK(key_text.find('\n') == std::string::npos,
+                "result cache key contains a newline");
     os << "yasim-result " << kCacheFormatVersion << '\n';
     os << "key " << key_text << '\n';
     os << "technique " << result.technique << '\n';

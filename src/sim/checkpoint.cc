@@ -4,7 +4,7 @@
 #include <istream>
 #include <ostream>
 
-#include "support/logging.hh"
+#include "support/check.hh"
 
 namespace yasim {
 
@@ -58,6 +58,7 @@ Checkpoint::restore(FunctionalSim &sim) const
 void
 Checkpoint::writeBinary(std::ostream &os) const
 {
+    putRaw(os, kCheckpointFormatVersion);
     putRaw(os, pc);
     putRaw(os, icount);
     putRaw(os, static_cast<uint8_t>(halted ? 1 : 0));
@@ -77,9 +78,12 @@ Checkpoint::writeBinary(std::ostream &os) const
 bool
 Checkpoint::readBinary(std::istream &is, Checkpoint &out)
 {
+    uint32_t version = 0;
     uint8_t halted_byte = 0;
     uint32_t n_int = 0, n_fp = 0;
     uint64_t n_words = 0;
+    if (!getRaw(is, version) || version != kCheckpointFormatVersion)
+        return false;
     if (!getRaw(is, out.pc) || !getRaw(is, out.icount) ||
         !getRaw(is, halted_byte) || !getRaw(is, n_int)) {
         return false;
@@ -127,7 +131,7 @@ CheckpointLibrary::build(const Program &program,
     FunctionalSim sim(program);
     for (size_t i = 0; i < positions.size(); ++i) {
         if (i > 0)
-            YASIM_ASSERT(positions[i] >= positions[i - 1]);
+            YASIM_CHECK_GE(positions[i], positions[i - 1]);
         if (positions[i] > sim.instsExecuted())
             sim.fastForward(positions[i] - sim.instsExecuted());
         checkpoints.push_back(Checkpoint::capture(sim));

@@ -29,6 +29,15 @@
 
 namespace yasim {
 
+/**
+ * Binary layout version of Checkpoint::writeBinary. Bumped whenever
+ * the serialized field set or ordering changes; readBinary rejects
+ * mismatches so stale embedded checkpoints can never be misparsed.
+ * Version 2: version marker prepended, memory words emitted in
+ * ascending address order (deterministic across standard libraries).
+ */
+constexpr uint32_t kCheckpointFormatVersion = 2;
+
 /** A restorable snapshot of architectural state. */
 class Checkpoint
 {
@@ -51,13 +60,15 @@ class Checkpoint
 
     /**
      * Serialize to @p os as native-endian binary (trace embedding; see
-     * docs/trace.md for the cache-locality caveats).
+     * docs/trace.md for the cache-locality caveats). The stream opens
+     * with kCheckpointFormatVersion.
      */
     void writeBinary(std::ostream &os) const;
 
     /**
      * Deserialize one checkpoint written by writeBinary into @p out.
-     * @return false on a short or malformed stream.
+     * @return false on a short or malformed stream or a
+     *         format-version mismatch.
      */
     static bool readBinary(std::istream &is, Checkpoint &out);
 

@@ -29,15 +29,19 @@ FunctionalSim::execOne(ExecRecord *record, MemoryHierarchy *hierarchy,
 
     const int64_t a = inst.rs1 != noReg ? intRegs[inst.rs1] : 0;
     const int64_t b = inst.rs2 != noReg ? intRegs[inst.rs2] : 0;
+    // The simulated ISA is two's-complement with wraparound semantics;
+    // add/sub/mul go through uint64_t so the wrap is defined behavior.
+    const uint64_t ua = static_cast<uint64_t>(a);
+    const uint64_t ub = static_cast<uint64_t>(b);
 
     switch (inst.op) {
       case Opcode::Add:
         trivial = isTrivialInt(inst.op, a, b);
-        write_int(inst.rd, a + b);
+        write_int(inst.rd, static_cast<int64_t>(ua + ub));
         break;
       case Opcode::Sub:
         trivial = isTrivialInt(inst.op, a, b);
-        write_int(inst.rd, a - b);
+        write_int(inst.rd, static_cast<int64_t>(ua - ub));
         break;
       case Opcode::And:
         trivial = isTrivialInt(inst.op, a, b);
@@ -64,7 +68,8 @@ FunctionalSim::execOne(ExecRecord *record, MemoryHierarchy *hierarchy,
         write_int(inst.rd, a < b ? 1 : 0);
         break;
       case Opcode::AddI:
-        write_int(inst.rd, a + inst.imm);
+        write_int(inst.rd, static_cast<int64_t>(
+                               ua + static_cast<uint64_t>(inst.imm)));
         break;
       case Opcode::AndI:
         write_int(inst.rd, a & inst.imm);
@@ -90,15 +95,19 @@ FunctionalSim::execOne(ExecRecord *record, MemoryHierarchy *hierarchy,
         break;
       case Opcode::Mul:
         trivial = isTrivialInt(inst.op, a, b);
-        write_int(inst.rd, a * b);
+        write_int(inst.rd, static_cast<int64_t>(ua * ub));
         break;
       case Opcode::Div:
+        // b == -1 wraps (INT64_MIN / -1 overflows); negate via the
+        // unsigned domain instead of dividing.
         trivial = isTrivialInt(inst.op, a, b);
-        write_int(inst.rd, b == 0 ? 0 : a / b);
+        write_int(inst.rd, b == 0    ? 0
+                           : b == -1 ? static_cast<int64_t>(0 - ua)
+                                     : a / b);
         break;
       case Opcode::Rem:
         trivial = isTrivialInt(inst.op, a, b);
-        write_int(inst.rd, b == 0 ? 0 : a % b);
+        write_int(inst.rd, b == 0 ? 0 : b == -1 ? 0 : a % b);
         break;
 
       case Opcode::FAdd: {
@@ -133,19 +142,19 @@ FunctionalSim::execOne(ExecRecord *record, MemoryHierarchy *hierarchy,
         break;
 
       case Opcode::Ld:
-        mem_addr = static_cast<uint64_t>(a + inst.imm);
+        mem_addr = ua + static_cast<uint64_t>(inst.imm);
         write_int(inst.rd, mem.read(mem_addr));
         break;
       case Opcode::St:
-        mem_addr = static_cast<uint64_t>(a + inst.imm);
+        mem_addr = ua + static_cast<uint64_t>(inst.imm);
         mem.write(mem_addr, b);
         break;
       case Opcode::FLd:
-        mem_addr = static_cast<uint64_t>(a + inst.imm);
+        mem_addr = ua + static_cast<uint64_t>(inst.imm);
         fpRegs[inst.rd] = mem.readDouble(mem_addr);
         break;
       case Opcode::FSt:
-        mem_addr = static_cast<uint64_t>(a + inst.imm);
+        mem_addr = ua + static_cast<uint64_t>(inst.imm);
         mem.writeDouble(mem_addr, fpRegs[inst.rs2]);
         break;
 

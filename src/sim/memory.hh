@@ -17,6 +17,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "support/ordered.hh"
+
 namespace yasim {
 
 /** Base virtual address workloads use for heap data. */
@@ -48,17 +50,20 @@ class SparseMemory
 
     /**
      * Invoke @p fn(addr, value) for every *non-zero* word currently
-     * stored (zero words are indistinguishable from untouched memory).
-     * Iteration order is unspecified. Used by checkpointing.
+     * stored (zero words are indistinguishable from untouched memory),
+     * in ascending address order. Checkpoint capture serializes this
+     * stream, so determinism here is what keeps checkpoint and trace
+     * artifacts byte-stable across runs and standard libraries.
      */
     template <typename Fn>
     void
     forEachWord(Fn &&fn) const
     {
-        for (const auto &[page_id, page] : pages) {
+        for (const auto *kv : orderedView(pages)) {
+            const auto &page = kv->second;
             if (!page)
                 continue;
-            uint64_t base = page_id * pageBytes;
+            uint64_t base = kv->first * pageBytes;
             for (uint64_t i = 0; i < wordsPerPage; ++i) {
                 if ((*page)[i] != 0)
                     fn(base + i * 8, (*page)[i]);

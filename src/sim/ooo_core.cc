@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "support/check.hh"
 #include "support/logging.hh"
 
 namespace yasim {
@@ -15,7 +16,8 @@ OooCore::ZeroedArray<T>::alloc(size_t n)
 {
     std::free(p);
     p = static_cast<T *>(std::calloc(n, sizeof(T)));
-    YASIM_ASSERT(p != nullptr);
+    YASIM_CHECK(p != nullptr,
+                "out of memory allocating %zu pipeline slots", n);
 }
 
 template <typename T>
@@ -279,6 +281,8 @@ OooCore::run(StepSource &src, uint64_t max_insts, BbProfiler *profiler)
     uint64_t done = 0;
     ExecRecord rec;
     while (done < max_insts && src.step(rec)) {
+        // Replayed and live streams must satisfy the same contract.
+        YASIM_DCHECK(rec.inst != nullptr);
         const Instruction &inst = *rec.inst;
         const uint64_t pc_addr = Program::pcAddress(rec.pc);
         if (profiler)
@@ -426,6 +430,10 @@ OooCore::run(StepSource &src, uint64_t max_insts, BbProfiler *profiler)
             memStallCycles +=
                 std::min<uint64_t>(advance, load_extra_lat);
         }
+        // Commit can never precede dispatch or run backwards; a
+        // violation means a pipeline resource clock regressed.
+        YASIM_DCHECK_GE(commit_time, dispatch_time);
+        YASIM_DCHECK_GE(commit_time, lastCommitCycle);
         robCommit.push(commit_time);
         if (is_mem)
             lsqCommit.push(commit_time);

@@ -7,6 +7,7 @@
 #include <ostream>
 
 #include "sim/bb_profiler.hh"
+#include "support/check.hh"
 #include "support/logging.hh"
 
 namespace yasim {
@@ -80,7 +81,9 @@ ExecTrace::record(const Program &program)
 std::shared_ptr<const ExecTrace>
 ExecTrace::record(const Program &program, const Options &options)
 {
-    YASIM_ASSERT(program.size() <= UINT32_MAX);
+    YASIM_CHECK(program.size() <= UINT32_MAX,
+                "program too large to trace (%zu static instructions)",
+                program.size());
     std::shared_ptr<ExecTrace> trace(new ExecTrace(program));
 
     const bool adaptive = options.checkpointSpacing == 0;
@@ -158,11 +161,11 @@ ExecTrace::checkpointAtOrBefore(uint64_t position) const
 uint64_t
 ExecTrace::restoreTo(FunctionalSim &sim, uint64_t position) const
 {
-    YASIM_ASSERT(position <= total);
+    YASIM_CHECK_LE(position, total);
     const Checkpoint *cp = checkpointAtOrBefore(position);
     if (cp && cp->instruction() >= sim.instsExecuted())
         cp->restore(sim);
-    YASIM_ASSERT(sim.instsExecuted() <= position);
+    YASIM_CHECK_LE(sim.instsExecuted(), position);
     return sim.fastForward(position - sim.instsExecuted());
 }
 
@@ -264,11 +267,14 @@ TraceReplayer::step(ExecRecord &record)
 {
     if (cursor >= end)
         return false;
+    YASIM_DCHECK_LT(cursor >> ExecTrace::chunkShift,
+                    src->chunks.size());
     const ExecTrace::Chunk &chunk =
         src->chunks[cursor >> ExecTrace::chunkShift];
     const size_t off = cursor & ExecTrace::chunkMask;
     const uint64_t pc = chunk.pc[off];
     const uint8_t flags = chunk.flags[off];
+    YASIM_DCHECK_LT(pc, src->prog.size());
     const Instruction &inst = code[pc];
     const bool taken = (flags & 1) != 0;
     record.inst = &inst;

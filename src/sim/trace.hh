@@ -45,9 +45,10 @@ namespace yasim {
 /**
  * Bumped whenever the on-disk trace layout or the semantics of the
  * recorded stream change; stale spills then miss instead of replaying
- * a stream with different meaning.
+ * a stream with different meaning. Version 2: embedded checkpoints
+ * carry kCheckpointFormatVersion and sort their memory words.
  */
-constexpr int kTraceFormatVersion = 1;
+constexpr int kTraceFormatVersion = 2;
 
 /** An immutable recording of one program's full execution. */
 class ExecTrace

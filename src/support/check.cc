@@ -1,0 +1,42 @@
+#include "support/check.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace yasim {
+
+namespace {
+
+[[noreturn]] void
+emitAndAbort(const char *file, int line, const char *condition,
+             const std::string &detail)
+{
+    std::fprintf(stderr, "panic: CHECK failed at %s:%d: %s%s%s\n", file,
+                 line, condition, detail.empty() ? "" : " ",
+                 detail.c_str());
+    std::fflush(stderr);
+    std::abort();
+}
+
+} // namespace
+
+void
+checkFailed(const char *file, int line, const char *condition)
+{
+    emitAndAbort(file, line, condition, "");
+}
+
+void
+checkFailed(const char *file, int line, const char *condition,
+            const char *fmt, ...)
+{
+    char buffer[1024];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buffer, sizeof(buffer), fmt, args);
+    va_end(args);
+    emitAndAbort(file, line, condition, buffer);
+}
+
+} // namespace yasim

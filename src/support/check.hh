@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Contract-checking layer: YASIM_CHECK and YASIM_DCHECK.
+ *
+ * YASIM_CHECK asserts an invariant in every build (like YASIM_ASSERT)
+ * but with formatted diagnostics: an optional printf-style message and
+ * _EQ/_NE/_LT/_LE/_GT/_GE comparison forms that print both operands on
+ * failure. Use it at trust boundaries — deserialization, cross-layer
+ * handoffs, cache-key construction — where a terse stringified
+ * condition is not enough to debug a corrupted artifact.
+ *
+ * YASIM_DCHECK is the expensive sibling: it compiles to nothing unless
+ * the build sets -DYASIM_CHECKS=ON (which defines YASIM_ENABLE_CHECKS),
+ * so it may sit in hot loops (per-instruction replay, issue/retire).
+ * The sanitizer CI jobs build with checks enabled, so every DCHECK
+ * still runs on every push.
+ *
+ * Failure is a panic: these are internal invariants, not user errors.
+ */
+
+#ifndef YASIM_SUPPORT_CHECK_HH
+#define YASIM_SUPPORT_CHECK_HH
+
+#include <sstream>
+#include <string>
+
+namespace yasim {
+
+/** Panic with "CHECK failed" diagnostics. @p fmt may add context. */
+[[noreturn]] void checkFailed(const char *file, int line,
+                              const char *condition);
+[[noreturn]] void checkFailed(const char *file, int line,
+                              const char *condition, const char *fmt,
+                              ...) __attribute__((format(printf, 4, 5)));
+
+/** Stream both operands of a failed comparison and panic. */
+template <typename A, typename B>
+[[noreturn]] void
+checkOpFailed(const char *file, int line, const char *expr,
+              const A &lhs, const B &rhs)
+{
+    std::ostringstream os;
+    os << "(lhs=" << lhs << ", rhs=" << rhs << ")";
+    checkFailed(file, line, expr, "%s", os.str().c_str());
+}
+
+#define YASIM_CHECK(cond, ...)                                         \
+    do {                                                               \
+        if (!(cond)) [[unlikely]]                                      \
+            ::yasim::checkFailed(__FILE__, __LINE__,                   \
+                                 #cond __VA_OPT__(, ) __VA_ARGS__);    \
+    } while (0)
+
+#define YASIM_CHECK_OP_(op, a, b)                                      \
+    do {                                                               \
+        const auto &yasim_check_a_ = (a);                              \
+        const auto &yasim_check_b_ = (b);                              \
+        if (!(yasim_check_a_ op yasim_check_b_)) [[unlikely]]          \
+            ::yasim::checkOpFailed(__FILE__, __LINE__,                 \
+                                   #a " " #op " " #b, yasim_check_a_,  \
+                                   yasim_check_b_);                    \
+    } while (0)
+
+#define YASIM_CHECK_EQ(a, b) YASIM_CHECK_OP_(==, a, b)
+#define YASIM_CHECK_NE(a, b) YASIM_CHECK_OP_(!=, a, b)
+#define YASIM_CHECK_LT(a, b) YASIM_CHECK_OP_(<, a, b)
+#define YASIM_CHECK_LE(a, b) YASIM_CHECK_OP_(<=, a, b)
+#define YASIM_CHECK_GT(a, b) YASIM_CHECK_OP_(>, a, b)
+#define YASIM_CHECK_GE(a, b) YASIM_CHECK_OP_(>=, a, b)
+
+#ifdef YASIM_ENABLE_CHECKS
+#define YASIM_DCHECK(...) YASIM_CHECK(__VA_ARGS__)
+#define YASIM_DCHECK_EQ(a, b) YASIM_CHECK_EQ(a, b)
+#define YASIM_DCHECK_NE(a, b) YASIM_CHECK_NE(a, b)
+#define YASIM_DCHECK_LT(a, b) YASIM_CHECK_LT(a, b)
+#define YASIM_DCHECK_LE(a, b) YASIM_CHECK_LE(a, b)
+#define YASIM_DCHECK_GT(a, b) YASIM_CHECK_GT(a, b)
+#define YASIM_DCHECK_GE(a, b) YASIM_CHECK_GE(a, b)
+#else
+/* Compiled out, but still parsed/type-checked so dchecked expressions
+ * cannot rot (and variables used only in checks stay "used"). */
+#define YASIM_DCHECK_DISABLED_(...)                                    \
+    do {                                                               \
+        if (false) {                                                   \
+            YASIM_CHECK(__VA_ARGS__);                                  \
+        }                                                              \
+    } while (0)
+#define YASIM_DCHECK(...) YASIM_DCHECK_DISABLED_(__VA_ARGS__)
+#define YASIM_DCHECK_EQ(a, b) YASIM_DCHECK_DISABLED_((a) == (b))
+#define YASIM_DCHECK_NE(a, b) YASIM_DCHECK_DISABLED_((a) != (b))
+#define YASIM_DCHECK_LT(a, b) YASIM_DCHECK_DISABLED_((a) < (b))
+#define YASIM_DCHECK_LE(a, b) YASIM_DCHECK_DISABLED_((a) <= (b))
+#define YASIM_DCHECK_GT(a, b) YASIM_DCHECK_DISABLED_((a) > (b))
+#define YASIM_DCHECK_GE(a, b) YASIM_DCHECK_DISABLED_((a) >= (b))
+#endif
+
+} // namespace yasim
+
+#endif // YASIM_SUPPORT_CHECK_HH

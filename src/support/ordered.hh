@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Deterministic iteration over unordered containers.
+ *
+ * The repository's results must be bit-reproducible across runs,
+ * platforms, and standard libraries, so iterating a hash container
+ * directly is banned wherever the order can reach stats output,
+ * serialization, or cache keys (yasim-lint rule D2). These helpers are
+ * the sanctioned escape hatch: they snapshot the container and sort by
+ * key, giving O(n log n) deterministic traversal. Hash containers stay
+ * the right choice for the hot lookup paths; ordering is paid only at
+ * the (cold) emission sites.
+ */
+
+#ifndef YASIM_SUPPORT_ORDERED_HH
+#define YASIM_SUPPORT_ORDERED_HH
+
+#include <algorithm>
+#include <vector>
+
+namespace yasim {
+
+/**
+ * Pointers to @p map's entries, sorted by key. The map must outlive
+ * and not mutate under the returned view.
+ *
+ *     for (const auto *kv : orderedView(pages))
+ *         use(kv->first, kv->second);
+ */
+template <typename Map>
+std::vector<const typename Map::value_type *>
+orderedView(const Map &map)
+{
+    std::vector<const typename Map::value_type *> view;
+    view.reserve(map.size());
+    // yasim-lint: allow(D2) — this is the sorting seam itself.
+    for (const auto &kv : map)
+        view.push_back(&kv);
+    std::sort(view.begin(), view.end(),
+              [](const auto *a, const auto *b) {
+                  return a->first < b->first;
+              });
+    return view;
+}
+
+/** Key extraction: map entries carry pairs, sets carry keys. */
+template <typename K, typename V>
+const K &
+keyOf(const std::pair<const K, V> &kv)
+{
+    return kv.first;
+}
+
+template <typename K>
+const K &
+keyOf(const K &key)
+{
+    return key;
+}
+
+/** The keys of a map or set, sorted ascending (copied). */
+template <typename Container>
+auto
+sortedKeys(const Container &container)
+{
+    std::vector<typename Container::key_type> keys;
+    keys.reserve(container.size());
+    // yasim-lint: allow(D2) — this is the sorting seam itself.
+    for (const auto &item : container)
+        keys.push_back(keyOf(item));
+    std::sort(keys.begin(), keys.end());
+    return keys;
+}
+
+} // namespace yasim
+
+#endif // YASIM_SUPPORT_ORDERED_HH

@@ -1,8 +1,8 @@
 #include "techniques/technique.hh"
 
-#include "sim/functional.hh"
-#include "support/logging.hh"
+#include "support/check.hh"
 #include "techniques/service.hh"
+#include "techniques/trace_store.hh"
 
 namespace yasim {
 
@@ -16,11 +16,13 @@ uint64_t
 measureReferenceLength(const std::string &benchmark,
                        const SuiteConfig &suite)
 {
-    Workload workload =
-        buildWorkload(benchmark, InputSet::Reference, suite);
-    FunctionalSim fsim(workload.program);
-    uint64_t length = fsim.fastForward(~0ULL);
-    YASIM_ASSERT(fsim.halted());
+    // Through the StepSource seam (no trace store: one uncached live
+    // pass), so this layer never touches the interpreter directly.
+    StepSourceHandle handle = openStepSource(
+        benchmark, InputSet::Reference, suite, nullptr);
+    uint64_t length = handle.source->fastForward(~0ULL);
+    YASIM_CHECK(handle.source->halted(),
+                "reference run of '%s' did not halt", benchmark.c_str());
     return length;
 }
 

@@ -6,6 +6,7 @@
 #include <thread>
 #include <unistd.h>
 
+#include "support/check.hh"
 #include "support/hash.hh"
 #include "support/logging.hh"
 
@@ -16,7 +17,7 @@ namespace fs = std::filesystem;
 TraceStore::TraceStore(TraceStoreOptions options)
     : opts(std::move(options))
 {
-    YASIM_ASSERT(opts.maxBytes >= 1);
+    YASIM_CHECK_GE(opts.maxBytes, size_t(1));
     if (!opts.cacheDir.empty()) {
         std::error_code ec;
         fs::create_directories(opts.cacheDir, ec);
@@ -110,7 +111,9 @@ TraceStore::insertLocked(const std::string &key_text,
         if (*it == key_text)
             continue;
         auto eit = entries.find(*it);
-        YASIM_ASSERT(eit != entries.end());
+        YASIM_CHECK(eit != entries.end(),
+                    "LRU key '%s' missing from the trace map",
+                    it->c_str());
         if (eit->second.trace.use_count() > 1)
             continue;
         ctr.bytesInMemory -= eit->second.bytes;

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Lint fixture: L2 violations (a bench driver poking engine internals
+ * instead of going through BenchDriver / SimulationService). Never
+ * compiled — linted by test_lint only.
+ */
+
+#include "support/thread_pool.hh"
+
+namespace yasim {
+
+void
+pokeInternals()
+{
+    TraceStore store;
+    (void)store;
+}
+
+} // namespace yasim

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Lint fixture: a file whose path suffix matches the built-in
+ * allowlist seam (bench/microbench.cc is the designated home for
+ * timing loops and pool plumbing). With the allowlist on it must lint
+ * clean; with --no-builtin-allowlist the D1/L2 content must surface.
+ * Never compiled — linted by test_lint only.
+ */
+
+#include <chrono>
+
+#include "support/thread_pool.hh"
+
+namespace yasim {
+
+double
+timedRegion()
+{
+    auto t0 = std::chrono::steady_clock::now();
+    ThreadPool &pool = globalPool();
+    (void)pool;
+    auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+} // namespace yasim

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Lint fixture: a file with nothing to report. Uses ordered
+ * containers, no entropy, no raw serialization. Never compiled —
+ * linted by test_lint only.
+ */
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+namespace yasim {
+
+void
+emitOrdered(const std::map<std::string, int> &counts)
+{
+    for (const auto &kv : counts)
+        std::printf("%s %d\n", kv.first.c_str(), kv.second);
+}
+
+} // namespace yasim

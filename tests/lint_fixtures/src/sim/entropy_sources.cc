@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Lint fixture: D1 violations (entropy / wall-clock sources). Never
+ * compiled — linted by test_lint only.
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace yasim {
+
+int
+entropySources()
+{
+    int seed = rand();
+    std::random_device dev;
+    auto t0 = std::chrono::steady_clock::now();
+    std::time_t wall = time(nullptr);
+
+    // yasim-lint: allow(D1)
+    int sanctioned = rand();
+
+    int alsoSanctioned = rand(); // yasim-lint: allow(D1)
+
+    (void)dev;
+    (void)t0;
+    return seed + sanctioned + alsoSanctioned + static_cast<int>(wall);
+}
+
+// A comment mentioning rand() and std::random_device must not trip.
+const char *kDoc = "call rand() here";
+
+} // namespace yasim

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Lint fixture: S1 violation (raw serialization without a
+ * format-version marker). Never compiled — linted by test_lint only.
+ */
+
+#include <cstdint>
+#include <ostream>
+
+namespace yasim {
+
+template <typename T>
+void
+putRaw(std::ostream &os, const T &v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+writeBlob(std::ostream &os, uint64_t cycles, double cpi)
+{
+    putRaw(os, cycles);
+    putRaw(os, cpi);
+}
+
+} // namespace yasim

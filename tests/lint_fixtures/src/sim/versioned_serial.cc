@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Lint fixture: S1-clean serialization (the stream leads with a
+ * format-version constant). Never compiled — linted by test_lint
+ * only.
+ */
+
+#include <cstdint>
+#include <ostream>
+
+namespace yasim {
+
+constexpr uint32_t kBlobFormatVersion = 1;
+
+template <typename T>
+void
+putRaw(std::ostream &os, const T &v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+writeBlob(std::ostream &os, uint64_t cycles, double cpi)
+{
+    putRaw(os, kBlobFormatVersion);
+    putRaw(os, cycles);
+    putRaw(os, cpi);
+}
+
+} // namespace yasim

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Lint fixture: file-wide suppression. The D2 violations below are
+ * silenced by the allow-file directive. Never compiled — linted by
+ * test_lint only.
+ */
+
+// yasim-lint: allow-file(D2)
+
+#include <cstdio>
+#include <unordered_set>
+
+namespace yasim {
+
+void
+dumpTwice(const std::unordered_set<int> &seen)
+{
+    for (int v : seen)
+        std::printf("%d\n", v);
+    for (int v : seen)
+        std::printf("%d\n", v);
+}
+
+} // namespace yasim

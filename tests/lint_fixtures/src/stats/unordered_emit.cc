@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Lint fixture: D2 violations (iteration over unordered containers).
+ * Never compiled — linted by test_lint only.
+ */
+
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+#include "support/ordered.hh"
+
+namespace yasim {
+
+void
+emitCounts(const std::unordered_map<std::string, int> &counts)
+{
+    for (const auto &kv : counts)
+        std::printf("%s %d\n", kv.first.c_str(), kv.second);
+}
+
+void
+emitCountsSorted(const std::unordered_map<std::string, int> &counts)
+{
+    for (const auto *kv : orderedView(counts))
+        std::printf("%s %d\n", kv->first.c_str(), kv->second);
+}
+
+void
+localDeclaration()
+{
+    std::unordered_map<int, int> histogram;
+    for (const auto &kv : histogram)
+        std::printf("%d %d\n", kv.first, kv.second);
+}
+
+} // namespace yasim

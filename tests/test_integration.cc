@@ -67,7 +67,7 @@ TEST(PaperInvariants, McfSamplingBeatsReducedByAnOrderOfMagnitude)
 TEST(PaperInvariants, SmartsAccurateOnEveryBenchmark)
 {
     SimConfig cfg = architecturalConfig(1);
-    for (const std::string &bench :
+    for (const std::string bench :
          {"gzip", "gcc", "mcf", "perlbmk", "art"}) {
         TechniqueContext ctx = ctxFor(bench);
         TechniqueResult ref = FullReference().run(ctx, cfg);

@@ -1,0 +1,800 @@
+#include "lint.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace yasim::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/** Rule ids, stable order. */
+constexpr const char *kRuleD1 = "D1";
+constexpr const char *kRuleD2 = "D2";
+constexpr const char *kRuleL1 = "L1";
+constexpr const char *kRuleL2 = "L2";
+constexpr const char *kRuleS1 = "S1";
+
+/** Built-in allowlist: the designated seam files, per rule. */
+struct AllowEntry
+{
+    const char *pathSuffix;
+    const char *rule;
+};
+
+constexpr AllowEntry kBuiltinAllow[] = {
+    // The timing harness: wall-clock measurement is its purpose, and
+    // it deliberately benchmarks the raw interpreter against replay.
+    {"bench/microbench.cc", kRuleD1},
+    {"bench/microbench.cc", kRuleL2},
+    // The live-interpretation fallback behind openStepSource() — the
+    // one sanctioned FunctionalSim construction site outside src/sim.
+    {"src/techniques/trace_store.cc", kRuleL1},
+};
+
+/** D1: banned only when invoked (identifier followed by '('). */
+const std::set<std::string> kEntropyCalls = {
+    "rand",         "srand",   "drand48",      "lrand48",
+    "mrand48",      "random",  "time",         "clock",
+    "gettimeofday", "timeofday", "clock_gettime",
+};
+
+/** D1: banned wherever they appear. */
+const std::set<std::string> kEntropyTypes = {
+    "random_device",
+    "steady_clock",
+    "system_clock",
+    "high_resolution_clock",
+};
+
+/** D2: container templates whose iteration order is unspecified. */
+const std::set<std::string> kUnorderedTemplates = {
+    "unordered_map",
+    "unordered_set",
+    "unordered_multimap",
+    "unordered_multiset",
+};
+
+/** L2: engine/pool internals bench sources must not name. */
+const std::set<std::string> kEngineInternals = {
+    "EngineOptions",   "TraceStoreOptions", "TraceStore",
+    "ThreadPool",      "globalPool",        "setParallelWorkers",
+    "FunctionalSim",
+};
+
+/** L2: headers bench sources must not include directly. */
+const std::set<std::string> kEngineInternalHeaders = {
+    "support/thread_pool.hh",
+    "support/parallel.hh",
+};
+
+/** S1: raw-serialization primitives that demand a version marker. */
+const std::set<std::string> kSerializationTriggers = {
+    "putRaw", "getRaw", "writeBinary", "readBinary", "fwrite", "fread",
+};
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Normalize path separators so suffix matching is portable. */
+std::string
+normalizePath(const std::string &path)
+{
+    std::string out = path;
+    std::replace(out.begin(), out.end(), '\\', '/');
+    return out;
+}
+
+bool
+pathEndsWith(const std::string &path, const std::string &suffix)
+{
+    if (path.size() < suffix.size())
+        return false;
+    if (path.compare(path.size() - suffix.size(), suffix.size(),
+                     suffix) != 0) {
+        return false;
+    }
+    // Require a component boundary: "x/bench/foo.cc" matches
+    // "bench/foo.cc", "prebench/foo.cc" does not.
+    size_t at = path.size() - suffix.size();
+    return at == 0 || path[at - 1] == '/';
+}
+
+/** One identifier occurrence in the masked code text. */
+struct Token
+{
+    std::string text;
+    size_t offset = 0;
+    int line = 1;
+};
+
+/**
+ * The file's text with comments and string/char literals blanked to
+ * spaces (newlines preserved), plus the comment text per line for
+ * suppression parsing. Offsets into @c code match the original file.
+ */
+struct MaskedSource
+{
+    std::string code;
+    /** line (1-based) -> concatenated comment text on that line. */
+    std::map<int, std::string> comments;
+    /** line (1-based) -> true when the line has any code tokens. */
+    std::map<int, bool> lineHasCode;
+};
+
+MaskedSource
+maskSource(const std::string &text)
+{
+    MaskedSource out;
+    out.code.assign(text.size(), ' ');
+    enum class State {
+        Code,
+        LineComment,
+        BlockComment,
+        String,
+        Char,
+        RawString
+    };
+    State state = State::Code;
+    std::string rawDelim; // the )delim" terminator of a raw string
+    int line = 1;
+    for (size_t i = 0; i < text.size(); ++i) {
+        char c = text[i];
+        char next = i + 1 < text.size() ? text[i + 1] : '\0';
+        if (c == '\n') {
+            out.code[i] = '\n';
+            if (state == State::LineComment)
+                state = State::Code;
+            ++line;
+            continue;
+        }
+        switch (state) {
+        case State::Code:
+            if (c == '/' && next == '/') {
+                state = State::LineComment;
+                ++i;
+                if (i + 1 < text.size() && text[i + 1] == '\n') {
+                    // empty comment
+                }
+            } else if (c == '/' && next == '*') {
+                state = State::BlockComment;
+                ++i;
+            } else if (c == '"') {
+                // R"delim( ... )delim" — check for a raw prefix.
+                bool raw = i > 0 && text[i - 1] == 'R' &&
+                           (i < 2 || !isIdentChar(text[i - 2]));
+                if (raw) {
+                    size_t open = text.find('(', i + 1);
+                    if (open != std::string::npos) {
+                        rawDelim = ")" +
+                                   text.substr(i + 1, open - i - 1) +
+                                   "\"";
+                        state = State::RawString;
+                        // Count newlines we are about to skip over is
+                        // handled by the main loop; just advance past
+                        // the opening parenthesis.
+                        i = open;
+                        break;
+                    }
+                }
+                state = State::String;
+            } else if (c == '\'') {
+                // Digit separators (1'000) are not char literals.
+                bool separator = i > 0 && isIdentChar(text[i - 1]) &&
+                                 isIdentChar(next);
+                if (!separator)
+                    state = State::Char;
+            } else {
+                out.code[i] = c;
+                if (!std::isspace(static_cast<unsigned char>(c)))
+                    out.lineHasCode[line] = true;
+            }
+            break;
+        case State::LineComment:
+            out.comments[line].push_back(c);
+            break;
+        case State::BlockComment:
+            if (c == '*' && next == '/') {
+                state = State::Code;
+                ++i;
+            } else {
+                out.comments[line].push_back(c);
+            }
+            break;
+        case State::String:
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                state = State::Code;
+            break;
+        case State::Char:
+            if (c == '\\')
+                ++i;
+            else if (c == '\'')
+                state = State::Code;
+            break;
+        case State::RawString:
+            if (text.compare(i, rawDelim.size(), rawDelim) == 0) {
+                i += rawDelim.size() - 1;
+                state = State::Code;
+            } else if (c == '\n') {
+                ++line;
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+std::vector<Token>
+tokenize(const std::string &code)
+{
+    std::vector<Token> tokens;
+    int line = 1;
+    for (size_t i = 0; i < code.size(); ++i) {
+        char c = code[i];
+        if (c == '\n') {
+            ++line;
+            continue;
+        }
+        if (!isIdentChar(c) ||
+            std::isdigit(static_cast<unsigned char>(c))) {
+            continue;
+        }
+        size_t start = i;
+        while (i < code.size() && isIdentChar(code[i]))
+            ++i;
+        tokens.push_back({code.substr(start, i - start), start, line});
+        --i; // the for loop advances past the last ident char
+    }
+    return tokens;
+}
+
+/** First non-whitespace character at or after @p from. */
+char
+nextSignificant(const std::string &code, size_t from)
+{
+    for (size_t i = from; i < code.size(); ++i) {
+        if (!std::isspace(static_cast<unsigned char>(code[i])))
+            return code[i];
+    }
+    return '\0';
+}
+
+size_t
+nextSignificantPos(const std::string &code, size_t from)
+{
+    for (size_t i = from; i < code.size(); ++i) {
+        if (!std::isspace(static_cast<unsigned char>(code[i])))
+            return i;
+    }
+    return std::string::npos;
+}
+
+/** True when the identifier ending right before @p pos is "std". */
+bool
+qualifiedByStd(const std::string &code, size_t tokenStart)
+{
+    size_t i = tokenStart;
+    // Skip back over "::".
+    while (i > 0 &&
+           std::isspace(static_cast<unsigned char>(code[i - 1])))
+        --i;
+    if (i < 2 || code[i - 1] != ':' || code[i - 2] != ':')
+        return false;
+    i -= 2;
+    while (i > 0 &&
+           std::isspace(static_cast<unsigned char>(code[i - 1])))
+        --i;
+    size_t end = i;
+    while (i > 0 && isIdentChar(code[i - 1]))
+        --i;
+    return code.substr(i, end - i) == "std";
+}
+
+/** True when the token at @p tokenStart is reached via '.' or '->'. */
+bool
+isMemberAccess(const std::string &code, size_t tokenStart)
+{
+    size_t i = tokenStart;
+    while (i > 0 &&
+           std::isspace(static_cast<unsigned char>(code[i - 1])))
+        --i;
+    if (i > 0 && code[i - 1] == '.')
+        return true;
+    return i > 1 && code[i - 1] == '>' && code[i - 2] == '-';
+}
+
+/** True when the token is qualified by a non-std scope (Foo::x). */
+bool
+qualifiedByOtherScope(const std::string &code, size_t tokenStart)
+{
+    size_t i = tokenStart;
+    while (i > 0 &&
+           std::isspace(static_cast<unsigned char>(code[i - 1])))
+        --i;
+    if (i < 2 || code[i - 1] != ':' || code[i - 2] != ':')
+        return false;
+    return !qualifiedByStd(code, tokenStart);
+}
+
+/** Layer classification from the path. */
+struct Layer
+{
+    bool techniquesOrCore = false; ///< src/techniques or src/core
+    bool bench = false;            ///< bench/
+};
+
+Layer
+classify(const std::string &path)
+{
+    Layer layer;
+    layer.techniquesOrCore =
+        path.find("src/techniques/") != std::string::npos ||
+        path.find("src/core/") != std::string::npos;
+    layer.bench = path.find("bench/") != std::string::npos &&
+                  path.find("src/") == std::string::npos;
+    return layer;
+}
+
+/** Per-file suppression state parsed from comments. */
+struct Suppressions
+{
+    std::set<std::string> fileRules;
+    /** line -> rules allowed on that line. */
+    std::map<int, std::set<std::string>> lineRules;
+
+    bool allows(const std::string &rule, int line) const
+    {
+        if (fileRules.count(rule) || fileRules.count("*"))
+            return true;
+        auto it = lineRules.find(line);
+        return it != lineRules.end() &&
+               (it->second.count(rule) || it->second.count("*"));
+    }
+};
+
+/** Parse "rule, rule" out of an allow(...) argument list. */
+void
+parseRuleList(const std::string &args, std::set<std::string> &out)
+{
+    std::string current;
+    for (char c : args) {
+        if (isIdentChar(c) || c == '*') {
+            current.push_back(c);
+        } else if (!current.empty()) {
+            out.insert(current);
+            current.clear();
+        }
+    }
+    if (!current.empty())
+        out.insert(current);
+}
+
+Suppressions
+parseSuppressions(const MaskedSource &masked)
+{
+    Suppressions sup;
+    for (const auto &[line, text] : masked.comments) {
+        size_t at = text.find("yasim-lint:");
+        if (at == std::string::npos)
+            continue;
+        std::string directive = text.substr(at + 11);
+        size_t fileAt = directive.find("allow-file(");
+        if (fileAt != std::string::npos) {
+            size_t close = directive.find(')', fileAt);
+            if (close != std::string::npos) {
+                parseRuleList(
+                    directive.substr(fileAt + 11, close - fileAt - 11),
+                    sup.fileRules);
+            }
+            continue;
+        }
+        size_t lineAt = directive.find("allow(");
+        if (lineAt == std::string::npos)
+            continue;
+        size_t close = directive.find(')', lineAt);
+        if (close == std::string::npos)
+            continue;
+        std::set<std::string> rules;
+        parseRuleList(directive.substr(lineAt + 6, close - lineAt - 6),
+                      rules);
+        // A comment on its own line covers the next line with code;
+        // a trailing comment covers its own line.
+        int target = line;
+        auto hasCode = masked.lineHasCode.find(line);
+        if (hasCode == masked.lineHasCode.end() || !hasCode->second) {
+            auto next = masked.lineHasCode.upper_bound(line);
+            if (next != masked.lineHasCode.end())
+                target = next->first;
+        }
+        sup.lineRules[target].insert(rules.begin(), rules.end());
+        // Also cover the comment's own line so a directive between
+        // `for (...)` header lines still applies.
+        sup.lineRules[line].insert(rules.begin(), rules.end());
+    }
+    return sup;
+}
+
+/**
+ * Names of variables/members declared with an unordered container
+ * type anywhere in the file (field-sensitive enough at this scale).
+ */
+std::set<std::string>
+unorderedNames(const std::string &code, const std::vector<Token> &tokens)
+{
+    std::set<std::string> names;
+    for (size_t t = 0; t < tokens.size(); ++t) {
+        if (!kUnorderedTemplates.count(tokens[t].text))
+            continue;
+        size_t pos = tokens[t].offset + tokens[t].text.size();
+        size_t open = nextSignificantPos(code, pos);
+        if (open == std::string::npos || code[open] != '<')
+            continue;
+        int depth = 0;
+        size_t i = open;
+        for (; i < code.size(); ++i) {
+            if (code[i] == '<')
+                ++depth;
+            else if (code[i] == '>' && --depth == 0)
+                break;
+        }
+        if (i >= code.size())
+            continue;
+        size_t after = nextSignificantPos(code, i + 1);
+        if (after == std::string::npos)
+            continue;
+        // Skip reference/pointer declarators.
+        while (after < code.size() &&
+               (code[after] == '&' || code[after] == '*')) {
+            after = nextSignificantPos(code, after + 1);
+            if (after == std::string::npos)
+                break;
+        }
+        if (after == std::string::npos || !isIdentChar(code[after]) ||
+            std::isdigit(static_cast<unsigned char>(code[after]))) {
+            continue;
+        }
+        // `unordered_map<...>::iterator` is a type use, not a
+        // declaration.
+        if (code[after] == ':')
+            continue;
+        size_t end = after;
+        while (end < code.size() && isIdentChar(code[end]))
+            ++end;
+        char following = nextSignificant(code, end);
+        if (following == ';' || following == '=' || following == '{' ||
+            following == '(' || following == ',' || following == ')') {
+            names.insert(code.substr(after, end - after));
+        }
+    }
+    return names;
+}
+
+void
+addFinding(std::vector<Finding> &findings, const Suppressions &sup,
+           const std::string &path, const char *rule, int line,
+           std::string message)
+{
+    if (sup.allows(rule, line))
+        return;
+    findings.push_back({path, line, rule, std::move(message)});
+}
+
+// --- rule implementations -------------------------------------------
+
+void
+ruleD1(const std::string &path, const std::string &code,
+       const std::vector<Token> &tokens, const Suppressions &sup,
+       std::vector<Finding> &findings)
+{
+    for (const Token &tok : tokens) {
+        bool flagged = false;
+        std::string what;
+        if (kEntropyTypes.count(tok.text)) {
+            if (isMemberAccess(code, tok.offset))
+                continue;
+            flagged = true;
+            what = tok.text;
+        } else if (kEntropyCalls.count(tok.text)) {
+            size_t end = tok.offset + tok.text.size();
+            if (nextSignificant(code, end) != '(')
+                continue;
+            if (isMemberAccess(code, tok.offset) ||
+                qualifiedByOtherScope(code, tok.offset)) {
+                continue;
+            }
+            flagged = true;
+            what = tok.text + "()";
+        }
+        if (flagged) {
+            addFinding(findings, sup, path, kRuleD1, tok.line,
+                       "entropy/wall-clock source '" + what +
+                           "' in result-affecting code; use the seeded "
+                           "yasim::Rng (support/rng.hh), or move "
+                           "timing into an allowlisted harness");
+        }
+    }
+}
+
+void
+ruleD2(const std::string &path, const std::string &code,
+       const std::vector<Token> &tokens, const Suppressions &sup,
+       std::vector<Finding> &findings)
+{
+    std::set<std::string> names = unorderedNames(code, tokens);
+    if (names.empty())
+        return;
+    for (size_t t = 0; t < tokens.size(); ++t) {
+        if (tokens[t].text != "for")
+            continue;
+        size_t pos = tokens[t].offset + tokens[t].text.size();
+        size_t open = nextSignificantPos(code, pos);
+        if (open == std::string::npos || code[open] != '(')
+            continue;
+        int depth = 0;
+        size_t colon = std::string::npos;
+        size_t close = std::string::npos;
+        for (size_t i = open; i < code.size(); ++i) {
+            char c = code[i];
+            if (c == '(' || c == '[' || c == '{') {
+                ++depth;
+            } else if (c == ')' || c == ']' || c == '}') {
+                if (--depth == 0 && c == ')') {
+                    close = i;
+                    break;
+                }
+            } else if (c == ':' && depth == 1 &&
+                       colon == std::string::npos) {
+                bool scope = (i + 1 < code.size() &&
+                              code[i + 1] == ':') ||
+                             (i > 0 && code[i - 1] == ':');
+                if (!scope)
+                    colon = i;
+            } else if (c == ';' && depth == 1) {
+                // Classic three-clause for loop: not a range-for.
+                colon = std::string::npos;
+                break;
+            }
+        }
+        if (colon == std::string::npos || close == std::string::npos)
+            continue;
+        std::string range = code.substr(colon + 1, close - colon - 1);
+        // Ranging over the sorting seam is the sanctioned pattern.
+        if (range.find("orderedView") != std::string::npos ||
+            range.find("sortedKeys") != std::string::npos) {
+            continue;
+        }
+        for (const Token &rt : tokenize(range)) {
+            if (!names.count(rt.text))
+                continue;
+            addFinding(
+                findings, sup, path, kRuleD2, tokens[t].line,
+                "iteration over unordered container '" + rt.text +
+                    "' — order is unspecified and can leak into "
+                    "stats, serialization, or cache keys; use "
+                    "yasim::orderedView() (support/ordered.hh) or "
+                    "suppress if provably order-insensitive");
+            break;
+        }
+    }
+}
+
+void
+ruleL1(const std::string &path, const std::string &code,
+       const std::vector<Token> &tokens, const Suppressions &sup,
+       std::vector<Finding> &findings)
+{
+    if (!classify(path).techniquesOrCore)
+        return;
+    for (const Token &tok : tokens) {
+        if (tok.text != "FunctionalSim")
+            continue;
+        (void)code;
+        addFinding(findings, sup, path, kRuleL1, tok.line,
+                   "techniques/core must consume the StepSource seam "
+                   "(openStepSource, techniques/trace_store.hh), never "
+                   "FunctionalSim directly — direct use bypasses trace "
+                   "replay and forfeits the bit-identity guarantee");
+    }
+}
+
+void
+ruleL2(const std::string &path, const std::string &text,
+       const std::vector<Token> &tokens, const Suppressions &sup,
+       std::vector<Finding> &findings)
+{
+    if (!classify(path).bench)
+        return;
+    for (const Token &tok : tokens) {
+        if (!kEngineInternals.count(tok.text))
+            continue;
+        addFinding(findings, sup, path, kRuleL2, tok.line,
+                   "bench drivers must go through BenchDriver / "
+                   "SimulationService; '" + tok.text +
+                       "' is an engine internal (for custom passes, "
+                       "open streams with openStepSource(ctx, input))");
+    }
+    // Includes live inside string literals, so scan the raw text.
+    std::istringstream lines(text);
+    std::string line;
+    int lineNo = 0;
+    while (std::getline(lines, line)) {
+        ++lineNo;
+        size_t hash = line.find_first_not_of(" \t");
+        if (hash == std::string::npos || line[hash] != '#')
+            continue;
+        if (line.find("include") == std::string::npos)
+            continue;
+        for (const std::string &header : kEngineInternalHeaders) {
+            if (line.find("\"" + header + "\"") != std::string::npos) {
+                addFinding(findings, sup, path, kRuleL2, lineNo,
+                           "bench drivers must not include '" + header +
+                               "' — pool sizing and scheduling belong "
+                               "to the engine behind BenchDriver");
+            }
+        }
+    }
+}
+
+void
+ruleS1(const std::string &path, const std::string &code,
+       const std::vector<Token> &tokens, const Suppressions &sup,
+       std::vector<Finding> &findings)
+{
+    (void)code;
+    const Token *firstTrigger = nullptr;
+    bool hasVersion = false;
+    for (const Token &tok : tokens) {
+        if (!firstTrigger && kSerializationTriggers.count(tok.text))
+            firstTrigger = &tok;
+        if (tok.text.find("FormatVersion") != std::string::npos ||
+            tok.text.find("SerialVersion") != std::string::npos) {
+            hasVersion = true;
+        }
+    }
+    if (firstTrigger && !hasVersion) {
+        addFinding(findings, sup, path, kRuleS1, firstTrigger->line,
+                   "raw serialization ('" + firstTrigger->text +
+                       "') without a format-version marker; declare a "
+                       "k<Name>FormatVersion constant, write it into "
+                       "the byte stream, and verify it on read");
+    }
+}
+
+} // namespace
+
+std::vector<RuleInfo>
+ruleCatalog()
+{
+    return {
+        {kRuleD1, "no entropy or wall-clock sources in "
+                  "result-affecting code"},
+        {kRuleD2, "no direct iteration over unordered containers"},
+        {kRuleL1, "techniques/core consume StepSource, never "
+                  "FunctionalSim"},
+        {kRuleL2, "bench goes through BenchDriver/SimulationService, "
+                  "never engine internals"},
+        {kRuleS1, "raw serialization carries a format-version marker"},
+    };
+}
+
+std::vector<Finding>
+lintSource(const std::string &path, const std::string &text,
+           const Options &options)
+{
+    const std::string norm = normalizePath(path);
+
+    std::set<std::string> active;
+    if (options.rules.empty()) {
+        for (const RuleInfo &info : ruleCatalog())
+            active.insert(info.id);
+    } else {
+        active.insert(options.rules.begin(), options.rules.end());
+    }
+    if (options.builtinAllowlist) {
+        for (const AllowEntry &entry : kBuiltinAllow) {
+            if (pathEndsWith(norm, entry.pathSuffix))
+                active.erase(entry.rule);
+        }
+    }
+    for (const std::string &entry : options.extraAllow) {
+        size_t sep = entry.rfind(':');
+        if (sep == std::string::npos)
+            continue;
+        if (pathEndsWith(norm, entry.substr(0, sep)))
+            active.erase(entry.substr(sep + 1));
+    }
+    if (active.empty())
+        return {};
+
+    MaskedSource masked = maskSource(text);
+    Suppressions sup = parseSuppressions(masked);
+    std::vector<Token> tokens = tokenize(masked.code);
+
+    std::vector<Finding> findings;
+    if (active.count(kRuleD1))
+        ruleD1(norm, masked.code, tokens, sup, findings);
+    if (active.count(kRuleD2))
+        ruleD2(norm, masked.code, tokens, sup, findings);
+    if (active.count(kRuleL1))
+        ruleL1(norm, masked.code, tokens, sup, findings);
+    if (active.count(kRuleL2))
+        ruleL2(norm, text, tokens, sup, findings);
+    if (active.count(kRuleS1))
+        ruleS1(norm, masked.code, tokens, sup, findings);
+
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+    for (Finding &f : findings)
+        f.file = path;
+    return findings;
+}
+
+std::vector<Finding>
+lintFile(const std::string &path, const Options &options)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        return {{path, 0, "IO", "cannot read file"}};
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return lintSource(path, buffer.str(), options);
+}
+
+std::vector<Finding>
+lintTree(const std::vector<std::string> &roots, const Options &options)
+{
+    const std::set<std::string> extensions = {".cc", ".hh", ".cpp",
+                                              ".h"};
+    std::vector<std::string> files;
+    for (const std::string &root : roots) {
+        std::error_code ec;
+        if (fs::is_directory(root, ec)) {
+            for (fs::recursive_directory_iterator
+                     it(root, fs::directory_options::skip_permission_denied,
+                        ec),
+                 end;
+                 it != end; it.increment(ec)) {
+                if (ec)
+                    break;
+                if (it->is_directory() &&
+                    it->path().filename() == "lint_fixtures") {
+                    it.disable_recursion_pending();
+                    continue;
+                }
+                if (!it->is_regular_file())
+                    continue;
+                if (extensions.count(it->path().extension().string()))
+                    files.push_back(it->path().string());
+            }
+        } else {
+            files.push_back(root);
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+
+    std::vector<Finding> findings;
+    for (const std::string &file : files) {
+        std::vector<Finding> found = lintFile(file, options);
+        findings.insert(findings.end(), found.begin(), found.end());
+    }
+    return findings;
+}
+
+} // namespace yasim::lint

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * yasim-lint command-line driver.
+ *
+ *     yasim-lint [--root DIR] [--rules D1,D2] [--allow SUFFIX:RULE]
+ *                [--no-builtin-allowlist] [--list-rules] [paths...]
+ *
+ * Paths (files or directories) default to src bench tests, resolved
+ * against --root (default: the current directory). Exit status: 0 on
+ * a clean run, 1 when findings were reported, 2 on usage errors.
+ */
+
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.hh"
+
+namespace {
+
+int
+usage(std::ostream &os, int status)
+{
+    os << "usage: yasim-lint [--root DIR] [--rules R1,R2] "
+          "[--allow SUFFIX:RULE]\n"
+          "                  [--no-builtin-allowlist] [--list-rules] "
+          "[paths...]\n";
+    return status;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace yasim::lint;
+
+    std::string root = ".";
+    Options options;
+    std::vector<std::string> paths;
+    bool listRules = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << "yasim-lint: " << arg
+                          << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (std::strcmp(arg, "--root") == 0) {
+            root = value();
+        } else if (std::strcmp(arg, "--rules") == 0) {
+            std::string list = value();
+            size_t start = 0;
+            while (start <= list.size()) {
+                size_t comma = list.find(',', start);
+                if (comma == std::string::npos)
+                    comma = list.size();
+                if (comma > start)
+                    options.rules.push_back(
+                        list.substr(start, comma - start));
+                start = comma + 1;
+            }
+        } else if (std::strcmp(arg, "--allow") == 0) {
+            options.extraAllow.push_back(value());
+        } else if (std::strcmp(arg, "--no-builtin-allowlist") == 0) {
+            options.builtinAllowlist = false;
+        } else if (std::strcmp(arg, "--list-rules") == 0) {
+            listRules = true;
+        } else if (std::strcmp(arg, "--help") == 0 ||
+                   std::strcmp(arg, "-h") == 0) {
+            return usage(std::cout, 0);
+        } else if (arg[0] == '-') {
+            std::cerr << "yasim-lint: unknown option " << arg << "\n";
+            return usage(std::cerr, 2);
+        } else {
+            paths.push_back(arg);
+        }
+    }
+
+    if (listRules) {
+        for (const RuleInfo &info : ruleCatalog())
+            std::cout << info.id << "  " << info.summary << "\n";
+        return 0;
+    }
+
+    if (paths.empty())
+        paths = {"src", "bench", "tests"};
+    std::vector<std::string> roots;
+    for (const std::string &path : paths)
+        roots.push_back(
+            (std::filesystem::path(root) / path).string());
+
+    std::vector<Finding> findings = lintTree(roots, options);
+    for (const Finding &f : findings) {
+        std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+                  << f.message << "\n";
+    }
+    if (findings.empty()) {
+        std::cerr << "yasim-lint: clean\n";
+        return 0;
+    }
+    std::cerr << "yasim-lint: " << findings.size() << " finding"
+              << (findings.size() == 1 ? "" : "s") << "\n";
+    return 1;
+}
