@@ -16,7 +16,8 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--ref-insts N] [--benchmarks a,b,...] [--seed N]\n"
         "          [--csv] [--full] [--cache-dir DIR] [--engine-stats]\n"
-        "          [--workers N] [--trace] [--no-trace]\n",
+        "          [--cache-budget-mb N] [--workers N] [--trace]\n"
+        "          [--no-trace] [--failpoints SPEC]\n",
         argv0);
     std::exit(1);
 }
@@ -70,6 +71,10 @@ parseBenchOptions(int argc, char **argv, uint64_t default_ref_insts)
             options.full = true;
         } else if (std::strcmp(arg, "--cache-dir") == 0) {
             options.cacheDir = next();
+        } else if (std::strcmp(arg, "--cache-budget-mb") == 0) {
+            options.cacheBudgetMb = std::strtoull(next(), nullptr, 10);
+        } else if (std::strcmp(arg, "--failpoints") == 0) {
+            options.failpoints = next();
         } else if (std::strcmp(arg, "--engine-stats") == 0) {
             options.engineStats = true;
         } else if (std::strcmp(arg, "--trace") == 0) {

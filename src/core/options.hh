@@ -9,10 +9,13 @@
  *   --csv             emit CSV instead of aligned text
  *   --full            full-fidelity mode (all permutations / configs)
  *   --cache-dir DIR   persist simulation results across invocations
+ *   --cache-budget-mb N  bound the cache directory; evict oldest files
  *   --engine-stats    print ExperimentEngine counters to stderr
  *   --workers N       bound the work-stealing pool at N workers
  *   --trace           record/replay execution traces (the default)
  *   --no-trace        re-interpret functionally on every run
+ *   --failpoints SPEC arm deterministic fault-injection sites
+ *                     (see support/failpoint.hh for the grammar)
  */
 
 #ifndef YASIM_CORE_OPTIONS_HH
@@ -39,6 +42,14 @@ struct BenchOptions
     bool full = false;
     /** On-disk result cache directory ("" = memory-only memoization). */
     std::string cacheDir;
+    /** Cache-directory budget in MiB (0 = unbounded). */
+    uint64_t cacheBudgetMb = 0;
+    /**
+     * Failpoint schedule to arm before the run ("" = none beyond any
+     * YASIM_FAILPOINTS environment schedule). Deterministic: the same
+     * spec produces the same fault sequence every run.
+     */
+    std::string failpoints;
     /** Print ExperimentEngine counters to stderr after the run. */
     bool engineStats = false;
     /** Worker-pool bound (0 = auto-detect). */

@@ -5,6 +5,7 @@
 
 #include "core/svat_analysis.hh"
 #include "sim/config.hh"
+#include "support/failpoint.hh"
 #include "support/logging.hh"
 #include "support/table.hh"
 #include "support/thread_pool.hh"
@@ -55,8 +56,11 @@ BenchDriver::setUp()
     setInformEnabled(false);
     if (opts.workers)
         setParallelWorkers(opts.workers);
+    if (!opts.failpoints.empty())
+        failpoint::configure(opts.failpoints);
     EngineOptions engine_options;
     engine_options.cacheDir = opts.cacheDir;
+    engine_options.cacheBudgetBytes = opts.cacheBudgetMb << 20;
     engine_options.traces = opts.trace;
     eng = std::make_unique<ExperimentEngine>(engine_options);
 }

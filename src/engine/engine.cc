@@ -1,14 +1,12 @@
 #include "engine/engine.hh"
 
 #include <filesystem>
-#include <fstream>
 #include <ostream>
 #include <sstream>
-#include <thread>
-#include <unistd.h>
 
 #include "engine/cache_key.hh"
 #include "engine/result_io.hh"
+#include "support/artifact_io.hh"
 #include "support/check.hh"
 #include "support/logging.hh"
 #include "support/table.hh"
@@ -18,6 +16,14 @@
 namespace yasim {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+/** Inner frame magics for the engine's two artifact kinds. */
+constexpr char kResultMagic[] = "yasim-result";
+constexpr char kRefLenMagic[] = "yasim-reflen";
+
+} // namespace
 
 ExperimentEngine::ExperimentEngine(EngineOptions options)
     : opts(std::move(options))
@@ -35,6 +41,7 @@ ExperimentEngine::ExperimentEngine(EngineOptions options)
         topts.cacheDir = opts.cacheDir;
         topts.checkpointSpacing = opts.traceCheckpointSpacing;
         topts.maxBytes = opts.maxTraceBytes;
+        topts.cacheBudgetBytes = opts.cacheBudgetBytes;
         traces = std::make_unique<TraceStore>(std::move(topts));
     }
 }
@@ -49,43 +56,97 @@ ExperimentEngine::diskPath(const std::string &key_text,
         .string();
 }
 
+void
+ExperimentEngine::noteFailedRead(const std::string &path,
+                                 const char *what,
+                                 const std::string &error, bool corrupt,
+                                 uint32_t retries)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        ctr.ioRetries += retries;
+        if (corrupt)
+            ++ctr.cacheCorrupt;
+        else
+            ++ctr.cacheUnreadable;
+    }
+    if (!ioWarned.exchange(true)) {
+        warn("cache artifact '%s' (%s) is %s: %s; %s and recomputing "
+             "(one warning per run; --engine-stats counts the rest)",
+             path.c_str(), what,
+             corrupt ? "corrupt" : "unreadable", error.c_str(),
+             corrupt ? "quarantined to .corrupt" : "left in place");
+    }
+}
+
 bool
 ExperimentEngine::loadResultFromDisk(const std::string &key_text,
-                                     TechniqueResult &result) const
+                                     TechniqueResult &result)
 {
-    std::ifstream in(diskPath(key_text, ".result"));
-    return in && readResult(in, key_text, result);
+    const std::string path = diskPath(key_text, ".result");
+    ArtifactReadResult read =
+        readArtifact(path, kResultMagic, kCacheFormatVersion);
+    if (read.retries || read.status == ArtifactStatus::Corrupt ||
+        read.status == ArtifactStatus::Transient) {
+        if (read.status == ArtifactStatus::Ok ||
+            read.status == ArtifactStatus::Missing) {
+            std::lock_guard<std::mutex> lock(mutex);
+            ctr.ioRetries += read.retries;
+        } else {
+            noteFailedRead(path, "result", read.error,
+                           read.status == ArtifactStatus::Corrupt,
+                           read.retries);
+        }
+    }
+    if (read.status != ArtifactStatus::Ok)
+        return false;
+
+    std::istringstream payload(read.payload);
+    if (!readResult(payload, key_text, result)) {
+        // The frame verified but the payload did not parse — a digest
+        // collision or a format bug. Same self-healing path: move the
+        // file aside and recompute.
+        quarantineArtifact(path);
+        noteFailedRead(path, "result", "unparseable payload", true, 0);
+        return false;
+    }
+    return true;
 }
 
 void
 ExperimentEngine::storeResultToDisk(const std::string &key_text,
                                     const TechniqueResult &result)
 {
-    // Write-to-temp plus atomic rename: concurrent processes sharing a
-    // cache directory can never observe a torn file.
-    std::string path = diskPath(key_text, ".result");
-    std::ostringstream tmp_name;
-    tmp_name << path << ".tmp." << ::getpid() << "."
-             << std::this_thread::get_id();
+    std::ostringstream payload;
+    writeResult(payload, key_text, result);
+    const std::string path = diskPath(key_text, ".result");
+    ArtifactWriteResult wrote = writeArtifact(
+        path, kResultMagic, kCacheFormatVersion, payload.str());
     {
-        std::ofstream out(tmp_name.str());
-        if (!out) {
-            warn("cannot write result cache file '%s'",
-                 tmp_name.str().c_str());
-            return;
-        }
-        writeResult(out, key_text, result);
+        std::lock_guard<std::mutex> lock(mutex);
+        ctr.ioRetries += wrote.retries;
+        if (wrote.ok)
+            ++ctr.diskWrites;
     }
-    std::error_code ec;
-    fs::rename(tmp_name.str(), path, ec);
-    if (ec) {
-        warn("cannot publish result cache file '%s': %s", path.c_str(),
-             ec.message().c_str());
-        fs::remove(tmp_name.str(), ec);
+    if (!wrote.ok) {
+        warn("cannot write result cache file '%s': %s", path.c_str(),
+             wrote.error.c_str());
         return;
     }
-    std::lock_guard<std::mutex> lock(mutex);
-    ++ctr.diskWrites;
+    enforceCacheBudget();
+}
+
+void
+ExperimentEngine::enforceCacheBudget()
+{
+    if (opts.cacheBudgetBytes == 0 || opts.cacheDir.empty())
+        return;
+    uint64_t evicted =
+        evictToBudget(opts.cacheDir, opts.cacheBudgetBytes);
+    if (evicted) {
+        std::lock_guard<std::mutex> lock(mutex);
+        ctr.budgetEvictions += evicted;
+    }
 }
 
 void
@@ -215,24 +276,40 @@ ExperimentEngine::referenceLength(const std::string &benchmark,
     uint64_t length = 0;
     bool from_disk = false;
     if (!opts.cacheDir.empty()) {
-        std::ifstream in(diskPath(key, ".reflen"));
-        from_disk = in && readReferenceLength(in, key, length);
+        const std::string path = diskPath(key, ".reflen");
+        ArtifactReadResult read =
+            readArtifact(path, kRefLenMagic, kCacheFormatVersion);
+        if (read.status == ArtifactStatus::Ok) {
+            std::istringstream payload(read.payload);
+            from_disk = readReferenceLength(payload, key, length);
+            if (!from_disk) {
+                quarantineArtifact(path);
+                noteFailedRead(path, "reference length",
+                               "unparseable payload", true, 0);
+            } else if (read.retries) {
+                std::lock_guard<std::mutex> lock(mutex);
+                ctr.ioRetries += read.retries;
+            }
+        } else if (read.status != ArtifactStatus::Missing) {
+            noteFailedRead(path, "reference length", read.error,
+                           read.status == ArtifactStatus::Corrupt,
+                           read.retries);
+        }
     }
     if (!from_disk) {
         length = measureReferenceLength(benchmark, suite);
         if (!opts.cacheDir.empty()) {
-            std::string path = diskPath(key, ".reflen");
-            std::string tmp = path + ".tmp." +
-                              std::to_string(::getpid());
-            std::ofstream out(tmp);
-            if (out) {
-                writeReferenceLength(out, key, length);
-                out.close();
-                std::error_code ec;
-                fs::rename(tmp, path, ec);
-                if (ec)
-                    fs::remove(tmp, ec);
+            std::ostringstream payload;
+            writeReferenceLength(payload, key, length);
+            ArtifactWriteResult wrote =
+                writeArtifact(diskPath(key, ".reflen"), kRefLenMagic,
+                              kCacheFormatVersion, payload.str());
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                ctr.ioRetries += wrote.retries;
             }
+            if (wrote.ok)
+                enforceCacheBudget();
         }
     }
 
@@ -323,6 +400,12 @@ ExperimentEngine::printStats(std::ostream &os) const
     table.addRow(
         {"ref-length measured", Table::count(c.refLengthMisses)});
     table.addRow({"grid jobs scheduled", Table::count(c.gridJobs)});
+    table.addRow({"cache corrupt (quarantined)",
+                  Table::count(c.cacheCorrupt)});
+    table.addRow({"cache unreadable", Table::count(c.cacheUnreadable)});
+    table.addRow({"artifact io retries", Table::count(c.ioRetries)});
+    table.addRow({"cache budget evictions",
+                  Table::count(c.budgetEvictions)});
     table.addRule();
     if (traces) {
         TraceCounters t = traces->counters();
@@ -337,6 +420,8 @@ ExperimentEngine::printStats(std::ostream &os) const
             {"trace insts recorded", Table::count(t.instsRecorded)});
         table.addRow(
             {"trace bytes in memory", Table::count(t.bytesInMemory)});
+        table.addRow({"trace quarantined", Table::count(t.quarantined)});
+        table.addRow({"trace io retries", Table::count(t.ioRetries)});
         table.addRow({"ref lengths from traces",
                       Table::count(c.refLengthFromTrace)});
         table.addRule();

@@ -22,6 +22,7 @@
 #ifndef YASIM_ENGINE_ENGINE_HH
 #define YASIM_ENGINE_ENGINE_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <iosfwd>
 #include <list>
@@ -55,6 +56,13 @@ struct EngineOptions
     uint64_t traceCheckpointSpacing = 0;
     /** In-memory trace budget in bytes (LRU eviction beyond it). */
     size_t maxTraceBytes = size_t(1) << 30;
+    /**
+     * On-disk cache-directory budget in bytes (0 = unbounded;
+     * --cache-budget-mb on every bench). After each artifact write the
+     * oldest files are evicted, by modification time, until the
+     * directory fits — so long-lived shared cache dirs stay bounded.
+     */
+    uint64_t cacheBudgetBytes = 0;
 };
 
 /** Monotonic engine counters (work units: see CostModel). */
@@ -76,6 +84,18 @@ struct EngineCounters
     uint64_t refLengthFromTrace = 0;
     /** Jobs scheduled through prefetch(). */
     uint64_t gridJobs = 0;
+    /**
+     * Result/reflen cache entries that failed verification (bad
+     * checksum, truncation, version mismatch, unparseable payload) and
+     * were quarantined to "<file>.corrupt", then recomputed.
+     */
+    uint64_t cacheCorrupt = 0;
+    /** Cache reads that stayed unreadable after bounded retries. */
+    uint64_t cacheUnreadable = 0;
+    /** Transient-I/O retries performed by artifact reads and writes. */
+    uint64_t ioRetries = 0;
+    /** Files evicted enforcing EngineOptions::cacheBudgetBytes. */
+    uint64_t budgetEvictions = 0;
     double workUnitsComputed = 0.0;
     double workUnitsSaved = 0.0;
 };
@@ -161,9 +181,19 @@ class ExperimentEngine : public SimulationService
     std::string diskPath(const std::string &key_text,
                          const char *suffix) const;
     bool loadResultFromDisk(const std::string &key_text,
-                            TechniqueResult &result) const;
+                            TechniqueResult &result);
     void storeResultToDisk(const std::string &key_text,
                            const TechniqueResult &result);
+    /**
+     * Account a framed-artifact read that did not produce a payload:
+     * bump the corruption/retry counters and emit the one-per-run
+     * degraded-cache warning. @p what names the artifact kind.
+     */
+    void noteFailedRead(const std::string &path, const char *what,
+                        const std::string &error, bool corrupt,
+                        uint32_t retries);
+    /** Enforce cacheBudgetBytes after a write (no-op when 0). */
+    void enforceCacheBudget();
     /** Insert into the memo table and evict past the bound. Locked. */
     void memoInsert(const std::string &key_text,
                     const TechniqueResult &result);
@@ -180,6 +210,8 @@ class ExperimentEngine : public SimulationService
     std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight;
     std::map<std::string, uint64_t> refLengths;
     EngineCounters ctr;
+    /** One degraded-cache warning per run, however many entries rot. */
+    std::atomic<bool> ioWarned{false};
 };
 
 } // namespace yasim

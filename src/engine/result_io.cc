@@ -106,6 +106,22 @@ readTaggedLine(std::istream &is, const std::string &expected_tag,
     return true;
 }
 
+/**
+ * Consume the trailing "end" marker and require EOF behind it. A
+ * well-formed payload followed by extra bytes is not a cache entry we
+ * wrote — it is corruption (an interrupted overwrite, a concatenated
+ * file) and must read as a miss, never as "close enough".
+ */
+bool
+readEndMarker(std::istream &is)
+{
+    std::string tag;
+    if (!(is >> tag) || tag != "end")
+        return false;
+    std::string trailing;
+    return !(is >> trailing);
+}
+
 bool
 readHeader(std::istream &is, const char *magic,
            const std::string &key_text)
@@ -185,9 +201,7 @@ readResult(std::istream &is, const std::string &key_text,
         return false;
     if (!(is >> tag >> result.detailedInsts) || tag != "detailedInsts")
         return false;
-    if (!(is >> tag) || tag != "end")
-        return false;
-    return true;
+    return readEndMarker(is);
 }
 
 void
@@ -209,9 +223,7 @@ readReferenceLength(std::istream &is, const std::string &key_text,
     std::string tag;
     if (!(is >> tag >> length) || tag != "length")
         return false;
-    if (!(is >> tag) || tag != "end")
-        return false;
-    return true;
+    return readEndMarker(is);
 }
 
 } // namespace yasim

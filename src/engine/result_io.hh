@@ -8,7 +8,8 @@
  * are stored as 16-hex-digit IEEE-754 bit patterns so a round-tripped
  * result is bit-identical to the freshly simulated one — the derived
  * tables print byte-identically from either. Loads are strict: any
- * malformed or truncated file reads as a cache miss.
+ * malformed or truncated file — or one with trailing bytes after a
+ * well-formed payload — reads as a cache miss.
  */
 
 #ifndef YASIM_ENGINE_RESULT_IO_HH

@@ -3,12 +3,18 @@
 #include <algorithm>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
+#include "support/artifact_io.hh"
 #include "support/check.hh"
+#include "support/logging.hh"
 
 namespace yasim {
 
 namespace {
+
+/** Inner frame magic for standalone checkpoint files. */
+constexpr const char *kCheckpointMagic = "yasim-ckpt";
 
 template <typename T>
 void
@@ -111,6 +117,47 @@ Checkpoint::readBinary(std::istream &is, Checkpoint &out)
         if (!getRaw(is, addr) || !getRaw(is, value))
             return false;
         out.words.emplace_back(addr, value);
+    }
+    return true;
+}
+
+bool
+Checkpoint::saveFile(const std::string &path) const
+{
+    std::ostringstream payload;
+    writeBinary(payload);
+    ArtifactWriteResult wrote =
+        writeArtifact(path, kCheckpointMagic, kCheckpointFormatVersion,
+                      payload.str());
+    if (!wrote.ok)
+        warn("cannot write checkpoint file '%s': %s", path.c_str(),
+             wrote.error.c_str());
+    return wrote.ok;
+}
+
+bool
+Checkpoint::loadFile(const std::string &path, Checkpoint &out)
+{
+    ArtifactReadResult read =
+        readArtifact(path, kCheckpointMagic, kCheckpointFormatVersion);
+    if (read.status == ArtifactStatus::Missing)
+        return false;
+    if (read.status != ArtifactStatus::Ok) {
+        warn("checkpoint file '%s' unusable (%s)", path.c_str(),
+             read.error.c_str());
+        return false;
+    }
+    std::istringstream payload(read.payload);
+    if (!readBinary(payload, out) ||
+        payload.peek() != std::istringstream::traits_type::eof()) {
+        // Frame verified but the payload did not parse cleanly (or
+        // carries trailing bytes): quarantine so the next lookup
+        // regenerates instead of re-tripping here.
+        quarantineArtifact(path);
+        warn("checkpoint file '%s' failed payload verification; "
+             "quarantined",
+             path.c_str());
+        return false;
     }
     return true;
 }

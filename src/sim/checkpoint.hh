@@ -23,6 +23,7 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "sim/functional.hh"
@@ -71,6 +72,22 @@ class Checkpoint
      *         format-version mismatch.
      */
     static bool readBinary(std::istream &is, Checkpoint &out);
+
+    /**
+     * Persist this checkpoint as a standalone file: the writeBinary
+     * stream framed, checksummed, and atomically published through
+     * support/artifact_io. @return false when the file could not be
+     * written (a warning is emitted; never throws).
+     */
+    bool saveFile(const std::string &path) const;
+
+    /**
+     * Load a checkpoint persisted by saveFile. A verification failure
+     * — bad frame, bad checksum, truncated or over-long payload —
+     * quarantines the file to "<path>.corrupt" and returns false, so
+     * callers fall back to regeneration.
+     */
+    static bool loadFile(const std::string &path, Checkpoint &out);
 
   private:
     Checkpoint() = default;

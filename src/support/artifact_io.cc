@@ -1,0 +1,418 @@
+#include "support/artifact_io.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <fcntl.h>
+#include <filesystem>
+#include <sstream>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "support/failpoint.hh"
+#include "support/hash.hh"
+#include "support/logging.hh"
+
+namespace yasim {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kContainerMagic[8] = {'y', 'a', 's', 'i',
+                                     'm', 'A', 'R', 'T'};
+/** Trailing sentinel: a file must end exactly after this. */
+constexpr uint64_t kArtifactEndMark = 0x59415349'4d415254ULL;
+/** Sanity bound on the length-prefixed inner magic. */
+constexpr uint64_t kMaxMagicBytes = 1024;
+/** Total open attempts before a transient failure becomes a miss. */
+constexpr uint32_t kMaxOpenAttempts = 5;
+/** Write syscall granularity (also the crash-failpoint granularity). */
+constexpr size_t kWriteChunk = 1024;
+
+void
+putU32(std::string &out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putU64(std::string &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+bool
+getU32(std::string_view in, size_t &at, uint32_t &v)
+{
+    if (at + 4 > in.size())
+        return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= uint32_t(static_cast<unsigned char>(in[at + i]))
+             << (8 * i);
+    at += 4;
+    return true;
+}
+
+bool
+getU64(std::string_view in, size_t &at, uint64_t &v)
+{
+    if (at + 8 > in.size())
+        return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= uint64_t(static_cast<unsigned char>(in[at + i]))
+             << (8 * i);
+    at += 8;
+    return true;
+}
+
+/** 32-hex-char content checksum binding magic, version, and payload. */
+std::string
+frameChecksum(std::string_view magic, uint32_t version,
+              std::string_view payload)
+{
+    Hasher h;
+    h.str(magic);
+    h.u32(version);
+    h.str(payload);
+    return h.hex();
+}
+
+/** Serialize the whole frame (see the header-file layout comment). */
+std::string
+buildFrame(std::string_view magic, uint32_t version,
+           std::string_view payload)
+{
+    std::string frame;
+    frame.reserve(payload.size() + magic.size() + 80);
+    frame.append(kContainerMagic, sizeof(kContainerMagic));
+    putU32(frame, kArtifactFormatVersion);
+    putU64(frame, magic.size());
+    frame.append(magic);
+    putU32(frame, version);
+    putU64(frame, payload.size());
+    frame.append(payload);
+    frame.append(frameChecksum(magic, version, payload));
+    putU64(frame, kArtifactEndMark);
+    return frame;
+}
+
+/**
+ * Parse and verify @p frame against (@p magic, @p version). Returns
+ * true and fills @p payload on success; false with a cause otherwise.
+ */
+bool
+parseFrame(std::string_view frame, std::string_view magic,
+           uint32_t version, std::string &payload, std::string &error)
+{
+    size_t at = 0;
+    if (frame.size() < sizeof(kContainerMagic) ||
+        frame.compare(0, sizeof(kContainerMagic),
+                      std::string_view(kContainerMagic,
+                                       sizeof(kContainerMagic))) != 0) {
+        error = "bad container magic";
+        return false;
+    }
+    at = sizeof(kContainerMagic);
+
+    uint32_t container_version = 0;
+    if (!getU32(frame, at, container_version)) {
+        error = "truncated before container version";
+        return false;
+    }
+    if (container_version != kArtifactFormatVersion) {
+        error = csprintf("container version %u, want %u",
+                         container_version, kArtifactFormatVersion);
+        return false;
+    }
+
+    uint64_t magic_len = 0;
+    if (!getU64(frame, at, magic_len) || magic_len > kMaxMagicBytes ||
+        at + magic_len > frame.size()) {
+        error = "truncated or oversized inner magic";
+        return false;
+    }
+    if (frame.substr(at, magic_len) != magic) {
+        error = "inner magic mismatch (different artifact kind)";
+        return false;
+    }
+    at += magic_len;
+
+    uint32_t inner_version = 0;
+    if (!getU32(frame, at, inner_version)) {
+        error = "truncated before inner version";
+        return false;
+    }
+    if (inner_version != version) {
+        error = csprintf("format version %u, want %u", inner_version,
+                         version);
+        return false;
+    }
+
+    uint64_t payload_len = 0;
+    if (!getU64(frame, at, payload_len) ||
+        payload_len > frame.size() - at) {
+        error = "truncated payload";
+        return false;
+    }
+    std::string_view body = frame.substr(at, payload_len);
+    at += payload_len;
+
+    if (at + 32 > frame.size()) {
+        error = "truncated before checksum";
+        return false;
+    }
+    if (frame.substr(at, 32) != frameChecksum(magic, version, body)) {
+        error = "checksum mismatch";
+        return false;
+    }
+    at += 32;
+
+    uint64_t end_mark = 0;
+    if (!getU64(frame, at, end_mark) || end_mark != kArtifactEndMark) {
+        error = "missing end mark";
+        return false;
+    }
+    if (at != frame.size()) {
+        error = csprintf("%zu trailing bytes after the frame",
+                         frame.size() - at);
+        return false;
+    }
+    payload.assign(body);
+    return true;
+}
+
+/** Linear backoff between transient-open retries. */
+void
+backoff(uint32_t attempt)
+{
+    std::this_thread::sleep_for(std::chrono::milliseconds(attempt));
+}
+
+std::string
+tempName(const std::string &path)
+{
+    std::ostringstream name;
+    name << path << ".tmp." << ::getpid() << "."
+         << std::this_thread::get_id();
+    return name.str();
+}
+
+} // namespace
+
+ArtifactReadResult
+readArtifact(const std::string &path, std::string_view magic,
+             uint32_t version)
+{
+    ArtifactReadResult result;
+
+    int fd = -1;
+    for (uint32_t attempt = 1; attempt <= kMaxOpenAttempts; ++attempt) {
+        if (failpoint::fire("io.open.transient")) {
+            errno = EIO;
+            fd = -1;
+        } else {
+            fd = ::open(path.c_str(), O_RDONLY);
+        }
+        if (fd >= 0)
+            break;
+        if (errno == ENOENT) {
+            result.status = ArtifactStatus::Missing;
+            return result;
+        }
+        if (attempt == kMaxOpenAttempts) {
+            result.status = ArtifactStatus::Transient;
+            result.error = csprintf("open kept failing (%u attempts)",
+                                    kMaxOpenAttempts);
+            return result;
+        }
+        ++result.retries;
+        backoff(attempt);
+    }
+
+    std::string frame;
+    char buffer[1 << 16];
+    for (;;) {
+        ssize_t n = ::read(fd, buffer, sizeof(buffer));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ::close(fd);
+            result.status = ArtifactStatus::Transient;
+            result.error = "read failed mid-file";
+            return result;
+        }
+        if (n == 0)
+            break;
+        frame.append(buffer, static_cast<size_t>(n));
+    }
+    ::close(fd);
+
+    if (!frame.empty() && failpoint::fire("io.read.corrupt"))
+        frame[frame.size() / 2] ^= 0x20; // injected single-bit flip
+
+    std::string error;
+    if (parseFrame(frame, magic, version, result.payload, error)) {
+        result.status = ArtifactStatus::Ok;
+        return result;
+    }
+    result.status = ArtifactStatus::Corrupt;
+    result.error = error;
+    result.quarantined = quarantineArtifact(path);
+    return result;
+}
+
+ArtifactWriteResult
+writeArtifact(const std::string &path, std::string_view magic,
+              uint32_t version, std::string_view payload)
+{
+    ArtifactWriteResult result;
+    std::string frame = buildFrame(magic, version, payload);
+    const std::string tmp = tempName(path);
+
+    int fd = -1;
+    for (uint32_t attempt = 1; attempt <= kMaxOpenAttempts; ++attempt) {
+        if (failpoint::fire("io.open.transient")) {
+            errno = EIO;
+            fd = -1;
+        } else {
+            fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY,
+                        0644);
+        }
+        if (fd >= 0)
+            break;
+        if (attempt == kMaxOpenAttempts) {
+            result.error =
+                csprintf("cannot open '%s' (%u attempts)", tmp.c_str(),
+                         kMaxOpenAttempts);
+            return result;
+        }
+        ++result.retries;
+        backoff(attempt);
+    }
+
+    // An injected short write publishes a deliberately torn frame: the
+    // reader's checksum must catch it (fsync is skipped too, like a
+    // power cut would).
+    bool torn = failpoint::fire("io.write.short");
+    size_t to_write = torn ? frame.size() / 2 : frame.size();
+
+    size_t written = 0;
+    bool write_failed = false;
+    while (written < to_write) {
+        if (failpoint::fire("io.write.crash"))
+            ::_exit(86); // simulated hard kill mid-write
+        size_t n = std::min(kWriteChunk, to_write - written);
+        ssize_t got = ::write(fd, frame.data() + written, n);
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            write_failed = true;
+            break;
+        }
+        written += static_cast<size_t>(got);
+    }
+    if (!write_failed && !torn && ::fsync(fd) != 0)
+        write_failed = true;
+    ::close(fd);
+
+    std::error_code ec;
+    if (write_failed) {
+        fs::remove(tmp, ec);
+        result.error = "write failed mid-frame";
+        return result;
+    }
+
+    if (failpoint::fire("io.rename.fail")) {
+        fs::remove(tmp, ec);
+        result.error = "injected rename failure";
+        return result;
+    }
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        result.error = csprintf("cannot publish '%s': %s", path.c_str(),
+                                ec.message().c_str());
+        fs::remove(tmp, ec);
+        return result;
+    }
+    result.ok = true;
+    return result;
+}
+
+bool
+quarantineArtifact(const std::string &path)
+{
+    std::error_code ec;
+    fs::rename(path, path + ".corrupt", ec);
+    if (!ec)
+        return true;
+    // Could not move it aside (permissions, cross-process race):
+    // remove it so the bad bytes cannot be re-read either way.
+    fs::remove(path, ec);
+    return false;
+}
+
+uint64_t
+evictToBudget(const std::string &dir, uint64_t max_bytes)
+{
+    struct File
+    {
+        fs::file_time_type mtime;
+        std::string path;
+        uint64_t size = 0;
+    };
+    std::vector<File> files;
+    uint64_t total = 0;
+
+    std::error_code ec;
+    for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+         it.increment(ec)) {
+        if (!it->is_regular_file(ec))
+            continue;
+        const std::string name = it->path().filename().string();
+        // Skip in-flight temp files: a concurrent writer owns them.
+        if (name.find(".tmp.") != std::string::npos)
+            continue;
+        File f;
+        f.path = it->path().string();
+        f.size = it->file_size(ec);
+        if (ec)
+            continue;
+        f.mtime = fs::last_write_time(it->path(), ec);
+        if (ec)
+            continue;
+        total += f.size;
+        files.push_back(std::move(f));
+    }
+    if (total <= max_bytes)
+        return 0;
+
+    // Oldest first; the path breaks mtime ties deterministically.
+    std::sort(files.begin(), files.end(),
+              [](const File &a, const File &b) {
+                  if (a.mtime != b.mtime)
+                      return a.mtime < b.mtime;
+                  return a.path < b.path;
+              });
+
+    uint64_t evicted = 0;
+    for (const File &f : files) {
+        if (total <= max_bytes)
+            break;
+        // The newest artifact always survives: evicting the entry just
+        // published would turn every write into a self-defeating miss.
+        if (&f == &files.back())
+            break;
+        if (fs::remove(f.path, ec) && !ec) {
+            total -= f.size;
+            ++evicted;
+        }
+    }
+    return evicted;
+}
+
+} // namespace yasim

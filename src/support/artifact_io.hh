@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Self-healing framed artifact I/O for every on-disk cache.
+ *
+ * Every artifact the library persists — result-cache entries,
+ * reference lengths, trace spills, checkpoint files — goes through one
+ * reader/writer pair instead of three copy-pasted temp+rename blocks.
+ * The wire format frames an opaque payload:
+ *
+ *     container magic  "yasimART"                 (8 bytes)
+ *     container ver    kArtifactFormatVersion      (u32)
+ *     inner magic      length-prefixed string      (u64 + bytes)
+ *     inner version    caller's format version     (u32)
+ *     payload length                                (u64)
+ *     payload bytes
+ *     checksum         two Hasher lanes over magic/version/payload
+ *                                                   (2 x u64)
+ *     end mark                                      (u64)
+ *
+ * and the file must end there: trailing garbage is corruption. Writes
+ * build the frame in memory, stream it to a private temp file, fsync,
+ * and atomically rename into place, so concurrent processes sharing a
+ * cache directory can never observe a torn artifact. Reads verify
+ * every field; any mismatch — bad magic, wrong version, short file,
+ * checksum failure, trailing bytes — quarantines the file to
+ * "<path>.corrupt" and reports Corrupt, which callers treat as a miss
+ * and recompute. Opens that fail transiently are retried a bounded
+ * number of times with linear backoff.
+ *
+ * All the failure paths are testable deterministically through the
+ * failpoint sites documented in support/failpoint.hh.
+ */
+
+#ifndef YASIM_SUPPORT_ARTIFACT_IO_HH
+#define YASIM_SUPPORT_ARTIFACT_IO_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace yasim {
+
+/** Container-framing layout version (independent of inner formats). */
+constexpr uint32_t kArtifactFormatVersion = 1;
+
+/** Outcome of a framed read. */
+enum class ArtifactStatus {
+    Ok,        ///< payload verified and returned
+    Missing,   ///< no such file — a plain cache miss
+    Corrupt,   ///< frame verification failed; file quarantined
+    Transient, ///< open kept failing after bounded retries
+};
+
+/** Everything readArtifact() learned. */
+struct ArtifactReadResult
+{
+    ArtifactStatus status = ArtifactStatus::Missing;
+    /** The verified payload (valid only when status == Ok). */
+    std::string payload;
+    /** Human-readable cause when status != Ok. */
+    std::string error;
+    /** Transient-open retries that were needed. */
+    uint32_t retries = 0;
+    /** True when a corrupt file was moved to "<path>.corrupt". */
+    bool quarantined = false;
+};
+
+/** Outcome of a framed write. */
+struct ArtifactWriteResult
+{
+    bool ok = false;
+    std::string error;
+    /** Transient-open retries that were needed. */
+    uint32_t retries = 0;
+};
+
+/**
+ * Read and verify the framed artifact at @p path. The frame must
+ * carry @p magic and @p version; any verification failure quarantines
+ * the file and reports Corrupt. Never throws, never aborts.
+ */
+ArtifactReadResult readArtifact(const std::string &path,
+                                std::string_view magic,
+                                uint32_t version);
+
+/**
+ * Frame @p payload under (@p magic, @p version) and publish it at
+ * @p path via write-temp/fsync/atomic-rename. Best-effort: failures
+ * are reported, never thrown.
+ */
+ArtifactWriteResult writeArtifact(const std::string &path,
+                                  std::string_view magic,
+                                  uint32_t version,
+                                  std::string_view payload);
+
+/**
+ * Move @p path aside to "<path>.corrupt" (replacing any previous
+ * quarantine) so the next lookup misses instead of re-parsing a bad
+ * file; used by callers whose payload-level parse fails after the
+ * frame verified. Returns false when the file could not be moved (it
+ * is removed instead, so the bad bytes never survive either way).
+ */
+bool quarantineArtifact(const std::string &path);
+
+/**
+ * Delete the oldest regular files (by modification time, then name)
+ * in @p dir until the directory's total size is at most @p max_bytes.
+ * The newest file always survives, whatever its size; in-flight
+ * ".tmp." files are skipped. Returns the number of files removed.
+ */
+uint64_t evictToBudget(const std::string &dir, uint64_t max_bytes);
+
+} // namespace yasim
+
+#endif // YASIM_SUPPORT_ARTIFACT_IO_HH

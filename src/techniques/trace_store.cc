@@ -1,11 +1,9 @@
 #include "techniques/trace_store.hh"
 
 #include <filesystem>
-#include <fstream>
 #include <sstream>
-#include <thread>
-#include <unistd.h>
 
+#include "support/artifact_io.hh"
 #include "support/check.hh"
 #include "support/hash.hh"
 #include "support/logging.hh"
@@ -13,6 +11,13 @@
 namespace yasim {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+/** Inner frame magic for trace spills (see support/artifact_io.hh). */
+constexpr const char *kTraceMagic = "yasim-trace";
+
+} // namespace
 
 TraceStore::TraceStore(TraceStoreOptions options)
     : opts(std::move(options))
@@ -50,43 +55,64 @@ TraceStore::diskPath(const std::string &key_text) const
 
 std::shared_ptr<const ExecTrace>
 TraceStore::loadFromDisk(const std::string &key_text,
-                         const Program &program) const
+                         const Program &program)
 {
-    std::ifstream in(diskPath(key_text), std::ios::binary);
-    if (!in)
+    const std::string path = diskPath(key_text);
+    ArtifactReadResult read =
+        readArtifact(path, kTraceMagic, kTraceFormatVersion);
+    if (read.retries) {
+        std::lock_guard<std::mutex> lock(mutex);
+        ctr.ioRetries += read.retries;
+    }
+    if (read.status == ArtifactStatus::Missing)
         return nullptr;
-    return ExecTrace::read(in, key_text, program);
+    if (read.status != ArtifactStatus::Ok) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (read.status == ArtifactStatus::Corrupt)
+            ++ctr.quarantined;
+        warn("trace cache entry '%s' unusable (%s); re-recording",
+             path.c_str(), read.error.c_str());
+        return nullptr;
+    }
+
+    std::istringstream payload(read.payload);
+    std::shared_ptr<const ExecTrace> trace =
+        ExecTrace::read(payload, key_text, program);
+    if (!trace) {
+        // The frame verified, so the payload we wrote is intact — this
+        // is a key/version mismatch or payload-level rot. Either way it
+        // can never satisfy a future lookup: quarantine and re-record.
+        quarantineArtifact(path);
+        std::lock_guard<std::mutex> lock(mutex);
+        ++ctr.quarantined;
+        warn("trace cache entry '%s' failed payload verification; "
+             "quarantined and re-recording",
+             path.c_str());
+    }
+    return trace;
 }
 
 void
 TraceStore::spillToDisk(const std::string &key_text,
                         const ExecTrace &trace)
 {
-    // Write-to-temp plus atomic rename, like the engine's result cache:
-    // concurrent processes sharing a cache directory never observe a
-    // torn trace (and a torn temp fails read()'s end-mark check anyway).
-    std::string path = diskPath(key_text);
-    std::ostringstream tmp_name;
-    tmp_name << path << ".tmp." << ::getpid() << "."
-             << std::this_thread::get_id();
-    {
-        std::ofstream out(tmp_name.str(), std::ios::binary);
-        if (!out) {
-            warn("cannot write trace cache file '%s'",
-                 tmp_name.str().c_str());
-            return;
-        }
-        trace.write(out, key_text);
-    }
-    std::error_code ec;
-    fs::rename(tmp_name.str(), path, ec);
-    if (ec) {
+    const std::string path = diskPath(key_text);
+    std::ostringstream payload;
+    trace.write(payload, key_text);
+    ArtifactWriteResult wrote =
+        writeArtifact(path, kTraceMagic, kTraceFormatVersion,
+                      payload.str());
+    uint64_t evicted = 0;
+    if (wrote.ok && opts.cacheBudgetBytes)
+        evicted = evictToBudget(opts.cacheDir, opts.cacheBudgetBytes);
+    std::lock_guard<std::mutex> lock(mutex);
+    ctr.ioRetries += wrote.retries;
+    ctr.budgetEvictions += evicted;
+    if (!wrote.ok) {
         warn("cannot publish trace cache file '%s': %s", path.c_str(),
-             ec.message().c_str());
-        fs::remove(tmp_name.str(), ec);
+             wrote.error.c_str());
         return;
     }
-    std::lock_guard<std::mutex> lock(mutex);
     ++ctr.diskWrites;
 }
 

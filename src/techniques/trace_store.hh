@@ -42,6 +42,9 @@ struct TraceStoreOptions
     uint64_t checkpointSpacing = 0;
     /** In-memory trace budget in bytes; LRU eviction beyond it. */
     size_t maxBytes = size_t(1) << 30;
+    /** Spill-directory budget in bytes (0 = unbounded); the oldest
+     *  artifacts are evicted after each spill to stay under it. */
+    uint64_t cacheBudgetBytes = 0;
 };
 
 /** Monotonic trace-store counters (bytesInMemory is a gauge). */
@@ -60,6 +63,13 @@ struct TraceCounters
     uint64_t instsRecorded = 0;
     /** Current footprint of the in-memory set. */
     uint64_t bytesInMemory = 0;
+    /** Spills that failed verification, were quarantined to
+     *  "<file>.corrupt", and re-recorded. */
+    uint64_t quarantined = 0;
+    /** Transient-I/O retries performed by spill reads and writes. */
+    uint64_t ioRetries = 0;
+    /** Spill files evicted enforcing cacheBudgetBytes. */
+    uint64_t budgetEvictions = 0;
 };
 
 /** Thread-safe record-once/replay-many trace cache. See file comment. */
@@ -102,7 +112,7 @@ class TraceStore
                         const SuiteConfig &suite) const;
     std::string diskPath(const std::string &key_text) const;
     std::shared_ptr<const ExecTrace>
-    loadFromDisk(const std::string &key_text, const Program &program) const;
+    loadFromDisk(const std::string &key_text, const Program &program);
     void spillToDisk(const std::string &key_text, const ExecTrace &trace);
     /** Insert and LRU-evict past the byte budget. Caller holds mutex. */
     void insertLocked(const std::string &key_text,

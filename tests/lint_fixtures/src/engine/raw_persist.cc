@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Lint fixture: hand-rolled artifact persistence in library code — an
+ * ofstream write published with a rename — which must trip S2. Never
+ * compiled; linted by test_lint only.
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace yasim {
+
+void
+persistRaw(const std::string &path, const std::string &payload)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary);
+        out << payload;
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+}
+
+} // namespace yasim

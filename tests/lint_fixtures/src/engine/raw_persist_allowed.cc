@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Lint fixture: the same ofstream+rename shape as raw_persist.cc but
+ * with a line-level S2 suppression on the publish site, so the
+ * suppression machinery is exercised for the persistence rule too.
+ * Never compiled; linted by test_lint only.
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace yasim {
+
+void
+persistSuppressed(const std::string &path, const std::string &payload)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary);
+        out << payload;
+    }
+    std::error_code ec;
+    // yasim-lint: allow(S2)
+    std::filesystem::rename(tmp, path, ec);
+}
+
+} // namespace yasim

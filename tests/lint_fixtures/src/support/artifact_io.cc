@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Lint fixture shaped like the real src/support/artifact_io.cc path:
+ * the one sanctioned temp+rename implementation. The builtin
+ * allowlist must exempt it from S2; disabling the allowlist must make
+ * the raw rule fire. Never compiled; linted by test_lint only.
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace yasim {
+
+void
+publishFrame(const std::string &path, const std::string &frame)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary);
+        out << frame;
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+}
+
+} // namespace yasim

@@ -1,0 +1,405 @@
+/**
+ * @file
+ * Tests for the deterministic failpoint layer and the framed artifact
+ * reader/writer behind every on-disk cache: trigger semantics,
+ * byte-level frame verification, quarantine, transient-open retries,
+ * torn-write detection, and cache-budget eviction.
+ *
+ * Every test pins its own failpoint schedule with ScopedSchedule so
+ * the assertions hold even when the whole suite runs under a CI
+ * YASIM_FAILPOINTS schedule (the RAII guard restores it afterwards).
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "support/artifact_io.hh"
+#include "support/failpoint.hh"
+
+namespace yasim {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** A scratch directory wiped before and after each use. */
+class ScratchDir
+{
+  public:
+    explicit ScratchDir(const std::string &name)
+        : dir(fs::path(::testing::TempDir()) / name)
+    {
+        fs::remove_all(dir);
+        fs::create_directories(dir);
+    }
+    ~ScratchDir() { fs::remove_all(dir); }
+    std::string str() const { return dir.string(); }
+    std::string file(const std::string &name) const
+    {
+        return (dir / name).string();
+    }
+
+  private:
+    fs::path dir;
+};
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::string out((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    return out;
+}
+
+void
+dump(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+}
+
+// ----------------------------------------------------------- failpoints
+
+TEST(Failpoint, UnarmedSitesNeverFire)
+{
+    failpoint::ScopedSchedule off("");
+    EXPECT_FALSE(failpoint::anyArmed());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_FALSE(failpoint::fire("io.read.corrupt"));
+    EXPECT_EQ(failpoint::stats("io.read.corrupt").evaluations, 0u);
+}
+
+TEST(Failpoint, AlwaysFiresEveryTime)
+{
+    failpoint::ScopedSchedule sched("io.read.corrupt=always");
+    EXPECT_TRUE(failpoint::anyArmed());
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(failpoint::fire("io.read.corrupt"));
+    failpoint::SiteStats s = failpoint::stats("io.read.corrupt");
+    EXPECT_EQ(s.evaluations, 5u);
+    EXPECT_EQ(s.fires, 5u);
+    // Other sites stay unarmed.
+    EXPECT_FALSE(failpoint::fire("io.rename.fail"));
+}
+
+TEST(Failpoint, AfterKFiresExactlyOnceOnTheKPlusFirstEvaluation)
+{
+    failpoint::ScopedSchedule sched("io.write.short=after3");
+    for (int i = 0; i < 3; ++i)
+        EXPECT_FALSE(failpoint::fire("io.write.short")) << i;
+    EXPECT_TRUE(failpoint::fire("io.write.short"));
+    for (int i = 0; i < 10; ++i)
+        EXPECT_FALSE(failpoint::fire("io.write.short"));
+    EXPECT_EQ(failpoint::stats("io.write.short").fires, 1u);
+    // A spent single-shot site no longer counts as armed.
+    EXPECT_FALSE(failpoint::anyArmed());
+}
+
+TEST(Failpoint, OneInNIsSeededAndReproducible)
+{
+    auto sequence = [] {
+        std::vector<bool> fires;
+        for (int i = 0; i < 200; ++i)
+            fires.push_back(failpoint::fire("io.read.corrupt"));
+        return fires;
+    };
+
+    failpoint::ScopedSchedule first("io.read.corrupt=1in8");
+    std::vector<bool> a = sequence();
+    failpoint::configure("io.read.corrupt=1in8");
+    std::vector<bool> b = sequence();
+    EXPECT_EQ(a, b);
+
+    uint64_t fired = failpoint::stats("io.read.corrupt").fires;
+    EXPECT_GT(fired, 5u);  // ~25 expected out of 200
+    EXPECT_LT(fired, 80u);
+
+    // A different schedule seed draws a different sequence.
+    failpoint::configure("seed=99,io.read.corrupt=1in8");
+    EXPECT_NE(sequence(), a);
+}
+
+TEST(Failpoint, ScopedScheduleRestoresThePreviousSpec)
+{
+    failpoint::ScopedSchedule outer("io.rename.fail=always");
+    {
+        failpoint::ScopedSchedule inner("");
+        EXPECT_FALSE(failpoint::fire("io.rename.fail"));
+    }
+    EXPECT_EQ(failpoint::activeSpec(), "io.rename.fail=always");
+    EXPECT_TRUE(failpoint::fire("io.rename.fail"));
+}
+
+TEST(FailpointDeathTest, MalformedSpecsAreFatal)
+{
+    EXPECT_DEATH(failpoint::configure("io.read.corrupt"),
+                 "not site=trigger");
+    EXPECT_DEATH(failpoint::configure("io.read.corrupt=1in0"),
+                 "bad 1inN");
+    EXPECT_DEATH(failpoint::configure("io.read.corrupt=sometimes"),
+                 "unknown trigger");
+}
+
+// ------------------------------------------------------------- framing
+
+TEST(ArtifactIo, RoundTripsBinaryPayloads)
+{
+    failpoint::ScopedSchedule off("");
+    ScratchDir scratch("yasim_artifact_roundtrip");
+    const std::string path = scratch.file("blob.art");
+    std::string payload = "binary\0payload\n\xff with NULs";
+    payload.push_back('\0');
+
+    ArtifactWriteResult wrote =
+        writeArtifact(path, "yasim-test", 7, payload);
+    ASSERT_TRUE(wrote.ok) << wrote.error;
+    EXPECT_EQ(wrote.retries, 0u);
+
+    ArtifactReadResult read = readArtifact(path, "yasim-test", 7);
+    ASSERT_EQ(read.status, ArtifactStatus::Ok) << read.error;
+    EXPECT_EQ(read.payload, payload);
+    EXPECT_EQ(read.retries, 0u);
+
+    // No stray temp files left behind.
+    int files = 0;
+    for (const auto &entry : fs::directory_iterator(scratch.str()))
+        files += entry.is_regular_file() ? 1 : 0;
+    EXPECT_EQ(files, 1);
+}
+
+TEST(ArtifactIo, EmptyPayloadIsAValidArtifact)
+{
+    failpoint::ScopedSchedule off("");
+    ScratchDir scratch("yasim_artifact_empty");
+    const std::string path = scratch.file("empty.art");
+    ASSERT_TRUE(writeArtifact(path, "yasim-test", 1, "").ok);
+    ArtifactReadResult read = readArtifact(path, "yasim-test", 1);
+    ASSERT_EQ(read.status, ArtifactStatus::Ok) << read.error;
+    EXPECT_TRUE(read.payload.empty());
+}
+
+TEST(ArtifactIo, MissingFileIsAMissNotAnError)
+{
+    failpoint::ScopedSchedule off("");
+    ScratchDir scratch("yasim_artifact_missing");
+    ArtifactReadResult read =
+        readArtifact(scratch.file("nope.art"), "yasim-test", 1);
+    EXPECT_EQ(read.status, ArtifactStatus::Missing);
+    EXPECT_FALSE(read.quarantined);
+}
+
+TEST(ArtifactIo, WrongKindAndWrongVersionAreCorrupt)
+{
+    failpoint::ScopedSchedule off("");
+    ScratchDir scratch("yasim_artifact_kinds");
+    const std::string path = scratch.file("a.art");
+
+    ASSERT_TRUE(writeArtifact(path, "yasim-test", 3, "payload").ok);
+    ArtifactReadResult kind = readArtifact(path, "yasim-other", 3);
+    EXPECT_EQ(kind.status, ArtifactStatus::Corrupt);
+    EXPECT_NE(kind.error.find("magic"), std::string::npos);
+    EXPECT_TRUE(kind.quarantined);
+
+    ASSERT_TRUE(writeArtifact(path, "yasim-test", 3, "payload").ok);
+    ArtifactReadResult version = readArtifact(path, "yasim-test", 4);
+    EXPECT_EQ(version.status, ArtifactStatus::Corrupt);
+    EXPECT_NE(version.error.find("version"), std::string::npos);
+}
+
+TEST(ArtifactIo, EveryByteIsCoveredByVerification)
+{
+    failpoint::ScopedSchedule off("");
+    ScratchDir scratch("yasim_artifact_flips");
+    const std::string path = scratch.file("flip.art");
+    ASSERT_TRUE(
+        writeArtifact(path, "yasim-test", 1, "sensitive payload").ok);
+    const std::string good = slurp(path);
+    ASSERT_FALSE(good.empty());
+
+    // Flip one bit at a sample of offsets: every single one must be
+    // caught (and quarantined so the re-dump below starts clean).
+    for (size_t at = 0; at < good.size(); at += 7) {
+        std::string bad = good;
+        bad[at] ^= 0x01;
+        dump(path, bad);
+        ArtifactReadResult read = readArtifact(path, "yasim-test", 1);
+        EXPECT_EQ(read.status, ArtifactStatus::Corrupt)
+            << "undetected flip at offset " << at;
+        EXPECT_FALSE(fs::exists(path)) << "no quarantine at " << at;
+    }
+}
+
+TEST(ArtifactIo, TruncationAndTrailingGarbageAreCorrupt)
+{
+    failpoint::ScopedSchedule off("");
+    ScratchDir scratch("yasim_artifact_tails");
+    const std::string path = scratch.file("tail.art");
+    ASSERT_TRUE(writeArtifact(path, "yasim-test", 1, "payload").ok);
+    const std::string good = slurp(path);
+
+    dump(path, good.substr(0, good.size() - 3));
+    EXPECT_EQ(readArtifact(path, "yasim-test", 1).status,
+              ArtifactStatus::Corrupt);
+
+    dump(path, good + "junk");
+    ArtifactReadResult trailing = readArtifact(path, "yasim-test", 1);
+    EXPECT_EQ(trailing.status, ArtifactStatus::Corrupt);
+    EXPECT_NE(trailing.error.find("trailing"), std::string::npos);
+
+    dump(path, "");
+    EXPECT_EQ(readArtifact(path, "yasim-test", 1).status,
+              ArtifactStatus::Corrupt);
+}
+
+TEST(ArtifactIo, QuarantineMovesTheBadFileAside)
+{
+    failpoint::ScopedSchedule off("");
+    ScratchDir scratch("yasim_artifact_quarantine");
+    const std::string path = scratch.file("bad.art");
+    dump(path, "not an artifact at all");
+
+    ArtifactReadResult read = readArtifact(path, "yasim-test", 1);
+    EXPECT_EQ(read.status, ArtifactStatus::Corrupt);
+    EXPECT_TRUE(read.quarantined);
+    EXPECT_FALSE(fs::exists(path));
+    EXPECT_TRUE(fs::exists(path + ".corrupt"));
+    EXPECT_EQ(slurp(path + ".corrupt"), "not an artifact at all");
+
+    // The next lookup is a clean miss, not a repeated parse failure.
+    EXPECT_EQ(readArtifact(path, "yasim-test", 1).status,
+              ArtifactStatus::Missing);
+}
+
+// ---------------------------------------------------- injected faults
+
+TEST(ArtifactIo, InjectedCorruptionQuarantinesAndReports)
+{
+    ScratchDir scratch("yasim_artifact_injected");
+    const std::string path = scratch.file("bits.art");
+    {
+        failpoint::ScopedSchedule off("");
+        ASSERT_TRUE(writeArtifact(path, "yasim-test", 1, "payload").ok);
+    }
+    failpoint::ScopedSchedule sched("io.read.corrupt=always");
+    ArtifactReadResult read = readArtifact(path, "yasim-test", 1);
+    EXPECT_EQ(read.status, ArtifactStatus::Corrupt);
+    EXPECT_TRUE(read.quarantined);
+    EXPECT_TRUE(fs::exists(path + ".corrupt"));
+}
+
+TEST(ArtifactIo, TransientOpenRetriesThenSucceeds)
+{
+    ScratchDir scratch("yasim_artifact_transient");
+    const std::string path = scratch.file("retry.art");
+    {
+        failpoint::ScopedSchedule off("");
+        ASSERT_TRUE(writeArtifact(path, "yasim-test", 1, "payload").ok);
+    }
+    // after0: the very first open fails once, the retry succeeds.
+    failpoint::ScopedSchedule sched("io.open.transient=after0");
+    ArtifactReadResult read = readArtifact(path, "yasim-test", 1);
+    ASSERT_EQ(read.status, ArtifactStatus::Ok) << read.error;
+    EXPECT_EQ(read.payload, "payload");
+    EXPECT_EQ(read.retries, 1u);
+}
+
+TEST(ArtifactIo, PersistentTransientOpenGivesUpGracefully)
+{
+    ScratchDir scratch("yasim_artifact_transient_hard");
+    const std::string path = scratch.file("never.art");
+    {
+        failpoint::ScopedSchedule off("");
+        ASSERT_TRUE(writeArtifact(path, "yasim-test", 1, "payload").ok);
+    }
+    failpoint::ScopedSchedule sched("io.open.transient=always");
+    ArtifactReadResult read = readArtifact(path, "yasim-test", 1);
+    EXPECT_EQ(read.status, ArtifactStatus::Transient);
+    EXPECT_GE(read.retries, 1u);
+    // The file itself is fine: it must NOT have been quarantined.
+    EXPECT_TRUE(fs::exists(path));
+}
+
+TEST(ArtifactIo, TornWriteIsCaughtByTheNextRead)
+{
+    ScratchDir scratch("yasim_artifact_torn");
+    const std::string path = scratch.file("torn.art");
+    {
+        // A short write publishes a torn frame (like a power cut after
+        // rename but before the data hit the platter).
+        failpoint::ScopedSchedule sched("io.write.short=always");
+        writeArtifact(path, "yasim-test", 1,
+                      std::string(4096, 'x'));
+    }
+    failpoint::ScopedSchedule off("");
+    ArtifactReadResult read = readArtifact(path, "yasim-test", 1);
+    EXPECT_EQ(read.status, ArtifactStatus::Corrupt);
+    EXPECT_FALSE(fs::exists(path));
+}
+
+TEST(ArtifactIo, FailedRenameLeavesNoFileBehind)
+{
+    ScratchDir scratch("yasim_artifact_rename");
+    const std::string path = scratch.file("renamed.art");
+    failpoint::ScopedSchedule sched("io.rename.fail=always");
+    ArtifactWriteResult wrote =
+        writeArtifact(path, "yasim-test", 1, "payload");
+    EXPECT_FALSE(wrote.ok);
+    // Neither the target nor any temp file survives.
+    int files = 0;
+    for (const auto &entry : fs::directory_iterator(scratch.str()))
+        files += entry.is_regular_file() ? 1 : 0;
+    EXPECT_EQ(files, 0);
+}
+
+// ------------------------------------------------------------ eviction
+
+TEST(ArtifactIo, EvictsOldestFilesDownToBudget)
+{
+    failpoint::ScopedSchedule off("");
+    ScratchDir scratch("yasim_artifact_evict");
+    // Three 1000-byte artifacts with strictly increasing mtimes,
+    // derived from the first file's mtime (no wall-clock reads).
+    const std::string payload(900, 'p');
+    std::vector<std::string> paths;
+    for (int i = 0; i < 3; ++i) {
+        std::string path = scratch.file("f" + std::to_string(i));
+        ASSERT_TRUE(writeArtifact(path, "yasim-test", 1, payload).ok);
+        paths.push_back(path);
+    }
+    fs::file_time_type base = fs::last_write_time(paths[0]);
+    for (int i = 0; i < 3; ++i)
+        fs::last_write_time(paths[i],
+                            base + std::chrono::seconds(i + 1));
+    uint64_t each = fs::file_size(paths[0]);
+
+    // Budget fits two files: the oldest one goes.
+    EXPECT_EQ(evictToBudget(scratch.str(), 2 * each), 1u);
+    EXPECT_FALSE(fs::exists(paths[0]));
+    EXPECT_TRUE(fs::exists(paths[1]));
+    EXPECT_TRUE(fs::exists(paths[2]));
+
+    // Already under budget: nothing happens.
+    EXPECT_EQ(evictToBudget(scratch.str(), 2 * each), 0u);
+
+    // Even an impossible budget never evicts the newest artifact.
+    EXPECT_EQ(evictToBudget(scratch.str(), 1), 1u);
+    EXPECT_TRUE(fs::exists(paths[2]));
+}
+
+TEST(ArtifactIo, EvictionSkipsInFlightTempFiles)
+{
+    failpoint::ScopedSchedule off("");
+    ScratchDir scratch("yasim_artifact_evict_tmp");
+    dump(scratch.file("a.art.tmp.123.456"), std::string(10000, 't'));
+    dump(scratch.file("real.art"), std::string(100, 'r'));
+    EXPECT_EQ(evictToBudget(scratch.str(), 500), 0u);
+    EXPECT_TRUE(fs::exists(scratch.file("a.art.tmp.123.456")));
+    EXPECT_TRUE(fs::exists(scratch.file("real.art")));
+}
+
+} // namespace
+} // namespace yasim

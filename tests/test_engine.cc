@@ -11,13 +11,19 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <initializer_list>
 #include <sstream>
+#include <sys/wait.h>
 #include <thread>
+#include <unistd.h>
 #include <vector>
 
 #include "engine/cache_key.hh"
 #include "engine/engine.hh"
 #include "engine/result_io.hh"
+#include "sim/trace.hh"
+#include "support/artifact_io.hh"
+#include "support/failpoint.hh"
 #include "techniques/full_reference.hh"
 #include "techniques/reduced_input.hh"
 #include "techniques/service.hh"
@@ -90,6 +96,57 @@ class ScratchDir
   private:
     fs::path dir;
 };
+
+/** Flip one byte in the middle of @p path (simulated bit rot). */
+void
+flipMiddleByte(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    ASSERT_FALSE(bytes.empty());
+    bytes[bytes.size() / 2] ^= 0x01;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+}
+
+/**
+ * Assert that every published artifact in @p dir verifies: quarantine
+ * leftovers and in-flight temps are ignored, everything else must
+ * parse under its extension's (magic, version) pair. This is the
+ * crash-safety invariant — a cache directory is always empty-or-valid.
+ */
+void
+expectDirEmptyOrValid(const std::string &dir)
+{
+    failpoint::ScopedSchedule off("");
+    for (const fs::directory_entry &entry : fs::directory_iterator(dir)) {
+        if (!entry.is_regular_file())
+            continue;
+        const std::string name = entry.path().filename().string();
+        if (name.find(".tmp.") != std::string::npos ||
+            name.find(".corrupt") != std::string::npos)
+            continue;
+        const std::string ext = entry.path().extension().string();
+        ArtifactReadResult read;
+        if (ext == ".result") {
+            read = readArtifact(entry.path().string(), "yasim-result",
+                                kCacheFormatVersion);
+        } else if (ext == ".reflen") {
+            read = readArtifact(entry.path().string(), "yasim-reflen",
+                                kCacheFormatVersion);
+        } else if (ext == ".trace") {
+            read = readArtifact(entry.path().string(), "yasim-trace",
+                                kTraceFormatVersion);
+        } else {
+            ADD_FAILURE() << "unexpected cache file " << name;
+            continue;
+        }
+        EXPECT_EQ(read.status, ArtifactStatus::Ok)
+            << name << ": " << read.error;
+    }
+}
 
 // ---------------------------------------------------------------- keys
 
@@ -219,6 +276,31 @@ TEST(ResultIo, ReferenceLengthRoundTrip)
     EXPECT_FALSE(readReferenceLength(again, "other-key", length));
 }
 
+TEST(ResultIo, RejectsTrailingGarbage)
+{
+    // A well-formed payload followed by extra bytes is not something
+    // writeResult ever produced — it must read as a miss, never as
+    // "close enough" (an interrupted overwrite looks exactly like
+    // this).
+    TechniqueContext ctx = directCtx("gzip");
+    SimConfig config = architecturalConfig(1);
+    Smarts smarts(500, 1000);
+    TechniqueResult fresh = smarts.run(ctx, config);
+    const std::string key = resultCacheKey(smarts, ctx, config);
+
+    std::stringstream buffer;
+    writeResult(buffer, key, fresh);
+    TechniqueResult loaded;
+    std::stringstream tainted(buffer.str() + "zombie bytes\n");
+    EXPECT_FALSE(readResult(tainted, key, loaded));
+
+    std::stringstream reflen;
+    writeReferenceLength(reflen, "ref-key", 42);
+    uint64_t length = 0;
+    std::stringstream tainted_len(reflen.str() + "extra");
+    EXPECT_FALSE(readReferenceLength(tainted_len, "ref-key", length));
+}
+
 // ------------------------------------------------------------- memoing
 
 TEST(Engine, MemoizesRepeatedRuns)
@@ -303,6 +385,9 @@ TEST(Engine, ConcurrentRequestsCollapseOntoOneRun)
 
 TEST(Engine, DiskCacheRoundTripsAcrossEngines)
 {
+    // Pin the schedule: the exact counters below assume no injected
+    // faults even when the suite runs under a CI YASIM_FAILPOINTS job.
+    failpoint::ScopedSchedule off("");
     ScratchDir scratch("yasim_engine_disk_roundtrip");
     SuiteConfig suite;
     suite.referenceInstructions = kRefInsts;
@@ -336,6 +421,7 @@ TEST(Engine, DiskCacheRoundTripsAcrossEngines)
 
 TEST(Engine, RefLengthDiskCacheServesTracelessEngines)
 {
+    failpoint::ScopedSchedule off("");
     ScratchDir scratch("yasim_engine_reflen_roundtrip");
     SuiteConfig suite;
     suite.referenceInstructions = kRefInsts;
@@ -356,6 +442,7 @@ TEST(Engine, RefLengthDiskCacheServesTracelessEngines)
 
 TEST(Engine, CorruptDiskFilesReadAsMisses)
 {
+    failpoint::ScopedSchedule off("");
     ScratchDir scratch("yasim_engine_disk_corrupt");
     SuiteConfig suite;
     suite.referenceInstructions = kRefInsts;
@@ -378,6 +465,250 @@ TEST(Engine, CorruptDiskFilesReadAsMisses)
         cold.run(smarts, cold.context("gzip", suite), config);
     EXPECT_EQ(cold.counters().runsExecuted, 1u);
     EXPECT_GT(rerun.workUnits, 0.0);
+}
+
+// ---------------------------------------------------------- robustness
+
+TEST(EngineRobustness, SelfHealsCorruptEntriesAndCountsThem)
+{
+    failpoint::ScopedSchedule off("");
+    ScratchDir scratch("yasim_engine_self_heal");
+    SuiteConfig suite;
+    suite.referenceInstructions = kRefInsts;
+    SimConfig config = architecturalConfig(1);
+    Smarts smarts(500, 1000);
+
+    TechniqueResult fresh;
+    {
+        ExperimentEngine warm({.cacheDir = scratch.str()});
+        fresh = warm.run(smarts, warm.context("gzip", suite), config);
+    }
+    int rotted = 0;
+    for (const fs::directory_entry &entry :
+         fs::directory_iterator(scratch.str()))
+        if (entry.path().extension() == ".result") {
+            flipMiddleByte(entry.path());
+            ++rotted;
+        }
+    ASSERT_GE(rotted, 1);
+
+    // The cold engine quarantines the rotten entry, recomputes
+    // bit-identically, counts the corruption, and republishes.
+    ExperimentEngine cold({.cacheDir = scratch.str()});
+    TechniqueResult healed =
+        cold.run(smarts, cold.context("gzip", suite), config);
+    expectBitIdentical(healed, fresh);
+    EngineCounters ctr = cold.counters();
+    EXPECT_EQ(ctr.runsExecuted, 1u);
+    EXPECT_GE(ctr.cacheCorrupt, 1u);
+    EXPECT_GE(ctr.diskWrites, 1u);
+
+    int quarantined = 0;
+    for (const fs::directory_entry &entry :
+         fs::directory_iterator(scratch.str()))
+        if (entry.path().string().ends_with(".corrupt"))
+            ++quarantined;
+    EXPECT_GE(quarantined, 1);
+    expectDirEmptyOrValid(scratch.str());
+}
+
+TEST(EngineRobustness, TraceQuarantineRecordsBitIdenticallyAgain)
+{
+    failpoint::ScopedSchedule off("");
+    ScratchDir scratch("yasim_engine_trace_heal");
+    SuiteConfig suite;
+    suite.referenceInstructions = kRefInsts;
+    SimConfig config = architecturalConfig(1);
+    Smarts smarts(500, 1000);
+
+    TechniqueResult fresh;
+    {
+        ExperimentEngine warm({.cacheDir = scratch.str()});
+        fresh = warm.run(smarts, warm.context("gzip", suite), config);
+    }
+    for (const fs::directory_entry &entry :
+         fs::directory_iterator(scratch.str()))
+        if (entry.path().extension() == ".result" ||
+            entry.path().extension() == ".trace")
+            flipMiddleByte(entry.path());
+
+    ExperimentEngine cold({.cacheDir = scratch.str()});
+    TechniqueResult healed =
+        cold.run(smarts, cold.context("gzip", suite), config);
+    expectBitIdentical(healed, fresh);
+    ASSERT_NE(cold.traceStore(), nullptr);
+    TraceCounters t = cold.traceStore()->counters();
+    EXPECT_GE(t.quarantined, 1u);
+    EXPECT_EQ(t.recordings, 1u);
+    EXPECT_EQ(t.diskLoads, 0u);
+}
+
+TEST(EngineRobustness, TransientReadsRetryAndStillHitTheCache)
+{
+    ScratchDir scratch("yasim_engine_transient");
+    SuiteConfig suite;
+    suite.referenceInstructions = kRefInsts;
+    SimConfig config = architecturalConfig(1);
+    Smarts smarts(500, 1000);
+
+    TechniqueResult fresh;
+    {
+        failpoint::ScopedSchedule off("");
+        ExperimentEngine warm({.cacheDir = scratch.str()});
+        fresh = warm.run(smarts, warm.context("gzip", suite), config);
+    }
+
+    // The very first open fails once; the bounded retry succeeds, so
+    // the cache still serves everything without a single simulation.
+    failpoint::ScopedSchedule sched("io.open.transient=after0");
+    ExperimentEngine cold({.cacheDir = scratch.str()});
+    TechniqueResult loaded =
+        cold.run(smarts, cold.context("gzip", suite), config);
+    expectBitIdentical(loaded, fresh);
+    EXPECT_EQ(cold.counters().runsExecuted, 0u);
+    ASSERT_NE(cold.traceStore(), nullptr);
+    EXPECT_GE(cold.counters().ioRetries +
+                  cold.traceStore()->counters().ioRetries,
+              1u);
+}
+
+TEST(EngineRobustness, UnreadableEntriesAreCountedNotFatal)
+{
+    ScratchDir scratch("yasim_engine_unreadable");
+    SuiteConfig suite;
+    suite.referenceInstructions = kRefInsts;
+    SimConfig config = architecturalConfig(1);
+    Smarts smarts(500, 1000);
+
+    TechniqueResult fresh;
+    {
+        failpoint::ScopedSchedule off("");
+        ExperimentEngine warm(
+            {.cacheDir = scratch.str(), .traces = false});
+        fresh = warm.run(smarts, warm.context("gzip", suite), config);
+    }
+
+    // Every open fails even after retries: reads degrade to misses,
+    // writes are dropped with a warning, the run still completes with
+    // bit-identical results (the unreadable-entry satellite fix).
+    failpoint::ScopedSchedule sched("io.open.transient=always");
+    ExperimentEngine cold({.cacheDir = scratch.str(), .traces = false});
+    TechniqueResult recomputed =
+        cold.run(smarts, cold.context("gzip", suite), config);
+    expectBitIdentical(recomputed, fresh);
+    EngineCounters ctr = cold.counters();
+    EXPECT_EQ(ctr.runsExecuted, 1u);
+    EXPECT_GE(ctr.cacheUnreadable, 1u);
+    EXPECT_EQ(ctr.diskHits, 0u);
+}
+
+TEST(EngineRobustness, CacheBudgetEvictsOldestEntries)
+{
+    failpoint::ScopedSchedule off("");
+    ScratchDir scratch("yasim_engine_budget");
+    SuiteConfig suite;
+    suite.referenceInstructions = kRefInsts;
+    Smarts smarts(500, 1000);
+
+    // A one-byte budget forces an eviction sweep after every publish;
+    // only the newest artifact may survive each sweep.
+    ExperimentEngine engine({.cacheDir = scratch.str(),
+                             .traces = false,
+                             .cacheBudgetBytes = 1});
+    TechniqueContext ctx = engine.context("gzip", suite);
+    engine.run(smarts, ctx, architecturalConfig(1));
+    engine.run(smarts, ctx, architecturalConfig(2));
+    EXPECT_GE(engine.counters().budgetEvictions, 2u);
+
+    int files = 0;
+    for (const fs::directory_entry &entry :
+         fs::directory_iterator(scratch.str()))
+        files += entry.is_regular_file() ? 1 : 0;
+    EXPECT_EQ(files, 1);
+    expectDirEmptyOrValid(scratch.str());
+}
+
+TEST(EngineRobustness, ConcurrentEnginesShareOneCacheDir)
+{
+    failpoint::ScopedSchedule off("");
+    ScratchDir scratch("yasim_engine_shared_dir");
+    SuiteConfig suite;
+    suite.referenceInstructions = kRefInsts;
+    SimConfig config = architecturalConfig(2);
+    Smarts smarts(1000, 2000);
+
+    // Four independent engines (four "driver processes" in miniature)
+    // race over one cache directory: every result must be
+    // bit-identical and the directory must end valid — the atomic
+    // temp+rename publish means no reader ever sees a torn artifact.
+    std::vector<TechniqueResult> results(4);
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < results.size(); ++t)
+        threads.emplace_back([&, t] {
+            ExperimentEngine engine({.cacheDir = scratch.str()});
+            results[t] = engine.run(
+                smarts, engine.context("gzip", suite), config);
+        });
+    for (std::thread &thread : threads)
+        thread.join();
+
+    for (size_t t = 1; t < results.size(); ++t)
+        expectBitIdentical(results[t], results[0]);
+    expectDirEmptyOrValid(scratch.str());
+}
+
+TEST(EngineRobustness, KilledWritersNeverPublishTornArtifacts)
+{
+    // The crash-safety torture test: fork a writer child and hard-kill
+    // it (_exit from inside the write loop) at a failpoint-chosen
+    // write offset, sweeping the offset across runs. Whatever the
+    // crash point — during the trace spill, the reflen, or the result
+    // write — the shared directory must stay empty-or-valid.
+    ScratchDir scratch("yasim_engine_torture");
+    SuiteConfig suite;
+    suite.referenceInstructions = kRefInsts;
+    SimConfig config = architecturalConfig(1);
+    Smarts smarts(500, 1000);
+
+    int crashes = 0;
+    for (uint64_t crash_at :
+         std::initializer_list<uint64_t>{0, 1, 2, 4, 7, 12}) {
+        fs::remove_all(scratch.str());
+        fs::create_directories(scratch.str());
+
+        pid_t pid = fork();
+        ASSERT_NE(pid, -1);
+        if (pid == 0) {
+            // Child: arm the crash site, run one cache-warming job,
+            // and exit 0 if the sweep point was past the last write.
+            failpoint::configure("io.write.crash=after" +
+                                 std::to_string(crash_at));
+            ExperimentEngine engine({.cacheDir = scratch.str()});
+            engine.run(smarts, engine.context("gzip", suite), config);
+            ::_exit(0);
+        }
+        int status = 0;
+        ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+        ASSERT_TRUE(WIFEXITED(status));
+        ASSERT_TRUE(WEXITSTATUS(status) == 0 ||
+                    WEXITSTATUS(status) == 86)
+            << "unexpected child exit " << WEXITSTATUS(status);
+        crashes += WEXITSTATUS(status) == 86 ? 1 : 0;
+
+        expectDirEmptyOrValid(scratch.str());
+
+        // And the survivors must be fully usable: a fresh engine over
+        // the directory reproduces the result bit-identically.
+        failpoint::ScopedSchedule off("");
+        ExperimentEngine after({.cacheDir = scratch.str()});
+        TechniqueResult result =
+            after.run(smarts, after.context("gzip", suite), config);
+        EXPECT_GT(result.workUnits, 0.0);
+    }
+    // The sweep must actually have killed at least one child mid-write
+    // (otherwise the offsets are all past the workload's last write
+    // and the test is vacuous).
+    EXPECT_GE(crashes, 1);
 }
 
 // ------------------------------------------------------------ prefetch

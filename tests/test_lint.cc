@@ -54,7 +54,7 @@ TEST(LintCatalog, ListsEveryRule)
     for (const RuleInfo &info : catalog)
         ids.emplace_back(info.id);
     EXPECT_EQ(ids, (std::vector<std::string>{"D1", "D2", "L1", "L2",
-                                             "S1"}));
+                                             "S1", "S2"}));
 }
 
 TEST(LintD1, FlagsEntropyAndHonoursLineSuppressions)
@@ -113,6 +113,49 @@ TEST(LintS1, RequiresVersionMarkerWithRawSerialization)
     auto versioned = lintFile(fixture("src/sim/versioned_serial.cc"));
     EXPECT_TRUE(versioned.empty())
         << testing::PrintToString(rulesOf(versioned));
+}
+
+TEST(LintS2, FlagsRawPersistenceInLibraryCode)
+{
+    auto findings = lintFile(fixture("src/engine/raw_persist.cc"));
+    EXPECT_EQ(countRule(findings, "S2"), 1) << testing::PrintToString(
+        rulesOf(findings));
+}
+
+TEST(LintS2, LineSuppressionSilencesThePublishSite)
+{
+    auto findings =
+        lintFile(fixture("src/engine/raw_persist_allowed.cc"));
+    EXPECT_TRUE(findings.empty())
+        << testing::PrintToString(rulesOf(findings));
+}
+
+TEST(LintS2, IgnoresCodeOutsideSrc)
+{
+    // The same shape outside src/ (a tool, a test) is not S2's
+    // business.
+    const std::string body = "#include <fstream>\n"
+                             "void f() {\n"
+                             "    std::ofstream out(\"x.tmp\");\n"
+                             "    rename(\"x.tmp\", \"x\");\n"
+                             "}\n";
+    EXPECT_TRUE(lintSource("tools/yasim-lint/main.cc", body).empty());
+    EXPECT_EQ(countRule(lintSource("src/engine/fake.cc", body), "S2"),
+              1);
+}
+
+TEST(LintS2, ArtifactIoIsTheSanctionedSeam)
+{
+    const std::string path = fixture("src/support/artifact_io.cc");
+
+    auto with = lintFile(path);
+    EXPECT_TRUE(with.empty()) << testing::PrintToString(rulesOf(with));
+
+    Options raw;
+    raw.builtinAllowlist = false;
+    auto without = lintFile(path, raw);
+    EXPECT_EQ(countRule(without, "S2"), 1)
+        << testing::PrintToString(rulesOf(without));
 }
 
 TEST(LintSuppression, AllowFileSilencesWholeFile)

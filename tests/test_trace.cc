@@ -22,6 +22,7 @@
 #include "sim/config.hh"
 #include "sim/ooo_core.hh"
 #include "sim/trace.hh"
+#include "support/failpoint.hh"
 #include "techniques/full_reference.hh"
 #include "techniques/random_sampling.hh"
 #include "techniques/reduced_input.hh"
@@ -443,6 +444,9 @@ TEST(TraceStore, ConcurrentReplayersShareOneTrace)
 
 TEST(TraceStore, SpillsToDiskAndReloadsBitIdentically)
 {
+    // Pin the schedule: the exact disk counters below assume no
+    // injected faults even under a CI YASIM_FAILPOINTS job.
+    failpoint::ScopedSchedule off("");
     ScratchDir scratch("yasim_trace_spill");
     TraceStoreOptions options;
     options.cacheDir = scratch.str();
@@ -478,6 +482,7 @@ TEST(TraceStore, SpillsToDiskAndReloadsBitIdentically)
 
 TEST(TraceStore, CorruptSpillReadsAsMissAndRerecords)
 {
+    failpoint::ScopedSchedule off("");
     ScratchDir scratch("yasim_trace_corrupt");
     TraceStoreOptions options;
     options.cacheDir = scratch.str();
@@ -498,6 +503,41 @@ TEST(TraceStore, CorruptSpillReadsAsMissAndRerecords)
     EXPECT_GT(trace->length(), 0u);
     EXPECT_EQ(cold.counters().recordings, 1u);
     EXPECT_EQ(cold.counters().diskLoads, 0u);
+    // The bad spill was quarantined, counted, and re-spilled: the
+    // original file name holds a fresh valid artifact, the rot sits in
+    // a .corrupt file beside it.
+    EXPECT_GE(cold.counters().quarantined, 1u);
+    int corrupt_files = 0;
+    for (const fs::directory_entry &entry :
+         fs::directory_iterator(scratch.str()))
+        if (entry.path().string().ends_with(".corrupt"))
+            ++corrupt_files;
+    EXPECT_GE(corrupt_files, 1);
+
+    TraceStore again(options);
+    auto reloaded = again.get("gzip", InputSet::Reference, tinySuite());
+    EXPECT_EQ(again.counters().diskLoads, 1u);
+    EXPECT_EQ(reloaded->length(), trace->length());
+}
+
+TEST(TraceStore, SpillBudgetBoundsTheDirectory)
+{
+    failpoint::ScopedSchedule off("");
+    ScratchDir scratch("yasim_trace_budget");
+    TraceStoreOptions options;
+    options.cacheDir = scratch.str();
+    options.cacheBudgetBytes = 1; // only the newest spill may survive
+
+    TraceStore store(options);
+    store.get("gzip", InputSet::Reference, tinySuite());
+    store.get("mcf", InputSet::Reference, tinySuite());
+    EXPECT_GE(store.counters().budgetEvictions, 1u);
+
+    int files = 0;
+    for (const fs::directory_entry &entry :
+         fs::directory_iterator(scratch.str()))
+        files += entry.is_regular_file() ? 1 : 0;
+    EXPECT_EQ(files, 1);
 }
 
 TEST(TraceStore, EvictsLeastRecentlyUsedPastByteBudget)

@@ -20,6 +20,7 @@ constexpr const char *kRuleD2 = "D2";
 constexpr const char *kRuleL1 = "L1";
 constexpr const char *kRuleL2 = "L2";
 constexpr const char *kRuleS1 = "S1";
+constexpr const char *kRuleS2 = "S2";
 
 /** Built-in allowlist: the designated seam files, per rule. */
 struct AllowEntry
@@ -36,6 +37,9 @@ constexpr AllowEntry kBuiltinAllow[] = {
     // The live-interpretation fallback behind openStepSource() — the
     // one sanctioned FunctionalSim construction site outside src/sim.
     {"src/techniques/trace_store.cc", kRuleL1},
+    // The one sanctioned temp+rename implementation: every other
+    // library persistence path must go through it.
+    {"src/support/artifact_io.cc", kRuleS2},
 };
 
 /** D1: banned only when invoked (identifier followed by '('). */
@@ -671,6 +675,39 @@ ruleS1(const std::string &path, const std::string &code,
     }
 }
 
+void
+ruleS2(const std::string &path, const std::string &code,
+       const std::vector<Token> &tokens, const Suppressions &sup,
+       std::vector<Finding> &findings)
+{
+    // Library code only: tools and tests may roll their own files.
+    if (path.find("src/") == std::string::npos)
+        return;
+    bool hasOfstream = false;
+    for (const Token &tok : tokens) {
+        if (tok.text == "ofstream") {
+            hasOfstream = true;
+            break;
+        }
+    }
+    if (!hasOfstream)
+        return;
+    for (const Token &tok : tokens) {
+        if (tok.text != "rename")
+            continue;
+        size_t end = tok.offset + tok.text.size();
+        if (nextSignificant(code, end) != '(')
+            continue;
+        addFinding(findings, sup, path, kRuleS2, tok.line,
+                   "hand-rolled artifact persistence (ofstream + "
+                   "rename) outside support/artifact_io — checksummed "
+                   "framing, fsync, atomic publish, retries, and "
+                   "quarantine all live behind writeArtifact()/"
+                   "readArtifact() (support/artifact_io.hh); "
+                   "copy-pasted temp+rename blocks forfeit them");
+    }
+}
+
 } // namespace
 
 std::vector<RuleInfo>
@@ -685,6 +722,8 @@ ruleCatalog()
         {kRuleL2, "bench goes through BenchDriver/SimulationService, "
                   "never engine internals"},
         {kRuleS1, "raw serialization carries a format-version marker"},
+        {kRuleS2, "library persistence goes through "
+                  "support/artifact_io, never raw ofstream+rename"},
     };
 }
 
@@ -732,6 +771,8 @@ lintSource(const std::string &path, const std::string &text,
         ruleL2(norm, text, tokens, sup, findings);
     if (active.count(kRuleS1))
         ruleS1(norm, masked.code, tokens, sup, findings);
+    if (active.count(kRuleS2))
+        ruleS2(norm, masked.code, tokens, sup, findings);
 
     std::sort(findings.begin(), findings.end(),
               [](const Finding &a, const Finding &b) {

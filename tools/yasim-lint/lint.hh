@@ -19,6 +19,8 @@
  *   L2  bench drivers go through BenchDriver / SimulationService,
  *       never engine internals
  *   S1  raw serialization code must carry a format-version marker
+ *   S2  library persistence goes through support/artifact_io, never
+ *       raw ofstream+rename
  *
  * Suppression syntax (in comments):
  *   // yasim-lint: allow(D1)        this line (or next, if the
@@ -51,7 +53,8 @@ struct Options
     /**
      * Honour the built-in allowlist (the designated seam files:
      * bench/microbench.cc for D1/L2, src/techniques/trace_store.cc
-     * for L1). Tests disable it to exercise the raw rules.
+     * for L1, src/support/artifact_io.cc for S2). Tests disable it to
+     * exercise the raw rules.
      */
     bool builtinAllowlist = true;
     /** Extra "path-suffix:RULE" allowlist entries. */
