@@ -17,7 +17,8 @@ usage(const char *argv0)
         "usage: %s [--ref-insts N] [--benchmarks a,b,...] [--seed N]\n"
         "          [--csv] [--full] [--cache-dir DIR] [--engine-stats]\n"
         "          [--cache-budget-mb N] [--workers N] [--trace]\n"
-        "          [--no-trace] [--failpoints SPEC]\n",
+        "          [--no-trace] [--shards N] [--shard-warmup M]\n"
+        "          [--exact] [--failpoints SPEC]\n",
         argv0);
     std::exit(1);
 }
@@ -81,6 +82,14 @@ parseBenchOptions(int argc, char **argv, uint64_t default_ref_insts)
             options.trace = true;
         } else if (std::strcmp(arg, "--no-trace") == 0) {
             options.trace = false;
+        } else if (std::strcmp(arg, "--shards") == 0) {
+            options.shards = uint32_t(std::strtoul(next(), nullptr, 10));
+            if (options.shards == 0)
+                fatal("--shards must be at least 1");
+        } else if (std::strcmp(arg, "--shard-warmup") == 0) {
+            options.shardWarmup = std::strtoull(next(), nullptr, 10);
+        } else if (std::strcmp(arg, "--exact") == 0) {
+            options.exact = true;
         } else if (std::strcmp(arg, "--workers") == 0) {
             options.workers =
                 unsigned(std::strtoul(next(), nullptr, 10));

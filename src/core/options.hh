@@ -14,6 +14,12 @@
  *   --workers N       bound the work-stealing pool at N workers
  *   --trace           record/replay execution traces (the default)
  *   --no-trace        re-interpret functionally on every run
+ *   --shards N        split the reference detailed run into N parallel
+ *                     checkpoint-aligned shards (see docs/perf.md)
+ *   --shard-warmup M  functional-warming lead-in per shard, in
+ *                     instructions (0 = warm the full prefix)
+ *   --exact           force the sequential reference path regardless
+ *                     of --shards (byte-identical to --shards 1)
  *   --failpoints SPEC arm deterministic fault-injection sites
  *                     (see support/failpoint.hh for the grammar)
  */
@@ -59,6 +65,12 @@ struct BenchOptions
      * (--no-trace disables; results are bit-identical either way).
      */
     bool trace = true;
+    /** Reference-run shard count (1 = sequential; see docs/perf.md). */
+    uint32_t shards = 1;
+    /** Per-shard functional-warming bound (0 = full prefix). */
+    uint64_t shardWarmup = 0;
+    /** Force the exact sequential reference path. */
+    bool exact = false;
 };
 
 /**

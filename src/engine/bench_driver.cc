@@ -62,6 +62,9 @@ BenchDriver::setUp()
     engine_options.cacheDir = opts.cacheDir;
     engine_options.cacheBudgetBytes = opts.cacheBudgetMb << 20;
     engine_options.traces = opts.trace;
+    engine_options.shards.shards = opts.shards;
+    engine_options.shards.warmupInsts = opts.shardWarmup;
+    engine_options.shards.exact = opts.exact;
     eng = std::make_unique<ExperimentEngine>(engine_options);
 }
 

@@ -64,6 +64,24 @@ costKeyText(const CostModel &cost)
                     cost.checkpointPerInst);
 }
 
+/**
+ * Sharding segment of the result key. Empty when sharding is off, so
+ * sequential results keep their historical keys (and caches); when on,
+ * the shard plan changes the stitched statistics and the modeled cost,
+ * so every knob that shapes the plan — and the stitch discipline —
+ * participates. The warm directory deliberately does not: summaries
+ * change wall-clock only, never results.
+ */
+std::string
+shardKeyText(const ShardOptions &shards)
+{
+    if (!shards.enabled())
+        return "";
+    return csprintf("|shards{n=%u,warm=%llu,stitch=%s}", shards.shards,
+                    static_cast<unsigned long long>(shards.warmupInsts),
+                    stitchModeName(shards.stitch));
+}
+
 } // namespace
 
 std::string
@@ -87,10 +105,11 @@ std::string
 resultCacheKey(const Technique &technique, const TechniqueContext &ctx,
                const SimConfig &config)
 {
-    return csprintf("v%d|bench=%s|%s|cost=%s|tech=%s|cfg=%s",
+    return csprintf("v%d|bench=%s|%s|cost=%s%s|tech=%s|cfg=%s",
                     kCacheFormatVersion, ctx.benchmark.c_str(),
                     suiteKeyText(ctx.suite).c_str(),
                     costKeyText(ctx.cost).c_str(),
+                    shardKeyText(ctx.shards).c_str(),
                     technique.cacheKey().c_str(),
                     configKeyText(config).c_str());
 }

@@ -36,6 +36,13 @@ ExperimentEngine::ExperimentEngine(EngineOptions options)
             fatal("cannot create cache directory '%s': %s",
                   opts.cacheDir.c_str(), ec.message().c_str());
     }
+    if (opts.shards.enabled() && opts.shards.warmDir.empty() &&
+        !opts.cacheDir.empty()) {
+        // Warmed-uarch summaries are cache artifacts like any other:
+        // persist them beside the result cache unless the caller chose
+        // a dedicated directory.
+        opts.shards.warmDir = opts.cacheDir + "/warm";
+    }
     if (opts.traces) {
         TraceStoreOptions topts;
         topts.cacheDir = opts.cacheDir;
@@ -326,7 +333,9 @@ TechniqueContext
 ExperimentEngine::context(const std::string &benchmark,
                           const SuiteConfig &suite)
 {
-    return TechniqueContext::make(benchmark, suite, *this);
+    TechniqueContext ctx = TechniqueContext::make(benchmark, suite, *this);
+    ctx.shards = opts.shards;
+    return ctx;
 }
 
 void

@@ -63,6 +63,13 @@ struct EngineOptions
      * directory fits — so long-lived shared cache dirs stay bounded.
      */
     uint64_t cacheBudgetBytes = 0;
+    /**
+     * Checkpoint-sharded parallel reference simulation (sim/sharded.hh),
+     * stamped into every TechniqueContext the engine builds. When
+     * enabled and warmDir is empty, warmed-uarch summaries persist
+     * under "<cacheDir>/warm" (memory-only engines skip persistence).
+     */
+    ShardOptions shards = {};
 };
 
 /** Monotonic engine counters (work units: see CostModel). */

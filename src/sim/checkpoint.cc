@@ -8,6 +8,8 @@
 #include "support/artifact_io.hh"
 #include "support/check.hh"
 #include "support/logging.hh"
+#include "uarch/branch_predictor.hh"
+#include "uarch/memory_hierarchy.hh"
 
 namespace yasim {
 
@@ -48,9 +50,46 @@ Checkpoint::capture(const FunctionalSim &sim)
     return cp;
 }
 
+Checkpoint
+Checkpoint::atPosition(uint64_t icount)
+{
+    Checkpoint cp;
+    cp.icount = icount;
+    return cp;
+}
+
+void
+Checkpoint::attachUarch(const MemoryHierarchy &mem,
+                        const CombinedPredictor &bp, const std::string &key)
+{
+    std::ostringstream os;
+    mem.serializeWarmState(os);
+    bp.serializeWarmState(os);
+    warmBlob = os.str();
+    warmKey = key;
+}
+
+bool
+Checkpoint::restoreUarch(MemoryHierarchy &mem, CombinedPredictor &bp,
+                         const std::string &key) const
+{
+    if (warmBlob.empty() || key != warmKey)
+        return false;
+    std::istringstream is(warmBlob);
+    if (!mem.deserializeWarmState(is) || !bp.deserializeWarmState(is))
+        return false;
+    // Trailing bytes mean the blob was produced by a different layout
+    // that happened to parse; refuse it.
+    return is.peek() == std::istringstream::traits_type::eof();
+}
+
 void
 Checkpoint::restore(FunctionalSim &sim) const
 {
+    YASIM_CHECK(hasArchState(),
+                "restoring a carrier checkpoint with no architectural "
+                "state (position %llu)",
+                static_cast<unsigned long long>(icount));
     sim.curPc = pc;
     sim.icount = icount;
     sim.isHalted = halted;
@@ -78,6 +117,16 @@ Checkpoint::writeBinary(std::ostream &os) const
     for (const auto &[addr, value] : words) {
         putRaw(os, addr);
         putRaw(os, value);
+    }
+    // Version-3 trailer: the optional warmed-uarch summary.
+    putRaw(os, static_cast<uint8_t>(hasUarch() ? 1 : 0));
+    if (hasUarch()) {
+        putRaw(os, static_cast<uint32_t>(warmKey.size()));
+        os.write(warmKey.data(),
+                 static_cast<std::streamsize>(warmKey.size()));
+        putRaw(os, static_cast<uint64_t>(warmBlob.size()));
+        os.write(warmBlob.data(),
+                 static_cast<std::streamsize>(warmBlob.size()));
     }
 }
 
@@ -117,6 +166,31 @@ Checkpoint::readBinary(std::istream &is, Checkpoint &out)
         if (!getRaw(is, addr) || !getRaw(is, value))
             return false;
         out.words.emplace_back(addr, value);
+    }
+    uint8_t has_uarch = 0;
+    if (!getRaw(is, has_uarch))
+        return false;
+    out.warmKey.clear();
+    out.warmBlob.clear();
+    if (has_uarch != 0) {
+        uint32_t key_len = 0;
+        uint64_t blob_len = 0;
+        if (!getRaw(is, key_len) || key_len > 4096)
+            return false;
+        out.warmKey.resize(key_len);
+        is.read(out.warmKey.data(),
+                static_cast<std::streamsize>(key_len));
+        if (!is.good())
+            return false;
+        // A warm summary is bounded by the largest configured tables;
+        // 256 MB is orders of magnitude above any real geometry.
+        if (!getRaw(is, blob_len) || blob_len > (256ULL << 20))
+            return false;
+        out.warmBlob.resize(blob_len);
+        is.read(out.warmBlob.data(),
+                static_cast<std::streamsize>(blob_len));
+        if (!is.good())
+            return false;
     }
     return true;
 }
@@ -167,7 +241,8 @@ Checkpoint::footprintBytes() const
 {
     return sizeof(*this) + intRegs.size() * sizeof(int64_t) +
            fpRegs.size() * sizeof(double) +
-           words.size() * sizeof(words[0]);
+           words.size() * sizeof(words[0]) + warmKey.size() +
+           warmBlob.size();
 }
 
 uint64_t

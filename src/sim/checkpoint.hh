@@ -11,9 +11,14 @@
  * every later run on a different machine configuration restores instead
  * of fast-forwarding.
  *
- * Microarchitectural state (caches, predictor) is *not* part of an
- * architectural checkpoint; techniques must re-warm it, which is why
- * SimPoint pairs checkpoints with a warm-up policy.
+ * Microarchitectural state (caches, predictor) is *not* measured
+ * state and is never required: techniques re-warm it, which is why
+ * SimPoint pairs checkpoints with a warm-up policy. A checkpoint can
+ * however carry an *optional* warmed-uarch summary — the serialized
+ * cache tag arrays, TLB entries, and branch-predictor tables produced
+ * by functional warming (uarch/warm_state.hh) — keyed by a caller-
+ * supplied identity string, so repeated checkpoint-sharded runs skip
+ * re-warming their lead-ins (docs/perf.md).
  */
 
 #ifndef YASIM_SIM_CHECKPOINT_HH
@@ -30,14 +35,19 @@
 
 namespace yasim {
 
+class MemoryHierarchy;
+class CombinedPredictor;
+
 /**
  * Binary layout version of Checkpoint::writeBinary. Bumped whenever
  * the serialized field set or ordering changes; readBinary rejects
  * mismatches so stale embedded checkpoints can never be misparsed.
  * Version 2: version marker prepended, memory words emitted in
  * ascending address order (deterministic across standard libraries).
+ * Version 3: optional warmed-uarch summary trailer (key + composite
+ * blob, see uarch/warm_state.hh).
  */
-constexpr uint32_t kCheckpointFormatVersion = 2;
+constexpr uint32_t kCheckpointFormatVersion = 3;
 
 /** A restorable snapshot of architectural state. */
 class Checkpoint
@@ -47,11 +57,49 @@ class Checkpoint
     static Checkpoint capture(const FunctionalSim &sim);
 
     /**
-     * Restore into @p sim (which must run the same program).
+     * A carrier checkpoint at dynamic position @p icount with *no*
+     * architectural payload — it exists to hold a warmed-uarch summary
+     * for replay-mode sharding, where architectural state lives in the
+     * trace and only the warm tables are worth persisting.
+     */
+    static Checkpoint atPosition(uint64_t icount);
+
+    /**
+     * Restore into @p sim (which must run the same program). Requires
+     * hasArchState().
      * @post sim.instsExecuted() == instruction() and execution
      *       continues exactly as the original run did.
      */
     void restore(FunctionalSim &sim) const;
+
+    /** True when this checkpoint carries architectural state (i.e. it
+     *  was captured from a simulator, not built by atPosition). */
+    bool hasArchState() const { return !intRegs.empty(); }
+
+    /**
+     * Attach the warmed-uarch summary of @p mem and @p bp under
+     * identity @p key. The key must encode everything the warm state
+     * depends on (program content, warm span, machine configuration,
+     * format versions); restoreUarch refuses a key mismatch.
+     */
+    void attachUarch(const MemoryHierarchy &mem,
+                     const CombinedPredictor &bp, const std::string &key);
+
+    /** True when a warmed-uarch summary is attached. */
+    bool hasUarch() const { return !warmBlob.empty(); }
+
+    /** Identity key of the attached summary ("" when none). */
+    const std::string &uarchKey() const { return warmKey; }
+
+    /**
+     * Restore the attached warmed-uarch summary into @p mem and @p bp.
+     * @return false when no summary is attached, @p key does not
+     * match, or the blob fails structural validation — in which case
+     * @p mem / @p bp may be partially mutated and must be discarded
+     * (rebuild the core) or reset before use.
+     */
+    bool restoreUarch(MemoryHierarchy &mem, CombinedPredictor &bp,
+                      const std::string &key) const;
 
     /** Dynamic instruction count at capture time. */
     uint64_t instruction() const { return icount; }
@@ -101,6 +149,11 @@ class Checkpoint
     std::vector<double> fpRegs;
     /** Deep copy of every touched memory word (addr -> value). */
     std::vector<std::pair<uint64_t, int64_t>> words;
+
+    /** Identity key of the optional warmed-uarch summary ("" = none). */
+    std::string warmKey;
+    /** Composite warm-state blob (uarch/warm_state.hh layout). */
+    std::string warmBlob;
 };
 
 /**

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "sim/trace.hh"
 #include "support/check.hh"
 #include "support/logging.hh"
 
@@ -275,6 +276,32 @@ OooCore::scheduleIssue(uint64_t earliest, FuClass fu, bool is_mem,
 uint64_t
 OooCore::run(StepSource &src, uint64_t max_insts, BbProfiler *profiler)
 {
+    // One dynamic-type resolution per run() call instead of one virtual
+    // step() per instruction. The concrete sources are final, so the
+    // typed loops devirtualize; unknown StepSource subclasses (tests)
+    // take the generic virtual loop. All paths are bit-identical.
+    if (auto *replay = dynamic_cast<TraceReplayer *>(&src))
+        return runReplay(*replay, max_insts, profiler);
+    if (auto *live = dynamic_cast<FunctionalSim *>(&src))
+        return runSteps(*live, max_insts, profiler);
+    return runSteps(src, max_insts, profiler);
+}
+
+SimStats
+OooCore::runMeasured(StepSource &src, uint64_t max_insts,
+                     BbProfiler *profiler, uint64_t *insts_done)
+{
+    SimStats before = snapshot();
+    uint64_t done = run(src, max_insts, profiler);
+    if (insts_done)
+        *insts_done = done;
+    return snapshot() - before;
+}
+
+template <typename Source>
+uint64_t
+OooCore::runSteps(Source &src, uint64_t max_insts, BbProfiler *profiler)
+{
     const uint32_t l1i_block = cfg.mem.l1i.blockBytes;
     const uint64_t frontend = cfg.core.frontendDepth;
 
@@ -283,166 +310,202 @@ OooCore::run(StepSource &src, uint64_t max_insts, BbProfiler *profiler)
     while (done < max_insts && src.step(rec)) {
         // Replayed and live streams must satisfy the same contract.
         YASIM_DCHECK(rec.inst != nullptr);
-        const Instruction &inst = *rec.inst;
-        const uint64_t pc_addr = Program::pcAddress(rec.pc);
         if (profiler)
             profiler->record(rec.pc);
-
-        // ---- Fetch ----
-        if (redirectCycle > fetchCycle) {
-            fetchCycle = redirectCycle;
-            fetchSlotsLeft = cfg.core.fetchWidth;
-            lastFetchBlock = ~0ULL;
-        }
-        if (fetchSlotsLeft == 0) {
-            ++fetchCycle;
-            fetchSlotsLeft = cfg.core.fetchWidth;
-        }
-        uint64_t block = pc_addr / l1i_block;
-        if (block != lastFetchBlock) {
-            uint32_t lat = mem.instAccess(pc_addr);
-            if (lat > cfg.mem.l1iLatency)
-                fetchCycle += lat - cfg.mem.l1iLatency;
-            lastFetchBlock = block;
-        }
-        // Fetch-queue backpressure: a slot frees when an older
-        // instruction dispatches.
-        uint64_t fq_free = fqDispatch.back();
-        if (fq_free > fetchCycle) {
-            fetchCycle = fq_free;
-            fetchSlotsLeft = cfg.core.fetchWidth;
-        }
-        uint64_t fetch_time = fetchCycle;
-        --fetchSlotsLeft;
-
-        bool mispredicted = false;
-        if (inst.isControl()) {
-            mispredicted =
-                bp.update(pc_addr, inst.isCondBranch(), rec.taken,
-                          Program::pcAddress(rec.nextPc));
-            if (rec.taken)
-                fetchSlotsLeft = 0; // taken branch ends the fetch group
-        }
-
-        // ---- Dispatch ----
-        uint64_t disp_earliest = fetch_time + frontend;
-        uint64_t rob_free = robCommit.back();
-        if (rob_free + 1 > disp_earliest)
-            disp_earliest = rob_free + 1;
-        uint64_t iq_free = iqIssue.back();
-        if (iq_free + 1 > disp_earliest)
-            disp_earliest = iq_free + 1;
-        const bool is_mem = inst.isLoad() || inst.isStore();
-        if (is_mem) {
-            uint64_t lsq_free = lsqCommit.back();
-            if (lsq_free + 1 > disp_earliest)
-                disp_earliest = lsq_free + 1;
-        }
-        uint64_t dispatch_time = dispatchStage.schedule(disp_earliest);
-        fqDispatch.push(dispatch_time);
-
-        // ---- Ready (register and memory dependences) ----
-        uint64_t ready = dispatch_time + 1;
-        const bool fp = inst.isFp();
-        auto src_ready = [&](int reg, bool fp_file) {
-            if (reg == noReg)
-                return;
-            uint64_t t = fp_file ? fpRegReady[reg] : intRegReady[reg];
-            if (t > ready)
-                ready = t;
-        };
-        switch (inst.op) {
-          case Opcode::FCvt:
-            src_ready(inst.rs1, false);
-            break;
-          case Opcode::Ld:
-          case Opcode::FLd:
-            src_ready(inst.rs1, false); // address base
-            break;
-          case Opcode::St:
-            src_ready(inst.rs1, false);
-            src_ready(inst.rs2, false);
-            break;
-          case Opcode::FSt:
-            src_ready(inst.rs1, false);
-            src_ready(inst.rs2, true);
-            break;
-          default:
-            src_ready(inst.rs1, fp);
-            src_ready(inst.rs2, fp);
-            break;
-        }
-        if (inst.isLoad()) {
-            // Store-to-load forwarding: an earlier in-flight store to the
-            // same word defines the earliest load completion.
-            const FwdEntry &e = storeFwd[(rec.memAddr >> 3) % fwdEntries];
-            if (e.addr == rec.memAddr && e.doneCycle > ready)
-                ready = e.doneCycle;
-        }
-
-        // ---- Issue and execute ----
-        FuClass fu = inst.fuClass();
-        bool trivial = tcEnabled && rec.trivial;
-        if (trivial)
-            ++trivialOps; // eliminated: no functional unit needed
-        uint64_t issue_time =
-            scheduleIssue(ready, fu, is_mem, trivial);
-        iqIssue.push(issue_time);
-
-        uint64_t exec_done;
-        uint32_t load_extra_lat = 0;
-        if (inst.isLoad()) {
-            uint32_t dlat = mem.dataAccess(rec.memAddr, false);
-            if (dlat > cfg.mem.l1dLatency)
-                load_extra_lat = dlat - cfg.mem.l1dLatency;
-            exec_done = issue_time + 1 + dlat;
-        } else if (inst.isStore()) {
-            mem.dataAccess(rec.memAddr, true);
-            storeFwd[(rec.memAddr >> 3) % fwdEntries] =
-                FwdEntry{rec.memAddr, issue_time + 1};
-            exec_done = issue_time + 1; // retires via the store buffer
-        } else {
-            // Eliminated trivial ops complete in a single cycle.
-            exec_done = issue_time + (trivial ? 1 : fuLatency(fu));
-        }
-
-        if (inst.rd != noReg) {
-            if (inst.writesFpReg())
-                fpRegReady[inst.rd] = exec_done;
-            else if (inst.rd != 0)
-                intRegReady[inst.rd] = exec_done;
-        }
-
-        if (mispredicted) {
-            uint64_t redirect =
-                exec_done + cfg.core.mispredictPenalty;
-            if (redirect > redirectCycle)
-                redirectCycle = redirect;
-        }
-
-        // ---- Commit ----
-        uint64_t commit_time = commitStage.schedule(exec_done + 1);
-        if (load_extra_lat > 0 && commit_time > lastCommitCycle) {
-            // Attribute the commit-front advance to this load's extra
-            // memory latency, bounded by that latency (overlapped
-            // misses split the credit naturally).
-            uint64_t advance = commit_time - lastCommitCycle;
-            memStallCycles +=
-                std::min<uint64_t>(advance, load_extra_lat);
-        }
-        // Commit can never precede dispatch or run backwards; a
-        // violation means a pipeline resource clock regressed.
-        YASIM_DCHECK_GE(commit_time, dispatch_time);
-        YASIM_DCHECK_GE(commit_time, lastCommitCycle);
-        robCommit.push(commit_time);
-        if (is_mem)
-            lsqCommit.push(commit_time);
-        lastCommitCycle = commit_time;
-
-        ++retired;
+        simulateOne(*rec.inst, Program::pcAddress(rec.pc), rec.nextPc,
+                    rec.memAddr, rec.taken, rec.trivial, l1i_block,
+                    frontend);
         ++done;
     }
     return done;
+}
+
+uint64_t
+OooCore::runReplay(TraceReplayer &src, uint64_t max_insts,
+                   BbProfiler *profiler)
+{
+    const uint32_t l1i_block = cfg.mem.l1i.blockBytes;
+    const uint64_t frontend = cfg.core.frontendDepth;
+
+    uint64_t done = 0;
+    while (done < max_insts) {
+        uint64_t n = 0;
+        const TraceReplayer::DecodedUop *uops =
+            src.decodeRun(max_insts - done, n);
+        if (n == 0)
+            break;
+        for (uint64_t i = 0; i < n; ++i) {
+            const TraceReplayer::DecodedUop &u = uops[i];
+            if (profiler)
+                profiler->record(u.pc);
+            simulateOne(*u.inst, Program::pcAddress(u.pc), u.nextPc,
+                        u.memAddr, u.taken, u.trivial, l1i_block,
+                        frontend);
+        }
+        src.advance(n);
+        done += n;
+    }
+    return done;
+}
+
+void
+OooCore::simulateOne(const Instruction &inst, uint64_t pc_addr,
+                     uint64_t next_pc, uint64_t mem_addr, bool taken,
+                     bool trivial_hint, uint32_t l1i_block,
+                     uint64_t frontend)
+{
+    // ---- Fetch ----
+    if (redirectCycle > fetchCycle) {
+        fetchCycle = redirectCycle;
+        fetchSlotsLeft = cfg.core.fetchWidth;
+        lastFetchBlock = ~0ULL;
+    }
+    if (fetchSlotsLeft == 0) {
+        ++fetchCycle;
+        fetchSlotsLeft = cfg.core.fetchWidth;
+    }
+    uint64_t block = pc_addr / l1i_block;
+    if (block != lastFetchBlock) {
+        uint32_t lat = mem.instAccess(pc_addr);
+        if (lat > cfg.mem.l1iLatency)
+            fetchCycle += lat - cfg.mem.l1iLatency;
+        lastFetchBlock = block;
+    }
+    // Fetch-queue backpressure: a slot frees when an older
+    // instruction dispatches.
+    uint64_t fq_free = fqDispatch.back();
+    if (fq_free > fetchCycle) {
+        fetchCycle = fq_free;
+        fetchSlotsLeft = cfg.core.fetchWidth;
+    }
+    uint64_t fetch_time = fetchCycle;
+    --fetchSlotsLeft;
+
+    bool mispredicted = false;
+    if (inst.isControl()) {
+        mispredicted =
+            bp.update(pc_addr, inst.isCondBranch(), taken,
+                      Program::pcAddress(next_pc));
+        if (taken)
+            fetchSlotsLeft = 0; // taken branch ends the fetch group
+    }
+
+    // ---- Dispatch ----
+    uint64_t disp_earliest = fetch_time + frontend;
+    uint64_t rob_free = robCommit.back();
+    if (rob_free + 1 > disp_earliest)
+        disp_earliest = rob_free + 1;
+    uint64_t iq_free = iqIssue.back();
+    if (iq_free + 1 > disp_earliest)
+        disp_earliest = iq_free + 1;
+    const bool is_mem = inst.isLoad() || inst.isStore();
+    if (is_mem) {
+        uint64_t lsq_free = lsqCommit.back();
+        if (lsq_free + 1 > disp_earliest)
+            disp_earliest = lsq_free + 1;
+    }
+    uint64_t dispatch_time = dispatchStage.schedule(disp_earliest);
+    fqDispatch.push(dispatch_time);
+
+    // ---- Ready (register and memory dependences) ----
+    uint64_t ready = dispatch_time + 1;
+    const bool fp = inst.isFp();
+    auto src_ready = [&](int reg, bool fp_file) {
+        if (reg == noReg)
+            return;
+        uint64_t t = fp_file ? fpRegReady[reg] : intRegReady[reg];
+        if (t > ready)
+            ready = t;
+    };
+    switch (inst.op) {
+      case Opcode::FCvt:
+        src_ready(inst.rs1, false);
+        break;
+      case Opcode::Ld:
+      case Opcode::FLd:
+        src_ready(inst.rs1, false); // address base
+        break;
+      case Opcode::St:
+        src_ready(inst.rs1, false);
+        src_ready(inst.rs2, false);
+        break;
+      case Opcode::FSt:
+        src_ready(inst.rs1, false);
+        src_ready(inst.rs2, true);
+        break;
+      default:
+        src_ready(inst.rs1, fp);
+        src_ready(inst.rs2, fp);
+        break;
+    }
+    if (inst.isLoad()) {
+        // Store-to-load forwarding: an earlier in-flight store to the
+        // same word defines the earliest load completion.
+        const FwdEntry &e = storeFwd[(mem_addr >> 3) % fwdEntries];
+        if (e.addr == mem_addr && e.doneCycle > ready)
+            ready = e.doneCycle;
+    }
+
+    // ---- Issue and execute ----
+    FuClass fu = inst.fuClass();
+    bool trivial = tcEnabled && trivial_hint;
+    if (trivial)
+        ++trivialOps; // eliminated: no functional unit needed
+    uint64_t issue_time =
+        scheduleIssue(ready, fu, is_mem, trivial);
+    iqIssue.push(issue_time);
+
+    uint64_t exec_done;
+    uint32_t load_extra_lat = 0;
+    if (inst.isLoad()) {
+        uint32_t dlat = mem.dataAccess(mem_addr, false);
+        if (dlat > cfg.mem.l1dLatency)
+            load_extra_lat = dlat - cfg.mem.l1dLatency;
+        exec_done = issue_time + 1 + dlat;
+    } else if (inst.isStore()) {
+        mem.dataAccess(mem_addr, true);
+        storeFwd[(mem_addr >> 3) % fwdEntries] =
+            FwdEntry{mem_addr, issue_time + 1};
+        exec_done = issue_time + 1; // retires via the store buffer
+    } else {
+        // Eliminated trivial ops complete in a single cycle.
+        exec_done = issue_time + (trivial ? 1 : fuLatency(fu));
+    }
+
+    if (inst.rd != noReg) {
+        if (inst.writesFpReg())
+            fpRegReady[inst.rd] = exec_done;
+        else if (inst.rd != 0)
+            intRegReady[inst.rd] = exec_done;
+    }
+
+    if (mispredicted) {
+        uint64_t redirect =
+            exec_done + cfg.core.mispredictPenalty;
+        if (redirect > redirectCycle)
+            redirectCycle = redirect;
+    }
+
+    // ---- Commit ----
+    uint64_t commit_time = commitStage.schedule(exec_done + 1);
+    if (load_extra_lat > 0 && commit_time > lastCommitCycle) {
+        // Attribute the commit-front advance to this load's extra
+        // memory latency, bounded by that latency (overlapped
+        // misses split the credit naturally).
+        uint64_t advance = commit_time - lastCommitCycle;
+        memStallCycles +=
+            std::min<uint64_t>(advance, load_extra_lat);
+    }
+    // Commit can never precede dispatch or run backwards; a
+    // violation means a pipeline resource clock regressed.
+    YASIM_DCHECK_GE(commit_time, dispatch_time);
+    YASIM_DCHECK_GE(commit_time, lastCommitCycle);
+    robCommit.push(commit_time);
+    if (is_mem)
+        lsqCommit.push(commit_time);
+    lastCommitCycle = commit_time;
+
+    ++retired;
 }
 
 void

@@ -1,0 +1,346 @@
+#include "sim/sharded.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <optional>
+#include <system_error>
+
+#include "sim/bb_profiler.hh"
+#include "sim/checkpoint.hh"
+#include "sim/ooo_core.hh"
+#include "sim/trace.hh"
+#include "support/check.hh"
+#include "support/hash.hh"
+#include "support/thread_pool.hh"
+#include "uarch/warm_state.hh"
+
+namespace yasim {
+
+namespace {
+
+/**
+ * Identity of one shard's warmed-uarch state: everything that shapes
+ * the post-warming tag arrays, TLB entries, and predictor tables. The
+ * warm stream is architectural, so timing-only parameters (latencies,
+ * core sizing, bus width) are deliberately excluded — a latency sweep
+ * over one machine shares one set of warm summaries.
+ */
+std::string
+warmSummaryKey(const Program &program, const ShardSlice &slice,
+               const SimConfig &config)
+{
+    Hasher h;
+    h.u32(kWarmStateFormatVersion);
+    h.u32(kCheckpointFormatVersion);
+
+    h.u64(program.size());
+    const Instruction *code = program.code();
+    for (uint64_t i = 0; i < program.size(); ++i) {
+        const Instruction &inst = code[i];
+        h.u32(static_cast<uint32_t>(inst.op));
+        h.u32(static_cast<uint32_t>(inst.rd));
+        h.u32(static_cast<uint32_t>(inst.rs1));
+        h.u32(static_cast<uint32_t>(inst.rs2));
+        h.u64(static_cast<uint64_t>(inst.imm));
+    }
+
+    h.u64(slice.warmStart);
+    h.u64(slice.begin);
+
+    auto cache = [&h](const CacheConfig &c) {
+        h.u32(c.sizeKb).u32(c.assoc).u32(c.blockBytes);
+        h.u32(static_cast<uint32_t>(c.replacement));
+    };
+    cache(config.mem.l1i);
+    cache(config.mem.l1d);
+    cache(config.mem.l2);
+    h.u32(config.mem.itlbEntries).u32(config.mem.dtlbEntries);
+    h.b(config.mem.nextLinePrefetch);
+
+    h.u32(static_cast<uint32_t>(config.bp.kind));
+    h.u32(config.bp.bhtEntries).u32(config.bp.globalHistoryBits);
+    h.u32(config.bp.btbEntries).u32(config.bp.btbAssoc);
+    h.b(config.bp.speculativeUpdate);
+
+    return h.hex();
+}
+
+std::string
+warmSummaryPath(const std::string &dir, const std::string &key)
+{
+    return dir + "/warm-" + key + ".ckpt";
+}
+
+/** Per-shard prepared warm state, resolved serially before the fan-out. */
+struct ShardPrep
+{
+    std::string key;
+    Checkpoint summary = Checkpoint::atPosition(0);
+    bool haveSummary = false;
+};
+
+/**
+ * Build a fresh core and apply @p prep's warmed-uarch summary if one
+ * loaded. A summary that fails structural validation leaves the tables
+ * partially mutated, so the core is rebuilt and the caller warms from
+ * the stream instead. @p restored reports whether the summary took.
+ */
+void
+makeCore(std::optional<OooCore> &core, const SimConfig &config,
+         const ShardPrep &prep, bool &restored)
+{
+    core.emplace(config);
+    restored = prep.haveSummary &&
+               prep.summary.restoreUarch(core->memHierarchy(),
+                                         core->predictor(), prep.key);
+    if (prep.haveSummary && !restored)
+        core.emplace(config);
+}
+
+/**
+ * Serially resolve each warmed shard's summary key and try to load a
+ * persisted summary for it. Runs before the parallel fan-out so the
+ * workers touch the warm directory only to publish new summaries.
+ */
+std::vector<ShardPrep>
+prepareShards(const Program &program, const std::vector<ShardSlice> &plan,
+              const SimConfig &config, const ShardOptions &opts)
+{
+    std::vector<ShardPrep> prep(plan.size());
+    if (!opts.warmDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(opts.warmDir, ec);
+    }
+    for (size_t k = 1; k < plan.size(); ++k) {
+        prep[k].key = warmSummaryKey(program, plan[k], config);
+        if (opts.warmDir.empty())
+            continue;
+        Checkpoint loaded = Checkpoint::atPosition(0);
+        if (Checkpoint::loadFile(warmSummaryPath(opts.warmDir, prep[k].key),
+                                 loaded) &&
+            loaded.instruction() == plan[k].begin &&
+            loaded.hasUarch() && loaded.uarchKey() == prep[k].key) {
+            prep[k].summary = loaded;
+            prep[k].haveSummary = true;
+        }
+    }
+    return prep;
+}
+
+/** Plan-based modeled cost, independent of warm-summary hits. */
+void
+chargePlan(const std::vector<ShardSlice> &plan, ShardedRunResult &result)
+{
+    for (const ShardSlice &s : plan) {
+        result.detailedInsts += s.end - s.begin;
+        result.warmedInsts += s.begin - s.warmStart;
+    }
+}
+
+} // namespace
+
+const char *
+stitchModeName(StitchMode mode)
+{
+    switch (mode) {
+      case StitchMode::Drain:
+        return "drain";
+    }
+    return "unknown";
+}
+
+std::vector<ShardSlice>
+planShards(uint64_t length, uint32_t shards, uint64_t warmup)
+{
+    if (shards == 0)
+        shards = 1;
+    const uint64_t spacing = ExecTrace::ladderSpacingFor(length);
+
+    // Interior boundaries at the ladder rung nearest each ideal split;
+    // rungs can collide for short runs, in which case shards merge.
+    std::vector<uint64_t> bounds;
+    bounds.push_back(0);
+    for (uint32_t k = 1; k < shards; ++k) {
+        uint64_t ideal = length * k / shards;
+        uint64_t rung = (ideal + spacing / 2) / spacing * spacing;
+        if (rung == 0 || rung >= length)
+            continue;
+        if (rung != bounds.back())
+            bounds.push_back(rung);
+    }
+    bounds.push_back(length);
+
+    std::vector<ShardSlice> plan;
+    plan.reserve(bounds.size() - 1);
+    for (size_t k = 0; k + 1 < bounds.size(); ++k) {
+        ShardSlice s;
+        s.begin = bounds[k];
+        s.end = bounds[k + 1];
+        // Shard 0 starts cold like the sequential run; later shards
+        // warm their lead-in, the full prefix when unbounded.
+        if (s.begin == 0 || warmup == 0 || warmup >= s.begin)
+            s.warmStart = 0;
+        else
+            s.warmStart = s.begin - warmup;
+        plan.push_back(s);
+    }
+    return plan;
+}
+
+ShardedRunResult
+runShardedReference(const std::shared_ptr<const ExecTrace> &trace,
+                    const SimConfig &config, const ShardOptions &opts)
+{
+    YASIM_CHECK(trace != nullptr, "sharded replay requires a trace");
+    const uint64_t length = trace->length();
+    const std::vector<ShardSlice> plan =
+        planShards(length, opts.exact ? 1 : opts.shards, opts.warmupInsts);
+    std::vector<ShardPrep> prep =
+        prepareShards(trace->program(), plan, config, opts);
+
+    ShardedRunResult result;
+    result.perShard.resize(plan.size());
+    chargePlan(plan, result);
+
+    std::atomic<uint32_t> restores{0};
+    std::atomic<uint32_t> saves{0};
+
+    globalPool().parallelFor(plan.size(), [&](size_t k) {
+        const ShardSlice &slice = plan[k];
+        TraceReplayer replayer(trace);
+        std::optional<OooCore> coreSlot;
+        bool warmed = false;
+        makeCore(coreSlot, config, prep[k], warmed);
+        OooCore &core = *coreSlot;
+        if (warmed)
+            restores.fetch_add(1, std::memory_order_relaxed);
+
+        if (!warmed && slice.begin > 0) {
+            replayer.seek(slice.warmStart);
+            replayer.fastForwardWarm(slice.begin - slice.warmStart,
+                                     &core.memHierarchy(),
+                                     &core.predictor());
+            if (!opts.warmDir.empty()) {
+                Checkpoint summary = Checkpoint::atPosition(slice.begin);
+                summary.attachUarch(core.memHierarchy(), core.predictor(),
+                                    prep[k].key);
+                if (summary.saveFile(
+                        warmSummaryPath(opts.warmDir, prep[k].key)))
+                    saves.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+
+        replayer.seek(slice.begin);
+        result.perShard[k] =
+            core.runMeasured(replayer, slice.end - slice.begin);
+    });
+
+    result.stats = stitchStats(result.perShard);
+    result.warmRestores = restores.load();
+    result.warmSaves = saves.load();
+    return result;
+}
+
+ShardedRunResult
+runShardedReference(const Program &program, uint64_t length,
+                    const SimConfig &config, const ShardOptions &opts)
+{
+    const std::vector<ShardSlice> plan =
+        planShards(length, opts.exact ? 1 : opts.shards, opts.warmupInsts);
+    std::vector<ShardPrep> prep = prepareShards(program, plan, config, opts);
+
+    // Architectural entry points for every bounded-warm-up shard, built
+    // in one functional pass. Built from the plan (not from summary
+    // availability) so the modeled checkpoint cost is deterministic,
+    // and so a corrupt summary always has a live fallback.
+    CheckpointLibrary library;
+    ShardedRunResult result;
+    {
+        std::vector<uint64_t> positions;
+        for (const ShardSlice &s : plan)
+            if (s.warmStart > 0)
+                positions.push_back(s.warmStart);
+        std::sort(positions.begin(), positions.end());
+        positions.erase(std::unique(positions.begin(), positions.end()),
+                        positions.end());
+        if (!positions.empty())
+            result.checkpointInsts = library.build(program, positions);
+    }
+
+    result.perShard.resize(plan.size());
+    chargePlan(plan, result);
+
+    std::atomic<uint32_t> restores{0};
+    std::atomic<uint32_t> saves{0};
+    std::vector<std::vector<double>> bbefShard(plan.size());
+    std::vector<std::vector<double>> bbvShard(plan.size());
+
+    globalPool().parallelFor(plan.size(), [&](size_t k) {
+        const ShardSlice &slice = plan[k];
+        FunctionalSim sim(program);
+        std::optional<OooCore> coreSlot;
+        bool warmed = false;
+        makeCore(coreSlot, config, prep[k], warmed);
+        OooCore &core = *coreSlot;
+        if (warmed)
+            restores.fetch_add(1, std::memory_order_relaxed);
+
+        if (warmed && prep[k].summary.hasArchState()) {
+            // A live-saved summary carries the architectural state at
+            // the shard boundary too: one restore and we're measuring.
+            prep[k].summary.restore(sim);
+        } else {
+            if (slice.warmStart > 0) {
+                const Checkpoint *entry =
+                    library.latestAtOrBefore(slice.warmStart);
+                YASIM_CHECK(entry != nullptr,
+                            "missing shard entry checkpoint");
+                entry->restore(sim);
+            }
+            uint64_t lead = slice.begin - sim.instsExecuted();
+            if (warmed) {
+                // Replay-saved summary: warm tables came from the blob;
+                // only the architectural position must still advance.
+                sim.fastForward(lead);
+            } else if (lead > 0) {
+                sim.fastForwardWarm(lead, &core.memHierarchy(),
+                                    &core.predictor());
+                if (!opts.warmDir.empty()) {
+                    Checkpoint summary = Checkpoint::capture(sim);
+                    summary.attachUarch(core.memHierarchy(),
+                                        core.predictor(), prep[k].key);
+                    if (summary.saveFile(
+                            warmSummaryPath(opts.warmDir, prep[k].key)))
+                        saves.fetch_add(1, std::memory_order_relaxed);
+                }
+            }
+        }
+        YASIM_DCHECK_EQ(sim.instsExecuted(), slice.begin);
+
+        BbProfiler profiler(program);
+        result.perShard[k] =
+            core.runMeasured(sim, slice.end - slice.begin, &profiler);
+        bbefShard[k] = profiler.bbef();
+        bbvShard[k] = profiler.bbv();
+    });
+
+    // Stitch the profile in shard-index order. Every count is an
+    // integral double (weight 1.0), so the sum is exact and matches
+    // the sequential whole-run profile bit for bit.
+    result.bbef.assign(program.numBlocks(), 0.0);
+    result.bbv.assign(program.numBlocks(), 0.0);
+    for (size_t k = 0; k < plan.size(); ++k) {
+        for (size_t i = 0; i < result.bbef.size(); ++i) {
+            result.bbef[i] += bbefShard[k][i];
+            result.bbv[i] += bbvShard[k][i];
+        }
+    }
+
+    result.stats = stitchStats(result.perShard);
+    result.warmRestores = restores.load();
+    result.warmSaves = saves.load();
+    return result;
+}
+
+} // namespace yasim

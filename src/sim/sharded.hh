@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Checkpoint-sharded parallel detailed simulation.
+ *
+ * The full-reference detailed run is the slowest serial artifact in the
+ * repo: every figure anchors to it, yet it occupies one core while the
+ * engine's pool parallelizes only across configurations. Sharding
+ * splits the measured region at the canonical checkpoint ladder into N
+ * slices; each worker positions an independent core at its slice —
+ * seeking a TraceReplayer, or restoring the nearest architectural
+ * Checkpoint live — functionally warms caches and predictor through
+ * its lead-in (the SMARTS warming path), detail-simulates the slice on
+ * a drained pipeline, and the per-shard SimStats are stitched in
+ * shard-index order into whole-run statistics.
+ *
+ * Exactness contract (docs/perf.md): instruction, conditional-branch,
+ * data-reference, and trivial-op counters are bit-identical to the
+ * sequential run; cycle and miss counters carry a small boundary error
+ * (warmed-not-simulated lead-ins), empirically well under the 0.5%
+ * CPI tolerance the SMARTS literature predicts. `exact` (or a single
+ * shard) takes the sequential path and is byte-identical to it.
+ *
+ * Warmed-uarch summaries: when ShardOptions::warmDir is set, each
+ * shard's post-warming cache/TLB/predictor state is persisted as a
+ * Checkpoint summary (sim/checkpoint.hh) keyed by the warm identity —
+ * program content, slice, warm-relevant configuration, and format
+ * versions — so repeated runs (config sweeps varying only latencies
+ * included) restore instead of re-warming. Summaries affect wall-clock
+ * only, never results or modeled cost.
+ */
+
+#ifndef YASIM_SIM_SHARDED_HH
+#define YASIM_SIM_SHARDED_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/stats.hh"
+
+namespace yasim {
+
+class ExecTrace;
+class Program;
+
+/** How per-shard statistics combine into whole-run statistics. */
+enum class StitchMode
+{
+    /**
+     * Each shard starts on a drained (empty) pipeline and counters
+     * sum in shard-index order. The only mode; named so the cache key
+     * can record it and any future mode invalidates cleanly.
+     */
+    Drain,
+};
+
+/** Printable stitch-mode name (used by the result cache key). */
+const char *stitchModeName(StitchMode mode);
+
+/** Sharding knobs, carried from the driver down to the techniques. */
+struct ShardOptions
+{
+    /** Worker slices for the reference detailed run (1 = sequential). */
+    uint32_t shards = 1;
+    /**
+     * Functional-warming lead-in per shard in instructions; 0 warms
+     * the full prefix (most accurate, most redundant work). Bounded
+     * warm-ups below one ladder spacing still warm from the aligned
+     * shard boundary minus the bound.
+     */
+    uint64_t warmupInsts = 0;
+    /** Force the sequential path regardless of `shards` (--exact). */
+    bool exact = false;
+    /**
+     * Directory for persisted warmed-uarch summaries; "" disables
+     * persistence (warming then always runs in-process).
+     */
+    std::string warmDir;
+    /** Stitching discipline (part of the result cache key). */
+    StitchMode stitch = StitchMode::Drain;
+
+    /** True when the sharded path is active. */
+    bool enabled() const { return !exact && shards > 1; }
+};
+
+/** One shard: functionally warm [warmStart, begin), measure [begin, end). */
+struct ShardSlice
+{
+    uint64_t warmStart = 0;
+    uint64_t begin = 0;
+    uint64_t end = 0;
+};
+
+/**
+ * Split [0, length) into at most @p shards slices with boundaries
+ * aligned to the nearest rung of the canonical checkpoint ladder
+ * (ExecTrace::ladderSpacingFor). Boundaries that collide after
+ * alignment merge, so short runs may yield fewer slices. Shard 0 is
+ * never warmed (it starts cold, exactly like the sequential run);
+ * later shards warm from `begin - warmup` (full prefix when
+ * @p warmup == 0 or the bound reaches position zero).
+ */
+std::vector<ShardSlice> planShards(uint64_t length, uint32_t shards,
+                                   uint64_t warmup);
+
+/** Everything a sharded reference run produces. */
+struct ShardedRunResult
+{
+    /** Whole-run statistics, stitched in shard-index order. */
+    SimStats stats;
+    /** Per-shard region statistics (diagnostics and tests). */
+    std::vector<SimStats> perShard;
+    /** Whole-run BBEF/BBV profile (live mode only; empty in replay
+     *  mode, where the trace already carries the full profile). */
+    std::vector<double> bbef;
+    std::vector<double> bbv;
+    /** Instructions detail-simulated (== run length). */
+    uint64_t detailedInsts = 0;
+    /**
+     * Modeled functional-warming instructions, summed from the *plan*
+     * — deliberately independent of how many shards restored persisted
+     * summaries, so modeled cost (and cached results) never depend on
+     * warm-dir state.
+     */
+    uint64_t warmedInsts = 0;
+    /** Modeled checkpoint-generation instructions (live mode only). */
+    uint64_t checkpointInsts = 0;
+    /** Shards warmed from a persisted summary (wall-clock savings). */
+    uint32_t warmRestores = 0;
+    /** Summaries persisted by this run. */
+    uint32_t warmSaves = 0;
+};
+
+/**
+ * Run the reference detailed simulation sharded over @p trace.
+ * Workers replay independent cursors of the shared immutable trace;
+ * parallelism comes from the global pool (nested invocations simply
+ * run inline). @p opts.shards of 1 degrades to the sequential loop.
+ */
+ShardedRunResult runShardedReference(
+    const std::shared_ptr<const ExecTrace> &trace, const SimConfig &config,
+    const ShardOptions &opts);
+
+/**
+ * Live-mode overload: no trace, so shard lead-ins are reached through
+ * an architectural CheckpointLibrary built in one functional pass
+ * (charged as checkpointInsts) and the whole-run BBEF/BBV profile is
+ * accumulated per shard and summed. Bit-identical to the trace
+ * overload for the same @p length and @p config.
+ */
+ShardedRunResult runShardedReference(const Program &program,
+                                     uint64_t length,
+                                     const SimConfig &config,
+                                     const ShardOptions &opts);
+
+} // namespace yasim
+
+#endif // YASIM_SIM_SHARDED_HH

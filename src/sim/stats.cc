@@ -101,4 +101,13 @@ SimStats::operator+=(const SimStats &other)
     return *this;
 }
 
+SimStats
+stitchStats(const std::vector<SimStats> &shards)
+{
+    SimStats total;
+    for (const SimStats &s : shards)
+        total += s;
+    return total;
+}
+
 } // namespace yasim

@@ -67,6 +67,15 @@ struct SimStats
     SimStats &operator+=(const SimStats &other);
 };
 
+/**
+ * Deterministically stitch per-shard region statistics into whole-run
+ * statistics: the counters sum in shard-index order. All fields are
+ * integral, so the stitch is exact and order-independent in value —
+ * the fixed order matters only as a statement of the contract (and
+ * keeps any future non-commutative field honest).
+ */
+SimStats stitchStats(const std::vector<SimStats> &shards);
+
 } // namespace yasim
 
 #endif // YASIM_SIM_STATS_HH

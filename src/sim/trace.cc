@@ -125,7 +125,25 @@ ExecTrace::record(const Program &program, const Options &options)
     trace->spacing = spacing;
     trace->bbefCounts = profiler.bbef();
     trace->bbvCounts = profiler.bbv();
+    // The closed form must track the incremental thinning exactly, or
+    // shard plans would diverge between replay and live mode.
+    if (adaptive)
+        YASIM_DCHECK_EQ(trace->spacing, ladderSpacingFor(trace->total));
     return trace;
+}
+
+uint64_t
+ExecTrace::ladderSpacingFor(uint64_t length)
+{
+    uint64_t spacing = uint64_t(64) * 1024;
+    if (length == 0)
+        return spacing;
+    // floor((length-1)/spacing) counts the ladder rungs (multiples of
+    // the spacing strictly before the halt); record() thins whenever a
+    // rung past maxCheckpoints would be captured.
+    while ((length - 1) / spacing > maxCheckpoints)
+        spacing *= 2;
+    return spacing;
 }
 
 size_t
@@ -334,6 +352,52 @@ void
 TraceReplayer::seek(uint64_t position)
 {
     cursor = std::min(position, end);
+}
+
+const TraceReplayer::DecodedUop *
+TraceReplayer::decodeRun(uint64_t max, uint64_t &count)
+{
+    if (cursor >= end || max == 0) {
+        count = 0;
+        return nullptr;
+    }
+    const ExecTrace::Chunk &chunk =
+        src->chunks[cursor >> ExecTrace::chunkShift];
+    const size_t off = cursor & ExecTrace::chunkMask;
+    const uint64_t run =
+        std::min({max, end - cursor,
+                  static_cast<uint64_t>(chunk.pc.size() - off)});
+    if (decoded.size() < run)
+        decoded.resize(run);
+
+    const uint32_t *pcs = chunk.pc.data() + off;
+    const uint64_t *addrs = chunk.memAddr.data() + off;
+    const uint8_t *flags = chunk.flags.data() + off;
+    const size_t prog_size = src->prog.size();
+    for (uint64_t i = 0; i < run; ++i) {
+        const uint64_t pc = pcs[i];
+        const uint8_t f = flags[i];
+        YASIM_DCHECK_LT(pc, prog_size);
+        const Instruction &inst = code[pc];
+        const bool taken = (f & 1) != 0;
+        DecodedUop &u = decoded[i];
+        u.inst = &inst;
+        u.memAddr = addrs[i];
+        u.pc = pc;
+        // Exactly FunctionalSim's definition of the successor.
+        u.nextPc = taken ? static_cast<uint64_t>(inst.imm) : pc + 1;
+        u.taken = taken;
+        u.trivial = (f & 2) != 0;
+    }
+    count = run;
+    return decoded.data();
+}
+
+void
+TraceReplayer::advance(uint64_t n)
+{
+    YASIM_DCHECK_LE(n, end - cursor);
+    cursor += n;
 }
 
 } // namespace yasim

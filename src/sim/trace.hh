@@ -45,10 +45,10 @@ namespace yasim {
 /**
  * Bumped whenever the on-disk trace layout or the semantics of the
  * recorded stream change; stale spills then miss instead of replaying
- * a stream with different meaning. Version 2: embedded checkpoints
- * carry kCheckpointFormatVersion and sort their memory words.
+ * a stream with different meaning. Version 3: embedded checkpoints use
+ * the version-3 layout (optional warmed-uarch summary trailer).
  */
-constexpr int kTraceFormatVersion = 2;
+constexpr int kTraceFormatVersion = 3;
 
 /** An immutable recording of one program's full execution. */
 class ExecTrace
@@ -96,6 +96,16 @@ class ExecTrace
 
     /** Final checkpoint spacing (after adaptive doubling). */
     uint64_t checkpointSpacing() const { return spacing; }
+
+    /**
+     * The spacing the adaptive ladder (Options::checkpointSpacing == 0)
+     * converges to for a run of @p length instructions: the smallest
+     * 64Ki * 2^k whose rung count stays within maxCheckpoints. Shard
+     * planning aligns boundaries to this canonical ladder in both
+     * replay and live mode, so shard plans — and therefore sharded
+     * results — are identical with and without a trace.
+     */
+    static uint64_t ladderSpacingFor(uint64_t length);
 
     /**
      * The latest embedded checkpoint at or before dynamic position
@@ -176,12 +186,41 @@ class TraceReplayer final : public StepSource
     /** The trace being replayed. */
     const ExecTrace &trace() const { return *src; }
 
+    /**
+     * One pre-decoded replay record: everything the timing model
+     * consumes, with the per-step flag unpacking, nextPc computation,
+     * and pc bounds check hoisted out of the hot loop.
+     */
+    struct DecodedUop
+    {
+        const Instruction *inst;
+        uint64_t memAddr;
+        uint64_t pc;
+        uint64_t nextPc;
+        bool taken;
+        bool trivial;
+    };
+
+    /**
+     * Decode up to @p max records starting at the cursor into a flat
+     * internal buffer (bounded by the current SoA chunk, so at most
+     * one decode pass per chunk). Does not move the cursor; pair with
+     * advance(). @p count receives the run length; the return value is
+     * null iff the run is empty (cursor at end).
+     */
+    const DecodedUop *decodeRun(uint64_t max, uint64_t &count);
+
+    /** Consume @p n records previously returned by decodeRun. */
+    void advance(uint64_t n);
+
   private:
     std::shared_ptr<const ExecTrace> src;
     /** src->prog's instruction array, hoisted out of the replay loop. */
     const Instruction *code;
     uint64_t cursor = 0;
     uint64_t end;
+    /** decodeRun's buffer (lazily sized to one chunk). */
+    std::vector<DecodedUop> decoded;
 };
 
 } // namespace yasim

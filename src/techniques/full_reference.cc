@@ -2,14 +2,67 @@
 
 #include "sim/bb_profiler.hh"
 #include "sim/ooo_core.hh"
+#include "sim/sharded.hh"
 #include "techniques/trace_store.hh"
 
 namespace yasim {
+
+namespace {
+
+/**
+ * The checkpoint-sharded reference path (sim/sharded.hh). Statistics
+ * are stitched from per-shard measured regions; the modeled cost
+ * charges every instruction at the detailed rate plus the planned
+ * functional-warming lead-ins and the live checkpoint pass, so sharded
+ * results report *more* work than sequential ones — parallelism buys
+ * wall-clock, never work units.
+ */
+TechniqueResult
+runSharded(const TechniqueContext &ctx, const SimConfig &config)
+{
+    ShardedRunResult run;
+    if (ctx.traces) {
+        auto trace = ctx.traces->get(ctx.benchmark, InputSet::Reference,
+                                     ctx.suite);
+        run = runShardedReference(trace, config, ctx.shards);
+        run.bbef = trace->bbef();
+        run.bbv = trace->bbv();
+    } else {
+        StepSourceHandle src =
+            openStepSource(ctx, InputSet::Reference);
+        run = runShardedReference(src.program(), ctx.referenceLength,
+                                  config, ctx.shards);
+    }
+
+    TechniqueResult result;
+    result.detailed = run.stats;
+    result.bbef = std::move(run.bbef);
+    result.bbv = std::move(run.bbv);
+    result.cpi = result.detailed.cpi();
+    result.metrics = result.detailed.metricVector();
+    result.detailedInsts = run.detailedInsts;
+    result.workUnits =
+        ctx.cost.detailedPerInst * static_cast<double>(run.detailedInsts) +
+        ctx.cost.functionalWarmPerInst *
+            static_cast<double>(run.warmedInsts) +
+        ctx.cost.checkpointPerInst *
+            static_cast<double>(run.checkpointInsts);
+    return result;
+}
+
+} // namespace
 
 TechniqueResult
 FullReference::run(const TechniqueContext &ctx,
                    const SimConfig &config) const
 {
+    if (ctx.shards.enabled()) {
+        TechniqueResult result = runSharded(ctx, config);
+        result.technique = name();
+        result.permutation = permutation();
+        return result;
+    }
+
     StepSourceHandle src = openStepSource(ctx, InputSet::Reference);
     OooCore core(config);
 

@@ -76,11 +76,11 @@ Smarts::samplePass(const TechniqueContext &ctx, const SimConfig &config,
         core.resetPipeline();
         if (warmup > 0)
             core.run(stream, warmup);
-        SimStats before = core.snapshot();
-        uint64_t done = core.run(stream, unitInsts, &profiler);
+        uint64_t done = 0;
+        SimStats delta =
+            core.runMeasured(stream, unitInsts, &profiler, &done);
         if (done == 0)
             break;
-        SimStats delta = core.snapshot() - before;
         pass.unitCpis.push_back(delta.cpi());
         pass.measured += delta;
         pass.detailedInsts += warmup + done;

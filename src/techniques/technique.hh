@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "sim/config.hh"
+#include "sim/sharded.hh"
 #include "sim/stats.hh"
 #include "workloads/suite.hh"
 
@@ -71,6 +72,13 @@ struct TechniqueContext
      * bit-identical either way.
      */
     TraceStore *traces = nullptr;
+    /**
+     * Checkpoint-sharded parallel detailed simulation (sim/sharded.hh).
+     * Applies to the full-reference run only — sampling techniques are
+     * already cheap and their measured units are not shard-sized. The
+     * default (1 shard) is the exact sequential path.
+     */
+    ShardOptions shards;
 
     /** Convert the paper's scaled M-instructions to instructions. */
     uint64_t scaledM(double m) const

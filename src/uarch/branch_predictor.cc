@@ -1,6 +1,7 @@
 #include "uarch/branch_predictor.hh"
 
 #include "support/logging.hh"
+#include "uarch/warm_state.hh"
 
 namespace yasim {
 
@@ -205,6 +206,77 @@ CombinedPredictor::reset()
     btb.assign(config.btbEntries, BtbEntry());
     globalHistory = 0;
     lruClock = 0;
+}
+
+
+namespace {
+
+/** One direction table: size guard + raw 2-bit counter bytes. */
+void
+putTable(std::ostream &os, const std::vector<uint8_t> &table)
+{
+    warmio::putPod(os, static_cast<uint64_t>(table.size()));
+    os.write(reinterpret_cast<const char *>(table.data()),
+             static_cast<std::streamsize>(table.size()));
+}
+
+bool
+getTable(std::istream &is, std::vector<uint8_t> &table)
+{
+    uint64_t n = 0;
+    if (!warmio::getPod(is, n) || n != table.size())
+        return false;
+    is.read(reinterpret_cast<char *>(table.data()),
+            static_cast<std::streamsize>(table.size()));
+    return is.good() || table.empty();
+}
+
+} // namespace
+
+void
+CombinedPredictor::serializeWarmState(std::ostream &os) const
+{
+    using warmio::putPod;
+    putTable(os, bimodal);
+    putTable(os, gshare);
+    putTable(os, chooser);
+    putPod(os, globalHistory);
+    putPod(os, btbSets);
+    putPod(os, static_cast<uint64_t>(btb.size()));
+    putPod(os, lruClock);
+    for (const BtbEntry &e : btb) {
+        putPod(os, e.tag);
+        putPod(os, e.target);
+        putPod(os, e.lru);
+        putPod(os, static_cast<uint8_t>(e.valid ? 1 : 0));
+    }
+}
+
+bool
+CombinedPredictor::deserializeWarmState(std::istream &is)
+{
+    using warmio::getPod;
+    if (!getTable(is, bimodal) || !getTable(is, gshare) ||
+        !getTable(is, chooser)) {
+        return false;
+    }
+    uint32_t sets = 0;
+    uint64_t n = 0;
+    if (!getPod(is, globalHistory) || !getPod(is, sets) || !getPod(is, n))
+        return false;
+    if (sets != btbSets || n != btb.size())
+        return false;
+    if (!getPod(is, lruClock))
+        return false;
+    for (BtbEntry &e : btb) {
+        uint8_t valid = 0;
+        if (!getPod(is, e.tag) || !getPod(is, e.target) ||
+            !getPod(is, e.lru) || !getPod(is, valid)) {
+            return false;
+        }
+        e.valid = valid != 0;
+    }
+    return true;
 }
 
 } // namespace yasim

@@ -15,6 +15,7 @@
 #define YASIM_UARCH_BRANCH_PREDICTOR_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 namespace yasim {
@@ -111,6 +112,19 @@ class CombinedPredictor
     const BranchPredictorStats &stats() const { return bpStats; }
     /** Zero the statistics (tables keep their training). */
     void clearStats() { bpStats = BranchPredictorStats(); }
+
+    /**
+     * Append direction tables, global history, and the BTB to @p os
+     * (no statistics). Table sizes guard restoration; the composite
+     * blob is versioned by kWarmStateFormatVersion.
+     */
+    void serializeWarmState(std::ostream &os) const;
+
+    /**
+     * Restore state written by serializeWarmState. @return false on a
+     * sizing mismatch or short stream (state then unspecified).
+     */
+    bool deserializeWarmState(std::istream &is);
 
   private:
     BranchPredictorConfig config;

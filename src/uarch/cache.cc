@@ -1,6 +1,7 @@
 #include "uarch/cache.hh"
 
 #include "support/logging.hh"
+#include "uarch/warm_state.hh"
 
 namespace yasim {
 
@@ -132,6 +133,51 @@ Cache::reset()
     for (Line &line : lines)
         line.valid = false;
     lruClock = 0;
+}
+
+
+void
+Cache::serializeWarmState(std::ostream &os) const
+{
+    using warmio::putPod;
+    putPod(os, numSets);
+    putPod(os, cfg.assoc);
+    putPod(os, blockShift);
+    putPod(os, static_cast<uint64_t>(lines.size()));
+    putPod(os, lruClock);
+    putPod(os, rngState);
+    for (const Line &line : lines) {
+        putPod(os, line.tag);
+        putPod(os, line.lru);
+        putPod(os, static_cast<uint8_t>(line.valid ? 1 : 0));
+    }
+}
+
+bool
+Cache::deserializeWarmState(std::istream &is)
+{
+    using warmio::getPod;
+    uint32_t sets = 0, assoc = 0, shift = 0;
+    uint64_t n = 0;
+    if (!getPod(is, sets) || !getPod(is, assoc) || !getPod(is, shift) ||
+        !getPod(is, n)) {
+        return false;
+    }
+    if (sets != numSets || assoc != cfg.assoc || shift != blockShift ||
+        n != lines.size()) {
+        return false;
+    }
+    if (!getPod(is, lruClock) || !getPod(is, rngState))
+        return false;
+    for (Line &line : lines) {
+        uint8_t valid = 0;
+        if (!getPod(is, line.tag) || !getPod(is, line.lru) ||
+            !getPod(is, valid)) {
+            return false;
+        }
+        line.valid = valid != 0;
+    }
+    return true;
 }
 
 } // namespace yasim

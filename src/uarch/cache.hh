@@ -12,6 +12,7 @@
 #define YASIM_UARCH_CACHE_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -91,6 +92,21 @@ class Cache
     void clearStats() { cacheStats = CacheStats(); }
     const std::string &name() const { return cacheName; }
     const CacheConfig &config() const { return cfg; }
+
+    /**
+     * Append tag/LRU/valid state plus the replacement clocks to @p os
+     * (statistics are not part of warm state). The geometry is emitted
+     * as a restore guard; the enclosing composite blob is versioned by
+     * kWarmStateFormatVersion (uarch/warm_state.hh).
+     */
+    void serializeWarmState(std::ostream &os) const;
+
+    /**
+     * Restore state written by serializeWarmState. @return false on a
+     * geometry mismatch or short stream; the cache contents are then
+     * unspecified and the caller must reset or discard it.
+     */
+    bool deserializeWarmState(std::istream &is);
 
   private:
     struct Line

@@ -1,6 +1,7 @@
 #include "uarch/memory_hierarchy.hh"
 
 #include "support/logging.hh"
+#include "uarch/warm_state.hh"
 
 namespace yasim {
 
@@ -105,6 +106,29 @@ MemoryHierarchy::clearStats()
     itlb.clearStats();
     dtlb.clearStats();
     pfStats = PrefetchStats();
+}
+
+
+void
+MemoryHierarchy::serializeWarmState(std::ostream &os) const
+{
+    warmio::putPod(os, kWarmStateFormatVersion);
+    l1i.serializeWarmState(os);
+    l1d.serializeWarmState(os);
+    l2.serializeWarmState(os);
+    itlb.serializeWarmState(os);
+    dtlb.serializeWarmState(os);
+}
+
+bool
+MemoryHierarchy::deserializeWarmState(std::istream &is)
+{
+    uint32_t version = 0;
+    if (!warmio::getPod(is, version) || version != kWarmStateFormatVersion)
+        return false;
+    return l1i.deserializeWarmState(is) && l1d.deserializeWarmState(is) &&
+           l2.deserializeWarmState(is) && itlb.deserializeWarmState(is) &&
+           dtlb.deserializeWarmState(is);
 }
 
 } // namespace yasim

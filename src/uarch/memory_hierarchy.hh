@@ -19,6 +19,7 @@
 #define YASIM_UARCH_MEMORY_HIERARCHY_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 
 #include "uarch/cache.hh"
@@ -95,6 +96,20 @@ class MemoryHierarchy
     const PrefetchStats &prefetchStats() const { return pfStats; }
 
     const MemoryConfig &config() const { return cfg; }
+
+    /**
+     * Serialize the warmed state of every cache and TLB as one stream
+     * opening with kWarmStateFormatVersion (uarch/warm_state.hh).
+     * Statistics are excluded: warm state is table training only.
+     */
+    void serializeWarmState(std::ostream &os) const;
+
+    /**
+     * Restore a stream written by serializeWarmState. @return false on
+     * a version or geometry mismatch or a short stream; the hierarchy
+     * is then partially mutated and must be reset or discarded.
+     */
+    bool deserializeWarmState(std::istream &is);
 
   private:
     /** Cycles to fill a block of @p block_bytes from main memory. */

@@ -1,6 +1,7 @@
 #include "uarch/tlb.hh"
 
 #include "support/logging.hh"
+#include "uarch/warm_state.hh"
 
 namespace yasim {
 
@@ -72,6 +73,44 @@ Tlb::reset()
     for (Entry &e : entries)
         e.valid = false;
     lruClock = 0;
+}
+
+
+void
+Tlb::serializeWarmState(std::ostream &os) const
+{
+    using warmio::putPod;
+    putPod(os, pageShift);
+    putPod(os, static_cast<uint64_t>(entries.size()));
+    putPod(os, lruClock);
+    for (const Entry &e : entries) {
+        putPod(os, e.page);
+        putPod(os, e.lru);
+        putPod(os, static_cast<uint8_t>(e.valid ? 1 : 0));
+    }
+}
+
+bool
+Tlb::deserializeWarmState(std::istream &is)
+{
+    using warmio::getPod;
+    uint32_t shift = 0;
+    uint64_t n = 0;
+    if (!getPod(is, shift) || !getPod(is, n))
+        return false;
+    if (shift != pageShift || n != entries.size())
+        return false;
+    if (!getPod(is, lruClock))
+        return false;
+    for (Entry &e : entries) {
+        uint8_t valid = 0;
+        if (!getPod(is, e.page) || !getPod(is, e.lru) ||
+            !getPod(is, valid)) {
+            return false;
+        }
+        e.valid = valid != 0;
+    }
+    return true;
 }
 
 } // namespace yasim

@@ -11,6 +11,7 @@
 #define YASIM_UARCH_TLB_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -53,6 +54,12 @@ class Tlb
 
     const TlbStats &stats() const { return tlbStats; }
     void clearStats() { tlbStats = TlbStats(); }
+
+    /** As Cache::serializeWarmState, for the TLB entry array. */
+    void serializeWarmState(std::ostream &os) const;
+
+    /** As Cache::deserializeWarmState. */
+    bool deserializeWarmState(std::istream &is);
 
   private:
     bool lookupAndFill(uint64_t addr);

@@ -5,11 +5,15 @@
 #include <filesystem>
 #include <fstream>
 
+#include <sstream>
+
 #include "isa/program_builder.hh"
 #include "sim/checkpoint.hh"
 #include "sim/functional.hh"
 #include "sim/memory.hh"
 #include "support/failpoint.hh"
+#include "uarch/branch_predictor.hh"
+#include "uarch/memory_hierarchy.hh"
 #include "workloads/suite.hh"
 
 namespace yasim {
@@ -150,6 +154,133 @@ TEST(Checkpoint, CorruptFileIsQuarantinedAndLoadFails)
     EXPECT_FALSE(Checkpoint::loadFile(path, loaded));
 
     fs::remove_all(dir);
+}
+
+/** The composite warm blob of @p mem and @p bp, for bit comparisons. */
+std::string
+warmBlobOf(const MemoryHierarchy &mem, const CombinedPredictor &bp)
+{
+    std::ostringstream os;
+    mem.serializeWarmState(os);
+    bp.serializeWarmState(os);
+    return os.str();
+}
+
+TEST(Checkpoint, UarchSummaryRoundTripsThroughFile)
+{
+    failpoint::ScopedSchedule off("");
+    fs::path dir = fs::path(::testing::TempDir()) / "yasim_ckpt_warm";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    const std::string path = (dir / "warm.ckpt").string();
+
+    Program p = loopProgram();
+    MemoryConfig mcfg;
+    BranchPredictorConfig bcfg;
+    MemoryHierarchy mem(mcfg);
+    CombinedPredictor bp(bcfg);
+    FunctionalSim sim(p);
+    sim.fastForwardWarm(3000, &mem, &bp);
+
+    // A carrier summary holds only the warmed tables, no arch state.
+    Checkpoint cp = Checkpoint::atPosition(3000);
+    EXPECT_FALSE(cp.hasArchState());
+    EXPECT_FALSE(cp.hasUarch());
+    cp.attachUarch(mem, bp, "warm-key");
+    EXPECT_TRUE(cp.hasUarch());
+    EXPECT_EQ(cp.uarchKey(), "warm-key");
+    ASSERT_TRUE(cp.saveFile(path));
+
+    Checkpoint loaded = Checkpoint::atPosition(0);
+    ASSERT_TRUE(Checkpoint::loadFile(path, loaded));
+    EXPECT_EQ(loaded.instruction(), 3000u);
+    EXPECT_FALSE(loaded.hasArchState());
+    ASSERT_TRUE(loaded.hasUarch());
+    EXPECT_EQ(loaded.uarchKey(), "warm-key");
+
+    // Restoring reproduces the warmed tables bit for bit.
+    MemoryHierarchy mem2(mcfg);
+    CombinedPredictor bp2(bcfg);
+    ASSERT_TRUE(loaded.restoreUarch(mem2, bp2, "warm-key"));
+    EXPECT_EQ(warmBlobOf(mem2, bp2), warmBlobOf(mem, bp));
+
+    fs::remove_all(dir);
+}
+
+TEST(Checkpoint, UarchRestoreRefusesWrongKeyOrGeometry)
+{
+    Program p = loopProgram();
+    MemoryConfig mcfg;
+    BranchPredictorConfig bcfg;
+    MemoryHierarchy mem(mcfg);
+    CombinedPredictor bp(bcfg);
+    FunctionalSim sim(p);
+    sim.fastForwardWarm(3000, &mem, &bp);
+
+    Checkpoint cp = Checkpoint::atPosition(3000);
+    cp.attachUarch(mem, bp, "warm-key");
+
+    MemoryHierarchy same(mcfg);
+    CombinedPredictor samebp(bcfg);
+    EXPECT_FALSE(cp.restoreUarch(same, samebp, "other-key"));
+
+    // A differently-shaped hierarchy must fail structural validation
+    // rather than silently absorb mismatched tables.
+    MemoryConfig narrow = mcfg;
+    narrow.l1d.sizeKb = mcfg.l1d.sizeKb / 2;
+    MemoryHierarchy wrong(narrow);
+    CombinedPredictor wrongbp(bcfg);
+    EXPECT_FALSE(cp.restoreUarch(wrong, wrongbp, "warm-key"));
+}
+
+TEST(Checkpoint, UarchSummarySurvivesArchCheckpoints)
+{
+    // Live-mode shard summaries attach warm state to a full
+    // architectural capture; both payloads must round-trip together.
+    Program p = loopProgram();
+    MemoryConfig mcfg;
+    BranchPredictorConfig bcfg;
+    MemoryHierarchy mem(mcfg);
+    CombinedPredictor bp(bcfg);
+    FunctionalSim sim(p);
+    sim.fastForwardWarm(2000, &mem, &bp);
+
+    Checkpoint cp = Checkpoint::capture(sim);
+    cp.attachUarch(mem, bp, "k");
+    std::stringstream ss;
+    cp.writeBinary(ss);
+
+    Checkpoint back = Checkpoint::atPosition(0);
+    ASSERT_TRUE(Checkpoint::readBinary(ss, back));
+    EXPECT_TRUE(back.hasArchState());
+    ASSERT_TRUE(back.hasUarch());
+
+    FunctionalSim resumed(p);
+    back.restore(resumed);
+    EXPECT_EQ(resumed.instsExecuted(), 2000u);
+    MemoryHierarchy mem2(mcfg);
+    CombinedPredictor bp2(bcfg);
+    ASSERT_TRUE(back.restoreUarch(mem2, bp2, "k"));
+    EXPECT_EQ(warmBlobOf(mem2, bp2), warmBlobOf(mem, bp));
+}
+
+TEST(Checkpoint, StaleFormatVersionRejected)
+{
+    Program p = loopProgram();
+    FunctionalSim sim(p);
+    sim.fastForward(100);
+    std::stringstream ss;
+    Checkpoint::capture(sim).writeBinary(ss);
+
+    // Regress the leading version marker to the previous layout: the
+    // reader must reject it rather than misparse the v3 trailer.
+    std::string bytes = ss.str();
+    const uint32_t stale = kCheckpointFormatVersion - 1;
+    bytes.replace(0, sizeof(stale),
+                  reinterpret_cast<const char *>(&stale), sizeof(stale));
+    std::stringstream rotted(bytes);
+    Checkpoint out = Checkpoint::atPosition(0);
+    EXPECT_FALSE(Checkpoint::readBinary(rotted, out));
 }
 
 TEST(CheckpointLibrary, BuildsInOnePass)

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Tests for checkpoint-sharded parallel detailed simulation: the shard
+ * planner, the drain-boundary exactness contract against the
+ * sequential reference, replay/live bit-identity, and warmed-uarch
+ * summary persistence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "sim/functional.hh"
+#include "sim/ooo_core.hh"
+#include "sim/sharded.hh"
+#include "sim/trace.hh"
+#include "support/failpoint.hh"
+#include "workloads/suite.hh"
+
+namespace yasim {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** gzip's reference workload scaled to @p ref_insts. */
+Workload
+workloadOf(uint64_t ref_insts)
+{
+    SuiteConfig suite;
+    suite.referenceInstructions = ref_insts;
+    return buildWorkload("gzip", InputSet::Reference, suite);
+}
+
+/** The sequential reference statistics for @p trace. */
+SimStats
+sequentialStats(const std::shared_ptr<const ExecTrace> &trace,
+                const SimConfig &config)
+{
+    TraceReplayer replayer(trace);
+    OooCore core(config);
+    core.run(replayer, ~0ULL);
+    return core.snapshot();
+}
+
+void
+expectWithin(double actual, double expected, double tol,
+             const char *what)
+{
+    ASSERT_NE(expected, 0.0) << what;
+    EXPECT_LE(std::abs(actual - expected) / std::abs(expected), tol)
+        << what << ": " << actual << " vs " << expected;
+}
+
+TEST(ShardPlan, CoversRunContiguouslyOnLadderRungs)
+{
+    const uint64_t length = 8'000'000;
+    const uint64_t spacing = ExecTrace::ladderSpacingFor(length);
+    auto plan = planShards(length, 8, 0);
+    ASSERT_EQ(plan.size(), 8u);
+    EXPECT_EQ(plan.front().begin, 0u);
+    EXPECT_EQ(plan.back().end, length);
+    for (size_t k = 0; k + 1 < plan.size(); ++k)
+        EXPECT_EQ(plan[k].end, plan[k + 1].begin);
+    for (size_t k = 1; k < plan.size(); ++k)
+        EXPECT_EQ(plan[k].begin % spacing, 0u) << k;
+    // Unbounded warm-up warms every shard from the start of the run;
+    // shard 0 is cold by construction.
+    for (const ShardSlice &s : plan)
+        EXPECT_EQ(s.warmStart, 0u);
+}
+
+TEST(ShardPlan, BoundedWarmupClampsToRunStart)
+{
+    auto plan = planShards(8'000'000, 8, 100'000);
+    for (size_t k = 1; k < plan.size(); ++k) {
+        EXPECT_EQ(plan[k].warmStart, plan[k].begin - 100'000) << k;
+    }
+    EXPECT_EQ(plan[0].warmStart, plan[0].begin);
+
+    // A bound exceeding the prefix degrades to a full-prefix warm.
+    auto wide = planShards(8'000'000, 8, 100'000'000);
+    for (const ShardSlice &s : wide)
+        EXPECT_EQ(s.warmStart, 0u);
+}
+
+TEST(ShardPlan, ShortRunsMergeCollidingShards)
+{
+    // 150k instructions sit on a 64Ki ladder: only two interior rungs
+    // exist, so eight requested shards merge down to three.
+    auto plan = planShards(150'000, 8, 0);
+    ASSERT_GE(plan.size(), 2u);
+    ASSERT_LE(plan.size(), 8u);
+    EXPECT_EQ(plan.front().begin, 0u);
+    EXPECT_EQ(plan.back().end, 150'000u);
+    for (size_t k = 0; k + 1 < plan.size(); ++k)
+        EXPECT_EQ(plan[k].end, plan[k + 1].begin);
+
+    auto one = planShards(150'000, 1, 0);
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0].warmStart, 0u);
+    EXPECT_EQ(one[0].begin, 0u);
+    EXPECT_EQ(one[0].end, 150'000u);
+}
+
+TEST(Sharded, DrainBoundaryCountersMatchSequentialExactly)
+{
+    Workload w = workloadOf(400'000);
+    auto trace = ExecTrace::record(w.program);
+    SimConfig config;
+    SimStats seq = sequentialStats(trace, config);
+
+    ShardOptions opts;
+    opts.shards = 4;
+    ShardedRunResult sharded = runShardedReference(trace, config, opts);
+
+    // Architectural counters are bit-exact under sharding: the same
+    // dynamic instructions flow through the same warmed structures.
+    EXPECT_EQ(sharded.stats.instructions, seq.instructions);
+    EXPECT_EQ(sharded.stats.condBranches, seq.condBranches);
+    EXPECT_EQ(sharded.stats.l1dAccesses, seq.l1dAccesses);
+    EXPECT_EQ(sharded.stats.trivialOps, seq.trivialOps);
+    EXPECT_EQ(sharded.detailedInsts, trace->length());
+
+    // Each fresh core re-fetches its first I-cache block, so the
+    // I-side access count can exceed sequential by at most one access
+    // per extra shard.
+    ASSERT_GE(sharded.stats.l1iAccesses, seq.l1iAccesses);
+    EXPECT_LE(sharded.stats.l1iAccesses - seq.l1iAccesses,
+              sharded.perShard.size() - 1);
+
+    // Timing carries only the documented drain-boundary error.
+    expectWithin(sharded.stats.cpi(), seq.cpi(), 0.005, "cpi");
+    expectWithin(sharded.stats.l1dHitRate(), seq.l1dHitRate(), 0.005,
+                 "l1d hit rate");
+    expectWithin(sharded.stats.l2HitRate(), seq.l2HitRate(), 0.005,
+                 "l2 hit rate");
+    expectWithin(sharded.stats.branchAccuracy(), seq.branchAccuracy(),
+                 0.005, "branch accuracy");
+}
+
+TEST(Sharded, SingleShardMatchesSequentialBitForBit)
+{
+    Workload w = workloadOf(150'000);
+    auto trace = ExecTrace::record(w.program);
+    SimConfig config;
+    SimStats seq = sequentialStats(trace, config);
+
+    ShardOptions one;
+    one.shards = 1;
+    ShardOptions exact;
+    exact.shards = 8;
+    exact.exact = true;
+
+    for (const ShardOptions &opts : {one, exact}) {
+        ShardedRunResult r = runShardedReference(trace, config, opts);
+        ASSERT_EQ(r.perShard.size(), 1u);
+        EXPECT_EQ(r.stats.instructions, seq.instructions);
+        EXPECT_EQ(r.stats.cycles, seq.cycles);
+        EXPECT_EQ(r.stats.condMispredicts, seq.condMispredicts);
+        EXPECT_EQ(r.stats.l1iAccesses, seq.l1iAccesses);
+        EXPECT_EQ(r.stats.l1iMisses, seq.l1iMisses);
+        EXPECT_EQ(r.stats.l1dMisses, seq.l1dMisses);
+        EXPECT_EQ(r.stats.l2Accesses, seq.l2Accesses);
+        EXPECT_EQ(r.stats.l2Misses, seq.l2Misses);
+        EXPECT_EQ(r.stats.memStallCycles, seq.memStallCycles);
+        EXPECT_EQ(r.warmedInsts, 0u);
+        EXPECT_EQ(r.checkpointInsts, 0u);
+    }
+}
+
+TEST(Sharded, ReplayAndLiveShardingBitIdentical)
+{
+    Workload w = workloadOf(400'000);
+    auto trace = ExecTrace::record(w.program);
+    SimConfig config;
+
+    ShardOptions opts;
+    opts.shards = 4;
+    opts.warmupInsts = 65'536;
+    ShardedRunResult replay = runShardedReference(trace, config, opts);
+    ShardedRunResult live =
+        runShardedReference(w.program, trace->length(), config, opts);
+
+    ASSERT_EQ(replay.perShard.size(), live.perShard.size());
+    for (size_t k = 0; k < replay.perShard.size(); ++k) {
+        EXPECT_EQ(replay.perShard[k].instructions,
+                  live.perShard[k].instructions) << k;
+        EXPECT_EQ(replay.perShard[k].cycles, live.perShard[k].cycles)
+            << k;
+        EXPECT_EQ(replay.perShard[k].l1dMisses,
+                  live.perShard[k].l1dMisses) << k;
+        EXPECT_EQ(replay.perShard[k].condMispredicts,
+                  live.perShard[k].condMispredicts) << k;
+    }
+    EXPECT_EQ(replay.stats.cycles, live.stats.cycles);
+    EXPECT_EQ(replay.stats.memStallCycles, live.stats.memStallCycles);
+    EXPECT_EQ(replay.warmedInsts, live.warmedInsts);
+    // Only live mode pays for the architectural entry pass.
+    EXPECT_EQ(replay.checkpointInsts, 0u);
+    EXPECT_GT(live.checkpointInsts, 0u);
+}
+
+TEST(Sharded, LiveProfileMatchesSequentialExactly)
+{
+    Workload w = workloadOf(400'000);
+    auto trace = ExecTrace::record(w.program);
+    SimConfig config;
+
+    ShardOptions opts;
+    opts.shards = 4;
+    ShardedRunResult live =
+        runShardedReference(w.program, trace->length(), config, opts);
+
+    // The trace records the full-run weight-1.0 profile — exactly what
+    // a sequential detailed pass accumulates. Stitched shard profiles
+    // must reproduce it bit for bit (integral doubles, exact sums).
+    ASSERT_EQ(live.bbef.size(), trace->bbef().size());
+    ASSERT_EQ(live.bbv.size(), trace->bbv().size());
+    for (size_t i = 0; i < live.bbef.size(); ++i) {
+        EXPECT_EQ(live.bbef[i], trace->bbef()[i]) << i;
+        EXPECT_EQ(live.bbv[i], trace->bbv()[i]) << i;
+    }
+}
+
+TEST(Sharded, WarmSummariesPersistAndNeverChangeResults)
+{
+    failpoint::ScopedSchedule off("");
+    fs::path dir = fs::path(::testing::TempDir()) / "yasim_shard_warm";
+    fs::remove_all(dir);
+
+    Workload w = workloadOf(400'000);
+    auto trace = ExecTrace::record(w.program);
+    SimConfig config;
+
+    ShardOptions opts;
+    opts.shards = 4;
+    opts.warmupInsts = 65'536;
+    opts.warmDir = dir.string();
+
+    ShardedRunResult first = runShardedReference(trace, config, opts);
+    EXPECT_EQ(first.warmRestores, 0u);
+    EXPECT_EQ(first.warmSaves, first.perShard.size() - 1);
+
+    // Second run warms from the persisted summaries...
+    ShardedRunResult second = runShardedReference(trace, config, opts);
+    EXPECT_EQ(second.warmRestores, second.perShard.size() - 1);
+    EXPECT_EQ(second.warmSaves, 0u);
+
+    // ...and a live run shares them across modes.
+    ShardedRunResult live =
+        runShardedReference(w.program, trace->length(), config, opts);
+    EXPECT_EQ(live.warmRestores, live.perShard.size() - 1);
+
+    // Summaries change wall-clock, never results or modeled cost.
+    for (const ShardedRunResult *r : {&second, &live}) {
+        EXPECT_EQ(r->stats.cycles, first.stats.cycles);
+        EXPECT_EQ(r->stats.l1dMisses, first.stats.l1dMisses);
+        EXPECT_EQ(r->stats.condMispredicts, first.stats.condMispredicts);
+        EXPECT_EQ(r->warmedInsts, first.warmedInsts);
+    }
+
+    // A latency-only variant reuses the same warm files: the warm key
+    // covers only table-shaping configuration.
+    SimConfig slower = config;
+    slower.mem.memLatencyFirst *= 2;
+    ShardedRunResult variant = runShardedReference(trace, slower, opts);
+    EXPECT_EQ(variant.warmRestores, variant.perShard.size() - 1);
+    EXPECT_NE(variant.stats.cycles, first.stats.cycles);
+
+    fs::remove_all(dir);
+}
+
+TEST(Sharded, StitchedWorkExceedsSequentialWork)
+{
+    // Sharding buys wall-clock, not work units: the plan charges the
+    // detailed run plus every warming lead-in.
+    Workload w = workloadOf(400'000);
+    auto trace = ExecTrace::record(w.program);
+    ShardOptions opts;
+    opts.shards = 4;
+    ShardedRunResult r =
+        runShardedReference(trace, SimConfig{}, opts);
+    EXPECT_EQ(r.detailedInsts, trace->length());
+    EXPECT_GT(r.warmedInsts, 0u);
+}
+
+} // namespace
+} // namespace yasim
