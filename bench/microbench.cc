@@ -31,6 +31,7 @@
 #include <filesystem>
 
 #include "core/pb_characterization.hh"
+#include "engine/result_io.hh"
 #include "sim/functional.hh"
 #include "sim/ooo_core.hh"
 #include "sim/sharded.hh"
@@ -327,30 +328,19 @@ runJsonGate(const char *path)
 
     double speedup = live_seconds / (trace_seconds > 0 ? trace_seconds : 1e-9);
 
-    std::FILE *out = std::fopen(path, "w");
-    if (!out) {
-        std::fprintf(stderr, "microbench: cannot open %s for writing\n",
-                     path);
-        return 1;
-    }
-    std::fprintf(out,
-                 "{\n"
-                 "  \"step_insts_per_sec_live\": %.0f,\n"
-                 "  \"step_insts_per_sec_replay\": %.0f,\n"
-                 "  \"step_replay_over_live\": %.3f,\n"
-                 "  \"sweep_configs\": %zu,\n"
-                 "  \"sweep_detailed_insts\": %llu,\n"
-                 "  \"sweep_wall_seconds_live\": %.6f,\n"
-                 "  \"sweep_wall_seconds_trace\": %.6f,\n"
-                 "  \"sweep_speedup\": %.3f,\n"
-                 "  \"sweep_cycles_match\": %s\n"
-                 "}\n",
-                 live_ips, replay_ips, replay_ips / live_ips,
-                 configs.size(),
-                 static_cast<unsigned long long>(kDetailedInsts),
-                 live_seconds, trace_seconds, speedup,
-                 trace_cycles == live_cycles ? "true" : "false");
-    std::fclose(out);
+    // Historical field names, now under the versioned yasim-report
+    // schema (the CI gate indexes them directly either way).
+    JsonReport report("perf-gate");
+    report.setNumber("step_insts_per_sec_live", live_ips);
+    report.setNumber("step_insts_per_sec_replay", replay_ips);
+    report.setNumber("step_replay_over_live", replay_ips / live_ips);
+    report.setCount("sweep_configs", configs.size());
+    report.setCount("sweep_detailed_insts", kDetailedInsts);
+    report.setNumber("sweep_wall_seconds_live", live_seconds);
+    report.setNumber("sweep_wall_seconds_trace", trace_seconds);
+    report.setNumber("sweep_speedup", speedup);
+    report.setBool("sweep_cycles_match", trace_cycles == live_cycles);
+    writeReportFile(report, path);
 
     std::printf("step throughput: live %.1fM inst/s, replay %.1fM inst/s "
                 "(%.2fx)\n",
@@ -458,34 +448,20 @@ runOooGate(const char *path)
         sharded.stats.l1dAccesses == seq.l1dAccesses &&
         sharded.stats.trivialOps == seq.trivialOps;
 
-    std::FILE *out = std::fopen(path, "w");
-    if (!out) {
-        std::fprintf(stderr, "microbench: cannot open %s for writing\n",
-                     path);
-        return 1;
-    }
-    std::fprintf(out,
-                 "{\n"
-                 "  \"ooo_detailed_insts_per_sec\": %.0f,\n"
-                 "  \"sharded_shards\": %u,\n"
-                 "  \"sharded_warmup_insts\": %llu,\n"
-                 "  \"workers\": %u,\n"
-                 "  \"seq_wall_seconds\": %.6f,\n"
-                 "  \"sharded_wall_seconds\": %.6f,\n"
-                 "  \"sharded_speedup\": %.3f,\n"
-                 "  \"sharded_cpi_drift\": %.6f,\n"
-                 "  \"counters_exact\": %s,\n"
-                 "  \"shards1_bit_identical\": %s,\n"
-                 "  \"replay_live_cycles_match\": %s\n"
-                 "}\n",
-                 ooo_ips, opts.shards,
-                 static_cast<unsigned long long>(opts.warmupInsts),
-                 parallelWorkers(), seq_seconds, sharded_seconds,
-                 speedup, cpi_drift,
-                 counters_exact ? "true" : "false",
-                 single_identical ? "true" : "false",
-                 replay_live_match ? "true" : "false");
-    std::fclose(out);
+    // Historical field names under the versioned yasim-report schema.
+    JsonReport report("perf-gate-ooo");
+    report.setNumber("ooo_detailed_insts_per_sec", ooo_ips);
+    report.setCount("sharded_shards", opts.shards);
+    report.setCount("sharded_warmup_insts", opts.warmupInsts);
+    report.setCount("workers", parallelWorkers());
+    report.setNumber("seq_wall_seconds", seq_seconds);
+    report.setNumber("sharded_wall_seconds", sharded_seconds);
+    report.setNumber("sharded_speedup", speedup);
+    report.setNumber("sharded_cpi_drift", cpi_drift);
+    report.setBool("counters_exact", counters_exact);
+    report.setBool("shards1_bit_identical", single_identical);
+    report.setBool("replay_live_cycles_match", replay_live_match);
+    writeReportFile(report, path);
 
     std::printf("OoO detailed replay: %.2fM inst/s\n", ooo_ips / 1e6);
     std::printf("sharded reference (%u shards, %u workers): %.3fs vs "

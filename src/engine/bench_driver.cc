@@ -5,10 +5,8 @@
 
 #include "core/svat_analysis.hh"
 #include "sim/config.hh"
-#include "support/failpoint.hh"
 #include "support/logging.hh"
 #include "support/table.hh"
-#include "support/thread_pool.hh"
 
 namespace yasim {
 
@@ -54,18 +52,9 @@ BenchDriver::setUp()
         return;
     opts = parseBenchOptions(argCount, argValues, refInsts);
     setInformEnabled(false);
-    if (opts.workers)
-        setParallelWorkers(opts.workers);
-    if (!opts.failpoints.empty())
-        failpoint::configure(opts.failpoints);
-    EngineOptions engine_options;
-    engine_options.cacheDir = opts.cacheDir;
-    engine_options.cacheBudgetBytes = opts.cacheBudgetMb << 20;
-    engine_options.traces = opts.trace;
-    engine_options.shards.shards = opts.shards;
-    engine_options.shards.warmupInsts = opts.shardWarmup;
-    engine_options.shards.exact = opts.exact;
-    eng = std::make_unique<ExperimentEngine>(engine_options);
+    applyEngineRuntime(opts.engine);
+    eng = std::make_unique<ExperimentEngine>(
+        engineOptionsFrom(opts.engine));
 }
 
 int
@@ -73,8 +62,11 @@ BenchDriver::run(const std::function<void(BenchDriver &)> &body)
 {
     setUp();
     body(*this);
-    if (opts.engineStats)
+    if (opts.engine.engineStats)
         eng->printStats(std::cerr);
+    if (!opts.engine.engineStatsJson.empty())
+        writeReportFile(eng->statsReport(),
+                        opts.engine.engineStatsJson);
     return 0;
 }
 

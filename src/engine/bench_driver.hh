@@ -33,8 +33,8 @@
 #include <string>
 #include <vector>
 
-#include "core/options.hh"
 #include "engine/engine.hh"
+#include "engine/options.hh"
 #include "techniques/technique.hh"
 
 namespace yasim {

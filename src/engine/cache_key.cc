@@ -1,5 +1,6 @@
 #include "engine/cache_key.hh"
 
+#include "support/check.hh"
 #include "support/hash.hh"
 #include "support/logging.hh"
 
@@ -77,12 +78,86 @@ shardKeyText(const ShardOptions &shards)
 {
     if (!shards.enabled())
         return "";
-    return csprintf("|shards{n=%u,warm=%llu,stitch=%s}", shards.shards,
+    return csprintf("shards{n=%u,warm=%llu,stitch=%s}", shards.shards,
                     static_cast<unsigned long long>(shards.warmupInsts),
                     stitchModeName(shards.stitch));
 }
 
 } // namespace
+
+CacheKeyStamper::CacheKeyStamper(std::string head,
+                                 std::vector<Segment> layout)
+    : text(std::move(head)), layout(std::move(layout)),
+      slotStamped(this->layout.size(), false)
+{
+}
+
+CacheKeyStamper &
+CacheKeyStamper::stamp(std::string_view name, std::string_view value)
+{
+    std::string name_text(name);
+    size_t slot = layout.size();
+    for (size_t i = 0; i < layout.size(); ++i) {
+        if (name == layout[i].name) {
+            slot = i;
+            break;
+        }
+    }
+    YASIM_CHECK(slot < layout.size(),
+                "unknown cache-key segment '%s'", name_text.c_str());
+    YASIM_CHECK(!slotStamped[slot],
+                "duplicate cache-key segment '%s'", name_text.c_str());
+    YASIM_CHECK(slot >= nextSlot,
+                "cache-key segment '%s' stamped out of canonical order",
+                name_text.c_str());
+    for (size_t i = nextSlot; i < slot; ++i) {
+        YASIM_CHECK(layout[i].optional,
+                    "required cache-key segment '%s' skipped before '%s'",
+                    layout[i].name, name_text.c_str());
+    }
+    YASIM_CHECK(!value.empty(), "empty cache-key segment '%s'",
+                name_text.c_str());
+    YASIM_CHECK(value.find('\n') == std::string_view::npos,
+                "cache-key segment '%s' contains a newline",
+                name_text.c_str());
+    text += '|';
+    text += layout[slot].prefix;
+    text += value;
+    slotStamped[slot] = true;
+    nextSlot = slot + 1;
+    return *this;
+}
+
+std::string
+CacheKeyStamper::finish()
+{
+    for (size_t i = nextSlot; i < layout.size(); ++i) {
+        YASIM_CHECK(layout[i].optional,
+                    "cache key finished without required segment '%s'",
+                    layout[i].name);
+    }
+    nextSlot = layout.size();
+    return text;
+}
+
+CacheKeyStamper
+resultKeyStamper()
+{
+    return CacheKeyStamper(csprintf("v%d", kCacheFormatVersion),
+                           {{"bench", "bench="},
+                            {"suite", ""},
+                            {"cost", "cost="},
+                            {"shards", "", true},
+                            {"tech", "tech="},
+                            {"cfg", "cfg="}});
+}
+
+CacheKeyStamper
+referenceLengthKeyStamper()
+{
+    return CacheKeyStamper(csprintf("v%d|reflen", kCacheFormatVersion),
+                           {{"bench", "bench="}, {"suite", ""}});
+}
 
 std::string
 suiteKeyText(const SuiteConfig &suite)
@@ -105,21 +180,25 @@ std::string
 resultCacheKey(const Technique &technique, const TechniqueContext &ctx,
                const SimConfig &config)
 {
-    return csprintf("v%d|bench=%s|%s|cost=%s%s|tech=%s|cfg=%s",
-                    kCacheFormatVersion, ctx.benchmark.c_str(),
-                    suiteKeyText(ctx.suite).c_str(),
-                    costKeyText(ctx.cost).c_str(),
-                    shardKeyText(ctx.shards).c_str(),
-                    technique.cacheKey().c_str(),
-                    configKeyText(config).c_str());
+    CacheKeyStamper stamper = resultKeyStamper();
+    stamper.stamp("bench", ctx.benchmark)
+        .stamp("suite", suiteKeyText(ctx.suite))
+        .stamp("cost", costKeyText(ctx.cost));
+    if (ctx.shards.enabled())
+        stamper.stamp("shards", shardKeyText(ctx.shards));
+    stamper.stamp("tech", technique.cacheKey())
+        .stamp("cfg", configKeyText(config));
+    return stamper.finish();
 }
 
 std::string
 referenceLengthKey(const std::string &benchmark,
                    const SuiteConfig &suite)
 {
-    return csprintf("v%d|reflen|bench=%s|%s", kCacheFormatVersion,
-                    benchmark.c_str(), suiteKeyText(suite).c_str());
+    return referenceLengthKeyStamper()
+        .stamp("bench", benchmark)
+        .stamp("suite", suiteKeyText(suite))
+        .finish();
 }
 
 std::string

@@ -20,6 +20,8 @@
 #define YASIM_ENGINE_CACHE_KEY_HH
 
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "sim/config.hh"
 #include "techniques/technique.hh"
@@ -32,6 +34,57 @@ namespace yasim {
  * miss instead of resurrecting stale results.
  */
 constexpr int kCacheFormatVersion = 1;
+
+/**
+ * Validating segment-by-segment cache-key builder.
+ *
+ * A key is composed from a fixed, ordered segment layout. stamp()ing a
+ * segment the layout does not know, stamping one twice, stamping out
+ * of canonical order, or finish()ing with a required segment missing
+ * is a YASIM_CHECK failure with the offending segment named — a key
+ * that would silently alias (or split) cache entries can no longer be
+ * composed. The rendered text is byte-for-byte the historical format:
+ * segments join with '|' and each carries its layout prefix, so e.g.
+ * the optional sharding segment still renders as "|shards{...}" and
+ * pre-existing disk caches keep hitting.
+ */
+class CacheKeyStamper
+{
+  public:
+    /** One layout slot. */
+    struct Segment
+    {
+        /** stamp() lookup name, e.g. "bench". */
+        const char *name;
+        /** Rendered prefix, e.g. "bench=" ("" for bare segments). */
+        const char *prefix;
+        /** May be absent from a finished key (e.g. "shards"). */
+        bool optional = false;
+    };
+
+    /** Begin a key reading "<head>"; segments append "|...". */
+    CacheKeyStamper(std::string head, std::vector<Segment> layout);
+
+    /** Append segment @p name with @p value (fatal on misuse). */
+    CacheKeyStamper &stamp(std::string_view name, std::string_view value);
+
+    /** The finished key (fatal when a required segment is missing). */
+    std::string finish();
+
+  private:
+    std::string text;
+    std::vector<Segment> layout;
+    /** Layout slots already stamped (duplicate diagnosis). */
+    std::vector<bool> slotStamped;
+    /** First layout slot the next stamp() may fill. */
+    size_t nextSlot = 0;
+};
+
+/** Stamper with the result-key layout (bench/suite/cost/shards/tech/cfg). */
+CacheKeyStamper resultKeyStamper();
+
+/** Stamper with the reference-length layout (bench/suite). */
+CacheKeyStamper referenceLengthKeyStamper();
 
 /** Canonical text for suite scaling. */
 std::string suiteKeyText(const SuiteConfig &suite);

@@ -444,4 +444,60 @@ ExperimentEngine::printStats(std::ostream &os) const
     table.print(os);
 }
 
+JsonReport
+ExperimentEngine::statsReport() const
+{
+    JsonReport report("engine-stats");
+    appendCounters(report);
+    return report;
+}
+
+void
+ExperimentEngine::appendCounters(JsonReport &report) const
+{
+    EngineCounters c = counters();
+    ThreadPool::Stats pool = globalPool().stats();
+
+    report.setCount("memo_hits", c.memoHits);
+    report.setCount("memo_misses", c.memoMisses);
+    report.setCount("inflight_joins", c.inflightJoins);
+    report.setCount("disk_hits", c.diskHits);
+    report.setCount("disk_writes", c.diskWrites);
+    report.setCount("evictions", c.evictions);
+    report.setCount("runs_executed", c.runsExecuted);
+    report.setNumber("work_units_computed", c.workUnitsComputed);
+    report.setNumber("work_units_saved", c.workUnitsSaved);
+    double total = c.workUnitsComputed + c.workUnitsSaved;
+    report.setNumber("work_saved_pct",
+                     total > 0.0 ? 100.0 * c.workUnitsSaved / total
+                                 : 0.0);
+    report.setCount("ref_length_hits", c.refLengthHits);
+    report.setCount("ref_length_disk_hits", c.refLengthDiskHits);
+    report.setCount("ref_length_measured", c.refLengthMisses);
+    report.setCount("grid_jobs", c.gridJobs);
+    report.setCount("cache_corrupt", c.cacheCorrupt);
+    report.setCount("cache_unreadable", c.cacheUnreadable);
+    report.setCount("io_retries", c.ioRetries);
+    report.setCount("budget_evictions", c.budgetEvictions);
+    if (traces) {
+        TraceCounters t = traces->counters();
+        report.setCount("trace_recordings", t.recordings);
+        report.setCount("trace_hits", t.hits);
+        report.setCount("trace_inflight_joins", t.inflightJoins);
+        report.setCount("trace_disk_loads", t.diskLoads);
+        report.setCount("trace_disk_writes", t.diskWrites);
+        report.setCount("trace_evictions", t.evictions);
+        report.setCount("trace_insts_recorded", t.instsRecorded);
+        report.setCount("trace_bytes_in_memory", t.bytesInMemory);
+        report.setCount("trace_quarantined", t.quarantined);
+        report.setCount("trace_io_retries", t.ioRetries);
+        report.setCount("ref_lengths_from_traces", c.refLengthFromTrace);
+    }
+    report.setCount("pool_workers", globalPool().workerThreads() + 1);
+    report.setCount("pool_batches", pool.batches);
+    report.setCount("pool_tasks", pool.tasks);
+    report.setCount("pool_caller_tasks", pool.callerTasks);
+    report.setCount("pool_steals", pool.steals);
+}
+
 } // namespace yasim

@@ -33,6 +33,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "engine/result_io.hh"
 #include "techniques/service.hh"
 #include "techniques/trace_store.hh"
 
@@ -165,6 +166,19 @@ class ExperimentEngine : public SimulationService
 
     /** Render the counters and pool statistics as a Table. */
     void printStats(std::ostream &os) const;
+
+    /**
+     * The counters and pool statistics as a versioned JsonReport of
+     * kind "engine-stats" (--engine-stats-json, yasimd `stats`).
+     */
+    JsonReport statsReport() const;
+
+    /**
+     * Stamp the counter fields of statsReport() into @p report —
+     * emitters that wrap the engine (the service daemon) merge them
+     * into their own reports this way.
+     */
+    void appendCounters(JsonReport &report) const;
 
   private:
     struct MemoEntry

@@ -1,7 +1,11 @@
 /**
  * @file
- * Tiny command-line option parser shared by the bench and example
- * binaries, so every experiment regenerator accepts the same knobs:
+ * Shared command-line option parsing for every yasim entry point.
+ *
+ * One parser serves the bench drivers (through BenchDriver), the
+ * examples, the `yasimd` experiment daemon, the `yasim-client` CLI,
+ * and the service load generator, so an engine knob added here appears
+ * everywhere at once instead of in 24 copy-pasted flag loops:
  *
  *   --ref-insts N     reference-run dynamic length (scales everything)
  *   --benchmarks a,b  subset of the suite to run
@@ -11,6 +15,8 @@
  *   --cache-dir DIR   persist simulation results across invocations
  *   --cache-budget-mb N  bound the cache directory; evict oldest files
  *   --engine-stats    print ExperimentEngine counters to stderr
+ *   --engine-stats-json FILE  write the counters as a versioned JSON
+ *                     report (result_io.hh schema) instead of a table
  *   --workers N       bound the work-stealing pool at N workers
  *   --trace           record/replay execution traces (the default)
  *   --no-trace        re-interpret functionally on every run
@@ -24,28 +30,26 @@
  *                     (see support/failpoint.hh for the grammar)
  */
 
-#ifndef YASIM_CORE_OPTIONS_HH
-#define YASIM_CORE_OPTIONS_HH
+#ifndef YASIM_ENGINE_OPTIONS_HH
+#define YASIM_ENGINE_OPTIONS_HH
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "engine/engine.hh"
 #include "workloads/suite.hh"
 
 namespace yasim {
 
-/** Parsed common options. */
-struct BenchOptions
+/**
+ * The engine-shaping flags every yasim binary accepts. Parsed either
+ * through parseBenchOptions() (drivers) or one flag at a time through
+ * parseEngineCliOption() (daemon / client / load-generator loops that
+ * carry extra flags of their own).
+ */
+struct EngineCliOptions
 {
-    /** Suite scaling derived from --ref-insts / --seed. */
-    SuiteConfig suite;
-    /** Benchmarks to run (defaults to the full suite). */
-    std::vector<std::string> benchmarks;
-    /** Emit CSV instead of the aligned table. */
-    bool csv = false;
-    /** Run the full-fidelity version of the experiment. */
-    bool full = false;
     /** On-disk result cache directory ("" = memory-only memoization). */
     std::string cacheDir;
     /** Cache-directory budget in MiB (0 = unbounded). */
@@ -58,6 +62,8 @@ struct BenchOptions
     std::string failpoints;
     /** Print ExperimentEngine counters to stderr after the run. */
     bool engineStats = false;
+    /** Write the counters as a versioned JSON report to this path. */
+    std::string engineStatsJson;
     /** Worker-pool bound (0 = auto-detect). */
     unsigned workers = 0;
     /**
@@ -73,6 +79,46 @@ struct BenchOptions
     bool exact = false;
 };
 
+/** Parsed common options for the bench/example drivers. */
+struct BenchOptions
+{
+    /** Suite scaling derived from --ref-insts / --seed. */
+    SuiteConfig suite;
+    /** Benchmarks to run (defaults to the full suite). */
+    std::vector<std::string> benchmarks;
+    /** Emit CSV instead of the aligned table. */
+    bool csv = false;
+    /** Run the full-fidelity version of the experiment. */
+    bool full = false;
+    /** The shared engine flags. */
+    EngineCliOptions engine;
+};
+
+/**
+ * Try to consume the engine flag at argv[@p i] into @p options.
+ * Returns true when the flag (and its value, if any) was consumed —
+ * @p i then indexes the last consumed element. Missing or malformed
+ * values are fatal(); unrecognized flags return false so the caller's
+ * own loop can handle them.
+ */
+bool parseEngineCliOption(EngineCliOptions &options, int argc,
+                          char **argv, int &i);
+
+/** Usage text for the flags parseEngineCliOption() accepts. */
+const char *engineCliUsage();
+
+/**
+ * Translate parsed flags into engine construction knobs. Pure — does
+ * not touch process-wide state (see applyEngineRuntime()).
+ */
+EngineOptions engineOptionsFrom(const EngineCliOptions &options);
+
+/**
+ * Apply the process-wide side of the flags: the worker-pool bound and
+ * the failpoint schedule. Call once, before the first parallel batch.
+ */
+void applyEngineRuntime(const EngineCliOptions &options);
+
 /**
  * Parse argv. Unknown options are fatal (with a usage message).
  * @param default_ref_insts experiment-appropriate default length
@@ -82,4 +128,4 @@ BenchOptions parseBenchOptions(int argc, char **argv,
 
 } // namespace yasim
 
-#endif // YASIM_CORE_OPTIONS_HH
+#endif // YASIM_ENGINE_OPTIONS_HH

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * yasimd's core: a multi-tenant experiment service over one socket.
+ *
+ * ServiceDaemon listens on a Unix and/or loopback-TCP socket and
+ * serves the framed protocol of service/protocol.hh. One I/O thread
+ * owns every connection: it polls, splits the byte stream into
+ * artifact frames (support/artifact_io frameSize()), decodes requests,
+ * and runs admission control; a pool of executor threads drains a
+ * priority job queue through the shared ExperimentEngine — so every
+ * tenant hits one memo table, one disk cache, and one trace store, and
+ * a config grid queued by eight clients simulates each cell once.
+ *
+ * Admission control (evaluated in arrival order, on the I/O thread):
+ *
+ *   - draining           → Rejected "draining" (new Run work only)
+ *   - queue ≥ maxQueue   → Rejected "queue full"
+ *   - per-connection outstanding ≥ clientQuota → Rejected "quota"
+ *
+ * Rejections are well-formed responses, not disconnects; clients back
+ * off and resubmit. A malformed or oversized frame, by contrast, is a
+ * protocol error: the connection is dropped on the spot (the peer is
+ * broken or hostile — there is no frame boundary to resynchronize to),
+ * and any in-flight results for it are discarded and counted.
+ *
+ * Draining (requestDrain(), or a Shutdown request): stop admitting,
+ * finish every accepted job, flush every response, then exit the I/O
+ * loop. requestDrain() is async-signal-safe — yasimd calls it straight
+ * from its SIGTERM handler — so "kill -TERM yasimd" never loses an
+ * accepted job.
+ *
+ * Deterministic fault injection (support/failpoint.hh) covers the
+ * socket path like the artifact path:
+ *
+ *     svc.accept.transient   accept() of a pending connection fails
+ *     svc.read.corrupt       one bit of a received chunk flips
+ *
+ * Both are exercised by tests/test_service.cc and the CI service job.
+ */
+
+#ifndef YASIM_SERVICE_DAEMON_HH
+#define YASIM_SERVICE_DAEMON_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/protocol.hh"
+
+namespace yasim {
+
+/** Daemon construction knobs. */
+struct DaemonOptions
+{
+    /** Unix-domain socket path ("" = no Unix listener). */
+    std::string socketPath;
+    /**
+     * Loopback TCP port (-1 = no TCP listener, 0 = ephemeral — read
+     * the bound port back with tcpPort()).
+     */
+    int tcpPort = -1;
+    /** Executor threads draining the job queue. */
+    unsigned workers = 2;
+    /** Bound on queued-but-not-executing jobs (admission control). */
+    size_t maxQueue = 256;
+    /** Bound on one connection's outstanding jobs (per-client quota). */
+    uint32_t clientQuota = 64;
+    /** Largest request payload accepted before dropping the peer. */
+    uint64_t maxFrameBytes = kMaxServicePayload;
+};
+
+/** Monotonic daemon counters (Stats responses embed them). */
+struct DaemonCounters
+{
+    uint64_t connectionsAccepted = 0;
+    uint64_t acceptTransients = 0;
+    /** Well-formed requests of any kind that reached admission. */
+    uint64_t requestsDecoded = 0;
+    /** Run jobs admitted to the queue. */
+    uint64_t jobsAccepted = 0;
+    /** Jobs executed to completion (includes dropped-response jobs). */
+    uint64_t jobsExecuted = 0;
+    uint64_t rejectedQueueFull = 0;
+    uint64_t rejectedQuota = 0;
+    uint64_t rejectedDraining = 0;
+    /** Malformed/oversized frames or payloads → connection dropped. */
+    uint64_t protocolErrors = 0;
+    uint64_t disconnects = 0;
+    /** Completed jobs whose connection was gone at response time. */
+    uint64_t responsesDropped = 0;
+    /** High-water mark of the job queue. */
+    uint64_t maxQueueDepth = 0;
+};
+
+/** The experiment service daemon. See file comment. */
+class ServiceDaemon
+{
+  public:
+    /** @p engine must outlive the daemon; it is shared by all tenants. */
+    ServiceDaemon(DaemonOptions options, ExperimentEngine &engine);
+    ~ServiceDaemon();
+
+    ServiceDaemon(const ServiceDaemon &) = delete;
+    ServiceDaemon &operator=(const ServiceDaemon &) = delete;
+
+    /**
+     * Bind the configured listeners and start the I/O and executor
+     * threads. False (with a cause) when a listener cannot be bound.
+     */
+    bool start(std::string &error);
+
+    /** The bound TCP port (valid after start(); -1 when TCP is off). */
+    int tcpPort() const { return boundTcpPort; }
+
+    /**
+     * Begin draining. Async-signal-safe: sets a lock-free flag and
+     * wakes the poll loop through the self-pipe.
+     */
+    void requestDrain();
+
+    /** Block until the daemon has drained and every thread exited. */
+    void wait();
+
+    /** requestDrain() + wait(). Idempotent; the destructor calls it. */
+    void stop();
+
+    /** True once draining has begun. */
+    bool draining() const { return drainRequested.load(); }
+
+    /** Snapshot of the counters. */
+    DaemonCounters counters() const;
+
+    /** Engine + daemon counters as one JsonReport (kind "service-stats"). */
+    JsonReport statsReport() const;
+
+  private:
+    /** One accepted connection, owned by the I/O thread. */
+    struct Connection
+    {
+        int fd = -1;
+        std::string inBuf;
+        std::string outBuf;
+        /** Admitted jobs not yet responded to (quota accounting). */
+        uint32_t outstanding = 0;
+        bool dropped = false;
+    };
+
+    /** One admitted Run job. */
+    struct Job
+    {
+        uint64_t connId = 0;
+        ExperimentRequest request;
+    };
+
+    /** A finished job's framed response, heading back to its client. */
+    struct Outbound
+    {
+        uint64_t connId = 0;
+        std::string frame;
+    };
+
+    void ioLoop();
+    void workerLoop();
+    /** Accept everything pending on @p listen_fd. */
+    void acceptPending(int listen_fd);
+    /**
+     * Read, deframe, decode, admit. False = drop the connection, with
+     * @p protocol_error set when the peer sent unverifiable bytes
+     * (rather than disconnecting cleanly).
+     */
+    bool serviceInput(uint64_t conn_id, Connection &conn,
+                      bool &protocol_error);
+    /** Admission control + dispatch for one decoded request. */
+    void admit(uint64_t conn_id, Connection &conn,
+               const ExperimentRequest &request);
+    /** Queue @p response for @p conn (frames it). */
+    void respond(Connection &conn, const ExperimentResponse &response);
+    /** Move completed responses from the outbox into connections. */
+    void flushOutbox();
+    /** Close and forget a connection. */
+    void dropConnection(uint64_t conn_id, bool protocol_error);
+    /** Wake the poll loop. */
+    void wakeIo();
+
+    DaemonOptions opts;
+    ExperimentEngine &engine;
+
+    int unixFd = -1;
+    int tcpFd = -1;
+    int boundTcpPort = -1;
+    int wakePipe[2] = {-1, -1};
+    bool started = false;
+    bool joined = false;
+
+    std::thread ioThread;
+    std::vector<std::thread> workerThreads;
+
+    std::atomic<bool> drainRequested{false};
+
+    /** Connections by id (I/O thread only; stable across fd reuse). */
+    std::map<uint64_t, Connection> connections;
+    uint64_t nextConnId = 1;
+    uint64_t admissionSeq = 0;
+
+    mutable std::mutex mutex;
+    std::condition_variable queueCv;
+    /** Priority queue: (priority, admission seq) → job. */
+    std::map<std::pair<uint32_t, uint64_t>, Job> queue;
+    /** Jobs popped but not yet pushed to the outbox. */
+    size_t activeJobs = 0;
+    std::vector<Outbound> outbox;
+    bool stopWorkers = false;
+    DaemonCounters ctr;
+};
+
+} // namespace yasim
+
+#endif // YASIM_SERVICE_DAEMON_HH

@@ -82,10 +82,11 @@ frameChecksum(std::string_view magic, uint32_t version,
     return h.hex();
 }
 
-/** Serialize the whole frame (see the header-file layout comment). */
+} // namespace
+
 std::string
-buildFrame(std::string_view magic, uint32_t version,
-           std::string_view payload)
+encodeFrame(std::string_view magic, uint32_t version,
+            std::string_view payload)
 {
     std::string frame;
     frame.reserve(payload.size() + magic.size() + 80);
@@ -101,13 +102,9 @@ buildFrame(std::string_view magic, uint32_t version,
     return frame;
 }
 
-/**
- * Parse and verify @p frame against (@p magic, @p version). Returns
- * true and fills @p payload on success; false with a cause otherwise.
- */
 bool
-parseFrame(std::string_view frame, std::string_view magic,
-           uint32_t version, std::string &payload, std::string &error)
+decodeFrame(std::string_view frame, std::string_view magic,
+            uint32_t version, std::string &payload, std::string &error)
 {
     size_t at = 0;
     if (frame.size() < sizeof(kContainerMagic) ||
@@ -186,6 +183,42 @@ parseFrame(std::string_view frame, std::string_view magic,
     return true;
 }
 
+FrameSizeStatus
+frameSize(std::string_view prefix, uint64_t max_payload, uint64_t &size)
+{
+    // Fixed prologue: container magic, container version, magic length.
+    constexpr size_t kPrologue = sizeof(kContainerMagic) + 4 + 8;
+    if (prefix.size() >= sizeof(kContainerMagic) &&
+        prefix.compare(0, sizeof(kContainerMagic),
+                       std::string_view(kContainerMagic,
+                                        sizeof(kContainerMagic))) != 0) {
+        return FrameSizeStatus::Malformed;
+    }
+    if (prefix.size() < kPrologue)
+        return FrameSizeStatus::NeedMore;
+
+    size_t at = sizeof(kContainerMagic) + 4;
+    uint64_t magic_len = 0;
+    getU64(prefix, at, magic_len);
+    if (magic_len > kMaxMagicBytes)
+        return FrameSizeStatus::Malformed;
+
+    // Inner magic, inner version, payload length.
+    if (prefix.size() < kPrologue + magic_len + 4 + 8)
+        return FrameSizeStatus::NeedMore;
+    at = kPrologue + magic_len + 4;
+    uint64_t payload_len = 0;
+    getU64(prefix, at, payload_len);
+    if (payload_len > max_payload)
+        return FrameSizeStatus::Malformed;
+
+    // ... payload, 32-hex-char checksum, end mark.
+    size = kPrologue + magic_len + 4 + 8 + payload_len + 32 + 8;
+    return FrameSizeStatus::Known;
+}
+
+namespace {
+
 /** Linear backoff between transient-open retries. */
 void
 backoff(uint32_t attempt)
@@ -256,7 +289,7 @@ readArtifact(const std::string &path, std::string_view magic,
         frame[frame.size() / 2] ^= 0x20; // injected single-bit flip
 
     std::string error;
-    if (parseFrame(frame, magic, version, result.payload, error)) {
+    if (decodeFrame(frame, magic, version, result.payload, error)) {
         result.status = ArtifactStatus::Ok;
         return result;
     }
@@ -271,7 +304,7 @@ writeArtifact(const std::string &path, std::string_view magic,
               uint32_t version, std::string_view payload)
 {
     ArtifactWriteResult result;
-    std::string frame = buildFrame(magic, version, payload);
+    std::string frame = encodeFrame(magic, version, payload);
     const std::string tmp = tempName(path);
 
     int fd = -1;

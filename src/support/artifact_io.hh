@@ -75,6 +75,41 @@ struct ArtifactWriteResult
 };
 
 /**
+ * Serialize one frame (layout in the file comment) around @p payload.
+ * This is the byte sequence writeArtifact() publishes — exposed so the
+ * experiment-service wire protocol (src/service/) frames its messages
+ * identically to the on-disk artifacts.
+ */
+std::string encodeFrame(std::string_view magic, uint32_t version,
+                        std::string_view payload);
+
+/**
+ * Parse and verify a complete frame against (@p magic, @p version).
+ * Returns true and fills @p payload; false with a human-readable
+ * cause in @p error otherwise. Trailing bytes are an error.
+ */
+bool decodeFrame(std::string_view frame, std::string_view magic,
+                 uint32_t version, std::string &payload,
+                 std::string &error);
+
+/** What frameSize() could learn from a frame prefix. */
+enum class FrameSizeStatus {
+    NeedMore,  ///< the prefix does not yet cover the header fields
+    Known,     ///< total frame size determined
+    Malformed, ///< bad container magic or an insane length field
+};
+
+/**
+ * Incremental stream framing: inspect a prefix of a frame and, once
+ * the header fields are available, report the total frame size in
+ * @p size. Payloads longer than @p max_payload (or inner magics past
+ * the layout bound) classify as Malformed, so a stream reader can drop
+ * a hostile or corrupt peer without buffering gigabytes.
+ */
+FrameSizeStatus frameSize(std::string_view prefix, uint64_t max_payload,
+                          uint64_t &size);
+
+/**
  * Read and verify the framed artifact at @p path. The frame must
  * carry @p magic and @p version; any verification failure quarantines
  * the file and reports Corrupt. Never throws, never aborts.

@@ -4,7 +4,7 @@
 
 #include <vector>
 
-#include "core/options.hh"
+#include "engine/options.hh"
 
 namespace yasim {
 namespace {

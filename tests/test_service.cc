@@ -1,0 +1,807 @@
+/**
+ * @file
+ * The experiment service: protocol codec, frame fuzzing, cache-key
+ * stamping, JsonReport, and the daemon under concurrency and faults.
+ *
+ * The fuzz tests are exhaustive over the interesting corruption space
+ * of one frame — every truncation length and a bit flip in every byte
+ * — because the daemon's drop-on-protocol-error policy is only safe if
+ * no corrupted frame can ever decode. The daemon tests run a real
+ * ServiceDaemon on a private Unix socket and prove the multi-tenant
+ * contract: bit-identical results, quota rejection, graceful drain
+ * that loses no accepted job, and survival of garbage and
+ * failpoint-corrupted streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "engine/cache_key.hh"
+#include "engine/result_io.hh"
+#include "service/client.hh"
+#include "service/daemon.hh"
+#include "support/artifact_io.hh"
+#include "support/failpoint.hh"
+
+using namespace yasim;
+
+namespace {
+
+ExperimentRequest
+sampleRequest()
+{
+    ExperimentRequest request;
+    request.id = 42;
+    request.kind = RequestKind::Run;
+    request.priority = 3;
+    request.benchmark = "gzip";
+    request.technique = "reference";
+    request.config = "arch:2";
+    request.suite.referenceInstructions = 150000;
+    request.suite.seed = 99;
+    return request;
+}
+
+/** status + error + exact result bytes (the bit-identity oracle). */
+std::string
+fingerprint(const ExperimentResponse &response)
+{
+    std::ostringstream os;
+    os << uint32_t(response.status) << "\n" << response.error << "\n";
+    if (!response.key.empty())
+        writeResult(os, response.key, response.result);
+    return os.str();
+}
+
+/** Bounded no-clock wait for a daemon-side condition. */
+template <typename Cond>
+bool
+eventually(Cond cond)
+{
+    for (int i = 0; i < 5000; ++i) {
+        if (cond())
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return false;
+}
+
+/** A raw (non-ServiceClient) connection for protocol-level tests. */
+class RawConn
+{
+  public:
+    explicit RawConn(const std::string &path)
+    {
+        fd = socket(AF_UNIX, SOCK_STREAM, 0);
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) != 0) {
+            ::close(fd);
+            fd = -1;
+        }
+    }
+
+    ~RawConn()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+
+    bool ok() const { return fd >= 0; }
+
+    bool
+    sendAll(const std::string &bytes)
+    {
+        size_t sent = 0;
+        while (sent < bytes.size()) {
+            ssize_t n = send(fd, bytes.data() + sent,
+                             bytes.size() - sent, MSG_NOSIGNAL);
+            if (n <= 0 && errno != EINTR)
+                return false;
+            if (n > 0)
+                sent += size_t(n);
+        }
+        return true;
+    }
+
+    /** Read exactly @p count framed responses (false on disconnect). */
+    bool
+    readResponses(size_t count, std::vector<ExperimentResponse> &out)
+    {
+        while (out.size() < count) {
+            uint64_t frame_bytes = 0;
+            FrameSizeStatus status =
+                frameSize(buf, kMaxServicePayload, frame_bytes);
+            if (status == FrameSizeStatus::Malformed)
+                return false;
+            if (status == FrameSizeStatus::Known &&
+                buf.size() >= frame_bytes) {
+                std::string payload, error;
+                if (!decodeFrame(std::string_view(buf).substr(
+                                     0, size_t(frame_bytes)),
+                                 kResponseMagic, kServiceFormatVersion,
+                                 payload, error))
+                    return false;
+                buf.erase(0, size_t(frame_bytes));
+                ExperimentResponse response;
+                if (!decodeResponse(payload, response, error))
+                    return false;
+                out.push_back(std::move(response));
+                continue;
+            }
+            char chunk[4096];
+            ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+            if (n == 0)
+                return false;
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                return false;
+            }
+            buf.append(chunk, size_t(n));
+        }
+        return true;
+    }
+
+    /** True when the daemon closed this connection. */
+    bool
+    closedByPeer()
+    {
+        char chunk[256];
+        for (;;) {
+            ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+            if (n == 0)
+                return true;
+            if (n < 0)
+                return false;
+        }
+    }
+
+  private:
+    int fd = -1;
+    std::string buf;
+};
+
+/** A started daemon on a private Unix socket, torn down on scope exit. */
+class DaemonFixture
+{
+  public:
+    explicit DaemonFixture(DaemonOptions options = {})
+    {
+        char dir_template[] = "/tmp/yasim-test-svc-XXXXXX";
+        dir = mkdtemp(dir_template);
+        options.socketPath = dir + "/d.sock";
+        daemon = std::make_unique<ServiceDaemon>(options, engine);
+        std::string error;
+        started = daemon->start(error);
+        socketPath = options.socketPath;
+    }
+
+    ~DaemonFixture()
+    {
+        daemon->stop();
+        daemon.reset();
+        ::unlink(socketPath.c_str());
+        ::rmdir(dir.c_str());
+    }
+
+    ExperimentEngine engine;
+    std::unique_ptr<ServiceDaemon> daemon;
+    std::string dir;
+    std::string socketPath;
+    bool started = false;
+};
+
+ClientOptions
+clientFor(const DaemonFixture &fixture)
+{
+    ClientOptions options;
+    options.socketPath = fixture.socketPath;
+    return options;
+}
+
+} // namespace
+
+// --- protocol codec ---------------------------------------------------
+
+TEST(ServiceProtocol, RequestRoundTrip)
+{
+    ExperimentRequest request = sampleRequest();
+    ExperimentRequest decoded;
+    std::string error;
+    ASSERT_TRUE(decodeRequest(encodeRequest(request), decoded, error))
+        << error;
+    EXPECT_EQ(decoded.id, request.id);
+    EXPECT_EQ(decoded.kind, request.kind);
+    EXPECT_EQ(decoded.priority, request.priority);
+    EXPECT_EQ(decoded.benchmark, request.benchmark);
+    EXPECT_EQ(decoded.technique, request.technique);
+    EXPECT_EQ(decoded.config, request.config);
+    EXPECT_EQ(decoded.suite.referenceInstructions,
+              request.suite.referenceInstructions);
+    EXPECT_EQ(decoded.suite.seed, request.suite.seed);
+}
+
+TEST(ServiceProtocol, ResponseRoundTripWithResult)
+{
+    ExperimentEngine engine;
+    ExperimentResponse response =
+        executeRequest(engine, sampleRequest());
+    ASSERT_EQ(response.status, ResponseStatus::Ok);
+    ASSERT_FALSE(response.key.empty());
+
+    ExperimentResponse decoded;
+    std::string error;
+    ASSERT_TRUE(
+        decodeResponse(encodeResponse(response), decoded, error))
+        << error;
+    EXPECT_EQ(fingerprint(decoded), fingerprint(response));
+    EXPECT_EQ(decoded.id, response.id);
+}
+
+TEST(ServiceProtocol, ResponseRoundTripErrorAndReport)
+{
+    ExperimentResponse response;
+    response.id = 7;
+    response.status = ResponseStatus::Rejected;
+    response.error = "queue full";
+    response.report = "{\"k\": 1}\n";
+    ExperimentResponse decoded;
+    std::string error;
+    ASSERT_TRUE(
+        decodeResponse(encodeResponse(response), decoded, error));
+    EXPECT_EQ(decoded.status, ResponseStatus::Rejected);
+    EXPECT_EQ(decoded.error, "queue full");
+    EXPECT_EQ(decoded.report, response.report);
+    EXPECT_TRUE(decoded.key.empty());
+}
+
+TEST(ServiceProtocol, DecodeRejectsMalformedPayloads)
+{
+    ExperimentRequest request;
+    std::string error;
+    EXPECT_FALSE(decodeRequest("", request, error));
+    EXPECT_FALSE(decodeRequest("junk\n", request, error));
+
+    std::string good = encodeRequest(sampleRequest());
+    // Every truncation that clips into the end marker must fail (the
+    // final byte is the trailing newline after "end", which the
+    // whitespace-tolerant reader accepts; transport integrity is the
+    // frame checksum's job).
+    for (size_t len = 0; len + 1 < good.size(); ++len)
+        EXPECT_FALSE(decodeRequest(good.substr(0, len), request, error))
+            << "truncation at " << len << " decoded";
+    // Trailing bytes after a well-formed payload must fail too.
+    EXPECT_FALSE(decodeRequest(good + "x", request, error));
+}
+
+// --- frame layer ------------------------------------------------------
+
+TEST(ServiceFrames, RoundTripAndIncrementalSize)
+{
+    std::string frame = frameRequest(sampleRequest());
+
+    // Incremental reassembly: every strict prefix is NeedMore or Known
+    // (never Malformed), and a Known size always names the full frame.
+    for (size_t len = 0; len < frame.size(); ++len) {
+        uint64_t size = 0;
+        FrameSizeStatus status = frameSize(
+            frame.substr(0, len), kMaxServicePayload, size);
+        ASSERT_NE(status, FrameSizeStatus::Malformed)
+            << "prefix of " << len << " bytes misread as malformed";
+        if (status == FrameSizeStatus::Known) {
+            EXPECT_EQ(size, frame.size());
+        }
+    }
+    uint64_t size = 0;
+    ASSERT_EQ(frameSize(frame, kMaxServicePayload, size),
+              FrameSizeStatus::Known);
+    EXPECT_EQ(size, frame.size());
+
+    std::string payload, error;
+    ASSERT_TRUE(decodeFrame(frame, kRequestMagic,
+                            kServiceFormatVersion, payload, error));
+    ExperimentRequest decoded;
+    ASSERT_TRUE(decodeRequest(payload, decoded, error));
+    EXPECT_EQ(decoded.id, sampleRequest().id);
+}
+
+TEST(ServiceFrames, EveryTruncationFailsToDecode)
+{
+    std::string frame = frameRequest(sampleRequest());
+    for (size_t len = 0; len < frame.size(); ++len) {
+        std::string payload, error;
+        EXPECT_FALSE(decodeFrame(frame.substr(0, len), kRequestMagic,
+                                 kServiceFormatVersion, payload, error))
+            << "truncation at " << len << " decoded";
+    }
+}
+
+TEST(ServiceFrames, EveryBitFlipFailsToDecode)
+{
+    std::string frame = frameRequest(sampleRequest());
+    for (size_t i = 0; i < frame.size(); ++i) {
+        std::string flipped = frame;
+        flipped[i] = char(uint8_t(flipped[i]) ^ 0x10);
+        std::string payload, error;
+        EXPECT_FALSE(decodeFrame(flipped, kRequestMagic,
+                                 kServiceFormatVersion, payload, error))
+            << "bit flip at byte " << i << " decoded";
+    }
+}
+
+TEST(ServiceFrames, WrongMagicOrVersionRejected)
+{
+    std::string frame = frameRequest(sampleRequest());
+    std::string payload, error;
+    EXPECT_FALSE(decodeFrame(frame, kResponseMagic,
+                             kServiceFormatVersion, payload, error));
+    EXPECT_FALSE(decodeFrame(frame, kRequestMagic,
+                             kServiceFormatVersion + 1, payload, error));
+}
+
+TEST(ServiceFrames, OversizedPayloadIsMalformed)
+{
+    std::string frame = frameRequest(sampleRequest());
+    uint64_t size = 0;
+    EXPECT_EQ(frameSize(frame, 4, size), FrameSizeStatus::Malformed);
+    EXPECT_EQ(frameSize("not a frame at all, definitely",
+                        kMaxServicePayload, size),
+              FrameSizeStatus::Malformed);
+}
+
+// --- selectors and execution -----------------------------------------
+
+TEST(ServiceExecute, ResolvesSelectors)
+{
+    std::string error;
+    ExperimentRequest request = sampleRequest();
+    EXPECT_NE(resolveTechnique(request, error), nullptr) << error;
+
+    request.technique = "no-such/family";
+    EXPECT_EQ(resolveTechnique(request, error), nullptr);
+
+    request.technique = "reference";
+    request.benchmark = "definitely-not-a-benchmark";
+    EXPECT_EQ(resolveTechnique(request, error), nullptr);
+
+    SimConfig config;
+    request = sampleRequest();
+    for (int n = 1; n <= 4; ++n) {
+        request.config = "arch:" + std::to_string(n);
+        EXPECT_TRUE(resolveConfig(request, config, error)) << error;
+    }
+    request.config = "arch:0";
+    EXPECT_FALSE(resolveConfig(request, config, error));
+    request.config = "pb:0";
+    EXPECT_TRUE(resolveConfig(request, config, error)) << error;
+    request.config = "pb:100000";
+    EXPECT_FALSE(resolveConfig(request, config, error));
+    request.config = "nonsense";
+    EXPECT_FALSE(resolveConfig(request, config, error));
+}
+
+TEST(ServiceExecute, RunIsMemoizedAndDeterministic)
+{
+    ExperimentEngine engine;
+    ExperimentResponse first =
+        executeRequest(engine, sampleRequest());
+    ASSERT_EQ(first.status, ResponseStatus::Ok);
+    EXPECT_NE(first.key.find("v1|bench=gzip|"), std::string::npos);
+    EXPECT_GT(first.result.cpi, 0.0);
+
+    ExperimentResponse second =
+        executeRequest(engine, sampleRequest());
+    EXPECT_EQ(fingerprint(second), fingerprint(first));
+    EXPECT_GE(engine.counters().memoHits, 1u);
+}
+
+TEST(ServiceExecute, ValidationFailuresAreErrors)
+{
+    ExperimentEngine engine;
+    ExperimentRequest request = sampleRequest();
+    request.suite.referenceInstructions = 10;
+    EXPECT_EQ(executeRequest(engine, request).status,
+              ResponseStatus::Error);
+
+    request = sampleRequest();
+    request.benchmark = "nope";
+    EXPECT_EQ(executeRequest(engine, request).status,
+              ResponseStatus::Error);
+
+    request = sampleRequest();
+    request.config = "arch:9";
+    EXPECT_EQ(executeRequest(engine, request).status,
+              ResponseStatus::Error);
+}
+
+// --- cache-key stamping (satellite: guarded key layout) ---------------
+
+TEST(CacheKeyStamper, HistoricalLayoutPreservedByteForByte)
+{
+    std::string key = resultKeyStamper()
+                          .stamp("bench", "gzip")
+                          .stamp("suite", "ref=1000,seed=2")
+                          .stamp("cost", "C")
+                          .stamp("tech", "reference|full")
+                          .stamp("cfg", "X")
+                          .finish();
+    EXPECT_EQ(key,
+              "v1|bench=gzip|ref=1000,seed=2|cost=C|"
+              "tech=reference|full|cfg=X");
+
+    std::string sharded = resultKeyStamper()
+                              .stamp("bench", "gzip")
+                              .stamp("suite", "ref=1000,seed=2")
+                              .stamp("cost", "C")
+                              .stamp("shards",
+                                     "shards{n=2,warm=500,stitch=sum}")
+                              .stamp("tech", "reference|full")
+                              .stamp("cfg", "X")
+                              .finish();
+    EXPECT_EQ(sharded,
+              "v1|bench=gzip|ref=1000,seed=2|cost=C|"
+              "shards{n=2,warm=500,stitch=sum}|"
+              "tech=reference|full|cfg=X");
+
+    std::string reflen = referenceLengthKeyStamper()
+                             .stamp("bench", "gzip")
+                             .stamp("suite", "ref=1000,seed=2")
+                             .finish();
+    EXPECT_EQ(reflen, "v1|reflen|bench=gzip|ref=1000,seed=2");
+}
+
+TEST(CacheKeyStamperDeath, MisuseIsDiagnosed)
+{
+    EXPECT_DEATH(resultKeyStamper().stamp("flavor", "x"),
+                 "unknown cache-key segment");
+    EXPECT_DEATH(resultKeyStamper()
+                     .stamp("bench", "a")
+                     .stamp("bench", "b"),
+                 "duplicate cache-key segment");
+    // "shards" is optional, so everything up to "tech" can be stamped
+    // without it — going back to it afterwards is out of order.
+    EXPECT_DEATH(resultKeyStamper()
+                     .stamp("bench", "a")
+                     .stamp("suite", "s")
+                     .stamp("cost", "c")
+                     .stamp("tech", "t")
+                     .stamp("shards", "shards{}"),
+                 "out of canonical order");
+    EXPECT_DEATH(resultKeyStamper().stamp("cost", "c"),
+                 "skipped");
+    EXPECT_DEATH(resultKeyStamper().stamp("bench", ""),
+                 "empty cache-key segment");
+    EXPECT_DEATH(resultKeyStamper().stamp("bench", "a").finish(),
+                 "without required segment");
+}
+
+// --- JsonReport (satellite: one versioned JSON schema) ----------------
+
+TEST(JsonReportTest, RenderParseRoundTrip)
+{
+    JsonReport report("unit-test");
+    report.setCount("answers", 42);
+    report.setNumber("ratio", 0.25);
+    report.setBool("flag", true);
+    report.setText("label", "a \"quoted\"\nvalue");
+
+    JsonReport parsed("");
+    ASSERT_TRUE(parseReport(report.render(), parsed));
+    EXPECT_EQ(parsed.kind(), "unit-test");
+    EXPECT_EQ(parsed.count("answers"), 42u);
+    EXPECT_DOUBLE_EQ(parsed.number("ratio"), 0.25);
+    EXPECT_TRUE(parsed.boolean("flag"));
+    EXPECT_EQ(parsed.text("label"), "a \"quoted\"\nvalue");
+    // Round-trips byte-identically (field order is insertion order).
+    EXPECT_EQ(parsed.render(), report.render());
+}
+
+TEST(JsonReportTest, OverwritingKeepsPositionAndEnvelopeIsStrict)
+{
+    JsonReport report("unit-test");
+    report.setCount("first", 1);
+    report.setCount("second", 2);
+    report.setCount("first", 10);
+    std::string rendered = report.render();
+    EXPECT_LT(rendered.find("\"first\": 10"),
+              rendered.find("\"second\": 2"));
+
+    JsonReport parsed("");
+    EXPECT_FALSE(parseReport("", parsed));
+    EXPECT_FALSE(parseReport("{}", parsed));
+    EXPECT_FALSE(parseReport("{\"schema\": \"other\", "
+                             "\"schema_version\": 1, "
+                             "\"kind\": \"x\"}",
+                             parsed));
+    EXPECT_FALSE(parseReport("{\"schema\": \"yasim-report\", "
+                             "\"schema_version\": 999, "
+                             "\"kind\": \"x\"}",
+                             parsed));
+    EXPECT_TRUE(parseReport("{\"schema\": \"yasim-report\", "
+                            "\"schema_version\": 1, "
+                            "\"kind\": \"x\"}",
+                            parsed));
+    EXPECT_FALSE(parseReport(report.render() + "trailing", parsed));
+}
+
+// --- the daemon -------------------------------------------------------
+
+TEST(ServiceDaemonTest, PingStatsAndRunBitIdentity)
+{
+    DaemonFixture fixture;
+    ASSERT_TRUE(fixture.started);
+
+    ServiceClient client(clientFor(fixture));
+    ExperimentResponse response;
+    std::string error;
+
+    ExperimentRequest ping;
+    ping.id = 1;
+    ping.kind = RequestKind::Ping;
+    ASSERT_TRUE(client.call(ping, response, error)) << error;
+    EXPECT_EQ(response.status, ResponseStatus::Ok);
+    EXPECT_EQ(response.id, 1u);
+
+    ExperimentRequest run = sampleRequest();
+    run.id = 2;
+    ASSERT_TRUE(client.call(run, response, error)) << error;
+    ASSERT_EQ(response.status, ResponseStatus::Ok);
+
+    // Bit-identical to a direct in-process execution.
+    ExperimentEngine local;
+    ExperimentResponse direct = executeRequest(local, run);
+    EXPECT_EQ(fingerprint(response), fingerprint(direct));
+    EXPECT_EQ(response.key, direct.key);
+
+    ExperimentRequest stats;
+    stats.id = 3;
+    stats.kind = RequestKind::Stats;
+    ASSERT_TRUE(client.call(stats, response, error)) << error;
+    ASSERT_EQ(response.status, ResponseStatus::Ok);
+    JsonReport parsed("");
+    ASSERT_TRUE(parseReport(response.report, parsed));
+    EXPECT_EQ(parsed.kind(), "service-stats");
+    EXPECT_GE(parsed.count("svc_connections_accepted"), 1u);
+    EXPECT_EQ(parsed.count("svc_jobs_executed"), 1u);
+    EXPECT_TRUE(parsed.has("runs_executed"));
+}
+
+TEST(ServiceDaemonTest, QuotaRejectsBurstBeyondBound)
+{
+    DaemonOptions options;
+    options.clientQuota = 2;
+    DaemonFixture fixture(options);
+    ASSERT_TRUE(fixture.started);
+
+    // Four Run frames in one write: the daemon decodes them in one
+    // buffered pass, so exactly quota-many are admitted before any
+    // response can lower the outstanding count.
+    std::string burst;
+    for (uint64_t id = 1; id <= 4; ++id) {
+        ExperimentRequest request = sampleRequest();
+        request.id = id;
+        request.priority = 1;
+        burst += frameRequest(request);
+    }
+    RawConn conn(fixture.socketPath);
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE(conn.sendAll(burst));
+
+    std::vector<ExperimentResponse> responses;
+    ASSERT_TRUE(conn.readResponses(4, responses));
+    size_t ok = 0, rejected = 0;
+    for (const ExperimentResponse &response : responses) {
+        if (response.status == ResponseStatus::Ok)
+            ++ok;
+        if (response.status == ResponseStatus::Rejected) {
+            ++rejected;
+            EXPECT_NE(response.error.find("quota"), std::string::npos);
+        }
+    }
+    EXPECT_EQ(ok, 2u);
+    EXPECT_EQ(rejected, 2u);
+    EXPECT_EQ(fixture.daemon->counters().rejectedQuota, 2u);
+}
+
+TEST(ServiceDaemonTest, DrainFinishesEveryAcceptedJob)
+{
+    DaemonFixture fixture;
+    ASSERT_TRUE(fixture.started);
+
+    constexpr size_t kJobs = 6;
+    std::string burst;
+    for (uint64_t id = 1; id <= kJobs; ++id) {
+        ExperimentRequest request = sampleRequest();
+        request.id = id;
+        request.config = "arch:" + std::to_string(id % 4 + 1);
+        burst += frameRequest(request);
+    }
+    RawConn conn(fixture.socketPath);
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE(conn.sendAll(burst));
+
+    // Once all six are accepted, drain mid-flight. Every accepted job
+    // must still produce its response before the daemon exits.
+    ASSERT_TRUE(eventually([&] {
+        return fixture.daemon->counters().jobsAccepted == kJobs;
+    }));
+    fixture.daemon->requestDrain();
+
+    std::vector<ExperimentResponse> responses;
+    ASSERT_TRUE(conn.readResponses(kJobs, responses));
+    for (const ExperimentResponse &response : responses)
+        EXPECT_EQ(response.status, ResponseStatus::Ok);
+
+    fixture.daemon->wait();
+    DaemonCounters counters = fixture.daemon->counters();
+    EXPECT_EQ(counters.jobsAccepted, kJobs);
+    EXPECT_EQ(counters.jobsExecuted, kJobs);
+    EXPECT_EQ(counters.responsesDropped, 0u);
+}
+
+TEST(ServiceDaemonTest, ShutdownRequestRejectsLaterRunsAndDrains)
+{
+    DaemonFixture fixture;
+    ASSERT_TRUE(fixture.started);
+
+    // One write: [shutdown][run]. Decoded in order, so the run must be
+    // rejected as draining, and both responses must still flush.
+    ExperimentRequest shutdown;
+    shutdown.id = 1;
+    shutdown.kind = RequestKind::Shutdown;
+    ExperimentRequest run = sampleRequest();
+    run.id = 2;
+    RawConn conn(fixture.socketPath);
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE(
+        conn.sendAll(frameRequest(shutdown) + frameRequest(run)));
+
+    std::vector<ExperimentResponse> responses;
+    ASSERT_TRUE(conn.readResponses(2, responses));
+    EXPECT_EQ(responses[0].id, 1u);
+    EXPECT_EQ(responses[0].status, ResponseStatus::Ok);
+    EXPECT_EQ(responses[1].id, 2u);
+    EXPECT_EQ(responses[1].status, ResponseStatus::Rejected);
+    EXPECT_EQ(responses[1].error, "draining");
+
+    fixture.daemon->wait();
+    EXPECT_EQ(fixture.daemon->counters().rejectedDraining, 1u);
+}
+
+TEST(ServiceDaemonTest, GarbageBytesDropOnlyThatConnection)
+{
+    DaemonFixture fixture;
+    ASSERT_TRUE(fixture.started);
+
+    RawConn bad(fixture.socketPath);
+    ASSERT_TRUE(bad.ok());
+    ASSERT_TRUE(bad.sendAll("this is definitely not an artifact frame"));
+    EXPECT_TRUE(bad.closedByPeer());
+    EXPECT_TRUE(eventually([&] {
+        return fixture.daemon->counters().protocolErrors >= 1;
+    }));
+
+    // The daemon survives and keeps serving other tenants.
+    ServiceClient client(clientFor(fixture));
+    ExperimentRequest ping;
+    ping.id = 1;
+    ping.kind = RequestKind::Ping;
+    ExperimentResponse response;
+    std::string error;
+    ASSERT_TRUE(client.call(ping, response, error)) << error;
+    EXPECT_EQ(response.status, ResponseStatus::Ok);
+}
+
+TEST(ServiceDaemonTest, ConcurrentClientsShareOneCache)
+{
+    DaemonFixture fixture;
+    ASSERT_TRUE(fixture.started);
+
+    constexpr size_t kClients = 3;
+    constexpr size_t kRequests = 4;
+    std::vector<ExperimentRequest> grid;
+    for (size_t r = 0; r < kRequests; ++r) {
+        ExperimentRequest request = sampleRequest();
+        request.config = "arch:" + std::to_string(r % 4 + 1);
+        grid.push_back(request);
+    }
+
+    std::vector<std::vector<ExperimentResponse>> all(kClients);
+    // char, not bool: vector<bool> packs bits, so concurrent per-client
+    // writes would share a word.
+    std::vector<char> ok(kClients, 0);
+    std::vector<std::thread> threads;
+    for (size_t c = 0; c < kClients; ++c) {
+        threads.emplace_back([&, c] {
+            std::vector<ExperimentRequest> mine = grid;
+            for (size_t r = 0; r < mine.size(); ++r)
+                mine[r].id = c * 100 + r + 1;
+            ServiceClient client(clientFor(fixture));
+            BatchStats stats;
+            std::string error;
+            ok[c] = client.runBatch(mine, all[c], stats, error);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    ExperimentEngine local;
+    for (size_t c = 0; c < kClients; ++c) {
+        ASSERT_TRUE(ok[c]);
+        ASSERT_EQ(all[c].size(), kRequests);
+        for (size_t r = 0; r < kRequests; ++r) {
+            EXPECT_EQ(all[c][r].id, c * 100 + r + 1);
+            EXPECT_EQ(fingerprint(all[c][r]),
+                      fingerprint(executeRequest(local, grid[r])));
+        }
+    }
+    // kRequests distinct cells across kClients * kRequests executions:
+    // after each cell's first computation, every other execution was a
+    // memo hit or joined the computation in flight.
+    EngineCounters counters = fixture.engine.counters();
+    EXPECT_GE(counters.memoHits + counters.inflightJoins,
+              (kClients - 1) * kRequests);
+}
+
+TEST(ServiceDaemonTest, SurvivesCorruptFramesViaReconnect)
+{
+    failpoint::ScopedSchedule faults("svc.read.corrupt=1in5,seed=11");
+    DaemonFixture fixture;
+    ASSERT_TRUE(fixture.started);
+
+    std::vector<ExperimentRequest> batch;
+    for (uint64_t id = 1; id <= 8; ++id) {
+        ExperimentRequest request = sampleRequest();
+        request.id = id;
+        request.config = "arch:" + std::to_string(id % 4 + 1);
+        batch.push_back(request);
+    }
+    ServiceClient client(clientFor(fixture));
+    std::vector<ExperimentResponse> responses;
+    BatchStats stats;
+    std::string error;
+    ASSERT_TRUE(client.runBatch(batch, responses, stats, error))
+        << error;
+    ASSERT_EQ(responses.size(), batch.size());
+
+    ExperimentEngine local;
+    for (size_t r = 0; r < batch.size(); ++r) {
+        EXPECT_EQ(responses[r].id, batch[r].id);
+        EXPECT_EQ(fingerprint(responses[r]),
+                  fingerprint(executeRequest(local, batch[r])));
+    }
+    EXPECT_EQ(stats.completed, batch.size());
+}
+
+TEST(ServiceDaemonTest, AcceptTransientsRetryFromBacklog)
+{
+    failpoint::ScopedSchedule faults("svc.accept.transient=1in2,seed=5");
+    DaemonFixture fixture;
+    ASSERT_TRUE(fixture.started);
+
+    for (uint64_t id = 1; id <= 6; ++id) {
+        ServiceClient client(clientFor(fixture));
+        ExperimentRequest ping;
+        ping.id = id;
+        ping.kind = RequestKind::Ping;
+        ExperimentResponse response;
+        std::string error;
+        ASSERT_TRUE(client.call(ping, response, error)) << error;
+        EXPECT_EQ(response.status, ResponseStatus::Ok);
+    }
+    EXPECT_GE(fixture.daemon->counters().acceptTransients, 1u);
+}

@@ -34,6 +34,10 @@ constexpr AllowEntry kBuiltinAllow[] = {
     // it deliberately benchmarks the raw interpreter against replay.
     {"bench/microbench.cc", kRuleD1},
     {"bench/microbench.cc", kRuleL2},
+    // The service load generator: measures wall-clock throughput (its
+    // purpose) and builds the in-process daemon's engine directly.
+    {"bench/bench_service.cc", kRuleD1},
+    {"bench/bench_service.cc", kRuleL2},
     // The live-interpretation fallback behind openStepSource() — the
     // one sanctioned FunctionalSim construction site outside src/sim.
     {"src/techniques/trace_store.cc", kRuleL1},
