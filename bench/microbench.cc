@@ -8,10 +8,12 @@
  * by these loops).
  *
  * `microbench --json [path]` switches to the machine-readable perf
- * gate instead: it measures live vs replayed stepping and a 44-config
- * PB sweep with and without the trace subsystem, writes the numbers to
- * BENCH_microbench.json, and exits nonzero when replay fails to beat
- * live interpretation.
+ * gate instead: it measures live vs replayed stepping (per-step and
+ * batched), a 44-config PB sweep with and without the trace subsystem,
+ * and the compressed spill's bytes/instruction and decode rate, writes
+ * the numbers to BENCH_microbench.json, and exits nonzero when replay
+ * fails to beat live interpretation, batched replay fails to beat
+ * per-step replay, or the spill exceeds 6 bytes per instruction.
  *
  * `microbench --json-ooo [path]` runs the detailed-core gate: OoO
  * replay throughput plus the checkpoint-sharded reference at 8 shards,
@@ -29,6 +31,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <sstream>
 
 #include "core/pb_characterization.hh"
 #include "engine/result_io.hh"
@@ -162,6 +165,30 @@ BENCHMARK(BM_TraceRecord);
 void
 BM_TraceReplay(benchmark::State &state)
 {
+    // Batched replay: whole chunk-resident spans through stepBatch,
+    // the decode-amortized rate the converted consumers actually see.
+    Workload w = buildWorkload("gzip", InputSet::Reference, benchSuite());
+    auto trace = ExecTrace::record(w.program);
+    uint64_t insts = 0;
+    ExecRecord recs[256];
+    for (auto _ : state) {
+        TraceReplayer replayer(trace);
+        uint64_t sink = 0;
+        while (uint64_t n = replayer.stepBatch(recs, 256))
+            for (uint64_t i = 0; i < n; ++i)
+                sink += recs[i].nextPc;
+        benchmark::DoNotOptimize(sink);
+        insts += replayer.instsExecuted();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(insts));
+}
+BENCHMARK(BM_TraceReplay);
+
+void
+BM_TraceReplayStep(benchmark::State &state)
+{
+    // Per-record virtual step(): the unbatched baseline BM_TraceReplay
+    // is compared against.
     Workload w = buildWorkload("gzip", InputSet::Reference, benchSuite());
     auto trace = ExecTrace::record(w.program);
     uint64_t insts = 0;
@@ -174,7 +201,33 @@ BM_TraceReplay(benchmark::State &state)
     }
     state.SetItemsProcessed(static_cast<int64_t>(insts));
 }
-BENCHMARK(BM_TraceReplay);
+BENCHMARK(BM_TraceReplayStep);
+
+void
+BM_TraceDecode(benchmark::State &state)
+{
+    // Deserialization of the delta/byte-plane spill format back into
+    // chunked SoA, measured from memory (no disk in the loop). The
+    // bytes_per_inst counter is the on-disk footprint of the payload.
+    Workload w = buildWorkload("gzip", InputSet::Reference, benchSuite());
+    auto trace = ExecTrace::record(w.program);
+    const std::string key = "bm-trace-decode";
+    std::ostringstream encoded;
+    trace->write(encoded, key);
+    const std::string bytes = encoded.str();
+    uint64_t insts = 0;
+    for (auto _ : state) {
+        std::istringstream is(bytes);
+        auto decoded = ExecTrace::read(is, key, w.program);
+        benchmark::DoNotOptimize(decoded);
+        insts += decoded ? decoded->length() : 0;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(insts));
+    state.counters["bytes_per_inst"] =
+        static_cast<double>(bytes.size()) /
+        static_cast<double>(trace->length());
+}
+BENCHMARK(BM_TraceDecode);
 
 void
 BM_CacheAccess(benchmark::State &state)
@@ -267,15 +320,38 @@ stepThroughput(StepSource &source)
 }
 
 /**
+ * stepThroughput through stepBatch: the same per-record consumption,
+ * pulled in 256-record spans — what the batch-converted consumers pay
+ * for the stream.
+ */
+double
+batchThroughput(StepSource &source)
+{
+    uint64_t sink = 0;
+    ExecRecord recs[256];
+    auto start = std::chrono::steady_clock::now();
+    while (uint64_t n = source.stepBatch(recs, 256))
+        for (uint64_t i = 0; i < n; ++i)
+            sink += recs[i].nextPc;
+    double seconds = secondsSince(start);
+    benchmark::DoNotOptimize(sink);
+    return static_cast<double>(source.instsExecuted()) /
+           (seconds > 0 ? seconds : 1e-9);
+}
+
+/**
  * The machine-readable perf gate behind `microbench --json [path]`.
  *
- * Measures (a) live interpretation vs trace replay step throughput on
- * the gzip reference stream and (b) wall time for a 44-configuration
- * Plackett-Burman sweep (99% fast-forward + 1000 detailed instructions
- * per configuration) with one FunctionalSim per configuration vs one
- * shared ExecTrace (recording time included in the trace total).
- * Writes the numbers as JSON and returns nonzero when replay fails to
- * beat live stepping or the sweeps disagree on total cycles.
+ * Measures (a) live interpretation vs trace replay throughput on the
+ * gzip reference stream, per-step and batched, (b) wall time for a
+ * 44-configuration Plackett-Burman sweep (99% fast-forward + 1000
+ * detailed instructions per configuration) with one FunctionalSim per
+ * configuration vs one shared ExecTrace (recording time included in
+ * the trace total), and (c) the compressed spill's on-disk
+ * bytes/instruction and decode throughput. Writes the numbers as JSON
+ * and returns nonzero when replay fails to beat live stepping, batched
+ * replay fails to beat per-step replay, the spill exceeds 6
+ * bytes/instruction, or the sweeps disagree on total cycles.
  */
 int
 runJsonGate(const char *path)
@@ -284,12 +360,15 @@ runJsonGate(const char *path)
     Workload step_workload =
         buildWorkload("gzip", InputSet::Reference, benchSuite());
     auto step_trace = ExecTrace::record(step_workload.program);
-    double live_ips = 0, replay_ips = 0;
+    double live_ips = 0, replay_ips = 0, replay_batch_ips = 0;
     for (int pass = 0; pass < 3; ++pass) {
         FunctionalSim fsim(step_workload.program);
         live_ips = std::max(live_ips, stepThroughput(fsim));
         TraceReplayer replayer(step_trace);
         replay_ips = std::max(replay_ips, stepThroughput(replayer));
+        TraceReplayer batch_replayer(step_trace);
+        replay_batch_ips =
+            std::max(replay_batch_ips, batchThroughput(batch_replayer));
     }
 
     // (b) Configuration-sweep wall time: the record-once/replay-many
@@ -328,12 +407,44 @@ runJsonGate(const char *path)
 
     double speedup = live_seconds / (trace_seconds > 0 ? trace_seconds : 1e-9);
 
+    // (c) On-disk footprint and decode rate of the compressed spill
+    // format, on the 8M-instruction sweep trace. The byte count is
+    // deterministic (same trace -> same bytes), so it is gated here in
+    // the binary as well as in CI.
+    const std::string spill_key = "perf-gate-spill";
+    std::ostringstream spill_os;
+    sweep_trace->write(spill_os, spill_key);
+    const std::string spill_bytes = spill_os.str();
+    double bytes_per_inst = static_cast<double>(spill_bytes.size()) /
+                            static_cast<double>(sweep_trace->length());
+    double decode_ips = 0;
+    for (int pass = 0; pass < 3; ++pass) {
+        std::istringstream spill_is(spill_bytes);
+        auto decode_start = std::chrono::steady_clock::now();
+        auto decoded =
+            ExecTrace::read(spill_is, spill_key, sweep_workload.program);
+        double decode_seconds = secondsSince(decode_start);
+        if (!decoded) {
+            std::fprintf(stderr,
+                         "microbench: spill round-trip failed to read\n");
+            return 1;
+        }
+        decode_ips = std::max(
+            decode_ips, static_cast<double>(decoded->length()) /
+                            (decode_seconds > 0 ? decode_seconds : 1e-9));
+    }
+
     // Historical field names, now under the versioned yasim-report
     // schema (the CI gate indexes them directly either way).
     JsonReport report("perf-gate");
     report.setNumber("step_insts_per_sec_live", live_ips);
     report.setNumber("step_insts_per_sec_replay", replay_ips);
     report.setNumber("step_replay_over_live", replay_ips / live_ips);
+    report.setNumber("step_insts_per_sec_replay_batch", replay_batch_ips);
+    report.setNumber("batch_replay_over_step",
+                     replay_batch_ips / replay_ips);
+    report.setNumber("trace_bytes_per_inst", bytes_per_inst);
+    report.setNumber("trace_decode_insts_per_sec", decode_ips);
     report.setCount("sweep_configs", configs.size());
     report.setCount("sweep_detailed_insts", kDetailedInsts);
     report.setNumber("sweep_wall_seconds_live", live_seconds);
@@ -343,12 +454,16 @@ runJsonGate(const char *path)
     writeReportFile(report, path);
 
     std::printf("step throughput: live %.1fM inst/s, replay %.1fM inst/s "
-                "(%.2fx)\n",
-                live_ips / 1e6, replay_ips / 1e6, replay_ips / live_ips);
+                "(%.2fx), batched replay %.1fM inst/s (%.2fx over step)\n",
+                live_ips / 1e6, replay_ips / 1e6, replay_ips / live_ips,
+                replay_batch_ips / 1e6, replay_batch_ips / replay_ips);
     std::printf("%zu-config sweep: live %.3fs, traced %.3fs (%.2fx, "
                 "cycles %s)\n",
                 configs.size(), live_seconds, trace_seconds, speedup,
                 trace_cycles == live_cycles ? "match" : "MISMATCH");
+    std::printf("trace spill: %.2f bytes/inst on disk, decode %.1fM "
+                "inst/s\n",
+                bytes_per_inst, decode_ips / 1e6);
     std::printf("wrote %s\n", path);
 
     if (trace_cycles != live_cycles) {
@@ -359,6 +474,18 @@ runJsonGate(const char *path)
     if (replay_ips < live_ips) {
         std::fprintf(stderr,
                      "microbench: replay slower than live stepping\n");
+        return 1;
+    }
+    if (replay_batch_ips < replay_ips) {
+        std::fprintf(stderr,
+                     "microbench: batched replay slower than stepping\n");
+        return 1;
+    }
+    if (bytes_per_inst > 6.0) {
+        std::fprintf(stderr,
+                     "microbench: trace spill %.2f bytes/inst exceeds "
+                     "the 6.0 budget\n",
+                     bytes_per_inst);
         return 1;
     }
     return 0;

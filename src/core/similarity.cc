@@ -43,24 +43,28 @@ characterizeWorkload(const std::string &benchmark, InputSet input,
     {
         StepSourceHandle src =
             openStepSource(benchmark, input, suite, traces);
-        ExecRecord rec;
+        constexpr uint64_t kMixBatch = 4096;
+        std::vector<ExecRecord> batch(kMixBatch);
         uint64_t total = 0, loads = 0, stores = 0, branches = 0,
                  fp = 0, muldiv = 0;
-        while (src.source->step(rec)) {
-            ++total;
-            const Instruction &inst = *rec.inst;
-            if (inst.isLoad())
-                ++loads;
-            if (inst.isStore())
-                ++stores;
-            if (inst.isControl())
-                ++branches;
-            if (inst.isFp())
-                ++fp;
-            FuClass fu = inst.fuClass();
-            if (fu == FuClass::IntMult || fu == FuClass::IntDiv ||
-                fu == FuClass::FpMult || fu == FuClass::FpDiv) {
-                ++muldiv;
+        uint64_t n;
+        while ((n = src.source->stepBatch(batch.data(), kMixBatch)) > 0) {
+            total += n;
+            for (uint64_t i = 0; i < n; ++i) {
+                const Instruction &inst = *batch[i].inst;
+                if (inst.isLoad())
+                    ++loads;
+                if (inst.isStore())
+                    ++stores;
+                if (inst.isControl())
+                    ++branches;
+                if (inst.isFp())
+                    ++fp;
+                FuClass fu = inst.fuClass();
+                if (fu == FuClass::IntMult || fu == FuClass::IntDiv ||
+                    fu == FuClass::FpMult || fu == FuClass::FpDiv) {
+                    ++muldiv;
+                }
             }
         }
         YASIM_ASSERT(total > 0);

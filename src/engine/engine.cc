@@ -93,6 +93,14 @@ ExperimentEngine::loadResultFromDisk(const std::string &key_text,
     const std::string path = diskPath(key_text, ".result");
     ArtifactReadResult read =
         readArtifact(path, kResultMagic, kCacheFormatVersion);
+    if (read.status == ArtifactStatus::VersionMismatch) {
+        // A stale-format entry is a clean miss, not rot: readArtifact
+        // already deleted the file; count it under its own column.
+        std::lock_guard<std::mutex> lock(mutex);
+        ctr.ioRetries += read.retries;
+        ++ctr.cacheVersionMiss;
+        return false;
+    }
     if (read.retries || read.status == ArtifactStatus::Corrupt ||
         read.status == ArtifactStatus::Transient) {
         if (read.status == ArtifactStatus::Ok ||
@@ -297,6 +305,10 @@ ExperimentEngine::referenceLength(const std::string &benchmark,
                 std::lock_guard<std::mutex> lock(mutex);
                 ctr.ioRetries += read.retries;
             }
+        } else if (read.status == ArtifactStatus::VersionMismatch) {
+            std::lock_guard<std::mutex> lock(mutex);
+            ctr.ioRetries += read.retries;
+            ++ctr.cacheVersionMiss;
         } else if (read.status != ArtifactStatus::Missing) {
             noteFailedRead(path, "reference length", read.error,
                            read.status == ArtifactStatus::Corrupt,
@@ -411,6 +423,8 @@ ExperimentEngine::printStats(std::ostream &os) const
     table.addRow({"grid jobs scheduled", Table::count(c.gridJobs)});
     table.addRow({"cache corrupt (quarantined)",
                   Table::count(c.cacheCorrupt)});
+    table.addRow({"cache version misses",
+                  Table::count(c.cacheVersionMiss)});
     table.addRow({"cache unreadable", Table::count(c.cacheUnreadable)});
     table.addRow({"artifact io retries", Table::count(c.ioRetries)});
     table.addRow({"cache budget evictions",
@@ -430,6 +444,8 @@ ExperimentEngine::printStats(std::ostream &os) const
         table.addRow(
             {"trace bytes in memory", Table::count(t.bytesInMemory)});
         table.addRow({"trace quarantined", Table::count(t.quarantined)});
+        table.addRow({"trace version misses",
+                      Table::count(t.versionMisses)});
         table.addRow({"trace io retries", Table::count(t.ioRetries)});
         table.addRow({"ref lengths from traces",
                       Table::count(c.refLengthFromTrace)});
@@ -476,6 +492,7 @@ ExperimentEngine::appendCounters(JsonReport &report) const
     report.setCount("ref_length_measured", c.refLengthMisses);
     report.setCount("grid_jobs", c.gridJobs);
     report.setCount("cache_corrupt", c.cacheCorrupt);
+    report.setCount("cache_version_misses", c.cacheVersionMiss);
     report.setCount("cache_unreadable", c.cacheUnreadable);
     report.setCount("io_retries", c.ioRetries);
     report.setCount("budget_evictions", c.budgetEvictions);
@@ -490,6 +507,7 @@ ExperimentEngine::appendCounters(JsonReport &report) const
         report.setCount("trace_insts_recorded", t.instsRecorded);
         report.setCount("trace_bytes_in_memory", t.bytesInMemory);
         report.setCount("trace_quarantined", t.quarantined);
+        report.setCount("trace_version_misses", t.versionMisses);
         report.setCount("trace_io_retries", t.ioRetries);
         report.setCount("ref_lengths_from_traces", c.refLengthFromTrace);
     }

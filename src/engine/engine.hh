@@ -94,10 +94,17 @@ struct EngineCounters
     uint64_t gridJobs = 0;
     /**
      * Result/reflen cache entries that failed verification (bad
-     * checksum, truncation, version mismatch, unparseable payload) and
-     * were quarantined to "<file>.corrupt", then recomputed.
+     * checksum, truncation, unparseable payload) and were quarantined
+     * to "<file>.corrupt", then recomputed.
      */
     uint64_t cacheCorrupt = 0;
+    /**
+     * Result/reflen cache entries written by another format
+     * generation: cleanly framed, deleted as stale (no quarantine),
+     * recomputed. Counted apart from cacheCorrupt so a version bump
+     * never reads as data rot.
+     */
+    uint64_t cacheVersionMiss = 0;
     /** Cache reads that stayed unreadable after bounded retries. */
     uint64_t cacheUnreadable = 0;
     /** Transient-I/O retries performed by artifact reads and writes. */

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "isa/program.hh"
+#include "sim/functional.hh"
 
 namespace yasim {
 
@@ -34,6 +35,13 @@ class BbProfiler
         bbvCounts[block] += weight;
         if (pc == prog.basicBlocks()[block].first)
             bbefCounts[block] += weight;
+    }
+
+    /** Attribute a batch of records (the batch face of record()). */
+    void recordBatch(const ExecRecord *recs, uint64_t n)
+    {
+        for (uint64_t i = 0; i < n; ++i)
+            record(recs[i].pc);
     }
 
     /** Scale subsequent records (SimPoint cluster weighting). */

@@ -5,6 +5,17 @@
 
 namespace yasim {
 
+uint64_t
+StepSource::stepBatch(ExecRecord *out, uint64_t n)
+{
+    // Generic fallback for sources without a native batch kernel: the
+    // per-record virtual cost is unchanged, only the call site shrinks.
+    uint64_t done = 0;
+    while (done < n && step(out[done]))
+        ++done;
+    return done;
+}
+
 FunctionalSim::FunctionalSim(const Program &program)
     : prog(program), code(program.code())
 {
@@ -216,6 +227,17 @@ FunctionalSim::step(ExecRecord &record)
         return false;
     execOne<true, false>(&record, nullptr, nullptr);
     return true;
+}
+
+uint64_t
+FunctionalSim::stepBatch(ExecRecord *out, uint64_t n)
+{
+    uint64_t done = 0;
+    while (done < n && !isHalted) {
+        execOne<true, false>(&out[done], nullptr, nullptr);
+        ++done;
+    }
+    return done;
 }
 
 uint64_t

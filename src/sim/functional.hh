@@ -67,6 +67,16 @@ class StepSource
     virtual bool step(ExecRecord &record) = 0;
 
     /**
+     * Produce up to @p n instructions into @p out — the batch face of
+     * step(), paying one virtual call per span instead of one per
+     * record. The records delivered are exactly the next n step()
+     * results (bit-identical; the hot consumers are tested both ways).
+     * @return the number produced; 0 iff the stream is exhausted or
+     * @p n is 0.
+     */
+    virtual uint64_t stepBatch(ExecRecord *out, uint64_t n);
+
+    /**
      * Advance up to @p count instructions with no record production.
      * @return the number actually advanced (less than count at Halt).
      */
@@ -113,6 +123,12 @@ class FunctionalSim final : public StepSource
      * @return false when the machine was already halted.
      */
     bool step(ExecRecord &record) override;
+
+    /**
+     * Execute up to @p n instructions, describing each in @p out — a
+     * tight interpreter loop with the virtual dispatch hoisted out.
+     */
+    uint64_t stepBatch(ExecRecord *out, uint64_t n) override;
 
     /**
      * Execute up to @p count instructions with no record production.

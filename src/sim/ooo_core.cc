@@ -305,17 +305,29 @@ OooCore::runSteps(Source &src, uint64_t max_insts, BbProfiler *profiler)
     const uint32_t l1i_block = cfg.mem.l1i.blockBytes;
     const uint64_t frontend = cfg.core.frontendDepth;
 
+    // Pull batches through the source's stepBatch kernel: one (possibly
+    // devirtualized) call per span instead of one per instruction. The
+    // buffer is small enough to live on the stack.
+    constexpr uint64_t kFetchBatch = 256;
+    ExecRecord recs[kFetchBatch];
+
     uint64_t done = 0;
-    ExecRecord rec;
-    while (done < max_insts && src.step(rec)) {
-        // Replayed and live streams must satisfy the same contract.
-        YASIM_DCHECK(rec.inst != nullptr);
-        if (profiler)
-            profiler->record(rec.pc);
-        simulateOne(*rec.inst, Program::pcAddress(rec.pc), rec.nextPc,
-                    rec.memAddr, rec.taken, rec.trivial, l1i_block,
-                    frontend);
-        ++done;
+    while (done < max_insts) {
+        const uint64_t want = std::min(max_insts - done, kFetchBatch);
+        const uint64_t n = src.stepBatch(recs, want);
+        if (n == 0)
+            break;
+        for (uint64_t i = 0; i < n; ++i) {
+            const ExecRecord &rec = recs[i];
+            // Replayed and live streams must satisfy the same contract.
+            YASIM_DCHECK(rec.inst != nullptr);
+            if (profiler)
+                profiler->record(rec.pc);
+            simulateOne(*rec.inst, Program::pcAddress(rec.pc), rec.nextPc,
+                        rec.memAddr, rec.taken, rec.trivial, l1i_block,
+                        frontend);
+        }
+        done += n;
     }
     return done;
 }

@@ -8,6 +8,7 @@
 
 #include "sim/bb_profiler.hh"
 #include "support/check.hh"
+#include "support/codec.hh"
 #include "support/logging.hh"
 
 namespace yasim {
@@ -51,25 +52,183 @@ getVec(std::istream &is, std::vector<T> &v, size_t n)
     return is.good();
 }
 
+// --- v4 chunk planes --------------------------------------------------------
+//
+// Each chunk serializes as three independently RLE'd byte planes, all
+// chunk-local (delta state resets per chunk, so chunks decode
+// independently):
+//
+//  pc plane:   varint(zigzag(pc[i] - pc[i-1] - 1)) — sequential
+//              execution encodes as 0x00, so the RLE collapses the
+//              overwhelmingly-common fall-through runs;
+//  mem plane:  varint(zigzag(memAddr delta vs the previous memory
+//              op)) for load/store records only — mem-ness is
+//              derivable from the pc's static instruction, and
+//              strided access patterns yield tiny repeated deltas;
+//  flag plane: the raw taken/trivial bytes (values 0..3), RLE'd.
+
+/** Write @p plane RLE-compressed with a u64 byte-length prefix. */
+void
+putPlane(std::ostream &os, const std::string &plane)
+{
+    std::string rle;
+    rleEncode(plane, rle);
+    putRaw(os, static_cast<uint64_t>(rle.size()));
+    os.write(rle.data(), static_cast<std::streamsize>(rle.size()));
+}
+
+/**
+ * Read one RLE'd plane back; @p max_out bounds the decoded size (the
+ * caller's structural limit) and implies a bound on the stored size
+ * (RLE expands a plane by at most 1.5x). Returns false on truncation,
+ * malformed RLE, or a plane past the bound.
+ */
+bool
+getPlane(std::istream &is, std::string &plane, size_t max_out)
+{
+    uint64_t stored = 0;
+    if (!getRaw(is, stored) || stored > max_out + max_out / 2 + 16)
+        return false;
+    std::string rle(stored, '\0');
+    is.read(rle.data(), static_cast<std::streamsize>(stored));
+    if (!is.good())
+        return false;
+    plane.clear();
+    return rleDecode(rle, plane, max_out);
+}
+
+/** Serialize one chunk's SoA columns as delta/byte planes. */
+void
+encodeChunkPlanes(const std::vector<uint32_t> &pcs,
+                  const std::vector<uint64_t> &addrs,
+                  const std::vector<uint8_t> &flags,
+                  const Instruction *code, std::ostream &os)
+{
+    const size_t n = pcs.size();
+    std::string pc_plane, mem_plane;
+    pc_plane.reserve(n);
+    uint64_t prev_pc = 0;
+    uint64_t last_mem = 0;
+    for (size_t i = 0; i < n; ++i) {
+        const uint64_t pc = pcs[i];
+        putVarint(pc_plane,
+                  zigzagEncode(static_cast<int64_t>(pc) -
+                               static_cast<int64_t>(prev_pc) - 1));
+        prev_pc = pc;
+        const Instruction &inst = code[pc];
+        if (inst.isLoad() || inst.isStore()) {
+            putVarint(mem_plane,
+                      zigzagEncode(static_cast<int64_t>(addrs[i]) -
+                                   static_cast<int64_t>(last_mem)));
+            last_mem = addrs[i];
+        } else {
+            // Non-memory records carry memAddr 0 by the ExecRecord
+            // contract; the decoder reconstructs the zeros for free.
+            YASIM_DCHECK_EQ(addrs[i], uint64_t(0));
+        }
+    }
+    const std::string flag_plane(
+        reinterpret_cast<const char *>(flags.data()), n);
+    putRaw(os, static_cast<uint64_t>(n));
+    putPlane(os, pc_plane);
+    putPlane(os, mem_plane);
+    putPlane(os, flag_plane);
+}
+
+/**
+ * Decode one chunk of @p n records into the SoA columns. Every
+ * reconstructed pc is validated against @p prog_size before its static
+ * instruction is consulted, and all three planes must be consumed
+ * exactly. Returns false on any structural violation.
+ */
+bool
+decodeChunkPlanes(std::istream &is, size_t n, const Instruction *code,
+                  size_t prog_size, std::vector<uint32_t> &pcs,
+                  std::vector<uint64_t> &addrs,
+                  std::vector<uint8_t> &flags)
+{
+    std::string plane;
+    if (!getPlane(is, plane, n * 10))
+        return false;
+    pcs.resize(n);
+    size_t at = 0;
+    uint64_t prev_pc = 0;
+    for (size_t i = 0; i < n; ++i) {
+        uint64_t z = 0;
+        if (!getVarint(plane, at, z))
+            return false;
+        const uint64_t pc = static_cast<uint64_t>(
+            static_cast<int64_t>(prev_pc) + 1 + zigzagDecode(z));
+        if (pc >= prog_size)
+            return false;
+        pcs[i] = static_cast<uint32_t>(pc);
+        prev_pc = pc;
+    }
+    if (at != plane.size())
+        return false;
+
+    std::string mem_plane;
+    if (!getPlane(is, mem_plane, n * 10))
+        return false;
+
+    if (!getPlane(is, plane, n) || plane.size() != n)
+        return false;
+    flags.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+        const uint8_t f = static_cast<uint8_t>(plane[i]);
+        if (f > 3)
+            return false;
+        flags[i] = f;
+    }
+
+    addrs.resize(n);
+    at = 0;
+    uint64_t last_mem = 0;
+    for (size_t i = 0; i < n; ++i) {
+        const Instruction &inst = code[pcs[i]];
+        if (inst.isLoad() || inst.isStore()) {
+            uint64_t z = 0;
+            if (!getVarint(mem_plane, at, z))
+                return false;
+            last_mem = static_cast<uint64_t>(
+                static_cast<int64_t>(last_mem) + zigzagDecode(z));
+            addrs[i] = last_mem;
+        } else {
+            addrs[i] = 0;
+        }
+    }
+    return at == mem_plane.size();
+}
+
 } // namespace
 
 // --- ExecTrace: recording ---------------------------------------------------
 
 void
-ExecTrace::append(uint64_t pc, uint64_t mem_addr, uint8_t flags)
+ExecTrace::appendBatch(const ExecRecord *recs, uint64_t n)
 {
-    if ((total & chunkMask) == 0) {
-        chunks.emplace_back();
+    uint64_t i = 0;
+    while (i < n) {
+        if ((total & chunkMask) == 0) {
+            chunks.emplace_back();
+            Chunk &fresh = chunks.back();
+            fresh.pc.reserve(chunkInsts);
+            fresh.memAddr.reserve(chunkInsts);
+            fresh.flags.reserve(chunkInsts);
+        }
         Chunk &c = chunks.back();
-        c.pc.reserve(chunkInsts);
-        c.memAddr.reserve(chunkInsts);
-        c.flags.reserve(chunkInsts);
+        const uint64_t run =
+            std::min(n - i, chunkInsts - (total & chunkMask));
+        for (uint64_t k = 0; k < run; ++k) {
+            const ExecRecord &r = recs[i + k];
+            c.pc.push_back(static_cast<uint32_t>(r.pc));
+            c.memAddr.push_back(r.memAddr);
+            c.flags.push_back(static_cast<uint8_t>(
+                (r.taken ? 1 : 0) | (r.trivial ? 2 : 0)));
+        }
+        total += run;
+        i += run;
     }
-    Chunk &c = chunks.back();
-    c.pc.push_back(static_cast<uint32_t>(pc));
-    c.memAddr.push_back(mem_addr);
-    c.flags.push_back(flags);
-    ++total;
 }
 
 std::shared_ptr<const ExecTrace>
@@ -92,13 +251,23 @@ ExecTrace::record(const Program &program, const Options &options)
 
     FunctionalSim sim(trace->prog);
     BbProfiler profiler(trace->prog);
-    ExecRecord rec;
+    // Batched recording: one interpreter span, one profiler pass, one
+    // SoA append per batch. Batches never straddle a checkpoint rung,
+    // so snapshots land at exactly the positions the per-step loop
+    // captured.
+    constexpr uint64_t kRecordBatch = 4096;
+    std::vector<ExecRecord> batch(kRecordBatch);
     uint64_t next_ckpt = spacing;
-    while (sim.step(rec)) {
-        profiler.record(rec.pc);
-        trace->append(rec.pc, rec.memAddr,
-                      static_cast<uint8_t>((rec.taken ? 1 : 0) |
-                                           (rec.trivial ? 2 : 0)));
+    for (;;) {
+        uint64_t want = kRecordBatch;
+        const uint64_t pos = sim.instsExecuted();
+        if (next_ckpt > pos)
+            want = std::min(want, next_ckpt - pos);
+        const uint64_t n = sim.stepBatch(batch.data(), want);
+        if (n == 0)
+            break;
+        profiler.recordBatch(batch.data(), n);
+        trace->appendBatch(batch.data(), n);
         if (sim.instsExecuted() == next_ckpt && !sim.halted()) {
             if (adaptive &&
                 trace->checkpoints.size() == maxCheckpoints) {
@@ -197,12 +366,8 @@ ExecTrace::write(std::ostream &os, const std::string &key_text) const
     os << "meta length=" << total << " spacing=" << spacing
        << " program=" << prog.size() << " blocks=" << prog.numBlocks()
        << " checkpoints=" << checkpoints.size() << "\n";
-    for (const Chunk &c : chunks) {
-        putRaw(os, static_cast<uint64_t>(c.pc.size()));
-        putVec(os, c.pc);
-        putVec(os, c.memAddr);
-        putVec(os, c.flags);
-    }
+    for (const Chunk &c : chunks)
+        encodeChunkPlanes(c.pc, c.memAddr, c.flags, prog.code(), os);
     for (const Checkpoint &cp : checkpoints)
         cp.writeBinary(os);
     putVec(os, bbefCounts);
@@ -242,18 +407,17 @@ ExecTrace::read(std::istream &is, const std::string &key_text,
     trace->spacing = spacing;
     uint64_t remaining = length;
     while (remaining > 0) {
+        // Chunk-at-a-time: each compressed chunk decodes straight into
+        // the SoA buffers the replay kernels serve spans from.
         uint64_t n = 0;
         if (!getRaw(is, n) || n == 0 || n > chunkInsts || n > remaining)
             return nullptr;
         trace->chunks.emplace_back();
         Chunk &c = trace->chunks.back();
-        if (!getVec(is, c.pc, n) || !getVec(is, c.memAddr, n) ||
-            !getVec(is, c.flags, n)) {
+        if (!decodeChunkPlanes(is, n, program.code(), prog_size, c.pc,
+                               c.memAddr, c.flags)) {
             return nullptr;
         }
-        for (uint32_t pc : c.pc)
-            if (pc >= prog_size)
-                return nullptr;
         remaining -= n;
     }
     trace->checkpoints.reserve(n_ckpts);
@@ -307,6 +471,49 @@ TraceReplayer::step(ExecRecord &record)
 }
 
 uint64_t
+TraceReplayer::stepBatch(ExecRecord *out, uint64_t n)
+{
+    // Serve whole chunk-resident SoA spans: the chunk lookup, bounds
+    // work, and pointer arithmetic are paid once per span instead of
+    // once per record, and nothing in the span loop branches on data
+    // (the nextPc select compiles to a conditional move — both arms
+    // are always computable).
+    uint64_t done = 0;
+    while (done < n && cursor < end) {
+        const ExecTrace::Chunk &chunk =
+            src->chunks[cursor >> ExecTrace::chunkShift];
+        const size_t off = cursor & ExecTrace::chunkMask;
+        const uint64_t run =
+            std::min({n - done, end - cursor,
+                      static_cast<uint64_t>(chunk.pc.size() - off)});
+        const uint32_t *pcs = chunk.pc.data() + off;
+        const uint64_t *addrs = chunk.memAddr.data() + off;
+        const uint8_t *flags = chunk.flags.data() + off;
+        const size_t prog_size = src->prog.size();
+        ExecRecord *recs = out + done;
+        for (uint64_t i = 0; i < run; ++i) {
+            const uint64_t pc = pcs[i];
+            const uint8_t f = flags[i];
+            YASIM_DCHECK_LT(pc, prog_size);
+            const Instruction &inst = code[pc];
+            const bool taken = (f & 1) != 0;
+            ExecRecord &r = recs[i];
+            r.inst = &inst;
+            r.pc = pc;
+            // Exactly FunctionalSim's successor definition.
+            r.nextPc =
+                taken ? static_cast<uint64_t>(inst.imm) : pc + 1;
+            r.memAddr = addrs[i];
+            r.taken = taken;
+            r.trivial = (f & 2) != 0;
+        }
+        cursor += run;
+        done += run;
+    }
+    return done;
+}
+
+uint64_t
 TraceReplayer::fastForward(uint64_t count)
 {
     // The whole point: skipping recorded instructions costs nothing.
@@ -321,29 +528,39 @@ TraceReplayer::fastForwardWarm(uint64_t count, MemoryHierarchy *hierarchy,
 {
     // Must issue the exact warming call sequence of the live
     // interpreter (FunctionalSim::execOne<_, true>) so warmed caches
-    // and predictors end up bit-identical.
+    // and predictors end up bit-identical. Processed as chunk-resident
+    // spans: the chunk lookup and column pointers are hoisted out of
+    // the per-record warming loop.
     uint64_t done = 0;
     while (done < count && cursor < end) {
         const ExecTrace::Chunk &chunk =
             src->chunks[cursor >> ExecTrace::chunkShift];
         const size_t off = cursor & ExecTrace::chunkMask;
-        const uint64_t pc = chunk.pc[off];
-        const uint8_t flags = chunk.flags[off];
-        const Instruction &inst = code[pc];
-        const bool taken = (flags & 1) != 0;
-        const uint64_t next_pc =
-            taken ? static_cast<uint64_t>(inst.imm) : pc + 1;
-        if (hierarchy) {
-            hierarchy->warmInst(Program::pcAddress(pc));
-            if (inst.isLoad() || inst.isStore())
-                hierarchy->warmData(chunk.memAddr[off]);
+        const uint64_t run =
+            std::min({count - done, end - cursor,
+                      static_cast<uint64_t>(chunk.pc.size() - off)});
+        const uint32_t *pcs = chunk.pc.data() + off;
+        const uint64_t *addrs = chunk.memAddr.data() + off;
+        const uint8_t *flags = chunk.flags.data() + off;
+        for (uint64_t i = 0; i < run; ++i) {
+            const uint64_t pc = pcs[i];
+            const Instruction &inst = code[pc];
+            const bool taken = (flags[i] & 1) != 0;
+            const uint64_t next_pc =
+                taken ? static_cast<uint64_t>(inst.imm) : pc + 1;
+            if (hierarchy) {
+                hierarchy->warmInst(Program::pcAddress(pc));
+                if (inst.isLoad() || inst.isStore())
+                    hierarchy->warmData(addrs[i]);
+            }
+            if (bp && inst.isControl()) {
+                bp->warmUpdate(Program::pcAddress(pc),
+                               inst.isCondBranch(), taken,
+                               Program::pcAddress(next_pc));
+            }
         }
-        if (bp && inst.isControl()) {
-            bp->warmUpdate(Program::pcAddress(pc), inst.isCondBranch(),
-                           taken, Program::pcAddress(next_pc));
-        }
-        ++cursor;
-        ++done;
+        cursor += run;
+        done += run;
     }
     return done;
 }

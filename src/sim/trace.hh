@@ -7,13 +7,18 @@
  * on the machine configuration, yet every technique historically
  * re-interpreted from instruction zero per configuration. An ExecTrace
  * captures one full interpretation into a chunked structure-of-arrays
- * buffer — 13 bytes per dynamic instruction (4 pc + 8 memAddr + 1
- * flags; nextPc is derivable, see below) — together with the program,
+ * buffer — 13 bytes per dynamic instruction in memory (4 pc + 8
+ * memAddr + 1 flags; nextPc is derivable, see below), delta/byte-plane
+ * compressed to ~1-2 bytes per instruction on disk — together with the
+ * program,
  * the full-run BBEF/BBV profile, and a ladder of embedded architectural
  * checkpoints. A TraceReplayer then implements StepSource over the
  * recording:
  *
  *  - step() is an array load instead of interpretation,
+ *  - stepBatch() serves whole chunk-resident SoA spans with the flag
+ *    unpacking and nextPc reconstruction kept branch-free and no
+ *    per-record virtual call,
  *  - fastForward() is a cursor jump (O(1) instead of O(n)),
  *  - fastForwardWarm() replays the exact live warming call sequence,
  *
@@ -45,10 +50,13 @@ namespace yasim {
 /**
  * Bumped whenever the on-disk trace layout or the semantics of the
  * recorded stream change; stale spills then miss instead of replaying
- * a stream with different meaning. Version 3: embedded checkpoints use
- * the version-3 layout (optional warmed-uarch summary trailer).
+ * a stream with different meaning. Version 4: chunks are serialized as
+ * delta/byte-plane encoded streams (varint + RLE, see trace.cc) at
+ * roughly 1-2 bytes per instruction instead of the raw 13-byte SoA
+ * rows. Version 3: embedded checkpoints use the version-3 layout
+ * (optional warmed-uarch summary trailer).
  */
-constexpr int kTraceFormatVersion = 3;
+constexpr int kTraceFormatVersion = 4;
 
 /** An immutable recording of one program's full execution. */
 class ExecTrace
@@ -156,7 +164,7 @@ class ExecTrace
         std::vector<uint8_t> flags;
     };
 
-    void append(uint64_t pc, uint64_t mem_addr, uint8_t flags);
+    void appendBatch(const ExecRecord *recs, uint64_t n);
 
     Program prog;
     std::vector<Chunk> chunks;
@@ -174,6 +182,7 @@ class TraceReplayer final : public StepSource
     explicit TraceReplayer(std::shared_ptr<const ExecTrace> trace);
 
     bool step(ExecRecord &record) override;
+    uint64_t stepBatch(ExecRecord *out, uint64_t n) override;
     uint64_t fastForward(uint64_t count) override;
     uint64_t fastForwardWarm(uint64_t count, MemoryHierarchy *mem,
                              CombinedPredictor *bp) override;

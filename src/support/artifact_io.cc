@@ -104,7 +104,8 @@ encodeFrame(std::string_view magic, uint32_t version,
 
 bool
 decodeFrame(std::string_view frame, std::string_view magic,
-            uint32_t version, std::string &payload, std::string &error)
+            uint32_t version, std::string &payload, std::string &error,
+            bool *version_mismatch)
 {
     size_t at = 0;
     if (frame.size() < sizeof(kContainerMagic) ||
@@ -144,11 +145,6 @@ decodeFrame(std::string_view frame, std::string_view magic,
         error = "truncated before inner version";
         return false;
     }
-    if (inner_version != version) {
-        error = csprintf("format version %u, want %u", inner_version,
-                         version);
-        return false;
-    }
 
     uint64_t payload_len = 0;
     if (!getU64(frame, at, payload_len) ||
@@ -159,11 +155,16 @@ decodeFrame(std::string_view frame, std::string_view magic,
     std::string_view body = frame.substr(at, payload_len);
     at += payload_len;
 
+    // Verified against the version the frame carries, not the one the
+    // caller expects: that separates "clean frame from another format
+    // generation" (reported below as a version mismatch) from actual
+    // rot. A flipped version byte fails here and stays Corrupt.
     if (at + 32 > frame.size()) {
         error = "truncated before checksum";
         return false;
     }
-    if (frame.substr(at, 32) != frameChecksum(magic, version, body)) {
+    if (frame.substr(at, 32) !=
+        frameChecksum(magic, inner_version, body)) {
         error = "checksum mismatch";
         return false;
     }
@@ -177,6 +178,13 @@ decodeFrame(std::string_view frame, std::string_view magic,
     if (at != frame.size()) {
         error = csprintf("%zu trailing bytes after the frame",
                          frame.size() - at);
+        return false;
+    }
+    if (inner_version != version) {
+        error = csprintf("format version %u, want %u", inner_version,
+                         version);
+        if (version_mismatch)
+            *version_mismatch = true;
         return false;
     }
     payload.assign(body);
@@ -289,8 +297,20 @@ readArtifact(const std::string &path, std::string_view magic,
         frame[frame.size() / 2] ^= 0x20; // injected single-bit flip
 
     std::string error;
-    if (decodeFrame(frame, magic, version, result.payload, error)) {
+    bool version_mismatch = false;
+    if (decodeFrame(frame, magic, version, result.payload, error,
+                    &version_mismatch)) {
         result.status = ArtifactStatus::Ok;
+        return result;
+    }
+    if (version_mismatch) {
+        // A clean frame from another format generation is a stale
+        // cache entry, not rot: delete it outright so the next lookup
+        // is a plain miss, and leave no ".corrupt" file to debug.
+        result.status = ArtifactStatus::VersionMismatch;
+        result.error = error;
+        std::error_code ec;
+        fs::remove(path, ec);
         return result;
     }
     result.status = ArtifactStatus::Corrupt;

@@ -21,11 +21,14 @@
  * build the frame in memory, stream it to a private temp file, fsync,
  * and atomically rename into place, so concurrent processes sharing a
  * cache directory can never observe a torn artifact. Reads verify
- * every field; any mismatch — bad magic, wrong version, short file,
- * checksum failure, trailing bytes — quarantines the file to
- * "<path>.corrupt" and reports Corrupt, which callers treat as a miss
- * and recompute. Opens that fail transiently are retried a bounded
- * number of times with linear backoff.
+ * every field; any mismatch — bad magic, short file, checksum
+ * failure, trailing bytes — quarantines the file to "<path>.corrupt"
+ * and reports Corrupt, which callers treat as a miss and recompute.
+ * A frame that verifies cleanly but carries a stale inner format
+ * version is not rot: it is deleted (no quarantine) and reported as
+ * VersionMismatch so callers can count it separately. Opens that fail
+ * transiently are retried a bounded number of times with linear
+ * backoff.
  *
  * All the failure paths are testable deterministically through the
  * failpoint sites documented in support/failpoint.hh.
@@ -49,6 +52,13 @@ enum class ArtifactStatus {
     Missing,   ///< no such file — a plain cache miss
     Corrupt,   ///< frame verification failed; file quarantined
     Transient, ///< open kept failing after bounded retries
+    /**
+     * The frame verified cleanly but carries a different inner format
+     * version — a stale spill from an older (or newer) build, not rot.
+     * The file is deleted, not quarantined: there is nothing to debug
+     * in a well-formed artifact that simply aged out.
+     */
+    VersionMismatch,
 };
 
 /** Everything readArtifact() learned. */
@@ -87,10 +97,16 @@ std::string encodeFrame(std::string_view magic, uint32_t version,
  * Parse and verify a complete frame against (@p magic, @p version).
  * Returns true and fills @p payload; false with a human-readable
  * cause in @p error otherwise. Trailing bytes are an error.
+ *
+ * The checksum is verified against the version the frame itself
+ * carries, so a frame whose every check passes except the inner
+ * version is distinguishable from corruption: that case sets
+ * @p version_mismatch (when non-null) before returning false. A
+ * corrupted version field fails the checksum and stays plain-false.
  */
 bool decodeFrame(std::string_view frame, std::string_view magic,
                  uint32_t version, std::string &payload,
-                 std::string &error);
+                 std::string &error, bool *version_mismatch = nullptr);
 
 /** What frameSize() could learn from a frame prefix. */
 enum class FrameSizeStatus {
@@ -112,7 +128,9 @@ FrameSizeStatus frameSize(std::string_view prefix, uint64_t max_payload,
 /**
  * Read and verify the framed artifact at @p path. The frame must
  * carry @p magic and @p version; any verification failure quarantines
- * the file and reports Corrupt. Never throws, never aborts.
+ * the file and reports Corrupt, except a cleanly-framed stale version,
+ * which deletes the file and reports VersionMismatch. Never throws,
+ * never aborts.
  */
 ArtifactReadResult readArtifact(const std::string &path,
                                 std::string_view magic,

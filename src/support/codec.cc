@@ -1,0 +1,75 @@
+#include "support/codec.hh"
+
+namespace yasim {
+
+void
+putVarint(std::string &out, uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+        v >>= 7;
+    }
+    out.push_back(static_cast<char>(v));
+}
+
+bool
+getVarint(std::string_view in, size_t &at, uint64_t &v)
+{
+    v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+        if (at >= in.size())
+            return false;
+        const uint8_t byte = static_cast<uint8_t>(in[at++]);
+        v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0) {
+            // The 10th byte may only carry the top bit of a uint64_t.
+            return shift < 63 || byte <= 1;
+        }
+    }
+    return false; // continuation bit set past 10 bytes
+}
+
+void
+rleEncode(std::string_view in, std::string &out)
+{
+    size_t i = 0;
+    while (i < in.size()) {
+        const char b = in[i];
+        size_t j = i + 1;
+        while (j < in.size() && in[j] == b)
+            ++j;
+        const size_t run = j - i;
+        out.push_back(b);
+        if (run >= 2) {
+            out.push_back(b);
+            putVarint(out, run - 2);
+        }
+        i = j;
+    }
+}
+
+bool
+rleDecode(std::string_view in, std::string &out, size_t max_out)
+{
+    size_t at = 0;
+    while (at < in.size()) {
+        const char b = in[at++];
+        if (out.size() >= max_out)
+            return false;
+        out.push_back(b);
+        if (at < in.size() && in[at] == b) {
+            ++at;
+            uint64_t extra = 0;
+            if (!getVarint(in, at, extra))
+                return false;
+            // 1 for the pair's second byte, then the repeat count
+            // (compared without forming extra + 1, which could wrap).
+            if (extra >= max_out - out.size())
+                return false;
+            out.append(static_cast<size_t>(extra) + 1, b);
+        }
+    }
+    return true;
+}
+
+} // namespace yasim

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Byte-stream primitives for compact serialization: LEB128 varints,
+ * zigzag signed mapping, and a byte-run RLE. No external dependencies —
+ * these are the building blocks of the delta/byte-plane encoded trace
+ * chunks (sim/trace.cc, format v4) and are deterministic by
+ * construction (pure functions of their input bytes).
+ *
+ * The RLE scheme is self-delimiting: a run of N >= 2 equal bytes is
+ * emitted as the byte twice followed by a varint holding N - 2; a
+ * single byte is emitted as itself. Adjacent runs always differ in
+ * byte value, so the decoder needs no lookahead state: after reading
+ * two equal bytes it knows a varint repeat count follows. Decoding is
+ * bounded by an explicit output cap so hostile lengths cannot balloon
+ * memory.
+ */
+
+#ifndef YASIM_SUPPORT_CODEC_HH
+#define YASIM_SUPPORT_CODEC_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace yasim {
+
+/** Append @p v to @p out as an LEB128 varint (1..10 bytes). */
+void putVarint(std::string &out, uint64_t v);
+
+/**
+ * Parse one varint from @p in at offset @p at (advanced past it).
+ * Returns false on truncation or a non-canonical >10-byte encoding.
+ */
+bool getVarint(std::string_view in, size_t &at, uint64_t &v);
+
+/** Map a signed value onto unsigned so small magnitudes stay small. */
+constexpr uint64_t
+zigzagEncode(int64_t v)
+{
+    return (static_cast<uint64_t>(v) << 1) ^
+           static_cast<uint64_t>(v >> 63);
+}
+
+/** Inverse of zigzagEncode. */
+constexpr int64_t
+zigzagDecode(uint64_t v)
+{
+    return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/** Append the RLE encoding of @p in to @p out (scheme in file cmt). */
+void rleEncode(std::string_view in, std::string &out);
+
+/**
+ * Append the RLE decoding of @p in to @p out. Returns false when the
+ * stream is malformed (truncated repeat count) or the decoded size
+ * would exceed @p max_out — the caller's structural bound.
+ */
+bool rleDecode(std::string_view in, std::string &out, size_t max_out);
+
+} // namespace yasim
+
+#endif // YASIM_SUPPORT_CODEC_HH

@@ -56,7 +56,6 @@ profileIntervals(StepSource &stream, const Program &program,
     std::vector<std::vector<double>> intervals;
     std::vector<double> bbv(program.numBlocks(), 0.0);
 
-    ExecRecord rec;
     uint64_t in_interval = 0;
     uint64_t total = 0;
     auto flush = [&]() {
@@ -65,10 +64,20 @@ profileIntervals(StepSource &stream, const Program &program,
         std::fill(bbv.begin(), bbv.end(), 0.0);
         in_interval = 0;
     };
-    while (stream.step(rec)) {
-        bbv[program.blockOf(rec.pc)] += 1.0;
-        ++in_interval;
-        ++total;
+    // Pull interval-bounded batches so every interval boundary lands
+    // exactly where the per-step loop would have put it.
+    constexpr uint64_t kProfileBatch = 4096;
+    std::vector<ExecRecord> batch(kProfileBatch);
+    for (;;) {
+        const uint64_t want =
+            std::min(kProfileBatch, interval_insts - in_interval);
+        const uint64_t n = stream.stepBatch(batch.data(), want);
+        if (n == 0)
+            break;
+        for (uint64_t i = 0; i < n; ++i)
+            bbv[program.blockOf(batch[i].pc)] += 1.0;
+        in_interval += n;
+        total += n;
         if (in_interval == interval_insts)
             flush();
     }

@@ -66,6 +66,16 @@ TraceStore::loadFromDisk(const std::string &key_text,
     }
     if (read.status == ArtifactStatus::Missing)
         return nullptr;
+    if (read.status == ArtifactStatus::VersionMismatch) {
+        // Stale spill from another trace-format generation: the frame
+        // verified (no rot), readArtifact already deleted the file.
+        std::lock_guard<std::mutex> lock(mutex);
+        ++ctr.versionMisses;
+        warn("trace cache entry '%s' is from another format generation "
+             "(%s); removed and re-recording",
+             path.c_str(), read.error.c_str());
+        return nullptr;
+    }
     if (read.status != ArtifactStatus::Ok) {
         std::lock_guard<std::mutex> lock(mutex);
         if (read.status == ArtifactStatus::Corrupt)

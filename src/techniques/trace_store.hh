@@ -66,6 +66,10 @@ struct TraceCounters
     /** Spills that failed verification, were quarantined to
      *  "<file>.corrupt", and re-recorded. */
     uint64_t quarantined = 0;
+    /** Spills written by another trace-format generation: deleted as
+     *  stale (no quarantine) and re-recorded. Counted separately from
+     *  quarantined so version churn never reads as corruption. */
+    uint64_t versionMisses = 0;
     /** Transient-I/O retries performed by spill reads and writes. */
     uint64_t ioRetries = 0;
     /** Spill files evicted enforcing cacheBudgetBytes. */

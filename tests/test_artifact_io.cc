@@ -192,7 +192,7 @@ TEST(ArtifactIo, MissingFileIsAMissNotAnError)
     EXPECT_FALSE(read.quarantined);
 }
 
-TEST(ArtifactIo, WrongKindAndWrongVersionAreCorrupt)
+TEST(ArtifactIo, WrongKindIsCorruptButStaleVersionIsAMiss)
 {
     failpoint::ScopedSchedule off("");
     ScratchDir scratch("yasim_artifact_kinds");
@@ -203,11 +203,35 @@ TEST(ArtifactIo, WrongKindAndWrongVersionAreCorrupt)
     EXPECT_EQ(kind.status, ArtifactStatus::Corrupt);
     EXPECT_NE(kind.error.find("magic"), std::string::npos);
     EXPECT_TRUE(kind.quarantined);
+    fs::remove(path + ".corrupt"); // drop the wrong-kind quarantine
 
+    // A cleanly-framed artifact from another format generation is a
+    // version miss, not rot: the stale file is deleted outright, with
+    // no ".corrupt" quarantine to debug.
     ASSERT_TRUE(writeArtifact(path, "yasim-test", 3, "payload").ok);
     ArtifactReadResult version = readArtifact(path, "yasim-test", 4);
-    EXPECT_EQ(version.status, ArtifactStatus::Corrupt);
+    EXPECT_EQ(version.status, ArtifactStatus::VersionMismatch);
     EXPECT_NE(version.error.find("version"), std::string::npos);
+    EXPECT_FALSE(version.quarantined);
+    EXPECT_FALSE(fs::exists(path));
+    EXPECT_FALSE(fs::exists(path + ".corrupt"));
+
+    // Once the stale file is gone, the next lookup is a plain miss.
+    EXPECT_EQ(readArtifact(path, "yasim-test", 4).status,
+              ArtifactStatus::Missing);
+
+    // A corrupted version field is indistinguishable from rot (the
+    // checksum is bound to the stored version) and stays Corrupt.
+    ASSERT_TRUE(writeArtifact(path, "yasim-test", 3, "payload").ok);
+    std::string frame = slurp(path);
+    const size_t version_at =
+        8 + 4 + 8 + std::string("yasim-test").size();
+    frame[version_at] ^= 0x04; // version 3 -> 7, checksum untouched
+    dump(path, frame);
+    ArtifactReadResult flipped = readArtifact(path, "yasim-test", 3);
+    EXPECT_EQ(flipped.status, ArtifactStatus::Corrupt);
+    EXPECT_NE(flipped.error.find("checksum"), std::string::npos);
+    EXPECT_TRUE(flipped.quarantined);
 }
 
 TEST(ArtifactIo, EveryByteIsCoveredByVerification)

@@ -6,6 +6,7 @@
 #include <set>
 #include <sstream>
 
+#include "support/codec.hh"
 #include "support/logging.hh"
 #include "support/parallel.hh"
 #include "support/rng.hh"
@@ -187,6 +188,109 @@ TEST(Table, CountsRowsIgnoringRules)
     t.addRule();
     t.addRow({"y"});
     EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(Codec, VarintRoundTripsBoundaryValues)
+{
+    const uint64_t values[] = {0,
+                               1,
+                               127,
+                               128,
+                               16383,
+                               16384,
+                               (1ULL << 32) - 1,
+                               1ULL << 32,
+                               ~0ULL - 1,
+                               ~0ULL};
+    for (uint64_t v : values) {
+        std::string bytes;
+        putVarint(bytes, v);
+        EXPECT_LE(bytes.size(), 10u);
+        size_t at = 0;
+        uint64_t back = 1; // poison
+        ASSERT_TRUE(getVarint(bytes, at, back)) << v;
+        EXPECT_EQ(back, v);
+        EXPECT_EQ(at, bytes.size()) << v;
+    }
+}
+
+TEST(Codec, VarintRejectsTruncationAndOverlongEncodings)
+{
+    std::string bytes;
+    putVarint(bytes, ~0ULL);
+    ASSERT_EQ(bytes.size(), 10u);
+    for (size_t cut = 0; cut < bytes.size(); ++cut) {
+        size_t at = 0;
+        uint64_t v = 0;
+        EXPECT_FALSE(
+            getVarint(std::string_view(bytes).substr(0, cut), at, v))
+            << cut;
+    }
+    // An 11-byte encoding (10 continuation bytes) is never canonical.
+    std::string overlong(10, char(0x80));
+    overlong.push_back(0x01);
+    size_t at = 0;
+    uint64_t v = 0;
+    EXPECT_FALSE(getVarint(overlong, at, v));
+    // Nor is a 10th byte carrying bits past 2^64.
+    std::string toobig(9, char(0x80));
+    toobig.push_back(0x02);
+    at = 0;
+    EXPECT_FALSE(getVarint(toobig, at, v));
+}
+
+TEST(Codec, ZigzagRoundTripsAndKeepsSmallMagnitudesSmall)
+{
+    const int64_t values[] = {0,  -1, 1,  -2, 2, INT64_MAX,
+                              INT64_MIN, 123456789, -123456789};
+    for (int64_t v : values)
+        EXPECT_EQ(zigzagDecode(zigzagEncode(v)), v) << v;
+    EXPECT_EQ(zigzagEncode(0), 0u);
+    EXPECT_EQ(zigzagEncode(-1), 1u);
+    EXPECT_EQ(zigzagEncode(1), 2u);
+    EXPECT_EQ(zigzagEncode(-2), 3u);
+}
+
+TEST(Codec, RleRoundTripsRunsSinglesAndRandomStrings)
+{
+    Rng rng(7);
+    std::vector<std::string> inputs = {
+        "", "a", "ab", "aa", "aaa", std::string(100000, 'x'),
+        "aabbaabb", std::string(257, 'z') + "q" + std::string(2, 'z')};
+    for (int i = 0; i < 20; ++i) {
+        std::string s;
+        for (int j = 0; j < 500; ++j)
+            s.append(rng.nextBelow(9) + 1,
+                     static_cast<char>(rng.nextBelow(4)));
+        inputs.push_back(std::move(s));
+    }
+    for (const std::string &in : inputs) {
+        std::string enc, dec;
+        rleEncode(in, enc);
+        // Worst case (alternating pairs) expands 3 bytes per 2 input.
+        EXPECT_LE(enc.size(), in.size() + in.size() / 2 + 2);
+        ASSERT_TRUE(rleDecode(enc, dec, in.size()));
+        EXPECT_EQ(dec, in);
+    }
+}
+
+TEST(Codec, RleDecodeEnforcesTheOutputCapAndRejectsTruncation)
+{
+    std::string enc, dec;
+    rleEncode(std::string(1000, 'r'), enc);
+    EXPECT_FALSE(rleDecode(enc, dec, 999));
+    dec.clear();
+    EXPECT_TRUE(rleDecode(enc, dec, 1000));
+    EXPECT_EQ(dec.size(), 1000u);
+    // A run header whose repeat varint is cut off is malformed.
+    std::string truncated("rr");
+    dec.clear();
+    EXPECT_FALSE(rleDecode(truncated, dec, 1000));
+    // A hostile repeat count must be capped, not allocated.
+    std::string hostile("rr");
+    putVarint(hostile, ~0ULL - 2);
+    dec.clear();
+    EXPECT_FALSE(rleDecode(hostile, dec, 1 << 20));
 }
 
 } // namespace
