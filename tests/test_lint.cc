@@ -90,8 +90,10 @@ TEST(LintL1, FlagsFunctionalSimInTechniques)
 TEST(LintL2, FlagsEngineInternalsInBench)
 {
     auto findings = lintFile(fixture("bench/engine_internals.cc"));
-    // Both the thread_pool.hh include and the TraceStore use fire.
-    EXPECT_GE(countRule(findings, "L2"), 2) << testing::PrintToString(
+    // The TraceStore use fires on tokens alone; the thread_pool.hh
+    // include is rule G1's job now (include-graph reachability in
+    // analyze.cc), covered by the analyzer fixtures.
+    EXPECT_GE(countRule(findings, "L2"), 1) << testing::PrintToString(
         rulesOf(findings));
 }
 

@@ -1,0 +1,32 @@
+# Asserts the yasim-analyze exit-code contract:
+#   0  clean run
+#   1  findings reported
+#   2  usage or I/O error
+# Driven by the lint_exit_codes ctest with -DLINT=<binary> -DREPO=<src>.
+
+function(expect_exit code)
+    list(SUBLIST ARGV 1 -1 cmd)
+    execute_process(COMMAND ${cmd} RESULT_VARIABLE got
+                    OUTPUT_VARIABLE out ERROR_VARIABLE err)
+    if(NOT got EQUAL ${code})
+        message(FATAL_ERROR
+                "expected exit ${code}, got ${got} from: ${cmd}\n"
+                "stdout: ${out}\nstderr: ${err}")
+    endif()
+endfunction()
+
+# 0: the repository itself is clean.
+expect_exit(0 ${LINT} --root ${REPO} src bench tests)
+
+# 1: a seeded violation produces findings (fixture trees are excluded
+# from the clean run but can be pointed at directly).
+expect_exit(1 ${LINT} --root ${REPO}/tests/lint_fixtures --serial
+            --no-builtin-allowlist --rules D1 src/sim/entropy_sources.cc)
+
+# 2: usage errors...
+expect_exit(2 ${LINT} --definitely-not-an-option)
+expect_exit(2 ${LINT} --rules)
+
+# ...and I/O errors (an unreadable input is an operational failure,
+# not a finding).
+expect_exit(2 ${LINT} --root ${REPO} does/not/exist.cc)

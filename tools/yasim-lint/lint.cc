@@ -8,6 +8,8 @@
 #include <set>
 #include <sstream>
 
+#include "source_model.hh"
+
 namespace yasim::lint {
 
 namespace fs = std::filesystem;
@@ -76,264 +78,10 @@ const std::set<std::string> kEngineInternals = {
     "FunctionalSim",
 };
 
-/** L2: headers bench sources must not include directly. */
-const std::set<std::string> kEngineInternalHeaders = {
-    "support/thread_pool.hh",
-    "support/parallel.hh",
-};
-
 /** S1: raw-serialization primitives that demand a version marker. */
 const std::set<std::string> kSerializationTriggers = {
     "putRaw", "getRaw", "writeBinary", "readBinary", "fwrite", "fread",
 };
-
-bool
-isIdentChar(char c)
-{
-    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-/** Normalize path separators so suffix matching is portable. */
-std::string
-normalizePath(const std::string &path)
-{
-    std::string out = path;
-    std::replace(out.begin(), out.end(), '\\', '/');
-    return out;
-}
-
-bool
-pathEndsWith(const std::string &path, const std::string &suffix)
-{
-    if (path.size() < suffix.size())
-        return false;
-    if (path.compare(path.size() - suffix.size(), suffix.size(),
-                     suffix) != 0) {
-        return false;
-    }
-    // Require a component boundary: "x/bench/foo.cc" matches
-    // "bench/foo.cc", "prebench/foo.cc" does not.
-    size_t at = path.size() - suffix.size();
-    return at == 0 || path[at - 1] == '/';
-}
-
-/** One identifier occurrence in the masked code text. */
-struct Token
-{
-    std::string text;
-    size_t offset = 0;
-    int line = 1;
-};
-
-/**
- * The file's text with comments and string/char literals blanked to
- * spaces (newlines preserved), plus the comment text per line for
- * suppression parsing. Offsets into @c code match the original file.
- */
-struct MaskedSource
-{
-    std::string code;
-    /** line (1-based) -> concatenated comment text on that line. */
-    std::map<int, std::string> comments;
-    /** line (1-based) -> true when the line has any code tokens. */
-    std::map<int, bool> lineHasCode;
-};
-
-MaskedSource
-maskSource(const std::string &text)
-{
-    MaskedSource out;
-    out.code.assign(text.size(), ' ');
-    enum class State {
-        Code,
-        LineComment,
-        BlockComment,
-        String,
-        Char,
-        RawString
-    };
-    State state = State::Code;
-    std::string rawDelim; // the )delim" terminator of a raw string
-    int line = 1;
-    for (size_t i = 0; i < text.size(); ++i) {
-        char c = text[i];
-        char next = i + 1 < text.size() ? text[i + 1] : '\0';
-        if (c == '\n') {
-            out.code[i] = '\n';
-            if (state == State::LineComment)
-                state = State::Code;
-            ++line;
-            continue;
-        }
-        switch (state) {
-        case State::Code:
-            if (c == '/' && next == '/') {
-                state = State::LineComment;
-                ++i;
-                if (i + 1 < text.size() && text[i + 1] == '\n') {
-                    // empty comment
-                }
-            } else if (c == '/' && next == '*') {
-                state = State::BlockComment;
-                ++i;
-            } else if (c == '"') {
-                // R"delim( ... )delim" — check for a raw prefix.
-                bool raw = i > 0 && text[i - 1] == 'R' &&
-                           (i < 2 || !isIdentChar(text[i - 2]));
-                if (raw) {
-                    size_t open = text.find('(', i + 1);
-                    if (open != std::string::npos) {
-                        rawDelim = ")" +
-                                   text.substr(i + 1, open - i - 1) +
-                                   "\"";
-                        state = State::RawString;
-                        // Count newlines we are about to skip over is
-                        // handled by the main loop; just advance past
-                        // the opening parenthesis.
-                        i = open;
-                        break;
-                    }
-                }
-                state = State::String;
-            } else if (c == '\'') {
-                // Digit separators (1'000) are not char literals.
-                bool separator = i > 0 && isIdentChar(text[i - 1]) &&
-                                 isIdentChar(next);
-                if (!separator)
-                    state = State::Char;
-            } else {
-                out.code[i] = c;
-                if (!std::isspace(static_cast<unsigned char>(c)))
-                    out.lineHasCode[line] = true;
-            }
-            break;
-        case State::LineComment:
-            out.comments[line].push_back(c);
-            break;
-        case State::BlockComment:
-            if (c == '*' && next == '/') {
-                state = State::Code;
-                ++i;
-            } else {
-                out.comments[line].push_back(c);
-            }
-            break;
-        case State::String:
-            if (c == '\\')
-                ++i;
-            else if (c == '"')
-                state = State::Code;
-            break;
-        case State::Char:
-            if (c == '\\')
-                ++i;
-            else if (c == '\'')
-                state = State::Code;
-            break;
-        case State::RawString:
-            if (text.compare(i, rawDelim.size(), rawDelim) == 0) {
-                i += rawDelim.size() - 1;
-                state = State::Code;
-            } else if (c == '\n') {
-                ++line;
-            }
-            break;
-        }
-    }
-    return out;
-}
-
-std::vector<Token>
-tokenize(const std::string &code)
-{
-    std::vector<Token> tokens;
-    int line = 1;
-    for (size_t i = 0; i < code.size(); ++i) {
-        char c = code[i];
-        if (c == '\n') {
-            ++line;
-            continue;
-        }
-        if (!isIdentChar(c) ||
-            std::isdigit(static_cast<unsigned char>(c))) {
-            continue;
-        }
-        size_t start = i;
-        while (i < code.size() && isIdentChar(code[i]))
-            ++i;
-        tokens.push_back({code.substr(start, i - start), start, line});
-        --i; // the for loop advances past the last ident char
-    }
-    return tokens;
-}
-
-/** First non-whitespace character at or after @p from. */
-char
-nextSignificant(const std::string &code, size_t from)
-{
-    for (size_t i = from; i < code.size(); ++i) {
-        if (!std::isspace(static_cast<unsigned char>(code[i])))
-            return code[i];
-    }
-    return '\0';
-}
-
-size_t
-nextSignificantPos(const std::string &code, size_t from)
-{
-    for (size_t i = from; i < code.size(); ++i) {
-        if (!std::isspace(static_cast<unsigned char>(code[i])))
-            return i;
-    }
-    return std::string::npos;
-}
-
-/** True when the identifier ending right before @p pos is "std". */
-bool
-qualifiedByStd(const std::string &code, size_t tokenStart)
-{
-    size_t i = tokenStart;
-    // Skip back over "::".
-    while (i > 0 &&
-           std::isspace(static_cast<unsigned char>(code[i - 1])))
-        --i;
-    if (i < 2 || code[i - 1] != ':' || code[i - 2] != ':')
-        return false;
-    i -= 2;
-    while (i > 0 &&
-           std::isspace(static_cast<unsigned char>(code[i - 1])))
-        --i;
-    size_t end = i;
-    while (i > 0 && isIdentChar(code[i - 1]))
-        --i;
-    return code.substr(i, end - i) == "std";
-}
-
-/** True when the token at @p tokenStart is reached via '.' or '->'. */
-bool
-isMemberAccess(const std::string &code, size_t tokenStart)
-{
-    size_t i = tokenStart;
-    while (i > 0 &&
-           std::isspace(static_cast<unsigned char>(code[i - 1])))
-        --i;
-    if (i > 0 && code[i - 1] == '.')
-        return true;
-    return i > 1 && code[i - 1] == '>' && code[i - 2] == '-';
-}
-
-/** True when the token is qualified by a non-std scope (Foo::x). */
-bool
-qualifiedByOtherScope(const std::string &code, size_t tokenStart)
-{
-    size_t i = tokenStart;
-    while (i > 0 &&
-           std::isspace(static_cast<unsigned char>(code[i - 1])))
-        --i;
-    if (i < 2 || code[i - 1] != ':' || code[i - 2] != ':')
-        return false;
-    return !qualifiedByStd(code, tokenStart);
-}
 
 /** Layer classification from the path. */
 struct Layer
@@ -352,85 +100,6 @@ classify(const std::string &path)
     layer.bench = path.find("bench/") != std::string::npos &&
                   path.find("src/") == std::string::npos;
     return layer;
-}
-
-/** Per-file suppression state parsed from comments. */
-struct Suppressions
-{
-    std::set<std::string> fileRules;
-    /** line -> rules allowed on that line. */
-    std::map<int, std::set<std::string>> lineRules;
-
-    bool allows(const std::string &rule, int line) const
-    {
-        if (fileRules.count(rule) || fileRules.count("*"))
-            return true;
-        auto it = lineRules.find(line);
-        return it != lineRules.end() &&
-               (it->second.count(rule) || it->second.count("*"));
-    }
-};
-
-/** Parse "rule, rule" out of an allow(...) argument list. */
-void
-parseRuleList(const std::string &args, std::set<std::string> &out)
-{
-    std::string current;
-    for (char c : args) {
-        if (isIdentChar(c) || c == '*') {
-            current.push_back(c);
-        } else if (!current.empty()) {
-            out.insert(current);
-            current.clear();
-        }
-    }
-    if (!current.empty())
-        out.insert(current);
-}
-
-Suppressions
-parseSuppressions(const MaskedSource &masked)
-{
-    Suppressions sup;
-    for (const auto &[line, text] : masked.comments) {
-        size_t at = text.find("yasim-lint:");
-        if (at == std::string::npos)
-            continue;
-        std::string directive = text.substr(at + 11);
-        size_t fileAt = directive.find("allow-file(");
-        if (fileAt != std::string::npos) {
-            size_t close = directive.find(')', fileAt);
-            if (close != std::string::npos) {
-                parseRuleList(
-                    directive.substr(fileAt + 11, close - fileAt - 11),
-                    sup.fileRules);
-            }
-            continue;
-        }
-        size_t lineAt = directive.find("allow(");
-        if (lineAt == std::string::npos)
-            continue;
-        size_t close = directive.find(')', lineAt);
-        if (close == std::string::npos)
-            continue;
-        std::set<std::string> rules;
-        parseRuleList(directive.substr(lineAt + 6, close - lineAt - 6),
-                      rules);
-        // A comment on its own line covers the next line with code;
-        // a trailing comment covers its own line.
-        int target = line;
-        auto hasCode = masked.lineHasCode.find(line);
-        if (hasCode == masked.lineHasCode.end() || !hasCode->second) {
-            auto next = masked.lineHasCode.upper_bound(line);
-            if (next != masked.lineHasCode.end())
-                target = next->first;
-        }
-        sup.lineRules[target].insert(rules.begin(), rules.end());
-        // Also cover the comment's own line so a directive between
-        // `for (...)` header lines still applies.
-        sup.lineRules[line].insert(rules.begin(), rules.end());
-    }
-    return sup;
 }
 
 /**
@@ -617,12 +286,15 @@ ruleL1(const std::string &path, const std::string &code,
 }
 
 void
-ruleL2(const std::string &path, const std::string &text,
+ruleL2(const std::string &path, const std::string &code,
        const std::vector<Token> &tokens, const Suppressions &sup,
        std::vector<Finding> &findings)
 {
+    // Direct naming of engine internals; transitive include-graph
+    // reachability is G1's job (analyze.cc).
     if (!classify(path).bench)
         return;
+    (void)code;
     for (const Token &tok : tokens) {
         if (!kEngineInternals.count(tok.text))
             continue;
@@ -631,26 +303,6 @@ ruleL2(const std::string &path, const std::string &text,
                    "SimulationService; '" + tok.text +
                        "' is an engine internal (for custom passes, "
                        "open streams with openStepSource(ctx, input))");
-    }
-    // Includes live inside string literals, so scan the raw text.
-    std::istringstream lines(text);
-    std::string line;
-    int lineNo = 0;
-    while (std::getline(lines, line)) {
-        ++lineNo;
-        size_t hash = line.find_first_not_of(" \t");
-        if (hash == std::string::npos || line[hash] != '#')
-            continue;
-        if (line.find("include") == std::string::npos)
-            continue;
-        for (const std::string &header : kEngineInternalHeaders) {
-            if (line.find("\"" + header + "\"") != std::string::npos) {
-                addFinding(findings, sup, path, kRuleL2, lineNo,
-                           "bench drivers must not include '" + header +
-                               "' — pool sizing and scheduling belong "
-                               "to the engine behind BenchDriver");
-            }
-        }
     }
 }
 
@@ -772,7 +424,7 @@ lintSource(const std::string &path, const std::string &text,
     if (active.count(kRuleL1))
         ruleL1(norm, masked.code, tokens, sup, findings);
     if (active.count(kRuleL2))
-        ruleL2(norm, text, tokens, sup, findings);
+        ruleL2(norm, masked.code, tokens, sup, findings);
     if (active.count(kRuleS1))
         ruleS1(norm, masked.code, tokens, sup, findings);
     if (active.count(kRuleS2))

@@ -1,0 +1,444 @@
+#include "source_model.hh"
+
+#include <algorithm>
+#include <cctype>
+
+namespace yasim::lint {
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string
+normalizePath(const std::string &path)
+{
+    std::string out = path;
+    std::replace(out.begin(), out.end(), '\\', '/');
+    return out;
+}
+
+bool
+pathEndsWith(const std::string &path, const std::string &suffix)
+{
+    if (path.size() < suffix.size())
+        return false;
+    if (path.compare(path.size() - suffix.size(), suffix.size(),
+                     suffix) != 0) {
+        return false;
+    }
+    // Require a component boundary: "x/bench/foo.cc" matches
+    // "bench/foo.cc", "prebench/foo.cc" does not.
+    size_t at = path.size() - suffix.size();
+    return at == 0 || path[at - 1] == '/';
+}
+
+MaskedSource
+maskSource(const std::string &text)
+{
+    MaskedSource out;
+    out.code.assign(text.size(), ' ');
+    enum class State {
+        Code,
+        LineComment,
+        BlockComment,
+        String,
+        Char,
+        RawString
+    };
+    State state = State::Code;
+    std::string rawDelim; // the )delim" terminator of a raw string
+    int line = 1;
+    for (size_t i = 0; i < text.size(); ++i) {
+        char c = text[i];
+        char next = i + 1 < text.size() ? text[i + 1] : '\0';
+        if (c == '\n') {
+            out.code[i] = '\n';
+            if (state == State::LineComment)
+                state = State::Code;
+            ++line;
+            continue;
+        }
+        switch (state) {
+        case State::Code:
+            if (c == '/' && next == '/') {
+                state = State::LineComment;
+                ++i;
+            } else if (c == '/' && next == '*') {
+                state = State::BlockComment;
+                ++i;
+            } else if (c == '"') {
+                // R"delim( ... )delim" — check for a raw prefix.
+                bool raw = i > 0 && text[i - 1] == 'R' &&
+                           (i < 2 || !isIdentChar(text[i - 2]));
+                if (raw) {
+                    size_t open = text.find('(', i + 1);
+                    if (open != std::string::npos) {
+                        rawDelim.assign(1, ')');
+                        rawDelim.append(text, i + 1, open - i - 1);
+                        rawDelim.push_back('"');
+                        state = State::RawString;
+                        i = open;
+                        break;
+                    }
+                }
+                state = State::String;
+            } else if (c == '\'') {
+                // Digit separators (1'000) are not char literals.
+                bool separator = i > 0 && isIdentChar(text[i - 1]) &&
+                                 isIdentChar(next);
+                if (!separator)
+                    state = State::Char;
+            } else {
+                out.code[i] = c;
+                if (!std::isspace(static_cast<unsigned char>(c)))
+                    out.lineHasCode[line] = true;
+            }
+            break;
+        case State::LineComment:
+            out.comments[line].push_back(c);
+            break;
+        case State::BlockComment:
+            if (c == '*' && next == '/') {
+                state = State::Code;
+                ++i;
+            } else {
+                out.comments[line].push_back(c);
+            }
+            break;
+        case State::String:
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                state = State::Code;
+            break;
+        case State::Char:
+            if (c == '\\')
+                ++i;
+            else if (c == '\'')
+                state = State::Code;
+            break;
+        case State::RawString:
+            if (text.compare(i, rawDelim.size(), rawDelim) == 0) {
+                i += rawDelim.size() - 1;
+                state = State::Code;
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+std::vector<Token>
+tokenize(const std::string &code)
+{
+    std::vector<Token> tokens;
+    int line = 1;
+    for (size_t i = 0; i < code.size(); ++i) {
+        char c = code[i];
+        if (c == '\n') {
+            ++line;
+            continue;
+        }
+        if (!isIdentChar(c) ||
+            std::isdigit(static_cast<unsigned char>(c))) {
+            continue;
+        }
+        size_t start = i;
+        while (i < code.size() && isIdentChar(code[i]))
+            ++i;
+        tokens.push_back({code.substr(start, i - start), start, line});
+        --i; // the for loop advances past the last ident char
+    }
+    return tokens;
+}
+
+char
+nextSignificant(const std::string &code, size_t from)
+{
+    for (size_t i = from; i < code.size(); ++i) {
+        if (!std::isspace(static_cast<unsigned char>(code[i])))
+            return code[i];
+    }
+    return '\0';
+}
+
+size_t
+nextSignificantPos(const std::string &code, size_t from)
+{
+    for (size_t i = from; i < code.size(); ++i) {
+        if (!std::isspace(static_cast<unsigned char>(code[i])))
+            return i;
+    }
+    return std::string::npos;
+}
+
+size_t
+prevSignificantPos(const std::string &code, size_t at)
+{
+    for (size_t i = at; i > 0; --i) {
+        if (!std::isspace(static_cast<unsigned char>(code[i - 1])))
+            return i - 1;
+    }
+    return std::string::npos;
+}
+
+bool
+qualifiedByStd(const std::string &code, size_t tokenStart)
+{
+    size_t i = tokenStart;
+    while (i > 0 &&
+           std::isspace(static_cast<unsigned char>(code[i - 1])))
+        --i;
+    if (i < 2 || code[i - 1] != ':' || code[i - 2] != ':')
+        return false;
+    i -= 2;
+    while (i > 0 &&
+           std::isspace(static_cast<unsigned char>(code[i - 1])))
+        --i;
+    size_t end = i;
+    while (i > 0 && isIdentChar(code[i - 1]))
+        --i;
+    return code.substr(i, end - i) == "std";
+}
+
+bool
+isMemberAccess(const std::string &code, size_t tokenStart)
+{
+    size_t i = tokenStart;
+    while (i > 0 &&
+           std::isspace(static_cast<unsigned char>(code[i - 1])))
+        --i;
+    if (i > 0 && code[i - 1] == '.')
+        return true;
+    return i > 1 && code[i - 1] == '>' && code[i - 2] == '-';
+}
+
+bool
+qualifiedByOtherScope(const std::string &code, size_t tokenStart)
+{
+    size_t i = tokenStart;
+    while (i > 0 &&
+           std::isspace(static_cast<unsigned char>(code[i - 1])))
+        --i;
+    if (i < 2 || code[i - 1] != ':' || code[i - 2] != ':')
+        return false;
+    return !qualifiedByStd(code, tokenStart);
+}
+
+namespace {
+
+/** Parse "rule, rule" out of an allow(...) argument list. */
+void
+parseRuleList(const std::string &args, std::set<std::string> &out)
+{
+    std::string current;
+    for (char c : args) {
+        if (isIdentChar(c) || c == '*') {
+            current.push_back(c);
+        } else if (!current.empty()) {
+            out.insert(current);
+            current.clear();
+        }
+    }
+    if (!current.empty())
+        out.insert(current);
+}
+
+/**
+ * The line a standalone-comment directive applies to: the comment's
+ * own line when it carries code, else the next line with code.
+ */
+int
+targetLine(const MaskedSource &masked, int line)
+{
+    auto hasCode = masked.lineHasCode.find(line);
+    if (hasCode != masked.lineHasCode.end() && hasCode->second)
+        return line;
+    auto next = masked.lineHasCode.upper_bound(line);
+    if (next != masked.lineHasCode.end())
+        return next->first;
+    return line;
+}
+
+} // namespace
+
+Suppressions
+parseSuppressions(const MaskedSource &masked)
+{
+    Suppressions sup;
+    for (const auto &[line, text] : masked.comments) {
+        size_t at = text.find("yasim-lint:");
+        if (at == std::string::npos)
+            continue;
+        std::string directive = text.substr(at + 11);
+
+        size_t fileAt = directive.find("allow-file(");
+        if (fileAt != std::string::npos) {
+            size_t close = directive.find(')', fileAt);
+            if (close != std::string::npos) {
+                parseRuleList(
+                    directive.substr(fileAt + 11, close - fileAt - 11),
+                    sup.fileRules);
+            }
+            continue;
+        }
+
+        // guarded(<mutex>): the named mutex protects the shared state
+        // declared on this line — C2's justified-suppression form.
+        size_t guardAt = directive.find("guarded(");
+        if (guardAt != std::string::npos) {
+            size_t close = directive.find(')', guardAt);
+            std::string mutex_name =
+                close == std::string::npos
+                    ? std::string()
+                    : directive.substr(guardAt + 8, close - guardAt - 8);
+            if (!mutex_name.empty()) {
+                int target = targetLine(masked, line);
+                sup.lineRules[target].insert("C2");
+                sup.lineRules[line].insert("C2");
+            }
+            continue;
+        }
+
+        // keep: this include is intentional (H1).
+        if (directive.find("keep") != std::string::npos &&
+            directive.find("keep") < 4) {
+            sup.lineRules[line].insert("H1");
+            continue;
+        }
+
+        // key-exempt(result, warm: reason) — the reason is mandatory;
+        // an exemption without one is ignored so the finding persists.
+        size_t exemptAt = directive.find("key-exempt(");
+        if (exemptAt != std::string::npos) {
+            size_t close = directive.find(')', exemptAt);
+            if (close != std::string::npos) {
+                std::string args = directive.substr(
+                    exemptAt + 11, close - exemptAt - 11);
+                size_t colon = args.find(':');
+                if (colon != std::string::npos &&
+                    args.find_first_not_of(" \t", colon + 1) !=
+                        std::string::npos) {
+                    std::set<std::string> keys;
+                    parseRuleList(args.substr(0, colon), keys);
+                    int target = targetLine(masked, line);
+                    sup.keyExempt[target].insert(keys.begin(),
+                                                 keys.end());
+                    sup.keyExempt[line].insert(keys.begin(),
+                                               keys.end());
+                }
+            }
+            continue;
+        }
+
+        size_t lineAt = directive.find("allow(");
+        if (lineAt == std::string::npos)
+            continue;
+        size_t close = directive.find(')', lineAt);
+        if (close == std::string::npos)
+            continue;
+        std::set<std::string> rules;
+        parseRuleList(directive.substr(lineAt + 6, close - lineAt - 6),
+                      rules);
+        // A comment on its own line covers the next line with code;
+        // a trailing comment covers its own line. Also cover the
+        // comment's own line so a directive between `for (...)`
+        // header lines still applies.
+        sup.lineRules[targetLine(masked, line)].insert(rules.begin(),
+                                                       rules.end());
+        sup.lineRules[line].insert(rules.begin(), rules.end());
+    }
+    return sup;
+}
+
+std::vector<FunctionBody>
+findFunctionBodies(const std::string &code,
+                   const std::vector<Token> &tokens,
+                   const std::set<std::string> &names)
+{
+    std::vector<FunctionBody> bodies;
+    for (const Token &tok : tokens) {
+        if (!names.count(tok.text))
+            continue;
+        size_t after = tok.offset + tok.text.size();
+        size_t open = nextSignificantPos(code, after);
+        if (open == std::string::npos || code[open] != '(')
+            continue;
+        // Balanced parameter list.
+        int depth = 0;
+        size_t i = open;
+        for (; i < code.size(); ++i) {
+            if (code[i] == '(')
+                ++depth;
+            else if (code[i] == ')' && --depth == 0)
+                break;
+        }
+        if (i >= code.size())
+            continue;
+        // Skip cv/ref/noexcept/override/trailing-return tokens up to
+        // '{'; a ';' or ',' or '=' first means declaration, not
+        // definition (or a function pointer / default argument).
+        size_t scan = i + 1;
+        size_t bodyOpen = std::string::npos;
+        while (scan < code.size()) {
+            size_t pos = nextSignificantPos(code, scan);
+            if (pos == std::string::npos)
+                break;
+            char c = code[pos];
+            if (c == '{') {
+                bodyOpen = pos;
+                break;
+            }
+            if (c == ';' || c == ',' || c == '=' || c == ')')
+                break;
+            if (isIdentChar(c)) {
+                // const / noexcept / override / -> Type
+                size_t end = pos;
+                while (end < code.size() && isIdentChar(code[end]))
+                    ++end;
+                scan = end;
+                continue;
+            }
+            if (c == '-' || c == '>' || c == ':' || c == '<' ||
+                c == '*' || c == '&' || c == '(') {
+                // trailing return types and their template args
+                scan = pos + 1;
+                continue;
+            }
+            break;
+        }
+        if (bodyOpen == std::string::npos)
+            continue;
+        // Balanced body braces.
+        depth = 0;
+        size_t j = bodyOpen;
+        for (; j < code.size(); ++j) {
+            if (code[j] == '{')
+                ++depth;
+            else if (code[j] == '}' && --depth == 0)
+                break;
+        }
+        if (j >= code.size())
+            continue;
+        bodies.push_back({tok.text, bodyOpen, j, tok.line});
+    }
+    return bodies;
+}
+
+uint64_t
+fingerprintRange(const std::string &code, size_t begin, size_t end)
+{
+    uint64_t h = 1469598103934665603ull; // FNV offset basis
+    for (size_t i = begin; i < end && i < code.size(); ++i) {
+        char c = code[i];
+        if (std::isspace(static_cast<unsigned char>(c)))
+            continue;
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull; // FNV prime
+    }
+    return h;
+}
+
+} // namespace yasim::lint

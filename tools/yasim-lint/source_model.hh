@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Shared source model for yasim-analyze: comment/string-aware masking,
+ * identifier tokenization, suppression/annotation parsing, and
+ * function-body extraction.
+ *
+ * Both the per-file token rules (lint.cc) and the whole-repo semantic
+ * passes (analyze.cc) build on this layer, so every rule sees the same
+ * view of a translation unit: comments and literals blanked out of the
+ * code text (offsets preserved), comment text retained per line for
+ * directive parsing.
+ *
+ * Recognized directives (in comments):
+ *   yasim-lint: allow(R1, R2)       suppress rules on this/next line
+ *   yasim-lint: allow-file(R1)      suppress for the whole file
+ *   yasim-lint: guarded(<mutex>)    C2: this shared state is protected
+ *                                   by the named mutex
+ *   yasim-lint: keep                H1: this include is intentional
+ *   yasim-lint: key-exempt(k1, k2: reason)
+ *                                   K1: this config field is deliberately
+ *                                   excluded from the named cache keys;
+ *                                   the reason is mandatory
+ */
+
+#ifndef YASIM_TOOLS_SOURCE_MODEL_HH
+#define YASIM_TOOLS_SOURCE_MODEL_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace yasim::lint {
+
+bool isIdentChar(char c);
+
+/** Normalize path separators so suffix matching is portable. */
+std::string normalizePath(const std::string &path);
+
+/** Component-boundary suffix match ("x/bench/a.cc" ~ "bench/a.cc"). */
+bool pathEndsWith(const std::string &path, const std::string &suffix);
+
+/** One identifier occurrence in the masked code text. */
+struct Token
+{
+    std::string text;
+    size_t offset = 0;
+    int line = 1;
+};
+
+/**
+ * The file's text with comments and string/char literals blanked to
+ * spaces (newlines preserved), plus the comment text per line for
+ * suppression parsing. Offsets into @c code match the original file.
+ */
+struct MaskedSource
+{
+    std::string code;
+    /** line (1-based) -> concatenated comment text on that line. */
+    std::map<int, std::string> comments;
+    /** line (1-based) -> true when the line has any code tokens. */
+    std::map<int, bool> lineHasCode;
+};
+
+MaskedSource maskSource(const std::string &text);
+
+/** All identifier tokens in @p code, in offset order. */
+std::vector<Token> tokenize(const std::string &code);
+
+/** First non-whitespace character at or after @p from ('\0' if none). */
+char nextSignificant(const std::string &code, size_t from);
+
+/** Position of the first non-whitespace char at/after @p from. */
+size_t nextSignificantPos(const std::string &code, size_t from);
+
+/** Last non-whitespace position strictly before @p at (npos if none). */
+size_t prevSignificantPos(const std::string &code, size_t at);
+
+/** True when the identifier ending right before @p tokenStart is "std". */
+bool qualifiedByStd(const std::string &code, size_t tokenStart);
+
+/** True when the token at @p tokenStart is reached via '.' or '->'. */
+bool isMemberAccess(const std::string &code, size_t tokenStart);
+
+/** True when the token is qualified by a non-std scope (Foo::x). */
+bool qualifiedByOtherScope(const std::string &code, size_t tokenStart);
+
+/** Per-file suppression/annotation state parsed from comments. */
+struct Suppressions
+{
+    std::set<std::string> fileRules;
+    /** line -> rules allowed on that line. */
+    std::map<int, std::set<std::string>> lineRules;
+    /** line -> cache keys ("result", "warm", "*") the field on that
+     *  line is justifiedly exempt from (K1). */
+    std::map<int, std::set<std::string>> keyExempt;
+
+    bool allows(const std::string &rule, int line) const
+    {
+        if (fileRules.count(rule) || fileRules.count("*"))
+            return true;
+        auto it = lineRules.find(line);
+        return it != lineRules.end() &&
+               (it->second.count(rule) || it->second.count("*"));
+    }
+
+    bool exemptFromKey(const std::string &key, int line) const
+    {
+        auto it = keyExempt.find(line);
+        return it != keyExempt.end() &&
+               (it->second.count(key) || it->second.count("*"));
+    }
+};
+
+Suppressions parseSuppressions(const MaskedSource &masked);
+
+/** One function definition located in a masked source. */
+struct FunctionBody
+{
+    std::string name;
+    /** Offsets of the body's braces in the masked code, inclusive. */
+    size_t bodyBegin = 0;
+    size_t bodyEnd = 0;
+    int line = 1; ///< line of the function name
+};
+
+/**
+ * Locate the bodies of every function definition whose (unqualified)
+ * name is in @p names: an identifier followed by '(', a balanced
+ * parameter list, optional cv/ref/noexcept/trailing-return tokens, and
+ * an opening '{'. Member definitions (Foo::name) match on the final
+ * name component.
+ */
+std::vector<FunctionBody>
+findFunctionBodies(const std::string &code,
+                   const std::vector<Token> &tokens,
+                   const std::set<std::string> &names);
+
+/**
+ * Stable 64-bit FNV-1a fingerprint of the non-whitespace characters in
+ * [begin, end) of @p code — the drift detector for serialization
+ * layouts: any change to the field-access sequence, field widths, or
+ * constants inside a save/load body changes the fingerprint, while
+ * reformatting and comments do not.
+ */
+uint64_t fingerprintRange(const std::string &code, size_t begin,
+                          size_t end);
+
+} // namespace yasim::lint
+
+#endif // YASIM_TOOLS_SOURCE_MODEL_HH
