@@ -5,6 +5,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "sim/functional.hh"
 #include "support/artifact_io.hh"
 #include "support/check.hh"
 #include "support/logging.hh"
@@ -100,6 +101,7 @@ Checkpoint::restore(FunctionalSim &sim) const
         sim.mem.write(addr, value);
 }
 
+// yasim-lint: serialized(checkpoint)
 void
 Checkpoint::writeBinary(std::ostream &os) const
 {
@@ -130,6 +132,7 @@ Checkpoint::writeBinary(std::ostream &os) const
     }
 }
 
+// yasim-lint: serialized(checkpoint)
 bool
 Checkpoint::readBinary(std::istream &is, Checkpoint &out)
 {
@@ -195,6 +198,7 @@ Checkpoint::readBinary(std::istream &is, Checkpoint &out)
     return true;
 }
 
+// yasim-lint: serialized(checkpoint)
 bool
 Checkpoint::saveFile(const std::string &path) const
 {
@@ -209,6 +213,7 @@ Checkpoint::saveFile(const std::string &path) const
     return wrote.ok;
 }
 
+// yasim-lint: serialized(checkpoint)
 bool
 Checkpoint::loadFile(const std::string &path, Checkpoint &out)
 {

@@ -31,12 +31,12 @@
 #include <string>
 #include <vector>
 
-#include "sim/functional.hh"
-
 namespace yasim {
 
+class FunctionalSim;
 class MemoryHierarchy;
 class CombinedPredictor;
+class Program;
 
 /**
  * Binary layout version of Checkpoint::writeBinary. Bumped whenever
@@ -47,6 +47,7 @@ class CombinedPredictor;
  * Version 3: optional warmed-uarch summary trailer (key + composite
  * blob, see uarch/warm_state.hh).
  */
+// yasim-lint: version(checkpoint)
 constexpr uint32_t kCheckpointFormatVersion = 3;
 
 /** A restorable snapshot of architectural state. */

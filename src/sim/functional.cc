@@ -2,6 +2,8 @@
 
 #include "sim/trivial.hh"
 #include "support/logging.hh"
+#include "uarch/branch_predictor.hh"
+#include "uarch/memory_hierarchy.hh"
 
 namespace yasim {
 

@@ -1,23 +1,13 @@
 /**
  * @file
- * Functional (architectural) simulator and the StepSource seam.
+ * Functional (architectural) simulator: the live StepSource.
  *
  * Executes programs at architectural level only; the cycle-level core is
- * trace-driven from the ExecRecord stream this simulator produces. Three
- * execution modes cover every technique in the paper:
- *
- *  - step():            full record production, feeds detailed simulation
- *  - fastForward():     architectural state only (FF X in the truncated
- *                       techniques; skipped portions of SimPoint)
- *  - fastForwardWarm(): architectural state plus functional warming of the
- *                       caches and branch predictor (SMARTS)
- *
- * The three modes together form the StepSource interface. The
- * architectural stream is machine-configuration-independent, so a
- * recorded trace (sim/trace.hh) can stand in for the interpreter: every
- * consumer — OooCore::run, the techniques, the profilers — programs
- * against StepSource and cannot tell a TraceReplayer from a live
- * FunctionalSim.
+ * trace-driven from the ExecRecord stream this simulator produces. The
+ * interface it implements — step / fastForward / fastForwardWarm — is
+ * the StepSource seam (sim/step_source.hh); consumers above the
+ * functional layer include that header, not this one, so a recorded
+ * trace can stand in for the interpreter.
  */
 
 #ifndef YASIM_SIM_FUNCTIONAL_HH
@@ -27,75 +17,9 @@
 
 #include "isa/program.hh"
 #include "sim/memory.hh"
-#include "uarch/branch_predictor.hh"
-#include "uarch/memory_hierarchy.hh"
+#include "sim/step_source.hh"
 
 namespace yasim {
-
-/** Everything the timing model needs about one dynamic instruction. */
-struct ExecRecord
-{
-    /** Static instruction (owned by the Program). */
-    const Instruction *inst = nullptr;
-    /** Instruction index of this dynamic instance. */
-    uint64_t pc = 0;
-    /** Instruction index executed next (branch fall-through or target). */
-    uint64_t nextPc = 0;
-    /** Effective byte address for loads/stores, else 0. */
-    uint64_t memAddr = 0;
-    /** Resolved direction for control instructions. */
-    bool taken = false;
-    /** Operand values make this a trivial computation (TC enhancement). */
-    bool trivial = false;
-};
-
-/**
- * Producer of an in-order dynamic instruction stream. Implemented live
- * by FunctionalSim and from a recording by TraceReplayer; both must
- * produce bit-identical streams and warming call sequences for the same
- * program.
- */
-class StepSource
-{
-  public:
-    virtual ~StepSource() = default;
-
-    /**
-     * Produce one instruction into @p record.
-     * @return false when the stream was already exhausted (Halt done).
-     */
-    virtual bool step(ExecRecord &record) = 0;
-
-    /**
-     * Produce up to @p n instructions into @p out — the batch face of
-     * step(), paying one virtual call per span instead of one per
-     * record. The records delivered are exactly the next n step()
-     * results (bit-identical; the hot consumers are tested both ways).
-     * @return the number produced; 0 iff the stream is exhausted or
-     * @p n is 0.
-     */
-    virtual uint64_t stepBatch(ExecRecord *out, uint64_t n);
-
-    /**
-     * Advance up to @p count instructions with no record production.
-     * @return the number actually advanced (less than count at Halt).
-     */
-    virtual uint64_t fastForward(uint64_t count) = 0;
-
-    /**
-     * Advance up to @p count instructions while functionally warming
-     * @p mem (I and D sides) and @p bp (may each be null).
-     * @return the number actually advanced.
-     */
-    virtual uint64_t fastForwardWarm(uint64_t count, MemoryHierarchy *mem,
-                                     CombinedPredictor *bp) = 0;
-
-    /** True once the stream has delivered its Halt. */
-    virtual bool halted() const = 0;
-
-    /** Dynamic instructions delivered so far (Halt included). */
-    virtual uint64_t instsExecuted() const = 0;
-};
 
 /** Architectural simulator for one program run. */
 class FunctionalSim final : public StepSource

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "sim/functional.hh"
 #include "sim/trace.hh"
 #include "support/check.hh"
 #include "support/logging.hh"

@@ -33,8 +33,8 @@
 
 #include "sim/bb_profiler.hh"
 #include "sim/config.hh"
-#include "sim/functional.hh"
 #include "sim/stats.hh"
+#include "sim/step_source.hh"
 #include "uarch/branch_predictor.hh"
 #include "uarch/memory_hierarchy.hh"
 

@@ -8,6 +8,7 @@
 
 #include "sim/bb_profiler.hh"
 #include "sim/checkpoint.hh"
+#include "sim/functional.hh"
 #include "sim/ooo_core.hh"
 #include "sim/trace.hh"
 #include "support/check.hh"
@@ -26,6 +27,10 @@ namespace {
  * core sizing, bus width) are deliberately excluded — a latency sweep
  * over one machine shares one set of warm summaries.
  */
+// yasim-lint: key(warm) covers CacheConfig(uarch/cache.hh)
+// yasim-lint: key(warm) covers BranchPredictorConfig(uarch/branch_predictor.hh)
+// yasim-lint: key(warm) covers MemoryConfig(uarch/memory_hierarchy.hh)
+// yasim-lint: key(warm) covers SimConfig(sim/config.hh)
 std::string
 warmSummaryKey(const Program &program, const ShardSlice &slice,
                const SimConfig &config)

@@ -72,11 +72,18 @@ struct ShardOptions
      */
     uint64_t warmupInsts = 0;
     /** Force the sequential path regardless of `shards` (--exact). */
+    // yasim-lint: key-exempt(result: exact disables the shard segment)
+    // When exact is set, enabled() is false and the key reverts to the
+    // historical shards-absent layout — the sequential result is by
+    // construction the one that key already names.
     bool exact = false;
     /**
      * Directory for persisted warmed-uarch summaries; "" disables
      * persistence (warming then always runs in-process).
      */
+    // yasim-lint: key-exempt(result: changes wall-clock only)
+    // Persisted summaries are themselves keyed (warmSummaryKey), so
+    // where they live cannot change any stitched statistic.
     std::string warmDir;
     /** Stitching discipline (part of the result cache key). */
     StitchMode stitch = StitchMode::Drain;

@@ -7,9 +7,12 @@
 #include <ostream>
 
 #include "sim/bb_profiler.hh"
+#include "sim/functional.hh"
 #include "support/check.hh"
 #include "support/codec.hh"
 #include "support/logging.hh"
+#include "uarch/branch_predictor.hh"
+#include "uarch/memory_hierarchy.hh"
 
 namespace yasim {
 
@@ -98,6 +101,7 @@ getPlane(std::istream &is, std::string &plane, size_t max_out)
 }
 
 /** Serialize one chunk's SoA columns as delta/byte planes. */
+// yasim-lint: serialized(trace)
 void
 encodeChunkPlanes(const std::vector<uint32_t> &pcs,
                   const std::vector<uint64_t> &addrs,
@@ -141,6 +145,7 @@ encodeChunkPlanes(const std::vector<uint32_t> &pcs,
  * instruction is consulted, and all three planes must be consumed
  * exactly. Returns false on any structural violation.
  */
+// yasim-lint: serialized(trace)
 bool
 decodeChunkPlanes(std::istream &is, size_t n, const Instruction *code,
                   size_t prog_size, std::vector<uint32_t> &pcs,
@@ -358,6 +363,7 @@ ExecTrace::restoreTo(FunctionalSim &sim, uint64_t position) const
 
 // --- ExecTrace: serialization ----------------------------------------------
 
+// yasim-lint: serialized(trace)
 void
 ExecTrace::write(std::ostream &os, const std::string &key_text) const
 {
@@ -375,6 +381,7 @@ ExecTrace::write(std::ostream &os, const std::string &key_text) const
     putRaw(os, kTraceEndMark);
 }
 
+// yasim-lint: serialized(trace)
 std::shared_ptr<const ExecTrace>
 ExecTrace::read(std::istream &is, const std::string &key_text,
                 const Program &program)

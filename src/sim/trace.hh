@@ -43,9 +43,11 @@
 #include <vector>
 
 #include "sim/checkpoint.hh"
-#include "sim/functional.hh"
+#include "sim/step_source.hh"
 
 namespace yasim {
+
+class FunctionalSim;
 
 /**
  * Bumped whenever the on-disk trace layout or the semantics of the
@@ -56,6 +58,7 @@ namespace yasim {
  * rows. Version 3: embedded checkpoints use the version-3 layout
  * (optional warmed-uarch summary trailer).
  */
+// yasim-lint: version(trace)
 constexpr int kTraceFormatVersion = 4;
 
 /** An immutable recording of one program's full execution. */

@@ -3,6 +3,7 @@
 #include <filesystem>
 #include <sstream>
 
+#include "sim/functional.hh"
 #include "support/artifact_io.hh"
 #include "support/check.hh"
 #include "support/hash.hh"

@@ -21,6 +21,7 @@
 #include "engine/engine.hh"
 #include "sim/bb_profiler.hh"
 #include "sim/config.hh"
+#include "sim/functional.hh"
 #include "sim/ooo_core.hh"
 #include "sim/trace.hh"
 #include "support/artifact_io.hh"
