@@ -8,6 +8,7 @@ namespace yasim {
 
 namespace {
 
+// yasim-lint: key(result) covers CacheConfig(uarch/cache.hh)
 std::string
 cacheKeyText(const CacheConfig &cache)
 {
@@ -16,6 +17,7 @@ cacheKeyText(const CacheConfig &cache)
                     static_cast<int>(cache.replacement));
 }
 
+// yasim-lint: key(result) covers CoreConfig(sim/config.hh)
 std::string
 coreKeyText(const CoreConfig &core)
 {
@@ -34,6 +36,7 @@ coreKeyText(const CoreConfig &core)
         core.trivialComputation ? 1 : 0);
 }
 
+// yasim-lint: key(result) covers BranchPredictorConfig(uarch/branch_predictor.hh)
 std::string
 bpKeyText(const BranchPredictorConfig &bp)
 {
@@ -43,6 +46,7 @@ bpKeyText(const BranchPredictorConfig &bp)
                     bp.speculativeUpdate ? 1 : 0);
 }
 
+// yasim-lint: key(result) covers MemoryConfig(uarch/memory_hierarchy.hh)
 std::string
 memKeyText(const MemoryConfig &mem)
 {
@@ -56,6 +60,7 @@ memKeyText(const MemoryConfig &mem)
         mem.tlbMissLatency, mem.nextLinePrefetch ? 1 : 0);
 }
 
+// yasim-lint: key(result) covers CostModel(techniques/technique.hh)
 std::string
 costKeyText(const CostModel &cost)
 {
@@ -73,6 +78,7 @@ costKeyText(const CostModel &cost)
  * participates. The warm directory deliberately does not: summaries
  * change wall-clock only, never results.
  */
+// yasim-lint: key(result) covers ShardOptions(sim/sharded.hh)
 std::string
 shardKeyText(const ShardOptions &shards)
 {
@@ -159,6 +165,7 @@ referenceLengthKeyStamper()
                            {{"bench", "bench="}, {"suite", ""}});
 }
 
+// yasim-lint: key(result) covers SuiteConfig(workloads/suite.hh)
 std::string
 suiteKeyText(const SuiteConfig &suite)
 {
@@ -168,6 +175,7 @@ suiteKeyText(const SuiteConfig &suite)
                     static_cast<unsigned long long>(suite.seed));
 }
 
+// yasim-lint: key(result) covers SimConfig(sim/config.hh)
 std::string
 configKeyText(const SimConfig &config)
 {

@@ -33,6 +33,7 @@ namespace yasim {
  * meaning of any simulated statistic changes; old disk caches then
  * miss instead of resurrecting stale results.
  */
+// yasim-lint: version(result)
 constexpr int kCacheFormatVersion = 1;
 
 /**

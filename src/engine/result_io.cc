@@ -145,6 +145,7 @@ readHeader(std::istream &is, const char *magic,
 
 } // namespace
 
+// yasim-lint: serialized(result)
 void
 writeResult(std::ostream &os, const std::string &key_text,
             const TechniqueResult &result)
@@ -172,6 +173,7 @@ writeResult(std::ostream &os, const std::string &key_text,
     os << "end\n";
 }
 
+// yasim-lint: serialized(result)
 bool
 readResult(std::istream &is, const std::string &key_text,
            TechniqueResult &result)

@@ -84,6 +84,7 @@ readHeader(std::istream &is, const char *magic, std::string &error)
 
 } // namespace
 
+// yasim-lint: serialized(service)
 std::string
 encodeRequest(const ExperimentRequest &request)
 {
@@ -101,6 +102,7 @@ encodeRequest(const ExperimentRequest &request)
     return os.str();
 }
 
+// yasim-lint: serialized(service)
 bool
 decodeRequest(const std::string &payload, ExperimentRequest &request,
               std::string &error)
@@ -146,6 +148,7 @@ decodeRequest(const std::string &payload, ExperimentRequest &request,
     return true;
 }
 
+// yasim-lint: serialized(service)
 std::string
 encodeResponse(const ExperimentResponse &response)
 {
@@ -167,6 +170,7 @@ encodeResponse(const ExperimentResponse &response)
     return os.str();
 }
 
+// yasim-lint: serialized(service)
 bool
 decodeResponse(const std::string &payload, ExperimentResponse &response,
                std::string &error)

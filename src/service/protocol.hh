@@ -37,6 +37,7 @@
 namespace yasim {
 
 /** Wire-format version of the service protocol (frame inner version). */
+// yasim-lint: version(service)
 constexpr uint32_t kServiceFormatVersion = 1;
 
 /** Inner frame magic of a request message. */

@@ -65,8 +65,15 @@ struct CoreConfig
 /** Complete simulated-machine configuration. */
 struct SimConfig
 {
+    // yasim-lint: key-exempt(result, warm: descriptive label only)
+    // The name is never read by the simulator and never serialized
+    // into results, so two configs differing only by name may share
+    // cached results.
     std::string name = "default";
-    CoreConfig core;
+    // Core sizing is timing-only: it cannot change which lines the
+    // architectural warm stream touches, so warm summaries are shared
+    // across core sweeps.
+    CoreConfig core; // yasim-lint: key-exempt(warm: timing-only)
     BranchPredictorConfig bp;
     MemoryConfig mem;
 };

@@ -84,6 +84,7 @@ frameChecksum(std::string_view magic, uint32_t version,
 
 } // namespace
 
+// yasim-lint: serialized(artifact)
 std::string
 encodeFrame(std::string_view magic, uint32_t version,
             std::string_view payload)
@@ -102,6 +103,7 @@ encodeFrame(std::string_view magic, uint32_t version,
     return frame;
 }
 
+// yasim-lint: serialized(artifact)
 bool
 decodeFrame(std::string_view frame, std::string_view magic,
             uint32_t version, std::string &payload, std::string &error,
@@ -245,6 +247,7 @@ tempName(const std::string &path)
 
 } // namespace
 
+// yasim-lint: serialized(artifact)
 ArtifactReadResult
 readArtifact(const std::string &path, std::string_view magic,
              uint32_t version)
@@ -319,6 +322,7 @@ readArtifact(const std::string &path, std::string_view magic,
     return result;
 }
 
+// yasim-lint: serialized(artifact)
 ArtifactWriteResult
 writeArtifact(const std::string &path, std::string_view magic,
               uint32_t version, std::string_view payload)

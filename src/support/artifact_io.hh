@@ -44,6 +44,7 @@
 namespace yasim {
 
 /** Container-framing layout version (independent of inner formats). */
+// yasim-lint: version(artifact)
 constexpr uint32_t kArtifactFormatVersion = 1;
 
 /** Outcome of a framed read. */

@@ -29,6 +29,7 @@ RandomSampling::permutation() const
            " W=" + std::to_string(warmupInsts);
 }
 
+// yasim-lint: key(tech) covers RandomSampling(techniques/random_sampling.hh)
 std::string
 RandomSampling::cacheKey() const
 {

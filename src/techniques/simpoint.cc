@@ -32,6 +32,7 @@ SimPoint::SimPoint(double interval_m, int max_k, double warmup_m,
     YASIM_ASSERT(interval_m > 0 && max_k >= 1 && restarts >= 1);
 }
 
+// yasim-lint: key(tech) covers SimPoint(techniques/simpoint.hh)
 std::string
 SimPoint::cacheKey() const
 {

@@ -86,7 +86,11 @@ class SimPoint : public Technique
     double intervalM;
     int maxK;
     double warmupM;
-    std::string label;
+    // Display-only: two SimPoints differing only by label are the same
+    // experiment and must share a cache entry; the engine restamps
+    // name/permutation onto results served from a shared key
+    // (Engine.RestampsDisplayLabelsOnSharedKeys pins this).
+    std::string label; // yasim-lint: key-exempt(tech: display-only, engine restamps it)
     size_t projDim;
     uint64_t seed;
     int restarts;

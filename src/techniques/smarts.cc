@@ -28,6 +28,7 @@ Smarts::permutation() const
            " W=" + std::to_string(warmupInsts);
 }
 
+// yasim-lint: key(tech) covers Smarts(techniques/smarts.hh)
 std::string
 Smarts::cacheKey() const
 {

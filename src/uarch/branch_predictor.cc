@@ -234,6 +234,7 @@ getTable(std::istream &is, std::vector<uint8_t> &table)
 } // namespace
 
 void
+// yasim-lint: serialized(warm)
 CombinedPredictor::serializeWarmState(std::ostream &os) const
 {
     using warmio::putPod;
@@ -253,6 +254,7 @@ CombinedPredictor::serializeWarmState(std::ostream &os) const
 }
 
 bool
+// yasim-lint: serialized(warm)
 CombinedPredictor::deserializeWarmState(std::istream &is)
 {
     using warmio::getPod;

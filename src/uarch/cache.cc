@@ -137,6 +137,7 @@ Cache::reset()
 
 
 void
+// yasim-lint: serialized(warm)
 Cache::serializeWarmState(std::ostream &os) const
 {
     using warmio::putPod;
@@ -154,6 +155,7 @@ Cache::serializeWarmState(std::ostream &os) const
 }
 
 bool
+// yasim-lint: serialized(warm)
 Cache::deserializeWarmState(std::istream &is)
 {
     using warmio::getPod;

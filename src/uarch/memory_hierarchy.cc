@@ -110,6 +110,7 @@ MemoryHierarchy::clearStats()
 
 
 void
+// yasim-lint: serialized(warm)
 MemoryHierarchy::serializeWarmState(std::ostream &os) const
 {
     warmio::putPod(os, kWarmStateFormatVersion);
@@ -121,6 +122,7 @@ MemoryHierarchy::serializeWarmState(std::ostream &os) const
 }
 
 bool
+// yasim-lint: serialized(warm)
 MemoryHierarchy::deserializeWarmState(std::istream &is)
 {
     uint32_t version = 0;

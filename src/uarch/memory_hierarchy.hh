@@ -34,19 +34,22 @@ struct MemoryConfig
     CacheConfig l1d{32, 2, 64};
     CacheConfig l2{256, 4, 128};
 
-    uint32_t l1iLatency = 1;
-    uint32_t l1dLatency = 1;
-    uint32_t l2Latency = 8;
+    // Latencies and bus width shape cycle counts, never the warmed
+    // tag/TLB/predictor tables, so the warm-summary key excludes them
+    // (a latency sweep shares one set of warm summaries).
+    uint32_t l1iLatency = 1; // yasim-lint: key-exempt(warm: timing-only)
+    uint32_t l1dLatency = 1; // yasim-lint: key-exempt(warm: timing-only)
+    uint32_t l2Latency = 8;  // yasim-lint: key-exempt(warm: timing-only)
     /** Cycles to the first chunk from main memory. */
-    uint32_t memLatencyFirst = 150;
+    uint32_t memLatencyFirst = 150; // yasim-lint: key-exempt(warm: timing-only)
     /** Cycles per additional chunk. */
-    uint32_t memLatencyNext = 2;
+    uint32_t memLatencyNext = 2; // yasim-lint: key-exempt(warm: timing-only)
     /** Memory bus width in bytes (chunk size). */
-    uint32_t memBusBytes = 8;
+    uint32_t memBusBytes = 8; // yasim-lint: key-exempt(warm: timing-only)
 
     uint32_t itlbEntries = 64;
     uint32_t dtlbEntries = 128;
-    uint32_t tlbMissLatency = 30;
+    uint32_t tlbMissLatency = 30; // yasim-lint: key-exempt(warm: timing-only)
 
     /** Enable the next-line prefetcher on the data side. */
     bool nextLinePrefetch = false;

@@ -77,6 +77,7 @@ Tlb::reset()
 
 
 void
+// yasim-lint: serialized(warm)
 Tlb::serializeWarmState(std::ostream &os) const
 {
     using warmio::putPod;
@@ -91,6 +92,7 @@ Tlb::serializeWarmState(std::ostream &os) const
 }
 
 bool
+// yasim-lint: serialized(warm)
 Tlb::deserializeWarmState(std::istream &is)
 {
     using warmio::getPod;

@@ -25,6 +25,7 @@ namespace yasim {
  * any component's serialized field set or ordering changes; mismatched
  * blobs fail deserialization and callers re-warm from scratch.
  */
+// yasim-lint: version(warm)
 constexpr uint32_t kWarmStateFormatVersion = 1;
 
 namespace warmio {
