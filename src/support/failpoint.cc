@@ -45,7 +45,8 @@ struct Registry
 Registry &
 registry()
 {
-    static Registry instance;
+    // Every member access below goes through Registry::mutex.
+    static Registry instance; // yasim-lint: guarded(Registry::mutex)
     return instance;
 }
 

@@ -1,5 +1,6 @@
 #include "support/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -8,7 +9,9 @@ namespace yasim {
 
 namespace {
 
-bool informEnabled = true;
+// Toggled by bench drivers while worker threads log; relaxed is enough
+// because the only consequence of a stale read is one extra line.
+std::atomic<bool> informEnabled{true};
 
 std::string
 vformat(const char *fmt, va_list ap)
@@ -61,7 +64,7 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (!informEnabled)
+    if (!informEnabled.load(std::memory_order_relaxed))
         return;
     va_list ap;
     va_start(ap, fmt);
@@ -73,7 +76,7 @@ inform(const char *fmt, ...)
 void
 setInformEnabled(bool enabled)
 {
-    informEnabled = enabled;
+    informEnabled.store(enabled, std::memory_order_relaxed);
 }
 
 std::string
