@@ -2,7 +2,6 @@
 
 #include "stats/distance.hh"
 #include "stats/plackett_burman.hh"
-#include "support/logging.hh"
 
 namespace yasim {
 

@@ -1,7 +1,6 @@
 #include "sim/functional.hh"
 
 #include "sim/trivial.hh"
-#include "support/logging.hh"
 #include "uarch/branch_predictor.hh"
 #include "uarch/memory_hierarchy.hh"
 

@@ -6,7 +6,6 @@
 #include "sim/functional.hh"
 #include "sim/trace.hh"
 #include "support/check.hh"
-#include "support/logging.hh"
 
 namespace yasim {
 

@@ -1,6 +1,5 @@
 #include "uarch/memory_hierarchy.hh"
 
-#include "support/logging.hh"
 #include "uarch/warm_state.hh"
 
 namespace yasim {

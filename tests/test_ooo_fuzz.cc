@@ -19,7 +19,6 @@
 #include "sim/functional.hh"
 #include "sim/memory.hh"
 #include "sim/ooo_core.hh"
-#include "stats/plackett_burman.hh"
 #include "support/rng.hh"
 
 namespace yasim {
