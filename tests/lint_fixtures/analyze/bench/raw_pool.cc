@@ -1,0 +1,14 @@
+// Fixture: G1 positive under the bench policy — driving the thread
+// pool directly instead of going through BenchDriver.
+#include "support/thread_pool.hh"
+
+namespace yasim {
+
+void
+benchRawPool()
+{
+    ThreadPool pool;
+    pool.submit();
+}
+
+} // namespace yasim

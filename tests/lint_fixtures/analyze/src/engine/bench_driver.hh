@@ -1,0 +1,18 @@
+// Fixture: the sanctioned bench seam. It wraps engine internals;
+// G1's walk must not look behind it.
+#ifndef FIXTURE_ENGINE_BENCH_DRIVER_HH
+#define FIXTURE_ENGINE_BENCH_DRIVER_HH
+
+#include "engine/engine.hh"
+
+namespace yasim {
+
+class BenchDriver
+{
+  public:
+    void runAll();
+};
+
+} // namespace yasim
+
+#endif // FIXTURE_ENGINE_BENCH_DRIVER_HH

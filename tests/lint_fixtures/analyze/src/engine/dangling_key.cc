@@ -1,0 +1,14 @@
+// Fixture: a key() annotation naming a header that is not in the
+// analyzed tree — K1 must report the annotation itself as stale.
+#include <string>
+
+namespace yasim {
+
+// yasim-lint: key(dangling) covers GhostConfig(engine/ghost_config.hh)
+std::string
+ghostKeyText()
+{
+    return "ghost";
+}
+
+} // namespace yasim

@@ -1,0 +1,15 @@
+// Fixture: stands in for engine/engine.hh, forbidden to bench code.
+#ifndef FIXTURE_ENGINE_ENGINE_HH
+#define FIXTURE_ENGINE_ENGINE_HH
+
+namespace yasim {
+
+class ExperimentEngine
+{
+  public:
+    void runMatrix();
+};
+
+} // namespace yasim
+
+#endif // FIXTURE_ENGINE_ENGINE_HH

@@ -1,0 +1,15 @@
+// Fixture for H1: three includes — one used, one unused (the
+// finding), one unused but annotated keep.
+#include "engine/h1_used.hh"
+#include "engine/h1_unused.hh"
+#include "engine/h1_kept.hh" // yasim-lint: keep
+
+namespace yasim {
+
+int
+consumeHelpers()
+{
+    return usedHelper();
+}
+
+} // namespace yasim

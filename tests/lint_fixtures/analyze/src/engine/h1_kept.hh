@@ -1,0 +1,12 @@
+// Fixture for H1: unused like h1_unused.hh, but the consumer marks
+// the include '// yasim-lint: keep', the load-bearing escape hatch.
+#ifndef FIXTURE_ENGINE_H1_KEPT_HH
+#define FIXTURE_ENGINE_H1_KEPT_HH
+
+namespace yasim {
+
+int keptHelper();
+
+} // namespace yasim
+
+#endif // FIXTURE_ENGINE_H1_KEPT_HH

@@ -1,0 +1,11 @@
+// Fixture for H1: a header nothing in the consumer references.
+#ifndef FIXTURE_ENGINE_H1_UNUSED_HH
+#define FIXTURE_ENGINE_H1_UNUSED_HH
+
+namespace yasim {
+
+int unusedHelper();
+
+} // namespace yasim
+
+#endif // FIXTURE_ENGINE_H1_UNUSED_HH

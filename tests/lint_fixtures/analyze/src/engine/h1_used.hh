@@ -1,0 +1,11 @@
+// Fixture for H1: a header whose symbol the consumer actually calls.
+#ifndef FIXTURE_ENGINE_H1_USED_HH
+#define FIXTURE_ENGINE_H1_USED_HH
+
+namespace yasim {
+
+int usedHelper();
+
+} // namespace yasim
+
+#endif // FIXTURE_ENGINE_H1_USED_HH

@@ -1,0 +1,23 @@
+// Fixture config struct for K1: one field stamped into the key, one
+// missed (the finding), one justifiably exempt, one allow-suppressed.
+#ifndef FIXTURE_ENGINE_WIDGET_CONFIG_HH
+#define FIXTURE_ENGINE_WIDGET_CONFIG_HH
+
+#include <string>
+
+namespace yasim {
+
+struct WidgetConfig
+{
+    /** Stamped by widgetKeyText: clean. */
+    int ways = 4;
+    /** Deliberately missing from the key: the K1 positive. */
+    int sets = 64;
+    // yasim-lint: key-exempt(widget: descriptive label only)
+    std::string note = "fixture";
+    int scratch = 0; // yasim-lint: allow(K1)
+};
+
+} // namespace yasim
+
+#endif // FIXTURE_ENGINE_WIDGET_CONFIG_HH

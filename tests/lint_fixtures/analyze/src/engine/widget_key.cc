@@ -1,0 +1,16 @@
+// Fixture stamp function for K1: covers WidgetConfig but only stamps
+// `ways`, so the analyzer must flag `sets` as missing from the key.
+#include <string>
+
+#include "engine/widget_config.hh"
+
+namespace yasim {
+
+// yasim-lint: key(widget) covers WidgetConfig(engine/widget_config.hh)
+std::string
+widgetKeyText(const WidgetConfig &config)
+{
+    return "ways=" + std::to_string(config.ways);
+}
+
+} // namespace yasim

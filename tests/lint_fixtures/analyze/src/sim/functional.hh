@@ -1,0 +1,16 @@
+// Fixture: stands in for sim/functional.hh, the header the G1
+// layering policy forbids techniques/core from reaching.
+#ifndef FIXTURE_SIM_FUNCTIONAL_HH
+#define FIXTURE_SIM_FUNCTIONAL_HH
+
+namespace yasim {
+
+class FunctionalSim
+{
+  public:
+    void step();
+};
+
+} // namespace yasim
+
+#endif // FIXTURE_SIM_FUNCTIONAL_HH

@@ -1,0 +1,28 @@
+// Fixture serialization unit for V1: the function bodies below are
+// fingerprinted into the lock; editing either one without bumping
+// kSnapshotFormatVersion must trip the rule.
+#include "sim/snapshot_io.hh"
+
+namespace yasim {
+
+// yasim-lint: serialized(snapshot)
+void
+writeSnapshot(std::vector<uint8_t> &out, uint64_t ticks)
+{
+    for (int shift = 0; shift < 64; shift += 8)
+        out.push_back(static_cast<uint8_t>(ticks >> shift));
+}
+
+// yasim-lint: serialized(snapshot)
+bool
+readSnapshot(const std::vector<uint8_t> &in, uint64_t &ticks)
+{
+    if (in.size() < 8)
+        return false;
+    ticks = 0;
+    for (int shift = 0; shift < 64; shift += 8)
+        ticks |= static_cast<uint64_t>(in[shift / 8]) << shift;
+    return true;
+}
+
+} // namespace yasim

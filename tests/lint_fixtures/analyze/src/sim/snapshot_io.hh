@@ -1,0 +1,19 @@
+// Fixture serialization unit for V1: a framed format with a version
+// constant and two serialized() functions in snapshot_io.cc.
+#ifndef FIXTURE_SIM_SNAPSHOT_IO_HH
+#define FIXTURE_SIM_SNAPSHOT_IO_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace yasim {
+
+// yasim-lint: version(snapshot)
+constexpr uint32_t kSnapshotFormatVersion = 1;
+
+void writeSnapshot(std::vector<uint8_t> &out, uint64_t ticks);
+bool readSnapshot(const std::vector<uint8_t> &in, uint64_t &ticks);
+
+} // namespace yasim
+
+#endif // FIXTURE_SIM_SNAPSHOT_IO_HH

@@ -1,0 +1,13 @@
+// Fixture for V1: a serialized() function whose unit never declares a
+// version() constant — the annotation audit must flag it on every run.
+
+namespace yasim {
+
+// yasim-lint: serialized(orphan)
+void
+writeOrphan(int *out)
+{
+    *out = 1;
+}
+
+} // namespace yasim

@@ -1,0 +1,8 @@
+// Fixture for C2: mutable namespace-scope state in a file no executor
+// root reaches — outside C2's blast radius, so no finding.
+
+namespace yasim {
+
+int isolatedCounter = 0;
+
+} // namespace yasim

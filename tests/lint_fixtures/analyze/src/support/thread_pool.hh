@@ -1,0 +1,16 @@
+// Fixture: stands in for support/thread_pool.hh — an executor header
+// (C2 roots) that the bench layer must not include directly (G1).
+#ifndef FIXTURE_SUPPORT_THREAD_POOL_HH
+#define FIXTURE_SUPPORT_THREAD_POOL_HH
+
+namespace yasim {
+
+class ThreadPool
+{
+  public:
+    void submit();
+};
+
+} // namespace yasim
+
+#endif // FIXTURE_SUPPORT_THREAD_POOL_HH

@@ -1,0 +1,15 @@
+// Fixture: an intermediate header that leaks sim/functional.hh to its
+// includers — the violation G1 must see through one level of
+// indirection.
+#ifndef FIXTURE_TECH_DETAIL_PIPELINE_HH
+#define FIXTURE_TECH_DETAIL_PIPELINE_HH
+
+#include "sim/functional.hh"
+
+namespace yasim {
+
+void runDetailPipeline();
+
+} // namespace yasim
+
+#endif // FIXTURE_TECH_DETAIL_PIPELINE_HH

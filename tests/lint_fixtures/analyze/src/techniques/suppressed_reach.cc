@@ -1,0 +1,14 @@
+// Fixture: G1 suppressed. The same transitive reach as
+// uses_functional.cc, silenced by a line suppression on the include
+// that starts the chain.
+#include "techniques/detail_pipeline.hh" // yasim-lint: allow(G1)
+
+namespace yasim {
+
+void
+suppressedProfile()
+{
+    runDetailPipeline();
+}
+
+} // namespace yasim

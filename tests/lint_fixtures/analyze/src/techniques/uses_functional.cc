@@ -1,0 +1,13 @@
+// Fixture: G1 positive. The direct include looks innocent; the
+// violation is two hops away (detail_pipeline.hh -> functional.hh).
+#include "techniques/detail_pipeline.hh"
+
+namespace yasim {
+
+void
+profileEverything()
+{
+    runDetailPipeline();
+}
+
+} // namespace yasim

@@ -1,0 +1,13 @@
+// Fixture: G1 negative. Consuming the seam header is the sanctioned
+// way for a technique to obtain a step stream.
+#include "techniques/trace_store.hh"
+
+namespace yasim {
+
+void
+replayEverything()
+{
+    openStepSource();
+}
+
+} // namespace yasim
