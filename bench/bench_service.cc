@@ -15,6 +15,15 @@
  *     caches and the transport (including failpoint-corrupted frames
  *     and the reconnect+resubmit recovery) change nothing.
  *
+ * --deadline-ms N turns on the deadline storm: requests carry a
+ * deterministic mix of hopeless, plausible, generous, and absent
+ * deadlines, so one run exercises queued expiry, mid-run deadline
+ * unwinding, overload shedding, and untouched completions at once.
+ * The contract tightens rather than loosens: every request still gets
+ * exactly one response; Ok responses must still be bit-identical to
+ * the in-process run; Cancelled/DeadlineExceeded/shed responses must
+ * carry no result payload.
+ *
  * By default it spawns an in-process daemon on a private Unix socket;
  * --socket/--port aims it at an external yasimd instead (the CI
  * service job starts one under YASIM_FAILPOINTS and drains it with
@@ -61,6 +70,8 @@ usage(const char *argv0)
         "  --json PATH     write the service-load JsonReport to PATH\n"
         "  --ref-insts N   suite reference length (default 2000000)\n"
         "  --seed N        suite data seed (default 12345)\n"
+        "  --deadline-ms N deadline storm: mixed per-request deadlines "
+        "around N ms (default 0 = off)\n"
         "\n"
         "daemon options (default: spawn an in-process daemon):\n"
         "  --socket PATH   use the external yasimd at PATH\n"
@@ -98,7 +109,7 @@ parseCount(const char *flag, const char *text)
 
 /** The grid: deterministic, and identical for every client. */
 std::vector<ExperimentRequest>
-buildGrid(size_t cells, const SuiteConfig &suite)
+buildGrid(size_t cells, const SuiteConfig &suite, uint64_t deadline_ms)
 {
     static const char *const kBenchmarks[] = {"gzip", "mcf"};
     std::vector<ExperimentRequest> grid;
@@ -113,6 +124,24 @@ buildGrid(size_t cells, const SuiteConfig &suite)
                              : csprintf("pb:%zu", r % 40);
         request.priority = uint32_t(r % 3);
         request.suite = suite;
+        if (deadline_ms > 0) {
+            // The storm mix (file comment): hopeless, plausible,
+            // generous, none — by request index, so every client
+            // stresses the same deterministic spectrum.
+            switch (r % 4) {
+              case 0:
+                request.deadlineMs = 1;
+                break;
+              case 1:
+                request.deadlineMs = deadline_ms;
+                break;
+              case 2:
+                request.deadlineMs = deadline_ms * 8;
+                break;
+              default:
+                break; // no deadline
+            }
+        }
         grid.push_back(std::move(request));
     }
     return grid;
@@ -146,6 +175,7 @@ main(int argc, char **argv)
     size_t clients = 8;
     size_t requests = 200;
     uint32_t window = 16;
+    uint64_t deadline_ms = 0;
     std::string json_path;
     SuiteConfig suite;
     ClientOptions endpoint;
@@ -171,6 +201,9 @@ main(int argc, char **argv)
                 parseCount("--ref-insts", nextValue(argc, argv, i));
         } else if (arg == "--seed") {
             suite.seed = parseCount("--seed", nextValue(argc, argv, i));
+        } else if (arg == "--deadline-ms") {
+            deadline_ms =
+                parseCount("--deadline-ms", nextValue(argc, argv, i));
         } else if (arg == "--socket") {
             endpoint.socketPath = nextValue(argc, argv, i);
         } else if (arg == "--port") {
@@ -223,7 +256,7 @@ main(int argc, char **argv)
     }
 
     const std::vector<ExperimentRequest> grid =
-        buildGrid(requests, suite);
+        buildGrid(requests, suite, deadline_ms);
 
     const auto wall_start = std::chrono::steady_clock::now();
     std::vector<ClientOutcome> outcomes(clients);
@@ -259,6 +292,8 @@ main(int argc, char **argv)
     uint64_t lost = 0, mismatches = 0, duplicated = 0;
     uint64_t submitted = 0, completed = 0, rejections = 0,
              reconnects = 0;
+    uint64_t ok_responses = 0, cancelled = 0, deadline_exceeded = 0,
+             shed = 0;
     bool clients_ok = true;
     for (size_t c = 0; c < clients; ++c) {
         const ClientOutcome &out = outcomes[c];
@@ -285,12 +320,43 @@ main(int argc, char **argv)
                 ++duplicated;
                 continue;
             }
-            if (responseFingerprint(response) != expected[r]) {
-                if (++mismatches == 1)
-                    std::fprintf(stderr,
-                                 "bench_service: client %zu request %zu "
-                                 "diverged from the in-process result\n",
-                                 c, r);
+            switch (response.status) {
+              case ResponseStatus::Cancelled:
+              case ResponseStatus::DeadlineExceeded:
+              case ResponseStatus::Rejected:
+                // Terminal non-results (mid-run cancel, expiry, shed):
+                // well-formed means *no* result payload rode along.
+                if (response.status == ResponseStatus::Cancelled)
+                    ++cancelled;
+                else if (response.status ==
+                         ResponseStatus::DeadlineExceeded)
+                    ++deadline_exceeded;
+                else
+                    ++shed;
+                if (!response.key.empty()) {
+                    if (++mismatches == 1)
+                        std::fprintf(
+                            stderr,
+                            "bench_service: client %zu request %zu "
+                            "carried a result despite status %u\n",
+                            c, r, uint32_t(response.status));
+                }
+                break;
+              default:
+                // Ok and Error compare byte-for-byte against the
+                // in-process run — deadlines never perturb a result
+                // they failed to stop.
+                if (response.status == ResponseStatus::Ok)
+                    ++ok_responses;
+                if (responseFingerprint(response) != expected[r]) {
+                    if (++mismatches == 1)
+                        std::fprintf(
+                            stderr,
+                            "bench_service: client %zu request %zu "
+                            "diverged from the in-process result\n",
+                            c, r);
+                }
+                break;
             }
         }
     }
@@ -339,6 +405,11 @@ main(int argc, char **argv)
     report.setCount("mismatches", mismatches);
     report.setCount("rejections", rejections);
     report.setCount("reconnects", reconnects);
+    report.setCount("deadline_ms", deadline_ms);
+    report.setCount("ok_responses", ok_responses);
+    report.setCount("cancelled", cancelled);
+    report.setCount("deadline_exceeded", deadline_exceeded);
+    report.setCount("shed", shed);
     report.setNumber("wall_seconds", wall_seconds);
     report.setNumber("requests_per_sec",
                      wall_seconds > 0.0
@@ -353,6 +424,14 @@ main(int argc, char **argv)
                     daemon_stats.count("svc_max_queue_depth"));
     report.setCount("daemon_protocol_errors",
                     daemon_stats.count("svc_protocol_errors"));
+    report.setCount("daemon_jobs_cancelled",
+                    daemon_stats.count("svc_jobs_cancelled"));
+    report.setCount("daemon_jobs_deadline_expired",
+                    daemon_stats.count("svc_jobs_deadline_expired"));
+    report.setCount("daemon_jobs_shed",
+                    daemon_stats.count("svc_jobs_shed"));
+    report.setCount("daemon_watchdog_wakeups",
+                    daemon_stats.count("svc_watchdog_wakeups"));
     report.setBool("bit_identical", mismatches == 0);
     if (!json_path.empty())
         writeReportFile(report, json_path);
@@ -375,9 +454,12 @@ main(int argc, char **argv)
     }
     std::fprintf(stderr,
                  "bench_service: OK (%llu responses, %.0f%% shared-cache "
-                 "hit rate, %llu reconnects survived)\n",
+                 "hit rate, %llu reconnects survived, %llu expired, "
+                 "%llu shed)\n",
                  static_cast<unsigned long long>(completed),
                  hit_rate * 100.0,
-                 static_cast<unsigned long long>(reconnects));
+                 static_cast<unsigned long long>(reconnects),
+                 static_cast<unsigned long long>(deadline_exceeded),
+                 static_cast<unsigned long long>(shed));
     return 0;
 }

@@ -1,5 +1,6 @@
 #include "engine/engine.hh"
 
+#include <chrono>
 #include <filesystem>
 #include <ostream>
 #include <sstream>
@@ -8,6 +9,7 @@
 #include "engine/result_io.hh"
 #include "support/artifact_io.hh"
 #include "support/check.hh"
+#include "support/failpoint.hh"
 #include "support/logging.hh"
 #include "support/table.hh"
 #include "support/thread_pool.hh"
@@ -222,10 +224,25 @@ ExperimentEngine::fetch(const Technique &technique,
             if (fit == inflight.end())
                 break;
             // Same key is being computed right now: wait for it
-            // rather than simulating it twice.
+            // rather than simulating it twice. The wait polls our own
+            // token so a joiner's deadline is honoured even while the
+            // computing request keeps running.
             ++ctr.inflightJoins;
             std::shared_ptr<InFlight> other = fit->second;
-            inflightCv.wait(lock, [&] { return other->done; });
+            while (!inflightCv.wait_for(
+                lock, std::chrono::milliseconds(20),
+                [&] { return other->done; })) {
+                if (ctx.cancel.cancelled()) {
+                    CancelledError err;
+                    err.cause = ctx.cancel.cause();
+                    throw err;
+                }
+            }
+            if (other->cancelled) {
+                // The computation we joined was cancelled, not us:
+                // loop back and recompute (or join its successor).
+                continue;
+            }
             ctr.workUnitsSaved += other->result.workUnits;
             return other->result;
         }
@@ -235,29 +252,63 @@ ExperimentEngine::fetch(const Technique &technique,
     }
 
     TechniqueResult result;
+    bool cancelled = false;
+    CancelledError cancel_err;
     bool from_disk =
         !opts.cacheDir.empty() && loadResultFromDisk(key, result);
-    if (!from_disk)
-        result = technique.run(ctx, config);
+    if (!from_disk) {
+        if (ctx.cancel.cancelled()) {
+            // Cancelled before the run started: nothing to charge.
+            cancelled = true;
+            cancel_err.cause = ctx.cancel.cause();
+        } else {
+            try {
+                result = technique.run(ctx, config);
+            } catch (const CancelledError &err) {
+                cancelled = true;
+                cancel_err = err;
+            }
+        }
+    }
 
     {
         std::lock_guard<std::mutex> lock(mutex);
-        if (from_disk) {
-            ++ctr.diskHits;
-            ctr.workUnitsSaved += result.workUnits;
+        if (cancelled) {
+            // Partial work was really performed: charge it. The
+            // partial result is never memoized — joiners retry.
+            ++ctr.runsCancelled;
+            ctr.workUnitsComputed += cancel_err.partialWorkUnits;
+            flight->cancelled = true;
         } else {
-            ++ctr.runsExecuted;
-            ctr.workUnitsComputed += result.workUnits;
+            if (from_disk) {
+                ++ctr.diskHits;
+                ctr.workUnitsSaved += result.workUnits;
+            } else {
+                ++ctr.runsExecuted;
+                ctr.workUnitsComputed += result.workUnits;
+            }
+            memoInsert(key, result);
+            flight->result = result;
         }
-        memoInsert(key, result);
-        flight->result = result;
         flight->done = true;
         inflight.erase(key);
     }
     inflightCv.notify_all();
+    if (cancelled)
+        throw cancel_err;
 
-    if (!from_disk && !opts.cacheDir.empty())
-        storeResultToDisk(key, result);
+    if (!from_disk && !opts.cacheDir.empty()) {
+        if (ctx.cancel.cancelled() ||
+            failpoint::fire("engine.cancel.write")) {
+            // Cancelled between completion and publish: abort the
+            // write outright. Atomic temp+rename means no torn file
+            // exists either way; the next process recomputes.
+            std::lock_guard<std::mutex> lock(mutex);
+            ++ctr.cacheWritesAborted;
+        } else {
+            storeResultToDisk(key, result);
+        }
+    }
     return result;
 }
 
@@ -429,6 +480,9 @@ ExperimentEngine::printStats(std::ostream &os) const
     table.addRow({"artifact io retries", Table::count(c.ioRetries)});
     table.addRow({"cache budget evictions",
                   Table::count(c.budgetEvictions)});
+    table.addRow({"runs cancelled", Table::count(c.runsCancelled)});
+    table.addRow({"cache writes aborted",
+                  Table::count(c.cacheWritesAborted)});
     table.addRule();
     if (traces) {
         TraceCounters t = traces->counters();
@@ -496,6 +550,8 @@ ExperimentEngine::appendCounters(JsonReport &report) const
     report.setCount("cache_unreadable", c.cacheUnreadable);
     report.setCount("io_retries", c.ioRetries);
     report.setCount("budget_evictions", c.budgetEvictions);
+    report.setCount("runs_cancelled", c.runsCancelled);
+    report.setCount("cache_writes_aborted", c.cacheWritesAborted);
     if (traces) {
         TraceCounters t = traces->counters();
         report.setCount("trace_recordings", t.recordings);

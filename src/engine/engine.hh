@@ -111,6 +111,20 @@ struct EngineCounters
     uint64_t ioRetries = 0;
     /** Files evicted enforcing EngineOptions::cacheBudgetBytes. */
     uint64_t budgetEvictions = 0;
+    /**
+     * Technique runs that stopped at a cancellation poll (explicit
+     * cancel or deadline). Their partial work units are still charged
+     * to workUnitsComputed; their results are never memoized, cached,
+     * or returned.
+     */
+    uint64_t runsCancelled = 0;
+    /**
+     * Disk-cache writes skipped because the request was cancelled by
+     * the time the result would have been published (or the
+     * "engine.cancel.write" failpoint fired). The atomic temp+rename
+     * publish means an abort leaves no file at all — never a torn one.
+     */
+    uint64_t cacheWritesAborted = 0;
     double workUnitsComputed = 0.0;
     double workUnitsSaved = 0.0;
 };
@@ -197,6 +211,13 @@ class ExperimentEngine : public SimulationService
     struct InFlight
     {
         bool done = false;
+        /**
+         * The computing request was cancelled: `result` never
+         * existed. Joiners waiting on this flight loop back and
+         * recompute (or become the new owner) instead of inheriting
+         * a cancellation that was not theirs.
+         */
+        bool cancelled = false;
         TechniqueResult result;
     };
 

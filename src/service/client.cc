@@ -1,28 +1,23 @@
 #include "service/client.hh"
 
 #include <cerrno>
-#include <chrono>
 #include <cstring>
 #include <deque>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/un.h>
-#include <thread>
 #include <unistd.h>
 
 #include "support/artifact_io.hh"
+#include "support/backoff.hh"
 #include "support/logging.hh"
 
 namespace yasim {
 
 namespace {
 
-/** Linear backoff between reconnect attempts / admission retries. */
-void
-backoff(uint32_t attempt)
-{
-    std::this_thread::sleep_for(std::chrono::milliseconds(attempt));
-}
+/** Backoff seed for reconnects and admission retries (see rng.hh). */
+constexpr uint64_t kClientBackoffSeed = 0xc11e47b0ffULL;
 
 } // namespace
 
@@ -168,11 +163,16 @@ ServiceClient::call(const ExperimentRequest &request,
                     ExperimentResponse &response, std::string &error)
 {
     std::string frame = frameRequest(request);
+    Backoff retry_backoff(kClientBackoffSeed);
     for (uint32_t attempt = 0;; ++attempt) {
+        if (attempt >= opts.maxAttempts) {
+            error = "attempt budget exhausted";
+            return false;
+        }
         if (fd < 0 && !connect(error)) {
             if (attempt >= opts.maxReconnects)
                 return false;
-            backoff(attempt + 1);
+            retry_backoff.sleep();
             continue;
         }
         if (sendAll(frame, error) && receiveResponse(response, error))
@@ -180,7 +180,7 @@ ServiceClient::call(const ExperimentRequest &request,
         disconnect();
         if (attempt >= opts.maxReconnects)
             return false;
-        backoff(attempt + 1);
+        retry_backoff.sleep();
     }
 }
 
@@ -211,6 +211,10 @@ ServiceClient::runBatch(const std::vector<ExperimentRequest> &requests,
     size_t completed = 0;
     uint32_t reconnect_attempts = 0;
     uint32_t drain_rejections = 0;
+    /** Per-request resubmission budget (admission retries). */
+    std::vector<uint32_t> attempts(requests.size(), 0);
+    Backoff reconnect_backoff(kClientBackoffSeed);
+    Backoff reject_backoff(kClientBackoffSeed ^ 1);
 
     auto requeueOutstanding = [&] {
         // Oldest first, ahead of never-sent work.
@@ -225,9 +229,10 @@ ServiceClient::runBatch(const std::vector<ExperimentRequest> &requests,
             if (!connect(error)) {
                 if (++reconnect_attempts > opts.maxReconnects)
                     return false;
-                backoff(reconnect_attempts);
+                reconnect_backoff.sleep();
                 continue;
             }
+            reconnect_backoff.reset();
         }
 
         bool io_failed = false;
@@ -258,7 +263,7 @@ ServiceClient::runBatch(const std::vector<ExperimentRequest> &requests,
             ++stats.reconnects;
             if (++reconnect_attempts > opts.maxReconnects)
                 return false;
-            backoff(reconnect_attempts);
+            reconnect_backoff.sleep();
             continue;
         }
         if (outstanding.empty())
@@ -275,16 +280,41 @@ ServiceClient::runBatch(const std::vector<ExperimentRequest> &requests,
         size_t index = it->second;
         outstanding.erase(it);
 
-        if (response.status == ResponseStatus::Rejected) {
+        if (response.status == ResponseStatus::Rejected &&
+            response.error != "shed") {
             if (response.error == "draining" &&
                 ++drain_rejections > 3) {
                 error = "daemon is draining; batch cannot complete";
                 return false;
             }
+            if (++attempts[index] >= opts.maxAttempts) {
+                error = csprintf(
+                    "attempt budget exhausted for request id %llu "
+                    "(last rejection: %s)",
+                    static_cast<unsigned long long>(response.id),
+                    response.error.c_str());
+                return false;
+            }
             ++stats.rejections;
             pending.push_back(index);
-            backoff(1);
+            reject_backoff.sleep();
             continue;
+        }
+        // Terminal: Ok, Error, Cancelled, DeadlineExceeded, or a
+        // "shed" rejection (retrying shed work would deepen the
+        // overload that shed it).
+        switch (response.status) {
+          case ResponseStatus::Cancelled:
+            ++stats.cancelled;
+            break;
+          case ResponseStatus::DeadlineExceeded:
+            ++stats.deadlineExceeded;
+            break;
+          case ResponseStatus::Rejected:
+            ++stats.shed;
+            break;
+          default:
+            break;
         }
         responses[index] = std::move(response);
         ++completed;

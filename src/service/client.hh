@@ -44,6 +44,12 @@ struct ClientOptions
     uint32_t maxReconnects = 32;
     /** Outstanding-request window for runBatch(). */
     uint32_t window = 16;
+    /**
+     * Total-attempt budget per logical request: connects plus
+     * admission-rejection resubmits. Exhausting it fails the call or
+     * batch instead of retrying forever against an overloaded daemon.
+     */
+    uint32_t maxAttempts = 64;
 };
 
 /** What a runBatch() observed (bench_service's report material). */
@@ -51,12 +57,26 @@ struct BatchStats
 {
     /** Requests submitted, including resubmissions after drops. */
     uint64_t submitted = 0;
-    /** Distinct requests that got a terminal (non-Rejected) response. */
+    /**
+     * Distinct requests that reached a terminal response: Ok, Error,
+     * Cancelled, DeadlineExceeded, or a "shed" rejection. Retried
+     * admission rejections are not terminal.
+     */
     uint64_t completed = 0;
     /** Admission rejections that were retried. */
     uint64_t rejections = 0;
     /** Connection drops survived by reconnect + resubmit. */
     uint64_t reconnects = 0;
+    /** Requests answered Cancelled (terminal; never retried). */
+    uint64_t cancelled = 0;
+    /** Requests answered DeadlineExceeded (terminal; never retried). */
+    uint64_t deadlineExceeded = 0;
+    /**
+     * Requests the daemon shed under overload (Rejected "shed").
+     * Terminal: the daemon judged the deadline hopeless, so a retry
+     * would only deepen the overload that shed it.
+     */
+    uint64_t shed = 0;
 };
 
 /** One connection to a yasimd. See file comment. */
@@ -83,10 +103,12 @@ class ServiceClient
     /**
      * Pipeline @p requests through the daemon. On success, fills
      * @p responses so responses[i] answers requests[i] (matched by id;
-     * every request must carry a distinct id) and returns true. Any
-     * Rejected admission is retried until accepted, so a true return
-     * means every request ran to a terminal Ok/Error response exactly
-     * once.
+     * every request must carry a distinct id) and returns true. A
+     * Rejected admission is retried — with capped-exponential jittered
+     * backoff, up to maxAttempts per request — *except* "shed", which
+     * is terminal (see BatchStats::shed); Cancelled and
+     * DeadlineExceeded responses are likewise terminal. A true return
+     * means every request got exactly one terminal response.
      */
     bool runBatch(const std::vector<ExperimentRequest> &requests,
                   std::vector<ExperimentResponse> &responses,

@@ -1,7 +1,9 @@
 #include "service/daemon.hh"
 
+#include <algorithm>
 #include <arpa/inet.h>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <fcntl.h>
 #include <netinet/in.h>
@@ -121,6 +123,7 @@ ServiceDaemon::start(std::string &error)
     started = true;
     for (unsigned i = 0; i < opts.workers; ++i)
         workerThreads.emplace_back([this] { workerLoop(); });
+    watchdogThread = std::thread([this] { watchdogLoop(); });
     ioThread = std::thread([this] { ioLoop(); });
     return true;
 }
@@ -155,11 +158,15 @@ ServiceDaemon::wait()
     {
         std::lock_guard<std::mutex> lock(mutex);
         stopWorkers = true;
+        stopWatchdog = true;
     }
     queueCv.notify_all();
+    watchdogCv.notify_all();
     for (std::thread &t : workerThreads)
         if (t.joinable())
             t.join();
+    if (watchdogThread.joinable())
+        watchdogThread.join();
     joined = true;
 }
 
@@ -199,6 +206,10 @@ ServiceDaemon::statsReport() const
     report.setCount("svc_disconnects", c.disconnects);
     report.setCount("svc_responses_dropped", c.responsesDropped);
     report.setCount("svc_max_queue_depth", c.maxQueueDepth);
+    report.setCount("svc_jobs_cancelled", c.jobsCancelled);
+    report.setCount("svc_jobs_deadline_expired", c.jobsDeadlineExpired);
+    report.setCount("svc_jobs_shed", c.jobsShed);
+    report.setCount("svc_watchdog_wakeups", c.watchdogWakeups);
     report.setBool("svc_draining", drainRequested.load());
     return report;
 }
@@ -234,6 +245,17 @@ ServiceDaemon::respond(Connection &conn,
 }
 
 void
+ServiceDaemon::pushJobResponse(uint64_t conn_id,
+                               const ExperimentResponse &response)
+{
+    // Caller holds `mutex` and wakes the I/O loop afterwards.
+    Outbound out;
+    out.connId = conn_id;
+    out.frame = frameResponse(response);
+    outbox.push_back(std::move(out));
+}
+
+void
 ServiceDaemon::admit(uint64_t conn_id, Connection &conn,
                      const ExperimentRequest &request)
 {
@@ -257,10 +279,48 @@ ServiceDaemon::admit(uint64_t conn_id, Connection &conn,
         respond(conn, response);
         requestDrain();
         return;
+      case RequestKind::Cancel: {
+        // The ack answers the Cancel itself; a cancelled queued job
+        // answers separately through the outbox, and a running one
+        // answers when its executor unwinds at the next poll.
+        bool found = false;
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            for (auto it = queue.begin(); it != queue.end(); ++it) {
+                const Job &job = it->second;
+                if (job.connId != conn_id ||
+                    job.request.id != request.target)
+                    continue;
+                ExperimentResponse cancelled;
+                cancelled.id = job.request.id;
+                cancelled.status = ResponseStatus::Cancelled;
+                cancelled.error = "cancelled while queued";
+                pushJobResponse(conn_id, cancelled);
+                ++ctr.jobsCancelled;
+                queue.erase(it);
+                found = true;
+                break;
+            }
+            if (!found) {
+                auto run = running.find({conn_id, request.target});
+                if (run != running.end()) {
+                    run->second->cancel(CancelCause::Cancelled);
+                    found = true;
+                }
+            }
+        }
+        if (!found) {
+            response.status = ResponseStatus::Error;
+            response.error = "no such job";
+        }
+        respond(conn, response);
+        return;
+      }
       case RequestKind::Run:
         break;
     }
 
+    bool deadline_armed = false;
     {
         std::lock_guard<std::mutex> lock(mutex);
         if (drainRequested.load()) {
@@ -276,16 +336,52 @@ ServiceDaemon::admit(uint64_t conn_id, Connection &conn,
             response.status = ResponseStatus::Rejected;
             response.error = "per-client quota exceeded";
         } else {
-            Job job;
-            job.connId = conn_id;
-            job.request = request;
-            queue.emplace(std::make_pair(request.priority,
-                                         admissionSeq++),
-                          std::move(job));
-            ++conn.outstanding;
-            ++ctr.jobsAccepted;
-            if (queue.size() > ctr.maxQueueDepth)
-                ctr.maxQueueDepth = queue.size();
+            // Overload shedding: when this request carries a deadline
+            // the estimated queue delay already blows through, answer
+            // *something* Rejected "shed" now rather than burning an
+            // executor on work that is dead on arrival. The victim is
+            // the lowest-priority job in sight: the incoming one, or
+            // the worst queued one it outranks (whose slot it takes).
+            if (request.deadlineMs > 0 && ewmaJobMs > 0.0 &&
+                !queue.empty()) {
+                double est_delay_ms = double(queue.size()) * ewmaJobMs /
+                                      double(opts.workers);
+                if (est_delay_ms > double(request.deadlineMs)) {
+                    auto worst = std::prev(queue.end());
+                    if (request.priority >= worst->first.first) {
+                        ++ctr.jobsShed;
+                        response.status = ResponseStatus::Rejected;
+                        response.error = "shed";
+                    } else {
+                        ExperimentResponse shed;
+                        shed.id = worst->second.request.id;
+                        shed.status = ResponseStatus::Rejected;
+                        shed.error = "shed";
+                        pushJobResponse(worst->second.connId, shed);
+                        ++ctr.jobsShed;
+                        queue.erase(worst);
+                    }
+                }
+            }
+            if (response.status != ResponseStatus::Rejected) {
+                Job job;
+                job.connId = conn_id;
+                job.request = request;
+                job.cancel = std::make_shared<CancelSource>();
+                if (request.deadlineMs > 0) {
+                    job.cancel->setDeadlineAfterMs(
+                        int64_t(request.deadlineMs));
+                    job.deadlineAtMs = job.cancel->deadlineAtMs();
+                    deadline_armed = true;
+                }
+                queue.emplace(std::make_pair(request.priority,
+                                             admissionSeq++),
+                              std::move(job));
+                ++conn.outstanding;
+                ++ctr.jobsAccepted;
+                if (queue.size() > ctr.maxQueueDepth)
+                    ctr.maxQueueDepth = queue.size();
+            }
         }
     }
     if (response.status == ResponseStatus::Rejected) {
@@ -293,6 +389,8 @@ ServiceDaemon::admit(uint64_t conn_id, Connection &conn,
         return;
     }
     queueCv.notify_one();
+    if (deadline_armed)
+        watchdogCv.notify_one();
 }
 
 bool
@@ -526,20 +624,129 @@ ServiceDaemon::workerLoop()
             job = std::move(it->second);
             queue.erase(it);
             ++activeJobs;
+            if (job.cancel)
+                running.emplace(std::make_pair(job.connId,
+                                               job.request.id),
+                                job.cancel);
         }
 
-        ExperimentResponse response = executeRequest(engine, job.request);
+        // Dispatch-time expiry backstop: a job whose deadline passed
+        // in the queue (or that "svc.cancel.dispatch" forces past it)
+        // is answered without touching the engine.
+        if (job.cancel && failpoint::fire("svc.cancel.dispatch"))
+            job.cancel->cancel(CancelCause::DeadlineExceeded);
+
+        ExperimentResponse response;
+        bool ran = false;
+        int64_t elapsed_ms = 0;
+        if (job.cancel && job.cancel->expired()) {
+            response.id = job.request.id;
+            response.status =
+                job.cancel->cause() == CancelCause::Cancelled
+                    ? ResponseStatus::Cancelled
+                    : ResponseStatus::DeadlineExceeded;
+            response.error = cancelCauseName(job.cancel->cause());
+        } else {
+            int64_t t0 = monotonicNowMs();
+            response = executeRequest(engine, job.request,
+                                      job.cancel ? job.cancel->token()
+                                                 : CancelToken());
+            elapsed_ms = monotonicNowMs() - t0;
+            ran = true;
+        }
 
         {
             std::lock_guard<std::mutex> lock(mutex);
-            Outbound out;
-            out.connId = job.connId;
-            out.frame = frameResponse(response);
-            outbox.push_back(std::move(out));
+            pushJobResponse(job.connId, response);
             --activeJobs;
-            ++ctr.jobsExecuted;
+            running.erase({job.connId, job.request.id});
+            switch (response.status) {
+              case ResponseStatus::Cancelled:
+                ++ctr.jobsCancelled;
+                break;
+              case ResponseStatus::DeadlineExceeded:
+                ++ctr.jobsDeadlineExpired;
+                break;
+              default:
+                ++ctr.jobsExecuted;
+                break;
+            }
+            if (ran) {
+                // Admission's queue-delay estimate (file comment).
+                ewmaJobMs = ewmaJobMs == 0.0
+                                ? double(elapsed_ms)
+                                : 0.9 * ewmaJobMs +
+                                      0.1 * double(elapsed_ms);
+            }
         }
         wakeIo();
+    }
+}
+
+void
+ServiceDaemon::watchdogLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+        if (stopWatchdog)
+            return;
+
+        // Earliest pending expiry over queued and running jobs. A
+        // running source already carrying a cause is its executor's
+        // problem (it retires at the next poll) — considering it here
+        // would spin the watchdog, lock held, until that retirement.
+        int64_t next = INT64_MAX;
+        for (const auto &entry : queue)
+            next = std::min(next, entry.second.deadlineAtMs);
+        for (const auto &entry : running)
+            if (entry.second->cause() == CancelCause::None)
+                next = std::min(next, entry.second->deadlineAtMs());
+
+        if (next == INT64_MAX) {
+            // Nothing has a deadline; sleep until admission arms one
+            // (or shutdown). Spurious wakes just recompute.
+            watchdogCv.wait(lock);
+            continue;
+        }
+        int64_t now = monotonicNowMs();
+        if (now < next) {
+            watchdogCv.wait_for(
+                lock, std::chrono::milliseconds(next - now));
+            continue; // recompute: deadlines may have changed
+        }
+
+        ++ctr.watchdogWakeups;
+
+        // Queued jobs past deadline never dispatch: answer them now.
+        bool pushed = false;
+        for (auto it = queue.begin(); it != queue.end();) {
+            Job &job = it->second;
+            if (job.deadlineAtMs > now) {
+                ++it;
+                continue;
+            }
+            if (job.cancel)
+                job.cancel->cancel(CancelCause::DeadlineExceeded);
+            ExperimentResponse response;
+            response.id = job.request.id;
+            response.status = ResponseStatus::DeadlineExceeded;
+            response.error = "deadline expired while queued";
+            pushJobResponse(job.connId, response);
+            ++ctr.jobsDeadlineExpired;
+            it = queue.erase(it);
+            pushed = true;
+        }
+
+        // Running jobs past deadline: backstop cancel. The executor's
+        // own deadline polls normally fire first; this covers sources
+        // whose deadline landed between polls of a long batch.
+        for (auto &entry : running)
+            if (entry.second->cause() == CancelCause::None &&
+                entry.second->deadlineAtMs() <= now)
+                entry.second->cancel(CancelCause::DeadlineExceeded);
+
+        if (pushed)
+            wakeIo();
     }
 }
 

@@ -16,12 +16,35 @@
  *   - draining           → Rejected "draining" (new Run work only)
  *   - queue ≥ maxQueue   → Rejected "queue full"
  *   - per-connection outstanding ≥ clientQuota → Rejected "quota"
+ *   - estimated queue delay > request deadline → "shed" (see below)
  *
  * Rejections are well-formed responses, not disconnects; clients back
  * off and resubmit. A malformed or oversized frame, by contrast, is a
  * protocol error: the connection is dropped on the spot (the peer is
  * broken or hostile — there is no frame boundary to resynchronize to),
  * and any in-flight results for it are discarded and counted.
+ *
+ * Deadlines and cancellation (protocol v2, docs/robustness.md):
+ *
+ * A Run request may carry deadline_ms; admission stamps an absolute
+ * monotonic expiry on the job's CancelSource, so executor polls trip
+ * DeadlineExceeded cooperatively mid-run. A watchdog thread wakes at
+ * the earliest pending expiry: queued jobs past deadline are answered
+ * DeadlineExceeded without ever dispatching (nobody polls a queued
+ * job), and running jobs past deadline get a backstop cancel() on
+ * their source. A Cancel request names an earlier request id on the
+ * same connection: a queued target is answered Cancelled and removed;
+ * a running target's source is cancelled (its executor unwinds at the
+ * next poll and answers Cancelled); the Cancel itself is acked Ok, or
+ * Error when no such job exists. Every admitted job gets exactly one
+ * response, whatever path retires it.
+ *
+ * Overload shedding: admission keeps an EWMA of job execution time;
+ * when a deadline-carrying Run arrives and the estimated queue delay
+ * (depth x EWMA / workers) already exceeds its deadline, the daemon
+ * sheds the lowest-priority job — the incoming one, or a queued one
+ * it outranks — with a well-formed Rejected "shed" response, instead
+ * of burning executor time on work that is already dead.
  *
  * Draining (requestDrain(), or a Shutdown request): stop admitting,
  * finish every accepted job, flush every response, then exit the I/O
@@ -34,8 +57,10 @@
  *
  *     svc.accept.transient   accept() of a pending connection fails
  *     svc.read.corrupt       one bit of a received chunk flips
+ *     svc.cancel.dispatch    a popped job expires at dispatch (its
+ *                            deadline is forced past, pre-execution)
  *
- * Both are exercised by tests/test_service.cc and the CI service job.
+ * All are exercised by tests/test_service.cc and the CI service job.
  */
 
 #ifndef YASIM_SERVICE_DAEMON_HH
@@ -45,6 +70,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -95,6 +121,17 @@ struct DaemonCounters
     uint64_t responsesDropped = 0;
     /** High-water mark of the job queue. */
     uint64_t maxQueueDepth = 0;
+    /** Jobs answered Cancelled (queued removal or mid-run unwind). */
+    uint64_t jobsCancelled = 0;
+    /**
+     * Jobs answered DeadlineExceeded: expired while queued, caught at
+     * dispatch, or unwound mid-run by a deadline poll.
+     */
+    uint64_t jobsDeadlineExpired = 0;
+    /** Jobs shed by overload control (Rejected "shed"). */
+    uint64_t jobsShed = 0;
+    /** Watchdog scans (one per wakeup, timed or prodded). */
+    uint64_t watchdogWakeups = 0;
 };
 
 /** The experiment service daemon. See file comment. */
@@ -155,6 +192,14 @@ class ServiceDaemon
     {
         uint64_t connId = 0;
         ExperimentRequest request;
+        /**
+         * Cancellation handle, created at admission. Carries the
+         * absolute deadline (when the request had one), so executor
+         * polls expire it without any daemon bookkeeping.
+         */
+        std::shared_ptr<CancelSource> cancel;
+        /** Mirror of cancel->deadlineAtMs(); INT64_MAX = none. */
+        int64_t deadlineAtMs = INT64_MAX;
     };
 
     /** A finished job's framed response, heading back to its client. */
@@ -166,6 +211,20 @@ class ServiceDaemon
 
     void ioLoop();
     void workerLoop();
+    /**
+     * Expire queued jobs and backstop-cancel running ones whose
+     * deadlines passed; sleeps until the earliest pending expiry.
+     */
+    void watchdogLoop();
+    /**
+     * Frame @p response into the outbox for @p conn_id. Caller holds
+     * `mutex` and wakes the I/O loop afterwards. The uniform
+     * retirement path for every admitted-job response — flushOutbox()
+     * decrements the connection's outstanding count exactly once per
+     * call, whatever path retired the job.
+     */
+    void pushJobResponse(uint64_t conn_id,
+                         const ExperimentResponse &response);
     /** Accept everything pending on @p listen_fd. */
     void acceptPending(int listen_fd);
     /**
@@ -199,6 +258,7 @@ class ServiceDaemon
 
     std::thread ioThread;
     std::vector<std::thread> workerThreads;
+    std::thread watchdogThread;
 
     std::atomic<bool> drainRequested{false};
 
@@ -216,6 +276,19 @@ class ServiceDaemon
     std::vector<Outbound> outbox;
     bool stopWorkers = false;
     DaemonCounters ctr;
+
+    /** Dispatched jobs by (connection, request id), for Cancel and
+     *  the watchdog's running-job deadline backstop. */
+    std::map<std::pair<uint64_t, uint64_t>,
+             std::shared_ptr<CancelSource>> running;
+    std::condition_variable watchdogCv;
+    bool stopWatchdog = false;
+    /**
+     * EWMA of job execution time in ms (admission's queue-delay
+     * estimate). 0 until the first job completes — shedding never
+     * fires before the daemon has seen real work.
+     */
+    double ewmaJobMs = 0.0;
 };
 
 } // namespace yasim

@@ -93,6 +93,8 @@ encodeRequest(const ExperimentRequest &request)
     os << "id " << request.id << '\n';
     os << "kind " << uint32_t(request.kind) << '\n';
     os << "priority " << request.priority << '\n';
+    os << "deadline " << request.deadlineMs << '\n';
+    os << "target " << request.target << '\n';
     os << "bench " << request.benchmark << '\n';
     os << "technique " << request.technique << '\n';
     os << "config " << request.config << '\n';
@@ -117,13 +119,21 @@ decodeRequest(const std::string &payload, ExperimentRequest &request,
         return false;
     }
     if (!(is >> tag >> kind) || tag != "kind" ||
-        kind > uint32_t(RequestKind::Shutdown)) {
+        kind > uint32_t(RequestKind::Cancel)) {
         error = "bad kind field";
         return false;
     }
     request.kind = RequestKind(kind);
     if (!(is >> tag >> request.priority) || tag != "priority") {
         error = "bad priority field";
+        return false;
+    }
+    if (!(is >> tag >> request.deadlineMs) || tag != "deadline") {
+        error = "bad deadline field";
+        return false;
+    }
+    if (!(is >> tag >> request.target) || tag != "target") {
+        error = "bad target field";
         return false;
     }
     if (!readTagged(is, "bench", request.benchmark) ||
@@ -185,7 +195,7 @@ decodeResponse(const std::string &payload, ExperimentResponse &response,
         return false;
     }
     if (!(is >> tag >> status) || tag != "status" ||
-        status > uint32_t(ResponseStatus::Rejected)) {
+        status > uint32_t(ResponseStatus::DeadlineExceeded)) {
         error = "bad status field";
         return false;
     }
@@ -309,7 +319,7 @@ resolveConfig(const ExperimentRequest &request, SimConfig &config,
 
 ExperimentResponse
 executeRequest(ExperimentEngine &engine,
-               const ExperimentRequest &request)
+               const ExperimentRequest &request, CancelToken cancel)
 {
     ExperimentResponse response;
     response.id = request.id;
@@ -317,8 +327,11 @@ executeRequest(ExperimentEngine &engine,
     switch (request.kind) {
       case RequestKind::Ping:
       case RequestKind::Shutdown:
-        // Shutdown is interpreted by the daemon's admission layer; as
-        // a plain execution it acknowledges like a ping.
+      case RequestKind::Cancel:
+        // Shutdown and Cancel are interpreted by the daemon's
+        // admission layer; as a plain execution either acknowledges
+        // like a ping (in-process there is nothing to drain or
+        // cancel).
         return response;
       case RequestKind::Stats:
         response.report = engine.statsReport().render();
@@ -345,7 +358,17 @@ executeRequest(ExperimentEngine &engine,
 
     TechniqueContext ctx =
         engine.context(request.benchmark, request.suite);
-    response.result = engine.run(*technique, ctx, config);
+    ctx.cancel = std::move(cancel);
+    try {
+        response.result = engine.run(*technique, ctx, config);
+    } catch (const CancelledError &cancelled) {
+        response.status = cancelled.cause ==
+                                  CancelCause::DeadlineExceeded
+                              ? ResponseStatus::DeadlineExceeded
+                              : ResponseStatus::Cancelled;
+        response.error = cancelCauseName(cancelled.cause);
+        return response;
+    }
     response.key = resultCacheKey(*technique, ctx, config);
     return response;
 }

@@ -31,6 +31,7 @@
 #include <string>
 
 #include "engine/engine.hh"
+#include "support/cancel.hh"
 #include "techniques/technique.hh"
 #include "workloads/suite.hh"
 
@@ -38,7 +39,7 @@ namespace yasim {
 
 /** Wire-format version of the service protocol (frame inner version). */
 // yasim-lint: version(service)
-constexpr uint32_t kServiceFormatVersion = 1;
+constexpr uint32_t kServiceFormatVersion = 2;
 
 /** Inner frame magic of a request message. */
 inline constexpr const char *kRequestMagic = "yasim-svc-req";
@@ -58,6 +59,14 @@ enum class RequestKind : uint32_t {
     Stats = 2,
     /** Begin draining: finish accepted jobs, refuse new ones, exit. */
     Shutdown = 3,
+    /**
+     * Cancel the job whose correlation id is `target` on this
+     * connection. A queued target is answered Cancelled before
+     * dispatch; a running one is cooperatively cancelled and answers
+     * when its executor reaches the next poll point. The Cancel
+     * request itself is acknowledged Ok (Error when no such job).
+     */
+    Cancel = 4,
 };
 
 /** The canonical experiment request (CLI-built, wire-carried). */
@@ -87,6 +96,16 @@ struct ExperimentRequest
     std::string config = "arch:1";
     /** Suite scaling the experiment runs under. */
     SuiteConfig suite;
+    /**
+     * Client deadline in milliseconds from admission; 0 = none (Run
+     * only). A job still queued at expiry is answered DeadlineExceeded
+     * without executing; a running one is cooperatively cancelled by
+     * the daemon's watchdog and answers DeadlineExceeded within one
+     * batch quantum of the executor's next poll.
+     */
+    uint64_t deadlineMs = 0;
+    /** Correlation id of the job to cancel (Cancel only). */
+    uint64_t target = 0;
 };
 
 /** Terminal status of a request. */
@@ -96,6 +115,10 @@ enum class ResponseStatus : uint32_t {
     Error = 1,
     /** Admission control refused it (queue full, quota, draining). */
     Rejected = 2,
+    /** Cancelled by a Cancel request before or during execution. */
+    Cancelled = 3,
+    /** The request's deadline_ms passed before a result was ready. */
+    DeadlineExceeded = 4,
 };
 
 /** The canonical experiment response. */
@@ -160,9 +183,15 @@ bool resolveConfig(const ExperimentRequest &request, SimConfig &config,
  * failures come back as status Error, never as a crash — this is the
  * one execution path shared by the daemon, the CLI's local mode, and
  * the in-process drivers.
+ *
+ * When @p cancel is a valid token, the run polls it cooperatively and
+ * a cancelled run comes back as status Cancelled or DeadlineExceeded
+ * (per the token's cause) with no result attached — never an
+ * exception, never a partial result.
  */
 ExperimentResponse executeRequest(ExperimentEngine &engine,
-                                  const ExperimentRequest &request);
+                                  const ExperimentRequest &request,
+                                  CancelToken cancel = CancelToken());
 
 } // namespace yasim
 

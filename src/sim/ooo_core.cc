@@ -274,25 +274,27 @@ OooCore::scheduleIssue(uint64_t earliest, FuClass fu, bool is_mem,
 }
 
 uint64_t
-OooCore::run(StepSource &src, uint64_t max_insts, BbProfiler *profiler)
+OooCore::run(StepSource &src, uint64_t max_insts, BbProfiler *profiler,
+             const CancelToken &cancel)
 {
     // One dynamic-type resolution per run() call instead of one virtual
     // step() per instruction. The concrete sources are final, so the
     // typed loops devirtualize; unknown StepSource subclasses (tests)
     // take the generic virtual loop. All paths are bit-identical.
     if (auto *replay = dynamic_cast<TraceReplayer *>(&src))
-        return runReplay(*replay, max_insts, profiler);
+        return runReplay(*replay, max_insts, profiler, cancel);
     if (auto *live = dynamic_cast<FunctionalSim *>(&src))
-        return runSteps(*live, max_insts, profiler);
-    return runSteps(src, max_insts, profiler);
+        return runSteps(*live, max_insts, profiler, cancel);
+    return runSteps(src, max_insts, profiler, cancel);
 }
 
 SimStats
 OooCore::runMeasured(StepSource &src, uint64_t max_insts,
-                     BbProfiler *profiler, uint64_t *insts_done)
+                     BbProfiler *profiler, uint64_t *insts_done,
+                     const CancelToken &cancel)
 {
     SimStats before = snapshot();
-    uint64_t done = run(src, max_insts, profiler);
+    uint64_t done = run(src, max_insts, profiler, cancel);
     if (insts_done)
         *insts_done = done;
     return snapshot() - before;
@@ -300,7 +302,8 @@ OooCore::runMeasured(StepSource &src, uint64_t max_insts,
 
 template <typename Source>
 uint64_t
-OooCore::runSteps(Source &src, uint64_t max_insts, BbProfiler *profiler)
+OooCore::runSteps(Source &src, uint64_t max_insts, BbProfiler *profiler,
+                  const CancelToken &cancel)
 {
     const uint32_t l1i_block = cfg.mem.l1i.blockBytes;
     const uint64_t frontend = cfg.core.frontendDepth;
@@ -312,7 +315,15 @@ OooCore::runSteps(Source &src, uint64_t max_insts, BbProfiler *profiler)
     ExecRecord recs[kFetchBatch];
 
     uint64_t done = 0;
+    uint64_t next_poll = kCancelCheckInsts;
     while (done < max_insts) {
+        // Batch-boundary cancellation poll, once per quantum so the
+        // loop stays branch-predictable (free for an invalid token).
+        if (done >= next_poll) {
+            if (cancel.cancelled())
+                break;
+            next_poll = done + kCancelCheckInsts;
+        }
         const uint64_t want = std::min(max_insts - done, kFetchBatch);
         const uint64_t n = src.stepBatch(recs, want);
         if (n == 0)
@@ -334,13 +345,21 @@ OooCore::runSteps(Source &src, uint64_t max_insts, BbProfiler *profiler)
 
 uint64_t
 OooCore::runReplay(TraceReplayer &src, uint64_t max_insts,
-                   BbProfiler *profiler)
+                   BbProfiler *profiler, const CancelToken &cancel)
 {
     const uint32_t l1i_block = cfg.mem.l1i.blockBytes;
     const uint64_t frontend = cfg.core.frontendDepth;
 
     uint64_t done = 0;
+    uint64_t next_poll = kCancelCheckInsts;
     while (done < max_insts) {
+        // Same quantum'd poll as runSteps: a decoded run can span many
+        // batches, so the bound is one quantum + one decoded run.
+        if (done >= next_poll) {
+            if (cancel.cancelled())
+                break;
+            next_poll = done + kCancelCheckInsts;
+        }
         uint64_t n = 0;
         const TraceReplayer::DecodedUop *uops =
             src.decodeRun(max_insts - done, n);

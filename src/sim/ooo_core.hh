@@ -35,6 +35,7 @@
 #include "sim/config.hh"
 #include "sim/stats.hh"
 #include "sim/step_source.hh"
+#include "support/cancel.hh"
 #include "uarch/branch_predictor.hh"
 #include "uarch/memory_hierarchy.hh"
 
@@ -49,10 +50,21 @@ class OooCore
     explicit OooCore(const SimConfig &config);
 
     /**
+     * Instructions between cancellation polls in the run loops. A
+     * cancelled run stops within one quantum of the cancel, and the
+     * hot loops stay poll-free in between (the poll on a default
+     * invalid token is a single null check).
+     */
+    static constexpr uint64_t kCancelCheckInsts = 8192;
+
+    /**
      * Detail-simulate up to @p max_insts instructions from @p src — a
      * live FunctionalSim or a TraceReplayer, indistinguishably — (stops
      * early at Halt), optionally attributing every committed
-     * instruction to @p profiler.
+     * instruction to @p profiler. A valid @p cancel token is polled
+     * every kCancelCheckInsts committed instructions; on cancellation
+     * the call returns early with the count committed so far (the
+     * caller decides whether that partial progress is an error).
      *
      * The dynamic StepSource type is resolved once per call, not once
      * per instruction: both concrete sources are `final`, so the inner
@@ -64,7 +76,8 @@ class OooCore
      * @return the number of instructions committed by this call.
      */
     uint64_t run(StepSource &src, uint64_t max_insts,
-                 BbProfiler *profiler = nullptr);
+                 BbProfiler *profiler = nullptr,
+                 const CancelToken &cancel = CancelToken());
 
     /**
      * run(), returning only this call's statistics delta
@@ -77,7 +90,8 @@ class OooCore
      */
     SimStats runMeasured(StepSource &src, uint64_t max_insts,
                          BbProfiler *profiler = nullptr,
-                         uint64_t *insts_done = nullptr);
+                         uint64_t *insts_done = nullptr,
+                         const CancelToken &cancel = CancelToken());
 
     /**
      * Clear in-flight pipeline state between discontiguous detailed
@@ -230,11 +244,13 @@ class OooCore
     /** step()-driven loop; Source=final class => static dispatch. */
     template <typename Source>
     uint64_t runSteps(Source &src, uint64_t max_insts,
-                      BbProfiler *profiler);
+                      BbProfiler *profiler,
+                      const CancelToken &cancel);
 
     /** Decoded-replay fast path over flat pre-decoded uop runs. */
     uint64_t runReplay(TraceReplayer &src, uint64_t max_insts,
-                       BbProfiler *profiler);
+                       BbProfiler *profiler,
+                       const CancelToken &cancel);
 
     SimConfig cfg;
     MemoryHierarchy mem;

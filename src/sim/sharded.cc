@@ -143,6 +143,52 @@ chargePlan(const std::vector<ShardSlice> &plan, ShardedRunResult &result)
     }
 }
 
+/** Instructions functionally warmed between cancellation polls. */
+constexpr uint64_t kWarmCancelChunk = 1 << 20;
+
+/**
+ * Functionally warm @p n instructions from @p src in bounded chunks,
+ * polling @p cancel between chunks (warming a full prefix can be the
+ * longest phase of a shard). Completed chunks accumulate into
+ * @p warmed_done for honest partial-cost accounting. False = cancelled
+ * mid-warm.
+ */
+template <typename Src>
+bool
+warmChunked(Src &src, uint64_t n, OooCore &core,
+            const CancelToken &cancel, std::atomic<uint64_t> &warmed_done)
+{
+    while (n > 0) {
+        if (cancel.cancelled())
+            return false;
+        uint64_t step = std::min(n, kWarmCancelChunk);
+        src.fastForwardWarm(step, &core.memHierarchy(),
+                            &core.predictor());
+        warmed_done.fetch_add(step, std::memory_order_relaxed);
+        n -= step;
+    }
+    return true;
+}
+
+/**
+ * The post-fan-out cancellation gate: a cancelled sharded run throws
+ * instead of stitching, carrying the raw partial progress so the
+ * technique layer can convert it to work units.
+ */
+void
+refuseStitchIfCancelled(const CancelToken &cancel,
+                        const std::atomic<uint64_t> &detailed_done,
+                        const std::atomic<uint64_t> &warmed_done)
+{
+    if (!cancel.cancelled())
+        return;
+    CancelledError err;
+    err.cause = cancel.cause();
+    err.detailedInsts = detailed_done.load(std::memory_order_relaxed);
+    err.warmedInsts = warmed_done.load(std::memory_order_relaxed);
+    throw err;
+}
+
 } // namespace
 
 const char *
@@ -195,7 +241,8 @@ planShards(uint64_t length, uint32_t shards, uint64_t warmup)
 
 ShardedRunResult
 runShardedReference(const std::shared_ptr<const ExecTrace> &trace,
-                    const SimConfig &config, const ShardOptions &opts)
+                    const SimConfig &config, const ShardOptions &opts,
+                    const CancelToken &cancel)
 {
     YASIM_CHECK(trace != nullptr, "sharded replay requires a trace");
     const uint64_t length = trace->length();
@@ -210,6 +257,8 @@ runShardedReference(const std::shared_ptr<const ExecTrace> &trace,
 
     std::atomic<uint32_t> restores{0};
     std::atomic<uint32_t> saves{0};
+    std::atomic<uint64_t> detailedDone{0};
+    std::atomic<uint64_t> warmedDone{0};
 
     globalPool().parallelFor(plan.size(), [&](size_t k) {
         const ShardSlice &slice = plan[k];
@@ -218,14 +267,20 @@ runShardedReference(const std::shared_ptr<const ExecTrace> &trace,
         bool warmed = false;
         makeCore(coreSlot, config, prep[k], warmed);
         OooCore &core = *coreSlot;
-        if (warmed)
+        if (warmed) {
             restores.fetch_add(1, std::memory_order_relaxed);
+            // Restored lead-ins charge like executed ones so partial
+            // cost never depends on warm-dir state (same rule as
+            // chargePlan).
+            warmedDone.fetch_add(slice.begin - slice.warmStart,
+                                 std::memory_order_relaxed);
+        }
 
         if (!warmed && slice.begin > 0) {
             replayer.seek(slice.warmStart);
-            replayer.fastForwardWarm(slice.begin - slice.warmStart,
-                                     &core.memHierarchy(),
-                                     &core.predictor());
+            if (!warmChunked(replayer, slice.begin - slice.warmStart,
+                             core, cancel, warmedDone))
+                return; // cancelled mid-warm: publish no summary
             if (!opts.warmDir.empty()) {
                 Checkpoint summary = Checkpoint::atPosition(slice.begin);
                 summary.attachUarch(core.memHierarchy(), core.predictor(),
@@ -236,11 +291,16 @@ runShardedReference(const std::shared_ptr<const ExecTrace> &trace,
             }
         }
 
+        if (cancel.cancelled())
+            return;
         replayer.seek(slice.begin);
-        result.perShard[k] =
-            core.runMeasured(replayer, slice.end - slice.begin);
-    });
+        uint64_t done = 0;
+        result.perShard[k] = core.runMeasured(
+            replayer, slice.end - slice.begin, nullptr, &done, cancel);
+        detailedDone.fetch_add(done, std::memory_order_relaxed);
+    }, cancel);
 
+    refuseStitchIfCancelled(cancel, detailedDone, warmedDone);
     result.stats = stitchStats(result.perShard);
     result.warmRestores = restores.load();
     result.warmSaves = saves.load();
@@ -249,7 +309,8 @@ runShardedReference(const std::shared_ptr<const ExecTrace> &trace,
 
 ShardedRunResult
 runShardedReference(const Program &program, uint64_t length,
-                    const SimConfig &config, const ShardOptions &opts)
+                    const SimConfig &config, const ShardOptions &opts,
+                    const CancelToken &cancel)
 {
     const std::vector<ShardSlice> plan =
         planShards(length, opts.exact ? 1 : opts.shards, opts.warmupInsts);
@@ -278,6 +339,8 @@ runShardedReference(const Program &program, uint64_t length,
 
     std::atomic<uint32_t> restores{0};
     std::atomic<uint32_t> saves{0};
+    std::atomic<uint64_t> detailedDone{0};
+    std::atomic<uint64_t> warmedDone{0};
     std::vector<std::vector<double>> bbefShard(plan.size());
     std::vector<std::vector<double>> bbvShard(plan.size());
 
@@ -288,8 +351,11 @@ runShardedReference(const Program &program, uint64_t length,
         bool warmed = false;
         makeCore(coreSlot, config, prep[k], warmed);
         OooCore &core = *coreSlot;
-        if (warmed)
+        if (warmed) {
             restores.fetch_add(1, std::memory_order_relaxed);
+            warmedDone.fetch_add(slice.begin - slice.warmStart,
+                                 std::memory_order_relaxed);
+        }
 
         if (warmed && prep[k].summary.hasArchState()) {
             // A live-saved summary carries the architectural state at
@@ -309,8 +375,8 @@ runShardedReference(const Program &program, uint64_t length,
                 // only the architectural position must still advance.
                 sim.fastForward(lead);
             } else if (lead > 0) {
-                sim.fastForwardWarm(lead, &core.memHierarchy(),
-                                    &core.predictor());
+                if (!warmChunked(sim, lead, core, cancel, warmedDone))
+                    return; // cancelled mid-warm
                 if (!opts.warmDir.empty()) {
                     Checkpoint summary = Checkpoint::capture(sim);
                     summary.attachUarch(core.memHierarchy(),
@@ -323,12 +389,18 @@ runShardedReference(const Program &program, uint64_t length,
         }
         YASIM_DCHECK_EQ(sim.instsExecuted(), slice.begin);
 
+        if (cancel.cancelled())
+            return;
         BbProfiler profiler(program);
-        result.perShard[k] =
-            core.runMeasured(sim, slice.end - slice.begin, &profiler);
+        uint64_t done = 0;
+        result.perShard[k] = core.runMeasured(
+            sim, slice.end - slice.begin, &profiler, &done, cancel);
+        detailedDone.fetch_add(done, std::memory_order_relaxed);
         bbefShard[k] = profiler.bbef();
         bbvShard[k] = profiler.bbv();
-    });
+    }, cancel);
+
+    refuseStitchIfCancelled(cancel, detailedDone, warmedDone);
 
     // Stitch the profile in shard-index order. Every count is an
     // integral double (weight 1.0), so the sum is exact and matches

@@ -39,6 +39,7 @@
 
 #include "sim/config.hh"
 #include "sim/stats.hh"
+#include "support/cancel.hh"
 
 namespace yasim {
 
@@ -145,22 +146,34 @@ struct ShardedRunResult
  * Workers replay independent cursors of the shared immutable trace;
  * parallelism comes from the global pool (nested invocations simply
  * run inline). @p opts.shards of 1 degrades to the sequential loop.
+ *
+ * A valid @p cancel token stops the fan-out cooperatively: unstarted
+ * shards are skipped, running ones return at their next batch-boundary
+ * poll, and the call throws CancelledError (carrying the partial
+ * detailed/warmed instruction counts) *instead of stitching* — a
+ * partially-simulated run must never masquerade as whole-run
+ * statistics.
  */
 ShardedRunResult runShardedReference(
     const std::shared_ptr<const ExecTrace> &trace, const SimConfig &config,
-    const ShardOptions &opts);
+    const ShardOptions &opts,
+    const CancelToken &cancel = CancelToken());
 
 /**
  * Live-mode overload: no trace, so shard lead-ins are reached through
  * an architectural CheckpointLibrary built in one functional pass
  * (charged as checkpointInsts) and the whole-run BBEF/BBV profile is
  * accumulated per shard and summed. Bit-identical to the trace
- * overload for the same @p length and @p config.
+ * overload for the same @p length and @p config. Same cancellation
+ * contract as the trace overload (the checkpoint-library pass itself
+ * is not cancellable; it is bounded functional-mode work).
  */
 ShardedRunResult runShardedReference(const Program &program,
                                      uint64_t length,
                                      const SimConfig &config,
-                                     const ShardOptions &opts);
+                                     const ShardOptions &opts,
+                                     const CancelToken &cancel =
+                                         CancelToken());
 
 } // namespace yasim
 

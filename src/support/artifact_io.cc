@@ -9,6 +9,7 @@
 #include <unistd.h>
 #include <vector>
 
+#include "support/backoff.hh"
 #include "support/failpoint.hh"
 #include "support/hash.hh"
 #include "support/logging.hh"
@@ -229,12 +230,8 @@ frameSize(std::string_view prefix, uint64_t max_payload, uint64_t &size)
 
 namespace {
 
-/** Linear backoff between transient-open retries. */
-void
-backoff(uint32_t attempt)
-{
-    std::this_thread::sleep_for(std::chrono::milliseconds(attempt));
-}
+/** Seed of the transient-open retry backoff (support/backoff.hh). */
+constexpr uint64_t kOpenBackoffSeed = 0x10a271fac7edULL;
 
 std::string
 tempName(const std::string &path)
@@ -255,6 +252,7 @@ readArtifact(const std::string &path, std::string_view magic,
     ArtifactReadResult result;
 
     int fd = -1;
+    Backoff retry_backoff(kOpenBackoffSeed);
     for (uint32_t attempt = 1; attempt <= kMaxOpenAttempts; ++attempt) {
         if (failpoint::fire("io.open.transient")) {
             errno = EIO;
@@ -275,7 +273,7 @@ readArtifact(const std::string &path, std::string_view magic,
             return result;
         }
         ++result.retries;
-        backoff(attempt);
+        retry_backoff.sleep();
     }
 
     std::string frame;
@@ -332,6 +330,7 @@ writeArtifact(const std::string &path, std::string_view magic,
     const std::string tmp = tempName(path);
 
     int fd = -1;
+    Backoff retry_backoff(kOpenBackoffSeed);
     for (uint32_t attempt = 1; attempt <= kMaxOpenAttempts; ++attempt) {
         if (failpoint::fire("io.open.transient")) {
             errno = EIO;
@@ -349,7 +348,7 @@ writeArtifact(const std::string &path, std::string_view magic,
             return result;
         }
         ++result.retries;
-        backoff(attempt);
+        retry_backoff.sleep();
     }
 
     // An injected short write publishes a deliberately torn frame: the

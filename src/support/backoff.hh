@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Capped exponential retry backoff with deterministic jitter.
+ *
+ * The library used to carry two hand-rolled linear backoff() helpers
+ * (service client reconnects, artifact reader retries); this is the
+ * one shared policy both now use. Delays grow exponentially from
+ * baseMs up to capMs, with full jitter — each delay is uniform in
+ * [0, min(cap, base << attempt)] — drawn from the project's seeded
+ * Rng, so a given (seed, attempt-sequence) produces the same delays
+ * on every run and on every platform (determinism rule D1: no
+ * entropy, no wall clock in policy decisions).
+ *
+ * Typical use:
+ *
+ *     Backoff backoff(kSiteSeed);
+ *     while (!tryThing()) {
+ *         backoff.sleep();   // attempt 0, 1, 2, ... since last reset
+ *     }
+ *     backoff.reset();       // success: next failure starts small
+ */
+
+#ifndef YASIM_SUPPORT_BACKOFF_HH
+#define YASIM_SUPPORT_BACKOFF_HH
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "support/rng.hh"
+
+namespace yasim {
+
+class Backoff
+{
+  public:
+    explicit Backoff(uint64_t seed, uint32_t base_ms = 1,
+                     uint32_t cap_ms = 64)
+        : rng(seed), baseMs(base_ms ? base_ms : 1), capMs(cap_ms)
+    {}
+
+    /**
+     * The next delay in the sequence, in milliseconds: full jitter
+     * over an exponentially growing, capped window. Advances the
+     * attempt counter.
+     */
+    uint64_t nextDelayMs()
+    {
+        uint64_t window = capMs;
+        if (attempt < 32) {
+            uint64_t grown = uint64_t(baseMs) << attempt;
+            window = grown < capMs ? grown : capMs;
+        }
+        ++attempt;
+        return rng.nextBelow(window + 1);
+    }
+
+    /** Sleep for nextDelayMs(). */
+    void sleep()
+    {
+        uint64_t ms = nextDelayMs();
+        if (ms > 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    }
+
+    /** Attempts since construction or the last reset(). */
+    uint32_t attempts() const { return attempt; }
+
+    /** Back to attempt 0 (call after a success). */
+    void reset() { attempt = 0; }
+
+  private:
+    Rng rng;
+    uint32_t baseMs;
+    uint32_t capMs;
+    uint32_t attempt = 0;
+};
+
+} // namespace yasim
+
+#endif // YASIM_SUPPORT_BACKOFF_HH

@@ -1,0 +1,83 @@
+#include "support/cancel.hh"
+
+#include <chrono>
+
+#include "support/failpoint.hh"
+
+namespace yasim {
+
+const char *
+cancelCauseName(CancelCause cause)
+{
+    switch (cause) {
+      case CancelCause::None:
+        return "none";
+      case CancelCause::Cancelled:
+        return "cancelled";
+      case CancelCause::DeadlineExceeded:
+        return "deadline-exceeded";
+    }
+    return "unknown";
+}
+
+int64_t
+monotonicNowMs()
+{
+    // The one sanctioned clock read in src/: deadlines affect only
+    // *liveness* (a run stops sooner), never a value — cancelled runs
+    // are discarded, not cached — so D1's no-wall-clock rule holds.
+    // yasim-lint: allow(D1)
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+namespace detail {
+
+bool
+CancelState::poll()
+{
+    if (cause.load(std::memory_order_acquire) != 0)
+        return true;
+    int64_t at = deadlineAtMs.load(std::memory_order_acquire);
+    if (at != INT64_MAX && monotonicNowMs() >= at) {
+        uint32_t none = 0;
+        cause.compare_exchange_strong(
+            none, uint32_t(CancelCause::DeadlineExceeded),
+            std::memory_order_acq_rel);
+        return true;
+    }
+    // Deterministic cancellation for tests: every poll of a valid
+    // token evaluates the site, so "after K" schedules land on an
+    // exact batch boundary.
+    if (failpoint::fire("engine.cancel.token")) {
+        uint32_t none = 0;
+        cause.compare_exchange_strong(none,
+                                      uint32_t(CancelCause::Cancelled),
+                                      std::memory_order_acq_rel);
+        return true;
+    }
+    return false;
+}
+
+} // namespace detail
+
+void
+CancelSource::cancel(CancelCause c)
+{
+    if (c == CancelCause::None)
+        return;
+    uint32_t none = 0;
+    state->cause.compare_exchange_strong(none, uint32_t(c),
+                                         std::memory_order_acq_rel);
+}
+
+void
+CancelSource::setDeadlineAfterMs(int64_t ms)
+{
+    state->deadlineAtMs.store(monotonicNowMs() + ms,
+                              std::memory_order_release);
+}
+
+} // namespace yasim

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Cooperative cancellation and deadlines (docs/robustness.md).
+ *
+ * A CancelSource owns one cancellation flag; CancelTokens are cheap
+ * shared handles onto it. Cancellation is strictly cooperative and
+ * poll-based: nothing is interrupted, no signal is delivered — code
+ * that wants to be cancellable calls token.cancelled() at its own
+ * safe points and unwinds by returning early or throwing
+ * CancelledError. The long-running loops (OooCore batches, shard
+ * workers, ThreadPool claims) poll only at chunk/batch boundaries so
+ * the hot paths stay branch-predictable; an *invalid* (default)
+ * token's poll is a single null check and can never fire.
+ *
+ * Two causes exist and the first one recorded wins:
+ *
+ *     Cancelled         someone called CancelSource::cancel()
+ *     DeadlineExceeded  the source's monotonic deadline passed
+ *
+ * Deadlines are the only place in src/ that reads a clock, and the
+ * read is confined to monotonicNowMs() in cancel.cc with a lint
+ * suppression: a deadline can only make a run *stop sooner*, and a
+ * cancelled run is never memoized, cached, or stitched, so wall time
+ * can never leak into a result (determinism rule D1 stays intact).
+ *
+ * Determinism in tests comes from the "engine.cancel.token" failpoint:
+ * every poll of a *valid* token evaluates it, so a schedule like
+ * "engine.cancel.token=after4" cancels on exactly the fifth poll of
+ * the run — no timers, no races.
+ */
+
+#ifndef YASIM_SUPPORT_CANCEL_HH
+#define YASIM_SUPPORT_CANCEL_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace yasim {
+
+/** Why a run stopped early. */
+enum class CancelCause : uint32_t {
+    None = 0,
+    /** Explicitly cancelled via CancelSource::cancel(). */
+    Cancelled = 1,
+    /** The source's monotonic deadline passed. */
+    DeadlineExceeded = 2,
+};
+
+/** Stable lowercase name of @p cause ("none"/"cancelled"/...). */
+const char *cancelCauseName(CancelCause cause);
+
+/**
+ * Milliseconds on the process-wide monotonic clock. Liveness-only:
+ * results must never depend on it (see file comment).
+ */
+int64_t monotonicNowMs();
+
+namespace detail {
+
+/** Shared state behind one CancelSource and its tokens. */
+struct CancelState
+{
+    /** CancelCause, sticky once non-zero (first cause wins). */
+    std::atomic<uint32_t> cause{0};
+    /** Monotonic expiry in ms; INT64_MAX when no deadline is set. */
+    std::atomic<int64_t> deadlineAtMs{INT64_MAX};
+
+    bool poll();
+    CancelCause current() const
+    {
+        return CancelCause(cause.load(std::memory_order_acquire));
+    }
+};
+
+} // namespace detail
+
+/**
+ * Thrown (by cancellation-aware callers, never by poll itself) to
+ * unwind a cancelled run. Carries the cause and the partial work
+ * already performed so accounting stays honest.
+ */
+struct CancelledError
+{
+    CancelCause cause = CancelCause::Cancelled;
+    /** Cost-model work units completed before the run stopped. */
+    double partialWorkUnits = 0.0;
+    /** Raw partial progress, for layers that lack the cost model. */
+    uint64_t detailedInsts = 0;
+    uint64_t warmedInsts = 0;
+};
+
+/**
+ * A poll-only view of a CancelSource. Default-constructed tokens are
+ * invalid: cancelled() is one null check and always false, so
+ * threading a token through an API costs nothing for callers that
+ * never cancel.
+ */
+class CancelToken
+{
+  public:
+    CancelToken() = default;
+
+    /** True when bound to a CancelSource. */
+    bool valid() const { return state != nullptr; }
+
+    /**
+     * Poll for cancellation: checks the sticky cause, then the
+     * deadline, then the "engine.cancel.token" failpoint (valid
+     * tokens only). Safe from any thread; sticky once true.
+     */
+    bool cancelled() const { return state && state->poll(); }
+
+    /** The recorded cause (None while cancelled() is false). */
+    CancelCause cause() const
+    {
+        return state ? state->current() : CancelCause::None;
+    }
+
+  private:
+    friend class CancelSource;
+    explicit CancelToken(std::shared_ptr<detail::CancelState> s)
+        : state(std::move(s))
+    {}
+
+    std::shared_ptr<detail::CancelState> state;
+};
+
+/** Owner side: create tokens, set a deadline, request cancellation. */
+class CancelSource
+{
+  public:
+    CancelSource() : state(std::make_shared<detail::CancelState>()) {}
+
+    /** A token observing this source. */
+    CancelToken token() const { return CancelToken(state); }
+
+    /**
+     * Record @p cause; the first recorded cause wins and later calls
+     * are no-ops. Safe from any thread.
+     */
+    void cancel(CancelCause cause = CancelCause::Cancelled);
+
+    /** Expire this source @p ms from now on the monotonic clock. */
+    void setDeadlineAfterMs(int64_t ms);
+
+    /** Absolute monotonic expiry (INT64_MAX = none). */
+    int64_t deadlineAtMs() const
+    {
+        return state->deadlineAtMs.load(std::memory_order_acquire);
+    }
+
+    /** True once cancelled or past deadline (polls, like a token). */
+    bool expired() const { return state->poll(); }
+
+    /** The recorded cause (None while expired() is false). */
+    CancelCause cause() const { return state->current(); }
+
+  private:
+    std::shared_ptr<detail::CancelState> state;
+};
+
+} // namespace yasim
+
+#endif // YASIM_SUPPORT_CANCEL_HH

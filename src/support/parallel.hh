@@ -26,14 +26,19 @@ namespace yasim {
  * return the results in index order. Result must be default- and
  * move-constructible. Nested calls from inside a parallel job run
  * serially inline.
+ *
+ * A valid @p cancel token stops the map early: unstarted jobs are
+ * skipped and their slots stay default-constructed, so callers that
+ * pass a token must check it before using the results.
  */
 template <typename Result, typename Fn>
 std::vector<Result>
-parallelMap(size_t count, Fn &&fn)
+parallelMap(size_t count, Fn &&fn,
+            const CancelToken &cancel = CancelToken())
 {
     std::vector<Result> results(count);
     globalPool().parallelFor(
-        count, [&](size_t i) { results[i] = fn(i); });
+        count, [&](size_t i) { results[i] = fn(i); }, cancel);
     return results;
 }
 

@@ -144,9 +144,38 @@ ThreadPool::workerLoop(unsigned slot)
     }
 }
 
+void
+ThreadPool::cancelSweep(Batch &batch)
+{
+    // Swallow every unclaimed index so completed still reaches total
+    // and runBatch's wait terminates. exchange() serializes against
+    // concurrent fetch_add claims, so each index is counted exactly
+    // once — either run by whoever claimed it first or skipped here.
+    size_t skipped = 0;
+    for (size_t c = 0; c < batch.numChunks; ++c) {
+        Chunk &chunk = batch.chunks[c];
+        size_t prev = chunk.next.exchange(chunk.end,
+                                          std::memory_order_acq_rel);
+        if (prev < chunk.end)
+            skipped += chunk.end - prev;
+    }
+    if (skipped == 0)
+        return;
+    size_t done = skipped + batch.completed.fetch_add(
+                                skipped, std::memory_order_acq_rel);
+    if (done == batch.total) {
+        std::lock_guard<std::mutex> lock(poolMutex);
+        doneCv.notify_all();
+    }
+}
+
 size_t
 ThreadPool::claim(Batch &batch, size_t home, bool *stolen)
 {
+    if (batch.cancel.cancelled()) {
+        cancelSweep(batch);
+        return SIZE_MAX;
+    }
     Chunk &own = batch.chunks[home];
     size_t i = own.next.fetch_add(1, std::memory_order_relaxed);
     if (i < own.end) {

@@ -32,6 +32,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "support/cancel.hh"
+
 namespace yasim {
 
 /**
@@ -79,17 +81,27 @@ class ThreadPool
      * Run fn(i) for every i in [0, count). Blocks until all tasks
      * finished; the calling thread executes tasks too. The first
      * exception a task throws is rethrown here after the batch drains.
+     *
+     * When @p cancel is a valid token, cancellation stops *claiming*:
+     * tasks not yet started are skipped (in-flight ones finish — tasks
+     * that want a tighter bound poll the token themselves), the call
+     * still returns normally, and the caller inspects the token to
+     * decide whether the partially-run batch is an error.
      */
     template <typename Fn>
     void
-    parallelFor(size_t count, Fn &&fn)
+    parallelFor(size_t count, Fn &&fn,
+                const CancelToken &cancel = CancelToken())
     {
         if (count == 0)
             return;
         if (inTask() || workerThreads() == 0 || count == 1) {
             // Nested or degenerate: run inline.
-            for (size_t i = 0; i < count; ++i)
+            for (size_t i = 0; i < count; ++i) {
+                if (cancel.cancelled())
+                    return;
                 fn(i);
+            }
             return;
         }
         Batch batch;
@@ -97,6 +109,7 @@ class ThreadPool
         batch.invoke = [](void *ctx, size_t i) {
             (*static_cast<std::remove_reference_t<Fn> *>(ctx))(i);
         };
+        batch.cancel = cancel;
         runBatch(batch, count);
     }
 
@@ -120,6 +133,8 @@ class ThreadPool
         /** Workers currently inside drain() for this batch. */
         std::atomic<int> active{0};
         std::exception_ptr error; // guarded by the pool mutex
+        /** Batch-level cancellation (invalid token = never). */
+        CancelToken cancel;
     };
 
     static bool &inTask();
@@ -130,6 +145,8 @@ class ThreadPool
     void drain(Batch &batch, size_t home, bool is_caller);
     /** Claim one index, stealing if @p home is dry; SIZE_MAX = none. */
     size_t claim(Batch &batch, size_t home, bool *stolen);
+    /** Mark every unclaimed index completed-without-running. */
+    void cancelSweep(Batch &batch);
 
     mutable std::mutex poolMutex;
     std::condition_variable workCv; ///< wakes workers for a new batch

@@ -21,17 +21,29 @@ TechniqueResult
 runSharded(const TechniqueContext &ctx, const SimConfig &config)
 {
     ShardedRunResult run;
-    if (ctx.traces) {
-        auto trace = ctx.traces->get(ctx.benchmark, InputSet::Reference,
-                                     ctx.suite);
-        run = runShardedReference(trace, config, ctx.shards);
-        run.bbef = trace->bbef();
-        run.bbv = trace->bbv();
-    } else {
-        StepSourceHandle src =
-            openStepSource(ctx, InputSet::Reference);
-        run = runShardedReference(src.program(), ctx.referenceLength,
-                                  config, ctx.shards);
+    try {
+        if (ctx.traces) {
+            auto trace = ctx.traces->get(ctx.benchmark,
+                                         InputSet::Reference, ctx.suite);
+            run = runShardedReference(trace, config, ctx.shards,
+                                      ctx.cancel);
+            run.bbef = trace->bbef();
+            run.bbv = trace->bbv();
+        } else {
+            StepSourceHandle src =
+                openStepSource(ctx, InputSet::Reference);
+            run = runShardedReference(src.program(), ctx.referenceLength,
+                                      config, ctx.shards, ctx.cancel);
+        }
+    } catch (CancelledError &cancelled) {
+        // Convert raw partial progress to work units here, where the
+        // cost model lives, so the engine can charge honestly.
+        cancelled.partialWorkUnits =
+            ctx.cost.detailedPerInst *
+                static_cast<double>(cancelled.detailedInsts) +
+            ctx.cost.functionalWarmPerInst *
+                static_cast<double>(cancelled.warmedInsts);
+        throw;
     }
 
     TechniqueResult result;
@@ -66,17 +78,34 @@ FullReference::run(const TechniqueContext &ctx,
     StepSourceHandle src = openStepSource(ctx, InputSet::Reference);
     OooCore core(config);
 
+    // Bail out of a cancelled sequential run at the core's next
+    // batch-boundary poll, charging the instructions actually
+    // detail-simulated.
+    auto throwIfCancelled = [&ctx, &core] {
+        if (!ctx.cancel.cancelled())
+            return;
+        CancelledError err;
+        err.cause = ctx.cancel.cause();
+        err.detailedInsts = core.instsRetired();
+        err.partialWorkUnits =
+            ctx.cost.detailedPerInst *
+            static_cast<double>(err.detailedInsts);
+        throw err;
+    };
+
     TechniqueResult result;
     if (src.replay()) {
         // The trace already carries the full-run profile (recorded with
         // weight 1.0, exactly what a full detailed pass accumulates),
         // so detailed simulation needs no profiler attached.
-        core.run(*src.source, ~0ULL);
+        core.run(*src.source, ~0ULL, nullptr, ctx.cancel);
+        throwIfCancelled();
         result.bbef = src.trace->bbef();
         result.bbv = src.trace->bbv();
     } else {
         BbProfiler profiler(src.program());
-        core.run(*src.source, ~0ULL, &profiler);
+        core.run(*src.source, ~0ULL, &profiler, ctx.cancel);
+        throwIfCancelled();
         result.bbef = profiler.bbef();
         result.bbv = profiler.bbv();
     }

@@ -27,6 +27,7 @@
 #include "sim/config.hh"
 #include "sim/sharded.hh"
 #include "sim/stats.hh"
+#include "support/cancel.hh"
 #include "workloads/suite.hh"
 
 namespace yasim {
@@ -79,6 +80,14 @@ struct TechniqueContext
      * default (1 shard) is the exact sequential path.
      */
     ShardOptions shards;
+    /**
+     * Cooperative cancellation for this run (support/cancel.hh).
+     * Polled at batch boundaries only; the default invalid token
+     * never fires. Deliberately NOT part of the cache key: a token
+     * can only stop a run early, and a cancelled run produces no
+     * result to cache.
+     */
+    CancelToken cancel;
 
     /** Convert the paper's scaled M-instructions to instructions. */
     uint64_t scaledM(double m) const

@@ -1,0 +1,436 @@
+/**
+ * @file
+ * Cooperative cancellation and deadlines (support/cancel.hh and every
+ * seam it threads through): token/source semantics, the deterministic
+ * "engine.cancel.token" failpoint, the shared Backoff policy, the
+ * core's batch-boundary latency bound, pool and sharded unwinding, the
+ * engine's never-cache-a-cancelled-run contract, and a failpoint-storm
+ * torture loop followed by a clean bit-identical verification pass.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hh"
+#include "isa/program_builder.hh"
+#include "sim/functional.hh"
+#include "sim/ooo_core.hh"
+#include "sim/sharded.hh"
+#include "support/backoff.hh"
+#include "support/cancel.hh"
+#include "support/failpoint.hh"
+#include "support/parallel.hh"
+#include "techniques/full_reference.hh"
+#include "techniques/service.hh"
+
+namespace yasim {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr uint64_t kRefInsts = 150'000;
+
+/** A simple ALU loop with independent operations (high ILP). */
+Program
+ilpLoop(uint64_t trips)
+{
+    ProgramBuilder b("ilp");
+    Label top = b.newLabel();
+    b.movi(1, 0);
+    b.movi(2, static_cast<int64_t>(trips));
+    b.bind(top);
+    b.addi(3, 3, 1);
+    b.addi(4, 4, 1);
+    b.addi(5, 5, 1);
+    b.addi(6, 6, 1);
+    b.addi(7, 7, 1);
+    b.addi(8, 8, 1);
+    b.addi(1, 1, 1);
+    b.blt(1, 2, top);
+    b.halt();
+    return b.finish();
+}
+
+/** A scratch cache directory wiped before and after each use. */
+class ScratchDir
+{
+  public:
+    explicit ScratchDir(const std::string &name)
+        : dir(fs::path(::testing::TempDir()) / name)
+    {
+        fs::remove_all(dir);
+        fs::create_directories(dir);
+    }
+    ~ScratchDir() { fs::remove_all(dir); }
+    std::string str() const { return dir.string(); }
+
+  private:
+    fs::path dir;
+};
+
+bool
+bitEq(double a, double b)
+{
+    return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+void
+expectBitIdentical(const TechniqueResult &a, const TechniqueResult &b)
+{
+    EXPECT_TRUE(bitEq(a.cpi, b.cpi));
+    EXPECT_TRUE(bitEq(a.workUnits, b.workUnits));
+    EXPECT_EQ(a.detailedInsts, b.detailedInsts);
+    EXPECT_EQ(a.detailed.instructions, b.detailed.instructions);
+    EXPECT_EQ(a.detailed.cycles, b.detailed.cycles);
+}
+
+// ------------------------------------------------- token semantics
+
+TEST(CancelToken, InvalidTokenNeverFires)
+{
+    // Even with the failpoint armed on every evaluation: an invalid
+    // token's poll is a null check and must never reach the site.
+    failpoint::ScopedSchedule always("engine.cancel.token=always");
+    CancelToken token;
+    EXPECT_FALSE(token.valid());
+    EXPECT_FALSE(token.cancelled());
+    EXPECT_EQ(token.cause(), CancelCause::None);
+    EXPECT_EQ(failpoint::stats("engine.cancel.token").evaluations, 0u);
+}
+
+TEST(CancelSource, FirstCauseWins)
+{
+    failpoint::ScopedSchedule off("");
+    CancelSource source;
+    CancelToken token = source.token();
+    EXPECT_FALSE(token.cancelled());
+
+    source.cancel(CancelCause::Cancelled);
+    source.cancel(CancelCause::DeadlineExceeded);
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_EQ(token.cause(), CancelCause::Cancelled);
+    EXPECT_TRUE(source.expired());
+    EXPECT_EQ(source.cause(), CancelCause::Cancelled);
+
+    // And the other way round: a deadline that already fired blocks a
+    // later explicit cancel from rewriting the cause.
+    CancelSource late;
+    late.setDeadlineAfterMs(-1);
+    EXPECT_TRUE(late.expired());
+    late.cancel(CancelCause::Cancelled);
+    EXPECT_EQ(late.cause(), CancelCause::DeadlineExceeded);
+}
+
+TEST(CancelSource, DeadlineTripsAsDeadlineExceeded)
+{
+    failpoint::ScopedSchedule off("");
+    CancelSource source;
+    EXPECT_EQ(source.deadlineAtMs(), INT64_MAX);
+
+    source.setDeadlineAfterMs(60'000);
+    EXPECT_NE(source.deadlineAtMs(), INT64_MAX);
+    EXPECT_FALSE(source.expired());
+    EXPECT_EQ(source.cause(), CancelCause::None);
+
+    source.setDeadlineAfterMs(-1);
+    CancelToken token = source.token();
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_EQ(token.cause(), CancelCause::DeadlineExceeded);
+}
+
+TEST(CancelFailpoint, AfterScheduleFiresOnTheExactPoll)
+{
+    // "after3" fires exactly once, on the fourth evaluation — this is
+    // what makes cancellation tests timer-free and deterministic.
+    failpoint::ScopedSchedule sched("engine.cancel.token=after3");
+    CancelSource source;
+    CancelToken token = source.token();
+    for (int poll = 0; poll < 3; ++poll)
+        EXPECT_FALSE(token.cancelled()) << "poll " << poll;
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_EQ(token.cause(), CancelCause::Cancelled);
+    // Sticky thereafter, with no further site evaluations needed.
+    EXPECT_TRUE(token.cancelled());
+}
+
+// ------------------------------------------- the shared Backoff
+
+TEST(BackoffPolicy, DeterministicBoundedAndResettable)
+{
+    Backoff a(42), b(42);
+    for (uint32_t attempt = 0; attempt < 12; ++attempt) {
+        uint64_t delay = a.nextDelayMs();
+        EXPECT_EQ(delay, b.nextDelayMs()) << "attempt " << attempt;
+        // Full jitter over a capped exponential window.
+        uint64_t window = attempt < 6 ? (uint64_t(1) << attempt) : 64;
+        EXPECT_LE(delay, window) << "attempt " << attempt;
+    }
+    EXPECT_EQ(a.attempts(), 12u);
+
+    // reset() shrinks the window back to the base; the jitter stream
+    // keeps advancing (it is a policy stream, not a replay).
+    a.reset();
+    EXPECT_EQ(a.attempts(), 0u);
+    EXPECT_LE(a.nextDelayMs(), 1u);
+}
+
+// ------------------------------------------- core latency bound
+
+TEST(OooCoreCancel, PreCancelledRunStopsWithinOneQuantum)
+{
+    failpoint::ScopedSchedule off("");
+    Program program = ilpLoop(8000); // ~64k dynamic instructions
+    FunctionalSim fsim(program);
+    OooCore core{SimConfig{}};
+    CancelSource source;
+    source.cancel();
+
+    uint64_t done = core.run(fsim, ~0ULL, nullptr, source.token());
+    // The poll cadence is kCancelCheckInsts; the first poll must see
+    // the cancel and return, so the run commits one quantum, give or
+    // take one fetch batch — never the whole program.
+    EXPECT_GE(done, OooCore::kCancelCheckInsts);
+    EXPECT_LT(done, OooCore::kCancelCheckInsts + 512);
+    EXPECT_EQ(core.instsRetired(), done);
+}
+
+TEST(OooCoreCancel, FailpointCancelIsDeterministicAcrossRuns)
+{
+    auto cancelledRun = [] {
+        failpoint::ScopedSchedule sched("engine.cancel.token=after2");
+        Program program = ilpLoop(8000);
+        FunctionalSim fsim(program);
+        OooCore core{SimConfig{}};
+        CancelSource source;
+        return core.run(fsim, ~0ULL, nullptr, source.token());
+    };
+    uint64_t first = cancelledRun();
+    // Fires on the third batch-boundary poll: under three quanta plus
+    // one fetch batch, and identical on every run.
+    EXPECT_LT(first, 3 * OooCore::kCancelCheckInsts + 512);
+    EXPECT_GE(first, 2 * OooCore::kCancelCheckInsts);
+    EXPECT_EQ(cancelledRun(), first);
+}
+
+TEST(OooCoreCancel, UncancelledValidTokenIsBitIdentical)
+{
+    failpoint::ScopedSchedule off("");
+    SimConfig config;
+    Program program = ilpLoop(3000);
+
+    FunctionalSim plain_src(program);
+    OooCore plain{config};
+    plain.run(plain_src, ~0ULL);
+
+    FunctionalSim token_src(program);
+    OooCore tokened{config};
+    CancelSource source;
+    tokened.run(token_src, ~0ULL, nullptr, source.token());
+
+    SimStats a = plain.snapshot(), b = tokened.snapshot();
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cycles, b.cycles);
+}
+
+// ------------------------------------------------- pool unwinding
+
+TEST(ThreadPoolCancel, PreCancelledMapRunsNothing)
+{
+    failpoint::ScopedSchedule off("");
+    CancelSource source;
+    source.cancel();
+    std::atomic<int> executed{0};
+    std::vector<int> results = parallelMap<int>(
+        1000,
+        [&](size_t) {
+            ++executed;
+            return 1;
+        },
+        source.token());
+    EXPECT_EQ(executed.load(), 0);
+    ASSERT_EQ(results.size(), 1000u);
+    for (int r : results)
+        EXPECT_EQ(r, 0); // skipped slots stay default-constructed
+}
+
+TEST(ThreadPoolCancel, MidMapCancelSkipsUnclaimedWork)
+{
+    failpoint::ScopedSchedule off("");
+    constexpr size_t kCount = 100'000;
+    CancelSource source;
+    std::atomic<size_t> executed{0};
+    std::vector<int> results = parallelMap<int>(
+        kCount,
+        [&](size_t) {
+            source.cancel(); // first task cancels everyone
+            ++executed;
+            return 1;
+        },
+        source.token());
+    // The call returned (no hang) and the sweep skipped nearly all of
+    // the map: only tasks already claimed when the cancel landed ran.
+    EXPECT_GT(executed.load(), 0u);
+    EXPECT_LT(executed.load(), kCount);
+    size_t ran = 0;
+    for (int r : results)
+        ran += size_t(r);
+    EXPECT_EQ(ran, executed.load());
+}
+
+// ------------------------------------------------ sharded stitches
+
+TEST(ShardedCancel, RefusesToStitchAPartialRun)
+{
+    failpoint::ScopedSchedule off("");
+    Program program = ilpLoop(40'000); // ~320k dynamic instructions
+    constexpr uint64_t kLength = 200'000;
+    ShardOptions opts;
+    opts.shards = 4;
+    CancelSource source;
+    source.cancel();
+
+    bool threw = false;
+    try {
+        runShardedReference(program, kLength, SimConfig{}, opts,
+                            source.token());
+    } catch (const CancelledError &err) {
+        threw = true;
+        EXPECT_EQ(err.cause, CancelCause::Cancelled);
+        // Honest partial accounting, never a full-length claim.
+        EXPECT_LT(err.detailedInsts, kLength);
+    }
+    EXPECT_TRUE(threw)
+        << "a cancelled sharded run stitched whole-run statistics";
+}
+
+// ------------------------------------------------------ the engine
+
+TEST(EngineCancel, CancelledRunIsChargedButNeverCached)
+{
+    SuiteConfig suite;
+    suite.referenceInstructions = kRefInsts;
+    ExperimentEngine engine;
+    TechniqueContext ctx = engine.context("gzip", suite);
+    FullReference reference;
+    SimConfig config = architecturalConfig(2);
+
+    {
+        failpoint::ScopedSchedule sched("engine.cancel.token=after4");
+        CancelSource source;
+        ctx.cancel = source.token();
+        bool threw = false;
+        try {
+            engine.run(reference, ctx, config);
+        } catch (const CancelledError &err) {
+            threw = true;
+            EXPECT_EQ(err.cause, CancelCause::Cancelled);
+        }
+        ASSERT_TRUE(threw);
+    }
+    EngineCounters after = engine.counters();
+    EXPECT_EQ(after.runsCancelled, 1u);
+    EXPECT_EQ(after.runsExecuted, 0u);
+    EXPECT_EQ(after.memoHits, 0u);
+
+    // The retry must recompute (nothing was memoized) and come back
+    // bit-identical to a never-cancelled engine.
+    failpoint::ScopedSchedule off("");
+    ctx.cancel = CancelToken();
+    TechniqueResult retried = engine.run(reference, ctx, config);
+    EXPECT_EQ(engine.counters().runsExecuted, 1u);
+
+    ExperimentEngine clean;
+    TechniqueResult fresh =
+        clean.run(reference, clean.context("gzip", suite), config);
+    expectBitIdentical(retried, fresh);
+}
+
+TEST(EngineCancel, AbortedCacheWritesLeaveNoArtifacts)
+{
+    ScratchDir scratch("yasim_cancel_aborted_writes");
+    SuiteConfig suite;
+    suite.referenceInstructions = kRefInsts;
+    FullReference reference;
+    SimConfig config = architecturalConfig(1);
+
+    TechniqueResult result;
+    {
+        // Every result publish aborts at the last moment, as if the
+        // request were cancelled between completion and write.
+        failpoint::ScopedSchedule sched("engine.cancel.write=always");
+        ExperimentEngine engine(
+            {.cacheDir = scratch.str(), .traces = false});
+        result = engine.run(
+            reference, engine.context("gzip", suite), config);
+        EXPECT_GT(result.workUnits, 0.0);
+        EXPECT_GE(engine.counters().cacheWritesAborted, 1u);
+    }
+    // The abort happened before the atomic publish: no .result file
+    // exists at all — in particular, never a torn one.
+    for (const fs::directory_entry &entry :
+         fs::directory_iterator(scratch.str()))
+        EXPECT_NE(entry.path().extension(), ".result")
+            << "aborted write still published "
+            << entry.path().filename();
+
+    // A cold engine over the directory therefore recomputes, and the
+    // recomputation is bit-identical.
+    failpoint::ScopedSchedule off("");
+    ExperimentEngine cold({.cacheDir = scratch.str(), .traces = false});
+    TechniqueResult recomputed =
+        cold.run(reference, cold.context("gzip", suite), config);
+    EXPECT_EQ(cold.counters().runsExecuted, 1u);
+    expectBitIdentical(recomputed, result);
+}
+
+TEST(EngineCancel, TortureStormThenCleanVerify)
+{
+    // The cancellation analogue of the crash-torture test: hammer one
+    // shared cache directory with runs whose polls and publishes fail
+    // pseudo-randomly, then disarm everything and prove the directory
+    // still serves bit-identical results.
+    ScratchDir scratch("yasim_cancel_torture");
+    SuiteConfig suite;
+    suite.referenceInstructions = kRefInsts;
+    FullReference reference;
+    SimConfig config = architecturalConfig(1);
+
+    int cancelled = 0;
+    for (int round = 0; round < 6; ++round) {
+        failpoint::ScopedSchedule sched(
+            "engine.cancel.token=1in4,engine.cancel.write=1in3,seed=" +
+            std::to_string(round));
+        ExperimentEngine engine(
+            {.cacheDir = scratch.str(), .traces = false});
+        TechniqueContext ctx = engine.context("gzip", suite);
+        CancelSource source;
+        ctx.cancel = source.token();
+        try {
+            engine.run(reference, ctx, config);
+        } catch (const CancelledError &) {
+            ++cancelled;
+            EXPECT_EQ(engine.counters().runsCancelled, 1u);
+        }
+    }
+    // The schedule must have actually cancelled something, or the
+    // storm was vacuous.
+    EXPECT_GE(cancelled, 1);
+
+    failpoint::ScopedSchedule off("");
+    ExperimentEngine after({.cacheDir = scratch.str(), .traces = false});
+    TechniqueResult survived =
+        after.run(reference, after.context("gzip", suite), config);
+
+    ExperimentEngine clean;
+    TechniqueResult fresh =
+        clean.run(reference, clean.context("gzip", suite), config);
+    expectBitIdentical(survived, fresh);
+}
+
+} // namespace
+} // namespace yasim

@@ -805,3 +805,391 @@ TEST(ServiceDaemonTest, AcceptTransientsRetryFromBacklog)
     }
     EXPECT_GE(fixture.daemon->counters().acceptTransients, 1u);
 }
+
+// --- deadlines, cancellation, shedding (protocol v2) -------------------
+
+TEST(ServiceProtocol, DeadlineAndCancelFieldsRoundTrip)
+{
+    ExperimentRequest request = sampleRequest();
+    request.deadlineMs = 1234;
+    ExperimentRequest decoded;
+    std::string error;
+    ASSERT_TRUE(decodeRequest(encodeRequest(request), decoded, error))
+        << error;
+    EXPECT_EQ(decoded.deadlineMs, 1234u);
+    EXPECT_EQ(decoded.target, 0u);
+
+    ExperimentRequest cancel;
+    cancel.id = 9;
+    cancel.kind = RequestKind::Cancel;
+    cancel.target = 42;
+    ASSERT_TRUE(decodeRequest(encodeRequest(cancel), decoded, error))
+        << error;
+    EXPECT_EQ(decoded.kind, RequestKind::Cancel);
+    EXPECT_EQ(decoded.target, 42u);
+
+    ExperimentResponse response;
+    response.id = 9;
+    response.status = ResponseStatus::DeadlineExceeded;
+    response.error = "deadline-exceeded";
+    ExperimentResponse rdecoded;
+    ASSERT_TRUE(
+        decodeResponse(encodeResponse(response), rdecoded, error))
+        << error;
+    EXPECT_EQ(rdecoded.status, ResponseStatus::DeadlineExceeded);
+    response.status = ResponseStatus::Cancelled;
+    ASSERT_TRUE(
+        decodeResponse(encodeResponse(response), rdecoded, error));
+    EXPECT_EQ(rdecoded.status, ResponseStatus::Cancelled);
+}
+
+TEST(ServiceExecute, CancelledRequestReportsStatusNotException)
+{
+    ExperimentEngine engine;
+    CancelSource source;
+    source.cancel();
+    ExperimentResponse response =
+        executeRequest(engine, sampleRequest(), source.token());
+    EXPECT_EQ(response.status, ResponseStatus::Cancelled);
+    EXPECT_TRUE(response.key.empty());
+
+    CancelSource expired;
+    expired.setDeadlineAfterMs(-1);
+    response = executeRequest(engine, sampleRequest(), expired.token());
+    EXPECT_EQ(response.status, ResponseStatus::DeadlineExceeded);
+    EXPECT_TRUE(response.key.empty());
+}
+
+TEST(ServiceDaemonTest, CancelQueuedJobById)
+{
+    failpoint::ScopedSchedule off("");
+    DaemonOptions options;
+    options.workers = 1;
+    DaemonFixture fixture(options);
+    ASSERT_TRUE(fixture.started);
+
+    // One worker: A occupies it, B must still be queued when the
+    // Cancel lands. All three frames go out in one write, so they are
+    // decoded (and A dispatched) strictly in order.
+    ExperimentRequest a = sampleRequest();
+    a.id = 1;
+    ExperimentRequest b = sampleRequest();
+    b.id = 2;
+    b.config = "arch:3";
+    ExperimentRequest cancel;
+    cancel.id = 3;
+    cancel.kind = RequestKind::Cancel;
+    cancel.target = 2;
+
+    RawConn conn(fixture.socketPath);
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE(conn.sendAll(frameRequest(a) + frameRequest(b) +
+                             frameRequest(cancel)));
+
+    std::vector<ExperimentResponse> responses;
+    ASSERT_TRUE(conn.readResponses(3, responses));
+    ExperimentResponse by_id[4];
+    for (const ExperimentResponse &response : responses) {
+        ASSERT_GE(response.id, 1u);
+        ASSERT_LE(response.id, 3u);
+        by_id[response.id] = response;
+    }
+    EXPECT_EQ(by_id[1].status, ResponseStatus::Ok);
+    EXPECT_EQ(by_id[2].status, ResponseStatus::Cancelled);
+    EXPECT_TRUE(by_id[2].key.empty());
+    EXPECT_EQ(by_id[3].status, ResponseStatus::Ok); // the cancel ack
+    EXPECT_EQ(fixture.daemon->counters().jobsCancelled, 1u);
+    EXPECT_EQ(fixture.daemon->counters().jobsExecuted, 1u);
+}
+
+TEST(ServiceDaemonTest, CancelUnknownTargetIsAnError)
+{
+    DaemonFixture fixture;
+    ASSERT_TRUE(fixture.started);
+
+    ServiceClient client(clientFor(fixture));
+    ExperimentRequest cancel;
+    cancel.id = 1;
+    cancel.kind = RequestKind::Cancel;
+    cancel.target = 777;
+    ExperimentResponse response;
+    std::string error;
+    ASSERT_TRUE(client.call(cancel, response, error)) << error;
+    EXPECT_EQ(response.status, ResponseStatus::Error);
+    EXPECT_NE(response.error.find("no such job"), std::string::npos);
+}
+
+TEST(ServiceDaemonTest, QueuedJobExpiresViaWatchdog)
+{
+    failpoint::ScopedSchedule off("");
+    DaemonOptions options;
+    options.workers = 1;
+    DaemonFixture fixture(options);
+    ASSERT_TRUE(fixture.started);
+
+    // A (no deadline) occupies the single worker; B's 1ms deadline
+    // expires while it is still queued. Whether the watchdog or the
+    // dispatch-time backstop catches it, B must answer
+    // DeadlineExceeded without ever executing.
+    ExperimentRequest a = sampleRequest();
+    a.id = 1;
+    ExperimentRequest b = sampleRequest();
+    b.id = 2;
+    b.config = "arch:4";
+    b.deadlineMs = 1;
+
+    RawConn conn(fixture.socketPath);
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE(conn.sendAll(frameRequest(a) + frameRequest(b)));
+
+    std::vector<ExperimentResponse> responses;
+    ASSERT_TRUE(conn.readResponses(2, responses));
+    ExperimentResponse by_id[3];
+    for (const ExperimentResponse &response : responses) {
+        ASSERT_GE(response.id, 1u);
+        ASSERT_LE(response.id, 2u);
+        by_id[response.id] = response;
+    }
+    EXPECT_EQ(by_id[1].status, ResponseStatus::Ok);
+    EXPECT_EQ(by_id[2].status, ResponseStatus::DeadlineExceeded);
+    EXPECT_TRUE(by_id[2].key.empty());
+    DaemonCounters counters = fixture.daemon->counters();
+    EXPECT_EQ(counters.jobsDeadlineExpired, 1u);
+    EXPECT_EQ(counters.jobsExecuted, 1u);
+    EXPECT_EQ(counters.responsesDropped, 0u);
+}
+
+TEST(ServiceDaemonTest, DispatchExpiryFailpointForcesDeadline)
+{
+    // Deterministic deadline coverage with no timing at all: the
+    // "svc.cancel.dispatch" failpoint expires every deadline-carrying
+    // job at dispatch, so it must answer DeadlineExceeded and the
+    // engine must never run it.
+    failpoint::ScopedSchedule sched("svc.cancel.dispatch=always");
+    DaemonFixture fixture;
+    ASSERT_TRUE(fixture.started);
+
+    ServiceClient client(clientFor(fixture));
+    ExperimentRequest request = sampleRequest();
+    request.deadlineMs = 600'000; // far future; the failpoint decides
+    ExperimentResponse response;
+    std::string error;
+    ASSERT_TRUE(client.call(request, response, error)) << error;
+    EXPECT_EQ(response.status, ResponseStatus::DeadlineExceeded);
+    EXPECT_TRUE(response.key.empty());
+    EXPECT_EQ(fixture.daemon->counters().jobsDeadlineExpired, 1u);
+    EXPECT_EQ(fixture.engine.counters().runsExecuted, 0u);
+}
+
+TEST(ServiceDaemonTest, MidRunDeadlineUnwindsCooperatively)
+{
+    failpoint::ScopedSchedule off("");
+    DaemonFixture fixture;
+    ASSERT_TRUE(fixture.started);
+
+    // A genuinely slow run (sequential detailed reference, scaled up)
+    // with a deadline it cannot meet: the executor's batch-boundary
+    // polls must trip it mid-run and unwind without a result.
+    ExperimentRequest request = sampleRequest();
+    request.suite.referenceInstructions = 3'000'000;
+    request.deadlineMs = 30;
+    ServiceClient client(clientFor(fixture));
+    ExperimentResponse response;
+    std::string error;
+    ASSERT_TRUE(client.call(request, response, error)) << error;
+    EXPECT_EQ(response.status, ResponseStatus::DeadlineExceeded);
+    EXPECT_TRUE(response.key.empty());
+    DaemonCounters counters = fixture.daemon->counters();
+    EXPECT_EQ(counters.jobsDeadlineExpired, 1u);
+    EXPECT_EQ(counters.jobsExecuted, 0u);
+    // The run really started and was really cancelled (not expired in
+    // the queue): the engine charged a cancelled run.
+    EXPECT_GE(fixture.engine.counters().runsCancelled +
+                  counters.watchdogWakeups,
+              1u);
+}
+
+TEST(ServiceDaemonTest, CancelRunningJobUnwindsMidRun)
+{
+    failpoint::ScopedSchedule off("");
+    DaemonOptions options;
+    options.workers = 1;
+    DaemonFixture fixture(options);
+    ASSERT_TRUE(fixture.started);
+
+    ExperimentRequest run = sampleRequest();
+    run.id = 1;
+    run.suite.referenceInstructions = 3'000'000;
+    RawConn conn(fixture.socketPath);
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE(conn.sendAll(frameRequest(run)));
+    ASSERT_TRUE(eventually([&] {
+        return fixture.daemon->counters().jobsAccepted == 1;
+    }));
+
+    ExperimentRequest cancel;
+    cancel.id = 2;
+    cancel.kind = RequestKind::Cancel;
+    cancel.target = 1;
+    ASSERT_TRUE(conn.sendAll(frameRequest(cancel)));
+
+    std::vector<ExperimentResponse> responses;
+    ASSERT_TRUE(conn.readResponses(2, responses));
+    ExperimentResponse by_id[3];
+    for (const ExperimentResponse &response : responses) {
+        ASSERT_GE(response.id, 1u);
+        ASSERT_LE(response.id, 2u);
+        by_id[response.id] = response;
+    }
+    EXPECT_EQ(by_id[2].status, ResponseStatus::Ok); // the ack
+    EXPECT_EQ(by_id[1].status, ResponseStatus::Cancelled);
+    EXPECT_TRUE(by_id[1].key.empty());
+    DaemonCounters counters = fixture.daemon->counters();
+    EXPECT_EQ(counters.jobsCancelled, 1u);
+    EXPECT_EQ(counters.jobsExecuted, 0u);
+    EXPECT_EQ(counters.responsesDropped, 0u);
+}
+
+TEST(ServiceDaemonTest, ShedsLowestPriorityUnderOverload)
+{
+    failpoint::ScopedSchedule off("");
+    DaemonOptions options;
+    options.workers = 1;
+    DaemonFixture fixture(options);
+    ASSERT_TRUE(fixture.started);
+
+    ServiceClient client(clientFor(fixture));
+    ExperimentResponse response;
+    std::string error;
+
+    // Seed the execution-time EWMA with one completed job.
+    ExperimentRequest warm = sampleRequest();
+    warm.id = 1;
+    ASSERT_TRUE(client.call(warm, response, error)) << error;
+    ASSERT_EQ(response.status, ResponseStatus::Ok);
+
+    // Occupy the worker with a long run and stack a queue behind it,
+    // then offer a 1ms-deadline job that cannot possibly be served:
+    // admission must shed it (lowest priority loses; the incoming job
+    // does not outrank the queued ones here) instead of queueing it.
+    ExperimentRequest slow = sampleRequest();
+    slow.id = 2;
+    slow.suite.referenceInstructions = 3'000'000;
+    slow.priority = 1;
+    ExperimentRequest queued = sampleRequest();
+    queued.id = 3;
+    queued.config = "arch:3";
+    queued.priority = 1;
+    ExperimentRequest hopeless = sampleRequest();
+    hopeless.id = 4;
+    hopeless.config = "arch:4";
+    hopeless.priority = 5;
+    hopeless.deadlineMs = 1;
+
+    RawConn conn(fixture.socketPath);
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE(conn.sendAll(frameRequest(slow) + frameRequest(queued) +
+                             frameRequest(hopeless)));
+
+    std::vector<ExperimentResponse> responses;
+    ASSERT_TRUE(conn.readResponses(3, responses));
+    ExperimentResponse by_id[5];
+    for (const ExperimentResponse &response : responses) {
+        ASSERT_GE(response.id, 2u);
+        ASSERT_LE(response.id, 4u);
+        by_id[response.id] = response;
+    }
+    EXPECT_EQ(by_id[2].status, ResponseStatus::Ok);
+    EXPECT_EQ(by_id[3].status, ResponseStatus::Ok);
+    EXPECT_EQ(by_id[4].status, ResponseStatus::Rejected);
+    EXPECT_EQ(by_id[4].error, "shed");
+    DaemonCounters counters = fixture.daemon->counters();
+    EXPECT_EQ(counters.jobsShed, 1u);
+    EXPECT_EQ(counters.responsesDropped, 0u);
+}
+
+TEST(ServiceDaemonTest, ShedsQueuedVictimWhenIncomingOutranksIt)
+{
+    failpoint::ScopedSchedule off("");
+    DaemonOptions options;
+    options.workers = 1;
+    DaemonFixture fixture(options);
+    ASSERT_TRUE(fixture.started);
+
+    ServiceClient client(clientFor(fixture));
+    ExperimentResponse response;
+    std::string error;
+    ExperimentRequest warm = sampleRequest();
+    warm.id = 1;
+    ASSERT_TRUE(client.call(warm, response, error)) << error;
+    ASSERT_EQ(response.status, ResponseStatus::Ok);
+
+    // Same overload shape, but now the deadline-carrying arrival
+    // outranks the queued job: the queued low-priority job is the
+    // victim and the urgent one takes its place.
+    ExperimentRequest slow = sampleRequest();
+    slow.id = 2;
+    slow.suite.referenceInstructions = 3'000'000;
+    slow.priority = 1;
+    ExperimentRequest doomed = sampleRequest();
+    doomed.id = 3;
+    doomed.config = "arch:3";
+    doomed.priority = 9;
+    ExperimentRequest urgent = sampleRequest();
+    urgent.id = 4;
+    urgent.config = "arch:2";
+    urgent.priority = 1;
+    urgent.deadlineMs = 1;
+
+    RawConn conn(fixture.socketPath);
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE(conn.sendAll(frameRequest(slow) + frameRequest(doomed) +
+                             frameRequest(urgent)));
+
+    std::vector<ExperimentResponse> responses;
+    ASSERT_TRUE(conn.readResponses(3, responses));
+    ExperimentResponse by_id[5];
+    for (const ExperimentResponse &response : responses) {
+        ASSERT_GE(response.id, 2u);
+        ASSERT_LE(response.id, 4u);
+        by_id[response.id] = response;
+    }
+    EXPECT_EQ(by_id[2].status, ResponseStatus::Ok);
+    EXPECT_EQ(by_id[3].status, ResponseStatus::Rejected);
+    EXPECT_EQ(by_id[3].error, "shed");
+    // The urgent job was admitted; with a 1ms deadline it then either
+    // expired in queue/at dispatch or got cancelled mid-run — but it
+    // was answered, and not with a shed.
+    EXPECT_TRUE(by_id[4].status == ResponseStatus::DeadlineExceeded ||
+                by_id[4].status == ResponseStatus::Ok)
+        << "urgent job answered " << uint32_t(by_id[4].status);
+    DaemonCounters counters = fixture.daemon->counters();
+    EXPECT_EQ(counters.jobsShed, 1u);
+    EXPECT_EQ(counters.responsesDropped, 0u);
+}
+
+TEST(ServiceDaemonTest, StatsReportCarriesCancellationCounters)
+{
+    failpoint::ScopedSchedule sched("svc.cancel.dispatch=always");
+    DaemonFixture fixture;
+    ASSERT_TRUE(fixture.started);
+
+    ServiceClient client(clientFor(fixture));
+    ExperimentResponse response;
+    std::string error;
+    ExperimentRequest request = sampleRequest();
+    request.deadlineMs = 600'000;
+    ASSERT_TRUE(client.call(request, response, error)) << error;
+    ASSERT_EQ(response.status, ResponseStatus::DeadlineExceeded);
+
+    ExperimentRequest stats;
+    stats.id = 2;
+    stats.kind = RequestKind::Stats;
+    ASSERT_TRUE(client.call(stats, response, error)) << error;
+    JsonReport parsed("");
+    ASSERT_TRUE(parseReport(response.report, parsed));
+    EXPECT_EQ(parsed.count("svc_jobs_deadline_expired"), 1u);
+    EXPECT_TRUE(parsed.has("svc_jobs_cancelled"));
+    EXPECT_TRUE(parsed.has("svc_jobs_shed"));
+    EXPECT_TRUE(parsed.has("svc_watchdog_wakeups"));
+}

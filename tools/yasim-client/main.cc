@@ -7,14 +7,20 @@
  *
  *     yasim-client --socket /tmp/yasimd.sock ping
  *     yasim-client --socket /tmp/yasimd.sock submit --bench gzip \
- *         --technique "SimPoint/multiple 10M" --config arch:2
+ *         --technique "SimPoint/multiple 10M" --config arch:2 \
+ *         --deadline-ms 5000
+ *     yasim-client --socket /tmp/yasimd.sock cancel --target 7
  *     yasim-client --port 7443 stats
  *     yasim-client --socket /tmp/yasimd.sock shutdown
  *
  * `submit` prints the result in the cache's own text serialization
  * (key line, IEEE-754 doubles, strict end marker); `stats` prints the
- * daemon's merged JsonReport. Exit status: 0 on Ok, 3 when the daemon
- * answered with Error/Rejected, 1 when it was unreachable.
+ * daemon's merged JsonReport; `cancel` asks the daemon to cancel an
+ * earlier submit on the *same connection* — useful from scripts that
+ * pipeline requests, a no-op (exit 3) over this one-shot CLI's fresh
+ * connection unless the daemon still queues the id. Exit status: 0 on
+ * Ok, 3 when the daemon answered Error/Rejected, 4 when it answered
+ * Cancelled/DeadlineExceeded, 1 when it was unreachable.
  */
 
 #include <cstdio>
@@ -31,7 +37,7 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s [options] <submit|ping|stats|shutdown>\n"
+        "usage: %s [options] <submit|cancel|ping|stats|shutdown>\n"
         "\n"
         "connection options:\n"
         "  --socket PATH      daemon's Unix-domain socket\n"
@@ -49,7 +55,13 @@ usage(const char *argv0)
         "(default 1)\n"
         "  --id N             correlation id (default 1)\n"
         "  --ref-insts N      suite reference length (default 2000000)\n"
-        "  --seed N           suite data seed (default 12345)\n",
+        "  --seed N           suite data seed (default 12345)\n"
+        "  --deadline-ms N    answer DeadlineExceeded if not done in N "
+        "ms (default: none)\n"
+        "\n"
+        "cancel options:\n"
+        "  --target N         correlation id of the submit to cancel "
+        "(required)\n",
         argv0);
     std::exit(2);
 }
@@ -118,6 +130,12 @@ main(int argc, char **argv)
         } else if (arg == "--seed") {
             request.suite.seed =
                 parseCount("--seed", nextValue(argc, argv, i));
+        } else if (arg == "--deadline-ms") {
+            request.deadlineMs =
+                parseCount("--deadline-ms", nextValue(argc, argv, i));
+        } else if (arg == "--target") {
+            request.target =
+                parseCount("--target", nextValue(argc, argv, i));
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
         } else if (!arg.empty() && arg[0] == '-') {
@@ -137,6 +155,12 @@ main(int argc, char **argv)
         request.kind = RequestKind::Run;
         if (request.benchmark.empty()) {
             std::fprintf(stderr, "yasim-client: submit needs --bench\n");
+            usage(argv[0]);
+        }
+    } else if (command == "cancel") {
+        request.kind = RequestKind::Cancel;
+        if (request.target == 0) {
+            std::fprintf(stderr, "yasim-client: cancel needs --target\n");
             usage(argv[0]);
         }
     } else if (command == "ping") {
@@ -166,12 +190,26 @@ main(int argc, char **argv)
     }
 
     if (response.status != ResponseStatus::Ok) {
+        const char *what = "error";
+        int status = 3;
+        switch (response.status) {
+          case ResponseStatus::Rejected:
+            what = "rejected";
+            break;
+          case ResponseStatus::Cancelled:
+            what = "cancelled";
+            status = 4;
+            break;
+          case ResponseStatus::DeadlineExceeded:
+            what = "deadline exceeded";
+            status = 4;
+            break;
+          default:
+            break;
+        }
         std::fprintf(stderr, "yasim-client: daemon answered %s: %s\n",
-                     response.status == ResponseStatus::Rejected
-                         ? "rejected"
-                         : "error",
-                     response.error.c_str());
-        return 3;
+                     what, response.error.c_str());
+        return status;
     }
 
     switch (request.kind) {
@@ -186,6 +224,9 @@ main(int argc, char **argv)
         break;
       case RequestKind::Shutdown:
         std::cout << "draining\n";
+        break;
+      case RequestKind::Cancel:
+        std::cout << "cancelled\n";
         break;
     }
     return 0;
