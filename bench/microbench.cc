@@ -21,6 +21,13 @@
  * machine-independent correctness failures (stitched counters or CPI
  * drifting past the contract, replay diverging from live); the CI perf
  * job asserts the machine-dependent speedup from the JSON.
+ *
+ * `microbench --json-sampling [path]` runs the live-point sampling
+ * gate: the same SMARTS experiment serial vs fanned across the worker
+ * pool from a persisted live-point library, written to
+ * BENCH_sampling.json. Exit status gates the byte-identity of the two
+ * estimates; CI asserts the machine-dependent speedup and the on-disk
+ * bytes-per-point budget from the JSON.
  */
 
 #include <benchmark/benchmark.h>
@@ -36,9 +43,12 @@
 #include "core/pb_characterization.hh"
 #include "engine/result_io.hh"
 #include "sim/functional.hh"
+#include "sim/livepoint.hh"
 #include "sim/ooo_core.hh"
 #include "sim/sharded.hh"
 #include "sim/trace.hh"
+#include "techniques/service.hh"
+#include "techniques/smarts.hh"
 #include "stats/kmeans.hh"
 #include "stats/plackett_burman.hh"
 #include "support/rng.hh"
@@ -228,6 +238,60 @@ BM_TraceDecode(benchmark::State &state)
         static_cast<double>(trace->length());
 }
 BENCHMARK(BM_TraceDecode);
+
+void
+BM_LivePointBuild(benchmark::State &state)
+{
+    // One functional-warming pass building every live-point a 50-unit
+    // SMARTS selection needs (in-memory; the library's cold path).
+    Workload w = buildWorkload("gzip", InputSet::Reference, benchSuite());
+    SimConfig cfg = architecturalConfig(2);
+    FunctionalSim length_probe(w.program);
+    const uint64_t length = length_probe.fastForward(~0ULL);
+    SamplingPlan plan = SamplingPlan::make(1000, 2000, length);
+    const std::vector<uint64_t> indices = plan.indicesFor(50);
+    uint64_t insts = 0;
+    for (auto _ : state) {
+        LivePointLibrary library(w.program, plan, cfg,
+                                 LivePointOptions{true, ""});
+        insts += library.ensure(indices);
+        benchmark::DoNotOptimize(library.counters().built);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(insts));
+    state.counters["points"] = static_cast<double>(indices.size());
+}
+BENCHMARK(BM_LivePointBuild);
+
+void
+BM_LivePointLoad(benchmark::State &state)
+{
+    // Random-access loads from a persisted library: frame verification,
+    // payload decode, and the warm-blob trial restore — the steady
+    // state a configuration sweep pays instead of re-warming.
+    namespace fs = std::filesystem;
+    fs::path dir = fs::temp_directory_path() / "yasim_bm_livepoints";
+    fs::remove_all(dir);
+    Workload w = buildWorkload("gzip", InputSet::Reference, benchSuite());
+    SimConfig cfg = architecturalConfig(2);
+    FunctionalSim length_probe(w.program);
+    const uint64_t length = length_probe.fastForward(~0ULL);
+    SamplingPlan plan = SamplingPlan::make(1000, 2000, length);
+    const std::vector<uint64_t> indices = plan.indicesFor(50);
+    LivePointOptions opts{true, dir.string()};
+    {
+        LivePointLibrary seed_library(w.program, plan, cfg, opts);
+        seed_library.ensure(indices);
+    }
+    uint64_t points = 0;
+    for (auto _ : state) {
+        LivePointLibrary library(w.program, plan, cfg, opts);
+        library.ensure(indices);
+        points += library.counters().diskLoads;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(points));
+    fs::remove_all(dir);
+}
+BENCHMARK(BM_LivePointLoad);
 
 void
 BM_CacheAccess(benchmark::State &state)
@@ -620,12 +684,155 @@ runOooGate(const char *path)
     return 0;
 }
 
+/**
+ * The live-point sampled-simulation gate behind
+ * `microbench --json-sampling [path]`.
+ *
+ * Runs the same SMARTS experiment twice on the gzip reference:
+ * `--no-livepoints` (the serial in-memory grid loop, best of 3) and
+ * with a persisted live-point library (one untimed pass builds and
+ * persists every point, then best of 3 steady-state passes load them
+ * and fan the measurement units across the worker pool). Cross-checks
+ * the exactness contract — CPI, metrics, detailed counters, and the
+ * weighted basic-block profile byte-identical between the two modes —
+ * and reports the parallel speedup plus the on-disk bytes per point.
+ * Exit status gates the bit-identity only; CI asserts the speedup and
+ * the byte budget (the former is a property of the machine).
+ */
+int
+runSamplingGate(const char *path)
+{
+    SuiteConfig suite;
+    suite.referenceInstructions = 8'000'000;
+    DirectService service;
+    TechniqueContext base =
+        TechniqueContext::make("gzip", suite, service);
+    SimConfig cfg = architecturalConfig(2);
+    Smarts smarts(10000, 2000, 0.997, 0.03, 50);
+
+    // Serial baseline: the in-memory grid loop, re-warming the whole
+    // prefix functionally on every run (what --no-livepoints buys).
+    TechniqueContext seq_ctx = base;
+    seq_ctx.livepoints.enabled = false;
+    double seq_seconds = 1e30;
+    TechniqueResult seq;
+    for (int pass = 0; pass < 3; ++pass) {
+        auto start = std::chrono::steady_clock::now();
+        seq = smarts.run(seq_ctx, cfg);
+        seq_seconds = std::min(seq_seconds, secondsSince(start));
+    }
+
+    // Live-point fan-out, steady state: pass 0 builds and persists the
+    // library (untimed — a one-off cost the cache amortizes across the
+    // configuration sweep), later passes load points and measure in
+    // parallel — the behaviour a cache-dir-configured engine sees on
+    // every rerun.
+    namespace fs = std::filesystem;
+    fs::path lp_dir = fs::temp_directory_path() / "yasim_sampling_gate";
+    fs::remove_all(lp_dir);
+    TechniqueContext par_ctx = base;
+    par_ctx.livepoints.enabled = true;
+    par_ctx.livepoints.dir = lp_dir.string();
+    TechniqueResult par = smarts.run(par_ctx, cfg);
+    double par_seconds = 1e30;
+    for (int pass = 0; pass < 3; ++pass) {
+        auto start = std::chrono::steady_clock::now();
+        par = smarts.run(par_ctx, cfg);
+        par_seconds = std::min(par_seconds, secondsSince(start));
+    }
+
+    // On-disk footprint: every persisted measurement-unit point
+    // (lp-*.lvpt), compressed frame included.
+    uint64_t point_bytes = 0, point_count = 0;
+    for (const auto &entry : fs::directory_iterator(lp_dir)) {
+        if (entry.path().filename().string().rfind("lp-", 0) != 0)
+            continue;
+        point_bytes += entry.file_size();
+        ++point_count;
+    }
+    fs::remove_all(lp_dir);
+    double bytes_per_point =
+        point_count ? static_cast<double>(point_bytes) /
+                          static_cast<double>(point_count)
+                    : 0.0;
+    double speedup = seq_seconds / par_seconds;
+
+    // The exactness contract: the fan-out must be byte-identical to
+    // the serial loop, not merely statistically close.
+    bool cpi_identical =
+        std::memcmp(&par.cpi, &seq.cpi, sizeof(double)) == 0;
+    bool metrics_identical = par.metrics == seq.metrics;
+    bool counters_exact =
+        par.detailed.cycles == seq.detailed.cycles &&
+        par.detailed.instructions == seq.detailed.instructions &&
+        par.detailed.l1iAccesses == seq.detailed.l1iAccesses &&
+        par.detailed.l1dMisses == seq.detailed.l1dMisses &&
+        par.detailed.condMispredicts == seq.detailed.condMispredicts &&
+        par.detailed.memStallCycles == seq.detailed.memStallCycles &&
+        par.detailedInsts == seq.detailedInsts;
+    bool profile_identical = par.bbef == seq.bbef && par.bbv == seq.bbv;
+
+    JsonReport report("perf-gate-sampling");
+    report.setCount("workers", parallelWorkers());
+    report.setCount("livepoint_count", point_count);
+    report.setNumber("livepoint_bytes_per_point", bytes_per_point);
+    report.setNumber("seq_smarts_wall_seconds", seq_seconds);
+    report.setNumber("parallel_smarts_wall_seconds", par_seconds);
+    report.setNumber("parallel_smarts_speedup", speedup);
+    report.setNumber("smarts_cpi", seq.cpi);
+    report.setCount("smarts_detailed_insts", seq.detailedInsts);
+    report.setBool("smarts_cpi_identical", cpi_identical);
+    report.setBool("smarts_metrics_identical", metrics_identical);
+    report.setBool("smarts_counters_exact", counters_exact);
+    report.setBool("smarts_profile_identical", profile_identical);
+    writeReportFile(report, path);
+
+    std::printf("SMARTS (%u workers): serial %.3fs, live-points %.3fs "
+                "(%.2fx), CPI %s\n",
+                parallelWorkers(), seq_seconds, par_seconds, speedup,
+                cpi_identical ? "identical" : "MISMATCH");
+    std::printf("live-point library: %llu points, %.0f bytes/point on "
+                "disk\n",
+                static_cast<unsigned long long>(point_count),
+                bytes_per_point);
+    std::printf("wrote %s\n", path);
+
+    // Exit status gates correctness only; CI asserts the speedup.
+    if (!cpi_identical || !metrics_identical) {
+        std::fprintf(stderr,
+                     "microbench: live-point SMARTS estimate diverged "
+                     "from the serial loop\n");
+        return 1;
+    }
+    if (!counters_exact) {
+        std::fprintf(stderr,
+                     "microbench: live-point SMARTS counters not "
+                     "exact\n");
+        return 1;
+    }
+    if (!profile_identical) {
+        std::fprintf(stderr,
+                     "microbench: live-point SMARTS profile diverged\n");
+        return 1;
+    }
+    if (point_count == 0) {
+        std::fprintf(stderr,
+                     "microbench: no live-points were persisted\n");
+        return 1;
+    }
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json-sampling") == 0) {
+            return runSamplingGate(i + 1 < argc ? argv[i + 1]
+                                                : "BENCH_sampling.json");
+        }
         if (std::strcmp(argv[i], "--json-ooo") == 0) {
             return runOooGate(i + 1 < argc ? argv[i + 1]
                                            : "BENCH_ooo.json");

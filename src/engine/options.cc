@@ -55,6 +55,7 @@ engineCliUsage()
     return "          [--cache-dir DIR] [--cache-budget-mb N]\n"
            "          [--engine-stats] [--engine-stats-json FILE]\n"
            "          [--workers N] [--trace] [--no-trace]\n"
+           "          [--livepoints] [--no-livepoints]\n"
            "          [--shards N] [--shard-warmup M] [--exact]\n"
            "          [--failpoints SPEC]\n";
 }
@@ -79,6 +80,10 @@ parseEngineCliOption(EngineCliOptions &options, int argc, char **argv,
         options.trace = true;
     } else if (std::strcmp(arg, "--no-trace") == 0) {
         options.trace = false;
+    } else if (std::strcmp(arg, "--livepoints") == 0) {
+        options.livepoints = true;
+    } else if (std::strcmp(arg, "--no-livepoints") == 0) {
+        options.livepoints = false;
     } else if (std::strcmp(arg, "--shards") == 0) {
         options.shards = uint32_t(std::strtoul(next(), nullptr, 10));
         if (options.shards == 0)
@@ -104,6 +109,7 @@ engineOptionsFrom(const EngineCliOptions &options)
     engine_options.cacheDir = options.cacheDir;
     engine_options.cacheBudgetBytes = options.cacheBudgetMb << 20;
     engine_options.traces = options.trace;
+    engine_options.livepoints.enabled = options.livepoints;
     engine_options.shards.shards = options.shards;
     engine_options.shards.warmupInsts = options.shardWarmup;
     engine_options.shards.exact = options.exact;

@@ -20,6 +20,9 @@
  *   --workers N       bound the work-stealing pool at N workers
  *   --trace           record/replay execution traces (the default)
  *   --no-trace        re-interpret functionally on every run
+ *   --livepoints      persisted per-unit live-points and the parallel
+ *                     sampling fan-out (the default; see docs/perf.md)
+ *   --no-livepoints   serial in-memory sampling loop (bit-identical)
  *   --shards N        split the reference detailed run into N parallel
  *                     checkpoint-aligned shards (see docs/perf.md)
  *   --shard-warmup M  functional-warming lead-in per shard, in
@@ -71,6 +74,12 @@ struct EngineCliOptions
      * (--no-trace disables; results are bit-identical either way).
      */
     bool trace = true;
+    /**
+     * Persist per-unit live-points and fan sampled measurement units
+     * across the worker pool (--no-livepoints selects the serial
+     * in-memory loop; results are bit-identical either way).
+     */
+    bool livepoints = true;
     /** Reference-run shard count (1 = sequential; see docs/perf.md). */
     uint32_t shards = 1;
     /** Per-shard functional-warming bound (0 = full prefix). */

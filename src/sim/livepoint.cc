@@ -1,0 +1,792 @@
+#include "sim/livepoint.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <optional>
+#include <sstream>
+#include <system_error>
+#include <unordered_set>
+
+#include "sim/bb_profiler.hh"
+#include "sim/functional.hh"
+#include "sim/ooo_core.hh"
+#include "sim/trace.hh"
+#include "support/artifact_io.hh"
+#include "support/check.hh"
+#include "support/codec.hh"
+#include "support/hash.hh"
+#include "support/logging.hh"
+#include "support/thread_pool.hh"
+#include "uarch/branch_predictor.hh"
+#include "uarch/memory_hierarchy.hh"
+#include "uarch/warm_state.hh"
+
+namespace yasim {
+
+namespace {
+
+/** Inner frame magic for standalone live-point files. */
+constexpr const char *kLivePointMagic = "yasim-lvpt";
+
+/** Instructions functionally warmed between cancellation polls. */
+constexpr uint64_t kWarmCancelChunk = 1 << 20;
+
+/** Structural bound on the captured word slice (2^27 words = 1 GB). */
+constexpr uint64_t kMaxWords = 1ULL << 27;
+
+/** Mix @p program's full content — the stream identity. */
+void
+hashProgram(Hasher &h, const Program &program)
+{
+    h.u64(program.size());
+    const Instruction *code = program.code();
+    for (uint64_t i = 0; i < program.size(); ++i) {
+        const Instruction &inst = code[i];
+        h.u32(static_cast<uint32_t>(inst.op));
+        h.u32(static_cast<uint32_t>(inst.rd));
+        h.u32(static_cast<uint32_t>(inst.rs1));
+        h.u32(static_cast<uint32_t>(inst.rs2));
+        h.u64(static_cast<uint64_t>(inst.imm));
+    }
+}
+
+/**
+ * Identity of one live-point library: the "livepoints{...}" cache-key
+ * segment. Everything that shapes a point's bytes is in here — the
+ * format versions, the program content, the sampling grid, and the
+ * warm-relevant configuration. The warm stream is architectural, so
+ * timing-only parameters (latencies, core sizing, bus width) are
+ * deliberately excluded and a latency sweep over one machine shares
+ * one library on disk.
+ */
+// yasim-lint: key(warm) covers CacheConfig(uarch/cache.hh)
+// yasim-lint: key(warm) covers BranchPredictorConfig(uarch/branch_predictor.hh)
+// yasim-lint: key(warm) covers MemoryConfig(uarch/memory_hierarchy.hh)
+// yasim-lint: key(warm) covers SimConfig(sim/config.hh)
+// yasim-lint: key(livepoint) covers SamplingPlan(sim/livepoint.hh)
+std::string
+livePointLibraryKey(const Program &program, const SamplingPlan &plan,
+                    const SimConfig &config)
+{
+    Hasher h;
+    h.u32(kLivePointFormatVersion);
+    h.u32(kWarmStateFormatVersion);
+    hashProgram(h, program);
+
+    auto cache = [&h](const CacheConfig &c) {
+        h.u32(c.sizeKb).u32(c.assoc).u32(c.blockBytes);
+        h.u32(static_cast<uint32_t>(c.replacement));
+    };
+    cache(config.mem.l1i);
+    cache(config.mem.l1d);
+    cache(config.mem.l2);
+    h.u32(config.mem.itlbEntries).u32(config.mem.dtlbEntries);
+    h.b(config.mem.nextLinePrefetch);
+
+    h.u32(static_cast<uint32_t>(config.bp.kind));
+    h.u32(config.bp.bhtEntries).u32(config.bp.globalHistoryBits);
+    h.u32(config.bp.btbEntries).u32(config.bp.btbAssoc);
+    h.b(config.bp.speculativeUpdate);
+
+    return csprintf(
+        "livepoints{v=%u|u=%llu|w=%llu|len=%llu|p=%llu|n=%llu|id=%s}",
+        kLivePointFormatVersion,
+        static_cast<unsigned long long>(plan.unitInsts),
+        static_cast<unsigned long long>(plan.warmupInsts),
+        static_cast<unsigned long long>(plan.length),
+        static_cast<unsigned long long>(plan.period),
+        static_cast<unsigned long long>(plan.maxUnits),
+        h.hex().c_str());
+}
+
+} // namespace
+
+SamplingPlan
+SamplingPlan::make(uint64_t unit_insts, uint64_t warmup_insts,
+                   uint64_t length)
+{
+    YASIM_ASSERT(unit_insts >= 1);
+    SamplingPlan plan;
+    plan.unitInsts = unit_insts;
+    // A warm-up longer than the whole run would swallow it; degrade to
+    // the largest warm-up that still leaves room for at least one
+    // measured unit (the historical SMARTS rule).
+    if (unit_insts + warmup_insts >= length) {
+        warmup_insts =
+            length > 2 * unit_insts ? length - 2 * unit_insts : 0;
+    }
+    plan.warmupInsts = warmup_insts;
+    plan.length = length;
+    uint64_t span = plan.span();
+    plan.maxUnits = std::max<uint64_t>(span > 0 ? length / span : 0, 1);
+    plan.period = std::max<uint64_t>(length / plan.maxUnits, 1);
+    return plan;
+}
+
+uint64_t
+SamplingPlan::strideFor(uint64_t n) const
+{
+    uint64_t target = std::max<uint64_t>(std::min(n, maxUnits), 1);
+    uint64_t stride = 1;
+    // Largest power of two whose selection still reaches the target;
+    // halving the stride always yields a superset of the selection.
+    // Past maxUnits the selection is {0} no matter what, so stop
+    // doubling there (a target of 1 would otherwise never converge).
+    while (stride < maxUnits &&
+           (maxUnits + stride * 2 - 1) / (stride * 2) >= target) {
+        stride *= 2;
+    }
+    return stride;
+}
+
+std::vector<uint64_t>
+SamplingPlan::indicesFor(uint64_t n) const
+{
+    uint64_t stride = strideFor(n);
+    std::vector<uint64_t> indices;
+    indices.reserve((maxUnits + stride - 1) / stride);
+    for (uint64_t j = 0; j < maxUnits; j += stride)
+        indices.push_back(j);
+    return indices;
+}
+
+LivePoint
+LivePoint::atPosition(uint64_t position)
+{
+    LivePoint p;
+    p.icount = position;
+    return p;
+}
+
+LivePoint
+LivePoint::captureArch(const FunctionalSim &sim)
+{
+    LivePoint p;
+    p.pc = sim.curPc;
+    p.icount = sim.icount;
+    p.halted = sim.isHalted;
+    p.intRegs.assign(sim.intRegs, sim.intRegs + numIntRegs);
+    p.fpRegs.assign(sim.fpRegs, sim.fpRegs + numFpRegs);
+    return p;
+}
+
+void
+LivePoint::noteWord(uint64_t addr, int64_t value)
+{
+    // A zero word is indistinguishable from untouched memory, and a
+    // restore target starts zeroed — skip it.
+    if (value != 0)
+        words.emplace_back(addr, value);
+}
+
+void
+LivePoint::restoreArch(FunctionalSim &sim) const
+{
+    YASIM_CHECK(hasArchState(),
+                "restoring a warm-only live-point (position %llu) into "
+                "a live simulator",
+                static_cast<unsigned long long>(icount));
+    sim.curPc = pc;
+    sim.icount = icount;
+    sim.isHalted = halted;
+    std::copy(intRegs.begin(), intRegs.end(), sim.intRegs);
+    std::copy(fpRegs.begin(), fpRegs.end(), sim.fpRegs);
+    sim.mem.clear();
+    for (const auto &[addr, value] : words)
+        sim.mem.write(addr, value);
+}
+
+void
+LivePoint::attachUarch(const MemoryHierarchy &mem,
+                       const CombinedPredictor &bp, const std::string &key)
+{
+    std::ostringstream os;
+    mem.serializeWarmState(os);
+    bp.serializeWarmState(os);
+    warmBlob = os.str();
+    warmKey = key;
+}
+
+bool
+LivePoint::restoreUarch(MemoryHierarchy &mem, CombinedPredictor &bp,
+                        const std::string &key) const
+{
+    if (warmBlob.empty() || key != warmKey)
+        return false;
+    std::istringstream is(warmBlob);
+    if (!mem.deserializeWarmState(is) || !bp.deserializeWarmState(is))
+        return false;
+    // Trailing bytes mean the blob was produced by a different layout
+    // that happened to parse; refuse it.
+    return is.peek() == std::istringstream::traits_type::eof();
+}
+
+bool
+LivePoint::stepWarm(FunctionalSim &sim, ExecRecord &record,
+                    MemoryHierarchy *mem, CombinedPredictor *bp)
+{
+    if (sim.isHalted)
+        return false;
+    sim.execOne<true, true>(&record, mem, bp);
+    return true;
+}
+
+size_t
+LivePoint::footprintBytes() const
+{
+    return sizeof(*this) + intRegs.size() * sizeof(int64_t) +
+           fpRegs.size() * sizeof(double) +
+           words.size() * sizeof(words[0]) + warmKey.size() +
+           warmBlob.size();
+}
+
+// yasim-lint: serialized(livepoint)
+std::string
+LivePoint::encode() const
+{
+    std::string out;
+    putVarint(out, icount);
+    out.push_back(hasArchState() ? 1 : 0);
+    if (hasArchState()) {
+        putVarint(out, pc);
+        out.push_back(halted ? 1 : 0);
+        putVarint(out, intRegs.size());
+        for (int64_t r : intRegs)
+            putVarint(out, zigzagEncode(r));
+        putVarint(out, fpRegs.size());
+        for (double r : fpRegs) {
+            char bits[sizeof(double)];
+            std::memcpy(bits, &r, sizeof(double));
+            out.append(bits, sizeof(double));
+        }
+        // Words delta-encode best in address order; capture order is
+        // first-access order, so sort a copy (restore order is free).
+        std::vector<std::pair<uint64_t, int64_t>> sorted(words);
+        std::sort(sorted.begin(), sorted.end());
+        putVarint(out, sorted.size());
+        uint64_t prev = 0;
+        for (const auto &[addr, value] : sorted) {
+            putVarint(out, addr - prev);
+            putVarint(out, zigzagEncode(value));
+            prev = addr;
+        }
+    }
+    out.push_back(hasUarch() ? 1 : 0);
+    if (hasUarch()) {
+        putVarint(out, warmKey.size());
+        out.append(warmKey);
+        // The warm blob is table-shaped (long zero and LRU runs) and
+        // compresses well under the self-delimiting byte RLE.
+        putVarint(out, warmBlob.size());
+        std::string rle;
+        rleEncode(warmBlob, rle);
+        putVarint(out, rle.size());
+        out.append(rle);
+    }
+    return out;
+}
+
+// yasim-lint: serialized(livepoint)
+bool
+LivePoint::decode(std::string_view payload, LivePoint &out)
+{
+    out = LivePoint();
+    size_t at = 0;
+    uint64_t v = 0;
+    if (!getVarint(payload, at, v))
+        return false;
+    out.icount = v;
+    if (at >= payload.size())
+        return false;
+    const bool has_arch = payload[at++] != 0;
+    if (has_arch) {
+        if (!getVarint(payload, at, out.pc) || at >= payload.size())
+            return false;
+        out.halted = payload[at++] != 0;
+        uint64_t n_int = 0, n_fp = 0, n_words = 0;
+        if (!getVarint(payload, at, n_int) || n_int > 4096)
+            return false;
+        out.intRegs.resize(n_int);
+        for (int64_t &r : out.intRegs) {
+            if (!getVarint(payload, at, v))
+                return false;
+            r = zigzagDecode(v);
+        }
+        if (!getVarint(payload, at, n_fp) || n_fp > 4096)
+            return false;
+        if (payload.size() - at < n_fp * sizeof(double))
+            return false;
+        out.fpRegs.resize(n_fp);
+        for (double &r : out.fpRegs) {
+            std::memcpy(&r, payload.data() + at, sizeof(double));
+            at += sizeof(double);
+        }
+        if (!getVarint(payload, at, n_words) || n_words > kMaxWords)
+            return false;
+        out.words.reserve(n_words);
+        uint64_t prev = 0, delta = 0;
+        for (uint64_t i = 0; i < n_words; ++i) {
+            if (!getVarint(payload, at, delta) ||
+                !getVarint(payload, at, v)) {
+                return false;
+            }
+            prev += delta;
+            // A zero value or a repeated address cannot come from an
+            // honest encode (zeros are skipped, addresses strictly
+            // ascend after the first).
+            if (zigzagDecode(v) == 0 || (i > 0 && delta == 0))
+                return false;
+            out.words.emplace_back(prev, zigzagDecode(v));
+        }
+    }
+    if (at >= payload.size())
+        return false;
+    const bool has_warm = payload[at++] != 0;
+    if (has_warm) {
+        uint64_t key_len = 0, raw_len = 0, rle_len = 0;
+        if (!getVarint(payload, at, key_len) || key_len > 4096 ||
+            payload.size() - at < key_len) {
+            return false;
+        }
+        out.warmKey.assign(payload.substr(at, key_len));
+        at += key_len;
+        // Bounded like the checkpoint trailer: orders of magnitude
+        // above any real table geometry.
+        if (!getVarint(payload, at, raw_len) ||
+            raw_len > (256ULL << 20)) {
+            return false;
+        }
+        if (!getVarint(payload, at, rle_len) ||
+            payload.size() - at < rle_len) {
+            return false;
+        }
+        out.warmBlob.reserve(raw_len);
+        if (!rleDecode(payload.substr(at, rle_len), out.warmBlob,
+                       raw_len) ||
+            out.warmBlob.size() != raw_len) {
+            return false;
+        }
+        at += rle_len;
+        if (out.warmBlob.empty())
+            return false;
+    }
+    return at == payload.size();
+}
+
+// yasim-lint: serialized(livepoint)
+bool
+LivePoint::saveFile(const std::string &path, LivePointCounters *ctr) const
+{
+    ArtifactWriteResult wrote = writeArtifact(
+        path, kLivePointMagic, kLivePointFormatVersion, encode());
+    if (ctr)
+        ctr->ioRetries += wrote.retries;
+    if (!wrote.ok) {
+        warn("cannot write live-point file '%s': %s", path.c_str(),
+             wrote.error.c_str());
+        return false;
+    }
+    if (ctr)
+        ++ctr->diskWrites;
+    return true;
+}
+
+// yasim-lint: serialized(livepoint)
+bool
+LivePoint::loadFile(const std::string &path, LivePoint &out,
+                    LivePointCounters *ctr)
+{
+    ArtifactReadResult read =
+        readArtifact(path, kLivePointMagic, kLivePointFormatVersion);
+    if (ctr) {
+        ctr->ioRetries += read.retries;
+        if (read.quarantined)
+            ++ctr->quarantined;
+        if (read.status == ArtifactStatus::VersionMismatch)
+            ++ctr->versionMisses;
+    }
+    if (read.status == ArtifactStatus::Missing)
+        return false;
+    if (read.status != ArtifactStatus::Ok) {
+        if (read.status != ArtifactStatus::VersionMismatch)
+            warn("live-point file '%s' unusable (%s)", path.c_str(),
+                 read.error.c_str());
+        return false;
+    }
+    if (!decode(read.payload, out)) {
+        // Frame verified but the payload did not parse cleanly:
+        // quarantine so the next lookup rebuilds instead of re-tripping.
+        quarantineArtifact(path);
+        if (ctr)
+            ++ctr->quarantined;
+        warn("live-point file '%s' failed payload verification; "
+             "quarantined",
+             path.c_str());
+        return false;
+    }
+    if (ctr)
+        ++ctr->diskLoads;
+    return true;
+}
+
+LivePointLibrary::LivePointLibrary(std::shared_ptr<const ExecTrace> trace_,
+                                   const SamplingPlan &plan,
+                                   const SimConfig &config,
+                                   const LivePointOptions &options)
+    : trace(std::move(trace_)), gridPlan(plan), cfg(config), opts(options)
+{
+    YASIM_CHECK(trace != nullptr, "replay live-point library needs a trace");
+    key = livePointLibraryKey(trace->program(), gridPlan, cfg);
+    fileDigest = Hasher().str(key).hex();
+    if (!opts.dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(opts.dir, ec);
+    }
+}
+
+LivePointLibrary::LivePointLibrary(const Program &program,
+                                   const SamplingPlan &plan,
+                                   const SimConfig &config,
+                                   const LivePointOptions &options)
+    : prog(&program), gridPlan(plan), cfg(config), opts(options)
+{
+    key = livePointLibraryKey(program, gridPlan, cfg);
+    fileDigest = Hasher().str(key).hex();
+    if (!opts.dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(opts.dir, ec);
+    }
+}
+
+const Program &
+LivePointLibrary::libraryProgram() const
+{
+    return trace ? trace->program() : *prog;
+}
+
+std::string
+LivePointLibrary::pointKey(uint64_t index) const
+{
+    return key + "#" + std::to_string(gridPlan.warmStart(index));
+}
+
+std::string
+LivePointLibrary::pointPath(uint64_t index) const
+{
+    if (opts.dir.empty())
+        return "";
+    return opts.dir + "/lp-" + fileDigest + "-" +
+           std::to_string(index) + ".lvpt";
+}
+
+const LivePoint *
+LivePointLibrary::at(uint64_t index) const
+{
+    auto it = points.find(index);
+    return it == points.end() ? nullptr : &it->second;
+}
+
+bool
+LivePointLibrary::loadPoint(uint64_t index)
+{
+    const std::string path = pointPath(index);
+    LivePoint p;
+    if (!LivePoint::loadFile(path, p, &ctr))
+        return false;
+    // A live-mode library needs the architectural slice; a warm-only
+    // point (written by a replay-mode run sharing the cache) is simply
+    // insufficient here — a miss, not rot.
+    if (!trace && !p.hasArchState())
+        return false;
+    // Identity and shape: the path digest pins program/plan/config, so
+    // a point that disagrees with its own position or warm identity is
+    // damaged in a way the frame checksum could not see.
+    if (p.position() > gridPlan.warmStart(index) || !p.hasUarch() ||
+        p.uarchKey() != pointKey(index)) {
+        quarantineArtifact(path);
+        ++ctr.quarantined;
+        warn("live-point file '%s' failed identity verification; "
+             "quarantined",
+             path.c_str());
+        return false;
+    }
+    // Trial-restore the warm blob into scratch tables: a structurally
+    // bad blob must surface here (heal by rebuild), never as a failed
+    // CHECK inside a measurement worker.
+    MemoryHierarchy scratch_mem(cfg.mem);
+    CombinedPredictor scratch_bp(cfg.bp);
+    if (!p.restoreUarch(scratch_mem, scratch_bp, pointKey(index))) {
+        quarantineArtifact(path);
+        ++ctr.quarantined;
+        warn("live-point file '%s' failed warm-state verification; "
+             "quarantined",
+             path.c_str());
+        return false;
+    }
+    points.emplace(index, std::move(p));
+    return true;
+}
+
+void
+LivePointLibrary::buildPoints(const std::vector<uint64_t> &missing,
+                              const CancelToken &cancel)
+{
+    const Program &program = libraryProgram();
+    MemoryHierarchy warm_mem(cfg.mem);
+    CombinedPredictor warm_bp(cfg.bp);
+    uint64_t warmed = 0;
+
+    // Bounded-chunk warming with a cancellation poll per chunk; a
+    // cancelled build throws with the honest partial warming count and
+    // leaves no partial artifacts (writes are atomic, and only
+    // completed points are written at all).
+    auto warm_to = [&](auto &src, uint64_t target) {
+        while (src.instsExecuted() < target && !src.halted()) {
+            if (cancel.cancelled()) {
+                CancelledError err;
+                err.cause = cancel.cause();
+                err.warmedInsts = warmed;
+                throw err;
+            }
+            uint64_t step = std::min(target - src.instsExecuted(),
+                                     kWarmCancelChunk);
+            warmed += src.fastForwardWarm(step, &warm_mem, &warm_bp);
+        }
+    };
+
+    auto publish = [&](uint64_t index, LivePoint &&p) {
+        ++ctr.built;
+        if (!opts.dir.empty())
+            p.saveFile(pointPath(index), &ctr);
+        points.emplace(index, std::move(p));
+    };
+
+    if (trace) {
+        // Replay mode: architectural state lives in the trace, so the
+        // pass is pure functional warming. Resume from the latest
+        // resident point before the first missing position — warm
+        // blobs round-trip losslessly, so the continued pass is
+        // bit-identical to one long pass from zero.
+        TraceReplayer cursor(trace);
+        const LivePoint *resume = nullptr;
+        for (const auto &[idx, p] : points) {
+            if (p.position() <= gridPlan.warmStart(missing.front()) &&
+                (!resume || p.position() > resume->position())) {
+                resume = &p;
+            }
+        }
+        if (resume) {
+            YASIM_CHECK(resume->restoreUarch(warm_mem, warm_bp,
+                                             resume->uarchKey()),
+                        "resident live-point warm state failed to "
+                        "restore");
+            cursor.seek(resume->position());
+        }
+        for (uint64_t index : missing) {
+            warm_to(cursor, gridPlan.warmStart(index));
+            LivePoint p = LivePoint::atPosition(cursor.instsExecuted());
+            p.attachUarch(warm_mem, warm_bp, pointKey(index));
+            publish(index, std::move(p));
+        }
+        return;
+    }
+
+    // Live mode: the architectural slice a point carries covers only
+    // its own unit span, so a resident point cannot re-seed a full
+    // interpreter — the pass always starts at instruction zero. That
+    // is wall-clock the disk library exists to save; modeled cost is
+    // charged by ensure() identically in both modes.
+    FunctionalSim cursor(program);
+    for (uint64_t index : missing) {
+        warm_to(cursor, gridPlan.warmStart(index));
+        LivePoint p = LivePoint::captureArch(cursor);
+        // The warm summary is the *entry* state: snapshot it before
+        // the span walk below warms the unit's own footprint into the
+        // tables (which would flatter the unit's miss rates).
+        p.attachUarch(warm_mem, warm_bp, pointKey(index));
+        // Walk the unit's span with warming still on, capturing the
+        // pre-span value of every word the span loads before storing
+        // — exactly the memory the restored unit can observe.
+        std::unordered_set<uint64_t> seen;
+        ExecRecord rec;
+        uint64_t left = gridPlan.span();
+        while (left > 0 &&
+               LivePoint::stepWarm(cursor, rec, &warm_mem, &warm_bp)) {
+            ++warmed;
+            --left;
+            if (rec.inst->isLoad() && seen.insert(rec.memAddr).second) {
+                // First span access and it is a load: the value just
+                // read is by construction the pre-span value.
+                p.noteWord(rec.memAddr, cursor.memory().read(rec.memAddr));
+            } else if (rec.inst->isStore()) {
+                seen.insert(rec.memAddr);
+            }
+        }
+        publish(index, std::move(p));
+    }
+}
+
+uint64_t
+LivePointLibrary::ensure(const std::vector<uint64_t> &indices,
+                         const CancelToken &cancel)
+{
+    if (indices.empty())
+        return 0;
+    std::vector<uint64_t> missing;
+    for (size_t i = 0; i < indices.size(); ++i) {
+        YASIM_CHECK_LT(indices[i], gridPlan.maxUnits);
+        if (i > 0)
+            YASIM_CHECK_GT(indices[i], indices[i - 1]);
+        if (points.count(indices[i])) {
+            ++ctr.hits;
+            continue;
+        }
+        if (!opts.dir.empty() && loadPoint(indices[i]))
+            continue;
+        missing.push_back(indices[i]);
+    }
+    if (!missing.empty())
+        buildPoints(missing, cancel);
+
+    // Modeled warming cost: the conceptual single pass extends through
+    // the last ensured unit's span. Deliberately independent of how
+    // many points memory or disk served — results and modeled cost
+    // never depend on cache state.
+    uint64_t target = std::min(
+        gridPlan.length, gridPlan.warmStart(indices.back()) +
+                             gridPlan.span());
+    uint64_t charge = target > chargedTo ? target - chargedTo : 0;
+    chargedTo = std::max(chargedTo, target);
+    return charge;
+}
+
+std::vector<LivePointLibrary::UnitResult>
+LivePointLibrary::measureUnits(const std::vector<uint64_t> &indices,
+                               bool parallel,
+                               const CancelToken &cancel) const
+{
+    const Program &program = libraryProgram();
+    std::vector<UnitResult> results(indices.size());
+    std::atomic<uint64_t> detailed_done{0};
+
+    auto measure_one = [&](size_t slot) {
+        const uint64_t index = indices[slot];
+        UnitResult &out = results[slot];
+        out.index = index;
+        if (cancel.cancelled())
+            return;
+        const LivePoint *point = at(index);
+        YASIM_CHECK(point != nullptr,
+                    "measuring grid unit %llu without a resident "
+                    "live-point (ensure() first)",
+                    static_cast<unsigned long long>(index));
+        OooCore core(cfg);
+        // Points are validated on load and lossless when built, so a
+        // restore failure here is a programming error, not rot.
+        YASIM_CHECK(point->restoreUarch(core.memHierarchy(),
+                                        core.predictor(),
+                                        pointKey(index)),
+                    "resident live-point warm state failed to restore");
+
+        // Position a private stream at the warm-up start: an O(1)
+        // replayer seek, or a fresh interpreter seeded from the
+        // point's architectural slice.
+        std::optional<TraceReplayer> replayer;
+        std::optional<FunctionalSim> sim;
+        StepSource *stream = nullptr;
+        if (trace) {
+            replayer.emplace(trace);
+            replayer->seek(point->position());
+            stream = &*replayer;
+        } else {
+            sim.emplace(program);
+            point->restoreArch(*sim);
+            stream = &*sim;
+        }
+
+        if (gridPlan.warmupInsts > 0)
+            out.warmupDone = core.run(*stream, gridPlan.warmupInsts,
+                                      nullptr, cancel);
+        BbProfiler profiler(program);
+        SimStats delta = core.runMeasured(*stream, gridPlan.unitInsts,
+                                          &profiler, &out.unitDone,
+                                          cancel);
+        detailed_done.fetch_add(out.warmupDone + out.unitDone,
+                                std::memory_order_relaxed);
+        if (out.unitDone == 0)
+            return; // the unit lies past program end
+        out.measured = true;
+        out.stats = delta;
+        out.bbef = profiler.bbef();
+        out.bbv = profiler.bbv();
+    };
+
+    if (parallel) {
+        globalPool().parallelFor(indices.size(), measure_one, cancel);
+    } else {
+        for (size_t slot = 0; slot < indices.size(); ++slot) {
+            if (cancel.cancelled())
+                break;
+            measure_one(slot);
+        }
+    }
+
+    // A cancelled fan-out throws instead of returning: partially
+    // measured units must never feed a CPI estimate.
+    if (cancel.cancelled()) {
+        CancelledError err;
+        err.cause = cancel.cause();
+        err.detailedInsts =
+            detailed_done.load(std::memory_order_relaxed);
+        throw err;
+    }
+    return results;
+}
+
+uint64_t
+fastForwardDetailedRegion(StepSource &src, uint64_t count,
+                          uint64_t span_insts,
+                          const LivePointOptions &options,
+                          LivePointCounters *ctr)
+{
+    (void)span_insts; // the snapshot is full, span-independent
+    auto *sim = dynamic_cast<FunctionalSim *>(&src);
+    if (!sim || !options.enabled || options.dir.empty() || count == 0 ||
+        sim->instsExecuted() != 0) {
+        // Replay streams seek in O(1) already; a mid-stream or
+        // disabled jump takes the plain architectural path.
+        return src.fastForward(count);
+    }
+    const Program &program = sim->program();
+
+    // Configuration-independent identity: the jump is architectural,
+    // so one point serves every machine configuration in a sweep.
+    Hasher h;
+    h.u32(kLivePointFormatVersion);
+    hashProgram(h, program);
+    h.u64(count);
+    const std::string path =
+        options.dir + "/ff-" + h.hex() + ".lvpt";
+
+    LivePoint point;
+    if (LivePoint::loadFile(path, point, ctr) && point.hasArchState() &&
+        point.position() <= count && !point.hasUarch()) {
+        point.restoreArch(*sim);
+        return sim->instsExecuted();
+    }
+
+    const uint64_t done = sim->fastForward(count);
+    // The fast-forward target is a full architectural snapshot (the
+    // detailed region after it may touch any word), captured through
+    // the live-point serializer: PinPoints-style region checkpoints.
+    LivePoint captured = LivePoint::captureArch(*sim);
+    sim->memory().forEachWord([&](uint64_t addr, int64_t value) {
+        captured.noteWord(addr, value);
+    });
+    captured.saveFile(path, ctr);
+    return done;
+}
+
+} // namespace yasim

@@ -1,0 +1,432 @@
+/**
+ * @file
+ * Live-points: random-access entry states for sampled simulation.
+ *
+ * A live-point is the self-contained state one measurement unit of a
+ * sampling technique needs — nothing more. Where a Checkpoint carries
+ * the complete architectural state (every touched memory word), a
+ * live-point carries only the *unit-relevant* slice, following
+ * TurboSMARTSim's liblvpt:
+ *
+ *  - the register file, PC, and dynamic position at the unit's
+ *    warm-up start,
+ *  - the memory words the unit's own U+W instruction span *loads
+ *    before storing* — everything the span stores first it will
+ *    regenerate itself, so the pre-span values of those words are
+ *    irrelevant and are not captured,
+ *  - the warmed-microarchitecture summary (cache tags, TLBs,
+ *    predictor tables) produced by functional warming of the whole
+ *    prefix, reusing the Checkpoint v3 warm-blob layout
+ *    (uarch/warm_state.hh).
+ *
+ * Restoring a live-point into a fresh FunctionalSim + OooCore
+ * reproduces the unit's instruction stream and warm state bit-exactly,
+ * so units become independent, embarrassingly-parallel jobs: the CPIs,
+ * counters, and profiles a fanned-out SMARTS run computes are
+ * byte-identical to a serial loop over the same units.
+ *
+ * A LivePointLibrary owns every point of one (program, sampling plan,
+ * warm-geometry configuration): it builds missing points in a single
+ * resumable functional-warming pass, persists each one as a framed,
+ * varint/RLE-compressed artifact (support/artifact_io, support/codec)
+ * under the engine cache, and serves random-access loads. On-disk
+ * points affect wall-clock only — never results and never modeled
+ * cost (the same contract as sharded warm summaries).
+ *
+ * In replay mode (an ExecTrace is available) architectural state lives
+ * in the trace and the replayer seeks in O(1), so points carry only
+ * the warm summary; in live mode they carry both.
+ */
+
+#ifndef YASIM_SIM_LIVEPOINT_HH
+#define YASIM_SIM_LIVEPOINT_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "support/cancel.hh"
+
+namespace yasim {
+
+class ExecTrace;
+struct ExecRecord;
+class FunctionalSim;
+class MemoryHierarchy;
+class CombinedPredictor;
+class Program;
+class StepSource;
+
+/**
+ * Binary layout version of LivePoint::encode. Bumped whenever the
+ * serialized field set, ordering, or compression changes; decode
+ * rejects mismatches and readers treat stale files as misses.
+ */
+// yasim-lint: version(livepoint)
+constexpr uint32_t kLivePointFormatVersion = 1;
+
+/** Live-point knobs, carried from the driver down to the techniques. */
+struct LivePointOptions
+{
+    /**
+     * Use the live-point library for sampled simulation: persisted
+     * points plus a parallel measurement fan-out (--no-livepoints
+     * falls back to the serial in-memory loop). Results are
+     * bit-identical either way — the per-unit math is shared — so
+     * this knob is deliberately absent from the result cache key.
+     */
+    // yasim-lint: key-exempt(result: results bit-identical either way)
+    bool enabled = true;
+    /**
+     * Directory for persisted live-points; "" keeps the library
+     * in-memory only. Points are themselves keyed (libraryKey), so
+     * where they live cannot change any measured statistic.
+     */
+    // yasim-lint: key-exempt(result: changes wall-clock only)
+    std::string dir;
+};
+
+/**
+ * The systematic sampling grid: maxUnits measurement units of
+ * unitInsts instructions, each preceded by warmupInsts of detailed
+ * warm-up, spaced period instructions apart over a run of length
+ * instructions. Escalation selects every 2^k-th unit of the grid, so
+ * a denser selection is always a superset of a sparser one and
+ * already-measured units are reused verbatim.
+ */
+struct SamplingPlan
+{
+    uint64_t unitInsts = 0;
+    uint64_t warmupInsts = 0;
+    uint64_t length = 0;
+    /** Grid spacing (>= span() except for single-unit runs). */
+    uint64_t period = 0;
+    /** Units on the grid (>= 1). */
+    uint64_t maxUnits = 0;
+
+    /**
+     * Lay the grid over a run of @p length instructions. Applies the
+     * SMARTS warm-up degrade rule first: a warm-up that would swallow
+     * the run shrinks to leave room for at least one measured unit.
+     */
+    static SamplingPlan make(uint64_t unit_insts, uint64_t warmup_insts,
+                             uint64_t length);
+
+    /** Detailed instructions per unit (warm-up + measured). */
+    uint64_t span() const { return unitInsts + warmupInsts; }
+
+    /** Dynamic position where unit @p j's detailed warm-up begins. */
+    uint64_t warmStart(uint64_t j) const
+    {
+        uint64_t gap = period > span() ? period - span() : 0;
+        return j * period + gap;
+    }
+
+    /** Dynamic position where unit @p j's measured region begins. */
+    uint64_t unitStart(uint64_t j) const
+    {
+        return warmStart(j) + warmupInsts;
+    }
+
+    /**
+     * The largest power-of-two grid stride that still yields at least
+     * min(@p n, maxUnits) units. Strides halve as n grows, so every
+     * selection contains all sparser selections.
+     */
+    uint64_t strideFor(uint64_t n) const;
+
+    /** Ascending unit indices {0, s, 2s, ...} for stride strideFor(n). */
+    std::vector<uint64_t> indicesFor(uint64_t n) const;
+};
+
+/** Monotonic live-point library counters. */
+struct LivePointCounters
+{
+    /** Points captured by a warming/execution pass. */
+    uint64_t built = 0;
+    /** Requests served from the in-memory set. */
+    uint64_t hits = 0;
+    uint64_t diskLoads = 0;
+    uint64_t diskWrites = 0;
+    /** Files that failed frame/payload/warm-blob verification and
+     *  were quarantined to "<file>.corrupt", then rebuilt. */
+    uint64_t quarantined = 0;
+    /** Files written by another live-point format generation: deleted
+     *  as stale (no quarantine) and rebuilt. Counted separately from
+     *  quarantined so version churn never reads as corruption. */
+    uint64_t versionMisses = 0;
+    /** Transient-I/O retries performed by reads and writes. */
+    uint64_t ioRetries = 0;
+};
+
+/** One unit's entry state. See the file comment for what's inside. */
+class LivePoint
+{
+  public:
+    LivePoint() = default;
+
+    /**
+     * A warm-only carrier at dynamic position @p position — the replay
+     *-mode shape, where architectural state lives in the trace.
+     */
+    static LivePoint atPosition(uint64_t position);
+
+    /**
+     * Capture @p sim's registers, PC, and position. Memory words are
+     * *not* captured here: the library adds the unit-relevant slice
+     * via noteWord() while walking the unit's span.
+     */
+    static LivePoint captureArch(const FunctionalSim &sim);
+
+    /**
+     * Record the pre-span value of one memory word the unit loads
+     * before storing. Words must arrive in first-access order; zero
+     * values are skipped (restoring into zeroed memory is a no-op).
+     */
+    void noteWord(uint64_t addr, int64_t value);
+
+    /**
+     * Restore registers, PC, position, and the captured word slice
+     * into @p sim (fresh, same program). Requires hasArchState().
+     * Words the span stores before loading are deliberately absent:
+     * the span itself recreates them, so the replayed stream is
+     * bit-identical to the original run's.
+     */
+    void restoreArch(FunctionalSim &sim) const;
+
+    /** True when registers/PC were captured (live-mode point). */
+    bool hasArchState() const { return !intRegs.empty(); }
+
+    /** Attach the warmed-uarch summary of @p mem and @p bp under
+     *  identity @p key (same contract as Checkpoint::attachUarch). */
+    void attachUarch(const MemoryHierarchy &mem,
+                     const CombinedPredictor &bp, const std::string &key);
+
+    /** True when a warmed-uarch summary is attached. */
+    bool hasUarch() const { return !warmBlob.empty(); }
+
+    /** Identity key of the attached summary ("" when none). */
+    const std::string &uarchKey() const { return warmKey; }
+
+    /**
+     * Restore the attached warm summary into @p mem and @p bp.
+     * @return false when none is attached, @p key mismatches, or the
+     * blob fails structural validation — the tables are then partially
+     * mutated and must be discarded (rebuild the core).
+     */
+    bool restoreUarch(MemoryHierarchy &mem, CombinedPredictor &bp,
+                      const std::string &key) const;
+
+    /** Dynamic instruction position of this point. */
+    uint64_t position() const { return icount; }
+
+    /** Captured memory words (diagnostics and tests). */
+    size_t wordCount() const { return words.size(); }
+
+    /** Approximate in-memory footprint in bytes. */
+    size_t footprintBytes() const;
+
+    /**
+     * Serialize to the compressed binary payload saveFile() frames:
+     * varint/zigzag-delta encoded architectural slice plus the
+     * RLE-compressed warm blob (support/codec).
+     */
+    std::string encode() const;
+
+    /** Inverse of encode(). @return false on any structural defect. */
+    static bool decode(std::string_view payload, LivePoint &out);
+
+    /**
+     * Persist as a standalone file: the encode() payload framed,
+     * checksummed, and atomically published through
+     * support/artifact_io. Never throws.
+     */
+    bool saveFile(const std::string &path,
+                  LivePointCounters *ctr = nullptr) const;
+
+    /**
+     * Load a live-point persisted by saveFile. Corruption at any
+     * layer quarantines the file to "<path>.corrupt" and returns
+     * false; a cleanly-framed stale format version deletes the file
+     * (a miss, not rot). @p ctr, when non-null, receives the
+     * disk/quarantine/version accounting.
+     */
+    static bool loadFile(const std::string &path, LivePoint &out,
+                         LivePointCounters *ctr = nullptr);
+
+    /**
+     * Execute one instruction of @p sim while functionally warming
+     * @p mem / @p bp *and* producing @p record — the combined mode the
+     * library's span walk needs (public step() does not warm; public
+     * fastForwardWarm() yields no record). Exposed through LivePoint
+     * because it is the friend seam into FunctionalSim.
+     * @return false when @p sim was already halted.
+     */
+    static bool stepWarm(FunctionalSim &sim, ExecRecord &record,
+                         MemoryHierarchy *mem, CombinedPredictor *bp);
+
+  private:
+    uint64_t pc = 0;
+    uint64_t icount = 0;
+    bool halted = false;
+    std::vector<int64_t> intRegs;
+    std::vector<double> fpRegs;
+    /** Unit-relevant word slice (addr -> pre-span value), in
+     *  first-access order; addresses are 8-byte aligned. */
+    std::vector<std::pair<uint64_t, int64_t>> words;
+
+    /** Identity key of the optional warm summary ("" = none). */
+    std::string warmKey;
+    /** Composite warm-state blob (uarch/warm_state.hh layout). */
+    std::string warmBlob;
+};
+
+/**
+ * Every live-point of one (program, sampling plan, warm-geometry
+ * configuration), built on demand and measured in parallel.
+ *
+ * Thread-compatible, not thread-safe: ensure() runs on the caller;
+ * measureUnits() fans read-only work across the global pool.
+ */
+class LivePointLibrary
+{
+  public:
+    /**
+     * Replay-mode library over a recorded trace: points are warm-only
+     * and workers seek private replayer cursors. @p config contributes
+     * only its warm-relevant geometry to the identity key.
+     */
+    LivePointLibrary(std::shared_ptr<const ExecTrace> trace,
+                     const SamplingPlan &plan, const SimConfig &config,
+                     const LivePointOptions &options);
+
+    /**
+     * Live-mode library over @p program (which must outlive the
+     * library): points carry the architectural slice too.
+     */
+    LivePointLibrary(const Program &program, const SamplingPlan &plan,
+                     const SimConfig &config,
+                     const LivePointOptions &options);
+
+    LivePointLibrary(const LivePointLibrary &) = delete;
+    LivePointLibrary &operator=(const LivePointLibrary &) = delete;
+
+    /**
+     * Make every point in @p indices (ascending grid indices) resident
+     * in memory: from the in-memory set, from disk (any verification
+     * failure quarantines and falls through to a rebuild), or by
+     * extending one resumable functional-warming pass from the nearest
+     * preceding resident point. Newly built points persist to
+     * options.dir when set.
+     *
+     * @return the *modeled* functional-warming instructions this call
+     * charges: the pass-extension the plan implies, deliberately
+     * independent of how many points disk served (wall-clock may be
+     * far cheaper; modeled cost and results never depend on cache
+     * state).
+     *
+     * A valid cancelled @p cancel token aborts between bounded warming
+     * chunks by throwing CancelledError carrying the instructions
+     * actually warmed; completed points persist (atomically), partial
+     * ones never do.
+     */
+    uint64_t ensure(const std::vector<uint64_t> &indices,
+                    const CancelToken &cancel = CancelToken());
+
+    /** The resident point for grid index @p j (nullptr when absent). */
+    const LivePoint *at(uint64_t index) const;
+
+    /** What measuring one unit produced. */
+    struct UnitResult
+    {
+        uint64_t index = 0;
+        /** False when the unit lies entirely past program end. */
+        bool measured = false;
+        /** Snapshot-delta statistics of the measured region. */
+        SimStats stats;
+        uint64_t warmupDone = 0;
+        uint64_t unitDone = 0;
+        std::vector<double> bbef;
+        std::vector<double> bbv;
+    };
+
+    /**
+     * Measure the units in @p indices independently — each worker gets
+     * a fresh core, restores the unit's warm summary (and, live, its
+     * architectural slice), runs the detailed warm-up, and measures
+     * the unit as a snapshot delta. Results come back in @p indices
+     * order regardless of scheduling, and every per-unit value is
+     * bit-identical between @p parallel true and false (the fan-out is
+     * the only difference).
+     *
+     * All requested points must be resident (ensure() first). On
+     * cancellation the call throws CancelledError instead of
+     * returning partially-measured units.
+     */
+    std::vector<UnitResult>
+    measureUnits(const std::vector<uint64_t> &indices, bool parallel,
+                 const CancelToken &cancel = CancelToken()) const;
+
+    const SamplingPlan &plan() const { return gridPlan; }
+
+    /**
+     * Human-readable identity of this library — the "livepoints{...}"
+     * cache-key segment naming the format version, plan geometry, and
+     * warm-relevant configuration digest. Point files and warm-blob
+     * keys both derive from it.
+     */
+    const std::string &keyText() const { return key; }
+
+    /** On-disk path of point @p index ("" when dir is unset). */
+    std::string pointPath(uint64_t index) const;
+
+    /** Snapshot of the counters. */
+    const LivePointCounters &counters() const { return ctr; }
+
+  private:
+    const Program &libraryProgram() const;
+    std::string pointKey(uint64_t index) const;
+    /** Load-and-verify one point from disk into the resident set. */
+    bool loadPoint(uint64_t index);
+    /** Extend the warming pass to build @p missing (ascending). */
+    void buildPoints(const std::vector<uint64_t> &missing,
+                     const CancelToken &cancel);
+
+    std::shared_ptr<const ExecTrace> trace; ///< replay mode when set
+    const Program *prog = nullptr;          ///< live mode when set
+    SamplingPlan gridPlan;
+    SimConfig cfg;
+    LivePointOptions opts;
+    std::string key;
+    std::string fileDigest;
+    std::map<uint64_t, LivePoint> points;
+    /** Grid position the modeled warming charge has reached. */
+    uint64_t chargedTo = 0;
+    LivePointCounters ctr;
+};
+
+/**
+ * Drop-in replacement for src.fastForward(@p count) ahead of a
+ * detailed region of @p span_insts instructions: when @p src is a
+ * live FunctionalSim at position zero and @p options enable
+ * persistence, the jump is served from (or captured into) an
+ * architectural live-point keyed by program content and position
+ * alone — configuration-independent, so one file serves a whole
+ * configuration sweep. The returned count and every subsequent
+ * record of the stream are bit-identical to the plain call; replay
+ * sources (O(1) seek already) and mid-stream sims fall through
+ * untouched.
+ */
+uint64_t fastForwardDetailedRegion(StepSource &src, uint64_t count,
+                                   uint64_t span_insts,
+                                   const LivePointOptions &options,
+                                   LivePointCounters *ctr = nullptr);
+
+} // namespace yasim
+
+#endif // YASIM_SIM_LIVEPOINT_HH

@@ -1,9 +1,10 @@
 #include "techniques/smarts.hh"
 
 #include <algorithm>
+#include <map>
+#include <optional>
+#include <utility>
 
-#include "sim/bb_profiler.hh"
-#include "sim/ooo_core.hh"
 #include "stats/summary.hh"
 #include "support/logging.hh"
 #include "techniques/trace_store.hh"
@@ -28,124 +29,148 @@ Smarts::permutation() const
            " W=" + std::to_string(warmupInsts);
 }
 
+// The plan=grid marker separates grid-scheduled results from the
+// legacy free-running pass, whose unit positions differed slightly.
 // yasim-lint: key(tech) covers Smarts(techniques/smarts.hh)
 std::string
 Smarts::cacheKey() const
 {
-    return csprintf("SMARTS|u=%llu|w=%llu|conf=%.17g|int=%.17g|n0=%llu",
-                    static_cast<unsigned long long>(unitInsts),
-                    static_cast<unsigned long long>(warmupInsts),
-                    confidence, interval,
-                    static_cast<unsigned long long>(initialN));
-}
-
-Smarts::PassResult
-Smarts::samplePass(const TechniqueContext &ctx, const SimConfig &config,
-                   uint64_t n) const
-{
-    StepSourceHandle src = openStepSource(ctx, InputSet::Reference);
-    StepSource &stream = *src.source;
-    OooCore core(config);
-    BbProfiler profiler(src.program());
-
-    // A warm-up longer than the whole (scaled) run would swallow it;
-    // degrade to the largest warm-up that still leaves room for at
-    // least one measured unit.
-    uint64_t warmup = warmupInsts;
-    if (unitInsts + warmup >= ctx.referenceLength) {
-        warmup = ctx.referenceLength > 2 * unitInsts
-                     ? ctx.referenceLength - 2 * unitInsts
-                     : 0;
-    }
-    const uint64_t span = unitInsts + warmup;
-    uint64_t period = ctx.referenceLength / std::max<uint64_t>(n, 1);
-    if (period < span)
-        period = span; // degenerate: back-to-back sampling
-
-    PassResult pass;
-    uint64_t warmed = 0;
-    while (!stream.halted()) {
-        // Functional warming up to the next sample's warm-up start.
-        uint64_t gap = period - span;
-        if (gap > 0) {
-            warmed += stream.fastForwardWarm(gap, &core.memHierarchy(),
-                                             &core.predictor());
-            if (stream.halted())
-                break;
-        }
-        // Detailed warm-up (discarded) then the measured unit.
-        core.resetPipeline();
-        if (warmup > 0)
-            core.run(stream, warmup);
-        uint64_t done = 0;
-        SimStats delta =
-            core.runMeasured(stream, unitInsts, &profiler, &done);
-        if (done == 0)
-            break;
-        pass.unitCpis.push_back(delta.cpi());
-        pass.measured += delta;
-        pass.detailedInsts += warmup + done;
-    }
-
-    pass.bbef = profiler.bbef();
-    pass.bbv = profiler.bbv();
-    pass.workUnits =
-        ctx.cost.functionalWarmPerInst * static_cast<double>(warmed) +
-        ctx.cost.detailedPerInst *
-            static_cast<double>(pass.detailedInsts);
-    return pass;
+    return csprintf(
+        "SMARTS|plan=grid|u=%llu|w=%llu|conf=%.17g|int=%.17g|n0=%llu",
+        static_cast<unsigned long long>(unitInsts),
+        static_cast<unsigned long long>(warmupInsts), confidence,
+        interval, static_cast<unsigned long long>(initialN));
 }
 
 TechniqueResult
 Smarts::run(const TechniqueContext &ctx, const SimConfig &config) const
 {
+    const SamplingPlan plan =
+        SamplingPlan::make(unitInsts, warmupInsts, ctx.referenceLength);
+
     // Initial n: the paper's 10,000 scaled by our instruction budget
     // (DESIGN.md section 5), bounded to stay meaningful.
     uint64_t n = initialN;
     if (n == 0) {
-        uint64_t span = unitInsts + warmupInsts;
-        n = ctx.referenceLength / std::max<uint64_t>(span * 5, 1);
+        n = ctx.referenceLength / std::max<uint64_t>(plan.span() * 5, 1);
         n = std::clamp<uint64_t>(n, 50, 3000);
     }
+
+    // The handle anchors the trace (replay) or the workload's program
+    // (live) for the library's whole lifetime.
+    StepSourceHandle src = openStepSource(ctx, InputSet::Reference);
+    const bool parallel = ctx.livepoints.enabled;
+    LivePointOptions lp_opts = ctx.livepoints;
+    if (!lp_opts.enabled)
+        lp_opts.dir.clear(); // sequential fallback: in-memory only
+
+    std::optional<LivePointLibrary> library;
+    if (src.replay())
+        library.emplace(src.trace, plan, config, lp_opts);
+    else
+        library.emplace(src.program(), plan, config, lp_opts);
 
     TechniqueResult result;
     result.technique = name();
     result.permutation = permutation();
 
-    double total_work = 0.0;
-    PassResult pass;
-    for (int attempt = 1; attempt <= maxAttempts; ++attempt) {
-        pass = samplePass(ctx, config, n);
-        total_work += pass.workUnits;
-        if (pass.unitCpis.size() < 2)
-            break;
-        double cv = coefficientOfVariation(pass.unitCpis);
-        size_t needed = requiredSamples(cv, confidence, interval);
-        if (needed <= pass.unitCpis.size())
-            break; // CI satisfied
-        uint64_t next_n = static_cast<uint64_t>(needed);
-        // A higher sampling frequency can't exceed back-to-back units;
-        // when even that could not reach the interval the scaled budget
-        // simply cannot support it, so keep the estimate rather than
-        // degenerate into a full detailed run.
-        uint64_t max_n =
-            ctx.referenceLength /
-            std::max<uint64_t>(unitInsts + warmupInsts, 1);
-        if (next_n > max_n)
-            break;
-        if (next_n <= n)
-            break; // already sampling as densely as possible
-        n = next_n;
+    // Units measured so far, by grid index. Escalation selections are
+    // supersets, so nothing here is ever measured twice — re-runs pay
+    // only for the *additional* units (and the warming extension).
+    std::map<uint64_t, LivePointLibrary::UnitResult> units;
+    uint64_t warm_charged = 0;
+    uint64_t detailed_done = 0;
+    std::vector<uint64_t> indices;
+
+    try {
+        for (int attempt = 1; attempt <= maxAttempts; ++attempt) {
+            indices = plan.indicesFor(n);
+            warm_charged += library->ensure(indices, ctx.cancel);
+
+            std::vector<uint64_t> missing;
+            for (uint64_t j : indices) {
+                if (!units.count(j))
+                    missing.push_back(j);
+            }
+            for (auto &unit :
+                 library->measureUnits(missing, parallel, ctx.cancel)) {
+                detailed_done += unit.warmupDone + unit.unitDone;
+                units.emplace(unit.index, std::move(unit));
+            }
+
+            std::vector<double> cpis;
+            for (uint64_t j : indices) {
+                const auto &unit = units.at(j);
+                if (unit.measured)
+                    cpis.push_back(unit.stats.cpi());
+            }
+            if (cpis.size() < 2)
+                break;
+            double cv = coefficientOfVariation(cpis);
+            size_t needed = requiredSamples(cv, confidence, interval);
+            if (needed <= cpis.size())
+                break; // CI satisfied
+            // Even back-to-back units (the full grid) could not reach
+            // the interval: the scaled budget simply cannot support
+            // it, so keep the estimate rather than degenerate into a
+            // full detailed run.
+            if (needed > plan.maxUnits)
+                break;
+            if (plan.strideFor(needed) >= plan.strideFor(n))
+                break; // already sampling as densely as possible
+            n = needed;
+        }
+    } catch (CancelledError &cancelled) {
+        // ensure()/measureUnits() report only their own partial pass;
+        // add the completed attempts, then convert to work units here,
+        // where the cost model lives.
+        cancelled.warmedInsts += warm_charged;
+        cancelled.detailedInsts += detailed_done;
+        cancelled.partialWorkUnits =
+            ctx.cost.functionalWarmPerInst *
+                static_cast<double>(cancelled.warmedInsts) +
+            ctx.cost.detailedPerInst *
+                static_cast<double>(cancelled.detailedInsts);
+        throw;
     }
 
-    YASIM_ASSERT(!pass.unitCpis.empty());
-    result.cpi = mean(pass.unitCpis);
-    result.metrics = pass.measured.metricVector();
-    result.detailed = pass.measured;
-    result.bbef = std::move(pass.bbef);
-    result.bbv = std::move(pass.bbv);
-    result.detailedInsts = pass.detailedInsts;
-    result.workUnits = total_work;
+    // Stitch in ascending grid order, always — the fan-out's
+    // completion order must never reach the arithmetic, so parallel
+    // and sequential runs produce byte-identical sums.
+    std::vector<double> unit_cpis;
+    SimStats measured;
+    std::vector<double> bbef;
+    std::vector<double> bbv;
+    uint64_t detailed_insts = 0;
+    for (uint64_t j : indices) {
+        const auto &unit = units.at(j);
+        if (!unit.measured)
+            continue;
+        unit_cpis.push_back(unit.stats.cpi());
+        measured += unit.stats;
+        detailed_insts += unit.warmupDone + unit.unitDone;
+        if (bbef.empty()) {
+            bbef = unit.bbef;
+            bbv = unit.bbv;
+        } else {
+            for (size_t b = 0; b < bbef.size(); ++b) {
+                bbef[b] += unit.bbef[b];
+                bbv[b] += unit.bbv[b];
+            }
+        }
+    }
+
+    YASIM_ASSERT(!unit_cpis.empty());
+    result.cpi = mean(unit_cpis);
+    result.metrics = measured.metricVector();
+    result.detailed = measured;
+    result.bbef = std::move(bbef);
+    result.bbv = std::move(bbv);
+    result.detailedInsts = detailed_insts;
+    result.workUnits =
+        ctx.cost.functionalWarmPerInst *
+            static_cast<double>(warm_charged) +
+        ctx.cost.detailedPerInst * static_cast<double>(detailed_done);
     return result;
 }
 

@@ -10,10 +10,18 @@
  * measurement unit of U instructions. Samples are spaced evenly so that
  * n units cover the run. Afterwards the coefficient of variation of the
  * per-unit CPIs feeds the standard n >= (z * cv / eps)^2 rule at the
- * paper's 99.7% confidence / ±3% interval; if the achieved n is too
- * small the simulation is *re-run* with the recommended n, and every
- * attempt's cost is charged (the paper reports 1–1.59 average runs per
- * permutation, max 6).
+ * paper's 99.7% confidence / ±3% interval; when the achieved n is too
+ * small the sample is escalated to the recommended n (up to 6
+ * attempts, matching the paper's 1–1.59 average runs per permutation).
+ *
+ * Units live on the fixed grid of a SamplingPlan (sim/livepoint.hh)
+ * and escalation only *adds* grid units — a denser selection is a
+ * strict superset of a sparser one, so the units the previous attempt
+ * measured are reused verbatim instead of re-simulated (TurboSMARTSim's
+ * observation). Each unit's entry state comes from the LivePointLibrary,
+ * which also lets the measurement fan out across the thread pool as
+ * independent jobs; the sequential fallback (--no-livepoints) walks the
+ * identical grid serially and is bit-identical by construction.
  *
  * The initial sample count is scaled from the paper's n = 10,000 by the
  * instruction-budget ratio (DESIGN.md section 5) and can be overridden.
@@ -54,20 +62,6 @@ class Smarts : public Technique
     static constexpr int maxAttempts = 6;
 
   private:
-    /** One full sampled simulation pass with @p n samples. */
-    struct PassResult
-    {
-        std::vector<double> unitCpis;
-        SimStats measured;
-        std::vector<double> bbef;
-        std::vector<double> bbv;
-        double workUnits = 0.0;
-        uint64_t detailedInsts = 0;
-    };
-
-    PassResult samplePass(const TechniqueContext &ctx,
-                          const SimConfig &config, uint64_t n) const;
-
     uint64_t unitInsts;
     uint64_t warmupInsts;
     double confidence;

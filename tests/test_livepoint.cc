@@ -1,0 +1,506 @@
+/**
+ * @file
+ * Tests for live-points and the live-point library (sim/livepoint.hh):
+ * the sampling grid's superset escalation, the compressed point
+ * format's round trip and structural rejection, corruption healing
+ * (quarantine + rebuild, byte by byte), stale-version handling as a
+ * miss rather than rot, cancellation storms leaving no partial
+ * entries, the persisted fast-forward region point, and the headline
+ * exactness contract: fanned-out SMARTS bit-identical to the serial
+ * loop across the whole Table-2 suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hh"
+#include "isa/program_builder.hh"
+#include "sim/functional.hh"
+#include "sim/livepoint.hh"
+#include "support/artifact_io.hh"
+#include "support/cancel.hh"
+#include "support/failpoint.hh"
+#include "techniques/service.hh"
+#include "techniques/smarts.hh"
+#include "uarch/branch_predictor.hh"
+#include "uarch/memory_hierarchy.hh"
+#include "workloads/suite.hh"
+
+namespace yasim {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** A load/store loop: every unit both loads and stores heap words. */
+Program
+loopProgram(int64_t trips = 3000)
+{
+    ProgramBuilder b("lvpt");
+    Label top = b.newLabel();
+    b.movi(1, 0);
+    b.movi(2, trips);
+    b.movi(5, static_cast<int64_t>(heapBase));
+    b.bind(top);
+    b.ld(6, 5, 0);
+    b.add(7, 7, 6);
+    b.st(5, 7, 0);
+    b.addi(5, 5, 8);
+    b.addi(1, 1, 1);
+    b.blt(1, 2, top);
+    b.halt();
+    return b.finish();
+}
+
+/** A scratch directory wiped before and after each use. */
+class ScratchDir
+{
+  public:
+    explicit ScratchDir(const std::string &name)
+        : dir(fs::path(::testing::TempDir()) / name)
+    {
+        fs::remove_all(dir);
+        fs::create_directories(dir);
+    }
+    ~ScratchDir() { fs::remove_all(dir); }
+    std::string str() const { return dir.string(); }
+    fs::path path() const { return dir; }
+
+  private:
+    fs::path dir;
+};
+
+bool
+bitEq(double a, double b)
+{
+    return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+bool
+bitEq(const std::vector<double> &a, const std::vector<double> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i)
+        if (!bitEq(a[i], b[i]))
+            return false;
+    return true;
+}
+
+void
+expectBitIdentical(const TechniqueResult &a, const TechniqueResult &b)
+{
+    EXPECT_TRUE(bitEq(a.cpi, b.cpi));
+    EXPECT_TRUE(bitEq(a.workUnits, b.workUnits));
+    EXPECT_TRUE(bitEq(a.metrics, b.metrics));
+    EXPECT_TRUE(bitEq(a.bbef, b.bbef));
+    EXPECT_TRUE(bitEq(a.bbv, b.bbv));
+    EXPECT_EQ(a.detailedInsts, b.detailedInsts);
+    EXPECT_EQ(a.detailed.instructions, b.detailed.instructions);
+    EXPECT_EQ(a.detailed.cycles, b.detailed.cycles);
+    EXPECT_EQ(a.detailed.l1iAccesses, b.detailed.l1iAccesses);
+    EXPECT_EQ(a.detailed.l1dMisses, b.detailed.l1dMisses);
+    EXPECT_EQ(a.detailed.condMispredicts, b.detailed.condMispredicts);
+    EXPECT_EQ(a.detailed.memStallCycles, b.detailed.memStallCycles);
+}
+
+void
+expectUnitsIdentical(const std::vector<LivePointLibrary::UnitResult> &a,
+                     const std::vector<LivePointLibrary::UnitResult> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].index, b[i].index);
+        EXPECT_EQ(a[i].measured, b[i].measured);
+        EXPECT_EQ(a[i].warmupDone, b[i].warmupDone);
+        EXPECT_EQ(a[i].unitDone, b[i].unitDone);
+        EXPECT_EQ(a[i].stats.cycles, b[i].stats.cycles);
+        EXPECT_EQ(a[i].stats.instructions, b[i].stats.instructions);
+        EXPECT_EQ(a[i].stats.l1dMisses, b[i].stats.l1dMisses);
+        EXPECT_EQ(a[i].stats.condMispredicts,
+                  b[i].stats.condMispredicts);
+        EXPECT_TRUE(bitEq(a[i].bbef, b[i].bbef));
+        EXPECT_TRUE(bitEq(a[i].bbv, b[i].bbv));
+    }
+}
+
+// ----------------------------------------------------- sampling plan
+
+TEST(SamplingPlan, GridCoversTheRun)
+{
+    SamplingPlan plan = SamplingPlan::make(1000, 400, 100'000);
+    EXPECT_EQ(plan.unitInsts, 1000u);
+    EXPECT_EQ(plan.warmupInsts, 400u);
+    EXPECT_GE(plan.maxUnits, 1u);
+    EXPECT_GE(plan.period, plan.span());
+    // Every unit's span ends within the run.
+    uint64_t last = plan.maxUnits - 1;
+    EXPECT_LE(plan.warmStart(last) + plan.span(), plan.length);
+    // unitStart sits exactly warmupInsts past warmStart.
+    EXPECT_EQ(plan.unitStart(3), plan.warmStart(3) + 400u);
+}
+
+TEST(SamplingPlan, OversizedWarmupDegradesToOneUnit)
+{
+    // A warm-up longer than the run must shrink instead of pushing
+    // the only unit past program end (the SMARTS degrade rule).
+    SamplingPlan plan = SamplingPlan::make(1000, 400'000, 100'000);
+    EXPECT_GE(plan.maxUnits, 1u);
+    EXPECT_LE(plan.span(), plan.length);
+    EXPECT_LE(plan.warmStart(0) + plan.span(), plan.length);
+}
+
+TEST(SamplingPlan, DenserSelectionsAreSupersets)
+{
+    SamplingPlan plan = SamplingPlan::make(1000, 400, 2'000'000);
+    std::vector<uint64_t> prev;
+    for (uint64_t n : {1u, 3u, 10u, 50u, 200u, 1000u, 100000u}) {
+        std::vector<uint64_t> sel = plan.indicesFor(n);
+        EXPECT_GE(sel.size(), std::min<uint64_t>(n, plan.maxUnits));
+        // Ascending, on-grid, and a superset of every sparser pick.
+        std::set<uint64_t> set(sel.begin(), sel.end());
+        EXPECT_EQ(set.size(), sel.size());
+        EXPECT_TRUE(std::is_sorted(sel.begin(), sel.end()));
+        for (uint64_t idx : sel)
+            EXPECT_LT(idx, plan.maxUnits);
+        for (uint64_t idx : prev)
+            EXPECT_TRUE(set.count(idx)) << "lost unit " << idx;
+        prev = sel;
+    }
+}
+
+// ----------------------------------------------------- point format
+
+TEST(LivePoint, EncodeDecodeRoundTripsEverything)
+{
+    Program p = loopProgram();
+    FunctionalSim sim(p);
+    sim.fastForward(2000);
+    LivePoint point = LivePoint::captureArch(sim);
+    point.noteWord(heapBase, -7);
+    point.noteWord(heapBase + 64, 123456789);
+    point.noteWord(heapBase + 8192, 1);
+
+    SimConfig cfg = architecturalConfig(1);
+    MemoryHierarchy mem(cfg.mem);
+    CombinedPredictor bp(cfg.bp);
+    FunctionalSim warmer(p);
+    warmer.fastForwardWarm(2000, &mem, &bp);
+    point.attachUarch(mem, bp, "unit-key");
+
+    std::string payload = point.encode();
+    LivePoint decoded;
+    ASSERT_TRUE(LivePoint::decode(payload, decoded));
+    EXPECT_EQ(decoded.position(), 2000u);
+    EXPECT_EQ(decoded.wordCount(), 3u);
+    EXPECT_TRUE(decoded.hasArchState());
+    EXPECT_TRUE(decoded.hasUarch());
+    EXPECT_EQ(decoded.uarchKey(), "unit-key");
+
+    // Restoring the decoded point resumes bit-identically to the
+    // original simulator.
+    FunctionalSim resumed(p);
+    decoded.restoreArch(resumed);
+    EXPECT_EQ(resumed.instsExecuted(), 2000u);
+    for (int r = 0; r < numIntRegs; ++r)
+        EXPECT_EQ(resumed.intReg(r), sim.intReg(r)) << "r" << r;
+
+    // The warm blob restores under its key and only its key.
+    MemoryHierarchy mem2(cfg.mem);
+    CombinedPredictor bp2(cfg.bp);
+    EXPECT_FALSE(decoded.restoreUarch(mem2, bp2, "other-key"));
+    MemoryHierarchy mem3(cfg.mem);
+    CombinedPredictor bp3(cfg.bp);
+    EXPECT_TRUE(decoded.restoreUarch(mem3, bp3, "unit-key"));
+}
+
+TEST(LivePoint, DecodeRejectsEveryTruncation)
+{
+    Program p = loopProgram();
+    FunctionalSim sim(p);
+    sim.fastForward(1500);
+    LivePoint point = LivePoint::captureArch(sim);
+    point.noteWord(heapBase, 42);
+    std::string payload = point.encode();
+
+    LivePoint out;
+    ASSERT_TRUE(LivePoint::decode(payload, out));
+    for (size_t len = 0; len < payload.size(); ++len) {
+        LivePoint trunc;
+        EXPECT_FALSE(
+            LivePoint::decode(std::string_view(payload).substr(0, len),
+                              trunc))
+            << "prefix of " << len << " bytes parsed";
+    }
+    // Trailing garbage is structural damage too.
+    LivePoint padded;
+    EXPECT_FALSE(LivePoint::decode(payload + '\0', padded));
+}
+
+// -------------------------------------------------- library healing
+
+TEST(LivePointLibrary, CorruptionByteSweepHealsByRewarming)
+{
+    failpoint::ScopedSchedule off("");
+    ScratchDir scratch("yasim_lvpt_sweep");
+    Program p = loopProgram();
+    FunctionalSim probe(p);
+    uint64_t length = probe.fastForward(~0ULL);
+    SimConfig cfg = architecturalConfig(1);
+    SamplingPlan plan = SamplingPlan::make(400, 150, length);
+    LivePointOptions opts{true, scratch.str()};
+    std::vector<uint64_t> indices = plan.indicesFor(4);
+
+    // Build and persist the clean library; keep its bytes and its
+    // measured truth.
+    LivePointLibrary clean(p, plan, cfg, opts);
+    clean.ensure(indices);
+    auto baseline = clean.measureUnits(indices, false);
+    const std::string victim = clean.pointPath(indices[1]);
+    std::string good;
+    {
+        std::ifstream in(victim, std::ios::binary);
+        good.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+    }
+    ASSERT_FALSE(good.empty());
+
+    // Flip one byte at a time across the whole file (strided to keep
+    // the sweep bounded): every flip must be detected — quarantined
+    // as rot or deleted as a stale version, never trusted — and the
+    // library must heal by re-warming to a bit-identical point.
+    size_t step = std::max<size_t>(1, good.size() / 48);
+    for (size_t pos = 0; pos < good.size(); pos += step) {
+        std::string bad = good;
+        bad[pos] ^= 0x40;
+        {
+            std::ofstream out(victim,
+                              std::ios::binary | std::ios::trunc);
+            out << bad;
+        }
+        LivePointLibrary healed(p, plan, cfg, opts);
+        healed.ensure(indices);
+        for (uint64_t idx : indices)
+            ASSERT_NE(healed.at(idx), nullptr) << "byte " << pos;
+        EXPECT_EQ(healed.counters().quarantined +
+                      healed.counters().versionMisses,
+                  1u)
+            << "byte " << pos;
+        expectUnitsIdentical(healed.measureUnits(indices, false),
+                             baseline);
+        // The rebuilt point was re-persisted and reads back cleanly.
+        LivePoint reread;
+        EXPECT_TRUE(LivePoint::loadFile(victim, reread))
+            << "byte " << pos;
+        fs::remove(victim + ".corrupt");
+    }
+}
+
+TEST(LivePointLibrary, StaleFormatVersionIsMissNotCorruption)
+{
+    failpoint::ScopedSchedule off("");
+    ScratchDir scratch("yasim_lvpt_version");
+    Program p = loopProgram();
+    FunctionalSim probe(p);
+    uint64_t length = probe.fastForward(~0ULL);
+    SimConfig cfg = architecturalConfig(1);
+    SamplingPlan plan = SamplingPlan::make(400, 150, length);
+    LivePointOptions opts{true, scratch.str()};
+    std::vector<uint64_t> indices = plan.indicesFor(2);
+
+    LivePointLibrary clean(p, plan, cfg, opts);
+    clean.ensure(indices);
+    auto baseline = clean.measureUnits(indices, false);
+    const std::string path = clean.pointPath(indices[0]);
+
+    // Re-frame the valid payload under the next format generation:
+    // a cleanly-framed stale version is a miss, not rot.
+    std::string payload = clean.at(indices[0])->encode();
+    ASSERT_TRUE(writeArtifact(path, "yasim-lvpt",
+                              kLivePointFormatVersion + 1, payload)
+                    .ok);
+
+    LivePointLibrary healed(p, plan, cfg, opts);
+    healed.ensure(indices);
+    EXPECT_EQ(healed.counters().versionMisses, 1u);
+    EXPECT_EQ(healed.counters().quarantined, 0u);
+    EXPECT_FALSE(fs::exists(path + ".corrupt"));
+    // Rebuilt, re-persisted under the current version, bit-identical.
+    LivePoint reread;
+    EXPECT_TRUE(LivePoint::loadFile(path, reread));
+    expectUnitsIdentical(healed.measureUnits(indices, false), baseline);
+}
+
+TEST(LivePointLibrary, CancelStormLeavesNoPartialEntries)
+{
+    ScratchDir scratch("yasim_lvpt_storm");
+    Program p = loopProgram(20'000);
+    FunctionalSim probe(p);
+    uint64_t length = probe.fastForward(~0ULL);
+    SimConfig cfg = architecturalConfig(1);
+    SamplingPlan plan = SamplingPlan::make(400, 150, length);
+    LivePointOptions opts{true, scratch.str()};
+    std::vector<uint64_t> indices = plan.indicesFor(8);
+
+    int cancelled = 0;
+    for (int round = 0; round < 8; ++round) {
+        failpoint::ScopedSchedule storm(
+            "engine.cancel.token=1in5,seed=" + std::to_string(round));
+        LivePointLibrary library(p, plan, cfg, opts);
+        CancelSource source;
+        try {
+            library.ensure(indices, source.token());
+            library.measureUnits(indices, true, source.token());
+        } catch (const CancelledError &) {
+            ++cancelled;
+        }
+        // However the round died: the directory holds only complete,
+        // cleanly-loading point files — atomic publish means a
+        // cancelled build leaves no partial entry behind.
+        for (const auto &entry : fs::directory_iterator(scratch.path())) {
+            std::string name = entry.path().filename().string();
+            ASSERT_TRUE(name.rfind("lp-", 0) == 0)
+                << "stray file " << name << " in round " << round;
+            LivePoint loaded;
+            EXPECT_TRUE(
+                LivePoint::loadFile(entry.path().string(), loaded))
+                << name << " unreadable in round " << round;
+        }
+    }
+    EXPECT_GE(cancelled, 1) << "the storm never fired";
+
+    // Disarmed, the survivors plus rebuilds serve results
+    // bit-identical to a cold library in a fresh directory.
+    failpoint::ScopedSchedule off("");
+    LivePointLibrary after(p, plan, cfg, opts);
+    after.ensure(indices);
+    ScratchDir fresh("yasim_lvpt_storm_fresh");
+    LivePointLibrary cold(p, plan, cfg,
+                          LivePointOptions{true, fresh.str()});
+    cold.ensure(indices);
+    expectUnitsIdentical(after.measureUnits(indices, false),
+                         cold.measureUnits(indices, false));
+}
+
+// ------------------------------------------- fast-forward region point
+
+TEST(FastForwardDetailedRegion, PersistedPointMatchesPlainFastForward)
+{
+    failpoint::ScopedSchedule off("");
+    ScratchDir scratch("yasim_lvpt_ff");
+    Program p = loopProgram();
+    LivePointOptions opts{true, scratch.str()};
+    constexpr uint64_t kJump = 5000;
+
+    FunctionalSim plain(p);
+    uint64_t plain_done = plain.fastForward(kJump);
+
+    LivePointCounters ctr;
+    FunctionalSim first(p);
+    EXPECT_EQ(fastForwardDetailedRegion(first, kJump, 1000, opts, &ctr),
+              plain_done);
+    EXPECT_EQ(ctr.diskWrites, 1u);
+
+    // Second sim: the jump is served from the persisted point, and
+    // the restored state is indistinguishable from stepping there.
+    FunctionalSim second(p);
+    EXPECT_EQ(
+        fastForwardDetailedRegion(second, kJump, 1000, opts, &ctr),
+        plain_done);
+    EXPECT_EQ(ctr.diskLoads, 1u);
+    EXPECT_EQ(second.instsExecuted(), plain.instsExecuted());
+    for (int r = 0; r < numIntRegs; ++r)
+        EXPECT_EQ(second.intReg(r), plain.intReg(r)) << "r" << r;
+
+    // Running both to completion stays bit-identical.
+    plain.fastForward(~0ULL);
+    second.fastForward(~0ULL);
+    EXPECT_EQ(second.instsExecuted(), plain.instsExecuted());
+    for (int r = 0; r < numIntRegs; ++r)
+        EXPECT_EQ(second.intReg(r), plain.intReg(r)) << "r" << r;
+
+    // Disabled options fall straight through to plain fast-forward.
+    FunctionalSim bare(p);
+    EXPECT_EQ(fastForwardDetailedRegion(
+                  bare, kJump, 1000, LivePointOptions{false, ""}),
+              plain_done);
+}
+
+// ------------------------------------------------ exactness contract
+
+TEST(Smarts, LivePointParallelBitIdenticalAcrossSuite)
+{
+    failpoint::ScopedSchedule off("");
+    SuiteConfig suite;
+    suite.referenceInstructions = 150'000;
+    DirectService service;
+    SimConfig cfg = architecturalConfig(1);
+    Smarts smarts(800, 300);
+
+    for (const std::string &bench : benchmarkNames()) {
+        TechniqueContext seq_ctx =
+            TechniqueContext::make(bench, suite, service);
+        TechniqueContext par_ctx = seq_ctx;
+        seq_ctx.livepoints.enabled = false;
+        par_ctx.livepoints.enabled = true;
+        TechniqueResult seq = smarts.run(seq_ctx, cfg);
+        TechniqueResult par = smarts.run(par_ctx, cfg);
+        SCOPED_TRACE(bench);
+        expectBitIdentical(seq, par);
+    }
+}
+
+TEST(Smarts, ReplayModeParallelMatchesLiveSerial)
+{
+    failpoint::ScopedSchedule off("");
+    SuiteConfig suite;
+    suite.referenceInstructions = 150'000;
+    SimConfig cfg = architecturalConfig(1);
+    Smarts smarts(800, 300);
+
+    // Replay-mode parallel: warm-only points over a recorded trace.
+    ExperimentEngine engine;
+    TechniqueContext replay_ctx = engine.context("gzip", suite);
+    ASSERT_NE(replay_ctx.traces, nullptr);
+    replay_ctx.livepoints.enabled = true;
+    TechniqueResult replay_par = smarts.run(replay_ctx, cfg);
+
+    // Live-mode serial: the ground truth.
+    DirectService service;
+    TechniqueContext live_ctx =
+        TechniqueContext::make("gzip", suite, service);
+    live_ctx.livepoints.enabled = false;
+    TechniqueResult live_seq = smarts.run(live_ctx, cfg);
+
+    expectBitIdentical(replay_par, live_seq);
+}
+
+TEST(Smarts, PersistedLibraryServesRerunsWithoutRebuilding)
+{
+    failpoint::ScopedSchedule off("");
+    ScratchDir scratch("yasim_lvpt_rerun");
+    SuiteConfig suite;
+    suite.referenceInstructions = 150'000;
+    DirectService service;
+    SimConfig cfg = architecturalConfig(1);
+    Smarts smarts(800, 300);
+
+    TechniqueContext ctx =
+        TechniqueContext::make("gzip", suite, service);
+    ctx.livepoints.enabled = true;
+    ctx.livepoints.dir = scratch.str();
+    TechniqueResult cold = smarts.run(ctx, cfg);
+    ASSERT_FALSE(fs::is_empty(scratch.path()));
+    TechniqueResult warm = smarts.run(ctx, cfg);
+    // Same estimate, same modeled cost: disk state never leaks into
+    // results or work units.
+    expectBitIdentical(cold, warm);
+}
+
+} // namespace
+} // namespace yasim
